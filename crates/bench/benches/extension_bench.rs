@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks for the extensions: secure PCA and logistic
+//! score scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dash_bench::workloads::normal_parties;
+use dash_core::logistic::{logistic_score_scan, secure_logistic_scan};
+use dash_core::model::{pool_parties, PartyData};
+use dash_core::pca::{secure_pca, PcaConfig};
+use dash_core::secure::SecureScanConfig;
+use dash_gwas::pheno::normal_matrix;
+use dash_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn binary_parties(sizes: &[usize], m: usize, seed: u64) -> Vec<PartyData> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sizes
+        .iter()
+        .map(|&n| {
+            let x = normal_matrix(n, m, &mut rng);
+            let ones = vec![1.0; n];
+            let cov: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0f64..1.0)).collect();
+            let c = Matrix::from_cols(&[&ones, &cov]).unwrap();
+            let y: Vec<f64> = (0..n).map(|_| (rng.gen::<f64>() < 0.4) as u64 as f64).collect();
+            PartyData::new(y, x, c).unwrap()
+        })
+        .collect()
+}
+
+fn bench_secure_pca(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext/secure_pca");
+    group.sample_size(10);
+    for (m, r) in [(256usize, 2usize), (1024, 4)] {
+        let parties = normal_parties(&[200, 200], m, 2, 1);
+        let cfg = PcaConfig {
+            components: r,
+            iterations: 10,
+            seed: 1,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_r{r}")),
+            &cfg,
+            |b, cfg| b.iter(|| secure_pca(&parties, cfg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_logistic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext/logistic");
+    group.sample_size(10);
+    let parties = binary_parties(&[300, 300], 1024, 2);
+    let pooled = pool_parties(&parties).unwrap();
+    group.bench_function("plaintext_score_scan", |b| {
+        b.iter(|| logistic_score_scan(&pooled).unwrap())
+    });
+    let cfg = SecureScanConfig::paper_default(2);
+    group.bench_function("secure_score_scan", |b| {
+        b.iter(|| secure_logistic_scan(&parties, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_secure_pca, bench_logistic);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks for the MPC substrate: sharing, the two
+//! secure-sum protocols, and Beaver inner products.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dash_mpc::dealer::TrustedDealer;
+use dash_mpc::field::F61;
+use dash_mpc::net::Network;
+use dash_mpc::prg::Prg;
+use dash_mpc::protocol::beaver::beaver_inner_batch;
+use dash_mpc::protocol::masked::masked_sum_ring;
+use dash_mpc::protocol::sum::secure_sum_ring;
+use dash_mpc::ring::R64;
+use dash_mpc::share::share_ring_vec;
+use parking_lot::Mutex;
+
+fn bench_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc/share_ring_vec");
+    for len in [1024usize, 16384] {
+        let values: Vec<R64> = (0..len as u64).map(R64).collect();
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &values, |b, v| {
+            let mut prg = Prg::from_seed(1);
+            b.iter(|| share_ring_vec(v, 3, &mut prg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_secure_sums(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc/secure_sum");
+    group.sample_size(10);
+    for len in [1024usize, 16384] {
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("shares", len), &len, |b, &len| {
+            b.iter(|| {
+                Network::run_parties(3, 1, |ctx| {
+                    let mine = vec![R64(ctx.id() as u64); len];
+                    secure_sum_ring(ctx, &mine, "bench").unwrap()
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("masked", len), &len, |b, &len| {
+            b.iter(|| {
+                Network::run_parties(3, 1, |ctx| {
+                    let mine = vec![R64(ctx.id() as u64); len];
+                    masked_sum_ring(ctx, &mine, "bench").unwrap()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_beaver_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc/beaver_inner_batch");
+    group.sample_size(10);
+    for (pairs, k) in [(256usize, 4usize), (1024, 4)] {
+        group.throughput(Throughput::Elements(pairs as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{pairs}x{k}")),
+            &(pairs, k),
+            |b, &(pairs, k)| {
+                b.iter(|| {
+                    let mut dealer = TrustedDealer::new(3, 9).unwrap();
+                    let bundles = dealer.deal_inners(k, pairs);
+                    let slots: Vec<Mutex<Option<_>>> =
+                        bundles.into_iter().map(|x| Mutex::new(Some(x))).collect();
+                    Network::run_parties(3, 9, |ctx| {
+                        let mut triples = slots[ctx.id()].lock().take().unwrap();
+                        let xs = vec![F61::from_i64(ctx.id() as i64 + 1); k];
+                        let pair_list: Vec<(&[F61], &[F61])> =
+                            (0..pairs).map(|_| (&xs[..], &xs[..])).collect();
+                        let mut batch: Vec<_> =
+                            (0..pairs).map(|_| triples.next_inner().unwrap()).collect();
+                        beaver_inner_batch(ctx, &pair_list, &mut batch).unwrap()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharing, bench_secure_sums, bench_beaver_batch);
+criterion_main!(benches);

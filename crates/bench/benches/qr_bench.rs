@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks for the QR kernels: thin Householder QR,
+//! the TSQR tree, and the secure R-combination inputs (Gram + Cholesky).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dash_gwas::pheno::normal_matrix;
+use dash_linalg::{cholesky_upper, gemm_at_b, qr_r_factor, qr_thin, tsqr_r, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tall(n: usize, k: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    normal_matrix(n, k, &mut rng)
+}
+
+fn bench_qr_thin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr/thin");
+    for (n, k) in [(1000usize, 4usize), (4000, 4), (4000, 16)] {
+        let a = tall(n, k, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{k}")),
+            &a,
+            |b, a| b.iter(|| qr_thin(a).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_tsqr_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr/r_factor");
+    let k = 8;
+    let blocks: Vec<Matrix> = (0..8).map(|i| tall(500, k, 10 + i)).collect();
+    let refs: Vec<&Matrix> = blocks.iter().collect();
+    let pooled = Matrix::vstack(&refs).unwrap();
+    group.bench_function("direct_pooled_4000x8", |b| {
+        b.iter(|| qr_r_factor(&pooled).unwrap())
+    });
+    group.bench_function("tsqr_8_blocks_500x8", |b| b.iter(|| tsqr_r(&blocks).unwrap()));
+    group.finish();
+}
+
+fn bench_gram_cholesky(c: &mut Criterion) {
+    // The per-party work of the GramAggregate secure mode.
+    let mut group = c.benchmark_group("qr/gram_plus_cholesky");
+    for k in [4usize, 16] {
+        let a = tall(4000, k, 30);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &a, |b, a| {
+            b.iter(|| {
+                let g = gemm_at_b(a, a).unwrap();
+                cholesky_upper(&g).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qr_thin, bench_tsqr_vs_direct, bench_gram_cholesky);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for the association scan (E2/E4 companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dash_bench::workloads::{normal_parties, normal_single};
+use dash_core::scan::{associate, associate_parallel};
+use dash_core::secure::{secure_scan, AggregationMode, SecureScanConfig};
+
+fn bench_scan_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan/by_n");
+    for n in [500usize, 1000, 2000, 4000] {
+        let data = normal_single(n, 1024, 4, 1);
+        group.throughput(Throughput::Elements((n * 1024) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| associate(d).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan/by_m");
+    for m in [256usize, 1024, 4096] {
+        let data = normal_single(2000, m, 4, 2);
+        group.throughput(Throughput::Elements((2000 * m) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &data, |b, d| {
+            b.iter(|| associate(d).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan/threads");
+    let data = normal_single(2000, 4096, 4, 3);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &t| b.iter(|| associate_parallel(&data, t).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_secure_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secure/by_mode");
+    group.sample_size(10);
+    let parties = normal_parties(&[300, 400, 350], 1024, 3, 4);
+    for agg in [
+        AggregationMode::Public,
+        AggregationMode::SecureShares,
+        AggregationMode::MaskedPrg,
+        AggregationMode::BeaverDots,
+    ] {
+        let cfg = SecureScanConfig {
+            aggregation: agg,
+            seed: 4,
+            ..SecureScanConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{agg:?}")),
+            &cfg,
+            |b, cfg| b.iter(|| secure_scan(&parties, cfg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scan_n,
+    bench_scan_m,
+    bench_scan_threads,
+    bench_secure_modes
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion microbenchmarks for the sparse scan kernel (E7 companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dash_core::suffstats::{orthonormal_basis, SuffStats};
+use dash_gwas::genotype::simulate_genotypes_at;
+use dash_gwas::pheno::{normal_matrix, normal_vec};
+use dash_gwas::sparse::{sparse_scan_stats, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    let n = 2000;
+    let m = 1024;
+    let k = 4;
+    let mut group = c.benchmark_group("sparse/scan_kernel");
+    group.sample_size(20);
+    for &maf in &[0.005f64, 0.05, 0.25] {
+        let mut rng = StdRng::seed_from_u64((maf * 1e4) as u64);
+        let g = simulate_genotypes_at(n, &vec![maf; m], 0.0, &mut rng).unwrap();
+        let x = g.to_dosages();
+        let y = normal_vec(n, &mut rng);
+        let q = orthonormal_basis(&normal_matrix(n, k, &mut rng)).unwrap();
+        let sparse = SparseMatrix::from_dense(&x, 0.0).unwrap();
+        group.throughput(Throughput::Elements((n * m) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("dense", format!("maf_{maf}")),
+            &(),
+            |b, _| b.iter(|| SuffStats::local(&y, &x, &q).unwrap().reduce()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse", format!("maf_{maf}")),
+            &(),
+            |b, _| b.iter(|| sparse_scan_stats(&y, &sparse, &q).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_vs_dense);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! E11 (extension) — secure logistic score scans for case/control traits.
+//!
+//! The paper covers quantitative phenotypes; disease GWAS is binary. The
+//! logistic score test shares DASH's additive structure (see
+//! `dash_core::logistic`), so the multi-party machinery carries over.
+//! Panels: calibration under the null, power at planted odds ratios,
+//! secure ≡ pooled-plaintext equality, and the communication profile
+//! (IRLS rounds are O(K²); the score layer is O(M·K), independent of N).
+
+use dash_bench::table::{fmt_bytes, fmt_sci, Table};
+use dash_core::logistic::{logistic_score_scan, secure_logistic_scan};
+use dash_core::model::{pool_parties, PartyData};
+use dash_core::secure::SecureScanConfig;
+use dash_gwas::genotype::simulate_genotypes;
+use dash_gwas::power::{evaluate_scan, lambda_gc};
+use dash_gwas::standardize::impute_and_standardize;
+use dash_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Builds P parties with binary outcomes and planted causal variants.
+fn cohorts(
+    sizes: &[usize],
+    m: usize,
+    effects: &[(usize, f64)],
+    seed: u64,
+) -> Vec<PartyData> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sizes
+        .iter()
+        .map(|&n| {
+            let g = simulate_genotypes(n, m, &Default::default(), &mut rng).unwrap();
+            let x = impute_and_standardize(&g);
+            let cov: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0f64..1.0)).collect();
+            let ones = vec![1.0; n];
+            let c = Matrix::from_cols(&[&ones, &cov]).unwrap();
+            let y: Vec<f64> = (0..n)
+                .map(|i| {
+                    let mut eta = -0.3 + 0.3 * cov[i];
+                    for &(j, b) in effects {
+                        eta += b * x.get(i, j);
+                    }
+                    (rng.gen::<f64>() < sigmoid(eta)) as u64 as f64
+                })
+                .collect();
+            PartyData::new(y, x, c).unwrap()
+        })
+        .collect()
+}
+
+fn main() {
+    println!("E11: secure logistic (case/control) score scans\n");
+
+    // Panel 1: calibration.
+    let null = cohorts(&[600, 600], 400, &[], 1);
+    let res = logistic_score_scan(&pool_parties(&null).unwrap()).unwrap();
+    println!(
+        "calibration under the null (N = 1200, M = 400): lambda_GC = {:.2}, hits at 1e-3: {}",
+        lambda_gc(&res.p),
+        res.hits(1e-3).len()
+    );
+
+    // Panel 2: power vs planted log-odds.
+    println!("\npower at alpha = 1e-5 (N = 1600, M = 300, 6 causal variants):");
+    let mut t = Table::new(&["log-odds per SD", "power", "best causal p"]);
+    for &beta in &[0.15f64, 0.25, 0.35, 0.5] {
+        let effects: Vec<(usize, f64)> = (0..6).map(|i| (i * 50, beta)).collect();
+        let parties = cohorts(&[800, 800], 300, &effects, 2);
+        let res = logistic_score_scan(&pool_parties(&parties).unwrap()).unwrap();
+        let causal: Vec<usize> = effects.iter().map(|e| e.0).collect();
+        let rep = evaluate_scan(&res.p, &causal, 1e-5);
+        let best = causal
+            .iter()
+            .map(|&c| res.p[c])
+            .fold(f64::INFINITY, f64::min);
+        t.row(vec![
+            format!("{beta}"),
+            format!("{:.2}", rep.power),
+            fmt_sci(best),
+        ]);
+    }
+    t.print();
+
+    // Panel 3: secure vs plaintext + communication.
+    println!("\nsecure scan (P = 3, N = 450 + 600 + 450, M = 1024):");
+    let parties = cohorts(&[450, 600, 450], 1024, &[(7, 0.5)], 3);
+    let reference = logistic_score_scan(&pool_parties(&parties).unwrap()).unwrap();
+    let (secure, report) =
+        secure_logistic_scan(&parties, &SecureScanConfig::paper_default(3)).unwrap();
+    println!(
+        "  max rel z diff vs pooled plaintext: {}",
+        fmt_sci(secure.max_rel_diff(&reference).unwrap())
+    );
+    println!(
+        "  traffic: {} over {} messages (IRLS rounds are K^2-sized; the per-variant layer dominates)",
+        fmt_bytes(report.total_bytes),
+        report.total_messages
+    );
+    println!(
+        "  planted variant 7: z = {:+.2}, p = {}",
+        secure.z[7],
+        fmt_sci(secure.p[7])
+    );
+    println!("\nBinary traits run at the linear scan's communication footprint: O(M·K)");
+    println!("plus a handful of O(K^2) IRLS rounds — still independent of N.");
+}

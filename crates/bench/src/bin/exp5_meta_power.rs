@@ -1,0 +1,212 @@
+//! E5 — power of the joint (secure) scan vs meta-analysis, and the
+//! confounding/Simpson failure modes (§3's motivation).
+//!
+//! Three panels:
+//!
+//! 1. **Power, homogeneous effects.** Many small cohorts: the joint scan
+//!    pools information exactly; meta-analysis pays for noisy per-cohort
+//!    standard errors. Power is estimated over replicated simulations.
+//! 2. **Confounding.** Cohorts with allele-frequency drift (F_ST) and
+//!    party-level phenotype offsets: a pooled scan that *ignores* cohort
+//!    structure inflates false positives (λ_GC ≫ 1); the joint scan with
+//!    per-party centering (§3's intercept remark) stays calibrated.
+//! 3. **Simpson's paradox.** A crafted variant whose within-party effect
+//!    is positive in every party but whose naive pooled effect is
+//!    negative.
+
+use dash_bench::table::{fmt_sci, Table};
+use dash_core::meta::meta_analyze_scan;
+use dash_core::model::{pool_parties, PartyData};
+use dash_core::scan::associate;
+use dash_gwas::power::{evaluate_scan, lambda_gc};
+use dash_gwas::structure::{simulate_structured_cohorts, StructuredSimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    power_panel();
+    confounding_panel();
+    simpson_panel();
+}
+
+/// Panel 1: power of joint vs meta across cohort counts.
+fn power_panel() {
+    println!("E5.1: power — joint scan vs inverse-variance meta-analysis");
+    println!("(M = 200 variants, 10 causal, h² = 0.25, alpha = 1e-4, 8 replicates)\n");
+    let mut t = Table::new(&[
+        "cohorts x size",
+        "joint power",
+        "meta power",
+        "joint FPR",
+        "meta FPR",
+    ]);
+    for &(p, n_each) in &[(2usize, 400usize), (8, 100), (20, 40), (40, 20), (80, 10)] {
+        let mut joint_pow = 0.0;
+        let mut meta_pow = 0.0;
+        let mut joint_fpr = 0.0;
+        let mut meta_fpr = 0.0;
+        let reps = 8;
+        for rep in 0..reps {
+            let cfg = StructuredSimConfig {
+                party_sizes: vec![n_each; p],
+                n_variants: 200,
+                fst: 0.0,
+                party_offsets: vec![],
+                n_causal: 10,
+                heritability: 0.25,
+                k_covariates: 2,
+                missing_rate: 0.0,
+                standardize_within_party: true,
+            };
+            let mut rng = StdRng::seed_from_u64(1000 + rep);
+            let sim = simulate_structured_cohorts(&cfg, &mut rng).unwrap();
+            let joint = associate(&pool_parties(&sim.parties).unwrap()).unwrap();
+            let meta = meta_analyze_scan(&sim.parties).unwrap();
+            let alpha = 1e-4;
+            let jr = evaluate_scan(&joint.p, &sim.causal, alpha);
+            let mr = evaluate_scan(&meta.p, &sim.causal, alpha);
+            joint_pow += jr.power / reps as f64;
+            meta_pow += mr.power / reps as f64;
+            joint_fpr += jr.false_positive_rate / reps as f64;
+            meta_fpr += mr.false_positive_rate / reps as f64;
+        }
+        t.row(vec![
+            format!("{p} x {n_each}"),
+            format!("{joint_pow:.3}"),
+            format!("{meta_pow:.3}"),
+            format!("{joint_fpr:.4}"),
+            format!("{meta_fpr:.4}"),
+        ]);
+    }
+    t.print();
+    println!("\nTotal N is fixed at 800. The joint scan is invariant to how the rows");
+    println!("are split; meta-analysis degrades as cohorts shrink — its normal");
+    println!("approximation mis-calibrates (FPR far above the nominal 1e-4 by");
+    println!("N_k = 10) exactly as §3's \"noisy standard errors\" warns.\n");
+}
+
+/// Panel 2: confounded cohorts — calibration with and without cohort
+/// correction.
+fn confounding_panel() {
+    println!("E5.2: confounding — F_ST drift + party phenotype offsets (no causal variants)");
+    println!("(P = 3 x 400, M = 500, F_ST = 0.1, offsets = (-0.6, 0.0, +0.6), 4 replicates)\n");
+    let mut t = Table::new(&[
+        "analysis",
+        "lambda_GC",
+        "FPR at 1e-3",
+    ]);
+    let mut rows: Vec<(String, f64, f64)> = vec![
+        ("naive pooled (no correction)".into(), 0.0, 0.0),
+        ("joint + per-party centering".into(), 0.0, 0.0),
+        ("meta-analysis".into(), 0.0, 0.0),
+    ];
+    let reps = 4;
+    for rep in 0..reps {
+        let cfg = StructuredSimConfig {
+            party_sizes: vec![400; 3],
+            n_variants: 500,
+            fst: 0.1,
+            party_offsets: vec![-0.6, 0.0, 0.6],
+            n_causal: 0,
+            heritability: 0.0,
+            k_covariates: 1,
+            missing_rate: 0.0,
+            // Keep raw dosages: the naive pooled analyst sees the
+            // between-party frequency differences.
+            standardize_within_party: false,
+        };
+        let mut rng = StdRng::seed_from_u64(9000 + rep);
+        let sim = simulate_structured_cohorts(&cfg, &mut rng).unwrap();
+
+        // (a) naive pooled: ignore cohort structure entirely.
+        let naive = associate(&pool_parties(&sim.parties).unwrap()).unwrap();
+        // (b) joint with per-party centering (the paper's P-intercept
+        //     equivalence).
+        let centered: Vec<PartyData> = sim
+            .parties
+            .iter()
+            .map(|p| {
+                let mut c = p.clone();
+                c.center_all();
+                c
+            })
+            .collect();
+        let joint = associate(&pool_parties(&centered).unwrap()).unwrap();
+        // (c) meta-analysis with per-party intercepts (centering), as any
+        //     real per-cohort analysis would include.
+        let meta = meta_analyze_scan(&centered).unwrap();
+
+        let alpha = 1e-3;
+        for (row, pvals) in rows.iter_mut().zip([&naive.p, &joint.p, &meta.p]) {
+            row.1 += lambda_gc(pvals) / reps as f64;
+            row.2 += evaluate_scan(pvals, &[], alpha).false_positive_rate / reps as f64;
+        }
+    }
+    for (name, l, fpr) in rows {
+        t.row(vec![name, format!("{l:.2}"), format!("{fpr:.4}")]);
+    }
+    t.print();
+    println!("\nNaive pooling inflates the test statistics (lambda >> 1); the joint");
+    println!("scan with per-party centering — one line in DASH — restores calibration");
+    println!("without giving up the pooled sample size.\n");
+}
+
+/// Panel 3: the classic sign flip.
+fn simpson_panel() {
+    println!("E5.3: Simpson's paradox — within-party effect positive, naive pooled effect negative\n");
+    // Two parties. Within each, y = +0.5 x + noise. Between parties, the
+    // variant mean and the phenotype mean move in opposite directions.
+    let mut rng = StdRng::seed_from_u64(4242);
+    let n = 500;
+    let mut parties = Vec::new();
+    for (x_shift, y_shift) in [(0.0f64, 3.0f64), (3.0, 0.0)] {
+        let x_col: Vec<f64> = (0..n)
+            .map(|_| dash_gwas::pheno::sample_standard_normal(&mut rng) + x_shift)
+            .collect();
+        let y: Vec<f64> = x_col
+            .iter()
+            .map(|x| 0.5 * (x - x_shift) + y_shift + 0.5 * dash_gwas::pheno::sample_standard_normal(&mut rng))
+            .collect();
+        let x = dash_linalg::Matrix::from_cols(&[&x_col]).unwrap();
+        let c = dash_linalg::Matrix::from_cols(&[&vec![1.0; n]]).unwrap();
+        parties.push(PartyData::new(y, x, c).unwrap());
+    }
+    let mut t = Table::new(&["analysis", "beta", "p"]);
+    for (i, p) in parties.iter().enumerate() {
+        let r = associate(p).unwrap();
+        t.row(vec![
+            format!("party {i} alone"),
+            format!("{:+.3}", r.beta[0]),
+            fmt_sci(r.p[0]),
+        ]);
+    }
+    let naive = associate(&pool_parties(&parties).unwrap()).unwrap();
+    t.row(vec![
+        "naive pooled".into(),
+        format!("{:+.3}", naive.beta[0]),
+        fmt_sci(naive.p[0]),
+    ]);
+    let centered: Vec<PartyData> = parties
+        .iter()
+        .map(|p| {
+            let mut c = p.clone();
+            c.center_all();
+            c
+        })
+        .collect();
+    let fixed = associate(&pool_parties(&centered).unwrap()).unwrap();
+    t.row(vec![
+        "joint + per-party centering".into(),
+        format!("{:+.3}", fixed.beta[0]),
+        fmt_sci(fixed.p[0]),
+    ]);
+    let meta = meta_analyze_scan(&parties).unwrap();
+    t.row(vec![
+        "meta-analysis".into(),
+        format!("{:+.3}", meta.beta[0]),
+        fmt_sci(meta.p[0]),
+    ]);
+    t.print();
+    println!("\nThe naive pooled slope flips sign (Simpson); per-party centering inside");
+    println!("the joint scan recovers the true within-party effect at full power.");
+}

@@ -1,0 +1,68 @@
+//! E7 — sparse packing (§2): "the columns of X can be packed sparsely so
+//! that the flop count for QᵀX is reduced in proportion to the sparsity
+//! of X."
+//!
+//! Sweeps the minor allele frequency (which controls genotype density:
+//! at MAF p, a fraction `1 − (1−p)² ` of calls is nonzero) and compares
+//! the dense scan kernel against the CSC kernel. The speedup should track
+//! `1 / density`.
+
+use dash_bench::table::{fmt_seconds, Table};
+use dash_bench::timing::time_median;
+use dash_core::suffstats::{orthonormal_basis, SuffStats};
+use dash_gwas::genotype::simulate_genotypes_at;
+use dash_gwas::pheno::{normal_matrix, normal_vec};
+use dash_gwas::sparse::{sparse_scan_stats, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 4000;
+    let m = 2048;
+    let k = 4;
+    println!("E7: sparsity — dense vs CSC scan kernel (N = {n}, M = {m}, K = {k})\n");
+    let mut t = Table::new(&[
+        "MAF",
+        "density",
+        "dense kernel",
+        "sparse kernel",
+        "speedup",
+        "1/density",
+        "max rel diff",
+    ]);
+    for &maf in &[0.001f64, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5] {
+        let mut rng = StdRng::seed_from_u64((maf * 1e6) as u64);
+        let mafs = vec![maf; m];
+        let g = simulate_genotypes_at(n, &mafs, 0.0, &mut rng).unwrap();
+        let x = g.to_dosages(); // raw 0/1/2 dosages: sparse at low MAF
+        let y = normal_vec(n, &mut rng);
+        let c = normal_matrix(n, k, &mut rng);
+        let q = orthonormal_basis(&c).unwrap();
+        let sparse = SparseMatrix::from_dense(&x, 0.0).unwrap();
+        let density = sparse.density();
+
+        let (dense_t, dense_stats) =
+            time_median(3, || SuffStats::local(&y, &x, &q).unwrap().reduce());
+        let (sparse_t, sparse_stats) =
+            time_median(3, || sparse_scan_stats(&y, &sparse, &q).unwrap());
+
+        // Verify the kernels agree.
+        let dense_res = dense_stats.finalize(n, k).unwrap();
+        let sparse_res = sparse_stats.finalize(n, k).unwrap();
+        let diff = dense_res.max_rel_diff(&sparse_res).unwrap();
+
+        t.row(vec![
+            format!("{maf}"),
+            format!("{density:.4}"),
+            fmt_seconds(dense_t.median_s),
+            fmt_seconds(sparse_t.median_s),
+            format!("{:.1}x", dense_t.median_s / sparse_t.median_s),
+            format!("{:.0}x", 1.0 / density.max(1e-9)),
+            format!("{diff:.1e}"),
+        ]);
+    }
+    t.print();
+    println!("\nAt rare-variant MAFs the sparse kernel approaches the 1/density bound;");
+    println!("at common-variant MAFs the dense kernel wins (no packing to exploit) —");
+    println!("matching the paper's \"in proportion to the sparsity of X\".");
+}

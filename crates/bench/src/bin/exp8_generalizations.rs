@@ -1,0 +1,171 @@
+//! E8 — the §5 generalizations: burden tests, multiple phenotypes,
+//! linear mixed models, and the online/batched regime from the preface.
+//!
+//! Each panel verifies that the generalization agrees with its pooled
+//! plaintext counterpart (or recovers planted structure), end to end
+//! through the secure machinery where applicable.
+
+use dash_bench::table::{fmt_sci, Table};
+use dash_bench::workloads::normal_parties;
+use dash_core::burden::{burden_parties, burden_scan, GeneSet};
+use dash_core::lmm::{default_delta_grid, estimate_delta, lmm_scan, KinshipEigen};
+use dash_core::model::{pool_parties, PartyData};
+use dash_core::multi::multi_phenotype_scan;
+use dash_core::online::{secure_online_scan, OnlineScan};
+use dash_core::scan::associate;
+use dash_core::secure::{secure_scan, SecureScanConfig};
+use dash_gwas::pheno::{normal_matrix, normal_vec, sample_standard_normal};
+use dash_linalg::qr_thin;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut summary = Table::new(&["panel", "check", "max rel diff / detail", "pass"]);
+    burden_panel(&mut summary);
+    multi_panel(&mut summary);
+    lmm_panel(&mut summary);
+    online_panel(&mut summary);
+    println!("E8 summary:\n");
+    summary.print();
+}
+
+fn burden_panel(summary: &mut Table) {
+    // 200 genes of ~30 variants over M = 6000 variants, two parties.
+    let m = 6000;
+    let parties = normal_parties(&[400, 500], m, 2, 21);
+    let mut sets = Vec::new();
+    for g in 0..200 {
+        let start = g * 30;
+        let idx: Vec<usize> = (start..start + 30).collect();
+        sets.push(GeneSet::uniform(format!("gene{g}"), &idx));
+    }
+    let pooled = pool_parties(&parties).unwrap();
+    let reference = burden_scan(&pooled, &sets).unwrap();
+    let scored = burden_parties(&parties, &sets).unwrap();
+    let secure = secure_scan(&scored, &SecureScanConfig::paper_default(3)).unwrap();
+    let diff = secure.result.max_rel_diff(&reference).unwrap();
+    summary.row(vec![
+        "burden".into(),
+        "secure burden scan vs pooled plaintext (200 genes)".into(),
+        fmt_sci(diff),
+        (diff < 1e-6).to_string(),
+    ]);
+}
+
+fn multi_panel(summary: &mut Table) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let n = 600;
+    let t_count = 8;
+    let x = normal_matrix(n, 300, &mut rng);
+    let c = normal_matrix(n, 3, &mut rng);
+    let ys = normal_matrix(n, t_count, &mut rng);
+    let multi = multi_phenotype_scan(&ys, &x, &c).unwrap();
+    let mut worst = 0.0f64;
+    for ti in 0..t_count {
+        let single = associate(
+            &PartyData::new(ys.col(ti).to_vec(), x.clone(), c.clone()).unwrap(),
+        )
+        .unwrap();
+        worst = worst.max(multi[ti].max_rel_diff(&single).unwrap());
+    }
+    summary.row(vec![
+        "multi-pheno".into(),
+        format!("{t_count} phenotypes vs {t_count} standalone scans"),
+        fmt_sci(worst),
+        (worst < 1e-9).to_string(),
+    ]);
+}
+
+fn lmm_panel(summary: &mut Table) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let n = 300;
+    // Shared kinship eigendecomposition (assumed shareable per §5).
+    let u = qr_thin(&normal_matrix(n, n, &mut rng)).unwrap().q;
+    let s: Vec<f64> = (0..n).map(|i| 3.0 * i as f64 / n as f64).collect();
+    let kin = KinshipEigen::new(u.clone(), s.clone()).unwrap();
+    let x = normal_matrix(n, 100, &mut rng);
+    let c = normal_matrix(n, 2, &mut rng);
+    // Phenotype with genetic covariance sigma_g^2 = 2 (delta = 2) plus a
+    // planted fixed effect on variant 0.
+    let z: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+    let mut g = vec![0.0; n];
+    for j in 0..n {
+        let coef = (2.0f64 * s[j]).sqrt() * z[j];
+        for (gi, ui) in g.iter_mut().zip(u.col(j)) {
+            *gi += coef * ui;
+        }
+    }
+    let y: Vec<f64> = (0..n)
+        .map(|i| 0.5 * x.get(i, 0) + g[i] + sample_standard_normal(&mut rng))
+        .collect();
+    let data = PartyData::new(y, x, c).unwrap();
+    let delta = estimate_delta(&data, &kin, &default_delta_grid()).unwrap();
+    let res = lmm_scan(&data, &kin, delta).unwrap();
+    let plain = associate(&data).unwrap();
+    let detail = format!(
+        "delta_hat = {delta:.2}, LMM p[0] = {}, plain p[0] = {}",
+        fmt_sci(res.p[0]),
+        fmt_sci(plain.p[0]),
+    );
+    // Pass when delta is clearly positive and the planted effect is found.
+    let pass = delta > 0.3 && res.p[0] < 1e-3;
+    summary.row(vec![
+        "lmm".into(),
+        "delta recovery + planted-effect detection".into(),
+        detail,
+        pass.to_string(),
+    ]);
+}
+
+fn online_panel(summary: &mut Table) {
+    let mut rng = StdRng::seed_from_u64(34);
+    let m = 500;
+    let k = 2;
+    // Three parties, each receiving 5 arriving batches.
+    let mut accs = Vec::new();
+    let mut all_batches = Vec::new();
+    for _party in 0..3 {
+        let mut acc = OnlineScan::new(m, k);
+        for _batch in 0..5 {
+            let n = 40;
+            let y = normal_vec(n, &mut rng);
+            let x = normal_matrix(n, m, &mut rng);
+            let c = normal_matrix(n, k, &mut rng);
+            let b = PartyData::new(y, x, c).unwrap();
+            acc.push_batch(&b).unwrap();
+            all_batches.push(b);
+        }
+        accs.push(acc);
+    }
+    let reference = associate(&pool_parties(&all_batches).unwrap()).unwrap();
+    let (online_res, report) =
+        secure_online_scan(&accs, &SecureScanConfig::default()).unwrap();
+    let diff = online_res.max_rel_diff(&reference).unwrap();
+    summary.row(vec![
+        "online".into(),
+        format!(
+            "3 parties x 5 batches, one-round secure merge ({} total)",
+            dash_bench::table::fmt_bytes(report.total_bytes)
+        ),
+        fmt_sci(diff),
+        (diff < 1e-5).to_string(),
+    ]);
+
+    // Interim results: the accumulator answers after each batch without
+    // reprocessing old rows.
+    let mut acc = OnlineScan::new(m, k);
+    let mut grows = true;
+    let mut last_n = 0;
+    for b in all_batches.iter().take(5) {
+        acc.push_batch(b).unwrap();
+        let r = acc.finalize().unwrap();
+        grows &= r.df + k + 1 > last_n;
+        last_n = r.df + k + 1;
+    }
+    summary.row(vec![
+        "online".into(),
+        "interim finalize after every batch".into(),
+        format!("final N = {last_n}"),
+        grows.to_string(),
+    ]);
+}

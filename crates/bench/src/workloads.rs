@@ -1,0 +1,69 @@
+//! Workload presets shared by the experiment binaries and benches.
+
+use dash_core::model::PartyData;
+use dash_gwas::pheno::{normal_matrix, normal_vec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's §4 R-demo configuration: three parties of 1000/2000/1500
+/// samples, M variants, K = 3 standard-normal covariates, all data iid
+/// N(0,1) — `set.seed(0); rnorm(...)` translated to a seeded StdRng.
+///
+/// `m` is a parameter (the demo uses 10000) so smaller variants of the
+/// same workload can be used in tight loops.
+pub fn r_demo_parties(m: usize, seed: u64) -> Vec<PartyData> {
+    normal_parties(&[1000, 2000, 1500], m, 3, seed)
+}
+
+/// Standard-normal parties of the given sizes.
+pub fn normal_parties(sizes: &[usize], m: usize, k: usize, seed: u64) -> Vec<PartyData> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sizes
+        .iter()
+        .map(|&n| {
+            let y = normal_vec(n, &mut rng);
+            let x = normal_matrix(n, m, &mut rng);
+            let c = normal_matrix(n, k, &mut rng);
+            PartyData::new(y, x, c).expect("consistent by construction")
+        })
+        .collect()
+}
+
+/// A single pooled standard-normal dataset (for plaintext-only timings).
+pub fn normal_single(n: usize, m: usize, k: usize, seed: u64) -> PartyData {
+    normal_parties(&[n], m, k, seed).pop().expect("one party")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_demo_shape() {
+        let parties = r_demo_parties(16, 0);
+        assert_eq!(parties.len(), 3);
+        assert_eq!(parties[0].n_samples(), 1000);
+        assert_eq!(parties[1].n_samples(), 2000);
+        assert_eq!(parties[2].n_samples(), 1500);
+        for p in &parties {
+            assert_eq!(p.n_variants(), 16);
+            assert_eq!(p.n_covariates(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = normal_parties(&[10, 12], 3, 1, 7);
+        let b = normal_parties(&[10, 12], 3, 1, 7);
+        assert_eq!(a, b);
+        let c = normal_parties(&[10, 12], 3, 1, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_is_first_of_sizes() {
+        let single = normal_single(20, 4, 2, 3);
+        assert_eq!(single.n_samples(), 20);
+        assert_eq!(single.n_variants(), 4);
+    }
+}

@@ -1,0 +1,148 @@
+//! Minimal `--flag value` argument parsing (no external dependency).
+
+use crate::error::CliError;
+use std::collections::BTreeMap;
+
+/// Parsed flags: every argument must be a `--flag value` pair.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    /// Flags a command actually consumed (for unknown-flag errors).
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl Flags {
+    /// Parses `--flag value` pairs; rejects positional arguments and
+    /// flags without values.
+    pub fn parse(args: &[String], usage: &str) -> Result<Flags, CliError> {
+        let mut values = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument {arg:?}\n{usage}"
+                )));
+            };
+            let Some(value) = it.next() else {
+                return Err(CliError::Usage(format!(
+                    "flag --{name} is missing a value\n{usage}"
+                )));
+            };
+            if values.insert(name.to_string(), value.clone()).is_some() {
+                return Err(CliError::Usage(format!("flag --{name} given twice\n{usage}")));
+            }
+        }
+        Ok(Flags {
+            values,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str, usage: &str) -> Result<String, CliError> {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.values
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}\n{usage}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<String> {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.values.get(name).cloned()
+    }
+
+    /// An optional typed flag with a default.
+    pub fn parse_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, CliError> {
+        match self.optional(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| CliError::BadValue {
+                flag: format!("--{name}"),
+                value: raw,
+                expected,
+            }),
+        }
+    }
+
+    /// A comma-separated list of usize (e.g. `--samples 500,600,700`).
+    pub fn usize_list(&self, name: &str, usage: &str) -> Result<Vec<usize>, CliError> {
+        let raw = self.required(name, usage)?;
+        raw.split(',')
+            .map(|tok| {
+                tok.trim().parse().map_err(|_| CliError::BadValue {
+                    flag: format!("--{name}"),
+                    value: raw.clone(),
+                    expected: "comma-separated positive integers",
+                })
+            })
+            .collect()
+    }
+
+    /// Errors on any flag the command did not consume (typo protection).
+    pub fn reject_unknown(&self, usage: &str) -> Result<(), CliError> {
+        let consumed = self.consumed.borrow();
+        for name in self.values.keys() {
+            if !consumed.iter().any(|c| c == name) {
+                return Err(CliError::Usage(format!("unknown flag --{name}\n{usage}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Flags, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Flags::parse(&v, "usage")
+    }
+
+    #[test]
+    fn pairs_parse() {
+        let f = parse(&["--a", "1", "--b", "x"]).unwrap();
+        assert_eq!(f.required("a", "u").unwrap(), "1");
+        assert_eq!(f.optional("b"), Some("x".into()));
+        assert_eq!(f.optional("c"), None);
+        f.reject_unknown("u").unwrap();
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(parse(&["oops"]).is_err());
+        assert!(parse(&["--a"]).is_err());
+        assert!(parse(&["--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn typed_defaults_and_errors() {
+        let f = parse(&["--n", "42"]).unwrap();
+        assert_eq!(f.parse_or("n", 0usize, "int").unwrap(), 42);
+        assert_eq!(f.parse_or("m", 7usize, "int").unwrap(), 7);
+        let f = parse(&["--n", "abc"]).unwrap();
+        assert!(f.parse_or("n", 0usize, "int").is_err());
+    }
+
+    #[test]
+    fn lists() {
+        let f = parse(&["--sizes", "10, 20,30"]).unwrap();
+        assert_eq!(f.usize_list("sizes", "u").unwrap(), vec![10, 20, 30]);
+        let f = parse(&["--sizes", "10,x"]).unwrap();
+        assert!(f.usize_list("sizes", "u").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_detected() {
+        let f = parse(&["--known", "1", "--typo", "2"]).unwrap();
+        let _ = f.optional("known");
+        let err = f.reject_unknown("usage").unwrap_err();
+        assert!(err.to_string().contains("--typo"));
+    }
+}

@@ -1,0 +1,106 @@
+//! `dash meta` — inverse-variance meta-analysis of per-party scans.
+
+use crate::args::Flags;
+use crate::commands::load_all_parties;
+use crate::error::CliError;
+use dash_core::meta::meta_analyze_scan;
+use std::io::Write;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+dash meta — per-party scans combined by fixed-effect meta-analysis
+
+REQUIRED:
+    --dir DIR       directory containing party0/, party1/, …
+
+OPTIONS:
+    --out FILE      write results TSV (variant, beta, se, z, p, q, i2)
+    --alpha A       significance threshold for the summary [default: 1e-5]";
+
+/// Runs the subcommand.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, USAGE)?;
+    let dir = PathBuf::from(flags.required("dir", USAGE)?);
+    let out_path = flags.optional("out").map(PathBuf::from);
+    let alpha = flags.parse_or("alpha", 1e-5f64, "a number in (0, 1)")?;
+    flags.reject_unknown(USAGE)?;
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(CliError::BadValue {
+            flag: "--alpha".into(),
+            value: alpha.to_string(),
+            expected: "a number in (0, 1)",
+        });
+    }
+
+    let parties = load_all_parties(&dir)?;
+    let meta = meta_analyze_scan(&parties)?;
+    writeln!(
+        out,
+        "meta-analyzed {} variants across {} parties",
+        meta.len(),
+        meta.n_parties
+    )?;
+    writeln!(out, "hits at p<{alpha:e}: {}", meta.hits(alpha).len())?;
+    let het = meta
+        .q_p
+        .iter()
+        .filter(|q| q.is_finite() && **q < 0.05)
+        .count();
+    writeln!(out, "variants with heterogeneity (Cochran Q p<0.05): {het}")?;
+    if let Some(path) = out_path {
+        let mut text = String::from("variant\tbeta\tse\tz\tp\tq\ti2\n");
+        for j in 0..meta.len() {
+            text.push_str(&format!(
+                "{j}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                meta.beta[j], meta.se[j], meta.z[j], meta.p[j], meta.q[j], meta.i_squared[j]
+            ));
+        }
+        std::fs::write(&path, text)?;
+        writeln!(out, "results written to {}", path.display())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn meta_runs_and_writes() {
+        let dir = tmp_dir("meta");
+        write_party(&dir.join("party0"), &toy_party(40, 4, 1, 1));
+        write_party(&dir.join("party1"), &toy_party(35, 4, 1, 2));
+        let res = dir.join("meta.tsv");
+        let mut buf = Vec::new();
+        run(
+            &argv(&["--dir", dir.to_str().unwrap(), "--out", res.to_str().unwrap()]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("meta-analyzed 4 variants across 2 parties"));
+        let written = std::fs::read_to_string(&res).unwrap();
+        assert!(written.starts_with("variant\tbeta"));
+        assert_eq!(written.lines().count(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_alpha_rejected() {
+        let dir = tmp_dir("metabad");
+        write_party(&dir.join("party0"), &toy_party(20, 2, 1, 3));
+        let mut buf = Vec::new();
+        let err = run(
+            &argv(&["--dir", dir.to_str().unwrap(), "--alpha", "2.0"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--alpha"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,130 @@
+//! Subcommand implementations.
+
+pub mod meta;
+pub mod pca;
+pub mod perm;
+pub mod scan;
+pub mod secure_scan;
+pub mod simulate;
+pub mod top;
+
+use crate::error::CliError;
+use dash_core::model::PartyData;
+use dash_gwas::io::read_matrix_tsv;
+use std::path::Path;
+
+/// Loads one dataset from a directory holding `y.tsv` (N×1), `x.tsv`
+/// (N×M) and `c.tsv` (N×K).
+pub(crate) fn load_party_dir(dir: &Path) -> Result<PartyData, CliError> {
+    let y_mat = read_matrix_tsv(&dir.join("y.tsv"))?;
+    if y_mat.cols() != 1 {
+        return Err(CliError::Usage(format!(
+            "{}/y.tsv must have exactly one column, found {}",
+            dir.display(),
+            y_mat.cols()
+        )));
+    }
+    let y = y_mat.col(0).to_vec();
+    let x = read_matrix_tsv(&dir.join("x.tsv"))?;
+    let c = read_matrix_tsv(&dir.join("c.tsv"))?;
+    Ok(PartyData::new(y, x, c)?)
+}
+
+/// Loads `party0/ party1/ …` subdirectories of `dir`, in order.
+pub(crate) fn load_all_parties(dir: &Path) -> Result<Vec<PartyData>, CliError> {
+    let mut parties = Vec::new();
+    loop {
+        let pdir = dir.join(format!("party{}", parties.len()));
+        if !pdir.is_dir() {
+            break;
+        }
+        parties.push(load_party_dir(&pdir)?);
+    }
+    if parties.is_empty() {
+        return Err(CliError::Usage(format!(
+            "no party0/ subdirectory found under {}",
+            dir.display()
+        )));
+    }
+    Ok(parties)
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use dash_core::model::PartyData;
+    use dash_gwas::io::write_matrix_tsv;
+    use dash_linalg::Matrix;
+    use std::path::PathBuf;
+
+    /// Unique temp directory for one test.
+    pub fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dash_cli_{tag}_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Writes a party's data as y/x/c TSVs into `dir`.
+    pub fn write_party(dir: &std::path::Path, p: &PartyData) {
+        std::fs::create_dir_all(dir).unwrap();
+        let y = Matrix::from_cols(&[p.y()]).unwrap();
+        write_matrix_tsv(&dir.join("y.tsv"), &y).unwrap();
+        write_matrix_tsv(&dir.join("x.tsv"), p.x()).unwrap();
+        write_matrix_tsv(&dir.join("c.tsv"), p.c()).unwrap();
+    }
+
+    /// A small deterministic dataset.
+    pub fn toy_party(n: usize, m: usize, k: usize, seed: u64) -> PartyData {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        PartyData::new(
+            dash_gwas::pheno::normal_vec(n, &mut rng),
+            dash_gwas::pheno::normal_matrix(n, m, &mut rng),
+            dash_gwas::pheno::normal_matrix(n, k, &mut rng),
+        )
+        .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn load_roundtrip() {
+        let dir = tmp_dir("load");
+        let p = toy_party(12, 3, 2, 1);
+        write_party(&dir.join("party0"), &p);
+        write_party(&dir.join("party1"), &toy_party(8, 3, 2, 2));
+        let loaded = load_all_parties(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0], p);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_parties_rejected() {
+        let dir = tmp_dir("empty");
+        assert!(load_all_parties(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wide_y_rejected() {
+        let dir = tmp_dir("widey");
+        let p = toy_party(5, 2, 1, 3);
+        write_party(&dir, &p);
+        // Overwrite y with two columns.
+        let bad = dash_linalg::Matrix::zeros(5, 2);
+        dash_gwas::io::write_matrix_tsv(&dir.join("y.tsv"), &bad).unwrap();
+        assert!(load_party_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,166 @@
+//! `dash scan` — plaintext association scan on one dataset.
+
+use crate::args::Flags;
+use crate::commands::load_party_dir;
+use crate::error::CliError;
+use dash_core::model::PartyData;
+use dash_core::scan::{associate, associate_parallel};
+use dash_gwas::io::{read_matrix_tsv, write_scan_tsv};
+use std::io::Write;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+dash scan — plaintext association scan
+
+INPUT (either):
+    --dir DIR              directory with y.tsv / x.tsv / c.tsv
+    --y FILE --x FILE --c FILE   explicit paths
+
+OPTIONS:
+    --out FILE             write results TSV here [default: print summary only]
+    --threads T            worker threads [default: 1]";
+
+/// Runs the subcommand.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, USAGE)?;
+    let data = load_input(&flags)?;
+    let out_path = flags.optional("out").map(PathBuf::from);
+    let threads = flags.parse_or("threads", 1usize, "a positive integer")?;
+    flags.reject_unknown(USAGE)?;
+
+    let result = if threads > 1 {
+        associate_parallel(&data, threads)?
+    } else {
+        associate(&data)?
+    };
+    writeln!(
+        out,
+        "scanned {} variants over {} samples (K = {}, df = {})",
+        result.len(),
+        data.n_samples(),
+        data.n_covariates(),
+        result.df
+    )?;
+    summarize(&result, out)?;
+    if let Some(path) = out_path {
+        write_scan_tsv(&path, &result)?;
+        writeln!(out, "results written to {}", path.display())?;
+    }
+    Ok(())
+}
+
+/// Loads from `--dir` or from explicit `--y/--x/--c` paths.
+pub(crate) fn load_input(flags: &Flags) -> Result<PartyData, CliError> {
+    if let Some(dir) = flags.optional("dir") {
+        return load_party_dir(&PathBuf::from(dir));
+    }
+    let (Some(yp), Some(xp), Some(cp)) = (
+        flags.optional("y"),
+        flags.optional("x"),
+        flags.optional("c"),
+    ) else {
+        return Err(CliError::Usage(format!(
+            "provide --dir, or all of --y/--x/--c\n{USAGE}"
+        )));
+    };
+    let y_mat = read_matrix_tsv(&PathBuf::from(yp))?;
+    if y_mat.cols() != 1 {
+        return Err(CliError::Usage(
+            "--y file must have exactly one column".into(),
+        ));
+    }
+    let x = read_matrix_tsv(&PathBuf::from(xp))?;
+    let c = read_matrix_tsv(&PathBuf::from(cp))?;
+    Ok(PartyData::new(y_mat.col(0).to_vec(), x, c)?)
+}
+
+/// Prints hit counts and the best association.
+pub(crate) fn summarize(
+    result: &dash_core::model::ScanResult,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let gw = result.hits(5e-8).len();
+    let sugg = result.hits(1e-5).len();
+    writeln!(out, "hits: {gw} at p<5e-8, {sugg} at p<1e-5")?;
+    if let Some((best, bp)) = result
+        .p
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_finite())
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+    {
+        writeln!(
+            out,
+            "top association: variant {best} (beta = {:.4}, p = {:.3e})",
+            result.beta[best], bp
+        )?;
+    }
+    if result.n_degenerate > 0 {
+        writeln!(out, "note: {} degenerate variants (NaN)", result.n_degenerate)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn scan_from_dir_and_write_results() {
+        let dir = tmp_dir("scan");
+        write_party(&dir, &toy_party(40, 6, 2, 1));
+        let results = dir.join("res.tsv");
+        let mut buf = Vec::new();
+        run(
+            &argv(&[
+                "--dir",
+                dir.to_str().unwrap(),
+                "--out",
+                results.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("scanned 6 variants over 40 samples"));
+        assert!(results.is_file());
+        let back = dash_gwas::io::read_scan_tsv(&results, 37).unwrap();
+        assert_eq!(back.len(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_from_explicit_paths_with_threads() {
+        let dir = tmp_dir("scan2");
+        write_party(&dir, &toy_party(30, 4, 1, 2));
+        let mut buf = Vec::new();
+        run(
+            &argv(&[
+                "--y",
+                dir.join("y.tsv").to_str().unwrap(),
+                "--x",
+                dir.join("x.tsv").to_str().unwrap(),
+                "--c",
+                dir.join("c.tsv").to_str().unwrap(),
+                "--threads",
+                "2",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("top association"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_input_is_usage_error() {
+        let mut buf = Vec::new();
+        let err = run(&argv(&[]), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("--dir"));
+    }
+}

@@ -1,0 +1,191 @@
+//! `dash secure-scan` — the multi-party protocol over party directories.
+
+use crate::args::Flags;
+use crate::commands::load_all_parties;
+use crate::error::CliError;
+use dash_core::secure::{secure_scan, AggregationMode, RFactorMode, SecureScanConfig};
+use dash_gwas::io::write_scan_tsv;
+use std::io::Write;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+dash secure-scan — secure multi-party association scan
+
+REQUIRED:
+    --dir DIR       directory containing party0/, party1/, … each with
+                    y.tsv / x.tsv / c.tsv
+
+OPTIONS:
+    --mode MODE     security mode: public | default | star | tree | max
+                    [default: default]
+                      public  : everything broadcast (baseline)
+                      default : public K x K R factors, masked secure sums
+                      star    : like default, but masked sums via an
+                                aggregator (O(P*M) total traffic)
+                      tree    : pairwise-tree R factors, masked secure sums
+                      max     : aggregate-only R, Beaver dot products
+    --out FILE      write results TSV here
+    --seed S        protocol seed [default: 42]
+    --audit BOOL    print the disclosure log (true/false) [default: true]";
+
+/// Runs the subcommand.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, USAGE)?;
+    let dir = PathBuf::from(flags.required("dir", USAGE)?);
+    let mode = flags.optional("mode").unwrap_or_else(|| "default".into());
+    let out_path = flags.optional("out").map(PathBuf::from);
+    let seed = flags.parse_or("seed", 42u64, "an integer seed")?;
+    let audit = flags.parse_or("audit", true, "true or false")?;
+    flags.reject_unknown(USAGE)?;
+
+    let cfg = match mode.as_str() {
+        "public" => SecureScanConfig {
+            rfactor: RFactorMode::PublicStack,
+            aggregation: AggregationMode::Public,
+            seed,
+            ..SecureScanConfig::default()
+        },
+        "default" => SecureScanConfig::paper_default(seed),
+        "star" => SecureScanConfig {
+            aggregation: AggregationMode::MaskedStar,
+            seed,
+            ..SecureScanConfig::default()
+        },
+        "tree" => SecureScanConfig {
+            rfactor: RFactorMode::PairwiseTree,
+            aggregation: AggregationMode::MaskedPrg,
+            seed,
+            ..SecureScanConfig::default()
+        },
+        "max" => SecureScanConfig::max_security(seed),
+        other => {
+            return Err(CliError::BadValue {
+                flag: "--mode".into(),
+                value: other.into(),
+                expected: "one of public|default|star|tree|max",
+            })
+        }
+    };
+
+    let parties = load_all_parties(&dir)?;
+    let output = secure_scan(&parties, &cfg)?;
+    writeln!(
+        out,
+        "secure scan over {} parties, {} variants (mode: {mode})",
+        output.n_parties,
+        output.result.len()
+    )?;
+    writeln!(
+        out,
+        "traffic: {} bytes total, {} bytes worst party, {} messages",
+        output.network.total_bytes, output.network.max_party_bytes, output.network.total_messages
+    )?;
+    writeln!(
+        out,
+        "simulated network time: LAN {:.1} ms, WAN {:.1} ms",
+        output.network.lan_seconds * 1e3,
+        output.network.wan_seconds * 1e3
+    )?;
+    let per_party: usize = output
+        .disclosures
+        .iter()
+        .filter(|d| d.source_party.is_some())
+        .map(|d| d.scalars)
+        .sum();
+    writeln!(out, "per-party scalars disclosed: {per_party}")?;
+    if audit {
+        writeln!(out, "disclosure log:")?;
+        for d in &output.disclosures {
+            writeln!(out, "  {d}")?;
+        }
+    }
+    super::scan::summarize(&output.result, out)?;
+    if let Some(path) = out_path {
+        write_scan_tsv(&path, &output.result)?;
+        writeln!(out, "results written to {}", path.display())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn setup(tag: &str) -> std::path::PathBuf {
+        let dir = tmp_dir(tag);
+        write_party(&dir.join("party0"), &toy_party(25, 5, 2, 1));
+        write_party(&dir.join("party1"), &toy_party(30, 5, 2, 2));
+        dir
+    }
+
+    #[test]
+    fn all_modes_run_and_agree() {
+        let dir = setup("secure");
+        let mut reference: Option<dash_core::model::ScanResult> = None;
+        for mode in ["public", "default", "star", "tree", "max"] {
+            let res_file = dir.join(format!("res_{mode}.tsv"));
+            let mut buf = Vec::new();
+            run(
+                &argv(&[
+                    "--dir",
+                    dir.to_str().unwrap(),
+                    "--mode",
+                    mode,
+                    "--out",
+                    res_file.to_str().unwrap(),
+                    "--audit",
+                    "false",
+                ]),
+                &mut buf,
+            )
+            .unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            assert!(text.contains("secure scan over 2 parties"), "{mode}");
+            let result = dash_gwas::io::read_scan_tsv(&res_file, 1).unwrap();
+            if let Some(r) = &reference {
+                for j in 0..r.len() {
+                    assert!(
+                        (r.beta[j] - result.beta[j]).abs() < 1e-5,
+                        "{mode}: beta[{j}]"
+                    );
+                }
+            } else {
+                reference = Some(result);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_mode_reports_zero_disclosure() {
+        let dir = setup("audit");
+        let mut buf = Vec::new();
+        run(
+            &argv(&["--dir", dir.to_str().unwrap(), "--mode", "max"]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("per-party scalars disclosed: 0"));
+        assert!(text.contains("disclosure log:"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_mode_rejected() {
+        let dir = setup("badmode");
+        let mut buf = Vec::new();
+        let err = run(
+            &argv(&["--dir", dir.to_str().unwrap(), "--mode", "yolo"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--mode"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,152 @@
+//! `dash simulate` — generate a synthetic multi-party GWAS workload.
+
+use crate::args::Flags;
+use crate::error::CliError;
+use dash_gwas::io::write_matrix_tsv;
+use dash_gwas::structure::{simulate_structured_cohorts, StructuredSimConfig};
+use dash_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+dash simulate — generate party0/, party1/, … with y.tsv / x.tsv / c.tsv
+
+REQUIRED:
+    --out DIR              output directory (created if missing)
+    --samples N0,N1,…      samples per party
+
+OPTIONS:
+    --variants M           number of variants        [default: 1000]
+    --causal C             planted causal variants   [default: 10]
+    --h2 H                 heritability in [0, 1)    [default: 0.3]
+    --covariates K         iid covariate columns     [default: 2]
+    --fst F                Balding–Nichols F_ST      [default: 0.02]
+    --missing R            missing-call rate         [default: 0.0]
+    --seed S               RNG seed                  [default: 42]
+
+Also writes truth.tsv (causal variant indices and effects).";
+
+/// Runs the subcommand.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, USAGE)?;
+    let out_dir = PathBuf::from(flags.required("out", USAGE)?);
+    let sizes = flags.usize_list("samples", USAGE)?;
+    let variants = flags.parse_or("variants", 1000usize, "a positive integer")?;
+    let causal = flags.parse_or("causal", 10usize, "a non-negative integer")?;
+    let h2 = flags.parse_or("h2", 0.3f64, "a number in [0, 1)")?;
+    let covariates = flags.parse_or("covariates", 2usize, "a non-negative integer")?;
+    let fst = flags.parse_or("fst", 0.02f64, "a number in [0, 1)")?;
+    let missing = flags.parse_or("missing", 0.0f64, "a number in [0, 1)")?;
+    let seed = flags.parse_or("seed", 42u64, "an integer seed")?;
+    flags.reject_unknown(USAGE)?;
+
+    let cfg = StructuredSimConfig {
+        party_sizes: sizes.clone(),
+        n_variants: variants,
+        fst,
+        party_offsets: vec![],
+        n_causal: causal,
+        heritability: h2,
+        k_covariates: covariates,
+        missing_rate: missing,
+        standardize_within_party: true,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sim = simulate_structured_cohorts(&cfg, &mut rng)?;
+
+    std::fs::create_dir_all(&out_dir)?;
+    for (i, party) in sim.parties.iter().enumerate() {
+        let pdir = out_dir.join(format!("party{i}"));
+        std::fs::create_dir_all(&pdir)?;
+        let y = Matrix::from_cols(&[party.y()])?;
+        write_matrix_tsv(&pdir.join("y.tsv"), &y)?;
+        write_matrix_tsv(&pdir.join("x.tsv"), party.x())?;
+        write_matrix_tsv(&pdir.join("c.tsv"), party.c())?;
+    }
+    // Ground truth for scoring.
+    let mut truth = String::from("variant\teffect\n");
+    for (v, e) in sim.causal.iter().zip(&sim.effects) {
+        truth.push_str(&format!("{v}\t{e}\n"));
+    }
+    std::fs::write(out_dir.join("truth.tsv"), truth)?;
+
+    writeln!(
+        out,
+        "wrote {} parties ({} samples total), M = {variants}, K = {covariates} to {}",
+        sim.parties.len(),
+        sizes.iter().sum::<usize>(),
+        out_dir.display()
+    )?;
+    writeln!(out, "planted {} causal variants (truth.tsv)", sim.causal.len())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::tmp_dir;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn writes_expected_layout() {
+        let dir = tmp_dir("sim");
+        let mut buf = Vec::new();
+        run(
+            &argv(&[
+                "--out",
+                dir.to_str().unwrap(),
+                "--samples",
+                "30,40",
+                "--variants",
+                "20",
+                "--causal",
+                "2",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(dir.join("party0/y.tsv").is_file());
+        assert!(dir.join("party1/x.tsv").is_file());
+        assert!(dir.join("truth.tsv").is_file());
+        assert!(!dir.join("party2").exists());
+        let parties = crate::commands::load_all_parties(&dir).unwrap();
+        assert_eq!(parties[0].n_samples(), 30);
+        assert_eq!(parties[1].n_variants(), 20);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("wrote 2 parties"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_required_flags() {
+        let mut buf = Vec::new();
+        assert!(run(&argv(&["--samples", "10"]), &mut buf).is_err());
+        assert!(run(&argv(&["--out", "/tmp/x"]), &mut buf).is_err());
+        assert!(run(&argv(&["--out", "/tmp/x", "--samples", "10", "--bogus", "1"]), &mut buf).is_err());
+    }
+
+    #[test]
+    fn bad_h2_propagates() {
+        let dir = tmp_dir("badh2");
+        let mut buf = Vec::new();
+        let err = run(
+            &argv(&[
+                "--out",
+                dir.to_str().unwrap(),
+                "--samples",
+                "20",
+                "--h2",
+                "1.5",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("heritability"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,117 @@
+//! `dash top` — show the strongest associations from a results file.
+
+use crate::args::Flags;
+use crate::error::CliError;
+use dash_gwas::io::read_scan_tsv;
+use std::io::Write;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+dash top — strongest associations from a results TSV (written by
+`dash scan` / `dash secure-scan`)
+
+REQUIRED:
+    --results FILE
+
+OPTIONS:
+    --alpha A       only show variants with p < A [default: show all]
+    --limit L       maximum rows [default: 10]";
+
+/// Runs the subcommand.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, USAGE)?;
+    let path = PathBuf::from(flags.required("results", USAGE)?);
+    let alpha = flags.parse_or("alpha", 1.0f64, "a number in (0, 1]")?;
+    let limit = flags.parse_or("limit", 10usize, "a positive integer")?;
+    flags.reject_unknown(USAGE)?;
+
+    // df is irrelevant for ranking; p-values are already in the file.
+    let res = read_scan_tsv(&path, 1)?;
+    let q = dash_stats::benjamini_hochberg(&res.p);
+    let mut order: Vec<usize> = (0..res.len())
+        .filter(|&j| res.p[j].is_finite() && res.p[j] < alpha)
+        .collect();
+    order.sort_by(|&a, &b| res.p[a].partial_cmp(&res.p[b]).unwrap());
+    writeln!(
+        out,
+        "{} of {} variants pass p < {alpha:e}; showing up to {limit}",
+        order.len(),
+        res.len()
+    )?;
+    writeln!(out, "variant\tbeta\tse\tt\tp\tq(BH)")?;
+    for &j in order.iter().take(limit) {
+        writeln!(
+            out,
+            "{j}\t{:.6}\t{:.6}\t{:.3}\t{:.3e}\t{:.3e}",
+            res.beta[j], res.se[j], res.t[j], res.p[j], q[j]
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::tmp_dir;
+    use dash_core::model::ScanResult;
+    use dash_gwas::io::write_scan_tsv;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn sample_results(path: &std::path::Path) {
+        let res = ScanResult {
+            beta: vec![0.1, -0.8, 0.4, f64::NAN],
+            se: vec![0.1, 0.1, 0.1, f64::NAN],
+            t: vec![1.0, -8.0, 4.0, f64::NAN],
+            p: vec![0.3, 1e-12, 1e-4, f64::NAN],
+            df: 100,
+            n_degenerate: 1,
+        };
+        write_scan_tsv(path, &res).unwrap();
+    }
+
+    #[test]
+    fn ranks_by_p_and_filters() {
+        let dir = tmp_dir("top");
+        let file = dir.join("res.tsv");
+        sample_results(&file);
+        let mut buf = Vec::new();
+        run(
+            &argv(&["--results", file.to_str().unwrap(), "--alpha", "1e-3", "--limit", "5"]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("2 of 4 variants"));
+        // Best first.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].starts_with("1\t"));
+        assert!(lines[3].starts_with("2\t"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn limit_respected() {
+        let dir = tmp_dir("toplim");
+        let file = dir.join("res.tsv");
+        sample_results(&file);
+        let mut buf = Vec::new();
+        run(
+            &argv(&["--results", file.to_str().unwrap(), "--limit", "1"]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Header + count line + exactly 1 data row.
+        assert_eq!(text.lines().count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_reported() {
+        let mut buf = Vec::new();
+        assert!(run(&argv(&["--results", "/nonexistent.tsv"]), &mut buf).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Gene burden tests (§5).
+//!
+//! A burden test collapses the rare variants of a gene into one score per
+//! sample — a weighted sum of genotype columns — and scans the G gene
+//! scores instead of the M variants. As the paper notes, this "plays well"
+//! with the multi-party scheme because the projection acts on the
+//! *variant* axis: each party computes `S_k = X_k W` locally, and the
+//! secure scan then runs on `S` exactly as it would on `X`. (Matrix
+//! multiplication is associative.)
+
+use crate::error::CoreError;
+use crate::model::{PartyData, ScanResult};
+use crate::scan::associate;
+use dash_linalg::Matrix;
+
+/// One gene set: a name plus weighted variant indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneSet {
+    /// Gene (or region) label carried through to reports.
+    pub name: String,
+    /// `(variant index, weight)` pairs; indices refer to columns of X.
+    pub variants: Vec<(usize, f64)>,
+}
+
+impl GeneSet {
+    /// Uniform-weight gene set.
+    pub fn uniform(name: impl Into<String>, indices: &[usize]) -> Self {
+        GeneSet {
+            name: name.into(),
+            variants: indices.iter().map(|&i| (i, 1.0)).collect(),
+        }
+    }
+}
+
+/// Validates gene sets against a variant count.
+fn validate_sets(sets: &[GeneSet], m: usize) -> Result<(), CoreError> {
+    if sets.is_empty() {
+        return Err(CoreError::BadConfig {
+            what: "at least one gene set is required",
+        });
+    }
+    for s in sets {
+        if s.variants.is_empty() {
+            return Err(CoreError::BadConfig {
+                what: "gene set with no variants",
+            });
+        }
+        for &(idx, w) in &s.variants {
+            if idx >= m {
+                return Err(CoreError::ShapeMismatch {
+                    what: "gene-set variant index",
+                    expected: m,
+                    got: idx,
+                });
+            }
+            if !w.is_finite() {
+                return Err(CoreError::BadConfig {
+                    what: "non-finite gene-set weight",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes burden scores `S = X W` (N×G) for this block of samples.
+///
+/// `W` is applied sparsely: cost is proportional to the total number of
+/// (variant, weight) pairs, not to M·G.
+pub fn burden_scores(x: &Matrix, sets: &[GeneSet]) -> Result<Matrix, CoreError> {
+    validate_sets(sets, x.cols())?;
+    let n = x.rows();
+    let mut scores = Matrix::zeros(n, sets.len());
+    for (g, set) in sets.iter().enumerate() {
+        let col = scores.col_mut(g);
+        for &(idx, w) in &set.variants {
+            for (acc, v) in col.iter_mut().zip(x.col(idx)) {
+                *acc += w * v;
+            }
+        }
+    }
+    Ok(scores)
+}
+
+/// Replaces each party's variant matrix with its burden scores, producing
+/// data ready for [`crate::secure::secure_scan`] (or any plaintext scan).
+pub fn burden_parties(
+    parties: &[PartyData],
+    sets: &[GeneSet],
+) -> Result<Vec<PartyData>, CoreError> {
+    parties
+        .iter()
+        .map(|p| {
+            let scores = burden_scores(p.x(), sets)?;
+            PartyData::new(p.y().to_vec(), scores, p.c().clone())
+        })
+        .collect()
+}
+
+/// Convenience: pooled plaintext burden scan.
+pub fn burden_scan(data: &PartyData, sets: &[GeneSet]) -> Result<ScanResult, CoreError> {
+    let scores = burden_scores(data.x(), sets)?;
+    let burdened = PartyData::new(data.y().to_vec(), scores, data.c().clone())?;
+    associate(&burdened)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::pool_parties;
+    use crate::secure::{secure_scan, SecureScanConfig};
+
+    fn gen_party(n: usize, m: usize, k: usize, seed: u64) -> PartyData {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let y: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = Matrix::from_fn(n, m, |_, _| next());
+        let c = Matrix::from_fn(n, k, |_, _| next());
+        PartyData::new(y, x, c).unwrap()
+    }
+
+    #[test]
+    fn scores_match_dense_matmul() {
+        let p = gen_party(12, 6, 1, 1);
+        let sets = vec![
+            GeneSet {
+                name: "g1".into(),
+                variants: vec![(0, 1.0), (2, 0.5)],
+            },
+            GeneSet::uniform("g2", &[3, 4, 5]),
+        ];
+        let s = burden_scores(p.x(), &sets).unwrap();
+        assert_eq!(s.shape(), (12, 2));
+        for i in 0..12 {
+            let expect = p.x().get(i, 0) + 0.5 * p.x().get(i, 2);
+            assert!((s.get(i, 0) - expect).abs() < 1e-14);
+            let expect2 = p.x().get(i, 3) + p.x().get(i, 4) + p.x().get(i, 5);
+            assert!((s.get(i, 1) - expect2).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let p = gen_party(10, 3, 1, 2);
+        assert!(burden_scores(p.x(), &[]).is_err());
+        assert!(burden_scores(p.x(), &[GeneSet::uniform("g", &[])]).is_err());
+        assert!(burden_scores(p.x(), &[GeneSet::uniform("g", &[3])]).is_err());
+        let bad_weight = GeneSet {
+            name: "g".into(),
+            variants: vec![(0, f64::NAN)],
+        };
+        assert!(burden_scores(p.x(), &[bad_weight]).is_err());
+    }
+
+    #[test]
+    fn burden_commutes_with_pooling() {
+        // score-then-pool == pool-then-score: the associativity §5 relies
+        // on.
+        let parties = vec![gen_party(15, 8, 2, 3), gen_party(20, 8, 2, 4)];
+        let sets = vec![GeneSet::uniform("a", &[0, 1, 2]), GeneSet::uniform("b", &[5, 7])];
+        let scored_parties = burden_parties(&parties, &sets).unwrap();
+        let pooled_then = burden_scores(pool_parties(&parties).unwrap().x(), &sets).unwrap();
+        let then_pooled = pool_parties(&scored_parties).unwrap();
+        assert!(then_pooled.x().max_abs_diff(&pooled_then).unwrap() < 1e-13);
+    }
+
+    #[test]
+    fn secure_burden_scan_matches_pooled_plaintext() {
+        let parties = vec![gen_party(25, 10, 2, 5), gen_party(30, 10, 2, 6)];
+        let sets = vec![
+            GeneSet::uniform("geneA", &[0, 1, 2, 3]),
+            GeneSet::uniform("geneB", &[4, 5, 6]),
+            GeneSet {
+                name: "geneC".into(),
+                variants: vec![(7, 2.0), (8, -1.0), (9, 0.25)],
+            },
+        ];
+        let pooled_ref = burden_scan(&pool_parties(&parties).unwrap(), &sets).unwrap();
+        let scored = burden_parties(&parties, &sets).unwrap();
+        let secure = secure_scan(&scored, &SecureScanConfig::paper_default(8)).unwrap();
+        let d = secure.result.max_rel_diff(&pooled_ref).unwrap();
+        assert!(d < 1e-6, "max rel diff {d}");
+        assert_eq!(secure.result.len(), 3);
+    }
+
+    #[test]
+    fn planted_burden_signal() {
+        // Signal spread over a gene's variants is weak per-variant but
+        // strong in the burden score.
+        let n = 400;
+        let base = gen_party(n, 20, 1, 7);
+        let gene: Vec<usize> = (0..10).collect();
+        let mut y = base.y().to_vec();
+        for (i, yi) in y.iter_mut().enumerate() {
+            let burden: f64 = gene.iter().map(|&g| base.x().get(i, g)).sum();
+            *yi += 0.25 * burden; // per-variant effect only 0.25
+        }
+        let data = PartyData::new(y, base.x().clone(), base.c().clone()).unwrap();
+        let sets = vec![GeneSet::uniform("hit", &gene), GeneSet::uniform("null", &[15, 16, 17])];
+        let burden_res = burden_scan(&data, &sets).unwrap();
+        assert!(burden_res.p[0] < 1e-8, "burden p = {}", burden_res.p[0]);
+        assert!(burden_res.p[1] > 1e-4, "null gene p = {}", burden_res.p[1]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Error type for the DASH core.
+
+use dash_linalg::LinalgError;
+use dash_mpc::MpcError;
+use dash_stats::StatsError;
+use std::fmt;
+
+/// Errors from scan construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Party-local data had inconsistent shapes (y length vs X/C rows).
+    ShapeMismatch {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// Parties disagree on the number of variants M or covariates K.
+    PartiesInconsistent {
+        what: &'static str,
+        party: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// No parties were supplied.
+    NoParties,
+    /// Too few samples: the scan needs N > K + 1 so the residual degrees
+    /// of freedom `N − K − 1` are positive.
+    NotEnoughSamples { n: usize, k: usize },
+    /// The pooled permanent covariates are rank deficient (collinear), so
+    /// the model is unidentifiable.
+    CollinearCovariates,
+    /// A configuration value was invalid.
+    BadConfig { what: &'static str },
+    /// An underlying linear-algebra kernel failed.
+    Linalg(LinalgError),
+    /// An underlying statistical routine failed.
+    Stats(StatsError),
+    /// An MPC protocol failed.
+    Mpc(MpcError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected {expected}, got {got}"),
+            CoreError::PartiesInconsistent {
+                what,
+                party,
+                expected,
+                got,
+            } => write!(
+                f,
+                "party {party} disagrees on {what}: expected {expected}, got {got}"
+            ),
+            CoreError::NoParties => write!(f, "at least one party is required"),
+            CoreError::NotEnoughSamples { n, k } => write!(
+                f,
+                "need N > K + 1 for positive degrees of freedom; got N = {n}, K = {k}"
+            ),
+            CoreError::CollinearCovariates => write!(
+                f,
+                "pooled permanent covariates are collinear; drop or merge columns of C"
+            ),
+            CoreError::BadConfig { what } => write!(f, "invalid configuration: {what}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics: {e}"),
+            CoreError::Mpc(e) => write!(f, "mpc: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            CoreError::Mpc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        // Rank deficiency during R inversion / Cholesky is the
+        // collinear-covariates condition; translate it so callers get a
+        // domain-level diagnosis.
+        match e {
+            LinalgError::Singular { .. } | LinalgError::NotPositiveDefinite { .. } => {
+                CoreError::CollinearCovariates
+            }
+            other => CoreError::Linalg(other),
+        }
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<MpcError> for CoreError {
+    fn from(e: MpcError) -> Self {
+        CoreError::Mpc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singular_translates_to_collinear() {
+        let e: CoreError = LinalgError::Singular {
+            pivot_index: 1,
+            pivot: 0.0,
+        }
+        .into();
+        assert_eq!(e, CoreError::CollinearCovariates);
+        let e: CoreError = LinalgError::NotPositiveDefinite {
+            pivot_index: 0,
+            pivot: -1.0,
+        }
+        .into();
+        assert_eq!(e, CoreError::CollinearCovariates);
+    }
+
+    #[test]
+    fn other_linalg_preserved() {
+        let inner = LinalgError::NotTall { rows: 2, cols: 3 };
+        let e: CoreError = inner.clone().into();
+        assert_eq!(e, CoreError::Linalg(inner));
+    }
+
+    #[test]
+    fn displays() {
+        assert!(CoreError::NoParties.to_string().contains("at least one"));
+        assert!(CoreError::NotEnoughSamples { n: 3, k: 2 }
+            .to_string()
+            .contains("N = 3"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Inverse-variance meta-analysis of per-party scans — the baseline the
+//! paper's secure joint scan replaces.
+//!
+//! §3: "analysts typically have no recourse but to meta-analyze
+//! within-party estimates, with loss of power due to noisy standard
+//! errors as well as between-group heterogeneity (c.f. Simpson's
+//! paradox)". Each party scans its own rows with its own covariate basis;
+//! the per-variant `(β̂_k, σ̂_k)` are combined by fixed-effect
+//! inverse-variance weighting. Experiment E5 quantifies the power gap and
+//! reproduces the Simpson-style sign flip.
+
+use crate::error::CoreError;
+use crate::model::{validate_parties, PartyData};
+use crate::scan::associate;
+use dash_stats::fixed_effect_meta;
+
+/// Per-variant meta-analysis output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaScanResult {
+    /// Pooled effect estimates.
+    pub beta: Vec<f64>,
+    /// Pooled standard errors.
+    pub se: Vec<f64>,
+    /// Wald z-statistics.
+    pub z: Vec<f64>,
+    /// Two-sided normal p-values.
+    pub p: Vec<f64>,
+    /// Cochran's Q heterogeneity statistic per variant.
+    pub q: Vec<f64>,
+    /// Heterogeneity p-values (χ², k−1 df).
+    pub q_p: Vec<f64>,
+    /// Higgins' I² per variant.
+    pub i_squared: Vec<f64>,
+    /// Number of parties contributing (before per-variant degeneracy).
+    pub n_parties: usize,
+    /// Variants where no party produced a usable estimate.
+    pub n_degenerate: usize,
+}
+
+impl MetaScanResult {
+    /// Number of variants.
+    pub fn len(&self) -> usize {
+        self.beta.len()
+    }
+
+    /// True when no variants were analyzed.
+    pub fn is_empty(&self) -> bool {
+        self.beta.is_empty()
+    }
+
+    /// Indices significant at `alpha`.
+    pub fn hits(&self, alpha: f64) -> Vec<usize> {
+        self.p
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p < alpha)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Runs each party's scan locally and combines estimates per variant by
+/// fixed-effect meta-analysis.
+///
+/// Parties whose estimate for a variant is degenerate (NaN) are dropped
+/// from that variant's combination; a variant with no usable estimates
+/// gets a NaN row. Every party needs enough rows for its own scan
+/// (`N_k > K + 1`) — a real constraint of the meta-analysis approach that
+/// the joint scan does not have, surfaced as an error here.
+pub fn meta_analyze_scan(parties: &[PartyData]) -> Result<MetaScanResult, CoreError> {
+    let (_n, m, _k) = validate_parties(parties)?;
+    let per_party: Vec<_> = parties
+        .iter()
+        .map(associate)
+        .collect::<Result<Vec<_>, _>>()?;
+    let p_count = parties.len();
+    let mut beta = Vec::with_capacity(m);
+    let mut se = Vec::with_capacity(m);
+    let mut z = Vec::with_capacity(m);
+    let mut p = Vec::with_capacity(m);
+    let mut q = Vec::with_capacity(m);
+    let mut q_p = Vec::with_capacity(m);
+    let mut i2 = Vec::with_capacity(m);
+    let mut n_degenerate = 0;
+    for j in 0..m {
+        let estimates: Vec<(f64, f64)> = per_party
+            .iter()
+            .filter(|r| r.beta[j].is_finite() && r.se[j].is_finite() && r.se[j] > 0.0)
+            .map(|r| (r.beta[j], r.se[j]))
+            .collect();
+        if estimates.is_empty() {
+            n_degenerate += 1;
+            beta.push(f64::NAN);
+            se.push(f64::NAN);
+            z.push(f64::NAN);
+            p.push(f64::NAN);
+            q.push(f64::NAN);
+            q_p.push(f64::NAN);
+            i2.push(f64::NAN);
+            continue;
+        }
+        let r = fixed_effect_meta(&estimates)?;
+        beta.push(r.beta);
+        se.push(r.se);
+        z.push(r.z);
+        p.push(r.p);
+        q.push(r.q);
+        q_p.push(r.q_p);
+        i2.push(r.i_squared);
+    }
+    Ok(MetaScanResult {
+        beta,
+        se,
+        z,
+        p,
+        q,
+        q_p,
+        i_squared: i2,
+        n_parties: p_count,
+        n_degenerate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::pool_parties;
+    use dash_linalg::Matrix;
+
+    fn gen_parties(sizes: &[usize], m: usize, k: usize, seed: u64) -> Vec<PartyData> {
+        let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+        let mut next = move || {
+            let mut acc = 0.0;
+            for _ in 0..4 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                acc += (s >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            (acc - 2.0) * (3.0f64).sqrt()
+        };
+        sizes
+            .iter()
+            .map(|&n| {
+                let y: Vec<f64> = (0..n).map(|_| next()).collect();
+                let x = Matrix::from_fn(n, m, |_, _| next());
+                let c = Matrix::from_fn(n, k, |_, _| next());
+                PartyData::new(y, x, c).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let parties = gen_parties(&[25, 30, 20], 5, 2, 1);
+        let r = meta_analyze_scan(&parties).unwrap();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.n_parties, 3);
+        assert_eq!(r.n_degenerate, 0);
+        assert!(r.beta.iter().all(|b| b.is_finite()));
+    }
+
+    #[test]
+    fn homogeneous_signal_found_by_both_meta_and_joint() {
+        // Strong shared effect: both approaches find it; the joint scan
+        // should be at least as significant.
+        let mut parties = gen_parties(&[60, 60], 3, 1, 5);
+        parties = parties
+            .into_iter()
+            .map(|pd| {
+                let x0: Vec<f64> = pd.x().col(0).to_vec();
+                let y: Vec<f64> = pd
+                    .y()
+                    .iter()
+                    .zip(&x0)
+                    .map(|(e, x)| 1.0 * x + e)
+                    .collect();
+                PartyData::new(y, pd.x().clone(), pd.c().clone()).unwrap()
+            })
+            .collect();
+        let meta = meta_analyze_scan(&parties).unwrap();
+        let joint = associate(&pool_parties(&parties).unwrap()).unwrap();
+        assert!(meta.p[0] < 1e-6);
+        assert!(joint.p[0] < 1e-6);
+        // Estimates agree (homogeneous case: IVW ≈ pooled OLS).
+        assert!((meta.beta[0] - joint.beta[0]).abs() < 0.15);
+        assert!(meta.q[0] < 10.0);
+    }
+
+    #[test]
+    fn heterogeneity_detected_by_cochran_q() {
+        // Opposite effects in the two parties.
+        let mut parties = gen_parties(&[80, 80], 2, 1, 9);
+        let signs = [1.5, -1.5];
+        parties = parties
+            .into_iter()
+            .zip(signs)
+            .map(|(pd, sign)| {
+                let x0: Vec<f64> = pd.x().col(0).to_vec();
+                let y: Vec<f64> = pd
+                    .y()
+                    .iter()
+                    .zip(&x0)
+                    .map(|(e, x)| sign * x + e)
+                    .collect();
+                PartyData::new(y, pd.x().clone(), pd.c().clone()).unwrap()
+            })
+            .collect();
+        let meta = meta_analyze_scan(&parties).unwrap();
+        // Effects cancel in the pooled estimate but Q blows up.
+        assert!(meta.beta[0].abs() < 0.5);
+        assert!(meta.q[0] > 20.0, "q = {}", meta.q[0]);
+        assert!(meta.q_p[0] < 1e-4);
+        assert!(meta.i_squared[0] > 0.8);
+    }
+
+    #[test]
+    fn party_too_small_for_local_scan_is_an_error() {
+        // The meta approach fails where the joint scan succeeds: a party
+        // with fewer rows than covariates.
+        let mut parties = gen_parties(&[30], 2, 3, 11);
+        parties.push(gen_parties(&[4], 2, 3, 12).pop().unwrap());
+        assert!(matches!(
+            meta_analyze_scan(&parties),
+            Err(CoreError::NotEnoughSamples { .. })
+        ));
+        // The joint scan handles the same split fine.
+        let joint = crate::secure::secure_scan(
+            &parties,
+            &crate::secure::SecureScanConfig::default(),
+        );
+        assert!(joint.is_ok());
+    }
+
+    #[test]
+    fn hits_filter() {
+        let parties = gen_parties(&[50, 50], 4, 1, 21);
+        let r = meta_analyze_scan(&parties).unwrap();
+        for &i in &r.hits(0.05) {
+            assert!(r.p[i] < 0.05);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Phase 2 of the secure scan: aggregating the six statistics.
+//!
+//! All four modes produce the same [`ScanStats`] (up to fixed-point
+//! rounding far below f64 noise); they differ in what crosses the wire
+//! and what opens. See the table in [`crate::secure`].
+
+use crate::error::CoreError;
+use crate::secure::wire::all_gather_f64;
+use crate::secure::{AggregationMode, SecureScanConfig};
+use crate::suffstats::{ScanStats, SuffStats};
+use dash_mpc::dealer::PartyTriples;
+use dash_mpc::field::F61;
+use dash_mpc::protocol::beaver::{beaver_inner_batch, open_field};
+use dash_mpc::protocol::masked::{masked_sum_f64, masked_sum_star_f64};
+use dash_mpc::protocol::sum::secure_sum_f64;
+use dash_mpc::{MpcError, PartyCtx};
+
+/// Aggregates this party's summands with everyone else's under the
+/// configured mode and returns the reduced statistics every party needs
+/// for Lemma 2.1.
+pub(crate) fn aggregate(
+    ctx: &mut PartyCtx,
+    summands: &SuffStats,
+    cfg: &SecureScanConfig,
+    triples: Option<&mut PartyTriples>,
+) -> Result<ScanStats, CoreError> {
+    match cfg.aggregation {
+        AggregationMode::Public => public(ctx, summands),
+        AggregationMode::SecureShares => {
+            let codec = cfg.ring_codec()?;
+            let flat = summands.to_flat();
+            let total = secure_sum_f64(ctx, &codec, &flat, "aggregate scan statistics")?;
+            let total =
+                SuffStats::from_flat(&total, summands.n_variants(), summands.n_covariates())?;
+            Ok(total.reduce())
+        }
+        AggregationMode::MaskedPrg => {
+            let codec = cfg.ring_codec()?;
+            let flat = summands.to_flat();
+            let total = masked_sum_f64(ctx, &codec, &flat, "aggregate scan statistics")?;
+            let total =
+                SuffStats::from_flat(&total, summands.n_variants(), summands.n_covariates())?;
+            Ok(total.reduce())
+        }
+        AggregationMode::MaskedStar => {
+            let codec = cfg.ring_codec()?;
+            let flat = summands.to_flat();
+            let total = masked_sum_star_f64(ctx, &codec, &flat, "aggregate scan statistics")?;
+            let total =
+                SuffStats::from_flat(&total, summands.n_variants(), summands.n_covariates())?;
+            Ok(total.reduce())
+        }
+        AggregationMode::BeaverDots => beaver_dots(ctx, summands, cfg, triples),
+    }
+}
+
+/// "Sharing them to sum": everyone broadcasts raw summands. Fast and
+/// simple, but every party's local statistics leak.
+fn public(ctx: &mut PartyCtx, summands: &SuffStats) -> Result<ScanStats, CoreError> {
+    let m = summands.n_variants();
+    let k = summands.n_covariates();
+    ctx.audit().record_party(
+        ctx.id(),
+        format!("party {} raw statistic summands", ctx.id()),
+        summands.to_flat().len(),
+    );
+    let tag = ctx.fresh_tag();
+    let gathered = all_gather_f64(ctx, tag, &summands.to_flat())?;
+    let mut total = SuffStats::zeros(m, k);
+    for flat in gathered {
+        let s = SuffStats::from_flat(&flat, m, k)?;
+        total.add_assign(&s)?;
+    }
+    Ok(total.reduce())
+}
+
+/// The strictest mode: `Qᵀy` and `QᵀX` stay secret-shared (each party's
+/// summand *is* an additive share of the aggregate, masked by the
+/// dealer's uniform triples during the openings); only the per-variant
+/// dot products open.
+///
+/// Numerical trick: the left-hand sums (`y·y`, `X·X`) open first, and the
+/// shared vectors are normalized by `1/√(y·y)` and `1/√(X·X_m)` before
+/// encoding, so every shared quantity has norm ≤ 1 per party. That keeps
+/// all Beaver products within the Mersenne field's fixed-point headroom
+/// for any data scale, and the opened products are rescaled exactly
+/// afterwards.
+fn beaver_dots(
+    ctx: &mut PartyCtx,
+    summands: &SuffStats,
+    cfg: &SecureScanConfig,
+    triples: Option<&mut PartyTriples>,
+) -> Result<ScanStats, CoreError> {
+    let m = summands.n_variants();
+    let k = summands.n_covariates();
+    let ring_codec = cfg.ring_codec()?;
+
+    // Step 1: open the orthogonally decomposable left-hand quantities.
+    let mut left = Vec::with_capacity(1 + 2 * m);
+    left.push(summands.yy);
+    left.extend_from_slice(&summands.xy);
+    left.extend_from_slice(&summands.xx);
+    let left_total = masked_sum_f64(ctx, &ring_codec, &left, "aggregate y·y, X·y, X·X")?;
+    let yy = left_total[0];
+    let xy = left_total[1..1 + m].to_vec();
+    let xx = left_total[1 + m..1 + 2 * m].to_vec();
+
+    if k == 0 {
+        return Ok(ScanStats {
+            yy,
+            xy,
+            xx,
+            qtyqty: 0.0,
+            qtxqty: vec![0.0; m],
+            qtxqtx: vec![0.0; m],
+        });
+    }
+    let triples = triples.ok_or(MpcError::DealerExhausted {
+        what: "inner-product triples (none supplied)",
+    })?;
+    let field_codec = cfg.field_codec()?;
+
+    // Step 2: normalize and encode this party's K-vector summands. A
+    // party's summand is its additive share of the aggregate vector.
+    let y_scale = safe_inv_sqrt(yy);
+    let qty_scaled: Vec<f64> = summands.qty.iter().map(|v| v * y_scale).collect();
+    let qty_share = field_codec.encode_field_vec(&qty_scaled)?;
+    let mut qtx_shares: Vec<Vec<F61>> = Vec::with_capacity(m);
+    for j in 0..m {
+        let s = safe_inv_sqrt(xx[j]);
+        let col: Vec<f64> = summands.qtx.col(j).iter().map(|v| v * s).collect();
+        qtx_shares.push(field_codec.encode_field_vec(&col)?);
+    }
+
+    // Step 3: all 2M+1 inner products in one batched round.
+    let mut pairs: Vec<(&[F61], &[F61])> = Vec::with_capacity(2 * m + 1);
+    pairs.push((&qty_share, &qty_share));
+    for share in &qtx_shares {
+        pairs.push((share, &qty_share));
+        pairs.push((share, share));
+    }
+    let mut batch: Vec<_> = Vec::with_capacity(pairs.len());
+    for _ in 0..pairs.len() {
+        batch.push(triples.next_inner()?);
+    }
+    let product_shares = beaver_inner_batch(ctx, &pairs, &mut batch)?;
+
+    // Step 4: open only the products and rescale.
+    let opened = open_field(
+        ctx,
+        &product_shares,
+        Some("per-variant projected dot products (Qᵀy·Qᵀy, QᵀX·Qᵀy, QᵀX·QᵀX)"),
+    )?;
+    let qtyqty = field_codec.decode_field_product(opened[0]) * yy;
+    let mut qtxqty = Vec::with_capacity(m);
+    let mut qtxqtx = Vec::with_capacity(m);
+    for j in 0..m {
+        let d1 = field_codec.decode_field_product(opened[1 + 2 * j]);
+        let d2 = field_codec.decode_field_product(opened[2 + 2 * j]);
+        qtxqty.push(d1 * xx[j].max(0.0).sqrt() * yy.max(0.0).sqrt());
+        qtxqtx.push(d2 * xx[j]);
+    }
+    Ok(ScanStats {
+        yy,
+        xy,
+        xx,
+        qtyqty,
+        qtxqty,
+        qtxqtx,
+    })
+}
+
+/// `1/√v` with a zero guard: an all-zero variant (or response) maps to
+/// scale 0, making its projections 0 and the variant degenerate — exactly
+/// the right downstream behaviour.
+fn safe_inv_sqrt(v: f64) -> f64 {
+    if v > f64::MIN_POSITIVE {
+        v.sqrt().recip()
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suffstats::orthonormal_basis;
+    use dash_linalg::Matrix;
+    use dash_mpc::dealer::TrustedDealer;
+    use dash_mpc::net::Network;
+    use parking_lot::Mutex;
+
+    /// Builds P party datasets plus the pooled reduced statistics they
+    /// must reproduce.
+    fn setup(
+        p: usize,
+        n_each: usize,
+        m: usize,
+        k: usize,
+    ) -> (Vec<(Vec<f64>, Matrix, Matrix)>, ScanStats) {
+        let mut s = 0xABCDu64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut parties = Vec::new();
+        for _ in 0..p {
+            let y: Vec<f64> = (0..n_each).map(|_| next()).collect();
+            let x = Matrix::from_fn(n_each, m, |_, _| next());
+            let c = Matrix::from_fn(n_each, k, |_, _| next());
+            parties.push((y, x, c));
+        }
+        // Pooled reference.
+        let ys: Vec<f64> = parties.iter().flat_map(|(y, _, _)| y.clone()).collect();
+        let xs: Vec<&Matrix> = parties.iter().map(|(_, x, _)| x).collect();
+        let cs: Vec<&Matrix> = parties.iter().map(|(_, _, c)| c).collect();
+        let x = Matrix::vstack(&xs).unwrap();
+        let c = Matrix::vstack(&cs).unwrap();
+        let q = orthonormal_basis(&c).unwrap();
+        let pooled = SuffStats::local(&ys, &x, &q).unwrap().reduce();
+        (parties, pooled)
+    }
+
+    /// Per-party Q rows from the pooled C (shared R factor).
+    fn party_qs(parties: &[(Vec<f64>, Matrix, Matrix)]) -> Vec<Matrix> {
+        let cs: Vec<&Matrix> = parties.iter().map(|(_, _, c)| c).collect();
+        let c = Matrix::vstack(&cs).unwrap();
+        if c.cols() == 0 {
+            return parties
+                .iter()
+                .map(|(y, _, _)| Matrix::zeros(y.len(), 0))
+                .collect();
+        }
+        let r = dash_linalg::qr_r_factor(&c).unwrap();
+        let rinv = dash_linalg::invert_upper(&r).unwrap();
+        parties
+            .iter()
+            .map(|(_, _, ck)| dash_linalg::ops::gemm(ck, &rinv).unwrap())
+            .collect()
+    }
+
+    fn run_mode(mode: AggregationMode, p: usize, m: usize, k: usize) -> (ScanStats, ScanStats, usize) {
+        let (parties, pooled) = setup(p, 12, m, k);
+        let qs = party_qs(&parties);
+        let cfg = SecureScanConfig {
+            aggregation: mode,
+            ..SecureScanConfig::default()
+        };
+        let slots: Vec<Mutex<Option<PartyTriples>>> = if mode == AggregationMode::BeaverDots && k > 0
+        {
+            TrustedDealer::new(p, 5)
+                .unwrap()
+                .deal_inners(k, 2 * m + 1)
+                .into_iter()
+                .map(|b| Mutex::new(Some(b)))
+                .collect()
+        } else {
+            (0..p).map(|_| Mutex::new(None)).collect()
+        };
+        let (results, _stats, audit) = Network::run_parties_detailed(p, 21, |ctx| {
+            let (y, x, _) = &parties[ctx.id()];
+            let summands = SuffStats::local(y, x, &qs[ctx.id()]).unwrap();
+            let mut tr = slots[ctx.id()].lock().take();
+            aggregate(ctx, &summands, &cfg, tr.as_mut()).unwrap()
+        });
+        // All parties agree exactly.
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        (
+            results.into_iter().next().unwrap(),
+            pooled,
+            audit.per_party_disclosures(),
+        )
+    }
+
+    fn assert_stats_close(got: &ScanStats, want: &ScanStats, tol: f64) {
+        let rel = |a: f64, b: f64| (a - b).abs() / (1.0 + a.abs().max(b.abs()));
+        assert!(rel(got.yy, want.yy) < tol, "yy: {} vs {}", got.yy, want.yy);
+        assert!(rel(got.qtyqty, want.qtyqty) < tol, "qtyqty");
+        for j in 0..want.xy.len() {
+            assert!(rel(got.xy[j], want.xy[j]) < tol, "xy[{j}]");
+            assert!(rel(got.xx[j], want.xx[j]) < tol, "xx[{j}]");
+            assert!(rel(got.qtxqty[j], want.qtxqty[j]) < tol, "qtxqty[{j}]");
+            assert!(rel(got.qtxqtx[j], want.qtxqtx[j]) < tol, "qtxqtx[{j}]");
+        }
+    }
+
+    #[test]
+    fn public_mode_matches_pooled() {
+        let (got, want, leaks) = run_mode(AggregationMode::Public, 3, 4, 2);
+        assert_stats_close(&got, &want, 1e-10);
+        assert_eq!(leaks, 3); // every party's summands leaked
+    }
+
+    #[test]
+    fn secure_shares_mode_matches_pooled() {
+        let (got, want, leaks) = run_mode(AggregationMode::SecureShares, 3, 4, 2);
+        assert_stats_close(&got, &want, 1e-6);
+        assert_eq!(leaks, 0);
+    }
+
+    #[test]
+    fn masked_mode_matches_pooled() {
+        let (got, want, leaks) = run_mode(AggregationMode::MaskedPrg, 4, 5, 3);
+        assert_stats_close(&got, &want, 1e-6);
+        assert_eq!(leaks, 0);
+    }
+
+    #[test]
+    fn masked_star_mode_matches_pooled() {
+        let (got, want, leaks) = run_mode(AggregationMode::MaskedStar, 4, 5, 3);
+        assert_stats_close(&got, &want, 1e-6);
+        assert_eq!(leaks, 0);
+    }
+
+    #[test]
+    fn beaver_mode_matches_pooled() {
+        let (got, want, leaks) = run_mode(AggregationMode::BeaverDots, 3, 4, 2);
+        assert_stats_close(&got, &want, 1e-5);
+        assert_eq!(leaks, 0);
+    }
+
+    #[test]
+    fn beaver_mode_k_zero() {
+        let (got, want, _) = run_mode(AggregationMode::BeaverDots, 2, 3, 0);
+        assert_stats_close(&got, &want, 1e-6);
+        assert_eq!(got.qtyqty, 0.0);
+    }
+
+    #[test]
+    fn beaver_without_triples_errors() {
+        let (parties, _) = setup(2, 10, 2, 1);
+        let qs = party_qs(&parties);
+        let cfg = SecureScanConfig {
+            aggregation: AggregationMode::BeaverDots,
+            ..SecureScanConfig::default()
+        };
+        let results = Network::run_parties(2, 1, |ctx| {
+            let (y, x, _) = &parties[ctx.id()];
+            let summands = SuffStats::local(y, x, &qs[ctx.id()]).unwrap();
+            aggregate(ctx, &summands, &cfg, None).err()
+        });
+        for r in results {
+            assert!(matches!(r, Some(CoreError::Mpc(_))));
+        }
+    }
+
+    #[test]
+    fn safe_inv_sqrt_guards() {
+        assert_eq!(safe_inv_sqrt(0.0), 0.0);
+        assert_eq!(safe_inv_sqrt(-1.0), 0.0);
+        assert!((safe_inv_sqrt(4.0) - 0.5).abs() < 1e-15);
+    }
+}

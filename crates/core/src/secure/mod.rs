@@ -1,0 +1,309 @@
+//! The secure multi-party association scan (§3 of the paper).
+//!
+//! The protocol has two phases, each with a ladder of security modes:
+//!
+//! **Phase 1 — the QR step** ([`RFactorMode`]): recover the combined
+//! K×K factor `R` of the pooled permanent covariates so every party can
+//! privately form its rows `Q_k = C_k R⁻¹`.
+//!
+//! | mode | what leaks beyond the combined R |
+//! |------|----------------------------------|
+//! | [`RFactorMode::PublicStack`] | every party's own `R_k` (the paper's default: "perfectly happy to disclose") |
+//! | [`RFactorMode::PairwiseTree`] | each subtree's combined `R` to its tree parent only (footnote 3) |
+//! | [`RFactorMode::GramAggregate`] | nothing — only the aggregate `CᵀC` (= `RᵀR`) opens, via a secure sum |
+//!
+//! **Phase 2 — aggregation** ([`AggregationMode`]): combine the per-party
+//! summands of the six statistics of Lemma 2.1.
+//!
+//! | mode | what leaks beyond the final statistics |
+//! |------|----------------------------------------|
+//! | [`AggregationMode::Public`] | every party's raw summands ("sharing them to sum") |
+//! | [`AggregationMode::SecureShares`] | only the aggregates `X·y, X·X, y·y, Qᵀy, QᵀX` (share-based SMC sum) |
+//! | [`AggregationMode::MaskedPrg`] | same aggregates, half the traffic (PRG-correlated masks) |
+//! | [`AggregationMode::MaskedStar`] | same aggregates, O(P·M) total traffic via an aggregator |
+//! | [`AggregationMode::BeaverDots`] | only `y·y, X·y, X·X` and the three projected *dot products* per variant — the K-vector aggregates never open (the paper's "even greater security" parenthetical) |
+//!
+//! Every opening is recorded in the disclosure log; the E6 experiment
+//! prints the resulting leakage/cost ladder.
+
+pub mod aggregate;
+pub mod protocol;
+pub mod rfactor;
+pub(crate) mod wire;
+
+use crate::error::CoreError;
+use crate::model::{PartyData, ScanResult};
+use dash_mpc::audit::Disclosure;
+use dash_mpc::dealer::{PartyTriples, TrustedDealer};
+use dash_mpc::net::{CostModel, Network};
+use dash_mpc::FixedPointCodec;
+use parking_lot::Mutex;
+
+/// How the combined R factor of the pooled covariates is obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RFactorMode {
+    /// Every party publishes its `R_k`; everyone stacks and re-factors.
+    PublicStack,
+    /// Binary-tree pairwise combination (footnote 3): `R`s flow up a tree
+    /// and only the root's result is broadcast.
+    PairwiseTree,
+    /// Secure-sum the K×K Gram summands `C_kᵀC_k`; only `CᵀC` opens and
+    /// `R = chol(CᵀC)`.
+    GramAggregate,
+}
+
+/// How the per-party summands of the six statistics are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregationMode {
+    /// Broadcast raw summands and sum locally.
+    Public,
+    /// Share-based secure sum (two rounds).
+    SecureShares,
+    /// PRG-masked secure sum (one round, half the bytes).
+    MaskedPrg,
+    /// PRG-masked secure sum over a star topology: masked values flow to
+    /// party 0, which broadcasts the total. Total traffic O(P·M) instead
+    /// of O(P²·M); same privacy (party 0 sees only masked values).
+    MaskedStar,
+    /// Keep `Qᵀy`/`QᵀX` secret-shared; open only per-variant dot products
+    /// via Beaver inner products.
+    BeaverDots,
+}
+
+/// Configuration of a secure scan run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecureScanConfig {
+    /// QR-phase mode.
+    pub rfactor: RFactorMode,
+    /// Aggregation-phase mode.
+    pub aggregation: AggregationMode,
+    /// Fractional bits of the Z₂⁶⁴ fixed-point codec used by the secure
+    /// sums. 28 gives ±2³⁴ range at 4·10⁻⁹ resolution.
+    pub ring_frac_bits: u32,
+    /// Fractional bits of the F_{2⁶¹−1} codec used by the Beaver mode
+    /// (inputs are pre-normalized to ‖·‖ ≤ 1, so 26 bits leave ample
+    /// product headroom for up to 16 parties).
+    pub field_frac_bits: u32,
+    /// Master seed for all protocol randomness (shares, masks, dealer).
+    pub seed: u64,
+}
+
+impl Default for SecureScanConfig {
+    fn default() -> Self {
+        SecureScanConfig {
+            rfactor: RFactorMode::PublicStack,
+            aggregation: AggregationMode::MaskedPrg,
+            ring_frac_bits: 28,
+            field_frac_bits: 26,
+            seed: 0xDA5_4,
+        }
+    }
+}
+
+impl SecureScanConfig {
+    /// The strictest ladder rung: aggregate-only R, Beaver dot products.
+    pub fn max_security(seed: u64) -> Self {
+        SecureScanConfig {
+            rfactor: RFactorMode::GramAggregate,
+            aggregation: AggregationMode::BeaverDots,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's default: public K×K R factors, secure sums for the
+    /// statistics.
+    pub fn paper_default(seed: u64) -> Self {
+        SecureScanConfig {
+            rfactor: RFactorMode::PublicStack,
+            aggregation: AggregationMode::MaskedPrg,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn ring_codec(&self) -> Result<FixedPointCodec, CoreError> {
+        Ok(FixedPointCodec::new(self.ring_frac_bits)?)
+    }
+
+    pub(crate) fn field_codec(&self) -> Result<FixedPointCodec, CoreError> {
+        Ok(FixedPointCodec::new(self.field_frac_bits)?)
+    }
+}
+
+/// Network cost summary of one protocol run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkReport {
+    /// Bytes over all directed links.
+    pub total_bytes: u64,
+    /// Largest per-party outbound byte count.
+    pub max_party_bytes: u64,
+    /// Total messages.
+    pub total_messages: u64,
+    /// Simulated wall clock on a 10 Gbit/s / 0.1 ms LAN.
+    pub lan_seconds: f64,
+    /// Simulated wall clock on a 100 Mbit/s / 30 ms WAN.
+    pub wan_seconds: f64,
+}
+
+/// Everything a secure scan run produces.
+#[derive(Debug, Clone)]
+pub struct SecureScanOutput {
+    /// The scan results (identical at every party; this is party 0's).
+    pub result: ScanResult,
+    /// Communication accounting.
+    pub network: NetworkReport,
+    /// Every value any protocol opened.
+    pub disclosures: Vec<Disclosure>,
+    /// Number of participating parties.
+    pub n_parties: usize,
+}
+
+/// A party-local provider of the scan's additive statistics.
+///
+/// The protocol only needs three things from a party: its covariate rows
+/// `C_k` (for the QR phase), its sample count, and the ability to produce
+/// the [`crate::suffstats::SuffStats`] summands given its private
+/// `Q_k` rows. [`PartyData`] provides the dense implementation;
+/// alternative storage — sparse genotypes, memory-mapped files, on-the-fly
+/// dosage decoding — implements this trait and plugs into
+/// [`secure_scan_with`] unchanged.
+pub trait SummandSource: Sync {
+    /// Number of samples this party holds.
+    fn n_samples(&self) -> usize;
+    /// Number of variants (must agree across parties).
+    fn n_variants(&self) -> usize;
+    /// The permanent covariate rows, N_k×K.
+    fn covariates(&self) -> &dash_linalg::Matrix;
+    /// The additive statistics of Lemma 2.1 for this party's rows, given
+    /// its slice `Q_k` of the shared orthonormal basis.
+    fn summands(
+        &self,
+        q: &dash_linalg::Matrix,
+    ) -> Result<crate::suffstats::SuffStats, CoreError>;
+}
+
+impl SummandSource for PartyData {
+    fn n_samples(&self) -> usize {
+        PartyData::n_samples(self)
+    }
+    fn n_variants(&self) -> usize {
+        PartyData::n_variants(self)
+    }
+    fn covariates(&self) -> &dash_linalg::Matrix {
+        self.c()
+    }
+    fn summands(
+        &self,
+        q: &dash_linalg::Matrix,
+    ) -> Result<crate::suffstats::SuffStats, CoreError> {
+        crate::suffstats::SuffStats::local(self.y(), self.x(), q)
+    }
+}
+
+/// Validates a set of [`SummandSource`]s and returns `(N, M, K)`.
+fn validate_sources<S: SummandSource>(parties: &[S]) -> Result<(usize, usize, usize), CoreError> {
+    let first = parties.first().ok_or(CoreError::NoParties)?;
+    let m = first.n_variants();
+    let k = first.covariates().cols();
+    let mut n = 0;
+    for (i, p) in parties.iter().enumerate() {
+        if p.n_variants() != m {
+            return Err(CoreError::PartiesInconsistent {
+                what: "variant count M",
+                party: i,
+                expected: m,
+                got: p.n_variants(),
+            });
+        }
+        if p.covariates().cols() != k {
+            return Err(CoreError::PartiesInconsistent {
+                what: "covariate count K",
+                party: i,
+                expected: k,
+                got: p.covariates().cols(),
+            });
+        }
+        if p.covariates().rows() != p.n_samples() {
+            return Err(CoreError::ShapeMismatch {
+                what: "covariate rows vs samples",
+                expected: p.n_samples(),
+                got: p.covariates().rows(),
+            });
+        }
+        n += p.n_samples();
+    }
+    if n <= k + 1 {
+        return Err(CoreError::NotEnoughSamples { n, k });
+    }
+    Ok((n, m, k))
+}
+
+/// Runs the full secure multi-party association scan over an in-process
+/// party network.
+///
+/// Each element of `parties` is one party's private rows; the function
+/// spawns one thread per party, runs the configured protocol, and checks
+/// that all parties derived identical results (they must — every final
+/// statistic is computed from identically opened values).
+pub fn secure_scan(
+    parties: &[PartyData],
+    cfg: &SecureScanConfig,
+) -> Result<SecureScanOutput, CoreError> {
+    secure_scan_with(parties, cfg)
+}
+
+/// Generic variant of [`secure_scan`] over any [`SummandSource`] storage.
+pub fn secure_scan_with<S: SummandSource>(
+    parties: &[S],
+    cfg: &SecureScanConfig,
+) -> Result<SecureScanOutput, CoreError> {
+    let (_n, m, k) = validate_sources(parties)?;
+    let p = parties.len();
+    // Validate codecs eagerly so configuration errors surface before any
+    // thread spawns.
+    cfg.ring_codec()?;
+    cfg.field_codec()?;
+
+    // Offline phase: deal Beaver material when the strict mode needs it.
+    let triple_slots: Vec<Mutex<Option<PartyTriples>>> =
+        if cfg.aggregation == AggregationMode::BeaverDots && k > 0 {
+            let mut dealer = TrustedDealer::new(p, cfg.seed)?;
+            dealer
+                .deal_inners(k, 2 * m + 1)
+                .into_iter()
+                .map(|b| Mutex::new(Some(b)))
+                .collect()
+        } else {
+            (0..p).map(|_| Mutex::new(None)).collect()
+        };
+
+    let (results, stats, audit) = Network::run_parties_detailed(p, cfg.seed, |ctx| {
+        let mut triples = triple_slots[ctx.id()].lock().take();
+        protocol::party_protocol_with(ctx, &parties[ctx.id()], cfg, triples.as_mut())
+    });
+
+    let mut iter = results.into_iter();
+    let first = iter.next().expect("p >= 1")?;
+    for r in iter {
+        let r = r?;
+        debug_assert_eq!(
+            r, first,
+            "parties derived different results from identical opened values"
+        );
+    }
+
+    let network = NetworkReport {
+        total_bytes: stats.total_bytes(),
+        max_party_bytes: stats.max_party_bytes(),
+        total_messages: stats.total_messages(),
+        lan_seconds: CostModel::lan().estimate_seconds(&stats),
+        wan_seconds: CostModel::wan().estimate_seconds(&stats),
+    };
+    Ok(SecureScanOutput {
+        result: first,
+        network,
+        disclosures: audit.entries(),
+        n_parties: p,
+    })
+}

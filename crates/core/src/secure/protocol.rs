@@ -1,0 +1,213 @@
+//! The full per-party protocol: QR phase → private Q rows → summands →
+//! aggregation → Lemma 2.1.
+
+use crate::error::CoreError;
+use crate::model::ScanResult;
+use crate::secure::{aggregate, rfactor, SecureScanConfig, SummandSource};
+
+use dash_linalg::{invert_upper, ops::gemm, Matrix};
+use dash_mpc::dealer::PartyTriples;
+use dash_mpc::protocol::masked::masked_sum_ring;
+use dash_mpc::{PartyCtx, R64};
+
+/// Executes the secure scan from one party's perspective (SPMD — every
+/// party runs this same function over the shared network). Generic over
+/// the party's storage via [`SummandSource`].
+pub(crate) fn party_protocol_with<S: SummandSource>(
+    ctx: &mut PartyCtx,
+    data: &S,
+    cfg: &SecureScanConfig,
+    triples: Option<&mut PartyTriples>,
+) -> Result<ScanResult, CoreError> {
+    let c = data.covariates();
+    let k = c.cols();
+
+    // Step 0: pooled sample count (needed by everyone for the degrees of
+    // freedom). Summed securely so individual cohort sizes stay private
+    // under the secure modes.
+    let n_total = {
+        let own = [R64(data.n_samples() as u64)];
+        let total = masked_sum_ring(ctx, &own, "total sample count N")?;
+        total[0].0 as usize
+    };
+    if n_total <= k + 1 {
+        return Err(CoreError::NotEnoughSamples { n: n_total, k });
+    }
+
+    // Phase 1: combined R factor, then private Q rows.
+    let r = rfactor::combine_r(ctx, c, cfg)?;
+    let q_k = if k == 0 {
+        Matrix::zeros(data.n_samples(), 0)
+    } else {
+        let rinv = invert_upper(&r)?;
+        gemm(c, &rinv)?
+    };
+
+    // Phase 2: local summands (storage-specific), secure aggregation,
+    // finalization.
+    let summands = data.summands(&q_k)?;
+    let stats = aggregate::aggregate(ctx, &summands, cfg, triples)?;
+    stats.finalize(n_total, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{pool_parties, PartyData};
+    use crate::scan::{associate, per_variant_ols};
+    use crate::secure::{secure_scan, AggregationMode, RFactorMode};
+    use dash_linalg::Matrix;
+
+    fn gen_parties(sizes: &[usize], m: usize, k: usize, seed: u64) -> Vec<PartyData> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+        let mut next = move || {
+            let mut acc = 0.0;
+            for _ in 0..4 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                acc += (s >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            (acc - 2.0) * (3.0f64).sqrt()
+        };
+        sizes
+            .iter()
+            .map(|&n| {
+                let y: Vec<f64> = (0..n).map(|_| next()).collect();
+                let x = Matrix::from_fn(n, m, |_, _| next());
+                let c = Matrix::from_fn(n, k, |_, _| next());
+                PartyData::new(y, x, c).unwrap()
+            })
+            .collect()
+    }
+
+    /// The central correctness claim: the secure multi-party scan equals
+    /// the pooled plaintext scan (and hence pooled per-variant OLS), for
+    /// every combination of modes.
+    #[test]
+    fn all_mode_combinations_match_pooled_scan() {
+        let parties = gen_parties(&[15, 22, 18], 6, 3, 77);
+        let pooled = pool_parties(&parties).unwrap();
+        let reference = associate(&pooled).unwrap();
+        for rf in [
+            RFactorMode::PublicStack,
+            RFactorMode::PairwiseTree,
+            RFactorMode::GramAggregate,
+        ] {
+            for agg in [
+                AggregationMode::Public,
+                AggregationMode::SecureShares,
+                AggregationMode::MaskedPrg,
+                AggregationMode::MaskedStar,
+                AggregationMode::BeaverDots,
+            ] {
+                let cfg = SecureScanConfig {
+                    rfactor: rf,
+                    aggregation: agg,
+                    seed: 5,
+                    ..SecureScanConfig::default()
+                };
+                let out = secure_scan(&parties, &cfg).unwrap();
+                let d = out.result.max_rel_diff(&reference).unwrap();
+                assert!(d < 2e-5, "{rf:?}/{agg:?}: max rel diff {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn secure_scan_matches_naive_ols_tightly_in_default_mode() {
+        let parties = gen_parties(&[30, 25], 5, 2, 99);
+        let pooled = pool_parties(&parties).unwrap();
+        let oracle = per_variant_ols(&pooled).unwrap();
+        let out = secure_scan(&parties, &SecureScanConfig::paper_default(11)).unwrap();
+        let d = out.result.max_rel_diff(&oracle).unwrap();
+        assert!(d < 1e-6, "max rel diff vs lm(): {d}");
+    }
+
+    #[test]
+    fn leakage_ladder_ordering() {
+        let parties = gen_parties(&[12, 12, 12], 3, 2, 13);
+        let leak_of = |rf, agg| {
+            let cfg = SecureScanConfig {
+                rfactor: rf,
+                aggregation: agg,
+                seed: 9,
+                ..SecureScanConfig::default()
+            };
+            let out = secure_scan(&parties, &cfg).unwrap();
+            out.disclosures
+                .iter()
+                .filter(|d| d.source_party.is_some())
+                .map(|d| d.scalars)
+                .sum::<usize>()
+        };
+        let public = leak_of(RFactorMode::PublicStack, AggregationMode::Public);
+        let default = leak_of(RFactorMode::PublicStack, AggregationMode::MaskedPrg);
+        let tree = leak_of(RFactorMode::PairwiseTree, AggregationMode::MaskedPrg);
+        let strict = leak_of(RFactorMode::GramAggregate, AggregationMode::BeaverDots);
+        assert!(public > default, "public {public} vs default {default}");
+        assert!(default >= tree, "default {default} vs tree {tree}");
+        assert_eq!(strict, 0, "strict mode must leak nothing per-party");
+    }
+
+    #[test]
+    fn single_party_degenerates_to_plain_scan() {
+        let parties = gen_parties(&[40], 4, 2, 31);
+        let reference = associate(&parties[0]).unwrap();
+        let out = secure_scan(&parties, &SecureScanConfig::default()).unwrap();
+        assert!(out.result.max_rel_diff(&reference).unwrap() < 1e-7);
+        assert_eq!(out.n_parties, 1);
+    }
+
+    #[test]
+    fn communication_independent_of_n() {
+        // The headline claim: bytes do not grow with sample count.
+        let small = gen_parties(&[20, 20], 8, 2, 1);
+        let large = gen_parties(&[200, 200], 8, 2, 2);
+        let cfg = SecureScanConfig::paper_default(3);
+        let b_small = secure_scan(&small, &cfg).unwrap().network.total_bytes;
+        let b_large = secure_scan(&large, &cfg).unwrap().network.total_bytes;
+        assert_eq!(b_small, b_large, "traffic must not depend on N");
+    }
+
+    #[test]
+    fn communication_linear_in_m() {
+        let m8 = gen_parties(&[30, 30], 8, 2, 4);
+        let m16 = gen_parties(&[30, 30], 16, 2, 5);
+        let cfg = SecureScanConfig::paper_default(6);
+        let b8 = secure_scan(&m8, &cfg).unwrap().network.total_bytes;
+        let b16 = secure_scan(&m16, &cfg).unwrap().network.total_bytes;
+        let ratio = b16 as f64 / b8 as f64;
+        assert!((1.5..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn collinear_pooled_covariates_detected() {
+        // Two identical covariate columns across all parties.
+        let mut parties = gen_parties(&[10, 10], 2, 2, 8);
+        parties = parties
+            .into_iter()
+            .map(|p| {
+                let col: Vec<f64> = p.c().col(0).to_vec();
+                let c = Matrix::from_cols(&[&col, &col]).unwrap();
+                PartyData::new(p.y().to_vec(), p.x().clone(), c).unwrap()
+            })
+            .collect();
+        let err = secure_scan(&parties, &SecureScanConfig::default()).unwrap_err();
+        assert_eq!(err, CoreError::CollinearCovariates);
+    }
+
+    #[test]
+    fn k_zero_end_to_end() {
+        let parties = gen_parties(&[15, 15], 3, 0, 12);
+        let pooled = pool_parties(&parties).unwrap();
+        let reference = associate(&pooled).unwrap();
+        for agg in [AggregationMode::MaskedPrg, AggregationMode::BeaverDots] {
+            let cfg = SecureScanConfig {
+                aggregation: agg,
+                seed: 2,
+                ..SecureScanConfig::default()
+            };
+            let out = secure_scan(&parties, &cfg).unwrap();
+            assert!(out.result.max_rel_diff(&reference).unwrap() < 1e-6, "{agg:?}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! f64 framing over the MPC network.
+//!
+//! The public (non-secret) exchanges of the protocol — R factors, opened
+//! summands in `Public` mode — ship raw IEEE-754 doubles bit-cast into the
+//! network's u64 words.
+
+use dash_mpc::{MpcError, PartyCtx};
+
+/// Sends a slice of doubles to one peer.
+pub(crate) fn send_f64(
+    ctx: &PartyCtx,
+    to: usize,
+    tag: u32,
+    vals: &[f64],
+) -> Result<(), MpcError> {
+    let words: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+    ctx.endpoint().send_words(to, tag, &words)
+}
+
+/// Receives a slice of doubles from one peer.
+pub(crate) fn recv_f64(ctx: &PartyCtx, from: usize, tag: u32) -> Result<Vec<f64>, MpcError> {
+    Ok(ctx
+        .endpoint()
+        .recv_words(from, tag)?
+        .into_iter()
+        .map(f64::from_bits)
+        .collect())
+}
+
+/// Broadcasts doubles to every other party.
+pub(crate) fn broadcast_f64(ctx: &PartyCtx, tag: u32, vals: &[f64]) -> Result<(), MpcError> {
+    for j in 0..ctx.n_parties() {
+        if j != ctx.id() {
+            send_f64(ctx, j, tag, vals)?;
+        }
+    }
+    Ok(())
+}
+
+/// All-gather: broadcasts own doubles and returns everyone's vectors in
+/// party order (own contribution included at its index).
+pub(crate) fn all_gather_f64(
+    ctx: &PartyCtx,
+    tag: u32,
+    own: &[f64],
+) -> Result<Vec<Vec<f64>>, MpcError> {
+    broadcast_f64(ctx, tag, own)?;
+    let mut out = Vec::with_capacity(ctx.n_parties());
+    for j in 0..ctx.n_parties() {
+        if j == ctx.id() {
+            out.push(own.to_vec());
+        } else {
+            out.push(recv_f64(ctx, j, tag)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_mpc::net::Network;
+
+    #[test]
+    fn f64_roundtrip_preserves_bits() {
+        let specials = [0.0, -0.0, 1.5, -2.25e-300, f64::INFINITY, f64::MIN_POSITIVE];
+        let results = Network::run_parties(2, 1, |ctx| {
+            let tag = ctx.fresh_tag();
+            if ctx.id() == 0 {
+                send_f64(ctx, 1, tag, &specials).unwrap();
+                Vec::new()
+            } else {
+                recv_f64(ctx, 0, tag).unwrap()
+            }
+        });
+        for (a, b) in specials.iter().zip(&results[1]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn all_gather_ordering() {
+        let results = Network::run_parties(3, 1, |ctx| {
+            let tag = ctx.fresh_tag();
+            all_gather_f64(ctx, tag, &[ctx.id() as f64 * 10.0]).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, vec![vec![0.0], vec![10.0], vec![20.0]]);
+        }
+    }
+}

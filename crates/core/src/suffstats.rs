@@ -1,0 +1,612 @@
+//! The six sufficient statistics of Lemma 2.1, their per-party summands,
+//! and the finalization into β̂/σ̂/t/p.
+//!
+//! Everything the scan reports is a function of
+//!
+//! ```text
+//! y·y        Qᵀy·Qᵀy
+//! X·y        QᵀX·Qᵀy          (per variant m)
+//! X·X        QᵀX·QᵀX          (per variant m)
+//! ```
+//!
+//! The left column decomposes orthogonally across parties; the right
+//! column decomposes *after* keeping the K-vectors `Qᵀy`, `QᵀX_m` (which
+//! are sums of per-party summands but whose dot products are not). This
+//! module therefore exposes two layers:
+//!
+//! - [`SuffStats`]: the additive layer (`yy, Xy, XX, Qᵀy, QᵀX`) — what
+//!   parties sum, publicly or securely;
+//! - [`ScanStats`]: the reduced layer (`yy, Xy, XX, Qᵀy·Qᵀy, QᵀX·Qᵀy,
+//!   QᵀX·QᵀX`) — what the strictest secure mode opens, and what
+//!   [`ScanStats::finalize`] turns into results.
+//!
+//! [`CtStats`] is the Cᵀ-compressed variant of §5 (compress with `Cᵀ`
+//! instead of `Qᵀ`): fully additive *including* the K×K Gram block, which
+//! makes it composable across arriving batches — the basis of the online
+//! scan.
+
+use crate::error::CoreError;
+use crate::model::ScanResult;
+use dash_linalg::{dot, gemm_at_b, gemv_t, qr_thin, self_dot, solve_lower, Matrix};
+use dash_stats::StudentT;
+
+/// Relative threshold below which the covariate-adjusted variant variance
+/// `X·X − QᵀX·QᵀX` is treated as zero (variant in the span of C).
+const DEGENERATE_RTOL: f64 = 1e-9;
+
+/// The additive sufficient statistics: per-party summands and their sums.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuffStats {
+    /// `y·y` summand.
+    pub yy: f64,
+    /// `X_m·y` summands, length M.
+    pub xy: Vec<f64>,
+    /// `X_m·X_m` summands, length M.
+    pub xx: Vec<f64>,
+    /// `Qᵀy` summand, length K.
+    pub qty: Vec<f64>,
+    /// `QᵀX` summand, K×M.
+    pub qtx: Matrix,
+}
+
+impl SuffStats {
+    /// Number of variants.
+    pub fn n_variants(&self) -> usize {
+        self.xy.len()
+    }
+
+    /// Number of permanent covariates.
+    pub fn n_covariates(&self) -> usize {
+        self.qty.len()
+    }
+
+    /// Computes one party's summands from its rows and its slice `Q_k` of
+    /// the global orthonormal basis.
+    ///
+    /// `q` must have the same row count as `y`/`x`; K may be zero.
+    pub fn local(y: &[f64], x: &Matrix, q: &Matrix) -> Result<Self, CoreError> {
+        if x.rows() != y.len() {
+            return Err(CoreError::ShapeMismatch {
+                what: "SuffStats::local X rows",
+                expected: y.len(),
+                got: x.rows(),
+            });
+        }
+        if q.rows() != y.len() {
+            return Err(CoreError::ShapeMismatch {
+                what: "SuffStats::local Q rows",
+                expected: y.len(),
+                got: q.rows(),
+            });
+        }
+        let m = x.cols();
+        let yy = self_dot(y);
+        let qty = gemv_t(q, y)?;
+        let mut xy = Vec::with_capacity(m);
+        let mut xx = Vec::with_capacity(m);
+        let qtx = gemm_at_b(q, x)?;
+        for j in 0..m {
+            let col = x.col(j);
+            xy.push(dot(col, y));
+            xx.push(self_dot(col));
+        }
+        Ok(SuffStats { yy, xy, xx, qty, qtx })
+    }
+
+    /// Like [`SuffStats::local`] but restricted to the half-open variant
+    /// range `[lo, hi)` — the unit of work of the parallel scan.
+    pub fn local_block(
+        y: &[f64],
+        x: &Matrix,
+        q: &Matrix,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Self, CoreError> {
+        let block = x.col_block(lo, hi);
+        Self::local(y, &block, q)
+    }
+
+    /// Creates a zero accumulator with the given shape.
+    pub fn zeros(m: usize, k: usize) -> Self {
+        SuffStats {
+            yy: 0.0,
+            xy: vec![0.0; m],
+            xx: vec![0.0; m],
+            qty: vec![0.0; k],
+            qtx: Matrix::zeros(k, m),
+        }
+    }
+
+    /// Adds another party's summands.
+    pub fn add_assign(&mut self, other: &SuffStats) -> Result<(), CoreError> {
+        if other.n_variants() != self.n_variants() {
+            return Err(CoreError::ShapeMismatch {
+                what: "SuffStats::add_assign variants",
+                expected: self.n_variants(),
+                got: other.n_variants(),
+            });
+        }
+        if other.n_covariates() != self.n_covariates() {
+            return Err(CoreError::ShapeMismatch {
+                what: "SuffStats::add_assign covariates",
+                expected: self.n_covariates(),
+                got: other.n_covariates(),
+            });
+        }
+        self.yy += other.yy;
+        for (a, b) in self.xy.iter_mut().zip(&other.xy) {
+            *a += b;
+        }
+        for (a, b) in self.xx.iter_mut().zip(&other.xx) {
+            *a += b;
+        }
+        for (a, b) in self.qty.iter_mut().zip(&other.qty) {
+            *a += b;
+        }
+        for (a, b) in self
+            .qtx
+            .as_mut_slice()
+            .iter_mut()
+            .zip(other.qtx.as_slice())
+        {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Reduces the additive statistics to the opened layer: collapses the
+    /// K-vectors into the three dot products of Lemma 2.1.
+    pub fn reduce(&self) -> ScanStats {
+        let m = self.n_variants();
+        let qtyqty = self_dot(&self.qty);
+        let mut qtxqty = Vec::with_capacity(m);
+        let mut qtxqtx = Vec::with_capacity(m);
+        for j in 0..m {
+            let col = self.qtx.col(j);
+            qtxqty.push(dot(col, &self.qty));
+            qtxqtx.push(self_dot(col));
+        }
+        ScanStats {
+            yy: self.yy,
+            xy: self.xy.clone(),
+            xx: self.xx.clone(),
+            qtyqty,
+            qtxqty,
+            qtxqtx,
+        }
+    }
+
+    /// Serializes into one flat vector (layout: `yy, xy, xx, qty, qtx`
+    /// column-major) — the payload of the secure-sum modes.
+    pub fn to_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(1 + 2 * self.n_variants() + self.qty.len() + self.qtx.as_slice().len());
+        out.push(self.yy);
+        out.extend_from_slice(&self.xy);
+        out.extend_from_slice(&self.xx);
+        out.extend_from_slice(&self.qty);
+        out.extend_from_slice(self.qtx.as_slice());
+        out
+    }
+
+    /// Inverse of [`SuffStats::to_flat`].
+    pub fn from_flat(flat: &[f64], m: usize, k: usize) -> Result<Self, CoreError> {
+        let expected = 1 + 2 * m + k + k * m;
+        if flat.len() != expected {
+            return Err(CoreError::ShapeMismatch {
+                what: "SuffStats::from_flat length",
+                expected,
+                got: flat.len(),
+            });
+        }
+        let yy = flat[0];
+        let xy = flat[1..1 + m].to_vec();
+        let xx = flat[1 + m..1 + 2 * m].to_vec();
+        let qty = flat[1 + 2 * m..1 + 2 * m + k].to_vec();
+        let qtx = Matrix::from_column_major(k, m, flat[1 + 2 * m + k..].to_vec())?;
+        Ok(SuffStats { yy, xy, xx, qty, qtx })
+    }
+}
+
+/// The reduced (openable) statistics of Lemma 2.1 and their finalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanStats {
+    /// `y·y`.
+    pub yy: f64,
+    /// `X_m·y` per variant.
+    pub xy: Vec<f64>,
+    /// `X_m·X_m` per variant.
+    pub xx: Vec<f64>,
+    /// `Qᵀy·Qᵀy`.
+    pub qtyqty: f64,
+    /// `QᵀX_m·Qᵀy` per variant.
+    pub qtxqty: Vec<f64>,
+    /// `QᵀX_m·QᵀX_m` per variant.
+    pub qtxqtx: Vec<f64>,
+}
+
+impl ScanStats {
+    /// Applies Lemma 2.1: turns the reduced statistics into β̂, σ̂, t, p.
+    ///
+    /// `n` and `k` are the pooled sample count and covariate count; the
+    /// residual degrees of freedom are `n − k − 1` (must be ≥ 1).
+    /// Variants numerically inside the span of C produce NaN rows and are
+    /// counted in [`ScanResult::n_degenerate`].
+    pub fn finalize(&self, n: usize, k: usize) -> Result<ScanResult, CoreError> {
+        if n <= k + 1 {
+            return Err(CoreError::NotEnoughSamples { n, k });
+        }
+        let df = n - k - 1;
+        let tdist = StudentT::new(df as f64)?;
+        let m = self.xy.len();
+        let yyq = self.yy - self.qtyqty;
+        let mut beta = Vec::with_capacity(m);
+        let mut se = Vec::with_capacity(m);
+        let mut t = Vec::with_capacity(m);
+        let mut p = Vec::with_capacity(m);
+        let mut n_degenerate = 0;
+        for j in 0..m {
+            let xxq = self.xx[j] - self.qtxqtx[j];
+            // Relative test: a variant is degenerate when the projection
+            // removes (essentially) all of its variance, at any data
+            // scale. `!(a > b)` also catches NaN.
+            if !(xxq > DEGENERATE_RTOL * self.xx[j]) {
+                // Variant is constant after projecting out C (or xxq is
+                // NaN): the model is unidentifiable for this variant.
+                n_degenerate += 1;
+                beta.push(f64::NAN);
+                se.push(f64::NAN);
+                t.push(f64::NAN);
+                p.push(f64::NAN);
+                continue;
+            }
+            let xyq = self.xy[j] - self.qtxqty[j];
+            let b = xyq / xxq;
+            // Round-off can push the residual variance a hair negative
+            // when the fit is essentially perfect; clamp at zero.
+            let sigma2 = ((yyq / xxq - b * b) / df as f64).max(0.0);
+            let s = sigma2.sqrt();
+            let tstat = b / s; // ±inf on a perfect fit, NaN only if b == 0 too
+            beta.push(b);
+            se.push(s);
+            t.push(tstat);
+            p.push(tdist.two_sided_p(tstat));
+        }
+        Ok(ScanResult {
+            beta,
+            se,
+            t,
+            p,
+            df,
+            n_degenerate,
+        })
+    }
+}
+
+/// Cᵀ-compressed statistics (§5): like [`SuffStats`] but projected with
+/// `Cᵀ` instead of `Qᵀ`, plus the K×K Gram block `CᵀC`. Every field is
+/// additive across parties *and across arriving batches*, because no
+/// orthonormalization has happened yet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtStats {
+    /// Pooled sample count contributing so far.
+    pub n: usize,
+    /// `y·y`.
+    pub yy: f64,
+    /// `X_m·y` per variant.
+    pub xy: Vec<f64>,
+    /// `X_m·X_m` per variant.
+    pub xx: Vec<f64>,
+    /// `Cᵀy`, length K.
+    pub cty: Vec<f64>,
+    /// `CᵀX`, K×M.
+    pub ctx: Matrix,
+    /// `CᵀC`, K×K.
+    pub gram: Matrix,
+}
+
+impl CtStats {
+    /// Computes the compressed statistics of one batch of rows.
+    pub fn local(y: &[f64], x: &Matrix, c: &Matrix) -> Result<Self, CoreError> {
+        if x.rows() != y.len() || c.rows() != y.len() {
+            return Err(CoreError::ShapeMismatch {
+                what: "CtStats::local rows",
+                expected: y.len(),
+                got: if x.rows() != y.len() { x.rows() } else { c.rows() },
+            });
+        }
+        let m = x.cols();
+        let yy = self_dot(y);
+        let cty = gemv_t(c, y)?;
+        let ctx = gemm_at_b(c, x)?;
+        let gram = gemm_at_b(c, c)?;
+        let mut xy = Vec::with_capacity(m);
+        let mut xx = Vec::with_capacity(m);
+        for j in 0..m {
+            let col = x.col(j);
+            xy.push(dot(col, y));
+            xx.push(self_dot(col));
+        }
+        Ok(CtStats {
+            n: y.len(),
+            yy,
+            xy,
+            xx,
+            cty,
+            ctx,
+            gram,
+        })
+    }
+
+    /// Zero accumulator.
+    pub fn zeros(m: usize, k: usize) -> Self {
+        CtStats {
+            n: 0,
+            yy: 0.0,
+            xy: vec![0.0; m],
+            xx: vec![0.0; m],
+            cty: vec![0.0; k],
+            ctx: Matrix::zeros(k, m),
+            gram: Matrix::zeros(k, k),
+        }
+    }
+
+    /// Merges another batch.
+    pub fn add_assign(&mut self, other: &CtStats) -> Result<(), CoreError> {
+        if other.xy.len() != self.xy.len() {
+            return Err(CoreError::ShapeMismatch {
+                what: "CtStats::add_assign variants",
+                expected: self.xy.len(),
+                got: other.xy.len(),
+            });
+        }
+        if other.cty.len() != self.cty.len() {
+            return Err(CoreError::ShapeMismatch {
+                what: "CtStats::add_assign covariates",
+                expected: self.cty.len(),
+                got: other.cty.len(),
+            });
+        }
+        self.n += other.n;
+        self.yy += other.yy;
+        for (a, b) in self.xy.iter_mut().zip(&other.xy) {
+            *a += b;
+        }
+        for (a, b) in self.xx.iter_mut().zip(&other.xx) {
+            *a += b;
+        }
+        for (a, b) in self.cty.iter_mut().zip(&other.cty) {
+            *a += b;
+        }
+        for (a, b) in self.ctx.as_mut_slice().iter_mut().zip(other.ctx.as_slice()) {
+            *a += b;
+        }
+        for (a, b) in self
+            .gram
+            .as_mut_slice()
+            .iter_mut()
+            .zip(other.gram.as_slice())
+        {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Converts to the Qᵀ layer: `R = chol(CᵀC)`, `Qᵀy = R⁻ᵀ·Cᵀy`,
+    /// `QᵀX = R⁻ᵀ·CᵀX`.
+    ///
+    /// K = 0 passes through with empty projections.
+    pub fn to_scan_stats(&self) -> Result<ScanStats, CoreError> {
+        let k = self.cty.len();
+        let m = self.xy.len();
+        if k == 0 {
+            return Ok(ScanStats {
+                yy: self.yy,
+                xy: self.xy.clone(),
+                xx: self.xx.clone(),
+                qtyqty: 0.0,
+                qtxqty: vec![0.0; m],
+                qtxqtx: vec![0.0; m],
+            });
+        }
+        let r = dash_linalg::cholesky_upper(&self.gram)?;
+        let rt = r.transpose(); // lower triangular
+        let qty = solve_lower(&rt, &self.cty)?;
+        let qtyqty = self_dot(&qty);
+        let mut qtxqty = Vec::with_capacity(m);
+        let mut qtxqtx = Vec::with_capacity(m);
+        for j in 0..m {
+            let qtx_col = solve_lower(&rt, self.ctx.col(j))?;
+            qtxqty.push(dot(&qtx_col, &qty));
+            qtxqtx.push(self_dot(&qtx_col));
+        }
+        Ok(ScanStats {
+            yy: self.yy,
+            xy: self.xy.clone(),
+            xx: self.xx.clone(),
+            qtyqty,
+            qtxqty,
+            qtxqtx,
+        })
+    }
+
+    /// Finalizes directly (convenience: `to_scan_stats` + Lemma 2.1 with
+    /// this accumulator's own `n`).
+    pub fn finalize(&self, k: usize) -> Result<ScanResult, CoreError> {
+        self.to_scan_stats()?.finalize(self.n, k)
+    }
+}
+
+/// Computes `Q` for pooled single-machine data via thin QR (step 1 of the
+/// paper's algorithm). Returns an N×0 matrix when K = 0.
+pub fn orthonormal_basis(c: &Matrix) -> Result<Matrix, CoreError> {
+    if c.cols() == 0 {
+        return Ok(Matrix::zeros(c.rows(), 0));
+    }
+    Ok(qr_thin(c)?.q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, m: usize, k: usize, seed: u64) -> (Vec<f64>, Matrix, Matrix) {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let y: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = Matrix::from_fn(n, m, |_, _| next());
+        let c = Matrix::from_fn(n, k, |_, _| next());
+        (y, x, c)
+    }
+
+    #[test]
+    fn local_matches_definitions() {
+        let (y, x, c) = toy(20, 3, 2, 1);
+        let q = orthonormal_basis(&c).unwrap();
+        let s = SuffStats::local(&y, &x, &q).unwrap();
+        assert!((s.yy - self_dot(&y)).abs() < 1e-12);
+        for j in 0..3 {
+            assert!((s.xy[j] - dot(x.col(j), &y)).abs() < 1e-12);
+            assert!((s.xx[j] - self_dot(x.col(j))).abs() < 1e-12);
+        }
+        assert_eq!(s.qty.len(), 2);
+        assert_eq!(s.qtx.shape(), (2, 3));
+    }
+
+    #[test]
+    fn summands_add_to_pooled() {
+        // Split rows into two "parties" that share the pooled Q; summands
+        // must sum to the pooled statistics (the §3 decomposition).
+        let (y, x, c) = toy(30, 4, 2, 3);
+        let q = orthonormal_basis(&c).unwrap();
+        let pooled = SuffStats::local(&y, &x, &q).unwrap();
+
+        let cut = 13;
+        let sa = SuffStats::local(&y[..cut], &x.row_block(0, cut), &q.row_block(0, cut)).unwrap();
+        let sb = SuffStats::local(&y[cut..], &x.row_block(cut, 30), &q.row_block(cut, 30)).unwrap();
+        let mut sum = sa.clone();
+        sum.add_assign(&sb).unwrap();
+        assert!((sum.yy - pooled.yy).abs() < 1e-10);
+        for j in 0..4 {
+            assert!((sum.xy[j] - pooled.xy[j]).abs() < 1e-10);
+            assert!((sum.xx[j] - pooled.xx[j]).abs() < 1e-10);
+        }
+        assert!(sum.qtx.max_abs_diff(&pooled.qtx).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn block_local_covers_all_columns() {
+        let (y, x, c) = toy(15, 6, 1, 5);
+        let q = orthonormal_basis(&c).unwrap();
+        let full = SuffStats::local(&y, &x, &q).unwrap();
+        let b1 = SuffStats::local_block(&y, &x, &q, 0, 2).unwrap();
+        let b2 = SuffStats::local_block(&y, &x, &q, 2, 6).unwrap();
+        assert_eq!(b1.n_variants(), 2);
+        assert!((b1.xy[1] - full.xy[1]).abs() < 1e-14);
+        assert!((b2.xy[0] - full.xy[2]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let (y, x, c) = toy(10, 3, 2, 7);
+        let q = orthonormal_basis(&c).unwrap();
+        let s = SuffStats::local(&y, &x, &q).unwrap();
+        let flat = s.to_flat();
+        assert_eq!(flat.len(), 1 + 2 * 3 + 2 + 2 * 3);
+        let back = SuffStats::from_flat(&flat, 3, 2).unwrap();
+        assert_eq!(back, s);
+        assert!(SuffStats::from_flat(&flat[..5], 3, 2).is_err());
+    }
+
+    #[test]
+    fn add_assign_shape_checked() {
+        let mut a = SuffStats::zeros(3, 2);
+        let b = SuffStats::zeros(4, 2);
+        assert!(a.add_assign(&b).is_err());
+        let c = SuffStats::zeros(3, 1);
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn finalize_simple_regression_known_answer() {
+        // y = 2x (exact), no covariates: beta = 2, residual 0.
+        let x_col = vec![1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x_col.iter().map(|v| 2.0 * v).collect();
+        let x = Matrix::from_cols(&[&x_col]).unwrap();
+        let q = Matrix::zeros(4, 0);
+        let s = SuffStats::local(&y, &x, &q).unwrap();
+        let res = s.reduce().finalize(4, 0).unwrap();
+        assert!((res.beta[0] - 2.0).abs() < 1e-12);
+        assert!(res.se[0] < 1e-9);
+        assert_eq!(res.df, 3);
+    }
+
+    #[test]
+    fn finalize_detects_degenerate_variant() {
+        // Variant equal to the covariate: projected variance 0 → NaN.
+        let c_col = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = vec![0.1, 0.4, 0.2, 0.5, 0.3];
+        let x = Matrix::from_cols(&[&c_col, &[1.0, 0.0, 1.0, 0.0, 1.0]]).unwrap();
+        let c = Matrix::from_cols(&[&c_col]).unwrap();
+        let q = orthonormal_basis(&c).unwrap();
+        let s = SuffStats::local(&y, &x, &q).unwrap();
+        let res = s.reduce().finalize(5, 1).unwrap();
+        assert_eq!(res.n_degenerate, 1);
+        assert!(res.beta[0].is_nan());
+        assert!(res.beta[1].is_finite());
+    }
+
+    #[test]
+    fn finalize_requires_df() {
+        let s = SuffStats::zeros(1, 2);
+        assert!(matches!(
+            s.reduce().finalize(3, 2),
+            Err(CoreError::NotEnoughSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn ct_stats_match_q_stats() {
+        let (y, x, c) = toy(25, 4, 3, 11);
+        let q = orthonormal_basis(&c).unwrap();
+        let via_q = SuffStats::local(&y, &x, &q).unwrap().reduce();
+        let via_ct = CtStats::local(&y, &x, &c).unwrap().to_scan_stats().unwrap();
+        assert!((via_q.qtyqty - via_ct.qtyqty).abs() < 1e-8);
+        for j in 0..4 {
+            assert!((via_q.qtxqty[j] - via_ct.qtxqty[j]).abs() < 1e-8, "j={j}");
+            assert!((via_q.qtxqtx[j] - via_ct.qtxqtx[j]).abs() < 1e-8, "j={j}");
+        }
+    }
+
+    #[test]
+    fn ct_stats_compose_across_batches() {
+        let (y, x, c) = toy(40, 3, 2, 13);
+        let full = CtStats::local(&y, &x, &c).unwrap();
+        let mut acc = CtStats::zeros(3, 2);
+        for (lo, hi) in [(0, 11), (11, 25), (25, 40)] {
+            let b = CtStats::local(&y[lo..hi], &x.row_block(lo, hi), &c.row_block(lo, hi)).unwrap();
+            acc.add_assign(&b).unwrap();
+        }
+        assert_eq!(acc.n, 40);
+        assert!((acc.yy - full.yy).abs() < 1e-10);
+        assert!(acc.gram.max_abs_diff(&full.gram).unwrap() < 1e-10);
+        assert!(acc.ctx.max_abs_diff(&full.ctx).unwrap() < 1e-10);
+        // Finalization agrees too.
+        let a = acc.finalize(2).unwrap();
+        let f = full.finalize(2).unwrap();
+        assert!(a.max_rel_diff(&f).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn k_zero_passthrough() {
+        let (y, x, _) = toy(12, 2, 1, 17);
+        let c0 = Matrix::zeros(12, 0);
+        let stats = CtStats::local(&y, &x, &c0).unwrap();
+        let scan = stats.to_scan_stats().unwrap();
+        assert_eq!(scan.qtyqty, 0.0);
+        let res = scan.finalize(12, 0).unwrap();
+        assert_eq!(res.df, 11);
+    }
+}

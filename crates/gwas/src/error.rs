@@ -1,0 +1,91 @@
+//! Error type for the GWAS workload substrate.
+
+use std::fmt;
+
+/// Errors from simulation configuration, IO and parsing.
+#[derive(Debug)]
+pub enum GwasError {
+    /// A simulation parameter was out of range.
+    BadParameter { what: &'static str, value: f64 },
+    /// Shapes disagreed (e.g. covariates vs genotype rows).
+    ShapeMismatch {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// File IO failed.
+    Io(std::io::Error),
+    /// A TSV cell failed to parse.
+    Parse {
+        line: usize,
+        column: usize,
+        token: String,
+    },
+    /// A table was ragged or empty.
+    MalformedTable { line: usize, detail: &'static str },
+}
+
+impl fmt::Display for GwasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GwasError::BadParameter { what, value } => {
+                write!(f, "bad parameter {what} = {value}")
+            }
+            GwasError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected {expected}, got {got}"),
+            GwasError::Io(e) => write!(f, "io: {e}"),
+            GwasError::Parse {
+                line,
+                column,
+                token,
+            } => write!(f, "parse error at line {line}, column {column}: {token:?}"),
+            GwasError::MalformedTable { line, detail } => {
+                write!(f, "malformed table at line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GwasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GwasError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GwasError {
+    fn from(e: std::io::Error) -> Self {
+        GwasError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GwasError::BadParameter {
+            what: "maf",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("maf"));
+        let e = GwasError::Parse {
+            line: 3,
+            column: 2,
+            token: "abc".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_wraps() {
+        let e: GwasError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,250 @@
+//! TSV import/export.
+//!
+//! A deliberately simple, dependency-free tabular format: numeric matrix
+//! files (one row per line, tab-separated) and scan-result tables with the
+//! same columns as the paper's R demo data frame
+//! (`beta, sigma, tstat, pval`).
+
+use crate::error::GwasError;
+use dash_core::model::ScanResult;
+use dash_linalg::Matrix;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes a matrix as TSV (rows × columns).
+pub fn write_matrix_tsv(path: &Path, m: &Matrix) -> Result<(), GwasError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write_matrix(&mut w, m)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a matrix to any writer.
+pub fn write_matrix(w: &mut impl Write, m: &Matrix) -> Result<(), GwasError> {
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            if j > 0 {
+                w.write_all(b"\t")?;
+            }
+            // {:?}-style shortest roundtrip formatting for f64.
+            write!(w, "{}", RoundTrip(m.get(i, j)))?;
+        }
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a TSV matrix from a file.
+pub fn read_matrix_tsv(path: &Path) -> Result<Matrix, GwasError> {
+    let file = std::fs::File::open(path)?;
+    read_matrix(BufReader::new(file))
+}
+
+/// Reads a TSV matrix from any reader.
+pub fn read_matrix(r: impl Read) -> Result<Matrix, GwasError> {
+    let reader = BufReader::new(r);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut row = Vec::new();
+        for (colno, token) in line.split('\t').enumerate() {
+            let v: f64 = token.trim().parse().map_err(|_| GwasError::Parse {
+                line: lineno + 1,
+                column: colno + 1,
+                token: token.to_string(),
+            })?;
+            row.push(v);
+        }
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(GwasError::MalformedTable {
+                    line: lineno + 1,
+                    detail: "ragged row",
+                });
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(GwasError::MalformedTable {
+            line: 0,
+            detail: "empty matrix file",
+        });
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Matrix::from_rows(&refs).map_err(|_| GwasError::MalformedTable {
+        line: 0,
+        detail: "inconsistent shape",
+    })
+}
+
+/// Writes scan results as a header-bearing TSV with the R demo's column
+/// names.
+pub fn write_scan_tsv(path: &Path, res: &ScanResult) -> Result<(), GwasError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "variant\tbeta\tsigma\ttstat\tpval")?;
+    for j in 0..res.len() {
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}\t{}",
+            j,
+            RoundTrip(res.beta[j]),
+            RoundTrip(res.se[j]),
+            RoundTrip(res.t[j]),
+            RoundTrip(res.p[j]),
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a scan-result TSV written by [`write_scan_tsv`].
+pub fn read_scan_tsv(path: &Path, df: usize) -> Result<ScanResult, GwasError> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut beta = Vec::new();
+    let mut se = Vec::new();
+    let mut t = Vec::new();
+    let mut p = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 {
+            if !line.starts_with("variant\t") {
+                return Err(GwasError::MalformedTable {
+                    line: 1,
+                    detail: "missing header",
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('\t').collect();
+        if cells.len() != 5 {
+            return Err(GwasError::MalformedTable {
+                line: lineno + 1,
+                detail: "expected 5 columns",
+            });
+        }
+        let parse = |colno: usize, tok: &str| -> Result<f64, GwasError> {
+            tok.trim().parse().map_err(|_| GwasError::Parse {
+                line: lineno + 1,
+                column: colno + 1,
+                token: tok.to_string(),
+            })
+        };
+        beta.push(parse(1, cells[1])?);
+        se.push(parse(2, cells[2])?);
+        t.push(parse(3, cells[3])?);
+        p.push(parse(4, cells[4])?);
+    }
+    let n_degenerate = beta.iter().filter(|b| b.is_nan()).count();
+    Ok(ScanResult {
+        beta,
+        se,
+        t,
+        p,
+        df,
+        n_degenerate,
+    })
+}
+
+/// Shortest-roundtrip f64 formatting (Rust's `{}` on f64 is already
+/// shortest-roundtrip; NaN spelled so `parse` accepts it back).
+struct RoundTrip(f64);
+
+impl std::fmt::Display for RoundTrip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_nan() {
+            write!(f, "NaN")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dash_gwas_io_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = Matrix::from_rows(&[
+            &[1.0, -2.5, 3.125][..],
+            &[0.1, 1e-12, -7.0][..],
+        ])
+        .unwrap();
+        let path = tmp("mat.tsv");
+        write_matrix_tsv(&path, &m).unwrap();
+        let back = read_matrix_tsv(&path).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn matrix_parse_errors() {
+        let bad = "1.0\t2.0\nx\t3.0\n";
+        assert!(matches!(
+            read_matrix(bad.as_bytes()),
+            Err(GwasError::Parse { line: 2, column: 1, .. })
+        ));
+        let ragged = "1.0\t2.0\n3.0\n";
+        assert!(matches!(
+            read_matrix(ragged.as_bytes()),
+            Err(GwasError::MalformedTable { .. })
+        ));
+        assert!(read_matrix("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn scan_roundtrip_with_nan() {
+        let res = ScanResult {
+            beta: vec![0.5, f64::NAN],
+            se: vec![0.1, f64::NAN],
+            t: vec![5.0, f64::NAN],
+            p: vec![1e-6, f64::NAN],
+            df: 42,
+            n_degenerate: 1,
+        };
+        let path = tmp("scan.tsv");
+        write_scan_tsv(&path, &res).unwrap();
+        let back = read_scan_tsv(&path, 42).unwrap();
+        assert_eq!(back.beta[0], 0.5);
+        assert!(back.beta[1].is_nan());
+        assert_eq!(back.n_degenerate, 1);
+        assert_eq!(back.df, 42);
+        assert_eq!(back.p[0], 1e-6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scan_header_enforced() {
+        let path = tmp("noheader.tsv");
+        std::fs::write(&path, "0\t1\t2\t3\t4\n").unwrap();
+        assert!(matches!(
+            read_scan_tsv(&path, 1),
+            Err(GwasError::MalformedTable { line: 1, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_matrix_tsv(Path::new("/nonexistent/dash.tsv")),
+            Err(GwasError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,156 @@
+//! Kinship (genetic relationship) matrices from genotypes.
+//!
+//! §5 of the paper assumes the LMM's kinship eigendecomposition "can be
+//! shared"; this module produces it from standardized genotypes, the
+//! standard GCTA-style estimator `K = X Xᵀ / M`. Sharing the
+//! eigendecomposition means sharing N×N sample-level information — the
+//! paper treats that as an acceptable disclosure for the LMM use case,
+//! and so do we (documented, not hidden).
+
+use crate::error::GwasError;
+use dash_core::lmm::KinshipEigen;
+use dash_linalg::{symmetric_eigen, Matrix};
+
+/// The GCTA kinship estimator `K = X Xᵀ / M` over standardized genotype
+/// columns.
+///
+/// `x_std` should be the output of
+/// [`crate::standardize::impute_and_standardize`]; with standardized
+/// columns, `K`'s diagonal is ≈ 1 and off-diagonals estimate genetic
+/// relatedness.
+pub fn kinship_matrix(x_std: &Matrix) -> Result<Matrix, GwasError> {
+    let m = x_std.cols();
+    if m == 0 {
+        return Err(GwasError::ShapeMismatch {
+            what: "kinship needs at least one variant",
+            expected: 1,
+            got: 0,
+        });
+    }
+    let n = x_std.rows();
+    let mut k = Matrix::zeros(n, n);
+    // K = Σ_j x_j x_jᵀ / M, built column by column (cache-friendly on the
+    // column-major layout).
+    for j in 0..m {
+        let col = x_std.col(j);
+        for b in 0..n {
+            let xb = col[b];
+            if xb == 0.0 {
+                continue;
+            }
+            let kcol = k.col_mut(b);
+            for (ka, &xa) in kcol.iter_mut().zip(col) {
+                *ka += xa * xb;
+            }
+        }
+    }
+    k.scale(1.0 / m as f64);
+    Ok(k)
+}
+
+/// Computes the kinship matrix and its full eigendecomposition, ready
+/// for [`dash_core::lmm::lmm_scan`]. Tiny negative eigenvalues from
+/// round-off are clamped to zero so the result is a valid covariance
+/// factorization.
+pub fn kinship_eigen_from_genotypes(x_std: &Matrix) -> Result<KinshipEigen, GwasError> {
+    let k = kinship_matrix(x_std)?;
+    let eig = symmetric_eigen(&k).map_err(|_| GwasError::ShapeMismatch {
+        what: "kinship eigendecomposition",
+        expected: x_std.rows(),
+        got: x_std.rows(),
+    })?;
+    let values: Vec<f64> = eig.values.iter().map(|&v| v.max(0.0)).collect();
+    KinshipEigen::new(eig.vectors, values).map_err(|_| GwasError::ShapeMismatch {
+        what: "kinship eigen shapes",
+        expected: x_std.rows(),
+        got: x_std.rows(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genotype::simulate_genotypes;
+    use crate::standardize::impute_and_standardize;
+    use dash_linalg::gemm_at_b;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_definition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = simulate_genotypes(20, 300, &Default::default(), &mut rng).unwrap();
+        let x = impute_and_standardize(&g);
+        let k = kinship_matrix(&x).unwrap();
+        // Reference: XᵀX of the transpose… i.e. K = (XᵀX over rows).
+        let xt = x.transpose();
+        let mut reference = gemm_at_b(&xt, &xt).unwrap();
+        reference.scale(1.0 / 300.0);
+        assert!(k.max_abs_diff(&reference).unwrap() < 1e-10);
+        // Symmetric with ~unit diagonal.
+        for i in 0..20 {
+            assert!((k.get(i, i) - 1.0).abs() < 0.35, "diag {} = {}", i, k.get(i, i));
+            for j in 0..20 {
+                assert!((k.get(i, j) - k.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_is_valid_kinship_input() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = simulate_genotypes(25, 60, &Default::default(), &mut rng).unwrap();
+        let x = impute_and_standardize(&g);
+        let kin = kinship_eigen_from_genotypes(&x).unwrap();
+        assert_eq!(kin.n(), 25);
+        assert!(kin.s.iter().all(|&v| v >= 0.0));
+        // Eigen mass equals trace of K (≈ N for standardized columns).
+        let total: f64 = kin.s.iter().sum();
+        let k = kinship_matrix(&x).unwrap();
+        let trace: f64 = (0..25).map(|i| k.get(i, i)).sum();
+        assert!((total - trace).abs() < 1e-8);
+    }
+
+    #[test]
+    fn related_pairs_have_high_kinship() {
+        // Duplicate a sample: its kinship with the copy is ~1.
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = simulate_genotypes(10, 200, &Default::default(), &mut rng).unwrap();
+        let x0 = impute_and_standardize(&g);
+        // Build matrix with row 1 replaced by a copy of row 0.
+        let x = Matrix::from_fn(10, 200, |r, c| {
+            if r == 1 {
+                x0.get(0, c)
+            } else {
+                x0.get(r, c)
+            }
+        });
+        let k = kinship_matrix(&x).unwrap();
+        let twin = k.get(0, 1);
+        let stranger = k.get(0, 5);
+        assert!(twin > 0.7, "twin kinship {twin}");
+        assert!(stranger.abs() < 0.6, "stranger kinship {stranger}");
+        assert!(twin > stranger + 0.3);
+    }
+
+    #[test]
+    fn empty_variants_rejected() {
+        let x = Matrix::zeros(5, 0);
+        assert!(kinship_matrix(&x).is_err());
+        assert!(kinship_eigen_from_genotypes(&x).is_err());
+    }
+
+    #[test]
+    fn lmm_pipeline_from_genotypes() {
+        // End to end: genotypes → kinship eigen → LMM scan runs.
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = simulate_genotypes(40, 80, &Default::default(), &mut rng).unwrap();
+        let x = impute_and_standardize(&g);
+        let kin = kinship_eigen_from_genotypes(&x).unwrap();
+        let y = crate::pheno::normal_vec(40, &mut rng);
+        let c = crate::pheno::normal_matrix(40, 1, &mut rng);
+        let data = dash_core::model::PartyData::new(y, x, c).unwrap();
+        let res = dash_core::lmm::lmm_scan(&data, &kin, 0.5).unwrap();
+        assert_eq!(res.len(), 80);
+    }
+}

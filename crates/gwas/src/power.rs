@@ -1,0 +1,162 @@
+//! Truth-aware evaluation of scan results.
+//!
+//! Experiments that compare the joint secure scan against meta-analysis
+//! (E5) need power and error rates against the *planted* truth, plus the
+//! genomic-control inflation factor λ_GC that GWAS uses to detect
+//! uncorrected confounding.
+
+use dash_stats::ChiSquared;
+
+/// Power/error summary of one scan against planted truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Causal variants detected / causal variants total.
+    pub power: f64,
+    /// Non-causal variants flagged / non-causal variants total.
+    pub false_positive_rate: f64,
+    /// Number of true positives.
+    pub true_positives: usize,
+    /// Number of false positives.
+    pub false_positives: usize,
+    /// Number of causal variants.
+    pub n_causal: usize,
+    /// Number of tests performed (finite p-values).
+    pub n_tested: usize,
+}
+
+/// Scores p-values against the causal set at significance `alpha`.
+/// NaN p-values (degenerate variants) are excluded from both numerators
+/// and denominators.
+pub fn evaluate_scan(p_values: &[f64], causal: &[usize], alpha: f64) -> PowerReport {
+    let causal_set: std::collections::HashSet<usize> = causal.iter().copied().collect();
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut n_causal_tested = 0;
+    let mut n_null_tested = 0;
+    for (j, &p) in p_values.iter().enumerate() {
+        if p.is_nan() {
+            continue;
+        }
+        let is_causal = causal_set.contains(&j);
+        let hit = p < alpha;
+        if is_causal {
+            n_causal_tested += 1;
+            if hit {
+                tp += 1;
+            }
+        } else {
+            n_null_tested += 1;
+            if hit {
+                fp += 1;
+            }
+        }
+    }
+    PowerReport {
+        power: if n_causal_tested > 0 {
+            tp as f64 / n_causal_tested as f64
+        } else {
+            f64::NAN
+        },
+        false_positive_rate: if n_null_tested > 0 {
+            fp as f64 / n_null_tested as f64
+        } else {
+            f64::NAN
+        },
+        true_positives: tp,
+        false_positives: fp,
+        n_causal: n_causal_tested,
+        n_tested: n_causal_tested + n_null_tested,
+    }
+}
+
+/// Genomic-control inflation factor: the median of the χ²(1) statistics
+/// implied by the p-values, divided by the χ²(1) median (≈0.4549).
+/// λ ≈ 1 for a well-calibrated scan; λ ≫ 1 signals confounding (e.g.
+/// uncorrected population structure).
+pub fn lambda_gc(p_values: &[f64]) -> f64 {
+    let chi1 = ChiSquared::new(1.0).expect("df 1 valid");
+    let mut stats: Vec<f64> = p_values
+        .iter()
+        .filter(|p| p.is_finite() && **p > 0.0 && **p <= 1.0)
+        .map(|&p| chi1.quantile(1.0 - p).unwrap_or(f64::NAN))
+        .filter(|v| v.is_finite())
+        .collect();
+    if stats.is_empty() {
+        return f64::NAN;
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if stats.len() % 2 == 1 {
+        stats[stats.len() / 2]
+    } else {
+        0.5 * (stats[stats.len() / 2 - 1] + stats[stats.len() / 2])
+    };
+    let chi1_median = chi1.quantile(0.5).expect("median of chi2(1)");
+    median / chi1_median
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_scan() {
+        let p = vec![1e-10, 0.5, 0.6, 1e-9, 0.9];
+        let causal = vec![0, 3];
+        let r = evaluate_scan(&p, &causal, 1e-5);
+        assert_eq!(r.power, 1.0);
+        assert_eq!(r.false_positive_rate, 0.0);
+        assert_eq!(r.true_positives, 2);
+        assert_eq!(r.n_tested, 5);
+    }
+
+    #[test]
+    fn misses_and_false_alarms() {
+        let p = vec![0.2, 1e-8, 0.5, 0.5];
+        let causal = vec![0]; // missed; variant 1 is a false positive
+        let r = evaluate_scan(&p, &causal, 1e-5);
+        assert_eq!(r.power, 0.0);
+        assert_eq!(r.false_positives, 1);
+        assert!((r.false_positive_rate - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_excluded() {
+        let p = vec![f64::NAN, 1e-9, f64::NAN];
+        let causal = vec![0, 1];
+        let r = evaluate_scan(&p, &causal, 1e-5);
+        assert_eq!(r.n_causal, 1); // variant 0 untested
+        assert_eq!(r.power, 1.0);
+        assert_eq!(r.n_tested, 1);
+    }
+
+    #[test]
+    fn empty_sides_are_nan() {
+        let r = evaluate_scan(&[0.5, 0.4], &[], 0.05);
+        assert!(r.power.is_nan());
+        assert_eq!(r.false_positives, 0);
+        let r = evaluate_scan(&[0.5, 0.4], &[0, 1], 0.05);
+        assert!(r.false_positive_rate.is_nan());
+    }
+
+    #[test]
+    fn lambda_gc_of_uniform_is_one() {
+        // p-values i/(n+1) are exactly uniform order statistics.
+        let n = 999;
+        let p: Vec<f64> = (1..=n).map(|i| i as f64 / (n + 1) as f64).collect();
+        let l = lambda_gc(&p);
+        assert!((l - 1.0).abs() < 0.02, "lambda {l}");
+    }
+
+    #[test]
+    fn lambda_gc_detects_inflation() {
+        // Systematically small p-values → lambda > 1.
+        let p: Vec<f64> = (1..=999).map(|i| (i as f64 / 1000.0).powi(3)).collect();
+        assert!(lambda_gc(&p) > 1.5);
+    }
+
+    #[test]
+    fn lambda_gc_edge_cases() {
+        assert!(lambda_gc(&[]).is_nan());
+        assert!(lambda_gc(&[f64::NAN, 0.0]).is_nan());
+    }
+}

@@ -1,0 +1,108 @@
+//! Column imputation and standardization.
+//!
+//! GWAS practice standardizes each variant column to mean 0 / variance 1
+//! (after mean-imputing missing calls) so effect sizes are per standard
+//! deviation of genotype and the scan's numerics are well-conditioned.
+
+use dash_linalg::Matrix;
+
+/// Standardizes every column of `x` in place to mean 0 and unit sample
+/// variance; constant columns are centered only (variance left at 0, so
+/// downstream scans flag them degenerate instead of dividing by zero).
+///
+/// Returns `(means, sds)` per column; `sds[j]` is 0 for constant columns.
+pub fn standardize_columns(x: &mut Matrix) -> (Vec<f64>, Vec<f64>) {
+    let n = x.rows();
+    let mut means = Vec::with_capacity(x.cols());
+    let mut sds = Vec::with_capacity(x.cols());
+    for j in 0..x.cols() {
+        let col = x.col_mut(j);
+        let mean = if n == 0 {
+            0.0
+        } else {
+            col.iter().sum::<f64>() / n as f64
+        };
+        for v in col.iter_mut() {
+            *v -= mean;
+        }
+        let var = if n > 1 {
+            col.iter().map(|v| v * v).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let sd = var.sqrt();
+        if sd > 0.0 {
+            for v in col.iter_mut() {
+                *v /= sd;
+            }
+        }
+        means.push(mean);
+        sds.push(sd);
+    }
+    (means, sds)
+}
+
+/// Convenience: dosage conversion (mean imputation) plus standardization
+/// for a genotype matrix.
+pub fn impute_and_standardize(g: &crate::genotype::GenotypeMatrix) -> Matrix {
+    let mut d = g.to_dosages();
+    standardize_columns(&mut d);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genotype::{simulate_genotypes, GenotypeSimConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standardized_columns_have_zero_mean_unit_variance() {
+        let mut x = Matrix::from_fn(50, 3, |r, c| ((r * 3 + c) as f64).sin() * 4.0 + 2.0);
+        let (means, sds) = standardize_columns(&mut x);
+        assert_eq!(means.len(), 3);
+        for j in 0..3 {
+            let col = x.col(j);
+            let mean: f64 = col.iter().sum::<f64>() / 50.0;
+            let var: f64 = col.iter().map(|v| v * v).sum::<f64>() / 49.0;
+            assert!(mean.abs() < 1e-12, "col {j} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-10, "col {j} var {var}");
+            assert!(sds[j] > 0.0);
+        }
+    }
+
+    #[test]
+    fn constant_column_centered_not_scaled() {
+        let mut x = Matrix::from_cols(&[&[5.0; 4], &[1.0, 2.0, 3.0, 4.0]]).unwrap();
+        let (means, sds) = standardize_columns(&mut x);
+        assert_eq!(means[0], 5.0);
+        assert_eq!(sds[0], 0.0);
+        assert!(x.col(0).iter().all(|&v| v == 0.0));
+        assert!(sds[1] > 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_noop() {
+        let mut x = Matrix::zeros(0, 2);
+        let (means, sds) = standardize_columns(&mut x);
+        assert_eq!(means, vec![0.0, 0.0]);
+        assert_eq!(sds, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn genotype_pipeline() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = GenotypeSimConfig {
+            maf_range: (0.1, 0.4),
+            missing_rate: 0.1,
+        };
+        let g = simulate_genotypes(300, 5, &cfg, &mut rng).unwrap();
+        let x = impute_and_standardize(&g);
+        for j in 0..5 {
+            let col = x.col(j);
+            let mean: f64 = col.iter().sum::<f64>() / 300.0;
+            assert!(mean.abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Population structure across parties: the confounding generator.
+//!
+//! Multi-center GWAS data is not iid across centers: cohorts differ in
+//! ancestry (allele frequencies drift between populations) and in
+//! environment (assay batches, recruitment). Both create exactly the
+//! between-group heterogeneity §3 warns about ("c.f. Simpson's paradox").
+//!
+//! This module simulates P cohorts under the Balding–Nichols model:
+//! ancestral frequency `p_m` per variant, per-party frequencies
+//! `p_km ~ Beta(p(1−F)/F, (1−p)(1−F)/F)` at fixation index `F_ST`, plus a
+//! per-party phenotype offset that confounds every frequency-drifted
+//! variant. Analyses that ignore the cohort structure inflate false
+//! positives; the joint scan with per-party centering (the paper's §3
+//! intercept remark) removes the confounding.
+
+use crate::error::GwasError;
+use crate::genotype::simulate_genotypes_at;
+use crate::pheno::{normal_matrix, sample_standard_normal};
+use crate::standardize::standardize_columns;
+use dash_core::model::PartyData;
+use rand::Rng;
+
+/// Configuration for [`simulate_structured_cohorts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructuredSimConfig {
+    /// Samples per party.
+    pub party_sizes: Vec<usize>,
+    /// Number of variants M.
+    pub n_variants: usize,
+    /// Fixation index F_ST controlling allele-frequency drift between
+    /// parties (0 = none; 0.01–0.1 covers human populations).
+    pub fst: f64,
+    /// Phenotype mean offset per party (the environmental confounder);
+    /// must match `party_sizes` in length, or be empty for no offsets.
+    pub party_offsets: Vec<f64>,
+    /// Planted causal variants (same effects in every party).
+    pub n_causal: usize,
+    /// Heritability of the shared genetic component.
+    pub heritability: f64,
+    /// Extra iid N(0,1) covariate columns per party (age/sex stand-ins).
+    pub k_covariates: usize,
+    /// Per-call missing rate.
+    pub missing_rate: f64,
+    /// When true (default), each party standardizes its genotype columns
+    /// locally — which also removes between-party frequency differences.
+    /// Set false to keep raw dosages, preserving the stratification
+    /// signal that confounds a naive pooled analysis (experiment E5.2).
+    pub standardize_within_party: bool,
+}
+
+impl Default for StructuredSimConfig {
+    fn default() -> Self {
+        StructuredSimConfig {
+            party_sizes: vec![500, 500, 500],
+            n_variants: 1000,
+            fst: 0.05,
+            party_offsets: Vec::new(),
+            n_causal: 10,
+            heritability: 0.3,
+            k_covariates: 2,
+            missing_rate: 0.0,
+            standardize_within_party: true,
+        }
+    }
+}
+
+/// The simulated cohorts plus ground truth.
+#[derive(Debug, Clone)]
+pub struct StructuredCohorts {
+    /// One [`PartyData`] per cohort, genotype columns standardized
+    /// *within party* (as each party would do locally).
+    pub parties: Vec<PartyData>,
+    /// Indices of planted causal variants (sorted).
+    pub causal: Vec<usize>,
+    /// Shared effect sizes (same order as `causal`).
+    pub effects: Vec<f64>,
+    /// Ancestral minor allele frequencies.
+    pub ancestral_mafs: Vec<f64>,
+}
+
+/// Samples `Gamma(shape, 1)` via Marsaglia–Tsang, with the
+/// `Gamma(a) = Gamma(a+1) · U^{1/a}` boost for shape < 1.
+fn sample_gamma(shape: f64, rng: &mut impl Rng) -> f64 {
+    debug_assert!(shape > 0.0);
+    if shape < 1.0 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4)
+            || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
+        {
+            return d * v;
+        }
+    }
+}
+
+/// Samples `Beta(a, b)` as a ratio of gammas.
+fn sample_beta(a: f64, b: f64, rng: &mut impl Rng) -> f64 {
+    let x = sample_gamma(a, rng);
+    let y = sample_gamma(b, rng);
+    x / (x + y)
+}
+
+/// Simulates structured multi-party cohorts. See module docs.
+pub fn simulate_structured_cohorts(
+    cfg: &StructuredSimConfig,
+    rng: &mut impl Rng,
+) -> Result<StructuredCohorts, GwasError> {
+    if cfg.party_sizes.is_empty() {
+        return Err(GwasError::ShapeMismatch {
+            what: "party_sizes",
+            expected: 1,
+            got: 0,
+        });
+    }
+    if !(0.0..1.0).contains(&cfg.fst) {
+        return Err(GwasError::BadParameter {
+            what: "fst",
+            value: cfg.fst,
+        });
+    }
+    if !(0.0..1.0).contains(&cfg.heritability) {
+        return Err(GwasError::BadParameter {
+            what: "heritability",
+            value: cfg.heritability,
+        });
+    }
+    if !cfg.party_offsets.is_empty() && cfg.party_offsets.len() != cfg.party_sizes.len() {
+        return Err(GwasError::ShapeMismatch {
+            what: "party_offsets",
+            expected: cfg.party_sizes.len(),
+            got: cfg.party_offsets.len(),
+        });
+    }
+    if cfg.n_causal > cfg.n_variants {
+        return Err(GwasError::ShapeMismatch {
+            what: "n_causal vs variants",
+            expected: cfg.n_variants,
+            got: cfg.n_causal,
+        });
+    }
+    let m = cfg.n_variants;
+
+    // Ancestral frequencies.
+    let ancestral: Vec<f64> = (0..m).map(|_| rng.gen_range(0.1..0.5)).collect();
+
+    // Causal set with shared effects.
+    let mut indices: Vec<usize> = (0..m).collect();
+    for i in 0..cfg.n_causal {
+        let j = rng.gen_range(i..m);
+        indices.swap(i, j);
+    }
+    let mut causal: Vec<usize> = indices[..cfg.n_causal].to_vec();
+    causal.sort_unstable();
+    let per_effect = if cfg.n_causal > 0 {
+        (cfg.heritability / cfg.n_causal as f64).sqrt()
+    } else {
+        0.0
+    };
+    let effects: Vec<f64> = causal
+        .iter()
+        .map(|_| if rng.gen::<bool>() { per_effect } else { -per_effect })
+        .collect();
+    let noise_sd = (1.0 - cfg.heritability).sqrt();
+
+    // Per-party genotypes at drifted frequencies, phenotypes from the
+    // shared causal model plus the party offset.
+    let mut parties = Vec::with_capacity(cfg.party_sizes.len());
+    for (pi, &n_k) in cfg.party_sizes.iter().enumerate() {
+        let drifted: Vec<f64> = ancestral
+            .iter()
+            .map(|&p| {
+                if cfg.fst == 0.0 {
+                    p
+                } else {
+                    let scale = (1.0 - cfg.fst) / cfg.fst;
+                    sample_beta(p * scale, (1.0 - p) * scale, rng).clamp(0.001, 0.999)
+                }
+            })
+            .collect();
+        let g = simulate_genotypes_at(n_k, &drifted, cfg.missing_rate, rng)?;
+        let mut x = g.to_dosages();
+        if cfg.standardize_within_party {
+            standardize_columns(&mut x);
+        }
+        let offset = cfg.party_offsets.get(pi).copied().unwrap_or(0.0);
+        let mut y = vec![offset; n_k];
+        for (idx, eff) in causal.iter().zip(&effects) {
+            for (yi, xi) in y.iter_mut().zip(x.col(*idx)) {
+                *yi += eff * xi;
+            }
+        }
+        for yi in y.iter_mut() {
+            *yi += noise_sd * sample_standard_normal(rng);
+        }
+        let c = normal_matrix(n_k, cfg.k_covariates, rng);
+        parties.push(
+            PartyData::new(y, x, c).expect("shapes consistent by construction"),
+        );
+    }
+    Ok(StructuredCohorts {
+        parties,
+        causal,
+        effects,
+        ancestral_mafs: ancestral,
+    })
+}
+
+/// Configuration for [`simulate_admixed_cohorts`] — per-*sample* ancestry
+/// gradients, the setting where principal components are genuinely needed
+/// (per-party intercepts cannot absorb a within-party gradient).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmixedSimConfig {
+    /// Samples per party.
+    pub party_sizes: Vec<usize>,
+    /// Number of variants M.
+    pub n_variants: usize,
+    /// Per-party admixture range: sample i of party k draws its ancestry
+    /// coefficient α uniformly from this interval (so parties can have
+    /// both different compositions *and* internal gradients).
+    pub party_alpha_ranges: Vec<(f64, f64)>,
+    /// Allele-frequency divergence between the two ancestral populations
+    /// (each variant's |p₂ − p₁|, before clamping).
+    pub divergence: f64,
+    /// Additive effect of ancestry α on the phenotype — the confounder.
+    pub ancestry_effect: f64,
+    /// Planted causal variants with shared effects.
+    pub n_causal: usize,
+    /// Heritability of the causal component.
+    pub heritability: f64,
+    /// Extra iid covariates per party.
+    pub k_covariates: usize,
+}
+
+impl Default for AdmixedSimConfig {
+    fn default() -> Self {
+        AdmixedSimConfig {
+            party_sizes: vec![400, 400],
+            n_variants: 500,
+            party_alpha_ranges: vec![(0.0, 0.8), (0.2, 1.0)],
+            divergence: 0.25,
+            ancestry_effect: 1.0,
+            n_causal: 0,
+            heritability: 0.0,
+            k_covariates: 1,
+        }
+    }
+}
+
+/// Admixed cohorts plus ground truth.
+#[derive(Debug, Clone)]
+pub struct AdmixedCohorts {
+    /// One dataset per cohort (genotype dosages, *not* standardized —
+    /// the ancestry signal lives in the raw frequencies).
+    pub parties: Vec<PartyData>,
+    /// Each sample's true ancestry coefficient, per party.
+    pub alphas: Vec<Vec<f64>>,
+    /// Planted causal variants (sorted).
+    pub causal: Vec<usize>,
+}
+
+/// Simulates admixture between two ancestral populations with a
+/// per-sample ancestry coefficient that also shifts the phenotype.
+pub fn simulate_admixed_cohorts(
+    cfg: &AdmixedSimConfig,
+    rng: &mut impl Rng,
+) -> Result<AdmixedCohorts, GwasError> {
+    if cfg.party_sizes.is_empty() {
+        return Err(GwasError::ShapeMismatch {
+            what: "party_sizes",
+            expected: 1,
+            got: 0,
+        });
+    }
+    if cfg.party_alpha_ranges.len() != cfg.party_sizes.len() {
+        return Err(GwasError::ShapeMismatch {
+            what: "party_alpha_ranges",
+            expected: cfg.party_sizes.len(),
+            got: cfg.party_alpha_ranges.len(),
+        });
+    }
+    if !(0.0..=0.5).contains(&cfg.divergence) {
+        return Err(GwasError::BadParameter {
+            what: "divergence",
+            value: cfg.divergence,
+        });
+    }
+    if cfg.n_causal > cfg.n_variants {
+        return Err(GwasError::ShapeMismatch {
+            what: "n_causal vs variants",
+            expected: cfg.n_variants,
+            got: cfg.n_causal,
+        });
+    }
+    let m = cfg.n_variants;
+    // Two ancestral frequency vectors.
+    let p1: Vec<f64> = (0..m).map(|_| rng.gen_range(0.1..0.5)).collect();
+    let p2: Vec<f64> = p1
+        .iter()
+        .map(|&p| {
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            (p + sign * cfg.divergence * rng.gen::<f64>()).clamp(0.02, 0.98)
+        })
+        .collect();
+    // Causal set.
+    let mut indices: Vec<usize> = (0..m).collect();
+    for i in 0..cfg.n_causal {
+        let j = rng.gen_range(i..m);
+        indices.swap(i, j);
+    }
+    let mut causal: Vec<usize> = indices[..cfg.n_causal].to_vec();
+    causal.sort_unstable();
+    let per_effect = if cfg.n_causal > 0 {
+        (cfg.heritability / cfg.n_causal as f64).sqrt()
+    } else {
+        0.0
+    };
+    let noise_sd = (1.0 - cfg.heritability).max(0.0).sqrt();
+
+    let mut parties = Vec::with_capacity(cfg.party_sizes.len());
+    let mut alphas_all = Vec::with_capacity(cfg.party_sizes.len());
+    for (pi, &n_k) in cfg.party_sizes.iter().enumerate() {
+        let (lo, hi) = cfg.party_alpha_ranges[pi];
+        let alphas: Vec<f64> = (0..n_k).map(|_| rng.gen_range(lo..=hi)).collect();
+        let mut x = dash_linalg::Matrix::zeros(n_k, m);
+        for j in 0..m {
+            let col = x.col_mut(j);
+            for (i, v) in col.iter_mut().enumerate() {
+                let p = (1.0 - alphas[i]) * p1[j] + alphas[i] * p2[j];
+                let a = (rng.gen::<f64>() < p) as i8;
+                let b = (rng.gen::<f64>() < p) as i8;
+                *v = (a + b) as f64;
+            }
+        }
+        let mut y: Vec<f64> = alphas.iter().map(|&a| cfg.ancestry_effect * a).collect();
+        for (idx, _) in causal.iter().enumerate() {
+            let eff = if rng.gen::<bool>() { per_effect } else { -per_effect };
+            let col = x.col(causal[idx]);
+            for (yi, &xv) in y.iter_mut().zip(col) {
+                *yi += eff * xv;
+            }
+        }
+        for yi in y.iter_mut() {
+            *yi += noise_sd * sample_standard_normal(rng);
+        }
+        let c = normal_matrix(n_k, cfg.k_covariates, rng);
+        parties.push(PartyData::new(y, x, c).expect("consistent shapes"));
+        alphas_all.push(alphas);
+    }
+    Ok(AdmixedCohorts {
+        parties,
+        alphas: alphas_all,
+        causal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn config_validation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cfg = StructuredSimConfig::default();
+        cfg.party_sizes = vec![];
+        assert!(simulate_structured_cohorts(&cfg, &mut rng).is_err());
+        let mut cfg = StructuredSimConfig::default();
+        cfg.fst = 1.5;
+        assert!(simulate_structured_cohorts(&cfg, &mut rng).is_err());
+        let mut cfg = StructuredSimConfig::default();
+        cfg.party_offsets = vec![1.0];
+        assert!(simulate_structured_cohorts(&cfg, &mut rng).is_err());
+        let mut cfg = StructuredSimConfig::default();
+        cfg.n_causal = cfg.n_variants + 1;
+        assert!(simulate_structured_cohorts(&cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn shapes_consistent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = StructuredSimConfig {
+            party_sizes: vec![30, 40],
+            n_variants: 25,
+            n_causal: 3,
+            k_covariates: 2,
+            ..Default::default()
+        };
+        let sim = simulate_structured_cohorts(&cfg, &mut rng).unwrap();
+        assert_eq!(sim.parties.len(), 2);
+        assert_eq!(sim.parties[0].n_samples(), 30);
+        assert_eq!(sim.parties[1].n_samples(), 40);
+        for p in &sim.parties {
+            assert_eq!(p.n_variants(), 25);
+            assert_eq!(p.n_covariates(), 2);
+        }
+        assert_eq!(sim.causal.len(), 3);
+        assert_eq!(sim.ancestral_mafs.len(), 25);
+    }
+
+    #[test]
+    fn gamma_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &shape in &[0.5f64, 1.0, 2.5, 8.0] {
+            let n = 20000;
+            let mean: f64 = (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.1 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_sampler_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (a, b) = (3.0, 7.0);
+        let n = 20000;
+        let mean: f64 = (0..n).map(|_| sample_beta(a, b, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn fst_zero_means_no_drift() {
+        // With F_ST = 0 both parties use the ancestral frequencies, so
+        // observed standardized means should agree closely (statistical).
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = StructuredSimConfig {
+            party_sizes: vec![200, 200],
+            n_variants: 10,
+            fst: 0.0,
+            n_causal: 0,
+            heritability: 0.0,
+            ..Default::default()
+        };
+        let sim = simulate_structured_cohorts(&cfg, &mut rng).unwrap();
+        assert_eq!(sim.parties.len(), 2);
+    }
+
+    #[test]
+    fn party_offsets_shift_means() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = StructuredSimConfig {
+            party_sizes: vec![400, 400],
+            n_variants: 5,
+            party_offsets: vec![-2.0, 2.0],
+            n_causal: 0,
+            heritability: 0.0,
+            ..Default::default()
+        };
+        let sim = simulate_structured_cohorts(&cfg, &mut rng).unwrap();
+        let mean = |p: &PartyData| p.y().iter().sum::<f64>() / p.n_samples() as f64;
+        assert!(mean(&sim.parties[0]) < -1.5);
+        assert!(mean(&sim.parties[1]) > 1.5);
+    }
+
+    #[test]
+    fn admixture_validation() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut cfg = AdmixedSimConfig::default();
+        cfg.party_alpha_ranges = vec![(0.0, 1.0)];
+        assert!(simulate_admixed_cohorts(&cfg, &mut rng).is_err()); // range count
+        let mut cfg = AdmixedSimConfig::default();
+        cfg.divergence = 0.7;
+        assert!(simulate_admixed_cohorts(&cfg, &mut rng).is_err());
+        let mut cfg = AdmixedSimConfig::default();
+        cfg.party_sizes = vec![];
+        cfg.party_alpha_ranges = vec![];
+        assert!(simulate_admixed_cohorts(&cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn admixture_confounds_phenotype() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let cfg = AdmixedSimConfig {
+            party_sizes: vec![300],
+            party_alpha_ranges: vec![(0.0, 1.0)],
+            n_variants: 60,
+            divergence: 0.3,
+            ancestry_effect: 3.0,
+            ..Default::default()
+        };
+        let sim = simulate_admixed_cohorts(&cfg, &mut rng).unwrap();
+        // y correlates strongly with alpha.
+        let y = sim.parties[0].y();
+        let a = &sim.alphas[0];
+        let ym: f64 = y.iter().sum::<f64>() / y.len() as f64;
+        let am: f64 = a.iter().sum::<f64>() / a.len() as f64;
+        let cov: f64 = y.iter().zip(a).map(|(yi, ai)| (yi - ym) * (ai - am)).sum();
+        let vy: f64 = y.iter().map(|v| (v - ym) * (v - ym)).sum();
+        let va: f64 = a.iter().map(|v| (v - am) * (v - am)).sum();
+        let corr = cov / (vy * va).sqrt();
+        assert!(corr > 0.5, "ancestry-phenotype correlation {corr}");
+        // And genotype frequencies correlate with alpha too (pick the
+        // most divergent-looking variant).
+        assert_eq!(sim.parties[0].n_variants(), 60);
+    }
+
+    #[test]
+    fn causal_variants_detectable_in_joint_scan() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = StructuredSimConfig {
+            party_sizes: vec![300, 300],
+            n_variants: 50,
+            fst: 0.02,
+            n_causal: 2,
+            heritability: 0.4,
+            k_covariates: 1,
+            ..Default::default()
+        };
+        let sim = simulate_structured_cohorts(&cfg, &mut rng).unwrap();
+        let pooled = dash_core::model::pool_parties(&sim.parties).unwrap();
+        let res = dash_core::scan::associate(&pooled).unwrap();
+        for &c in &sim.causal {
+            assert!(res.p[c] < 1e-4, "causal variant {c}: p = {}", res.p[c]);
+        }
+    }
+}

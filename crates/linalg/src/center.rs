@@ -1,0 +1,88 @@
+//! Mean-centering utilities.
+//!
+//! §3 of the paper observes that adding an intercept covariate is equivalent
+//! to translating `y` and each column of `C` to zero mean, and that adding a
+//! *per-party* intercept (P batch-effect indicators) is equivalent to each
+//! party centering its own rows independently. These helpers implement that
+//! translation so callers can drop the intercept column and keep `C`
+//! full-rank.
+
+use crate::matrix::Matrix;
+
+/// Returns the mean of each column.
+pub fn column_means(a: &Matrix) -> Vec<f64> {
+    let n = a.rows();
+    if n == 0 {
+        return vec![0.0; a.cols()];
+    }
+    (0..a.cols())
+        .map(|j| a.col(j).iter().sum::<f64>() / n as f64)
+        .collect()
+}
+
+/// Subtracts each column's mean in place and returns the means that were
+/// removed (useful for later un-centering or for auditing).
+pub fn center_columns(a: &mut Matrix) -> Vec<f64> {
+    let means = column_means(a);
+    for (j, &m) in means.iter().enumerate() {
+        for v in a.col_mut(j) {
+            *v -= m;
+        }
+    }
+    means
+}
+
+/// Subtracts the mean of a vector in place and returns it.
+pub fn center_vector(v: &mut [f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let m = v.iter().sum::<f64>() / v.len() as f64;
+    for x in v.iter_mut() {
+        *x -= m;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centering_zeroes_column_sums() {
+        let mut a = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]).unwrap();
+        let means = center_columns(&mut a);
+        assert_eq!(means, vec![2.0, 20.0]);
+        for j in 0..2 {
+            let s: f64 = a.col(j).iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+        assert_eq!(a.col(0), &[-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn center_vector_returns_mean() {
+        let mut v = vec![1.0, 3.0, 5.0];
+        let m = center_vector(&mut v);
+        assert_eq!(m, 3.0);
+        assert_eq!(v, vec![-2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let mut v: Vec<f64> = vec![];
+        assert_eq!(center_vector(&mut v), 0.0);
+        let a = Matrix::zeros(0, 2);
+        assert_eq!(column_means(&a), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn centering_is_idempotent() {
+        let mut a = Matrix::from_fn(5, 2, |r, c| (r * (c + 1)) as f64);
+        center_columns(&mut a);
+        let before = a.clone();
+        let second = center_columns(&mut a);
+        assert!(second.iter().all(|m| m.abs() < 1e-12));
+        assert!(a.max_abs_diff(&before).unwrap() < 1e-12);
+    }
+}

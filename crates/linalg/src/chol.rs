@@ -1,0 +1,120 @@
+//! Cholesky factorization (upper form).
+//!
+//! The aggregate-only secure mode never sees any party's `R_k`; it
+//! secure-sums the k×k Gram summands `C_kᵀC_k = R_kᵀR_k` and opens only the
+//! total `G = CᵀC`. The combined `R` is then `cholesky_upper(G)`, which by
+//! the positive-diagonal convention equals the `R` that direct QR of the
+//! pooled `C` would produce.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Computes the upper-triangular `U` with `UᵀU = A` for symmetric positive
+/// definite `A`.
+///
+/// Errors with [`LinalgError::NotPositiveDefinite`] when a pivot is
+/// non-positive (up to a relative tolerance), which for the scan means the
+/// pooled permanent covariates are collinear.
+pub fn cholesky_upper(a: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let scale = (0..n).map(|i| a.get(i, i).abs()).fold(0.0, f64::max);
+    let tol = 1e-12 * scale.max(f64::MIN_POSITIVE);
+    let mut u = Matrix::zeros(n, n);
+    for i in 0..n {
+        // Diagonal pivot.
+        let mut d = a.get(i, i);
+        for k in 0..i {
+            let uki = u.get(k, i);
+            d -= uki * uki;
+        }
+        if d <= tol {
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot_index: i,
+                pivot: d,
+            });
+        }
+        let uii = d.sqrt();
+        u.set(i, i, uii);
+        // Row i of U to the right of the diagonal.
+        for j in i + 1..n {
+            let mut s = a.get(i, j);
+            for k in 0..i {
+                s -= u.get(k, i) * u.get(k, j);
+            }
+            u.set(i, j, s / uii);
+        }
+    }
+    Ok(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gemm, gemm_at_b};
+
+    #[test]
+    fn factor_reconstructs_spd_matrix() {
+        // A = BᵀB + I is SPD for any B.
+        let b = Matrix::from_fn(6, 3, |r, c| ((r * 3 + c) as f64).sin());
+        let mut a = gemm_at_b(&b, &b).unwrap();
+        for i in 0..3 {
+            let v = a.get(i, i);
+            a.set(i, i, v + 1.0);
+        }
+        let u = cholesky_upper(&a).unwrap();
+        let utu = gemm(&u.transpose(), &u).unwrap();
+        assert!(utu.max_abs_diff(&a).unwrap() < 1e-12);
+        // Upper triangular with positive diagonal.
+        for i in 0..3 {
+            assert!(u.get(i, i) > 0.0);
+            for j in 0..i {
+                assert_eq!(u.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_factor() {
+        let u = cholesky_upper(&Matrix::identity(4)).unwrap();
+        assert_eq!(u, Matrix::identity(4));
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 5.0]]).unwrap();
+        let u = cholesky_upper(&a).unwrap();
+        assert!((u.get(0, 0) - 2.0).abs() < 1e-15);
+        assert!((u.get(0, 1) - 1.0).abs() < 1e-15);
+        assert!((u.get(1, 1) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            cholesky_upper(&a),
+            Err(LinalgError::NotPositiveDefinite { pivot_index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn semidefinite_rejected() {
+        // Rank-1 Gram matrix of collinear covariates.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(cholesky_upper(&a).is_err());
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        assert!(matches!(
+            cholesky_upper(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

@@ -1,0 +1,228 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Needed by the kinship/LMM path (§5 assumes "an eigendecomposition of
+//! the kinship kernel can be shared" — someone has to compute it) and as
+//! the plaintext reference for the secure PCA extension. Jacobi is
+//! simple, backward-stable, and for the matrix sizes here (kinship blocks
+//! and K×K/R×R Gram matrices up to a few thousand) its O(n³) sweeps are
+//! perfectly adequate.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as columns, aligned with `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigenpairs of a symmetric matrix by cyclic Jacobi
+/// rotations.
+///
+/// `a` must be square and (numerically) symmetric — asymmetry beyond a
+/// small tolerance is reported as an error rather than silently
+/// symmetrized, because it usually indicates a caller bug.
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    // Symmetry check, scaled.
+    let scale = a
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |acc, v| acc.max(v.abs()))
+        .max(f64::MIN_POSITIVE);
+    for i in 0..n {
+        for j in 0..i {
+            if (a.get(i, j) - a.get(j, i)).abs() > 1e-8 * scale {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "symmetric_eigen (matrix not symmetric)",
+                    lhs: (i, j),
+                    rhs: (j, i),
+                });
+            }
+        }
+    }
+
+    let mut m = a.clone();
+    // Enforce exact symmetry so rotations stay consistent.
+    for i in 0..n {
+        for j in 0..i {
+            let avg = 0.5 * (m.get(i, j) + m.get(j, i));
+            m.set(i, j, avg);
+            m.set(j, i, avg);
+        }
+    }
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 64;
+    for _sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius mass.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m.get(i, j).powi(2);
+            }
+        }
+        if off.sqrt() <= 1e-14 * scale * n as f64 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Rotation angle (Golub & Van Loan, sym. Schur 2x2).
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply J(p,q,θ)ᵀ M J(p,q,θ) in place.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    // Extract and sort descending.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+    let values: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (dst, (_, src)) in pairs.iter().enumerate() {
+        vectors.col_mut(dst).copy_from_slice(v.col(*src));
+    }
+    Ok(SymmetricEigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gemm, gemm_at_b};
+
+    fn reconstruct(e: &SymmetricEigen) -> Matrix {
+        // V diag(λ) Vᵀ
+        let n = e.values.len();
+        let mut vl = e.vectors.clone();
+        for j in 0..n {
+            for val in vl.col_mut(j) {
+                *val *= e.values[j];
+            }
+        }
+        gemm(&vl, &e.vectors.transpose()).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector of 3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn random_spd_reconstruction_and_orthogonality() {
+        let mut s = 7u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for n in [3usize, 8, 20] {
+            let b = Matrix::from_fn(n + 2, n, |_, _| next());
+            let a = gemm_at_b(&b, &b).unwrap();
+            let e = symmetric_eigen(&a).unwrap();
+            // Descending, non-negative (SPD up to round-off).
+            for w in e.values.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12);
+            }
+            assert!(e.values[n - 1] > -1e-9);
+            // VᵀV = I.
+            let vtv = gemm_at_b(&e.vectors, &e.vectors).unwrap();
+            assert!(vtv.max_abs_diff(&Matrix::identity(n)).unwrap() < 1e-10, "n={n}");
+            // Reconstruction.
+            let rec = reconstruct(&e);
+            let scale = 1.0 + crate::ops::frobenius_norm(&a);
+            assert!(rec.max_abs_diff(&a).unwrap() / scale < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_supported() {
+        // Symmetric but indefinite: eigenvalues of opposite signs.
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[2.0, 0.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 2.0).abs() < 1e-12);
+        assert!((e.values[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_and_frobenius_preserved() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5][..],
+            &[1.0, 3.0, -1.0][..],
+            &[0.5, -1.0, 2.0][..],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let trace: f64 = e.values.iter().sum();
+        assert!((trace - 9.0).abs() < 1e-10);
+        let sumsq: f64 = e.values.iter().map(|v| v * v).sum();
+        let frob2 = crate::ops::self_dot(a.as_slice());
+        assert!((sumsq - frob2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]).unwrap();
+        assert!(symmetric_eigen(&a).is_err());
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn identity_eigen() {
+        let e = symmetric_eigen(&Matrix::identity(5)).unwrap();
+        assert!(e.values.iter().all(|&v| (v - 1.0).abs() < 1e-14));
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type shared by all linear-algebra kernels.
+
+use std::fmt;
+
+/// Errors produced by the `dash-linalg` kernels.
+///
+/// Every variant carries enough context to diagnose the failing call without
+/// a debugger; shape errors name both operands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// Name of the operation that failed, e.g. `"gemv_t"`.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`; vectors are
+        /// reported as `(len, 1)`.
+        rhs: (usize, usize),
+    },
+    /// A factorization required more rows than columns (tall input) but the
+    /// input was wide.
+    NotTall { rows: usize, cols: usize },
+    /// A matrix expected to be square was not.
+    NotSquare { rows: usize, cols: usize },
+    /// A triangular solve or inversion hit a (near-)zero pivot; the matrix is
+    /// singular to working precision.
+    Singular { pivot_index: usize, pivot: f64 },
+    /// Cholesky hit a non-positive pivot: the input is not positive definite
+    /// (e.g. the permanent covariates are collinear).
+    NotPositiveDefinite { pivot_index: usize, pivot: f64 },
+    /// An input that must be non-empty (e.g. the block list fed to TSQR) was
+    /// empty.
+    EmptyInput { op: &'static str },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: dimension mismatch between {}x{} and {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotTall { rows, cols } => write!(
+                f,
+                "factorization requires rows >= cols, got {rows}x{cols}"
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "expected a square matrix, got {rows}x{cols}")
+            }
+            LinalgError::Singular { pivot_index, pivot } => write!(
+                f,
+                "matrix is singular to working precision (pivot {pivot_index} = {pivot:e})"
+            ),
+            LinalgError::NotPositiveDefinite { pivot_index, pivot } => write!(
+                f,
+                "matrix is not positive definite (pivot {pivot_index} = {pivot:e}); \
+                 are the permanent covariates collinear?"
+            ),
+            LinalgError::EmptyInput { op } => write!(f, "{op}: empty input"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_operation_and_shapes() {
+        let e = LinalgError::DimensionMismatch {
+            op: "gemv",
+            lhs: (3, 4),
+            rhs: (5, 1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gemv"));
+        assert!(s.contains("3x4"));
+        assert!(s.contains("5x1"));
+    }
+
+    #[test]
+    fn display_singular_names_pivot() {
+        let e = LinalgError::Singular {
+            pivot_index: 2,
+            pivot: 0.0,
+        };
+        assert!(e.to_string().contains("pivot 2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<LinalgError>();
+    }
+}

@@ -1,0 +1,286 @@
+//! Thin Householder QR.
+//!
+//! For a tall matrix `A` (n×k, n ≥ k) computes `A = Q R` with `Q` n×k having
+//! orthonormal columns and `R` k×k upper triangular. The factorization uses
+//! Householder reflections (backward-stable, unlike classical Gram-Schmidt)
+//! and then normalizes signs so that `diag(R) ≥ 0`.
+//!
+//! The sign convention matters for the multi-party protocol: every party
+//! derives `Q_k = C_k R⁻¹` from the *same* combined `R`, and the
+//! aggregate-only secure mode recovers `R` as the Cholesky factor of
+//! `CᵀC`, whose diagonal is positive by construction. Fixing
+//! `diag(R) ≥ 0` everywhere makes all three derivations (direct QR, TSQR
+//! tree, Cholesky) agree exactly instead of "up to column signs".
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::ops::dot;
+
+/// Result of a thin QR factorization.
+#[derive(Debug, Clone)]
+pub struct ThinQr {
+    /// n×k matrix with orthonormal columns.
+    pub q: Matrix,
+    /// k×k upper triangular factor with non-negative diagonal.
+    pub r: Matrix,
+}
+
+/// In-place Householder factorization of `work` (n×k).
+///
+/// On return the upper triangle of the first k rows holds `R`; the strict
+/// lower part of column `j` holds the tail of the Householder vector `v_j`
+/// (with implicit `v_j[j] = 1`), and `betas[j]` its scaling.
+fn householder_inplace(work: &mut Matrix, betas: &mut Vec<f64>) {
+    let k = work.cols();
+    betas.clear();
+    for j in 0..k {
+        // Build the reflector from work[j.., j].
+        let col = work.col_mut(j);
+        let (alpha, beta) = {
+            let x = &col[j..];
+            let sigma = dot(&x[1..], &x[1..]);
+            let x0 = x[0];
+            if sigma == 0.0 {
+                // Already upper triangular in this column; identity reflector.
+                (x0, 0.0)
+            } else {
+                let mu = (x0 * x0 + sigma).sqrt();
+                // v0 = x0 - mu, computed without cancellation when x0 > 0;
+                // with this choice H x = +mu e1 in both branches.
+                let v0 = if x0 <= 0.0 { x0 - mu } else { -sigma / (x0 + mu) };
+                let beta = 2.0 * v0 * v0 / (sigma + v0 * v0);
+                // Normalize so v[0] == 1.
+                for xi in &mut col[j + 1..] {
+                    *xi /= v0;
+                }
+                (mu, beta)
+            }
+        };
+        betas.push(beta);
+        work.set(j, j, alpha);
+        if beta == 0.0 {
+            continue;
+        }
+        // Apply (I - beta v vᵀ) to the trailing columns.
+        let (vcol_full, rest_start) = (j, j + 1);
+        for c in rest_start..k {
+            // w = vᵀ a  (v has implicit leading 1 at row j)
+            let (vcol, acol) = work.two_cols_mut(vcol_full, c);
+            let v_tail = &vcol[j + 1..];
+            let mut w = acol[j];
+            w += dot(v_tail, &acol[j + 1..]);
+            let bw = beta * w;
+            acol[j] -= bw;
+            for (ai, vi) in acol[j + 1..].iter_mut().zip(v_tail) {
+                *ai -= bw * vi;
+            }
+        }
+    }
+}
+
+/// Extracts the k×k upper-triangular `R` from the factored workspace.
+fn extract_r(work: &Matrix) -> Matrix {
+    let k = work.cols();
+    Matrix::from_fn(k, k, |i, j| if i <= j { work.get(i, j) } else { 0.0 })
+}
+
+/// Forms the thin `Q` (n×k) by applying the stored reflectors to the first
+/// k columns of the identity, in reverse order.
+fn form_q(work: &Matrix, betas: &[f64]) -> Matrix {
+    let n = work.rows();
+    let k = work.cols();
+    let mut q = Matrix::zeros(n, k);
+    for j in 0..k {
+        q.set(j, j, 1.0);
+    }
+    for j in (0..k).rev() {
+        let beta = betas[j];
+        if beta == 0.0 {
+            continue;
+        }
+        let v_tail: &[f64] = &work.col(j)[j + 1..];
+        for c in 0..k {
+            let qc = q.col_mut(c);
+            let mut w = qc[j];
+            w += dot(v_tail, &qc[j + 1..]);
+            let bw = beta * w;
+            qc[j] -= bw;
+            for (qi, vi) in qc[j + 1..].iter_mut().zip(v_tail) {
+                *qi -= bw * vi;
+            }
+        }
+    }
+    q
+}
+
+/// Flips signs so `diag(R) ≥ 0`, adjusting `Q` to keep `QR` unchanged.
+fn normalize_signs(q: Option<&mut Matrix>, r: &mut Matrix) {
+    let k = r.cols();
+    let mut flips = Vec::new();
+    for i in 0..k {
+        if r.get(i, i) < 0.0 {
+            flips.push(i);
+            for j in i..k {
+                let v = r.get(i, j);
+                r.set(i, j, -v);
+            }
+        }
+    }
+    if let Some(q) = q {
+        for &i in &flips {
+            for v in q.col_mut(i) {
+                *v = -*v;
+            }
+        }
+    }
+}
+
+/// Thin QR factorization `A = QR` with `diag(R) ≥ 0`.
+///
+/// Errors with [`LinalgError::NotTall`] when `A` has more columns than rows.
+/// Rank deficiency is *not* an error here — it surfaces as a (near-)zero
+/// diagonal entry of `R`, which downstream triangular inversion reports as
+/// [`LinalgError::Singular`].
+pub fn qr_thin(a: &Matrix) -> Result<ThinQr, LinalgError> {
+    if a.rows() < a.cols() {
+        return Err(LinalgError::NotTall {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let mut work = a.clone();
+    let mut betas = Vec::new();
+    householder_inplace(&mut work, &mut betas);
+    let mut r = extract_r(&work);
+    let mut q = form_q(&work, &betas);
+    normalize_signs(Some(&mut q), &mut r);
+    Ok(ThinQr { q, r })
+}
+
+/// Computes only the `R` factor of the thin QR (what each party publishes
+/// or secret-shares in the multi-party protocol — `Q` never leaves the
+/// party).
+pub fn qr_r_factor(a: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.rows() < a.cols() {
+        return Err(LinalgError::NotTall {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let mut work = a.clone();
+    let mut betas = Vec::new();
+    householder_inplace(&mut work, &mut betas);
+    let mut r = extract_r(&work);
+    normalize_signs(None, &mut r);
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gemm, gemm_at_b};
+
+    fn rand_matrix(n: usize, k: usize, seed: u64) -> Matrix {
+        // Small deterministic LCG so this module does not need `rand`.
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        Matrix::from_fn(n, k, |_, _| next())
+    }
+
+    fn assert_orthonormal(q: &Matrix, tol: f64) {
+        let qtq = gemm_at_b(q, q).unwrap();
+        let eye = Matrix::identity(q.cols());
+        assert!(
+            qtq.max_abs_diff(&eye).unwrap() < tol,
+            "QᵀQ deviates from I by {}",
+            qtq.max_abs_diff(&eye).unwrap()
+        );
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        for (n, k, seed) in [(5, 3, 1), (10, 1, 2), (8, 8, 3), (200, 6, 4)] {
+            let a = rand_matrix(n, k, seed);
+            let ThinQr { q, r } = qr_thin(&a).unwrap();
+            let qr = gemm(&q, &r).unwrap();
+            assert!(
+                qr.max_abs_diff(&a).unwrap() < 1e-10,
+                "n={n} k={k}: |QR - A| = {}",
+                qr.max_abs_diff(&a).unwrap()
+            );
+            assert_orthonormal(&q, 1e-12);
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_nonneg_diag() {
+        let a = rand_matrix(20, 5, 7);
+        let ThinQr { r, .. } = qr_thin(&a).unwrap();
+        for i in 0..5 {
+            assert!(r.get(i, i) >= 0.0, "diag {i} = {}", r.get(i, i));
+            for j in 0..i {
+                assert_eq!(r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn r_only_matches_full_factorization() {
+        let a = rand_matrix(30, 4, 11);
+        let full = qr_thin(&a).unwrap();
+        let r_only = qr_r_factor(&a).unwrap();
+        assert!(full.r.max_abs_diff(&r_only).unwrap() < 1e-13);
+    }
+
+    #[test]
+    fn wide_input_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(qr_thin(&a), Err(LinalgError::NotTall { .. })));
+        assert!(qr_r_factor(&a).is_err());
+    }
+
+    #[test]
+    fn already_triangular_input() {
+        // Upper-triangular input with positive diagonal: R should equal it.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0], &[0.0, 0.0]]).unwrap();
+        let ThinQr { q, r } = qr_thin(&a).unwrap();
+        assert!(r.max_abs_diff(&Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]).unwrap())
+            .unwrap()
+            < 1e-14);
+        assert_orthonormal(&q, 1e-14);
+    }
+
+    #[test]
+    fn rank_deficient_produces_zero_diagonal_not_error() {
+        // Two identical columns.
+        let c0 = [1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_cols(&[&c0, &c0]).unwrap();
+        let r = qr_r_factor(&a).unwrap();
+        assert!(r.get(1, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_column_norm() {
+        let a = Matrix::from_cols(&[&[3.0, 4.0]]).unwrap();
+        let ThinQr { q, r } = qr_thin(&a).unwrap();
+        assert!((r.get(0, 0) - 5.0).abs() < 1e-14);
+        assert!((q.get(0, 0) - 0.6).abs() < 1e-14);
+        assert!((q.get(1, 0) - 0.8).abs() < 1e-14);
+    }
+
+    #[test]
+    fn qr_matches_cholesky_of_gram() {
+        // R from QR must equal chol(AᵀA) given the positive-diagonal
+        // convention — the identity the aggregate-only secure mode relies on.
+        let a = rand_matrix(50, 4, 23);
+        let r = qr_r_factor(&a).unwrap();
+        let gram = gemm_at_b(&a, &a).unwrap();
+        let u = crate::chol::cholesky_upper(&gram).unwrap();
+        assert!(r.max_abs_diff(&u).unwrap() < 1e-10);
+    }
+}

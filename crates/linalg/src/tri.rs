@@ -1,0 +1,198 @@
+//! Triangular solves and inversion.
+//!
+//! The multi-party protocol needs exactly one triangular operation: each
+//! party privately forms `Q_k = C_k R⁻¹` from the combined k×k factor `R`.
+//! `R` is tiny (K ≤ ~24 in GWAS practice) so a dense inverse is cheap and
+//! lets `C_k R⁻¹` be computed as one pass over `C_k`.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Relative pivot threshold below which a triangular matrix is reported
+/// singular. Scaled by the largest diagonal magnitude.
+const PIVOT_RTOL: f64 = 1e-12;
+
+fn check_square(a: &Matrix) -> Result<usize, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    Ok(a.rows())
+}
+
+fn max_diag(a: &Matrix) -> f64 {
+    (0..a.rows())
+        .map(|i| a.get(i, i).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Solves `U x = b` for upper-triangular `U` by back substitution.
+pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = check_square(u)?;
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "solve_upper",
+            lhs: u.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let scale = max_diag(u);
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for j in i + 1..n {
+            s -= u.get(i, j) * x[j];
+        }
+        let p = u.get(i, i);
+        if p.abs() <= PIVOT_RTOL * scale || p == 0.0 {
+            return Err(LinalgError::Singular {
+                pivot_index: i,
+                pivot: p,
+            });
+        }
+        x[i] = s / p;
+    }
+    Ok(x)
+}
+
+/// Solves `L x = b` for lower-triangular `L` by forward substitution.
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = check_square(l)?;
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "solve_lower",
+            lhs: l.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let scale = max_diag(l);
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let mut s = x[i];
+        for j in 0..i {
+            s -= l.get(i, j) * x[j];
+        }
+        let p = l.get(i, i);
+        if p.abs() <= PIVOT_RTOL * scale || p == 0.0 {
+            return Err(LinalgError::Singular {
+                pivot_index: i,
+                pivot: p,
+            });
+        }
+        x[i] = s / p;
+    }
+    Ok(x)
+}
+
+/// Inverts an upper-triangular matrix.
+///
+/// Column `j` of the inverse solves `U x = e_j`; the result is again upper
+/// triangular. Errors with [`LinalgError::Singular`] on a (near-)zero
+/// diagonal — for the scan this means the permanent covariates are
+/// collinear and the model is unidentifiable.
+pub fn invert_upper(u: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = check_square(u)?;
+    let scale = max_diag(u);
+    let mut inv = Matrix::zeros(n, n);
+    for i in 0..n {
+        let p = u.get(i, i);
+        if p.abs() <= PIVOT_RTOL * scale || p == 0.0 {
+            return Err(LinalgError::Singular {
+                pivot_index: i,
+                pivot: p,
+            });
+        }
+    }
+    for j in 0..n {
+        // Back substitution for e_j, exploiting that entries below j are 0.
+        let col = inv.col_mut(j);
+        col[j] = 1.0 / u.get(j, j);
+        for i in (0..j).rev() {
+            let mut s = 0.0;
+            for l in i + 1..=j {
+                s -= u.get(i, l) * col[l];
+            }
+            col[i] = s / u.get(i, i);
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::gemm;
+
+    fn upper(vals: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(vals).unwrap()
+    }
+
+    #[test]
+    fn solve_upper_known() {
+        let u = upper(&[&[2.0, 1.0], &[0.0, 4.0]]);
+        let x = solve_upper(&u, &[4.0, 8.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_lower_known() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 4.0]]).unwrap();
+        let x = solve_lower(&l, &[4.0, 9.0]).unwrap();
+        assert_eq!(x, vec![2.0, 1.75]);
+    }
+
+    #[test]
+    fn invert_upper_roundtrip() {
+        let u = upper(&[&[3.0, 1.0, 2.0], &[0.0, 2.0, -1.0], &[0.0, 0.0, 5.0]]);
+        let inv = invert_upper(&u).unwrap();
+        let prod = gemm(&u, &inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-14);
+        // Inverse of upper triangular stays upper triangular.
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(inv.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let u = upper(&[&[1.0, 1.0], &[0.0, 0.0]]);
+        assert!(matches!(
+            invert_upper(&u),
+            Err(LinalgError::Singular { pivot_index: 1, .. })
+        ));
+        assert!(solve_upper(&u, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn near_singular_relative_to_scale_detected() {
+        // Diagonal entry 14 orders of magnitude below the largest one.
+        let u = upper(&[&[1e8, 0.0], &[0.0, 1e-7]]);
+        assert!(invert_upper(&u).is_err());
+    }
+
+    #[test]
+    fn shape_errors() {
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            invert_upper(&rect),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let u = Matrix::identity(3);
+        assert!(solve_upper(&u, &[1.0, 2.0]).is_err());
+        assert!(solve_lower(&u, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn identity_inverse_is_identity() {
+        let i = Matrix::identity(4);
+        assert!(invert_upper(&i)
+            .unwrap()
+            .max_abs_diff(&i)
+            .unwrap()
+            .eq(&0.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! TSQR — tall-and-skinny QR by tree reduction over row blocks.
+//!
+//! This is the "Tall and skinny QR factorizations in MapReduce
+//! architectures" construction from the paper's footnote 2, and it is also
+//! the mathematical heart of the multi-party QR step (§3): if the rows of
+//! `C` are partitioned into blocks `C_1 … C_P` and each block has thin-QR
+//! factor `R_k`, then the `R` factor of the stacked `S = [R_1; …; R_P]`
+//! equals the `R` factor of `C` itself. The parties therefore only ever
+//! exchange k×k triangles — never rows.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::qr::qr_r_factor;
+
+/// Combines two k×k (or generally tall) R factors into the R factor of
+/// their vertical stack. One level of the TSQR tree; also the pairwise
+/// combine of the paper's footnote-3 binary tree.
+pub fn combine_r_factors(ra: &Matrix, rb: &Matrix) -> Result<Matrix, LinalgError> {
+    let stacked = Matrix::vstack(&[ra, rb])?;
+    qr_r_factor(&stacked)
+}
+
+/// Computes the R factor of the virtual vertical stack of `blocks` by
+/// binary tree reduction.
+///
+/// Each block must have the same column count k and at least k rows.
+/// The result is identical (to rounding, with the positive-diagonal
+/// convention making signs exact) to `qr_r_factor(vstack(blocks))`.
+pub fn tsqr_r(blocks: &[Matrix]) -> Result<Matrix, LinalgError> {
+    if blocks.is_empty() {
+        return Err(LinalgError::EmptyInput { op: "tsqr_r" });
+    }
+    // Leaf factorizations.
+    let mut level: Vec<Matrix> = blocks
+        .iter()
+        .map(qr_r_factor)
+        .collect::<Result<_, _>>()?;
+    // Tree reduction: pair up, factor the stacks, repeat.
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut iter = level.chunks(2);
+        for pair in &mut iter {
+            match pair {
+                [a, b] => next.push(combine_r_factors(a, b)?),
+                [a] => next.push(a.clone()),
+                _ => unreachable!("chunks(2) yields 1 or 2 items"),
+            }
+        }
+        level = next;
+    }
+    Ok(level.pop().expect("non-empty by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_matrix(n: usize, k: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        Matrix::from_fn(n, k, |_, _| next())
+    }
+
+    #[test]
+    fn tsqr_matches_direct_qr() {
+        for (parts, seed) in [(2usize, 5u64), (3, 6), (4, 7), (7, 8)] {
+            let k = 4;
+            let blocks: Vec<Matrix> = (0..parts)
+                .map(|i| rand_matrix(10 + 3 * i, k, seed + i as u64))
+                .collect();
+            let tree_r = tsqr_r(&blocks).unwrap();
+            let refs: Vec<&Matrix> = blocks.iter().collect();
+            let direct_r = qr_r_factor(&Matrix::vstack(&refs).unwrap()).unwrap();
+            assert!(
+                tree_r.max_abs_diff(&direct_r).unwrap() < 1e-10,
+                "parts={parts}: diff {}",
+                tree_r.max_abs_diff(&direct_r).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn single_block_is_plain_qr() {
+        let a = rand_matrix(12, 3, 42);
+        let via_tree = tsqr_r(std::slice::from_ref(&a)).unwrap();
+        let direct = qr_r_factor(&a).unwrap();
+        assert!(via_tree.max_abs_diff(&direct).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn combine_is_associative_up_to_rounding() {
+        let k = 3;
+        let r1 = qr_r_factor(&rand_matrix(8, k, 1)).unwrap();
+        let r2 = qr_r_factor(&rand_matrix(9, k, 2)).unwrap();
+        let r3 = qr_r_factor(&rand_matrix(10, k, 3)).unwrap();
+        let left = combine_r_factors(&combine_r_factors(&r1, &r2).unwrap(), &r3).unwrap();
+        let right = combine_r_factors(&r1, &combine_r_factors(&r2, &r3).unwrap()).unwrap();
+        assert!(left.max_abs_diff(&right).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            tsqr_r(&[]),
+            Err(LinalgError::EmptyInput { op: "tsqr_r" })
+        ));
+    }
+
+    #[test]
+    fn mismatched_widths_rejected() {
+        let a = rand_matrix(5, 2, 1);
+        let b = rand_matrix(5, 3, 2);
+        assert!(tsqr_r(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn short_block_rejected() {
+        // A block with fewer rows than columns cannot be leaf-factored.
+        let a = rand_matrix(2, 3, 1);
+        assert!(tsqr_r(std::slice::from_ref(&a)).is_err());
+    }
+}

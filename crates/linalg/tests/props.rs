@@ -1,0 +1,149 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use dash_linalg::{
+    cholesky_upper, combine_r_factors, gemm_at_b, invert_upper, qr_r_factor, qr_thin,
+    solve_upper, tsqr_r, Matrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a tall matrix with n in [k, k+16], k in [1, 6], entries in
+/// [-10, 10].
+fn tall_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=6).prop_flat_map(|k| {
+        (k..k + 17).prop_flat_map(move |n| {
+            proptest::collection::vec(-10.0f64..10.0, n * k)
+                .prop_map(move |data| Matrix::from_column_major(n, k, data).unwrap())
+        })
+    })
+}
+
+/// Strategy: an SPD matrix built as BᵀB + I.
+fn spd_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=5).prop_flat_map(|k| {
+        proptest::collection::vec(-3.0f64..3.0, (k + 3) * k).prop_map(move |data| {
+            let b = Matrix::from_column_major(k + 3, k, data).unwrap();
+            let mut g = gemm_at_b(&b, &b).unwrap();
+            for i in 0..k {
+                let v = g.get(i, i);
+                g.set(i, i, v + 1.0);
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qr_reconstruction_and_orthonormality(a in tall_matrix()) {
+        let f = qr_thin(&a).unwrap();
+        // QᵀQ = I
+        let qtq = gemm_at_b(&f.q, &f.q).unwrap();
+        let eye = Matrix::identity(a.cols());
+        prop_assert!(qtq.max_abs_diff(&eye).unwrap() < 1e-9);
+        // QR = A (relative to the magnitude of A)
+        let qr = dash_linalg::ops::gemm(&f.q, &f.r).unwrap();
+        let scale = 1.0 + dash_linalg::frobenius_norm(&a);
+        prop_assert!(qr.max_abs_diff(&a).unwrap() / scale < 1e-10);
+        // diag(R) >= 0
+        for i in 0..a.cols() {
+            prop_assert!(f.r.get(i, i) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn r_factor_matches_gram_cholesky(a in tall_matrix()) {
+        let r = qr_r_factor(&a).unwrap();
+        let gram = gemm_at_b(&a, &a).unwrap();
+        // Cholesky can legitimately fail when the random matrix is
+        // near-rank-deficient; only compare when it succeeds.
+        if let Ok(u) = cholesky_upper(&gram) {
+            let scale = 1.0 + dash_linalg::frobenius_norm(&gram);
+            prop_assert!(r.max_abs_diff(&u).unwrap() / scale < 1e-7);
+        }
+    }
+
+    #[test]
+    fn tsqr_agrees_with_pooled_qr(a in tall_matrix(), splits in 2usize..5) {
+        let n = a.rows();
+        let k = a.cols();
+        // Only split when each part can stay tall.
+        prop_assume!(n >= splits * k);
+        let per = n / splits;
+        let mut blocks = Vec::new();
+        let mut start = 0;
+        for i in 0..splits {
+            let end = if i + 1 == splits { n } else { start + per };
+            blocks.push(a.row_block(start, end));
+            start = end;
+        }
+        let tree = tsqr_r(&blocks).unwrap();
+        let direct = qr_r_factor(&a).unwrap();
+        let scale = 1.0 + dash_linalg::frobenius_norm(&direct);
+        prop_assert!(tree.max_abs_diff(&direct).unwrap() / scale < 1e-8);
+    }
+
+    #[test]
+    fn combine_r_commutes(a in tall_matrix(), b_seed in 0u64..1000) {
+        // R factor of [A; B] equals that of [B; A]: the paper's claim that
+        // the R factors depend only on the product-preserving isometry orbit.
+        let k = a.cols();
+        let n = a.rows();
+        let mut s = b_seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+        };
+        let b = Matrix::from_fn(n.max(k), k, |_, _| next());
+        let ra = qr_r_factor(&a).unwrap();
+        let rb = qr_r_factor(&b).unwrap();
+        let ab = combine_r_factors(&ra, &rb).unwrap();
+        let ba = combine_r_factors(&rb, &ra).unwrap();
+        let scale = 1.0 + dash_linalg::frobenius_norm(&ab);
+        prop_assert!(ab.max_abs_diff(&ba).unwrap() / scale < 1e-8);
+    }
+
+    #[test]
+    fn upper_inverse_solves(u_src in spd_matrix()) {
+        let u = cholesky_upper(&u_src).unwrap();
+        let inv = invert_upper(&u).unwrap();
+        let prod = dash_linalg::ops::gemm(&u, &inv).unwrap();
+        let eye = Matrix::identity(u.rows());
+        prop_assert!(prod.max_abs_diff(&eye).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn solve_upper_residual(g in spd_matrix(), seed in 0u64..100) {
+        let u = cholesky_upper(&g).unwrap();
+        let n = u.rows();
+        let b: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 7) as f64 - 3.0).collect();
+        let x = solve_upper(&u, &b).unwrap();
+        // U x should reproduce b.
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in i..n {
+                s += u.get(i, j) * x[j];
+            }
+            prop_assert!((s - b[i]).abs() < 1e-8 * (1.0 + b[i].abs()));
+        }
+    }
+
+    #[test]
+    fn cholesky_diag_positive(g in spd_matrix()) {
+        let u = cholesky_upper(&g).unwrap();
+        for i in 0..u.rows() {
+            prop_assert!(u.get(i, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn vstack_row_block_roundtrip(a in tall_matrix(), cut_frac in 0.0f64..1.0) {
+        let n = a.rows();
+        let cut = ((n as f64) * cut_frac) as usize;
+        let top = a.row_block(0, cut);
+        let bot = a.row_block(cut, n);
+        let back = Matrix::vstack(&[&top, &bot]).unwrap();
+        prop_assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,152 @@
+//! Disclosure audit log.
+//!
+//! The security argument of the paper is about *what is revealed*, not
+//! about ciphertext: each mode discloses a different set of aggregates
+//! (per-party R factors vs. only CᵀC; K-vector aggregates vs. only final
+//! dot products). Every protocol in this crate records what it opens into
+//! a shared [`DisclosureLog`], so tests and the E6 "security ladder"
+//! experiment can assert the leakage of a configuration instead of taking
+//! it on faith.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// One opened (published) quantity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Disclosure {
+    /// Whose private data this derives from; `None` means an aggregate
+    /// over all parties (the only kind the secure modes should produce).
+    pub source_party: Option<usize>,
+    /// Human-readable label, e.g. `"aggregate X·y"` or
+    /// `"party 2 R factor"`.
+    pub label: String,
+    /// Number of scalar values opened under this label.
+    pub scalars: usize,
+}
+
+impl fmt::Display for Disclosure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.source_party {
+            Some(p) => write!(f, "[party {p}] {} ({} scalars)", self.label, self.scalars),
+            None => write!(f, "[aggregate] {} ({} scalars)", self.label, self.scalars),
+        }
+    }
+}
+
+/// A log of everything any protocol opened, shared across all simulated
+/// parties. Cloning is cheap (Arc).
+#[derive(Debug, Clone, Default)]
+pub struct DisclosureLog {
+    entries: Arc<Mutex<Vec<Disclosure>>>,
+}
+
+impl DisclosureLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that an aggregate (no single party's data) was opened.
+    pub fn record_aggregate(&self, label: impl Into<String>, scalars: usize) {
+        self.entries.lock().push(Disclosure {
+            source_party: None,
+            label: label.into(),
+            scalars,
+        });
+    }
+
+    /// Records that one party's own-derived quantity was published.
+    pub fn record_party(&self, party: usize, label: impl Into<String>, scalars: usize) {
+        self.entries.lock().push(Disclosure {
+            source_party: Some(party),
+            label: label.into(),
+            scalars,
+        });
+    }
+
+    /// Snapshot of all entries so far.
+    pub fn entries(&self) -> Vec<Disclosure> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of disclosures whose source is a single party — the quantity
+    /// the stricter modes drive to zero.
+    pub fn per_party_disclosures(&self) -> usize {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|d| d.source_party.is_some())
+            .count()
+    }
+
+    /// Total scalars opened (aggregate and per-party combined).
+    pub fn total_scalars(&self) -> usize {
+        self.entries.lock().iter().map(|d| d.scalars).sum()
+    }
+
+    /// Total scalars opened that derive from a single party.
+    pub fn per_party_scalars(&self) -> usize {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|d| d.source_party.is_some())
+            .map(|d| d.scalars)
+            .sum()
+    }
+
+    /// Clears the log (between experiment repetitions).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let log = DisclosureLog::new();
+        log.record_aggregate("aggregate X·y", 100);
+        log.record_party(2, "party 2 R factor", 6);
+        log.record_aggregate("aggregate y·y", 1);
+        assert_eq!(log.entries().len(), 3);
+        assert_eq!(log.per_party_disclosures(), 1);
+        assert_eq!(log.total_scalars(), 107);
+        assert_eq!(log.per_party_scalars(), 6);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let log = DisclosureLog::new();
+        let clone = log.clone();
+        clone.record_aggregate("x", 1);
+        assert_eq!(log.entries().len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let log = DisclosureLog::new();
+        log.record_aggregate("x", 5);
+        log.clear();
+        assert!(log.entries().is_empty());
+        assert_eq!(log.total_scalars(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Disclosure {
+            source_party: Some(1),
+            label: "R factor".into(),
+            scalars: 6,
+        };
+        assert!(d.to_string().contains("party 1"));
+        let agg = Disclosure {
+            source_party: None,
+            label: "total".into(),
+            scalars: 2,
+        };
+        assert!(agg.to_string().contains("aggregate"));
+    }
+}

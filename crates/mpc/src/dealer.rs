@@ -1,0 +1,247 @@
+//! Trusted dealer for Beaver preprocessing.
+//!
+//! The Beaver mode needs correlated randomness that is independent of the
+//! parties' inputs: scalar triples `(a, b, c = a·b)` and inner-product
+//! triples `(a⃗, b⃗, c = a⃗·b⃗)`, each additively shared across the parties.
+//! A trusted dealer is the standard "offline phase" abstraction for
+//! semi-honest protocols (in production it would be replaced by OT- or
+//! HE-based preprocessing; the *online* protocol — and hence the
+//! communication the experiments measure — is identical either way, so the
+//! substitution preserves the behaviour the paper cares about).
+
+use crate::error::MpcError;
+use crate::field::F61;
+use crate::prg::Prg;
+use crate::share::share_field;
+use std::collections::VecDeque;
+
+/// One party's share of a scalar Beaver triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeaverTriple {
+    /// Share of `a`.
+    pub a: F61,
+    /// Share of `b`.
+    pub b: F61,
+    /// Share of `c = a·b`.
+    pub c: F61,
+}
+
+/// One party's share of an inner-product triple over vectors of a fixed
+/// length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InnerTriple {
+    /// Share of the masking vector `a⃗`.
+    pub a: Vec<F61>,
+    /// Share of the masking vector `b⃗`.
+    pub b: Vec<F61>,
+    /// Share of the scalar `c = a⃗·b⃗`.
+    pub c: F61,
+}
+
+/// A queue of preprocessed material handed to one party before the online
+/// phase.
+#[derive(Debug, Clone, Default)]
+pub struct PartyTriples {
+    scalars: VecDeque<BeaverTriple>,
+    inners: VecDeque<InnerTriple>,
+}
+
+impl PartyTriples {
+    /// Takes the next scalar triple.
+    pub fn next_scalar(&mut self) -> Result<BeaverTriple, MpcError> {
+        self.scalars
+            .pop_front()
+            .ok_or(MpcError::DealerExhausted {
+                what: "scalar Beaver triples",
+            })
+    }
+
+    /// Takes the next inner-product triple.
+    pub fn next_inner(&mut self) -> Result<InnerTriple, MpcError> {
+        self.inners
+            .pop_front()
+            .ok_or(MpcError::DealerExhausted {
+                what: "inner-product triples",
+            })
+    }
+
+    /// Remaining scalar triples.
+    pub fn scalars_left(&self) -> usize {
+        self.scalars.len()
+    }
+
+    /// Remaining inner-product triples.
+    pub fn inners_left(&self) -> usize {
+        self.inners.len()
+    }
+}
+
+/// The dealer itself: a seeded generator of shared correlated randomness.
+#[derive(Debug)]
+pub struct TrustedDealer {
+    n: usize,
+    prg: Prg,
+}
+
+impl TrustedDealer {
+    /// Creates a dealer for `n ≥ 1` parties.
+    pub fn new(n: usize, seed: u64) -> Result<Self, MpcError> {
+        if n == 0 {
+            return Err(MpcError::BadPartyCount { n_parties: 0, min: 1 });
+        }
+        Ok(TrustedDealer {
+            n,
+            prg: Prg::from_seed(Prg::derive_seed(seed, 0xDEA1)),
+        })
+    }
+
+    /// Deals `count` scalar triples; returns one [`PartyTriples`] per
+    /// party (inner queues empty).
+    pub fn deal_scalars(&mut self, count: usize) -> Vec<PartyTriples> {
+        let mut out: Vec<PartyTriples> = (0..self.n).map(|_| PartyTriples::default()).collect();
+        for _ in 0..count {
+            let a = self.prg.next_field();
+            let b = self.prg.next_field();
+            let c = a * b;
+            let sa = share_field(a, self.n, &mut self.prg);
+            let sb = share_field(b, self.n, &mut self.prg);
+            let sc = share_field(c, self.n, &mut self.prg);
+            for p in 0..self.n {
+                out[p].scalars.push_back(BeaverTriple {
+                    a: sa[p],
+                    b: sb[p],
+                    c: sc[p],
+                });
+            }
+        }
+        out
+    }
+
+    /// Deals `count` inner-product triples over vectors of length `len`.
+    pub fn deal_inners(&mut self, len: usize, count: usize) -> Vec<PartyTriples> {
+        let mut out: Vec<PartyTriples> = (0..self.n).map(|_| PartyTriples::default()).collect();
+        for _ in 0..count {
+            let a: Vec<F61> = self.prg.field_vec(len);
+            let b: Vec<F61> = self.prg.field_vec(len);
+            let c = a
+                .iter()
+                .zip(&b)
+                .fold(F61::ZERO, |acc, (&x, &y)| acc + x * y);
+            let mut shares_a: Vec<Vec<F61>> = (0..self.n).map(|_| Vec::with_capacity(len)).collect();
+            let mut shares_b: Vec<Vec<F61>> = (0..self.n).map(|_| Vec::with_capacity(len)).collect();
+            for i in 0..len {
+                for (p, s) in share_field(a[i], self.n, &mut self.prg).into_iter().enumerate() {
+                    shares_a[p].push(s);
+                }
+                for (p, s) in share_field(b[i], self.n, &mut self.prg).into_iter().enumerate() {
+                    shares_b[p].push(s);
+                }
+            }
+            let sc = share_field(c, self.n, &mut self.prg);
+            for p in (0..self.n).rev() {
+                out[p].inners.push_back(InnerTriple {
+                    a: shares_a.pop().expect("one per party"),
+                    b: shares_b.pop().expect("one per party"),
+                    c: sc[p],
+                });
+            }
+        }
+        out
+    }
+
+    /// Merges additional material into existing queues (so one party
+    /// bundle can carry both scalar and inner triples).
+    pub fn merge(into: &mut [PartyTriples], from: Vec<PartyTriples>) {
+        for (dst, src) in into.iter_mut().zip(from) {
+            dst.scalars.extend(src.scalars);
+            dst.inners.extend(src.inners);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::share::reconstruct_field;
+
+    #[test]
+    fn zero_parties_rejected() {
+        assert!(TrustedDealer::new(0, 1).is_err());
+    }
+
+    #[test]
+    fn scalar_triples_satisfy_relation() {
+        let mut d = TrustedDealer::new(3, 7).unwrap();
+        let mut per_party = d.deal_scalars(5);
+        for _ in 0..5 {
+            let trs: Vec<BeaverTriple> = per_party
+                .iter_mut()
+                .map(|p| p.next_scalar().unwrap())
+                .collect();
+            let a = reconstruct_field(&trs.iter().map(|t| t.a).collect::<Vec<_>>());
+            let b = reconstruct_field(&trs.iter().map(|t| t.b).collect::<Vec<_>>());
+            let c = reconstruct_field(&trs.iter().map(|t| t.c).collect::<Vec<_>>());
+            assert_eq!(a * b, c);
+        }
+        // Exhaustion reported.
+        assert!(matches!(
+            per_party[0].next_scalar(),
+            Err(MpcError::DealerExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn inner_triples_satisfy_relation() {
+        let mut d = TrustedDealer::new(4, 9).unwrap();
+        let mut per_party = d.deal_inners(6, 3);
+        for _ in 0..3 {
+            let trs: Vec<InnerTriple> = per_party
+                .iter_mut()
+                .map(|p| p.next_inner().unwrap())
+                .collect();
+            let len = trs[0].a.len();
+            assert_eq!(len, 6);
+            // Reconstruct a, b element-wise and c.
+            let mut dot = F61::ZERO;
+            for i in 0..len {
+                let ai = reconstruct_field(&trs.iter().map(|t| t.a[i]).collect::<Vec<_>>());
+                let bi = reconstruct_field(&trs.iter().map(|t| t.b[i]).collect::<Vec<_>>());
+                dot += ai * bi;
+            }
+            let c = reconstruct_field(&trs.iter().map(|t| t.c).collect::<Vec<_>>());
+            assert_eq!(dot, c);
+        }
+    }
+
+    #[test]
+    fn shares_differ_across_parties() {
+        let mut d = TrustedDealer::new(3, 11).unwrap();
+        let mut pp = d.deal_scalars(1);
+        let t0 = pp[0].next_scalar().unwrap();
+        let t1 = pp[1].next_scalar().unwrap();
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn merge_combines_queues() {
+        let mut d = TrustedDealer::new(2, 3).unwrap();
+        let mut bundle = d.deal_scalars(2);
+        let inners = d.deal_inners(4, 1);
+        TrustedDealer::merge(&mut bundle, inners);
+        assert_eq!(bundle[0].scalars_left(), 2);
+        assert_eq!(bundle[0].inners_left(), 1);
+        assert_eq!(bundle[1].scalars_left(), 2);
+        assert_eq!(bundle[1].inners_left(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let deal = |seed| {
+            let mut d = TrustedDealer::new(2, seed).unwrap();
+            let mut pp = d.deal_scalars(1);
+            pp[0].next_scalar().unwrap()
+        };
+        assert_eq!(deal(5), deal(5));
+        assert_ne!(deal(5), deal(6));
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type for the MPC substrate.
+
+use std::fmt;
+
+/// Errors from encoding, protocols and the simulated network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpcError {
+    /// A value did not fit the fixed-point range for the configured number
+    /// of fractional bits. The caller should reduce `frac_bits` or rescale
+    /// its statistics.
+    FixedPointOverflow {
+        value: f64,
+        max_abs: f64,
+        frac_bits: u32,
+    },
+    /// A non-finite value (NaN/∞) was handed to the fixed-point encoder.
+    NotFinite { value: f64 },
+    /// `frac_bits` outside the supported range.
+    BadFracBits { frac_bits: u32, max: u32 },
+    /// Two protocol inputs disagreed on length.
+    LengthMismatch {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// A message arrived with the wrong protocol tag — the parties are out
+    /// of sync, which in a deterministic protocol is a programming error on
+    /// the caller's side (e.g. parties running different mode configs).
+    UnexpectedMessage {
+        expected_tag: u32,
+        got_tag: u32,
+        from: usize,
+    },
+    /// A channel to a peer closed mid-protocol (peer thread panicked or
+    /// exited early).
+    ChannelClosed { peer: usize },
+    /// The dealer ran out of preprocessed material for this protocol run.
+    DealerExhausted { what: &'static str },
+    /// A party id outside `0..n_parties`.
+    NoSuchParty { id: usize, n_parties: usize },
+    /// The number of parties is unsupported for the operation (e.g. fewer
+    /// than two for a multi-party protocol).
+    BadPartyCount { n_parties: usize, min: usize },
+}
+
+impl fmt::Display for MpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpcError::FixedPointOverflow {
+                value,
+                max_abs,
+                frac_bits,
+            } => write!(
+                f,
+                "value {value} exceeds fixed-point range ±{max_abs} at {frac_bits} fractional bits"
+            ),
+            MpcError::NotFinite { value } => {
+                write!(f, "cannot encode non-finite value {value}")
+            }
+            MpcError::BadFracBits { frac_bits, max } => {
+                write!(f, "frac_bits = {frac_bits} outside supported range 1..={max}")
+            }
+            MpcError::LengthMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected length {expected}, got {got}"),
+            MpcError::UnexpectedMessage {
+                expected_tag,
+                got_tag,
+                from,
+            } => write!(
+                f,
+                "protocol desync: expected tag {expected_tag}, got {got_tag} from party {from}"
+            ),
+            MpcError::ChannelClosed { peer } => {
+                write!(f, "channel to party {peer} closed mid-protocol")
+            }
+            MpcError::DealerExhausted { what } => {
+                write!(f, "trusted dealer ran out of {what}")
+            }
+            MpcError::NoSuchParty { id, n_parties } => {
+                write!(f, "party id {id} out of range for {n_parties} parties")
+            }
+            MpcError::BadPartyCount { n_parties, min } => {
+                write!(f, "{n_parties} parties unsupported; need at least {min}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_overflow_names_limits() {
+        let e = MpcError::FixedPointOverflow {
+            value: 1e20,
+            max_abs: 2147483648.0,
+            frac_bits: 32,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1e20") || s.contains("100000000000000000000"));
+        assert!(s.contains("32"));
+    }
+
+    #[test]
+    fn display_desync_names_parties() {
+        let e = MpcError::UnexpectedMessage {
+            expected_tag: 3,
+            got_tag: 7,
+            from: 2,
+        };
+        assert!(e.to_string().contains("party 2"));
+    }
+}

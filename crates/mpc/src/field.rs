@@ -1,0 +1,254 @@
+//! The Mersenne prime field F_p with p = 2⁶¹ − 1.
+//!
+//! The Beaver-triple mode multiplies secret-shared values, which needs a
+//! field (so masked differences `x − a` are uniformly distributed and
+//! inverses exist for test tooling). p = 2⁶¹ − 1 is chosen because the
+//! product of two reduced elements fits in a `u128` and reduction is two
+//! shifts and an add — no Montgomery machinery required.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// The modulus 2⁶¹ − 1 (a Mersenne prime).
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// An element of F_{2⁶¹−1}, kept reduced to `0..MODULUS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F61(u64);
+
+impl F61 {
+    /// The additive identity.
+    pub const ZERO: F61 = F61(0);
+    /// The multiplicative identity.
+    pub const ONE: F61 = F61(1);
+
+    /// Creates an element, reducing mod p.
+    #[inline]
+    pub fn new(v: u64) -> Self {
+        F61(reduce64(v))
+    }
+
+    /// The canonical representative in `0..MODULUS`.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Maps a signed integer into the field (negative values wrap to
+    /// `p − |v|`).
+    #[inline]
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            F61::new(v as u64)
+        } else {
+            -F61::new(v.unsigned_abs())
+        }
+    }
+
+    /// Interprets the element as a signed integer in `(−p/2, p/2]` —
+    /// the inverse of [`F61::from_i64`] for in-range values.
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        if self.0 > MODULUS / 2 {
+            -((MODULUS - self.0) as i64)
+        } else {
+            self.0 as i64
+        }
+    }
+
+    /// Modular exponentiation by squaring.
+    pub fn pow(self, mut e: u64) -> F61 {
+        let mut base = self;
+        let mut acc = F61::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem; `None` for zero.
+    pub fn inverse(self) -> Option<F61> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.pow(MODULUS - 2))
+        }
+    }
+
+    /// Sums a slice of field elements.
+    pub fn sum(elems: &[F61]) -> F61 {
+        elems.iter().fold(F61::ZERO, |acc, &e| acc + e)
+    }
+}
+
+/// Reduces a u64 mod 2⁶¹ − 1.
+#[inline]
+fn reduce64(v: u64) -> u64 {
+    // v = hi·2^61 + lo ≡ hi + lo (mod p); one conditional subtract
+    // finishes because hi ≤ 7 after the first fold.
+    let folded = (v >> 61) + (v & MODULUS);
+    if folded >= MODULUS {
+        folded - MODULUS
+    } else {
+        folded
+    }
+}
+
+/// Reduces a u128 product mod 2⁶¹ − 1.
+#[inline]
+fn reduce128(v: u128) -> u64 {
+    // Split into 61-bit limbs: v = a·2^122 + b·2^61 + c ≡ a + b + c.
+    let lo = (v as u64) & MODULUS;
+    let mid = ((v >> 61) as u64) & MODULUS;
+    let hi = (v >> 122) as u64; // < 2^6
+    reduce64(reduce64(lo + mid) + hi)
+}
+
+impl Add for F61 {
+    type Output = F61;
+    #[inline]
+    fn add(self, rhs: F61) -> F61 {
+        let s = self.0 + rhs.0; // ≤ 2(p−1) < 2^62, no overflow
+        F61(if s >= MODULUS { s - MODULUS } else { s })
+    }
+}
+
+impl AddAssign for F61 {
+    #[inline]
+    fn add_assign(&mut self, rhs: F61) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for F61 {
+    type Output = F61;
+    #[inline]
+    fn sub(self, rhs: F61) -> F61 {
+        let s = self.0.wrapping_sub(rhs.0);
+        F61(if self.0 < rhs.0 { s.wrapping_add(MODULUS) } else { s })
+    }
+}
+
+impl SubAssign for F61 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: F61) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for F61 {
+    type Output = F61;
+    #[inline]
+    fn neg(self) -> F61 {
+        if self.0 == 0 {
+            self
+        } else {
+            F61(MODULUS - self.0)
+        }
+    }
+}
+
+impl Mul for F61 {
+    type Output = F61;
+    #[inline]
+    fn mul(self, rhs: F61) -> F61 {
+        F61(reduce128(self.0 as u128 * rhs.0 as u128))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(F61::new(MODULUS), F61::ZERO);
+        assert_eq!(F61::new(MODULUS + 5).value(), 5);
+        assert_eq!(F61::new(u64::MAX).value(), u64::MAX % MODULUS);
+    }
+
+    #[test]
+    fn additive_group_laws() {
+        let a = F61::new(0x1234_5678_9ABC_DEF0);
+        let b = F61::new(0x0FED_CBA9_8765_4321);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a + F61::ZERO, a);
+        assert_eq!(a + (-a), F61::ZERO);
+        assert_eq!(a - b + b, a);
+    }
+
+    #[test]
+    fn subtraction_borrows_correctly() {
+        let small = F61::new(3);
+        let big = F61::new(10);
+        assert_eq!((small - big).value(), MODULUS - 7);
+        assert_eq!((small - big) + big, small);
+    }
+
+    #[test]
+    fn multiplication_against_u128_reference() {
+        let pairs = [
+            (1u64, 1u64),
+            (MODULUS - 1, MODULUS - 1),
+            (0x1FFF_FFFF_FFFF_FFFF, 0x1234_5678),
+            (987654321, 123456789),
+        ];
+        for &(x, y) in &pairs {
+            let expect = ((x as u128 * y as u128) % MODULUS as u128) as u64;
+            assert_eq!((F61::new(x) * F61::new(y)).value(), expect, "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        for &v in &[1u64, 2, 3, 1 << 60, MODULUS - 1, 9999999967] {
+            let x = F61::new(v);
+            let inv = x.inverse().unwrap();
+            assert_eq!(x * inv, F61::ONE, "v={v}");
+        }
+        assert!(F61::ZERO.inverse().is_none());
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let x = F61::new(12345);
+        assert_eq!(x.pow(0), F61::ONE);
+        assert_eq!(x.pow(1), x);
+        assert_eq!(x.pow(2), x * x);
+        // Fermat: x^(p−1) = 1.
+        assert_eq!(x.pow(MODULUS - 1), F61::ONE);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for &v in &[0i64, 1, -1, 1 << 59, -(1 << 59), 424242, -987654321] {
+            assert_eq!(F61::from_i64(v).as_i64(), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn signed_arithmetic_consistent() {
+        let a = F61::from_i64(-5000);
+        let b = F61::from_i64(1200);
+        assert_eq!((a + b).as_i64(), -3800);
+        assert_eq!((a * b).as_i64(), -6_000_000);
+    }
+
+    #[test]
+    fn sum_of_slice() {
+        let v = [F61::from_i64(7), F61::from_i64(-3), F61::from_i64(-4)];
+        assert_eq!(F61::sum(&v), F61::ZERO);
+        assert_eq!(F61::sum(&[]), F61::ZERO);
+    }
+
+    #[test]
+    fn distributivity() {
+        let a = F61::new(0x0123_4567_89AB_CDEF % MODULUS);
+        let b = F61::new(0x1111_2222_3333_4444 % MODULUS);
+        let c = F61::new(0x0FFF_EEEE_DDDD_CCCC % MODULUS);
+        assert_eq!(a * (b + c), a * b + a * c);
+    }
+}

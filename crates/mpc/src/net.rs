@@ -1,0 +1,434 @@
+//! Simulated multi-party network with exact communication accounting.
+//!
+//! Each ordered pair of parties gets an unbounded in-process channel
+//! (crossbeam), and every message is framed into bytes so that the
+//! per-link counters measure exactly what a TCP deployment would ship.
+//! The paper's headline communication claim — O(M) inter-party bits,
+//! independent of N — is validated against these counters in experiment
+//! E3, and the [`CostModel`] converts them into simulated LAN/WAN wall
+//! clock for the E4 overhead tables.
+
+use crate::audit::DisclosureLog;
+use crate::error::MpcError;
+use crate::party::PartyCtx;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Framing overhead charged per message (4-byte tag + 8-byte length),
+/// mirroring a minimal length-prefixed wire protocol.
+pub const HEADER_BYTES: u64 = 12;
+
+/// A framed protocol message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Protocol round tag; receivers verify it to catch desyncs early.
+    pub tag: u32,
+    /// Serialized payload.
+    pub payload: Bytes,
+}
+
+/// Per-link byte and message counters, shared by all endpoints of one
+/// network.
+#[derive(Debug)]
+pub struct NetworkStats {
+    n: usize,
+    bytes: Vec<AtomicU64>,
+    msgs: Vec<AtomicU64>,
+}
+
+impl NetworkStats {
+    fn new(n: usize) -> Self {
+        NetworkStats {
+            n,
+            bytes: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            msgs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn record(&self, from: usize, to: usize, payload_len: usize) {
+        let idx = from * self.n + to;
+        self.bytes[idx].fetch_add(HEADER_BYTES + payload_len as u64, Ordering::Relaxed);
+        self.msgs[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of parties.
+    pub fn n_parties(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes sent on the directed link `from → to`.
+    pub fn bytes_between(&self, from: usize, to: usize) -> u64 {
+        self.bytes[from * self.n + to].load(Ordering::Relaxed)
+    }
+
+    /// Messages sent on the directed link `from → to`.
+    pub fn messages_between(&self, from: usize, to: usize) -> u64 {
+        self.msgs[from * self.n + to].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes sent by one party.
+    pub fn bytes_sent_by(&self, party: usize) -> u64 {
+        (0..self.n).map(|j| self.bytes_between(party, j)).sum()
+    }
+
+    /// Total messages sent by one party.
+    pub fn messages_sent_by(&self, party: usize) -> u64 {
+        (0..self.n).map(|j| self.messages_between(party, j)).sum()
+    }
+
+    /// Total bytes over all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total messages over all links.
+    pub fn total_messages(&self) -> u64 {
+        self.msgs.iter().map(|m| m.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Largest per-party outbound byte count — the bottleneck link in a
+    /// symmetric topology.
+    pub fn max_party_bytes(&self) -> u64 {
+        (0..self.n).map(|i| self.bytes_sent_by(i)).max().unwrap_or(0)
+    }
+
+    /// Resets all counters (between experiment repetitions).
+    pub fn reset(&self) {
+        for b in &self.bytes {
+            b.store(0, Ordering::Relaxed);
+        }
+        for m in &self.msgs {
+            m.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A latency/bandwidth model converting counters into simulated seconds.
+///
+/// The estimate is the bottleneck party's serialized cost:
+/// `max_i (messages_i · latency + bytes_i / bandwidth)`. Real protocols
+/// overlap transfers, so this is an upper bound on network time for the
+/// symmetric protocols used here; it is reported as such in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// One-way message latency in seconds.
+    pub latency_s: f64,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl CostModel {
+    /// Data-center LAN: 0.1 ms latency, 10 Gbit/s.
+    pub fn lan() -> Self {
+        CostModel {
+            latency_s: 1e-4,
+            bandwidth_bytes_per_s: 1.25e9,
+        }
+    }
+
+    /// Cross-institution WAN: 30 ms latency, 100 Mbit/s.
+    pub fn wan() -> Self {
+        CostModel {
+            latency_s: 3e-2,
+            bandwidth_bytes_per_s: 1.25e7,
+        }
+    }
+
+    /// Simulated network seconds for a finished protocol run.
+    pub fn estimate_seconds(&self, stats: &NetworkStats) -> f64 {
+        (0..stats.n_parties())
+            .map(|i| {
+                stats.messages_sent_by(i) as f64 * self.latency_s
+                    + stats.bytes_sent_by(i) as f64 / self.bandwidth_bytes_per_s
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// One party's view of the network: senders to every peer, receivers from
+/// every peer.
+#[derive(Debug)]
+pub struct Endpoint {
+    id: usize,
+    n: usize,
+    senders: Vec<Option<Sender<Message>>>,
+    receivers: Vec<Option<Receiver<Message>>>,
+    stats: Arc<NetworkStats>,
+}
+
+impl Endpoint {
+    /// This endpoint's party id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of parties on the network.
+    pub fn n_parties(&self) -> usize {
+        self.n
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &Arc<NetworkStats> {
+        &self.stats
+    }
+
+    /// Sends a vector of u64 words to a peer under a tag.
+    pub fn send_words(&self, to: usize, tag: u32, words: &[u64]) -> Result<(), MpcError> {
+        let sender = self
+            .senders
+            .get(to)
+            .ok_or(MpcError::NoSuchParty {
+                id: to,
+                n_parties: self.n,
+            })?
+            .as_ref()
+            .ok_or(MpcError::NoSuchParty {
+                id: to,
+                n_parties: self.n,
+            })?;
+        let mut buf = BytesMut::with_capacity(words.len() * 8);
+        for &w in words {
+            buf.put_u64_le(w);
+        }
+        let payload = buf.freeze();
+        self.stats.record(self.id, to, payload.len());
+        sender
+            .send(Message { tag, payload })
+            .map_err(|_| MpcError::ChannelClosed { peer: to })
+    }
+
+    /// Receives a word vector from a specific peer, verifying the tag.
+    pub fn recv_words(&self, from: usize, expected_tag: u32) -> Result<Vec<u64>, MpcError> {
+        let receiver = self
+            .receivers
+            .get(from)
+            .ok_or(MpcError::NoSuchParty {
+                id: from,
+                n_parties: self.n,
+            })?
+            .as_ref()
+            .ok_or(MpcError::NoSuchParty {
+                id: from,
+                n_parties: self.n,
+            })?;
+        let msg = receiver
+            .recv()
+            .map_err(|_| MpcError::ChannelClosed { peer: from })?;
+        if msg.tag != expected_tag {
+            return Err(MpcError::UnexpectedMessage {
+                expected_tag,
+                got_tag: msg.tag,
+                from,
+            });
+        }
+        let mut payload = msg.payload;
+        let mut words = Vec::with_capacity(payload.len() / 8);
+        while payload.remaining() >= 8 {
+            words.push(payload.get_u64_le());
+        }
+        Ok(words)
+    }
+}
+
+/// Factory for in-process party networks.
+pub struct Network;
+
+impl Network {
+    /// Builds endpoints for `n` parties plus the shared counters.
+    pub fn endpoints(n: usize) -> Result<(Vec<Endpoint>, Arc<NetworkStats>), MpcError> {
+        if n == 0 {
+            return Err(MpcError::BadPartyCount { n_parties: 0, min: 1 });
+        }
+        let stats = Arc::new(NetworkStats::new(n));
+        // channels[i][j]: sender for link i→j held by i, receiver held by j.
+        let mut senders: Vec<Vec<Option<Sender<Message>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (tx, rx) = unbounded();
+                senders[i][j] = Some(tx);
+                receivers[j][i] = Some(rx);
+            }
+        }
+        let endpoints = senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(id, (s, r))| Endpoint {
+                id,
+                n,
+                senders: s,
+                receivers: r,
+                stats: Arc::clone(&stats),
+            })
+            .collect();
+        Ok((endpoints, stats))
+    }
+
+    /// Runs `n` party threads executing the same (SPMD) protocol closure
+    /// and returns their results in party order.
+    ///
+    /// `seed` derives every party's private randomness and all pairwise
+    /// mask seeds, so runs are fully reproducible. Panics if a party
+    /// panics (tests want the original panic, not a swallowed error).
+    pub fn run_parties<T, F>(n: usize, seed: u64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut PartyCtx) -> T + Sync,
+    {
+        Self::run_parties_detailed(n, seed, f).0
+    }
+
+    /// Like [`Network::run_parties`] but also returns the network counters
+    /// and the disclosure log.
+    pub fn run_parties_detailed<T, F>(
+        n: usize,
+        seed: u64,
+        f: F,
+    ) -> (Vec<T>, Arc<NetworkStats>, DisclosureLog)
+    where
+        T: Send,
+        F: Fn(&mut PartyCtx) -> T + Sync,
+    {
+        let (endpoints, stats) = Self::endpoints(n).expect("n >= 1");
+        let audit = DisclosureLog::new();
+        let results: Vec<T> = std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .map(|ep| {
+                    let audit = audit.clone();
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut ctx = PartyCtx::new(ep, seed, audit);
+                        f(&mut ctx)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("party thread panicked"))
+                .collect()
+        });
+        (results, stats, audit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_parties_rejected() {
+        assert!(matches!(
+            Network::endpoints(0),
+            Err(MpcError::BadPartyCount { .. })
+        ));
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let (eps, stats) = Network::endpoints(2).unwrap();
+        let (a, b) = (&eps[0], &eps[1]);
+        a.send_words(1, 7, &[1, 2, 3]).unwrap();
+        let got = b.recv_words(0, 7).unwrap();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(stats.bytes_between(0, 1), HEADER_BYTES + 24);
+        assert_eq!(stats.messages_between(0, 1), 1);
+        assert_eq!(stats.bytes_between(1, 0), 0);
+    }
+
+    #[test]
+    fn tag_mismatch_detected() {
+        let (eps, _) = Network::endpoints(2).unwrap();
+        eps[0].send_words(1, 1, &[42]).unwrap();
+        assert!(matches!(
+            eps[1].recv_words(0, 2),
+            Err(MpcError::UnexpectedMessage {
+                expected_tag: 2,
+                got_tag: 1,
+                from: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn no_self_link() {
+        let (eps, _) = Network::endpoints(3).unwrap();
+        assert!(eps[1].send_words(1, 0, &[1]).is_err());
+        assert!(eps[1].send_words(9, 0, &[1]).is_err());
+    }
+
+    #[test]
+    fn closed_channel_reported() {
+        let (mut eps, _) = Network::endpoints(2).unwrap();
+        let b = eps.pop().unwrap();
+        drop(eps); // drop party 0, closing its sender side
+        assert!(matches!(
+            b.recv_words(0, 0),
+            Err(MpcError::ChannelClosed { peer: 0 })
+        ));
+    }
+
+    #[test]
+    fn run_parties_all_to_all() {
+        // Every party sends its id to everyone and sums what it receives.
+        let results = Network::run_parties(4, 99, |ctx| {
+            let me = ctx.id() as u64;
+            let tag = ctx.fresh_tag();
+            for j in 0..ctx.n_parties() {
+                if j != ctx.id() {
+                    ctx.endpoint().send_words(j, tag, &[me]).unwrap();
+                }
+            }
+            let mut sum = me;
+            for j in 0..ctx.n_parties() {
+                if j != ctx.id() {
+                    sum += ctx.endpoint().recv_words(j, tag).unwrap()[0];
+                }
+            }
+            sum
+        });
+        assert_eq!(results, vec![6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn stats_aggregation_and_reset() {
+        let (eps, stats) = Network::endpoints(3).unwrap();
+        eps[0].send_words(1, 0, &[0; 10]).unwrap();
+        eps[0].send_words(2, 0, &[0; 5]).unwrap();
+        eps[2].send_words(0, 0, &[0; 1]).unwrap();
+        assert_eq!(stats.bytes_sent_by(0), 2 * HEADER_BYTES + 80 + 40);
+        assert_eq!(stats.total_messages(), 3);
+        assert_eq!(stats.max_party_bytes(), stats.bytes_sent_by(0));
+        stats.reset();
+        assert_eq!(stats.total_bytes(), 0);
+    }
+
+    #[test]
+    fn cost_model_estimates() {
+        let (eps, stats) = Network::endpoints(2).unwrap();
+        eps[0].send_words(1, 0, &[0; 1000]).unwrap();
+        let lan = CostModel::lan();
+        let t = lan.estimate_seconds(&stats);
+        let expect = 1.0 * lan.latency_s + (HEADER_BYTES as f64 + 8000.0) / lan.bandwidth_bytes_per_s;
+        assert!((t - expect).abs() < 1e-12);
+        // WAN is strictly slower.
+        assert!(CostModel::wan().estimate_seconds(&stats) > t);
+    }
+
+    #[test]
+    fn empty_payload_costs_header_only() {
+        let (eps, stats) = Network::endpoints(2).unwrap();
+        eps[0].send_words(1, 3, &[]).unwrap();
+        assert_eq!(eps[1].recv_words(0, 3).unwrap(), Vec::<u64>::new());
+        assert_eq!(stats.bytes_between(0, 1), HEADER_BYTES);
+    }
+}

@@ -1,0 +1,297 @@
+//! Per-party protocol context.
+//!
+//! A [`PartyCtx`] bundles everything one party needs while executing a
+//! protocol: its network endpoint, its private randomness, the pairwise
+//! PRGs shared with each peer (for correlated masks), a synchronized tag
+//! counter, and the shared disclosure log.
+//!
+//! Protocols here are SPMD: every party runs the same function, so the tag
+//! counters and pairwise PRG streams advance in lockstep without any
+//! explicit coordination.
+
+use crate::audit::DisclosureLog;
+use crate::error::MpcError;
+use crate::field::F61;
+use crate::net::Endpoint;
+use crate::prg::Prg;
+use crate::ring::R64;
+
+/// One party's execution context.
+#[derive(Debug)]
+pub struct PartyCtx {
+    ep: Endpoint,
+    rng: Prg,
+    pair_prgs: Vec<Option<Prg>>,
+    audit: DisclosureLog,
+    tag_counter: u32,
+}
+
+impl PartyCtx {
+    /// Builds a context from an endpoint and the network-wide master seed.
+    ///
+    /// Private randomness is derived as `h(master, party)`; the pairwise
+    /// seed for `{i, j}` as `h(master, pair(i,j))`, identically on both
+    /// sides. In a real deployment the pairwise seeds would come from an
+    /// authenticated key exchange; the derivation here stands in for that
+    /// step and keeps runs reproducible.
+    pub fn new(ep: Endpoint, master_seed: u64, audit: DisclosureLog) -> Self {
+        let id = ep.id();
+        let n = ep.n_parties();
+        let rng = Prg::from_seed(Prg::derive_seed(master_seed, 0x5EED_0000 + id as u64));
+        let pair_prgs = (0..n)
+            .map(|j| {
+                if j == id {
+                    None
+                } else {
+                    let (lo, hi) = (id.min(j) as u64, id.max(j) as u64);
+                    let seed = Prg::derive_seed(master_seed, 0x9A19_0000 + lo * 4096 + hi);
+                    Some(Prg::from_seed(seed))
+                }
+            })
+            .collect();
+        PartyCtx {
+            ep,
+            rng,
+            pair_prgs,
+            audit,
+            tag_counter: 1000,
+        }
+    }
+
+    /// This party's id in `0..n_parties`.
+    pub fn id(&self) -> usize {
+        self.ep.id()
+    }
+
+    /// Number of parties.
+    pub fn n_parties(&self) -> usize {
+        self.ep.n_parties()
+    }
+
+    /// The underlying network endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    /// The shared disclosure log.
+    pub fn audit(&self) -> &DisclosureLog {
+        &self.audit
+    }
+
+    /// This party's private randomness.
+    pub fn rng_mut(&mut self) -> &mut Prg {
+        &mut self.rng
+    }
+
+    /// The PRG shared with peer `j`. Errors for `j == id` or out of range.
+    pub fn pair_prg_mut(&mut self, j: usize) -> Result<&mut Prg, MpcError> {
+        let n = self.n_parties();
+        self.pair_prgs
+            .get_mut(j)
+            .and_then(|p| p.as_mut())
+            .ok_or(MpcError::NoSuchParty { id: j, n_parties: n })
+    }
+
+    /// Returns a fresh protocol tag. All parties call protocols in the
+    /// same order, so counters agree across the network.
+    pub fn fresh_tag(&mut self) -> u32 {
+        self.tag_counter += 1;
+        self.tag_counter
+    }
+
+    // ---- typed send/recv helpers -------------------------------------
+
+    /// Sends a ring vector to a peer.
+    pub fn send_ring(&self, to: usize, tag: u32, v: &[R64]) -> Result<(), MpcError> {
+        // R64 is a transparent u64 wrapper; map without extra allocation
+        // cost beyond the word buffer itself.
+        let words: Vec<u64> = v.iter().map(|r| r.0).collect();
+        self.ep.send_words(to, tag, &words)
+    }
+
+    /// Receives a ring vector from a peer.
+    pub fn recv_ring(&self, from: usize, tag: u32) -> Result<Vec<R64>, MpcError> {
+        Ok(self.ep.recv_words(from, tag)?.into_iter().map(R64).collect())
+    }
+
+    /// Sends a field vector to a peer.
+    pub fn send_field(&self, to: usize, tag: u32, v: &[F61]) -> Result<(), MpcError> {
+        let words: Vec<u64> = v.iter().map(|f| f.value()).collect();
+        self.ep.send_words(to, tag, &words)
+    }
+
+    /// Receives a field vector from a peer.
+    pub fn recv_field(&self, from: usize, tag: u32) -> Result<Vec<F61>, MpcError> {
+        Ok(self
+            .ep
+            .recv_words(from, tag)?
+            .into_iter()
+            .map(F61::new)
+            .collect())
+    }
+
+    /// Sends the same ring vector to every other party.
+    pub fn broadcast_ring(&self, tag: u32, v: &[R64]) -> Result<(), MpcError> {
+        for j in 0..self.n_parties() {
+            if j != self.id() {
+                self.send_ring(j, tag, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends the same field vector to every other party.
+    pub fn broadcast_field(&self, tag: u32, v: &[F61]) -> Result<(), MpcError> {
+        for j in 0..self.n_parties() {
+            if j != self.id() {
+                self.send_field(j, tag, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Broadcasts own contribution and element-wise sums everyone's ring
+    /// vectors (the "open" step of an additively shared value).
+    pub fn exchange_sum_ring(&self, tag: u32, own: &[R64]) -> Result<Vec<R64>, MpcError> {
+        self.broadcast_ring(tag, own)?;
+        let mut total = own.to_vec();
+        for j in 0..self.n_parties() {
+            if j == self.id() {
+                continue;
+            }
+            let v = self.recv_ring(j, tag)?;
+            if v.len() != own.len() {
+                return Err(MpcError::LengthMismatch {
+                    what: "exchange_sum_ring",
+                    expected: own.len(),
+                    got: v.len(),
+                });
+            }
+            for (t, s) in total.iter_mut().zip(&v) {
+                *t += *s;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Broadcasts own contribution and element-wise sums everyone's field
+    /// vectors.
+    pub fn exchange_sum_field(&self, tag: u32, own: &[F61]) -> Result<Vec<F61>, MpcError> {
+        self.broadcast_field(tag, own)?;
+        let mut total = own.to_vec();
+        for j in 0..self.n_parties() {
+            if j == self.id() {
+                continue;
+            }
+            let v = self.recv_field(j, tag)?;
+            if v.len() != own.len() {
+                return Err(MpcError::LengthMismatch {
+                    what: "exchange_sum_field",
+                    expected: own.len(),
+                    got: v.len(),
+                });
+            }
+            for (t, s) in total.iter_mut().zip(&v) {
+                *t += *s;
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Network;
+
+    #[test]
+    fn ids_and_counts() {
+        let results = Network::run_parties(3, 1, |ctx| (ctx.id(), ctx.n_parties()));
+        assert_eq!(results, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn private_rngs_differ_across_parties() {
+        let draws = Network::run_parties(3, 5, |ctx| ctx.rng_mut().next_u64());
+        assert_ne!(draws[0], draws[1]);
+        assert_ne!(draws[1], draws[2]);
+        // Reproducible across runs with the same master seed.
+        let again = Network::run_parties(3, 5, |ctx| ctx.rng_mut().next_u64());
+        assert_eq!(draws, again);
+    }
+
+    #[test]
+    fn pairwise_prgs_agree_between_the_pair() {
+        let draws = Network::run_parties(3, 11, |ctx| {
+            let mut out = Vec::new();
+            for j in 0..3 {
+                if j != ctx.id() {
+                    out.push((j, ctx.pair_prg_mut(j).unwrap().next_u64()));
+                }
+            }
+            out
+        });
+        // party0's draw for peer1 == party1's draw for peer0, etc.
+        let get = |i: usize, j: usize| {
+            draws[i]
+                .iter()
+                .find(|(peer, _)| *peer == j)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get(0, 1), get(1, 0));
+        assert_eq!(get(0, 2), get(2, 0));
+        assert_eq!(get(1, 2), get(2, 1));
+        // Different pairs draw different streams.
+        assert_ne!(get(0, 1), get(0, 2));
+    }
+
+    #[test]
+    fn pair_prg_self_rejected() {
+        Network::run_parties(2, 3, |ctx| {
+            let me = ctx.id();
+            assert!(ctx.pair_prg_mut(me).is_err());
+            assert!(ctx.pair_prg_mut(7).is_err());
+        });
+    }
+
+    #[test]
+    fn fresh_tags_synchronized() {
+        let tags = Network::run_parties(3, 1, |ctx| (ctx.fresh_tag(), ctx.fresh_tag()));
+        assert!(tags.iter().all(|&t| t == tags[0]));
+        assert_ne!(tags[0].0, tags[0].1);
+    }
+
+    #[test]
+    fn exchange_sum_ring_totals() {
+        let totals = Network::run_parties(3, 1, |ctx| {
+            let own = vec![R64(ctx.id() as u64 + 1), R64(10 * (ctx.id() as u64 + 1))];
+            let tag = ctx.fresh_tag();
+            ctx.exchange_sum_ring(tag, &own).unwrap()
+        });
+        for t in totals {
+            assert_eq!(t, vec![R64(6), R64(60)]);
+        }
+    }
+
+    #[test]
+    fn exchange_sum_field_totals() {
+        let totals = Network::run_parties(4, 1, |ctx| {
+            let own = vec![F61::from_i64(ctx.id() as i64 - 2)];
+            let tag = ctx.fresh_tag();
+            ctx.exchange_sum_field(tag, &own).unwrap()
+        });
+        for t in totals {
+            assert_eq!(t[0].as_i64(), -2); // (-2) + (-1) + 0 + 1
+        }
+    }
+
+    #[test]
+    fn single_party_exchange_is_identity() {
+        let totals = Network::run_parties(1, 1, |ctx| {
+            let tag = ctx.fresh_tag();
+            ctx.exchange_sum_ring(tag, &[R64(9)]).unwrap()
+        });
+        assert_eq!(totals[0], vec![R64(9)]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Deterministic pseudo-random generation for shares and masks.
+//!
+//! Share expansion and the correlated-mask secure sum both need streams of
+//! uniform ring/field elements that two parties can reproduce from a shared
+//! seed. We wrap `rand`'s `StdRng` (ChaCha-based, cryptographically strong)
+//! rather than hand-rolling a cipher; the wrapper adds uniform sampling of
+//! [`R64`] (trivial) and [`F61`] (rejection sampling of 61-bit words so the
+//! distribution over the field is exactly uniform).
+
+use crate::field::{F61, MODULUS};
+use crate::ring::R64;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded PRG producing uniform ring and field elements.
+///
+/// Two parties constructing `Prg::from_seed(s)` with the same seed draw
+/// identical streams — the basis of the pairwise-mask protocol.
+#[derive(Debug, Clone)]
+pub struct Prg {
+    rng: StdRng,
+}
+
+impl Prg {
+    /// Creates a PRG from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Prg {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives a sub-seed for a labelled purpose, so independent streams
+    /// can be split off one master seed without correlation.
+    pub fn derive_seed(master: u64, label: u64) -> u64 {
+        // SplitMix64 finalizer over master ^ rotated label: cheap,
+        // well-dispersed, and stable across platforms.
+        let mut z = master ^ label.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform 64-bit word.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Next uniform ring element.
+    #[inline]
+    pub fn next_ring(&mut self) -> R64 {
+        R64(self.next_u64())
+    }
+
+    /// Next uniform field element (rejection sampling over 61-bit words;
+    /// acceptance probability is 1 − 2⁻⁶¹, so rejection is astronomically
+    /// rare but keeps exact uniformity).
+    #[inline]
+    pub fn next_field(&mut self) -> F61 {
+        loop {
+            let v = self.next_u64() >> 3; // 61 bits
+            if v < MODULUS {
+                return F61::new(v);
+            }
+        }
+    }
+
+    /// Fills a vector with uniform ring elements.
+    pub fn ring_vec(&mut self, len: usize) -> Vec<R64> {
+        (0..len).map(|_| self.next_ring()).collect()
+    }
+
+    /// Fills a vector with uniform field elements.
+    pub fn field_vec(&mut self, len: usize) -> Vec<F61> {
+        (0..len).map(|_| self.next_field()).collect()
+    }
+
+    /// Uniform f64 in [0, 1) — used by simulators layered on this PRG.
+    pub fn next_f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Prg::from_seed(42);
+        let mut b = Prg::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_eq!(a.ring_vec(16), b.ring_vec(16));
+        assert_eq!(a.field_vec(16), b.field_vec(16));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prg::from_seed(1);
+        let mut b = Prg::from_seed(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_disperses() {
+        let s1 = Prg::derive_seed(7, 0);
+        let s2 = Prg::derive_seed(7, 0);
+        assert_eq!(s1, s2);
+        assert_ne!(Prg::derive_seed(7, 0), Prg::derive_seed(7, 1));
+        assert_ne!(Prg::derive_seed(7, 0), Prg::derive_seed(8, 0));
+    }
+
+    #[test]
+    fn field_elements_in_range() {
+        let mut p = Prg::from_seed(1234);
+        for _ in 0..1000 {
+            assert!(p.next_field().value() < MODULUS);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity_of_ring_high_bit() {
+        // The top bit should be set about half the time.
+        let mut p = Prg::from_seed(99);
+        let ones = (0..4000).filter(|_| p.next_ring().0 >> 63 == 1).count();
+        assert!((1700..2300).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut p = Prg::from_seed(5);
+        for _ in 0..100 {
+            let x = p.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

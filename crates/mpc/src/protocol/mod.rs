@@ -1,0 +1,13 @@
+//! The online protocols.
+//!
+//! - [`sum`]: share-based secure sum — each party's input is split into
+//!   additive shares, partial sums are exchanged, only the total opens.
+//! - [`masked`]: PRG-correlated masked sum — pairwise masks cancel in the
+//!   total; half the traffic of [`sum`] and one round instead of two.
+//! - [`beaver`]: multiplication and inner products on secret-shared
+//!   values via Beaver triples; used by the strictest scan mode, which
+//!   opens only final per-variant dot products.
+
+pub mod beaver;
+pub mod masked;
+pub mod sum;

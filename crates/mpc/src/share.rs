@@ -1,0 +1,191 @@
+//! Additive n-of-n secret sharing over Z₂⁶⁴ and F_{2⁶¹−1}.
+//!
+//! `share(x)` produces n shares that sum to `x`; any n−1 of them are
+//! jointly uniform, so nothing short of the full set reveals anything
+//! about `x`. This is the "simple secret sharing" the paper's §3 invokes.
+
+use crate::field::F61;
+use crate::prg::Prg;
+use crate::ring::R64;
+
+/// Splits a ring element into `n` additive shares.
+///
+/// Panics in debug builds if `n == 0`; protocols guarantee `n ≥ 1`.
+pub fn share_ring(x: R64, n: usize, prg: &mut Prg) -> Vec<R64> {
+    debug_assert!(n >= 1, "cannot share into zero shares");
+    let mut shares = Vec::with_capacity(n);
+    let mut acc = R64::ZERO;
+    for _ in 0..n - 1 {
+        let s = prg.next_ring();
+        acc += s;
+        shares.push(s);
+    }
+    shares.push(x - acc);
+    shares
+}
+
+/// Recombines ring shares.
+pub fn reconstruct_ring(shares: &[R64]) -> R64 {
+    R64::sum(shares)
+}
+
+/// Splits each element of a vector into `n` additive shares; returns one
+/// share-vector per recipient (transposed layout, ready to send).
+pub fn share_ring_vec(xs: &[R64], n: usize, prg: &mut Prg) -> Vec<Vec<R64>> {
+    debug_assert!(n >= 1);
+    let mut out: Vec<Vec<R64>> = (0..n).map(|_| Vec::with_capacity(xs.len())).collect();
+    for &x in xs {
+        let shares = share_ring(x, n, prg);
+        for (recipient, s) in shares.into_iter().enumerate() {
+            out[recipient].push(s);
+        }
+    }
+    out
+}
+
+/// Recombines per-recipient ring share vectors (inverse of
+/// [`share_ring_vec`]).
+pub fn reconstruct_ring_vec(share_vecs: &[Vec<R64>]) -> Vec<R64> {
+    if share_vecs.is_empty() {
+        return Vec::new();
+    }
+    let len = share_vecs[0].len();
+    let mut out = vec![R64::ZERO; len];
+    for sv in share_vecs {
+        debug_assert_eq!(sv.len(), len);
+        for (o, &s) in out.iter_mut().zip(sv) {
+            *o += s;
+        }
+    }
+    out
+}
+
+/// Splits a field element into `n` additive shares.
+pub fn share_field(x: F61, n: usize, prg: &mut Prg) -> Vec<F61> {
+    debug_assert!(n >= 1);
+    let mut shares = Vec::with_capacity(n);
+    let mut acc = F61::ZERO;
+    for _ in 0..n - 1 {
+        let s = prg.next_field();
+        acc += s;
+        shares.push(s);
+    }
+    shares.push(x - acc);
+    shares
+}
+
+/// Recombines field shares.
+pub fn reconstruct_field(shares: &[F61]) -> F61 {
+    F61::sum(shares)
+}
+
+/// Splits each element of a vector into `n` field shares (transposed
+/// layout, one vector per recipient).
+pub fn share_field_vec(xs: &[F61], n: usize, prg: &mut Prg) -> Vec<Vec<F61>> {
+    debug_assert!(n >= 1);
+    let mut out: Vec<Vec<F61>> = (0..n).map(|_| Vec::with_capacity(xs.len())).collect();
+    for &x in xs {
+        let shares = share_field(x, n, prg);
+        for (recipient, s) in shares.into_iter().enumerate() {
+            out[recipient].push(s);
+        }
+    }
+    out
+}
+
+/// Recombines per-recipient field share vectors.
+pub fn reconstruct_field_vec(share_vecs: &[Vec<F61>]) -> Vec<F61> {
+    if share_vecs.is_empty() {
+        return Vec::new();
+    }
+    let len = share_vecs[0].len();
+    let mut out = vec![F61::ZERO; len];
+    for sv in share_vecs {
+        debug_assert_eq!(sv.len(), len);
+        for (o, &s) in out.iter_mut().zip(sv) {
+            *o += s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_share_reconstruct_roundtrip() {
+        let mut prg = Prg::from_seed(1);
+        for &v in &[0i64, 1, -1, i64::MAX, i64::MIN, 123456789] {
+            for n in 1..=5 {
+                let x = R64::from_i64(v);
+                let shares = share_ring(x, n, &mut prg);
+                assert_eq!(shares.len(), n);
+                assert_eq!(reconstruct_ring(&shares), x, "v={v} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn field_share_reconstruct_roundtrip() {
+        let mut prg = Prg::from_seed(2);
+        for &v in &[0i64, 1, -1, 1 << 58, -(1 << 58)] {
+            for n in 1..=5 {
+                let x = F61::from_i64(v);
+                let shares = share_field(x, n, &mut prg);
+                assert_eq!(reconstruct_field(&shares), x, "v={v} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_share_is_value() {
+        let mut prg = Prg::from_seed(3);
+        let x = R64(777);
+        assert_eq!(share_ring(x, 1, &mut prg), vec![x]);
+        let y = F61::new(777);
+        assert_eq!(share_field(y, 1, &mut prg), vec![y]);
+    }
+
+    #[test]
+    fn shares_look_random() {
+        // A fixed value shared twice gives unrelated share sets.
+        let mut prg = Prg::from_seed(4);
+        let x = R64(42);
+        let s1 = share_ring(x, 3, &mut prg);
+        let s2 = share_ring(x, 3, &mut prg);
+        assert_ne!(s1, s2);
+        // No individual share equals the secret (overwhelmingly likely).
+        assert!(s1.iter().filter(|&&s| s == x).count() <= 1);
+    }
+
+    #[test]
+    fn vec_sharing_transposed_layout() {
+        let mut prg = Prg::from_seed(5);
+        let xs = vec![R64(1), R64(2), R64(3)];
+        let per_recipient = share_ring_vec(&xs, 4, &mut prg);
+        assert_eq!(per_recipient.len(), 4);
+        for sv in &per_recipient {
+            assert_eq!(sv.len(), 3);
+        }
+        assert_eq!(reconstruct_ring_vec(&per_recipient), xs);
+    }
+
+    #[test]
+    fn field_vec_sharing_roundtrip() {
+        let mut prg = Prg::from_seed(6);
+        let xs = vec![F61::from_i64(-5), F61::from_i64(17)];
+        let per_recipient = share_field_vec(&xs, 3, &mut prg);
+        assert_eq!(reconstruct_field_vec(&per_recipient), xs);
+    }
+
+    #[test]
+    fn empty_vectors() {
+        let mut prg = Prg::from_seed(7);
+        let shared = share_ring_vec(&[], 3, &mut prg);
+        assert!(shared.iter().all(|s| s.is_empty()));
+        assert!(reconstruct_ring_vec(&shared).is_empty());
+        assert!(reconstruct_ring_vec(&[]).is_empty());
+        assert!(reconstruct_field_vec(&[]).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the MPC substrate.
+
+use dash_mpc::field::{F61, MODULUS};
+use dash_mpc::fixed::FixedPointCodec;
+use dash_mpc::net::Network;
+use dash_mpc::prg::Prg;
+use dash_mpc::protocol::masked::masked_sum_ring;
+use dash_mpc::protocol::sum::secure_sum_ring;
+use dash_mpc::ring::R64;
+use dash_mpc::share::{
+    reconstruct_field, reconstruct_ring, share_field, share_ring,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_sharing_roundtrip(v in any::<u64>(), n in 1usize..8, seed in any::<u64>()) {
+        let mut prg = Prg::from_seed(seed);
+        let shares = share_ring(R64(v), n, &mut prg);
+        prop_assert_eq!(shares.len(), n);
+        prop_assert_eq!(reconstruct_ring(&shares), R64(v));
+    }
+
+    #[test]
+    fn field_sharing_roundtrip(v in 0u64..MODULUS, n in 1usize..8, seed in any::<u64>()) {
+        let mut prg = Prg::from_seed(seed);
+        let shares = share_field(F61::new(v), n, &mut prg);
+        prop_assert_eq!(reconstruct_field(&shares), F61::new(v));
+    }
+
+    #[test]
+    fn field_ops_match_i128_reference(a in 0u64..MODULUS, b in 0u64..MODULUS) {
+        let fa = F61::new(a);
+        let fb = F61::new(b);
+        let m = MODULUS as u128;
+        prop_assert_eq!((fa + fb).value() as u128, (a as u128 + b as u128) % m);
+        prop_assert_eq!((fa * fb).value() as u128, (a as u128 * b as u128) % m);
+        prop_assert_eq!((fa - fb).value() as u128, (a as u128 + m - b as u128) % m);
+    }
+
+    #[test]
+    fn field_inverse_property(a in 1u64..MODULUS) {
+        let fa = F61::new(a);
+        let inv = fa.inverse().unwrap();
+        prop_assert_eq!(fa * inv, F61::ONE);
+    }
+
+    #[test]
+    fn fixed_point_roundtrip_within_half_ulp(
+        x in -1.0e6f64..1.0e6,
+        frac in 8u32..48,
+    ) {
+        let c = FixedPointCodec::new(frac).unwrap();
+        if x.abs() <= c.max_abs_ring() {
+            let enc = c.encode_ring(x).unwrap();
+            let dec = c.decode_ring(enc);
+            prop_assert!((dec - x).abs() <= 0.5 / c.scale() + 1e-12 * x.abs());
+        }
+    }
+
+    #[test]
+    fn fixed_point_encoding_additive(
+        xs in proptest::collection::vec(-1000.0f64..1000.0, 1..20),
+    ) {
+        let c = FixedPointCodec::new(32).unwrap();
+        let enc: Vec<R64> = xs.iter().map(|&x| c.encode_ring(x).unwrap()).collect();
+        let sum_enc = R64::sum(&enc);
+        let sum_clear: f64 = xs.iter().sum();
+        let tol = xs.len() as f64 / c.scale();
+        prop_assert!((c.decode_ring(sum_enc) - sum_clear).abs() <= tol);
+    }
+
+    #[test]
+    fn secure_sum_equals_plain_sum(
+        table in proptest::collection::vec(
+            proptest::collection::vec(-1e5f64..1e5, 3),
+            2..5,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let n = table.len();
+        let codec = FixedPointCodec::new(24).unwrap();
+        let encoded: Vec<Vec<R64>> = table
+            .iter()
+            .map(|row| codec.encode_ring_vec(row).unwrap())
+            .collect();
+        let results = Network::run_parties(n, seed, |ctx| {
+            secure_sum_ring(ctx, &encoded[ctx.id()], "prop").unwrap()
+        });
+        for k in 0..3 {
+            let clear: f64 = table.iter().map(|row| row[k]).sum();
+            let opened = codec.decode_ring(results[0][k]);
+            prop_assert!(
+                (opened - clear).abs() <= (n + 1) as f64 / codec.scale(),
+                "k={k}: {opened} vs {clear}"
+            );
+            // All parties agree exactly.
+            for r in &results {
+                prop_assert_eq!(r[k], results[0][k]);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_and_share_sums_agree(
+        vals in proptest::collection::vec(any::<u64>(), 2..5),
+        seed in any::<u64>(),
+    ) {
+        let n = vals.len();
+        let masked = Network::run_parties(n, seed, |ctx| {
+            masked_sum_ring(ctx, &[R64(vals[ctx.id()])], "m").unwrap()[0]
+        });
+        let shared = Network::run_parties(n, seed, |ctx| {
+            secure_sum_ring(ctx, &[R64(vals[ctx.id()])], "s").unwrap()[0]
+        });
+        let expect = vals.iter().fold(R64::ZERO, |acc, &v| acc + R64(v));
+        prop_assert_eq!(masked[0], expect);
+        prop_assert_eq!(shared[0], expect);
+    }
+
+    #[test]
+    fn shares_of_zero_and_value_indistinguishable_marginally(
+        v in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        // Any strict subset of shares is uniform: the first n-1 shares do
+        // not depend on the secret at all for a fixed PRG stream.
+        let mut prg1 = Prg::from_seed(seed);
+        let mut prg2 = Prg::from_seed(seed);
+        let s_val = share_ring(R64(v), 4, &mut prg1);
+        let s_zero = share_ring(R64::ZERO, 4, &mut prg2);
+        prop_assert_eq!(&s_val[..3], &s_zero[..3]);
+        if v != 0 {
+            prop_assert_ne!(reconstruct_ring(&s_val), reconstruct_ring(&s_zero));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the statistics substrate.
+
+use std::fmt;
+
+/// Errors from distribution constructors and estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was out of range (non-positive degrees of
+    /// freedom, negative variance, …).
+    InvalidParameter {
+        what: &'static str,
+        value: f64,
+    },
+    /// A special-function argument was outside its domain.
+    DomainError {
+        what: &'static str,
+        value: f64,
+    },
+    /// An iterative special-function evaluation failed to converge; the
+    /// argument is reported so the caller can diagnose extreme inputs.
+    NoConvergence {
+        what: &'static str,
+        value: f64,
+    },
+    /// An estimator needs more observations than it was given.
+    NotEnoughData {
+        what: &'static str,
+        needed: usize,
+        got: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter { what, value } => {
+                write!(f, "invalid parameter {what} = {value}")
+            }
+            StatsError::DomainError { what, value } => {
+                write!(f, "{what} called outside its domain with {value}")
+            }
+            StatsError::NoConvergence { what, value } => {
+                write!(f, "{what} did not converge at argument {value}")
+            }
+            StatsError::NotEnoughData { what, needed, got } => {
+                write!(f, "{what} needs at least {needed} observations, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::InvalidParameter {
+            what: "degrees of freedom",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("degrees of freedom"));
+        let e = StatsError::NotEnoughData {
+            what: "meta-analysis",
+            needed: 2,
+            got: 1,
+        };
+        assert!(e.to_string().contains("at least 2"));
+    }
+}

@@ -1,0 +1,110 @@
+//! False discovery rate control: Benjamini–Hochberg q-values.
+//!
+//! Association scans test many hypotheses; alongside the family-wise
+//! (Bonferroni / max-T) view, GWAS reporting commonly quotes BH q-values:
+//! the smallest FDR level at which a variant would be declared.
+
+/// Benjamini–Hochberg adjusted p-values (q-values).
+///
+/// NaN inputs (degenerate variants) propagate as NaN and do not count
+/// toward the number of tests. Values are clamped to [0, 1] and the
+/// step-up monotonicity is enforced.
+pub fn benjamini_hochberg(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.iter().filter(|p| !p.is_nan()).count();
+    if m == 0 {
+        return vec![f64::NAN; p_values.len()];
+    }
+    // Sort indices of finite p-values ascending.
+    let mut order: Vec<usize> = (0..p_values.len())
+        .filter(|&i| !p_values[i].is_nan())
+        .collect();
+    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("non-NaN"));
+    let mut q = vec![f64::NAN; p_values.len()];
+    // Step-up: q_(i) = min_{j >= i} p_(j) * m / j.
+    let mut running_min = f64::INFINITY;
+    for (rank_from_top, &idx) in order.iter().enumerate().rev() {
+        let rank = rank_from_top + 1; // 1-based rank in the sorted order
+        let candidate = p_values[idx] * m as f64 / rank as f64;
+        running_min = running_min.min(candidate);
+        q[idx] = running_min.clamp(0.0, 1.0);
+    }
+    q
+}
+
+/// Indices whose BH q-value is below `fdr` (the BH rejection set).
+pub fn bh_hits(p_values: &[f64], fdr: f64) -> Vec<usize> {
+    benjamini_hochberg(p_values)
+        .iter()
+        .enumerate()
+        .filter(|(_, &q)| q < fdr)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_worked_example() {
+        // Classic textbook set of 5 p-values.
+        let p = [0.01, 0.04, 0.03, 0.005, 0.2];
+        let q = benjamini_hochberg(&p);
+        // Sorted: 0.005, 0.01, 0.03, 0.04, 0.2 → raw BH: 0.025, 0.025,
+        // 0.05, 0.05, 0.2 (after monotone step-up).
+        assert!((q[3] - 0.025).abs() < 1e-12);
+        assert!((q[0] - 0.025).abs() < 1e-12);
+        assert!((q[2] - 0.05).abs() < 1e-12);
+        assert!((q[1] - 0.05).abs() < 1e-12);
+        assert!((q[4] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_p() {
+        let p = [0.001, 0.5, 0.03, 0.9, 0.0001, 0.07];
+        let q = benjamini_hochberg(&p);
+        let mut pairs: Vec<(f64, f64)> = p.iter().copied().zip(q.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-15);
+        }
+        // q >= p always.
+        for (pi, qi) in &pairs {
+            assert!(qi >= pi);
+        }
+    }
+
+    #[test]
+    fn uniform_nulls_mostly_survive() {
+        // Evenly spread p-values: q_(i) = p_(i)·m/i = max ≈ 1 for all.
+        let m = 100;
+        let p: Vec<f64> = (1..=m).map(|i| i as f64 / m as f64).collect();
+        let q = benjamini_hochberg(&p);
+        for qi in &q {
+            assert!((qi - 1.0).abs() < 1e-12);
+        }
+        assert!(bh_hits(&p, 0.05).is_empty());
+    }
+
+    #[test]
+    fn strong_signals_pass() {
+        let mut p = vec![0.5; 50];
+        p[7] = 1e-10;
+        p[23] = 1e-9;
+        let hits = bh_hits(&p, 0.01);
+        assert_eq!(hits, vec![7, 23]);
+    }
+
+    #[test]
+    fn nan_handling() {
+        let p = [0.01, f64::NAN, 0.5];
+        let q = benjamini_hochberg(&p);
+        assert!(q[1].is_nan());
+        assert!(q[0].is_finite() && q[2].is_finite());
+        // m = 2 (NaN excluded): q[0] = 0.01 * 2 / 1 = 0.02.
+        assert!((q[0] - 0.02).abs() < 1e-12);
+        let all_nan = benjamini_hochberg(&[f64::NAN, f64::NAN]);
+        assert!(all_nan.iter().all(|v| v.is_nan()));
+        assert!(benjamini_hochberg(&[]).is_empty());
+    }
+}

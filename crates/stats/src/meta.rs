@@ -1,0 +1,181 @@
+//! Fixed-effect (inverse-variance weighted) meta-analysis.
+//!
+//! §3 of the paper motivates the secure joint scan by what analysts do
+//! *without* it: "meta-analyze within-party estimates, with loss of power
+//! due to noisy standard errors as well as between-group heterogeneity
+//! (c.f. Simpson's paradox)". This module implements that baseline so the
+//! E5 experiment can quantify the gap.
+
+use crate::chi2::ChiSquared;
+use crate::error::StatsError;
+use crate::normal::Normal;
+
+/// The result of combining per-study (per-party) effect estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetaResult {
+    /// Inverse-variance weighted pooled effect estimate.
+    pub beta: f64,
+    /// Standard error of the pooled estimate, `1/√(Σ wᵢ)`.
+    pub se: f64,
+    /// Wald z-statistic `beta/se`.
+    pub z: f64,
+    /// Two-sided normal p-value.
+    pub p: f64,
+    /// Cochran's heterogeneity statistic Q.
+    pub q: f64,
+    /// P-value of Q against χ²(k−1); small values mean the per-party
+    /// effects disagree more than sampling noise explains.
+    pub q_p: f64,
+    /// Higgins' I² heterogeneity proportion in [0, 1].
+    pub i_squared: f64,
+    /// Number of studies combined.
+    pub k: usize,
+}
+
+/// Fixed-effect meta-analysis of `(beta_i, se_i)` pairs.
+///
+/// Requires at least one study with a positive, finite standard error;
+/// studies with non-finite inputs are rejected rather than silently
+/// dropped (a party handing back garbage should be loud).
+pub fn fixed_effect_meta(estimates: &[(f64, f64)]) -> Result<MetaResult, StatsError> {
+    if estimates.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            what: "fixed-effect meta-analysis",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let mut sw = 0.0; // Σ w
+    let mut swb = 0.0; // Σ w·β
+    for &(b, se) in estimates {
+        if !(se > 0.0 && se.is_finite() && b.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                what: "study standard error",
+                value: se,
+            });
+        }
+        let w = 1.0 / (se * se);
+        sw += w;
+        swb += w * b;
+    }
+    let beta = swb / sw;
+    let se = sw.sqrt().recip();
+    let z = beta / se;
+    let p = 2.0 * Normal::standard().sf(z.abs());
+    let (q, q_p, i_squared) = cochran_q_inner(estimates, beta)?;
+    Ok(MetaResult {
+        beta,
+        se,
+        z,
+        p,
+        q,
+        q_p,
+        i_squared,
+        k: estimates.len(),
+    })
+}
+
+/// Cochran's Q heterogeneity test for `(beta_i, se_i)` pairs.
+///
+/// Returns `(Q, p, I²)`. With a single study, Q = 0 and p = 1 by
+/// convention (no heterogeneity is measurable).
+pub fn cochran_q(estimates: &[(f64, f64)]) -> Result<(f64, f64, f64), StatsError> {
+    let pooled = fixed_effect_meta(estimates)?;
+    Ok((pooled.q, pooled.q_p, pooled.i_squared))
+}
+
+fn cochran_q_inner(
+    estimates: &[(f64, f64)],
+    pooled_beta: f64,
+) -> Result<(f64, f64, f64), StatsError> {
+    let k = estimates.len();
+    if k < 2 {
+        return Ok((0.0, 1.0, 0.0));
+    }
+    let mut q = 0.0;
+    for &(b, se) in estimates {
+        let w = 1.0 / (se * se);
+        let d = b - pooled_beta;
+        q += w * d * d;
+    }
+    let df = (k - 1) as f64;
+    let q_p = ChiSquared::new(df)?.sf(q);
+    let i_squared = ((q - df) / q).max(0.0);
+    Ok((q, q_p, i_squared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn equal_weights_average() {
+        // Equal SEs → pooled beta is the plain average, SE shrinks by √k.
+        let r = fixed_effect_meta(&[(1.0, 0.5), (3.0, 0.5)]).unwrap();
+        assert!(close(r.beta, 2.0, 1e-14));
+        assert!(close(r.se, 0.5 / (2.0f64).sqrt(), 1e-14));
+        assert_eq!(r.k, 2);
+    }
+
+    #[test]
+    fn weights_favor_precise_studies() {
+        // Second study has 4x the precision (half the SE → 4x weight).
+        let r = fixed_effect_meta(&[(0.0, 1.0), (5.0, 0.5)]).unwrap();
+        assert!(close(r.beta, 4.0, 1e-13)); // (0·1 + 5·4)/5
+    }
+
+    #[test]
+    fn single_study_passthrough() {
+        let r = fixed_effect_meta(&[(1.5, 0.3)]).unwrap();
+        assert!(close(r.beta, 1.5, 1e-15));
+        assert!(close(r.se, 0.3, 1e-15));
+        assert_eq!(r.q, 0.0);
+        assert_eq!(r.q_p, 1.0);
+    }
+
+    #[test]
+    fn homogeneous_studies_low_q() {
+        let r = fixed_effect_meta(&[(1.0, 0.5), (1.05, 0.5), (0.95, 0.5)]).unwrap();
+        assert!(r.q < 1.0);
+        assert!(r.q_p > 0.5);
+        assert_eq!(r.i_squared, 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_studies_high_q() {
+        // Effects that differ by many standard errors.
+        let r = fixed_effect_meta(&[(2.0, 0.1), (-2.0, 0.1), (0.0, 0.1)]).unwrap();
+        assert!(r.q > 100.0, "q = {}", r.q);
+        assert!(r.q_p < 1e-10);
+        assert!(r.i_squared > 0.9);
+    }
+
+    #[test]
+    fn q_is_weighted_ssd() {
+        // Hand-computed: studies (1, 1), (3, 1); pooled = 2; Q = 1 + 1 = 2.
+        let (q, _, _) = cochran_q(&[(1.0, 1.0), (3.0, 1.0)]).unwrap();
+        assert!(close(q, 2.0, 1e-13));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(fixed_effect_meta(&[]).is_err());
+        assert!(fixed_effect_meta(&[(1.0, 0.0)]).is_err());
+        assert!(fixed_effect_meta(&[(1.0, -1.0)]).is_err());
+        assert!(fixed_effect_meta(&[(f64::NAN, 1.0)]).is_err());
+        assert!(fixed_effect_meta(&[(1.0, f64::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn p_value_consistency() {
+        let r = fixed_effect_meta(&[(1.0, 0.25), (1.2, 0.25)]).unwrap();
+        let z = r.beta / r.se;
+        assert!(close(r.z, z, 1e-14));
+        assert!(r.p < 0.01); // |z| ≈ 6.2
+        assert!(r.p > 0.0);
+    }
+}

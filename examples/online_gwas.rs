@@ -1,0 +1,70 @@
+//! Online secure GWAS: new sample batches arrive over time.
+//!
+//! The paper's preface imagines "secure multi-party GWAS … done on a
+//! public cloud in online fashion as new batches of samples come
+//! online." The §5 Cᵀ-compression makes that a one-liner: every batch
+//! folds into an additive accumulator, and a single-round secure merge
+//! produces the up-to-date joint results at any moment.
+//!
+//! Run with: `cargo run --release --example online_gwas`
+
+use dash_core::model::PartyData;
+use dash_core::online::{secure_online_scan, OnlineScan};
+use dash_core::secure::SecureScanConfig;
+use dash_gwas::pheno::{normal_matrix, sample_standard_normal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let m = 400;
+    let k = 2;
+    let causal = 123usize;
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // Two biobanks keep running accumulators.
+    let mut banks = vec![OnlineScan::new(m, k), OnlineScan::new(m, k)];
+
+    println!("Variant {causal} has a true effect of 0.25; watch it reach significance");
+    println!("as enrollment grows (p from the secure one-round merge):\n");
+    println!("  month  total N  p[{causal}]          genome-wide hit?");
+
+    for month in 1..=8 {
+        // Each month every bank enrolls a new batch.
+        for bank in banks.iter_mut() {
+            let n = 120;
+            let x = normal_matrix(n, m, &mut rng);
+            let c = normal_matrix(n, k, &mut rng);
+            let y: Vec<f64> = (0..n)
+                .map(|i| 0.25 * x.get(i, causal) + sample_standard_normal(&mut rng))
+                .collect();
+            let batch = PartyData::new(y, x, c).unwrap();
+            bank.push_batch(&batch).unwrap();
+        }
+        // One-round secure merge of the running statistics.
+        let (result, report) =
+            secure_online_scan(&banks, &SecureScanConfig::default()).unwrap();
+        let n_total: usize = banks.iter().map(|b| b.n_samples()).sum();
+        let p = result.p[causal];
+        println!(
+            "  {month:>5}  {n_total:>7}  {p:<12.3e}  {}   ({} bytes)",
+            if p < 5e-8 { "YES" } else { "not yet" },
+            report.total_bytes
+        );
+    }
+
+    let (final_result, _) = secure_online_scan(&banks, &SecureScanConfig::default()).unwrap();
+    assert!(
+        final_result.p[causal] < 5e-8,
+        "the planted variant should be significant by month 8"
+    );
+    // And no other variant should beat it.
+    let best = final_result
+        .p
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert_eq!(best, causal);
+    println!("\nOK: the hit emerges online; each month costs one secure round, never a re-scan.");
+}

@@ -1,0 +1,92 @@
+//! Three biobanks run a joint GWAS without sharing genomes.
+//!
+//! The paper's motivating scenario: Alice, Bob and Carla are large
+//! cohorts with genotypes and phenotypes they cannot pool. Each simulates
+//! a realistic cohort (MAF-spectrum genotypes with population-structure
+//! drift, a phenotype with planted causal variants, age/sex-like
+//! covariates), then they run the secure association scan in the
+//! strictest mode and inspect what actually crossed the wire.
+//!
+//! Run with: `cargo run --release --example three_biobanks`
+
+use dash_core::model::{pool_parties, PartyData};
+use dash_core::scan::associate;
+use dash_core::secure::{secure_scan, SecureScanConfig};
+use dash_gwas::power::evaluate_scan;
+use dash_gwas::structure::{simulate_structured_cohorts, StructuredSimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = StructuredSimConfig {
+        party_sizes: vec![800, 1200, 1000], // Alice, Bob, Carla
+        n_variants: 2000,
+        fst: 0.02,
+        party_offsets: vec![0.0, 0.1, -0.1],
+        n_causal: 8,
+        heritability: 0.3,
+        k_covariates: 3,
+        missing_rate: 0.02,
+        standardize_within_party: true,
+    };
+    let mut rng = StdRng::seed_from_u64(2024);
+    let sim = simulate_structured_cohorts(&cfg, &mut rng).unwrap();
+    println!("Cohorts: Alice (800), Bob (1200), Carla (1000); M = 2000 variants, 8 causal.\n");
+
+    // Per-party centering absorbs the batch offsets (the paper's
+    // per-party intercept equivalence).
+    let parties: Vec<PartyData> = sim
+        .parties
+        .iter()
+        .map(|p| {
+            let mut c = p.clone();
+            c.center_all();
+            c
+        })
+        .collect();
+
+    // Strictest security: aggregate-only R factor, Beaver dot products.
+    let out = secure_scan(&parties, &SecureScanConfig::max_security(2024)).unwrap();
+
+    // What did each biobank actually reveal?
+    let per_party = out
+        .disclosures
+        .iter()
+        .filter(|d| d.source_party.is_some())
+        .count();
+    println!("Security audit (max-security mode):");
+    println!("  per-party values opened : {per_party} (must be 0)");
+    for d in out.disclosures.iter().take(6) {
+        println!("  opened: {d}");
+    }
+    println!(
+        "  traffic: {} bytes total, {} bytes worst party\n",
+        out.network.total_bytes, out.network.max_party_bytes
+    );
+    assert_eq!(per_party, 0);
+
+    // Did the joint scan find the planted loci?
+    let report = evaluate_scan(&out.result.p, &sim.causal, 5e-8);
+    println!(
+        "Genome-wide significant (p < 5e-8): {} of {} causal found, {} false positives",
+        report.true_positives, report.n_causal, report.false_positives
+    );
+    let mut hits = out.result.hits(5e-8);
+    hits.sort_by(|&a, &b| out.result.p[a].partial_cmp(&out.result.p[b]).unwrap());
+    println!("\ntop hits:  variant   beta      p         causal?");
+    for &j in hits.iter().take(10) {
+        println!(
+            "          {j:>7} {:>8.4} {:>9.2e}   {}",
+            out.result.beta[j],
+            out.result.p[j],
+            if sim.causal.contains(&j) { "yes" } else { "NO" }
+        );
+    }
+
+    // And it equals what a trusted pooled analysis would have produced.
+    let reference = associate(&pool_parties(&parties).unwrap()).unwrap();
+    let diff = out.result.max_rel_diff(&reference).unwrap();
+    println!("\nmax rel diff vs pooled plaintext: {diff:.2e}");
+    assert!(diff < 1e-4);
+    println!("OK: joint GWAS at full pooled power, zero per-party disclosure.");
+}

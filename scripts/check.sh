@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full verification sweep: build, tests, docs, experiments.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (all targets)"
+cargo build --workspace --all-targets --release
+
+echo "== tests"
+cargo test --workspace --release
+
+echo "== docs"
+cargo doc --workspace --no-deps
+
+echo "== experiments (E1..E11)"
+cargo run --release -p dash-bench --bin run_all
+
+echo "== done"

@@ -1,0 +1,10 @@
+//! `dash-suite` is the umbrella package for the DASH workspace. It exists to
+//! host the cross-crate integration tests in `tests/` and the runnable
+//! examples in `examples/`; the re-exports below give those a single import
+//! root.
+
+pub use dash_core as core;
+pub use dash_gwas as gwas;
+pub use dash_linalg as linalg;
+pub use dash_mpc as mpc;
+pub use dash_stats as stats;

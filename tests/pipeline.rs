@@ -1,0 +1,117 @@
+//! Full-pipeline integration test: simulate structured cohorts, persist
+//! and reload them through the TSV layer, run plaintext / secure / meta
+//! analyses, and score everything against the planted truth.
+
+use dash_core::meta::meta_analyze_scan;
+use dash_core::model::{pool_parties, PartyData};
+use dash_core::scan::associate;
+use dash_core::secure::{secure_scan, SecureScanConfig};
+use dash_gwas::io::{read_matrix_tsv, read_scan_tsv, write_matrix_tsv, write_scan_tsv};
+use dash_gwas::power::{evaluate_scan, lambda_gc};
+use dash_gwas::structure::{simulate_structured_cohorts, StructuredSimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sim() -> dash_gwas::structure::StructuredCohorts {
+    let cfg = StructuredSimConfig {
+        party_sizes: vec![250, 300, 200],
+        n_variants: 400,
+        fst: 0.02,
+        party_offsets: vec![],
+        n_causal: 6,
+        heritability: 0.35,
+        k_covariates: 2,
+        missing_rate: 0.01,
+        standardize_within_party: true,
+    };
+    let mut rng = StdRng::seed_from_u64(77);
+    simulate_structured_cohorts(&cfg, &mut rng).unwrap()
+}
+
+#[test]
+fn end_to_end_gwas_pipeline() {
+    let cohorts = sim();
+
+    // 1. Secure joint scan.
+    let out = secure_scan(&cohorts.parties, &SecureScanConfig::paper_default(5)).unwrap();
+
+    // 2. It matches the pooled plaintext scan.
+    let pooled = pool_parties(&cohorts.parties).unwrap();
+    let reference = associate(&pooled).unwrap();
+    assert!(out.result.max_rel_diff(&reference).unwrap() < 1e-6);
+
+    // 3. Power against planted truth is high, FPR controlled.
+    let report = evaluate_scan(&out.result.p, &cohorts.causal, 1e-5);
+    assert!(report.power >= 0.5, "power {}", report.power);
+    assert!(
+        report.false_positive_rate < 0.01,
+        "fpr {}",
+        report.false_positive_rate
+    );
+
+    // 4. Calibration: lambda over the non-causal variants near 1.
+    let null_ps: Vec<f64> = out
+        .result
+        .p
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| !cohorts.causal.contains(j))
+        .map(|(_, &p)| p)
+        .collect();
+    let lambda = lambda_gc(&null_ps);
+    assert!((0.8..1.25).contains(&lambda), "lambda {lambda}");
+
+    // 5. Meta-analysis agrees on direction for the strongest hit.
+    let meta = meta_analyze_scan(&cohorts.parties).unwrap();
+    let best = out
+        .result
+        .p
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert_eq!(
+        meta.beta[best].signum(),
+        out.result.beta[best].signum(),
+        "meta and joint disagree on the top hit's direction"
+    );
+}
+
+#[test]
+fn tsv_roundtrip_preserves_analysis() {
+    let cohorts = sim();
+    let party = &cohorts.parties[0];
+    let dir = std::env::temp_dir();
+    let xp = dir.join(format!("dash_it_x_{}.tsv", std::process::id()));
+    let cp = dir.join(format!("dash_it_c_{}.tsv", std::process::id()));
+    let yp = dir.join(format!("dash_it_y_{}.tsv", std::process::id()));
+    let rp = dir.join(format!("dash_it_res_{}.tsv", std::process::id()));
+
+    // Persist one party's data and reload it.
+    write_matrix_tsv(&xp, party.x()).unwrap();
+    write_matrix_tsv(&cp, party.c()).unwrap();
+    let y_mat = dash_linalg::Matrix::from_cols(&[party.y()]).unwrap();
+    write_matrix_tsv(&yp, &y_mat).unwrap();
+
+    let x2 = read_matrix_tsv(&xp).unwrap();
+    let c2 = read_matrix_tsv(&cp).unwrap();
+    let y2: Vec<f64> = read_matrix_tsv(&yp).unwrap().col(0).to_vec();
+    let reloaded = PartyData::new(y2, x2, c2).unwrap();
+
+    let before = associate(party).unwrap();
+    let after = associate(&reloaded).unwrap();
+    assert_eq!(before.beta, after.beta, "TSV roundtrip changed the analysis");
+
+    // Results roundtrip too.
+    write_scan_tsv(&rp, &before).unwrap();
+    let res2 = read_scan_tsv(&rp, before.df).unwrap();
+    assert_eq!(res2.len(), before.len());
+    for j in 0..before.len() {
+        assert_eq!(res2.p[j], before.p[j]);
+    }
+
+    for f in [xp, cp, yp, rp] {
+        std::fs::remove_file(f).ok();
+    }
+}
