@@ -21,7 +21,9 @@ fn binary_parties(sizes: &[usize], m: usize, seed: u64) -> Vec<PartyData> {
             let ones = vec![1.0; n];
             let cov: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0f64..1.0)).collect();
             let c = Matrix::from_cols(&[&ones, &cov]).unwrap();
-            let y: Vec<f64> = (0..n).map(|_| (rng.gen::<f64>() < 0.4) as u64 as f64).collect();
+            let y: Vec<f64> = (0..n)
+                .map(|_| (rng.gen::<f64>() < 0.4) as u64 as f64)
+                .collect();
             PartyData::new(y, x, c).unwrap()
         })
         .collect()

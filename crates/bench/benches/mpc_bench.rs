@@ -81,5 +81,10 @@ fn bench_beaver_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sharing, bench_secure_sums, bench_beaver_batch);
+criterion_group!(
+    benches,
+    bench_sharing,
+    bench_secure_sums,
+    bench_beaver_batch
+);
 criterion_main!(benches);

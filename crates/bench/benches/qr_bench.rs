@@ -34,7 +34,9 @@ fn bench_tsqr_vs_direct(c: &mut Criterion) {
     group.bench_function("direct_pooled_4000x8", |b| {
         b.iter(|| qr_r_factor(&pooled).unwrap())
     });
-    group.bench_function("tsqr_8_blocks_500x8", |b| b.iter(|| tsqr_r(&blocks).unwrap()));
+    group.bench_function("tsqr_8_blocks_500x8", |b| {
+        b.iter(|| tsqr_r(&blocks).unwrap())
+    });
     group.finish();
 }
 
@@ -53,5 +55,10 @@ fn bench_gram_cholesky(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_qr_thin, bench_tsqr_vs_direct, bench_gram_cholesky);
+criterion_group!(
+    benches,
+    bench_qr_thin,
+    bench_tsqr_vs_direct,
+    bench_gram_cholesky
+);
 criterion_main!(benches);

@@ -33,11 +33,9 @@ fn bench_scan_threads(c: &mut Criterion) {
     let mut group = c.benchmark_group("scan/threads");
     let data = normal_single(2000, 4096, 4, 3);
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &t| b.iter(|| associate_parallel(&data, t).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| associate_parallel(&data, t).unwrap())
+        });
     }
     group.finish();
 }

@@ -26,7 +26,11 @@ fn precision_panel() {
     println!("E10.1: fixed-point precision vs accuracy (P = 3, N = 900, M = 512, K = 3)\n");
     let parties = normal_parties(&[300, 300, 300], 512, 3, 77);
     let reference = associate(&pool_parties(&parties).unwrap()).unwrap();
-    let mut t = Table::new(&["ring frac bits", "MaskedPrg max rel diff", "BeaverDots max rel diff"]);
+    let mut t = Table::new(&[
+        "ring frac bits",
+        "MaskedPrg max rel diff",
+        "BeaverDots max rel diff",
+    ]);
     for bits in [8u32, 12, 16, 20, 24, 28, 32, 40] {
         let masked = SecureScanConfig {
             aggregation: AggregationMode::MaskedPrg,

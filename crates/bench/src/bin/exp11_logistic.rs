@@ -23,12 +23,7 @@ fn sigmoid(x: f64) -> f64 {
 }
 
 /// Builds P parties with binary outcomes and planted causal variants.
-fn cohorts(
-    sizes: &[usize],
-    m: usize,
-    effects: &[(usize, f64)],
-    seed: u64,
-) -> Vec<PartyData> {
+fn cohorts(sizes: &[usize], m: usize, effects: &[(usize, f64)], seed: u64) -> Vec<PartyData> {
     let mut rng = StdRng::seed_from_u64(seed);
     sizes
         .iter()

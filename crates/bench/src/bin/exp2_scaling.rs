@@ -43,7 +43,9 @@ fn main() {
     t.print();
 
     // --- K sweep (N, M fixed) ---
-    println!("\nK sweep (N = 4000, M = 4096, 1 thread) — cost grows ~linearly in K (the NKM term):");
+    println!(
+        "\nK sweep (N = 4000, M = 4096, 1 thread) — cost grows ~linearly in K (the NKM term):"
+    );
     let mut t = Table::new(&["K", "median", "per-K cost vs K=1"]);
     let mut base = None;
     for k in [1usize, 2, 4, 8, 16, 24] {
@@ -59,7 +61,9 @@ fn main() {
     t.print();
 
     // --- thread sweep ---
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4);
     println!("\nthread sweep (N = 4000, M = 16384, K = 4; host has {cores} cores —");
     println!("on a single-core host the sweep measures threading overhead only):");
     let data = normal_single(4000, 16384, 4, 45);
@@ -74,5 +78,8 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\n(serial associate at the same size: {})", fmt_seconds(serial.median_s));
+    println!(
+        "\n(serial associate at the same size: {})",
+        fmt_seconds(serial.median_s)
+    );
 }

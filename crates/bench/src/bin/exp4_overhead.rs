@@ -35,6 +35,7 @@ fn main() {
             "overhead vs plaintext",
             "LAN net time",
             "WAN net time",
+            "retries/timeouts",
         ]);
         for agg in [
             AggregationMode::Public,
@@ -55,6 +56,10 @@ fn main() {
                 format!("{:.2}x", timed.median_s / plain.median_s),
                 fmt_seconds(out.network.lan_seconds),
                 fmt_seconds(out.network.wan_seconds),
+                format!(
+                    "{}/{}",
+                    out.network.total_retries, out.network.total_timeouts
+                ),
             ]);
         }
         t.print();

@@ -90,11 +90,7 @@ fn power_panel() {
 fn confounding_panel() {
     println!("E5.2: confounding — F_ST drift + party phenotype offsets (no causal variants)");
     println!("(P = 3 x 400, M = 500, F_ST = 0.1, offsets = (-0.6, 0.0, +0.6), 4 replicates)\n");
-    let mut t = Table::new(&[
-        "analysis",
-        "lambda_GC",
-        "FPR at 1e-3",
-    ]);
+    let mut t = Table::new(&["analysis", "lambda_GC", "FPR at 1e-3"]);
     let mut rows: Vec<(String, f64, f64)> = vec![
         ("naive pooled (no correction)".into(), 0.0, 0.0),
         ("joint + per-party centering".into(), 0.0, 0.0),
@@ -153,7 +149,9 @@ fn confounding_panel() {
 
 /// Panel 3: the classic sign flip.
 fn simpson_panel() {
-    println!("E5.3: Simpson's paradox — within-party effect positive, naive pooled effect negative\n");
+    println!(
+        "E5.3: Simpson's paradox — within-party effect positive, naive pooled effect negative\n"
+    );
     // Two parties. Within each, y = +0.5 x + noise. Between parties, the
     // variant mean and the phenotype mean move in opposite directions.
     let mut rng = StdRng::seed_from_u64(4242);
@@ -165,7 +163,11 @@ fn simpson_panel() {
             .collect();
         let y: Vec<f64> = x_col
             .iter()
-            .map(|x| 0.5 * (x - x_shift) + y_shift + 0.5 * dash_gwas::pheno::sample_standard_normal(&mut rng))
+            .map(|x| {
+                0.5 * (x - x_shift)
+                    + y_shift
+                    + 0.5 * dash_gwas::pheno::sample_standard_normal(&mut rng)
+            })
             .collect();
         let x = dash_linalg::Matrix::from_cols(&[&x_col]).unwrap();
         let c = dash_linalg::Matrix::from_cols(&[&vec![1.0; n]]).unwrap();

@@ -61,12 +61,10 @@ fn multi_panel(summary: &mut Table) {
     let ys = normal_matrix(n, t_count, &mut rng);
     let multi = multi_phenotype_scan(&ys, &x, &c).unwrap();
     let mut worst = 0.0f64;
-    for ti in 0..t_count {
-        let single = associate(
-            &PartyData::new(ys.col(ti).to_vec(), x.clone(), c.clone()).unwrap(),
-        )
-        .unwrap();
-        worst = worst.max(multi[ti].max_rel_diff(&single).unwrap());
+    for (ti, result) in multi.iter().enumerate() {
+        let single =
+            associate(&PartyData::new(ys.col(ti).to_vec(), x.clone(), c.clone()).unwrap()).unwrap();
+        worst = worst.max(result.max_rel_diff(&single).unwrap());
     }
     summary.row(vec![
         "multi-pheno".into(),
@@ -138,8 +136,7 @@ fn online_panel(summary: &mut Table) {
         accs.push(acc);
     }
     let reference = associate(&pool_parties(&all_batches).unwrap()).unwrap();
-    let (online_res, report) =
-        secure_online_scan(&accs, &SecureScanConfig::default()).unwrap();
+    let (online_res, report) = secure_online_scan(&accs, &SecureScanConfig::default()).unwrap();
     let diff = online_res.max_rel_diff(&reference).unwrap();
     summary.row(vec![
         "online".into(),

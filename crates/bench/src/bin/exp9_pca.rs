@@ -136,8 +136,11 @@ fn main() {
         .unwrap()
     }
     // (a) intercept only: ancestry uncorrected.
-    let naive_parties: Vec<PartyData> =
-        sim.parties.iter().map(|pd| with_covariates(pd, None)).collect();
+    let naive_parties: Vec<PartyData> = sim
+        .parties
+        .iter()
+        .map(|pd| with_covariates(pd, None))
+        .collect();
     let naive = associate(&pool_parties(&naive_parties).unwrap()).unwrap();
     let (l, f, p) = score_stats(&naive);
     t.row(vec![

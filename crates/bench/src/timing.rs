@@ -56,9 +56,7 @@ mod tests {
 
     #[test]
     fn measures_and_returns_value() {
-        let (t, v) = time_median(3, || {
-            std::hint::black_box((0..10_000).sum::<u64>())
-        });
+        let (t, v) = time_median(3, || std::hint::black_box((0..10_000).sum::<u64>()));
         assert_eq!(v, 49_995_000);
         assert_eq!(t.reps, 3);
         assert!(t.min_s <= t.median_s && t.median_s <= t.max_s);

@@ -29,7 +29,9 @@ impl Flags {
                 )));
             };
             if values.insert(name.to_string(), value.clone()).is_some() {
-                return Err(CliError::Usage(format!("flag --{name} given twice\n{usage}")));
+                return Err(CliError::Usage(format!(
+                    "flag --{name} given twice\n{usage}"
+                )));
             }
         }
         Ok(Flags {

@@ -78,7 +78,12 @@ mod tests {
         let res = dir.join("meta.tsv");
         let mut buf = Vec::new();
         run(
-            &argv(&["--dir", dir.to_str().unwrap(), "--out", res.to_str().unwrap()]),
+            &argv(&[
+                "--dir",
+                dir.to_str().unwrap(),
+                "--out",
+                res.to_str().unwrap(),
+            ]),
             &mut buf,
         )
         .unwrap();

@@ -59,7 +59,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
     writeln!(out)?;
     write_matrix_tsv(&dir.join("loadings.tsv"), &pca.loadings)?;
-    writeln!(out, "loadings written to {}", dir.join("loadings.tsv").display())?;
+    writeln!(
+        out,
+        "loadings written to {}",
+        dir.join("loadings.tsv").display()
+    )?;
     for (i, (party, scores)) in parties.iter().zip(&pca.scores).enumerate() {
         let pdir = dir.join(format!("party{i}"));
         write_matrix_tsv(&pdir.join("scores.tsv"), scores)?;
@@ -143,7 +147,7 @@ mod tests {
         .unwrap();
         let c0 = dash_gwas::io::read_matrix_tsv(&dir.join("party0/c.tsv")).unwrap();
         assert_eq!(c0.shape(), (30, 3)); // 2 original + 1 PC
-        // The updated directory still loads as a valid party set.
+                                         // The updated directory still loads as a valid party set.
         let parties = crate::commands::load_all_parties(&dir).unwrap();
         assert_eq!(parties[0].n_covariates(), 3);
         std::fs::remove_dir_all(&dir).ok();

@@ -55,7 +55,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .filter(|(_, &p)| p < alpha)
         .map(|(i, _)| i)
         .collect();
-    writeln!(out, "variants significant after max-T adjustment: {}", survivors.len())?;
+    writeln!(
+        out,
+        "variants significant after max-T adjustment: {}",
+        survivors.len()
+    )?;
     for &j in survivors.iter().take(10) {
         writeln!(
             out,

@@ -96,7 +96,11 @@ pub(crate) fn summarize(
         )?;
     }
     if result.n_degenerate > 0 {
-        writeln!(out, "note: {} degenerate variants (NaN)", result.n_degenerate)?;
+        writeln!(
+            out,
+            "note: {} degenerate variants (NaN)",
+            result.n_degenerate
+        )?;
     }
     Ok(())
 }

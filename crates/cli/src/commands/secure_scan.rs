@@ -5,6 +5,7 @@ use crate::commands::load_all_parties;
 use crate::error::CliError;
 use dash_core::secure::{secure_scan, AggregationMode, RFactorMode, SecureScanConfig};
 use dash_gwas::io::write_scan_tsv;
+use dash_mpc::{CrashPoint, FaultPlan};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -26,7 +27,76 @@ OPTIONS:
                       max     : aggregate-only R, Beaver dot products
     --out FILE      write results TSV here
     --seed S        protocol seed [default: 42]
-    --audit BOOL    print the disclosure log (true/false) [default: true]";
+    --audit BOOL    print the disclosure log (true/false) [default: true]
+
+TRANSPORT:
+    --deadline-ms N  per-receive deadline in milliseconds [default: 60000]
+    --retries N      max send retries on transient failure [default: 3]
+    --backoff-ms N   initial retry backoff in ms, doubles per retry [default: 1]
+
+FAULT INJECTION (deterministic; any flag below enables the injector):
+    --fault-seed S      fault stream seed [default: protocol seed]
+    --fault-delay P     per-message delay probability in [0,1]
+    --fault-drop P      per-message drop probability in [0,1]
+    --fault-dup P       per-message duplication probability in [0,1]
+    --fault-reorder P   per-message reorder probability in [0,1]
+    --fault-transient P per-message transient send-failure probability
+    --fault-crash P:N   party P crashes after its N-th send (e.g. 1:5)";
+
+/// Parses `party:after_sends` for `--fault-crash`.
+fn parse_crash(raw: &str) -> Option<CrashPoint> {
+    let (party, after) = raw.split_once(':')?;
+    Some(CrashPoint {
+        party: party.trim().parse().ok()?,
+        after_sends: after.trim().parse().ok()?,
+    })
+}
+
+/// Builds the fault plan if any `--fault-*` flag was given.
+fn fault_plan(flags: &Flags, seed: u64) -> Result<Option<FaultPlan>, CliError> {
+    let fault_seed = flags.parse_or("fault-seed", seed, "an integer seed")?;
+    let prob = |name: &'static str| -> Result<f64, CliError> {
+        let p: f64 = flags.parse_or(name, 0.0, "a probability in [0,1]")?;
+        if (0.0..=1.0).contains(&p) {
+            Ok(p)
+        } else {
+            Err(CliError::BadValue {
+                flag: format!("--{name}"),
+                value: p.to_string(),
+                expected: "a probability in [0,1]",
+            })
+        }
+    };
+    let delay_prob = prob("fault-delay")?;
+    let drop_prob = prob("fault-drop")?;
+    let dup_prob = prob("fault-dup")?;
+    let reorder_prob = prob("fault-reorder")?;
+    let transient_prob = prob("fault-transient")?;
+    let crash = match flags.optional("fault-crash") {
+        None => None,
+        Some(raw) => Some(parse_crash(&raw).ok_or_else(|| CliError::BadValue {
+            flag: "--fault-crash".into(),
+            value: raw,
+            expected: "party:after_sends (e.g. 1:5)",
+        })?),
+    };
+    let enabled = delay_prob > 0.0
+        || drop_prob > 0.0
+        || dup_prob > 0.0
+        || reorder_prob > 0.0
+        || transient_prob > 0.0
+        || crash.is_some();
+    Ok(enabled.then(|| FaultPlan {
+        seed: fault_seed,
+        delay_prob,
+        drop_prob,
+        dup_prob,
+        reorder_prob,
+        transient_prob,
+        crash,
+        ..FaultPlan::default()
+    }))
+}
 
 /// Runs the subcommand.
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -36,9 +106,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let out_path = flags.optional("out").map(PathBuf::from);
     let seed = flags.parse_or("seed", 42u64, "an integer seed")?;
     let audit = flags.parse_or("audit", true, "true or false")?;
+    let deadline_ms = flags.parse_or("deadline-ms", 60_000u64, "milliseconds")?;
+    let max_retries = flags.parse_or("retries", 3u32, "a retry count")?;
+    let retry_backoff_ms = flags.parse_or("backoff-ms", 1u64, "milliseconds")?;
+    let faults = fault_plan(&flags, seed)?;
     flags.reject_unknown(USAGE)?;
 
-    let cfg = match mode.as_str() {
+    let mut cfg = match mode.as_str() {
         "public" => SecureScanConfig {
             rfactor: RFactorMode::PublicStack,
             aggregation: AggregationMode::Public,
@@ -66,6 +140,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             })
         }
     };
+    cfg.deadline_ms = deadline_ms;
+    cfg.max_retries = max_retries;
+    cfg.retry_backoff_ms = retry_backoff_ms;
+    cfg.faults = faults;
 
     let parties = load_all_parties(&dir)?;
     let output = secure_scan(&parties, &cfg)?;
@@ -85,6 +163,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "simulated network time: LAN {:.1} ms, WAN {:.1} ms",
         output.network.lan_seconds * 1e3,
         output.network.wan_seconds * 1e3
+    )?;
+    writeln!(
+        out,
+        "transport: {} send retries, {} receive timeouts",
+        output.network.total_retries, output.network.total_timeouts
     )?;
     let per_party: usize = output
         .disclosures
@@ -173,6 +256,88 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("per-party scalars disclosed: 0"));
         assert!(text.contains("disclosure log:"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_faults_recover_and_report_retries() {
+        let dir = setup("transient");
+        let mut buf = Vec::new();
+        run(
+            &argv(&[
+                "--dir",
+                dir.to_str().unwrap(),
+                "--audit",
+                "false",
+                "--fault-transient",
+                "0.6",
+                "--fault-seed",
+                "9",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("secure scan over 2 parties"), "{text}");
+        // At a 60% transient-failure rate the retry loop must have fired
+        // (fault fates are deterministic for a fixed --fault-seed).
+        let retries: u64 = text
+            .lines()
+            .find(|l| l.starts_with("transport:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(retries > 0, "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashed_party_yields_structured_error() {
+        let dir = setup("crash");
+        let mut buf = Vec::new();
+        let err = run(
+            &argv(&[
+                "--dir",
+                dir.to_str().unwrap(),
+                "--fault-crash",
+                "1:0",
+                "--deadline-ms",
+                "500",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("party 1") || msg.contains("timed out") || msg.contains("closed"),
+            "unexpected error: {msg}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_crash_spec_rejected() {
+        let dir = setup("badcrash");
+        let mut buf = Vec::new();
+        let err = run(
+            &argv(&["--dir", dir.to_str().unwrap(), "--fault-crash", "nope"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--fault-crash"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_probability_out_of_range_rejected() {
+        let dir = setup("badprob");
+        let mut buf = Vec::new();
+        let err = run(
+            &argv(&["--dir", dir.to_str().unwrap(), "--fault-drop", "1.5"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--fault-drop"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -79,7 +79,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         sizes.iter().sum::<usize>(),
         out_dir.display()
     )?;
-    writeln!(out, "planted {} causal variants (truth.tsv)", sim.causal.len())?;
+    writeln!(
+        out,
+        "planted {} causal variants (truth.tsv)",
+        sim.causal.len()
+    )?;
     Ok(())
 }
 
@@ -127,7 +131,11 @@ mod tests {
         let mut buf = Vec::new();
         assert!(run(&argv(&["--samples", "10"]), &mut buf).is_err());
         assert!(run(&argv(&["--out", "/tmp/x"]), &mut buf).is_err());
-        assert!(run(&argv(&["--out", "/tmp/x", "--samples", "10", "--bogus", "1"]), &mut buf).is_err());
+        assert!(run(
+            &argv(&["--out", "/tmp/x", "--samples", "10", "--bogus", "1"]),
+            &mut buf
+        )
+        .is_err());
     }
 
     #[test]

@@ -79,7 +79,14 @@ mod tests {
         sample_results(&file);
         let mut buf = Vec::new();
         run(
-            &argv(&["--results", file.to_str().unwrap(), "--alpha", "1e-3", "--limit", "5"]),
+            &argv(&[
+                "--results",
+                file.to_str().unwrap(),
+                "--alpha",
+                "1e-3",
+                "--limit",
+                "5",
+            ]),
             &mut buf,
         )
         .unwrap();

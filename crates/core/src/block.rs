@@ -24,7 +24,9 @@
 use crate::error::CoreError;
 use crate::model::PartyData;
 use crate::suffstats::orthonormal_basis;
-use dash_linalg::{cholesky_upper, dot, gemm_at_b, gemv_t, self_dot, solve_lower, solve_upper, Matrix};
+use dash_linalg::{
+    cholesky_upper, dot, gemm_at_b, gemv_t, self_dot, solve_lower, solve_upper, Matrix,
+};
 use dash_stats::FDistribution;
 
 /// One joint test: a named set of transient covariate columns.
@@ -121,8 +123,8 @@ pub fn block_scan(
             }
         }
         let mut b_vec = Vec::with_capacity(q);
-        for i in 0..q {
-            b_vec.push(dot(cols[i], y) - dot(qtx.col(i), &qty));
+        for (i, col) in cols.iter().enumerate().take(q) {
+            b_vec.push(dot(col, y) - dot(qtx.col(i), &qty));
         }
         // Solve A β = b via Cholesky; singular ⇒ degenerate block.
         let result = match cholesky_upper(&a) {
@@ -173,7 +175,9 @@ mod tests {
         let mut next = move || {
             let mut acc = 0.0;
             for _ in 0..4 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 acc += (s >> 11) as f64 / (1u64 << 53) as f64;
             }
             (acc - 2.0) * (3.0f64).sqrt()
@@ -194,12 +198,11 @@ mod tests {
             .map(|j| TransientBlock::new(format!("v{j}"), vec![j]))
             .collect();
         let joint = block_scan(&data, &blocks).unwrap();
-        for j in 0..4 {
+        for (j, jb) in joint.iter().enumerate().take(4) {
             assert!(
-                (joint[j].f - scalar.t[j] * scalar.t[j]).abs()
-                    < 1e-8 * (1.0 + joint[j].f.abs()),
+                (jb.f - scalar.t[j] * scalar.t[j]).abs() < 1e-8 * (1.0 + jb.f.abs()),
                 "j={j}: F {} vs t² {}",
-                joint[j].f,
+                jb.f,
                 scalar.t[j] * scalar.t[j]
             );
             assert!((joint[j].p - scalar.p[j]).abs() < 1e-9, "j={j}");

@@ -113,7 +113,9 @@ mod tests {
     fn gen_party(n: usize, m: usize, k: usize, seed: u64) -> PartyData {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let y: Vec<f64> = (0..n).map(|_| next()).collect();
@@ -160,7 +162,10 @@ mod tests {
         // score-then-pool == pool-then-score: the associativity §5 relies
         // on.
         let parties = vec![gen_party(15, 8, 2, 3), gen_party(20, 8, 2, 4)];
-        let sets = vec![GeneSet::uniform("a", &[0, 1, 2]), GeneSet::uniform("b", &[5, 7])];
+        let sets = vec![
+            GeneSet::uniform("a", &[0, 1, 2]),
+            GeneSet::uniform("b", &[5, 7]),
+        ];
         let scored_parties = burden_parties(&parties, &sets).unwrap();
         let pooled_then = burden_scores(pool_parties(&parties).unwrap().x(), &sets).unwrap();
         let then_pooled = pool_parties(&scored_parties).unwrap();
@@ -199,7 +204,10 @@ mod tests {
             *yi += 0.25 * burden; // per-variant effect only 0.25
         }
         let data = PartyData::new(y, base.x().clone(), base.c().clone()).unwrap();
-        let sets = vec![GeneSet::uniform("hit", &gene), GeneSet::uniform("null", &[15, 16, 17])];
+        let sets = vec![
+            GeneSet::uniform("hit", &gene),
+            GeneSet::uniform("null", &[15, 16, 17]),
+        ];
         let burden_res = burden_scan(&data, &sets).unwrap();
         assert!(burden_res.p[0] < 1e-8, "burden p = {}", burden_res.p[0]);
         assert!(burden_res.p[1] > 1e-4, "null gene p = {}", burden_res.p[1]);

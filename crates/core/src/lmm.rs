@@ -80,7 +80,11 @@ pub fn rotate_and_whiten(
             what: "delta must be finite and non-negative",
         });
     }
-    let w: Vec<f64> = kin.s.iter().map(|&si| (delta * si + 1.0).sqrt().recip()).collect();
+    let w: Vec<f64> = kin
+        .s
+        .iter()
+        .map(|&si| (delta * si + 1.0).sqrt().recip())
+        .collect();
     // Uᵀ y, Uᵀ X, Uᵀ C, then row scaling.
     let mut y_rot = gemv_t(&kin.u, data.y())?;
     for (v, wi) in y_rot.iter_mut().zip(&w) {
@@ -102,11 +106,7 @@ pub fn rotate_and_whiten(
 }
 
 /// Mixed-model association scan at a fixed variance ratio `δ`.
-pub fn lmm_scan(
-    data: &PartyData,
-    kin: &KinshipEigen,
-    delta: f64,
-) -> Result<ScanResult, CoreError> {
+pub fn lmm_scan(data: &PartyData, kin: &KinshipEigen, delta: f64) -> Result<ScanResult, CoreError> {
     associate(&rotate_and_whiten(data, kin, delta)?)
 }
 
@@ -165,7 +165,9 @@ mod tests {
     fn random_kinship(n: usize, seed: u64, scale: f64) -> KinshipEigen {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(5);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let a = Matrix::from_fn(n, n, |_, _| next());
@@ -179,7 +181,9 @@ mod tests {
         let mut next = move || {
             let mut acc = 0.0;
             for _ in 0..4 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 acc += (s >> 11) as f64 / (1u64 << 53) as f64;
             }
             (acc - 2.0) * (3.0f64).sqrt()
@@ -246,20 +250,27 @@ mod tests {
         };
         let z: Vec<f64> = (0..n).map(|_| next() * 1.7).collect();
         let mut g = vec![0.0; n];
-        for j in 0..n {
-            let coef = kin.s[j].sqrt() * z[j];
+        for (j, &zj) in z.iter().enumerate().take(n) {
+            let coef = kin.s[j].sqrt() * zj;
             for (gi, ui) in g.iter_mut().zip(kin.u.col(j)) {
                 *gi += coef * ui;
             }
         }
-        let y_gen: Vec<f64> = base.y().iter().zip(&g).map(|(e, gi)| 3.0 * gi + e).collect();
-        let data_gen =
-            PartyData::new(y_gen, base.x().clone(), base.c().clone()).unwrap();
+        let y_gen: Vec<f64> = base
+            .y()
+            .iter()
+            .zip(&g)
+            .map(|(e, gi)| 3.0 * gi + e)
+            .collect();
+        let data_gen = PartyData::new(y_gen, base.x().clone(), base.c().clone()).unwrap();
         let grid = default_delta_grid();
         let delta_gen = estimate_delta(&data_gen, &kin, &grid).unwrap();
         let delta_null = estimate_delta(&base, &kin, &grid).unwrap();
         assert!(delta_gen > 0.5, "delta_gen = {delta_gen}");
-        assert!(delta_null < delta_gen, "null {delta_null} vs gen {delta_gen}");
+        assert!(
+            delta_null < delta_gen,
+            "null {delta_null} vs gen {delta_gen}"
+        );
     }
 
     #[test]

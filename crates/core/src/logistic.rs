@@ -22,7 +22,7 @@ use crate::error::CoreError;
 use crate::model::{validate_parties, PartyData};
 use crate::secure::{NetworkReport, SecureScanConfig};
 use dash_linalg::{cholesky_upper, dot, solve_lower, solve_upper, Matrix};
-use dash_mpc::net::{CostModel, Network};
+use dash_mpc::net::Network;
 use dash_mpc::protocol::masked::{masked_sum_f64, masked_sum_ring};
 use dash_mpc::{PartyCtx, R64};
 use dash_stats::{ChiSquared, StatsError};
@@ -124,17 +124,17 @@ fn irls_summands(y: &[f64], c: &Matrix, beta: &[f64]) -> (Matrix, Vec<f64>) {
     let k = c.cols();
     let mut ctwc = Matrix::zeros(k, k);
     let mut score = vec![0.0; k];
-    for i in 0..n {
+    for (i, &yi) in y.iter().enumerate().take(n) {
         let mut eta = 0.0;
-        for j in 0..k {
-            eta += c.get(i, j) * beta[j];
+        for (j, &bj) in beta.iter().enumerate().take(k) {
+            eta += c.get(i, j) * bj;
         }
         let mu = sigmoid(eta);
         let w = mu * (1.0 - mu);
-        let r = y[i] - mu;
-        for j in 0..k {
+        let r = yi - mu;
+        for (j, sj) in score.iter_mut().enumerate().take(k) {
             let cij = c.get(i, j);
-            score[j] += cij * r;
+            *sj += cij * r;
             for l in j..k {
                 let v = ctwc.get(j, l) + w * cij * c.get(i, l);
                 ctwc.set(j, l, v);
@@ -170,7 +170,10 @@ pub fn fit_null_logistic(y: &[f64], c: &Matrix) -> Result<LogisticNull, CoreErro
     let k = c.cols();
     let mut beta = vec![0.0; k];
     if k == 0 {
-        return Ok(LogisticNull { beta, iterations: 0 });
+        return Ok(LogisticNull {
+            beta,
+            iterations: 0,
+        });
     }
     for it in 1..=MAX_IRLS_ITER {
         let (ctwc, score) = irls_summands(y, c, &beta);
@@ -180,7 +183,10 @@ pub fn fit_null_logistic(y: &[f64], c: &Matrix) -> Result<LogisticNull, CoreErro
             *b += s;
         }
         if max_step < IRLS_TOL {
-            return Ok(LogisticNull { beta, iterations: it });
+            return Ok(LogisticNull {
+                beta,
+                iterations: it,
+            });
         }
     }
     Err(CoreError::Stats(StatsError::NoConvergence {
@@ -210,8 +216,8 @@ fn score_summands(y: &[f64], x: &Matrix, c: &Matrix, beta: &[f64]) -> ScoreSumma
     let mut r = vec![0.0; n];
     for i in 0..n {
         let mut eta = 0.0;
-        for j in 0..k {
-            eta += c.get(i, j) * beta[j];
+        for (j, &bj) in beta.iter().enumerate().take(k) {
+            eta += c.get(i, j) * bj;
         }
         let mu = sigmoid(eta);
         w[i] = mu * (1.0 - mu);
@@ -236,8 +242,8 @@ fn score_summands(y: &[f64], x: &Matrix, c: &Matrix, beta: &[f64]) -> ScoreSumma
         }
         xwx.push(s);
         let dst = xwc.col_mut(mi);
-        for j in 0..k {
-            dst[j] = dot(wc.col(j), col);
+        for (j, d) in dst.iter_mut().enumerate().take(k) {
+            *d = dot(wc.col(j), col);
         }
     }
     let (ctwc, _) = irls_summands(y, c, beta);
@@ -245,6 +251,7 @@ fn score_summands(y: &[f64], x: &Matrix, c: &Matrix, beta: &[f64]) -> ScoreSumma
 }
 
 /// Finalizes opened aggregates into score statistics.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(a > b)` deliberately catches NaN
 fn finalize_scores(
     xr: &[f64],
     xwx: &[f64],
@@ -254,7 +261,11 @@ fn finalize_scores(
     let m = xr.len();
     let k = ctwc.rows();
     let chi1 = ChiSquared::new(1.0)?;
-    let chol = if k > 0 { Some(cholesky_upper(ctwc)?) } else { None };
+    let chol = if k > 0 {
+        Some(cholesky_upper(ctwc)?)
+    } else {
+        None
+    };
     let mut u_out = Vec::with_capacity(m);
     let mut v_out = Vec::with_capacity(m);
     let mut z_out = Vec::with_capacity(m);
@@ -327,13 +338,7 @@ pub fn secure_logistic_scan(
     for r in iter {
         r?;
     }
-    let report = NetworkReport {
-        total_bytes: stats.total_bytes(),
-        max_party_bytes: stats.max_party_bytes(),
-        total_messages: stats.total_messages(),
-        lan_seconds: CostModel::lan().estimate_seconds(&stats),
-        wan_seconds: CostModel::wan().estimate_seconds(&stats),
-    };
+    let report = NetworkReport::from_stats(&stats);
     Ok((first, report))
 }
 
@@ -406,12 +411,7 @@ mod tests {
 
     /// Binary-response dataset: logit(μ) = γ·C₀ + planted variant
     /// effects; C includes an intercept column.
-    fn gen_binary(
-        n: usize,
-        m: usize,
-        effects: &[(usize, f64)],
-        seed: u64,
-    ) -> PartyData {
+    fn gen_binary(n: usize, m: usize, effects: &[(usize, f64)], seed: u64) -> PartyData {
         let mut rng = StdRng::seed_from_u64(seed);
         let x = Matrix::from_fn(n, m, |_, _| {
             // Standardized-ish genotype stand-in.
@@ -515,7 +515,7 @@ mod tests {
 
     #[test]
     fn secure_equals_pooled_plaintext() {
-        let pooled_data = gen_binary(300, 12, &[(0, 0.8)], 6);
+        let pooled_data = gen_binary(300, 12, &[(0, 0.8)], 3);
         // Split into three parties.
         let cuts = [0usize, 90, 200, 300];
         let parties: Vec<PartyData> = cuts

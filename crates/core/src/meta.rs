@@ -132,7 +132,9 @@ mod tests {
         let mut next = move || {
             let mut acc = 0.0;
             for _ in 0..4 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 acc += (s >> 11) as f64 / (1u64 << 53) as f64;
             }
             (acc - 2.0) * (3.0f64).sqrt()
@@ -167,12 +169,7 @@ mod tests {
             .into_iter()
             .map(|pd| {
                 let x0: Vec<f64> = pd.x().col(0).to_vec();
-                let y: Vec<f64> = pd
-                    .y()
-                    .iter()
-                    .zip(&x0)
-                    .map(|(e, x)| 1.0 * x + e)
-                    .collect();
+                let y: Vec<f64> = pd.y().iter().zip(&x0).map(|(e, x)| 1.0 * x + e).collect();
                 PartyData::new(y, pd.x().clone(), pd.c().clone()).unwrap()
             })
             .collect();
@@ -195,12 +192,7 @@ mod tests {
             .zip(signs)
             .map(|(pd, sign)| {
                 let x0: Vec<f64> = pd.x().col(0).to_vec();
-                let y: Vec<f64> = pd
-                    .y()
-                    .iter()
-                    .zip(&x0)
-                    .map(|(e, x)| sign * x + e)
-                    .collect();
+                let y: Vec<f64> = pd.y().iter().zip(&x0).map(|(e, x)| sign * x + e).collect();
                 PartyData::new(y, pd.x().clone(), pd.c().clone()).unwrap()
             })
             .collect();
@@ -223,10 +215,8 @@ mod tests {
             Err(CoreError::NotEnoughSamples { .. })
         ));
         // The joint scan handles the same split fine.
-        let joint = crate::secure::secure_scan(
-            &parties,
-            &crate::secure::SecureScanConfig::default(),
-        );
+        let joint =
+            crate::secure::secure_scan(&parties, &crate::secure::SecureScanConfig::default());
         assert!(joint.is_ok());
     }
 

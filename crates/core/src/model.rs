@@ -241,12 +241,18 @@ mod tests {
         let b = toy_party(8, 5, 2, 1.0);
         assert!(matches!(
             validate_parties(&[a.clone(), b]),
-            Err(CoreError::PartiesInconsistent { what: "variant count M", .. })
+            Err(CoreError::PartiesInconsistent {
+                what: "variant count M",
+                ..
+            })
         ));
         let c = toy_party(8, 4, 3, 1.0);
         assert!(matches!(
             validate_parties(&[a, c]),
-            Err(CoreError::PartiesInconsistent { what: "covariate count K", .. })
+            Err(CoreError::PartiesInconsistent {
+                what: "covariate count K",
+                ..
+            })
         ));
     }
 

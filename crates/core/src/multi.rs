@@ -89,7 +89,11 @@ impl MultiPartyData {
             return Err(CoreError::ShapeMismatch {
                 what: "MultiPartyData rows",
                 expected: ys.rows(),
-                got: if x.rows() != ys.rows() { x.rows() } else { c.rows() },
+                got: if x.rows() != ys.rows() {
+                    x.rows()
+                } else {
+                    c.rows()
+                },
             });
         }
         Ok(MultiPartyData { ys, x, c })
@@ -134,8 +138,9 @@ pub fn secure_multi_phenotype_scan(
     let results = Network::run_parties_detailed(parties.len(), cfg.seed, |ctx| {
         let data = &parties[ctx.id()];
         // Pooled N.
-        let n_total = masked_sum_ring(ctx, &[R64(data.ys.rows() as u64)], "total sample count N")?[0]
-            .0 as usize;
+        let n_total = masked_sum_ring(ctx, &[R64(data.ys.rows() as u64)], "total sample count N")?
+            [0]
+        .0 as usize;
         if n_total <= k + 1 {
             return Err(CoreError::NotEnoughSamples { n: n_total, k });
         }
@@ -163,7 +168,12 @@ pub fn secure_multi_phenotype_scan(
             }
             payload.extend_from_slice(&gemv_t(&q, y)?);
         }
-        let total = masked_sum_f64(ctx, &codec, &payload, "aggregate multi-phenotype statistics")?;
+        let total = masked_sum_f64(
+            ctx,
+            &codec,
+            &payload,
+            "aggregate multi-phenotype statistics",
+        )?;
         // Unpack and finalize per phenotype.
         let xx = total[..m].to_vec();
         let qtx_total = Matrix::from_column_major(k, m, total[m..m + k * m].to_vec())?;
@@ -214,7 +224,9 @@ mod tests {
     fn gen(n: usize, m: usize, k: usize, t: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
         let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(23);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let ys = Matrix::from_fn(n, t, |_, _| next());
@@ -228,12 +240,11 @@ mod tests {
         let (ys, x, c) = gen(40, 5, 2, 3, 1);
         let multi = multi_phenotype_scan(&ys, &x, &c).unwrap();
         assert_eq!(multi.len(), 3);
-        for ti in 0..3 {
-            let single = associate(
-                &PartyData::new(ys.col(ti).to_vec(), x.clone(), c.clone()).unwrap(),
-            )
-            .unwrap();
-            let d = multi[ti].max_rel_diff(&single).unwrap();
+        for (ti, result) in multi.iter().enumerate() {
+            let single =
+                associate(&PartyData::new(ys.col(ti).to_vec(), x.clone(), c.clone()).unwrap())
+                    .unwrap();
+            let d = result.max_rel_diff(&single).unwrap();
             assert!(d < 1e-11, "phenotype {ti}: diff {d}");
         }
     }
@@ -268,12 +279,11 @@ mod tests {
         // Pooled plaintext reference per phenotype.
         let x = Matrix::vstack(&[&x1, &x2]).unwrap();
         let c = Matrix::vstack(&[&c1, &c2]).unwrap();
-        for ti in 0..3 {
+        for (ti, result) in secure.iter().enumerate() {
             let mut y = ys1.col(ti).to_vec();
             y.extend_from_slice(ys2.col(ti));
-            let reference =
-                associate(&PartyData::new(y, x.clone(), c.clone()).unwrap()).unwrap();
-            let d = secure[ti].max_rel_diff(&reference).unwrap();
+            let reference = associate(&PartyData::new(y, x.clone(), c.clone()).unwrap()).unwrap();
+            let d = result.max_rel_diff(&reference).unwrap();
             assert!(d < 1e-6, "phenotype {ti}: diff {d}");
         }
     }

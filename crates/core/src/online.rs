@@ -10,7 +10,7 @@ use crate::error::CoreError;
 use crate::model::{PartyData, ScanResult};
 use crate::suffstats::CtStats;
 use dash_linalg::Matrix;
-use dash_mpc::net::{CostModel, Network};
+use dash_mpc::net::Network;
 use dash_mpc::protocol::masked::masked_sum_f64;
 
 use crate::secure::{NetworkReport, SecureScanConfig};
@@ -76,7 +76,10 @@ impl OnlineScan {
 /// Flattens a [`CtStats`] for transport: `n, yy, xy, xx, cty, ctx, gram`.
 fn flatten(stats: &CtStats) -> Vec<f64> {
     let mut out = Vec::with_capacity(
-        2 + 2 * stats.xy.len() + stats.cty.len() + stats.ctx.as_slice().len() + stats.gram.as_slice().len(),
+        2 + 2 * stats.xy.len()
+            + stats.cty.len()
+            + stats.ctx.as_slice().len()
+            + stats.gram.as_slice().len(),
     );
     out.push(stats.n as f64);
     out.push(stats.yy);
@@ -158,13 +161,7 @@ pub fn secure_online_scan(
     for r in iter {
         r?;
     }
-    let report = NetworkReport {
-        total_bytes: stats.total_bytes(),
-        max_party_bytes: stats.max_party_bytes(),
-        total_messages: stats.total_messages(),
-        lan_seconds: CostModel::lan().estimate_seconds(&stats),
-        wan_seconds: CostModel::wan().estimate_seconds(&stats),
-    };
+    let report = NetworkReport::from_stats(&stats);
     Ok((result, report))
 }
 
@@ -177,7 +174,9 @@ mod tests {
     fn gen_batch(n: usize, m: usize, k: usize, seed: u64) -> PartyData {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(41);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let y: Vec<f64> = (0..n).map(|_| next()).collect();
@@ -256,8 +255,7 @@ mod tests {
             accs.push(acc);
         }
         let reference = associate(&pool_parties(&all).unwrap()).unwrap();
-        let (secure, report) =
-            secure_online_scan(&accs, &SecureScanConfig::default()).unwrap();
+        let (secure, report) = secure_online_scan(&accs, &SecureScanConfig::default()).unwrap();
         let d = secure.max_rel_diff(&reference).unwrap();
         assert!(d < 1e-5, "diff {d}");
         assert!(report.total_bytes > 0);

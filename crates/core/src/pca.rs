@@ -22,7 +22,7 @@ use crate::error::CoreError;
 use crate::model::{validate_parties, PartyData};
 use crate::secure::{NetworkReport, SecureScanConfig};
 use dash_linalg::{gemm_at_b, ops::gemm, qr_thin, symmetric_eigen, Matrix};
-use dash_mpc::net::{CostModel, Network};
+use dash_mpc::net::Network;
 use dash_mpc::prg::Prg;
 use dash_mpc::protocol::masked::masked_sum_f64;
 use dash_mpc::PartyCtx;
@@ -108,13 +108,7 @@ pub fn secure_pca(parties: &[PartyData], cfg: &PcaConfig) -> Result<SecurePcaOut
         debug_assert!(l.max_abs_diff(&loadings).unwrap_or(f64::INFINITY) < 1e-9);
         scores.push(s);
     }
-    let network = NetworkReport {
-        total_bytes: stats.total_bytes(),
-        max_party_bytes: stats.max_party_bytes(),
-        total_messages: stats.total_messages(),
-        lan_seconds: CostModel::lan().estimate_seconds(&stats),
-        wan_seconds: CostModel::wan().estimate_seconds(&stats),
-    };
+    let network = NetworkReport::from_stats(&stats);
     Ok(SecurePcaOutput {
         loadings,
         eigenvalues,
@@ -237,7 +231,9 @@ mod tests {
     fn structured_parties(sizes: &[usize], m: usize, seed: u64) -> Vec<PartyData> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         // Shared direction in variant space.
@@ -254,8 +250,8 @@ mod tests {
                     let mut xm = x;
                     for i in 0..n {
                         let alpha = 4.0 * next();
-                        for j in 0..m {
-                            let v = xm.get(i, j) * 0.5 + alpha * dir[j];
+                        for (j, &dj) in dir.iter().enumerate().take(m) {
+                            let v = xm.get(i, j) * 0.5 + alpha * dj;
                             xm.set(i, j, v);
                         }
                     }

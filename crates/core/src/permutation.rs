@@ -114,7 +114,9 @@ mod tests {
         let mut next = move || {
             let mut acc = 0.0;
             for _ in 0..4 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 acc += (s >> 11) as f64 / (1u64 << 53) as f64;
             }
             (acc - 2.0) * (3.0f64).sqrt()
@@ -161,12 +163,7 @@ mod tests {
         // Strong effect on variant 0: adjusted p at the smoothing floor.
         let base = gen_data(250, 8, 1, 4);
         let x0: Vec<f64> = base.x().col(0).to_vec();
-        let y: Vec<f64> = base
-            .y()
-            .iter()
-            .zip(&x0)
-            .map(|(e, x)| 1.2 * x + e)
-            .collect();
+        let y: Vec<f64> = base.y().iter().zip(&x0).map(|(e, x)| 1.2 * x + e).collect();
         let data = PartyData::new(y, base.x().clone(), base.c().clone()).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let b = 99;

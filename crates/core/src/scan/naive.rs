@@ -148,9 +148,9 @@ mod tests {
         let project_out = |v: &[f64]| -> Vec<f64> {
             let qtv = gemv_t(&q, v).unwrap();
             let mut out = v.to_vec();
-            for j in 0..q.cols() {
+            for (j, &qtvj) in qtv.iter().enumerate().take(q.cols()) {
                 for (o, qi) in out.iter_mut().zip(q.col(j)) {
-                    *o -= qtv[j] * qi;
+                    *o -= qtvj * qi;
                 }
             }
             out

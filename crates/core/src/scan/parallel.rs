@@ -24,14 +24,7 @@ struct BlockStats {
 ///
 /// Reads each column exactly once, computing all four dot products in one
 /// pass over the (K+1) relevant vectors.
-fn scan_block(
-    y: &[f64],
-    x: &Matrix,
-    q: &Matrix,
-    qty: &[f64],
-    lo: usize,
-    hi: usize,
-) -> BlockStats {
+fn scan_block(y: &[f64], x: &Matrix, q: &Matrix, qty: &[f64], lo: usize, hi: usize) -> BlockStats {
     let k = q.cols();
     let mut xy = Vec::with_capacity(hi - lo);
     let mut xx = Vec::with_capacity(hi - lo);
@@ -94,7 +87,10 @@ pub fn associate_parallel(data: &PartyData, n_threads: usize) -> Result<ScanResu
             handles.push(scope.spawn(move || scan_block(y, x_ref, q_ref, qty_ref, lo, hi)));
             lo = hi;
         }
-        handles.into_iter().map(|h| h.join().expect("scan worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker"))
+            .collect()
     });
 
     // Step 4: assemble and finalize.
@@ -128,7 +124,9 @@ mod tests {
     fn gen_data(n: usize, m: usize, k: usize, seed: u64) -> PartyData {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let y: Vec<f64> = (0..n).map(|_| next()).collect();

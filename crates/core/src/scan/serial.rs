@@ -32,7 +32,9 @@ mod tests {
         let mut next = move || {
             let mut acc = 0.0;
             for _ in 0..4 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 acc += (s >> 11) as f64 / (1u64 << 53) as f64;
             }
             (acc - 2.0) * (3.0f64).sqrt() // mean 0, variance 1
@@ -58,10 +60,18 @@ mod tests {
         // OLS slope = Sxy/Sxx with centered data.
         let xbar = 3.0;
         let ybar: f64 = y.iter().sum::<f64>() / 5.0;
-        let sxy: f64 = x_col.iter().zip(&y).map(|(x, yv)| (x - xbar) * (yv - ybar)).sum();
+        let sxy: f64 = x_col
+            .iter()
+            .zip(&y)
+            .map(|(x, yv)| (x - xbar) * (yv - ybar))
+            .sum();
         let sxx: f64 = x_col.iter().map(|x| (x - xbar) * (x - xbar)).sum();
         let slope = sxy / sxx;
-        assert!((res.beta[0] - slope).abs() < 1e-12, "{} vs {slope}", res.beta[0]);
+        assert!(
+            (res.beta[0] - slope).abs() < 1e-12,
+            "{} vs {slope}",
+            res.beta[0]
+        );
         assert_eq!(res.df, 3);
         // Strong positive association.
         assert!(res.t[0] > 10.0);
@@ -109,12 +119,7 @@ mod tests {
         // y = 0.8 * X_0 + noise: variant 0 should dominate.
         let mut data = gen_data(300, 10, 2, 5);
         let x0: Vec<f64> = data.x().col(0).to_vec();
-        let y: Vec<f64> = data
-            .y()
-            .iter()
-            .zip(&x0)
-            .map(|(e, x)| 0.8 * x + e)
-            .collect();
+        let y: Vec<f64> = data.y().iter().zip(&x0).map(|(e, x)| 0.8 * x + e).collect();
         data = PartyData::new(y, data.x().clone(), data.c().clone()).unwrap();
         let res = associate(&data).unwrap();
         assert!(res.p[0] < 1e-8, "p[0] = {}", res.p[0]);

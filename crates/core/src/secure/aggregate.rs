@@ -126,8 +126,8 @@ fn beaver_dots(
     let qty_scaled: Vec<f64> = summands.qty.iter().map(|v| v * y_scale).collect();
     let qty_share = field_codec.encode_field_vec(&qty_scaled)?;
     let mut qtx_shares: Vec<Vec<F61>> = Vec::with_capacity(m);
-    for j in 0..m {
-        let s = safe_inv_sqrt(xx[j]);
+    for (j, &xxj) in xx.iter().enumerate().take(m) {
+        let s = safe_inv_sqrt(xxj);
         let col: Vec<f64> = summands.qtx.col(j).iter().map(|v| v * s).collect();
         qtx_shares.push(field_codec.encode_field_vec(&col)?);
     }
@@ -200,7 +200,9 @@ mod tests {
     ) -> (Vec<(Vec<f64>, Matrix, Matrix)>, ScanStats) {
         let mut s = 0xABCDu64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let mut parties = Vec::new();
@@ -239,24 +241,29 @@ mod tests {
             .collect()
     }
 
-    fn run_mode(mode: AggregationMode, p: usize, m: usize, k: usize) -> (ScanStats, ScanStats, usize) {
+    fn run_mode(
+        mode: AggregationMode,
+        p: usize,
+        m: usize,
+        k: usize,
+    ) -> (ScanStats, ScanStats, usize) {
         let (parties, pooled) = setup(p, 12, m, k);
         let qs = party_qs(&parties);
         let cfg = SecureScanConfig {
             aggregation: mode,
             ..SecureScanConfig::default()
         };
-        let slots: Vec<Mutex<Option<PartyTriples>>> = if mode == AggregationMode::BeaverDots && k > 0
-        {
-            TrustedDealer::new(p, 5)
-                .unwrap()
-                .deal_inners(k, 2 * m + 1)
-                .into_iter()
-                .map(|b| Mutex::new(Some(b)))
-                .collect()
-        } else {
-            (0..p).map(|_| Mutex::new(None)).collect()
-        };
+        let slots: Vec<Mutex<Option<PartyTriples>>> =
+            if mode == AggregationMode::BeaverDots && k > 0 {
+                TrustedDealer::new(p, 5)
+                    .unwrap()
+                    .deal_inners(k, 2 * m + 1)
+                    .into_iter()
+                    .map(|b| Mutex::new(Some(b)))
+                    .collect()
+            } else {
+                (0..p).map(|_| Mutex::new(None)).collect()
+            };
         let (results, _stats, audit) = Network::run_parties_detailed(p, 21, |ctx| {
             let (y, x, _) = &parties[ctx.id()];
             let summands = SuffStats::local(y, x, &qs[ctx.id()]).unwrap();

@@ -35,9 +35,11 @@ use crate::error::CoreError;
 use crate::model::{PartyData, ScanResult};
 use dash_mpc::audit::Disclosure;
 use dash_mpc::dealer::{PartyTriples, TrustedDealer};
-use dash_mpc::net::{CostModel, Network};
+use dash_mpc::net::{CostModel, NetOptions, Network};
+use dash_mpc::transport::{FaultPlan, RetryPolicy, TransportConfig};
 use dash_mpc::FixedPointCodec;
 use parking_lot::Mutex;
+use std::time::Duration;
 
 /// How the combined R factor of the pooled covariates is obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +88,16 @@ pub struct SecureScanConfig {
     pub field_frac_bits: u32,
     /// Master seed for all protocol randomness (shares, masks, dealer).
     pub seed: u64,
+    /// Longest any party waits for one message before failing with a
+    /// structured timeout (milliseconds).
+    pub deadline_ms: u64,
+    /// Resend attempts after a transient send failure.
+    pub max_retries: u32,
+    /// Backoff before the first resend (milliseconds; doubles per
+    /// attempt).
+    pub retry_backoff_ms: u64,
+    /// Optional deterministic fault injection (testing/chaos runs only).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SecureScanConfig {
@@ -95,7 +107,11 @@ impl Default for SecureScanConfig {
             aggregation: AggregationMode::MaskedPrg,
             ring_frac_bits: 28,
             field_frac_bits: 26,
-            seed: 0xDA5_4,
+            seed: 0xDA54,
+            deadline_ms: 60_000,
+            max_retries: 3,
+            retry_backoff_ms: 1,
+            faults: None,
         }
     }
 }
@@ -129,6 +145,20 @@ impl SecureScanConfig {
     pub(crate) fn field_codec(&self) -> Result<FixedPointCodec, CoreError> {
         Ok(FixedPointCodec::new(self.field_frac_bits)?)
     }
+
+    /// The network runner options this configuration implies.
+    pub fn net_options(&self) -> NetOptions {
+        NetOptions {
+            transport: TransportConfig {
+                deadline: Duration::from_millis(self.deadline_ms),
+                retry: RetryPolicy {
+                    max_retries: self.max_retries,
+                    backoff: Duration::from_millis(self.retry_backoff_ms),
+                },
+            },
+            faults: self.faults,
+        }
+    }
 }
 
 /// Network cost summary of one protocol run.
@@ -144,6 +174,25 @@ pub struct NetworkReport {
     pub lan_seconds: f64,
     /// Simulated wall clock on a 100 Mbit/s / 30 ms WAN.
     pub wan_seconds: f64,
+    /// Send retries performed across all parties (0 on a healthy run).
+    pub total_retries: u64,
+    /// Receive deadline expiries across all parties (0 on a healthy run).
+    pub total_timeouts: u64,
+}
+
+impl NetworkReport {
+    /// Summarizes the counters of a finished protocol run.
+    pub fn from_stats(stats: &dash_mpc::NetworkStats) -> Self {
+        NetworkReport {
+            total_bytes: stats.total_bytes(),
+            max_party_bytes: stats.max_party_bytes(),
+            total_messages: stats.total_messages(),
+            lan_seconds: CostModel::lan().estimate_seconds(stats),
+            wan_seconds: CostModel::wan().estimate_seconds(stats),
+            total_retries: stats.total_retries(),
+            total_timeouts: stats.total_timeouts(),
+        }
+    }
 }
 
 /// Everything a secure scan run produces.
@@ -177,10 +226,7 @@ pub trait SummandSource: Sync {
     fn covariates(&self) -> &dash_linalg::Matrix;
     /// The additive statistics of Lemma 2.1 for this party's rows, given
     /// its slice `Q_k` of the shared orthonormal basis.
-    fn summands(
-        &self,
-        q: &dash_linalg::Matrix,
-    ) -> Result<crate::suffstats::SuffStats, CoreError>;
+    fn summands(&self, q: &dash_linalg::Matrix) -> Result<crate::suffstats::SuffStats, CoreError>;
 }
 
 impl SummandSource for PartyData {
@@ -193,10 +239,7 @@ impl SummandSource for PartyData {
     fn covariates(&self) -> &dash_linalg::Matrix {
         self.c()
     }
-    fn summands(
-        &self,
-        q: &dash_linalg::Matrix,
-    ) -> Result<crate::suffstats::SuffStats, CoreError> {
+    fn summands(&self, q: &dash_linalg::Matrix) -> Result<crate::suffstats::SuffStats, CoreError> {
         crate::suffstats::SuffStats::local(self.y(), self.x(), q)
     }
 }
@@ -278,28 +321,26 @@ pub fn secure_scan_with<S: SummandSource>(
             (0..p).map(|_| Mutex::new(None)).collect()
         };
 
-    let (results, stats, audit) = Network::run_parties_detailed(p, cfg.seed, |ctx| {
-        let mut triples = triple_slots[ctx.id()].lock().take();
-        protocol::party_protocol_with(ctx, &parties[ctx.id()], cfg, triples.as_mut())
-    });
+    let (results, stats, audit) =
+        Network::run_parties_detailed_with(p, cfg.seed, &cfg.net_options(), |ctx| {
+            let mut triples = triple_slots[ctx.id()].lock().take();
+            protocol::party_protocol_with(ctx, &parties[ctx.id()], cfg, triples.as_mut())
+        });
 
+    // Flatten each party's slot: the outer Result carries panics/crash
+    // faults (PartyFailed), the inner one protocol errors. Either way the
+    // run fails with a structured error, never a hang or a process panic.
     let mut iter = results.into_iter();
-    let first = iter.next().expect("p >= 1")?;
+    let first = iter.next().expect("p >= 1").map_err(CoreError::from)??;
     for r in iter {
-        let r = r?;
+        let r = r.map_err(CoreError::from)??;
         debug_assert_eq!(
             r, first,
             "parties derived different results from identical opened values"
         );
     }
 
-    let network = NetworkReport {
-        total_bytes: stats.total_bytes(),
-        max_party_bytes: stats.max_party_bytes(),
-        total_messages: stats.total_messages(),
-        lan_seconds: CostModel::lan().estimate_seconds(&stats),
-        wan_seconds: CostModel::wan().estimate_seconds(&stats),
-    };
+    let network = NetworkReport::from_stats(&stats);
     Ok(SecureScanOutput {
         result: first,
         network,

@@ -63,7 +63,9 @@ mod tests {
         let mut next = move || {
             let mut acc = 0.0;
             for _ in 0..4 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 acc += (s >> 11) as f64 / (1u64 << 53) as f64;
             }
             (acc - 2.0) * (3.0f64).sqrt()
@@ -207,7 +209,10 @@ mod tests {
                 ..SecureScanConfig::default()
             };
             let out = secure_scan(&parties, &cfg).unwrap();
-            assert!(out.result.max_rel_diff(&reference).unwrap() < 1e-6, "{agg:?}");
+            assert!(
+                out.result.max_rel_diff(&reference).unwrap() < 1e-6,
+                "{agg:?}"
+            );
         }
     }
 }

@@ -92,7 +92,7 @@ fn pairwise_tree(ctx: &mut PartyCtx, c: &Matrix, k: usize) -> Result<Matrix, Cor
                     triangle_scalars(k),
                 );
                 active = false;
-            } else if me % (2 * gap) == 0 && me + gap < n {
+            } else if me.is_multiple_of(2 * gap) && me + gap < n {
                 let child = me + gap;
                 let tag = tree_tag(ctx, gap);
                 let flat = recv_f64(ctx, child, tag)?;
@@ -154,7 +154,9 @@ mod tests {
     fn rand_block(n: usize, k: usize, seed: u64) -> Matrix {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(13);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         Matrix::from_fn(n, k, |_, _| next())
@@ -229,7 +231,7 @@ mod tests {
     fn tiny_party_participates_via_zero_padding() {
         // One party has a single row (fewer than K = 3); padding keeps
         // the stacked identity exact in every mode.
-        let blocks = vec![rand_block(1, 3, 400), rand_block(20, 3, 401)];
+        let blocks = [rand_block(1, 3, 400), rand_block(20, 3, 401)];
         let refs: Vec<&Matrix> = blocks.iter().collect();
         let expect = qr_r_factor(&Matrix::vstack(&refs).unwrap()).unwrap();
         for mode in [
@@ -241,9 +243,8 @@ mod tests {
                 rfactor: mode,
                 ..SecureScanConfig::default()
             };
-            let results = Network::run_parties(2, 3, |ctx| {
-                combine_r(ctx, &blocks[ctx.id()], &cfg).unwrap()
-            });
+            let results =
+                Network::run_parties(2, 3, |ctx| combine_r(ctx, &blocks[ctx.id()], &cfg).unwrap());
             for r in &results {
                 assert!(
                     r.max_abs_diff(&expect).unwrap() < 1e-5,

@@ -7,20 +7,16 @@
 use dash_mpc::{MpcError, PartyCtx};
 
 /// Sends a slice of doubles to one peer.
-pub(crate) fn send_f64(
-    ctx: &PartyCtx,
-    to: usize,
-    tag: u32,
-    vals: &[f64],
-) -> Result<(), MpcError> {
+pub(crate) fn send_f64(ctx: &PartyCtx, to: usize, tag: u32, vals: &[f64]) -> Result<(), MpcError> {
     let words: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
-    ctx.endpoint().send_words(to, tag, &words)
+    // The ctx helpers (rather than the raw endpoint) apply the configured
+    // retry policy and receive deadline.
+    ctx.send_words(to, tag, &words)
 }
 
 /// Receives a slice of doubles from one peer.
 pub(crate) fn recv_f64(ctx: &PartyCtx, from: usize, tag: u32) -> Result<Vec<f64>, MpcError> {
     Ok(ctx
-        .endpoint()
         .recv_words(from, tag)?
         .into_iter()
         .map(f64::from_bits)

@@ -90,7 +90,13 @@ impl SuffStats {
             xy.push(dot(col, y));
             xx.push(self_dot(col));
         }
-        Ok(SuffStats { yy, xy, xx, qty, qtx })
+        Ok(SuffStats {
+            yy,
+            xy,
+            xx,
+            qty,
+            qtx,
+        })
     }
 
     /// Like [`SuffStats::local`] but restricted to the half-open variant
@@ -143,12 +149,7 @@ impl SuffStats {
         for (a, b) in self.qty.iter_mut().zip(&other.qty) {
             *a += b;
         }
-        for (a, b) in self
-            .qtx
-            .as_mut_slice()
-            .iter_mut()
-            .zip(other.qtx.as_slice())
-        {
+        for (a, b) in self.qtx.as_mut_slice().iter_mut().zip(other.qtx.as_slice()) {
             *a += b;
         }
         Ok(())
@@ -179,7 +180,9 @@ impl SuffStats {
     /// Serializes into one flat vector (layout: `yy, xy, xx, qty, qtx`
     /// column-major) — the payload of the secure-sum modes.
     pub fn to_flat(&self) -> Vec<f64> {
-        let mut out = Vec::with_capacity(1 + 2 * self.n_variants() + self.qty.len() + self.qtx.as_slice().len());
+        let mut out = Vec::with_capacity(
+            1 + 2 * self.n_variants() + self.qty.len() + self.qtx.as_slice().len(),
+        );
         out.push(self.yy);
         out.extend_from_slice(&self.xy);
         out.extend_from_slice(&self.xx);
@@ -203,7 +206,13 @@ impl SuffStats {
         let xx = flat[1 + m..1 + 2 * m].to_vec();
         let qty = flat[1 + 2 * m..1 + 2 * m + k].to_vec();
         let qtx = Matrix::from_column_major(k, m, flat[1 + 2 * m + k..].to_vec())?;
-        Ok(SuffStats { yy, xy, xx, qty, qtx })
+        Ok(SuffStats {
+            yy,
+            xy,
+            xx,
+            qty,
+            qtx,
+        })
     }
 }
 
@@ -231,6 +240,7 @@ impl ScanStats {
     /// residual degrees of freedom are `n − k − 1` (must be ≥ 1).
     /// Variants numerically inside the span of C produce NaN rows and are
     /// counted in [`ScanResult::n_degenerate`].
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(a > b)` deliberately catches NaN
     pub fn finalize(&self, n: usize, k: usize) -> Result<ScanResult, CoreError> {
         if n <= k + 1 {
             return Err(CoreError::NotEnoughSamples { n, k });
@@ -311,7 +321,11 @@ impl CtStats {
             return Err(CoreError::ShapeMismatch {
                 what: "CtStats::local rows",
                 expected: y.len(),
-                got: if x.rows() != y.len() { x.rows() } else { c.rows() },
+                got: if x.rows() != y.len() {
+                    x.rows()
+                } else {
+                    c.rows()
+                },
             });
         }
         let m = x.cols();
@@ -452,7 +466,9 @@ mod tests {
     fn toy(n: usize, m: usize, k: usize, seed: u64) -> (Vec<f64>, Matrix, Matrix) {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let y: Vec<f64> = (0..n).map(|_| next()).collect();

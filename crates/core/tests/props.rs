@@ -10,7 +10,9 @@ use proptest::prelude::*;
 fn dataset(n: usize, m: usize, k: usize, seed: u64) -> PartyData {
     let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
     let mut next = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
     };
     let y: Vec<f64> = (0..n).map(|_| next()).collect();
@@ -97,8 +99,8 @@ proptest! {
             .map(|j| TransientBlock::new(format!("v{j}"), vec![j]))
             .collect();
         let joint = block_scan(&data, &blocks).unwrap();
-        for j in 0..4 {
-            prop_assert!((joint[j].p - scalar.p[j]).abs() < 1e-8, "j={j}");
+        for (j, jb) in joint.iter().enumerate().take(4) {
+            prop_assert!((jb.p - scalar.p[j]).abs() < 1e-8, "j={j}");
         }
     }
 

@@ -399,17 +399,23 @@ mod tests {
         let x = crate::standardize::impute_and_standardize(&g);
         let causal = 20usize;
         let y: Vec<f64> = (0..n)
-            .map(|i| {
-                0.4 * x.get(i, causal) + crate::pheno::sample_standard_normal(&mut rng)
-            })
+            .map(|i| 0.4 * x.get(i, causal) + crate::pheno::sample_standard_normal(&mut rng))
             .collect();
         let c = dash_linalg::Matrix::from_cols(&[&vec![1.0; n]]).unwrap();
         let data = dash_core::model::PartyData::new(y, x, c).unwrap();
         let res = dash_core::scan::associate(&data).unwrap();
         assert!(res.p[causal] < 1e-8);
         // Immediate neighbours inherit signal; far variants do not.
-        assert!(res.p[causal - 1] < 1e-3, "left neighbour p {}", res.p[causal - 1]);
-        assert!(res.p[causal + 1] < 1e-3, "right neighbour p {}", res.p[causal + 1]);
+        assert!(
+            res.p[causal - 1] < 1e-3,
+            "left neighbour p {}",
+            res.p[causal - 1]
+        );
+        assert!(
+            res.p[causal + 1] < 1e-3,
+            "right neighbour p {}",
+            res.p[causal + 1]
+        );
         assert!(res.p[0] > 1e-3, "distant variant p {}", res.p[0]);
     }
 

@@ -181,11 +181,7 @@ mod tests {
 
     #[test]
     fn matrix_roundtrip() {
-        let m = Matrix::from_rows(&[
-            &[1.0, -2.5, 3.125][..],
-            &[0.1, 1e-12, -7.0][..],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(&[&[1.0, -2.5, 3.125][..], &[0.1, 1e-12, -7.0][..]]).unwrap();
         let path = tmp("mat.tsv");
         write_matrix_tsv(&path, &m).unwrap();
         let back = read_matrix_tsv(&path).unwrap();
@@ -198,7 +194,11 @@ mod tests {
         let bad = "1.0\t2.0\nx\t3.0\n";
         assert!(matches!(
             read_matrix(bad.as_bytes()),
-            Err(GwasError::Parse { line: 2, column: 1, .. })
+            Err(GwasError::Parse {
+                line: 2,
+                column: 1,
+                ..
+            })
         ));
         let ragged = "1.0\t2.0\n3.0\n";
         assert!(matches!(

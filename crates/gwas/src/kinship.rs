@@ -89,7 +89,12 @@ mod tests {
         assert!(k.max_abs_diff(&reference).unwrap() < 1e-10);
         // Symmetric with ~unit diagonal.
         for i in 0..20 {
-            assert!((k.get(i, i) - 1.0).abs() < 0.35, "diag {} = {}", i, k.get(i, i));
+            assert!(
+                (k.get(i, i) - 1.0).abs() < 0.35,
+                "diag {} = {}",
+                i,
+                k.get(i, i)
+            );
             for j in 0..20 {
                 assert!((k.get(i, j) - k.get(j, i)).abs() < 1e-12);
             }
@@ -118,13 +123,17 @@ mod tests {
         let g = simulate_genotypes(10, 200, &Default::default(), &mut rng).unwrap();
         let x0 = impute_and_standardize(&g);
         // Build matrix with row 1 replaced by a copy of row 0.
-        let x = Matrix::from_fn(10, 200, |r, c| {
-            if r == 1 {
-                x0.get(0, c)
-            } else {
-                x0.get(r, c)
-            }
-        });
+        let x = Matrix::from_fn(
+            10,
+            200,
+            |r, c| {
+                if r == 1 {
+                    x0.get(0, c)
+                } else {
+                    x0.get(r, c)
+                }
+            },
+        );
         let k = kinship_matrix(&x).unwrap();
         let twin = k.get(0, 1);
         let stranger = k.get(0, 5);

@@ -34,12 +34,14 @@ pub mod structure;
 
 pub use error::GwasError;
 pub use genotype::{simulate_genotypes, simulate_genotypes_ld, GenotypeMatrix, GenotypeSimConfig};
-pub use pheno::{simulate_phenotype, PhenotypeSim, PhenotypeTruth};
 pub use kinship::{kinship_eigen_from_genotypes, kinship_matrix};
+pub use pheno::{simulate_phenotype, PhenotypeSim, PhenotypeTruth};
 pub use power::{evaluate_scan, lambda_gc, PowerReport};
 pub use sparse::{sparse_scan_stats, sparse_suffstats, SparseMatrix, SparseParty};
 pub use standardize::{impute_and_standardize, standardize_columns};
-pub use structure::{simulate_admixed_cohorts, simulate_structured_cohorts, AdmixedSimConfig, StructuredSimConfig};
+pub use structure::{
+    simulate_admixed_cohorts, simulate_structured_cohorts, AdmixedSimConfig, StructuredSimConfig,
+};
 
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, GwasError>;

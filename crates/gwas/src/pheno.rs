@@ -107,7 +107,13 @@ pub fn simulate_phenotype(
     };
     let effects: Vec<f64> = causal
         .iter()
-        .map(|_| if rng.gen::<bool>() { per_effect } else { -per_effect })
+        .map(|_| {
+            if rng.gen::<bool>() {
+                per_effect
+            } else {
+                -per_effect
+            }
+        })
         .collect();
 
     let noise_sd = (1.0 - cfg.heritability).sqrt();
@@ -187,9 +193,7 @@ mod tests {
         };
         assert!(simulate_phenotype(&x, &c, &bad_gamma, &mut rng).is_err());
         let wrong_rows = normal_matrix(19, 2, &mut rng);
-        assert!(
-            simulate_phenotype(&x, &wrong_rows, &PhenotypeSim::default(), &mut rng).is_err()
-        );
+        assert!(simulate_phenotype(&x, &wrong_rows, &PhenotypeSim::default(), &mut rng).is_err());
     }
 
     #[test]
@@ -233,7 +237,8 @@ mod tests {
         };
         let (y, _) = simulate_phenotype(&x, &c, &cfg, &mut rng).unwrap();
         let mean: f64 = y.iter().sum::<f64>() / y.len() as f64;
-        let var: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (y.len() - 1) as f64;
+        let var: f64 =
+            y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (y.len() - 1) as f64;
         assert!((var - 1.0).abs() < 0.12, "total variance {var}");
     }
 

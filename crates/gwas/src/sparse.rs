@@ -128,16 +128,16 @@ impl SparseMatrix {
 ///
 /// Precomputes `Σᵢ y[i]` and the column sums of `Q` once, so the
 /// fill-value contribution of each column is O(K).
-pub fn sparse_scan_stats(
-    y: &[f64],
-    x: &SparseMatrix,
-    q: &Matrix,
-) -> Result<ScanStats, GwasError> {
+pub fn sparse_scan_stats(y: &[f64], x: &SparseMatrix, q: &Matrix) -> Result<ScanStats, GwasError> {
     if x.rows() != y.len() || q.rows() != y.len() {
         return Err(GwasError::ShapeMismatch {
             what: "sparse_scan_stats rows",
             expected: y.len(),
-            got: if x.rows() != y.len() { x.rows() } else { q.rows() },
+            got: if x.rows() != y.len() {
+                x.rows()
+            } else {
+                q.rows()
+            },
         });
     }
     let m = x.cols();
@@ -183,7 +183,11 @@ pub fn sparse_suffstats(
         return Err(GwasError::ShapeMismatch {
             what: "sparse_suffstats rows",
             expected: y.len(),
-            got: if x.rows() != y.len() { x.rows() } else { q.rows() },
+            got: if x.rows() != y.len() {
+                x.rows()
+            } else {
+                q.rows()
+            },
         });
     }
     let m = x.cols();
@@ -230,7 +234,11 @@ impl SparseParty {
             return Err(GwasError::ShapeMismatch {
                 what: "SparseParty rows",
                 expected: y.len(),
-                got: if x.rows() != y.len() { x.rows() } else { c.rows() },
+                got: if x.rows() != y.len() {
+                    x.rows()
+                } else {
+                    c.rows()
+                },
             });
         }
         Ok(SparseParty { y, x, c })
@@ -272,7 +280,9 @@ mod tests {
     fn toy_dense(n: usize, m: usize, sparsity: f64, seed: u64) -> Matrix {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         Matrix::from_fn(n, m, |_, _| {
@@ -315,7 +325,10 @@ mod tests {
         let v_sum: f64 = v.iter().sum();
         for j in 0..4 {
             let expect = dot(dense.col(j), &v);
-            assert!((sparse.col_dot(j, &v, v_sum) - expect).abs() < 1e-10, "j={j}");
+            assert!(
+                (sparse.col_dot(j, &v, v_sum) - expect).abs() < 1e-10,
+                "j={j}"
+            );
             let expect_ss = self_dot(dense.col(j));
             assert!((sparse.col_self_dot(j) - expect_ss).abs() < 1e-10);
         }

@@ -62,13 +62,13 @@ mod tests {
         let mut x = Matrix::from_fn(50, 3, |r, c| ((r * 3 + c) as f64).sin() * 4.0 + 2.0);
         let (means, sds) = standardize_columns(&mut x);
         assert_eq!(means.len(), 3);
-        for j in 0..3 {
+        for (j, &sd) in sds.iter().enumerate() {
             let col = x.col(j);
             let mean: f64 = col.iter().sum::<f64>() / 50.0;
             let var: f64 = col.iter().map(|v| v * v).sum::<f64>() / 49.0;
             assert!(mean.abs() < 1e-12, "col {j} mean {mean}");
             assert!((var - 1.0).abs() < 1e-10, "col {j} var {var}");
-            assert!(sds[j] > 0.0);
+            assert!(sd > 0.0);
         }
     }
 

@@ -95,9 +95,7 @@ fn sample_gamma(shape: f64, rng: &mut impl Rng) -> f64 {
             continue;
         }
         let u: f64 = rng.gen();
-        if u < 1.0 - 0.0331 * x.powi(4)
-            || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-        {
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
             return d * v;
         }
     }
@@ -168,7 +166,13 @@ pub fn simulate_structured_cohorts(
     };
     let effects: Vec<f64> = causal
         .iter()
-        .map(|_| if rng.gen::<bool>() { per_effect } else { -per_effect })
+        .map(|_| {
+            if rng.gen::<bool>() {
+                per_effect
+            } else {
+                -per_effect
+            }
+        })
         .collect();
     let noise_sd = (1.0 - cfg.heritability).sqrt();
 
@@ -203,9 +207,7 @@ pub fn simulate_structured_cohorts(
             *yi += noise_sd * sample_standard_normal(rng);
         }
         let c = normal_matrix(n_k, cfg.k_covariates, rng);
-        parties.push(
-            PartyData::new(y, x, c).expect("shapes consistent by construction"),
-        );
+        parties.push(PartyData::new(y, x, c).expect("shapes consistent by construction"));
     }
     Ok(StructuredCohorts {
         parties,
@@ -343,7 +345,11 @@ pub fn simulate_admixed_cohorts(
         }
         let mut y: Vec<f64> = alphas.iter().map(|&a| cfg.ancestry_effect * a).collect();
         for (idx, _) in causal.iter().enumerate() {
-            let eff = if rng.gen::<bool>() { per_effect } else { -per_effect };
+            let eff = if rng.gen::<bool>() {
+                per_effect
+            } else {
+                -per_effect
+            };
             let col = x.col(causal[idx]);
             for (yi, &xv) in y.iter_mut().zip(col) {
                 *yi += eff * xv;
@@ -372,14 +378,20 @@ mod tests {
     #[test]
     fn config_validation() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut cfg = StructuredSimConfig::default();
-        cfg.party_sizes = vec![];
+        let cfg = StructuredSimConfig {
+            party_sizes: vec![],
+            ..Default::default()
+        };
         assert!(simulate_structured_cohorts(&cfg, &mut rng).is_err());
-        let mut cfg = StructuredSimConfig::default();
-        cfg.fst = 1.5;
+        let cfg = StructuredSimConfig {
+            fst: 1.5,
+            ..Default::default()
+        };
         assert!(simulate_structured_cohorts(&cfg, &mut rng).is_err());
-        let mut cfg = StructuredSimConfig::default();
-        cfg.party_offsets = vec![1.0];
+        let cfg = StructuredSimConfig {
+            party_offsets: vec![1.0],
+            ..Default::default()
+        };
         assert!(simulate_structured_cohorts(&cfg, &mut rng).is_err());
         let mut cfg = StructuredSimConfig::default();
         cfg.n_causal = cfg.n_variants + 1;
@@ -467,15 +479,21 @@ mod tests {
     #[test]
     fn admixture_validation() {
         let mut rng = StdRng::seed_from_u64(21);
-        let mut cfg = AdmixedSimConfig::default();
-        cfg.party_alpha_ranges = vec![(0.0, 1.0)];
+        let cfg = AdmixedSimConfig {
+            party_alpha_ranges: vec![(0.0, 1.0)],
+            ..Default::default()
+        };
         assert!(simulate_admixed_cohorts(&cfg, &mut rng).is_err()); // range count
-        let mut cfg = AdmixedSimConfig::default();
-        cfg.divergence = 0.7;
+        let cfg = AdmixedSimConfig {
+            divergence: 0.7,
+            ..Default::default()
+        };
         assert!(simulate_admixed_cohorts(&cfg, &mut rng).is_err());
-        let mut cfg = AdmixedSimConfig::default();
-        cfg.party_sizes = vec![];
-        cfg.party_alpha_ranges = vec![];
+        let cfg = AdmixedSimConfig {
+            party_sizes: vec![],
+            party_alpha_ranges: vec![],
+            ..Default::default()
+        };
         assert!(simulate_admixed_cohorts(&cfg, &mut rng).is_err());
     }
 

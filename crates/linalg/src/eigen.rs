@@ -180,7 +180,10 @@ mod tests {
             assert!(e.values[n - 1] > -1e-9);
             // VᵀV = I.
             let vtv = gemm_at_b(&e.vectors, &e.vectors).unwrap();
-            assert!(vtv.max_abs_diff(&Matrix::identity(n)).unwrap() < 1e-10, "n={n}");
+            assert!(
+                vtv.max_abs_diff(&Matrix::identity(n)).unwrap() < 1e-10,
+                "n={n}"
+            );
             // Reconstruction.
             let rec = reconstruct(&e);
             let scale = 1.0 + crate::ops::frobenius_norm(&a);

@@ -42,10 +42,9 @@ impl fmt::Display for LinalgError {
                 "{op}: dimension mismatch between {}x{} and {}x{}",
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
-            LinalgError::NotTall { rows, cols } => write!(
-                f,
-                "factorization requires rows >= cols, got {rows}x{cols}"
-            ),
+            LinalgError::NotTall { rows, cols } => {
+                write!(f, "factorization requires rows >= cols, got {rows}x{cols}")
+            }
             LinalgError::NotSquare { rows, cols } => {
                 write!(f, "expected a square matrix, got {rows}x{cols}")
             }

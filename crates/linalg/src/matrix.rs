@@ -107,7 +107,11 @@ impl Matrix {
             }
             data.extend_from_slice(col);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -132,14 +136,20 @@ impl Matrix {
     /// the scan kernels use slices, not this).
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r + c * self.rows]
     }
 
     /// Element setter; panics on out-of-range indices.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r + c * self.rows] = v;
     }
 
@@ -210,7 +220,10 @@ impl Matrix {
     ///
     /// Columns are contiguous, so this is a single memcpy.
     pub fn col_block(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "column range out of bounds");
+        assert!(
+            start <= end && end <= self.cols,
+            "column range out of bounds"
+        );
         Matrix {
             rows: self.rows,
             cols: end - start,

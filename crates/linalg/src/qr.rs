@@ -47,7 +47,11 @@ fn householder_inplace(work: &mut Matrix, betas: &mut Vec<f64>) {
                 let mu = (x0 * x0 + sigma).sqrt();
                 // v0 = x0 - mu, computed without cancellation when x0 > 0;
                 // with this choice H x = +mu e1 in both branches.
-                let v0 = if x0 <= 0.0 { x0 - mu } else { -sigma / (x0 + mu) };
+                let v0 = if x0 <= 0.0 {
+                    x0 - mu
+                } else {
+                    -sigma / (x0 + mu)
+                };
                 let beta = 2.0 * v0 * v0 / (sigma + v0 * v0);
                 // Normalize so v[0] == 1.
                 for xi in &mut col[j + 1..] {
@@ -182,7 +186,9 @@ mod tests {
 
     fn rand_matrix(n: usize, k: usize, seed: u64) -> Matrix {
         // Small deterministic LCG so this module does not need `rand`.
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = move || {
             state = state
                 .wrapping_mul(6364136223846793005)
@@ -249,9 +255,11 @@ mod tests {
         // Upper-triangular input with positive diagonal: R should equal it.
         let a = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0], &[0.0, 0.0]]).unwrap();
         let ThinQr { q, r } = qr_thin(&a).unwrap();
-        assert!(r.max_abs_diff(&Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]).unwrap())
-            .unwrap()
-            < 1e-14);
+        assert!(
+            r.max_abs_diff(&Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]).unwrap())
+                .unwrap()
+                < 1e-14
+        );
         assert_orthonormal(&q, 1e-14);
     }
 

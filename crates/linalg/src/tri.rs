@@ -23,12 +23,11 @@ fn check_square(a: &Matrix) -> Result<usize, LinalgError> {
 }
 
 fn max_diag(a: &Matrix) -> f64 {
-    (0..a.rows())
-        .map(|i| a.get(i, i).abs())
-        .fold(0.0, f64::max)
+    (0..a.rows()).map(|i| a.get(i, i).abs()).fold(0.0, f64::max)
 }
 
 /// Solves `U x = b` for upper-triangular `U` by back substitution.
+#[allow(clippy::needless_range_loop)] // index loops mirror the math
 pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let n = check_square(u)?;
     if b.len() != n {
@@ -58,6 +57,7 @@ pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
 }
 
 /// Solves `L x = b` for lower-triangular `L` by forward substitution.
+#[allow(clippy::needless_range_loop)] // index loops mirror the math
 pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let n = check_square(l)?;
     if b.len() != n {
@@ -92,6 +92,7 @@ pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
 /// triangular. Errors with [`LinalgError::Singular`] on a (near-)zero
 /// diagonal — for the scan this means the permanent covariates are
 /// collinear and the model is unidentifiable.
+#[allow(clippy::needless_range_loop)] // index loops mirror the math
 pub fn invert_upper(u: &Matrix) -> Result<Matrix, LinalgError> {
     let n = check_square(u)?;
     let scale = max_diag(u);
@@ -189,10 +190,6 @@ mod tests {
     #[test]
     fn identity_inverse_is_identity() {
         let i = Matrix::identity(4);
-        assert!(invert_upper(&i)
-            .unwrap()
-            .max_abs_diff(&i)
-            .unwrap()
-            .eq(&0.0));
+        assert!(invert_upper(&i).unwrap().max_abs_diff(&i).unwrap().eq(&0.0));
     }
 }

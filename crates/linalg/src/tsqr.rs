@@ -31,10 +31,7 @@ pub fn tsqr_r(blocks: &[Matrix]) -> Result<Matrix, LinalgError> {
         return Err(LinalgError::EmptyInput { op: "tsqr_r" });
     }
     // Leaf factorizations.
-    let mut level: Vec<Matrix> = blocks
-        .iter()
-        .map(qr_r_factor)
-        .collect::<Result<_, _>>()?;
+    let mut level: Vec<Matrix> = blocks.iter().map(qr_r_factor).collect::<Result<_, _>>()?;
     // Tree reduction: pair up, factor the stacks, repeat.
     while level.len() > 1 {
         let mut next = Vec::with_capacity(level.len().div_ceil(2));

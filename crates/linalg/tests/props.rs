@@ -1,8 +1,8 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use dash_linalg::{
-    cholesky_upper, combine_r_factors, gemm_at_b, invert_upper, qr_r_factor, qr_thin,
-    solve_upper, tsqr_r, Matrix,
+    cholesky_upper, combine_r_factors, gemm_at_b, invert_upper, qr_r_factor, qr_thin, solve_upper,
+    tsqr_r, Matrix,
 };
 use proptest::prelude::*;
 
@@ -120,12 +120,12 @@ proptest! {
         let b: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 7) as f64 - 3.0).collect();
         let x = solve_upper(&u, &b).unwrap();
         // U x should reproduce b.
-        for i in 0..n {
+        for (i, &bi) in b.iter().enumerate() {
             let mut s = 0.0;
-            for j in i..n {
-                s += u.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i) {
+                s += u.get(i, j) * xj;
             }
-            prop_assert!((s - b[i]).abs() < 1e-8 * (1.0 + b[i].abs()));
+            prop_assert!((s - bi).abs() < 1e-8 * (1.0 + bi.abs()));
         }
     }
 

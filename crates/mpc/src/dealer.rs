@@ -49,20 +49,16 @@ pub struct PartyTriples {
 impl PartyTriples {
     /// Takes the next scalar triple.
     pub fn next_scalar(&mut self) -> Result<BeaverTriple, MpcError> {
-        self.scalars
-            .pop_front()
-            .ok_or(MpcError::DealerExhausted {
-                what: "scalar Beaver triples",
-            })
+        self.scalars.pop_front().ok_or(MpcError::DealerExhausted {
+            what: "scalar Beaver triples",
+        })
     }
 
     /// Takes the next inner-product triple.
     pub fn next_inner(&mut self) -> Result<InnerTriple, MpcError> {
-        self.inners
-            .pop_front()
-            .ok_or(MpcError::DealerExhausted {
-                what: "inner-product triples",
-            })
+        self.inners.pop_front().ok_or(MpcError::DealerExhausted {
+            what: "inner-product triples",
+        })
     }
 
     /// Remaining scalar triples.
@@ -87,7 +83,10 @@ impl TrustedDealer {
     /// Creates a dealer for `n ≥ 1` parties.
     pub fn new(n: usize, seed: u64) -> Result<Self, MpcError> {
         if n == 0 {
-            return Err(MpcError::BadPartyCount { n_parties: 0, min: 1 });
+            return Err(MpcError::BadPartyCount {
+                n_parties: 0,
+                min: 1,
+            });
         }
         Ok(TrustedDealer {
             n,
@@ -127,13 +126,21 @@ impl TrustedDealer {
                 .iter()
                 .zip(&b)
                 .fold(F61::ZERO, |acc, (&x, &y)| acc + x * y);
-            let mut shares_a: Vec<Vec<F61>> = (0..self.n).map(|_| Vec::with_capacity(len)).collect();
-            let mut shares_b: Vec<Vec<F61>> = (0..self.n).map(|_| Vec::with_capacity(len)).collect();
+            let mut shares_a: Vec<Vec<F61>> =
+                (0..self.n).map(|_| Vec::with_capacity(len)).collect();
+            let mut shares_b: Vec<Vec<F61>> =
+                (0..self.n).map(|_| Vec::with_capacity(len)).collect();
             for i in 0..len {
-                for (p, s) in share_field(a[i], self.n, &mut self.prg).into_iter().enumerate() {
+                for (p, s) in share_field(a[i], self.n, &mut self.prg)
+                    .into_iter()
+                    .enumerate()
+                {
                     shares_a[p].push(s);
                 }
-                for (p, s) in share_field(b[i], self.n, &mut self.prg).into_iter().enumerate() {
+                for (p, s) in share_field(b[i], self.n, &mut self.prg)
+                    .into_iter()
+                    .enumerate()
+                {
                     shares_b[p].push(s);
                 }
             }

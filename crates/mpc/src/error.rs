@@ -34,6 +34,27 @@ pub enum MpcError {
     /// A channel to a peer closed mid-protocol (peer thread panicked or
     /// exited early).
     ChannelClosed { peer: usize },
+    /// No message arrived from `peer` within the receive deadline. The
+    /// peer is stalled, partitioned, or has silently dropped the message;
+    /// the survivor reports how long it actually waited.
+    Timeout {
+        peer: usize,
+        tag: u32,
+        waited: std::time::Duration,
+    },
+    /// A party's protocol execution failed outright — it panicked, or a
+    /// crash fault was injected. Survivors see [`MpcError::ChannelClosed`]
+    /// or [`MpcError::Timeout`]; the failed party's own result slot
+    /// carries this variant with the captured panic/crash reason.
+    PartyFailed { party: usize, reason: String },
+    /// A payload arrived whose length is not a whole number of 8-byte
+    /// words, so it cannot be decoded without silently dropping trailing
+    /// bytes.
+    MalformedPayload { from: usize, len: usize },
+    /// A send attempt failed transiently (injected fault or flaky link).
+    /// Retryable: the retry policy resends with backoff, and the error
+    /// only surfaces once retries are exhausted.
+    TransientFailure { peer: usize },
     /// The dealer ran out of preprocessed material for this protocol run.
     DealerExhausted { what: &'static str },
     /// A party id outside `0..n_parties`.
@@ -58,7 +79,10 @@ impl fmt::Display for MpcError {
                 write!(f, "cannot encode non-finite value {value}")
             }
             MpcError::BadFracBits { frac_bits, max } => {
-                write!(f, "frac_bits = {frac_bits} outside supported range 1..={max}")
+                write!(
+                    f,
+                    "frac_bits = {frac_bits} outside supported range 1..={max}"
+                )
             }
             MpcError::LengthMismatch {
                 what,
@@ -75,6 +99,20 @@ impl fmt::Display for MpcError {
             ),
             MpcError::ChannelClosed { peer } => {
                 write!(f, "channel to party {peer} closed mid-protocol")
+            }
+            MpcError::Timeout { peer, tag, waited } => write!(
+                f,
+                "timed out after {waited:?} waiting for tag {tag} from party {peer}"
+            ),
+            MpcError::PartyFailed { party, reason } => {
+                write!(f, "party {party} failed: {reason}")
+            }
+            MpcError::MalformedPayload { from, len } => write!(
+                f,
+                "malformed payload from party {from}: {len} bytes is not a whole number of words"
+            ),
+            MpcError::TransientFailure { peer } => {
+                write!(f, "transient send failure towards party {peer}")
             }
             MpcError::DealerExhausted { what } => {
                 write!(f, "trusted dealer ran out of {what}")

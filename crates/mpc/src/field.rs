@@ -128,7 +128,11 @@ impl Sub for F61 {
     #[inline]
     fn sub(self, rhs: F61) -> F61 {
         let s = self.0.wrapping_sub(rhs.0);
-        F61(if self.0 < rhs.0 { s.wrapping_add(MODULUS) } else { s })
+        F61(if self.0 < rhs.0 {
+            s.wrapping_add(MODULUS)
+        } else {
+            s
+        })
     }
 }
 

@@ -71,7 +71,7 @@ impl FixedPointCodec {
         (63.0 - self.frac_bits as f64).exp2()
     }
 
-    fn to_scaled_i64(&self, x: f64, max_abs: f64) -> Result<i64, MpcError> {
+    fn to_scaled_i64(self, x: f64, max_abs: f64) -> Result<i64, MpcError> {
         if !x.is_finite() {
             return Err(MpcError::NotFinite { value: x });
         }
@@ -168,7 +168,15 @@ mod tests {
     #[test]
     fn ring_roundtrip_precision() {
         let c = FixedPointCodec::new(32).unwrap();
-        for &x in &[0.0, 1.0, -1.0, 3.141592653589793, -2.718281828, 1e6, -99999.125] {
+        for &x in &[
+            0.0,
+            1.0,
+            -1.0,
+            std::f64::consts::PI,
+            -std::f64::consts::E,
+            1e6,
+            -99999.125,
+        ] {
             let v = c.encode_ring(x).unwrap();
             let back = c.decode_ring(v);
             assert!((back - x).abs() <= 1.0 / c.scale(), "x={x} back={back}");
@@ -199,7 +207,10 @@ mod tests {
     #[test]
     fn non_finite_rejected() {
         let c = FixedPointCodec::default();
-        assert!(matches!(c.encode_ring(f64::NAN), Err(MpcError::NotFinite { .. })));
+        assert!(matches!(
+            c.encode_ring(f64::NAN),
+            Err(MpcError::NotFinite { .. })
+        ));
         assert!(c.encode_ring(f64::INFINITY).is_err());
         assert!(c.encode_field(f64::NEG_INFINITY).is_err());
     }

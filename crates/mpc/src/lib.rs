@@ -17,8 +17,11 @@
 //!   elements with explicit overflow errors.
 //! - [`prg`]: deterministic pseudo-random generator for share expansion and
 //!   pairwise correlated masks.
-//! - [`net`]: an in-process party network (crossbeam channels) with exact
-//!   per-link byte/message accounting and a latency/bandwidth cost model.
+//! - [`net`]: an in-process party network with exact per-link
+//!   byte/message accounting and a latency/bandwidth cost model.
+//! - [`transport`]: the deadline-aware [`transport::Transport`] interface
+//!   protocols talk to, plus deterministic fault injection
+//!   ([`transport::FaultyTransport`]) for resilience testing.
 //! - [`party`]: per-party protocol context tying network, randomness and
 //!   the [`audit`] disclosure log together.
 //! - [`dealer`]: trusted dealer producing Beaver scalar and inner-product
@@ -65,15 +68,19 @@ pub mod prg;
 pub mod protocol;
 pub mod ring;
 pub mod share;
+pub mod transport;
 
 pub use audit::{Disclosure, DisclosureLog};
 pub use dealer::TrustedDealer;
 pub use error::MpcError;
 pub use field::F61;
 pub use fixed::FixedPointCodec;
-pub use net::{CostModel, Network, NetworkStats};
+pub use net::{CostModel, NetOptions, Network, NetworkStats};
 pub use party::PartyCtx;
 pub use ring::R64;
+pub use transport::{
+    CrashPoint, FaultPlan, FaultyTransport, RetryPolicy, Transport, TransportConfig,
+};
 
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, MpcError>;

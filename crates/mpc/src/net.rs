@@ -1,41 +1,61 @@
 //! Simulated multi-party network with exact communication accounting.
 //!
 //! Each ordered pair of parties gets an unbounded in-process channel
-//! (crossbeam), and every message is framed into bytes so that the
-//! per-link counters measure exactly what a TCP deployment would ship.
-//! The paper's headline communication claim — O(M) inter-party bits,
-//! independent of N — is validated against these counters in experiment
-//! E3, and the [`CostModel`] converts them into simulated LAN/WAN wall
-//! clock for the E4 overhead tables.
+//! (`std::sync::mpsc`), and every message is framed into bytes so that
+//! the per-link counters measure exactly what a TCP deployment would
+//! ship. The paper's headline communication claim — O(M) inter-party
+//! bits, independent of N — is validated against these counters in
+//! experiment E3, and the [`CostModel`] converts them into simulated
+//! LAN/WAN wall clock for the E4 overhead tables.
+//!
+//! Messages carry per-link sequence numbers: receivers deliver frames in
+//! send order, drop duplicates, and buffer early arrivals, so the
+//! [`crate::transport::FaultyTransport`] wrapper can duplicate and
+//! reorder traffic without desynchronizing the protocol. Every receive
+//! is deadline-bounded — a stalled or crashed peer yields
+//! [`MpcError::Timeout`] or [`MpcError::ChannelClosed`], never a hang.
 
 use crate::audit::DisclosureLog;
 use crate::error::MpcError;
 use crate::party::PartyCtx;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::transport::{FaultPlan, FaultyTransport, Transport, TransportConfig};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Framing overhead charged per message (4-byte tag + 8-byte length),
-/// mirroring a minimal length-prefixed wire protocol.
-pub const HEADER_BYTES: u64 = 12;
+/// Framing overhead charged per message (4-byte tag + 8-byte length +
+/// 8-byte sequence number), mirroring a minimal length-prefixed wire
+/// protocol with in-order delivery.
+pub const HEADER_BYTES: u64 = 20;
+
+/// Receive deadline used when the caller does not thread a
+/// [`TransportConfig`] through: generous enough that healthy runs never
+/// trip it, finite so nothing blocks forever.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(60);
 
 /// A framed protocol message.
 #[derive(Debug, Clone)]
 pub struct Message {
+    /// Per-link sequence number; receivers deliver in `seq` order.
+    pub seq: u64,
     /// Protocol round tag; receivers verify it to catch desyncs early.
     pub tag: u32,
     /// Serialized payload.
-    pub payload: Bytes,
+    pub payload: Vec<u8>,
 }
 
-/// Per-link byte and message counters, shared by all endpoints of one
-/// network.
+/// Per-link byte/message counters plus per-party retry/timeout counters,
+/// shared by all endpoints of one network.
 #[derive(Debug)]
 pub struct NetworkStats {
     n: usize,
     bytes: Vec<AtomicU64>,
     msgs: Vec<AtomicU64>,
+    retries: Vec<AtomicU64>,
+    timeouts: Vec<AtomicU64>,
 }
 
 impl NetworkStats {
@@ -44,6 +64,8 @@ impl NetworkStats {
             n,
             bytes: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
             msgs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            retries: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            timeouts: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -52,6 +74,16 @@ impl NetworkStats {
         let idx = from * self.n + to;
         self.bytes[idx].fetch_add(HEADER_BYTES + payload_len as u64, Ordering::Relaxed);
         self.msgs[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one send retry performed by `party`.
+    pub(crate) fn record_retry(&self, party: usize) {
+        self.retries[party].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one receive deadline expiry suffered by `party`.
+    pub(crate) fn record_timeout(&self, party: usize) {
+        self.timeouts[party].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of parties.
@@ -79,6 +111,16 @@ impl NetworkStats {
         (0..self.n).map(|j| self.messages_between(party, j)).sum()
     }
 
+    /// Send retries performed by one party.
+    pub fn retries_by(&self, party: usize) -> u64 {
+        self.retries[party].load(Ordering::Relaxed)
+    }
+
+    /// Receive timeouts suffered by one party.
+    pub fn timeouts_by(&self, party: usize) -> u64 {
+        self.timeouts[party].load(Ordering::Relaxed)
+    }
+
     /// Total bytes over all links.
     pub fn total_bytes(&self) -> u64 {
         self.bytes.iter().map(|b| b.load(Ordering::Relaxed)).sum()
@@ -89,10 +131,26 @@ impl NetworkStats {
         self.msgs.iter().map(|m| m.load(Ordering::Relaxed)).sum()
     }
 
+    /// Total send retries over all parties.
+    pub fn total_retries(&self) -> u64 {
+        self.retries.iter().map(|r| r.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total receive timeouts over all parties.
+    pub fn total_timeouts(&self) -> u64 {
+        self.timeouts
+            .iter()
+            .map(|t| t.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Largest per-party outbound byte count — the bottleneck link in a
     /// symmetric topology.
     pub fn max_party_bytes(&self) -> u64 {
-        (0..self.n).map(|i| self.bytes_sent_by(i)).max().unwrap_or(0)
+        (0..self.n)
+            .map(|i| self.bytes_sent_by(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Resets all counters (between experiment repetitions).
@@ -103,15 +161,26 @@ impl NetworkStats {
         for m in &self.msgs {
             m.store(0, Ordering::Relaxed);
         }
+        for r in &self.retries {
+            r.store(0, Ordering::Relaxed);
+        }
+        for t in &self.timeouts {
+            t.store(0, Ordering::Relaxed);
+        }
     }
 }
 
 /// A latency/bandwidth model converting counters into simulated seconds.
 ///
-/// The estimate is the bottleneck party's serialized cost:
-/// `max_i (messages_i · latency + bytes_i / bandwidth)`. Real protocols
-/// overlap transfers, so this is an upper bound on network time for the
-/// symmetric protocols used here; it is reported as such in EXPERIMENTS.md.
+/// Per party the estimate charges one latency per *message on its
+/// busiest outbound link* plus serialized bytes over the bandwidth:
+/// `max_j msgs(i→j) · latency + bytes_i / bandwidth`; the network
+/// estimate is the maximum over parties. Back-to-back messages to
+/// *distinct* peers overlap in flight (each link has its own latency),
+/// so only the deepest per-link message chain is charged; messages on
+/// the *same* link are conservatively serialized. The result remains an
+/// upper bound for the symmetric protocols used here and is reported as
+/// such in EXPERIMENTS.md.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// One-way message latency in seconds.
@@ -138,25 +207,59 @@ impl CostModel {
     }
 
     /// Simulated network seconds for a finished protocol run.
+    ///
+    /// Latency is charged per party as `latency · max_j msgs(i→j)` — the
+    /// deepest same-link message chain — because a party writes all its
+    /// sockets before blocking on reads: sends to *distinct* peers in one
+    /// round overlap, while repeated messages on one link must serialize.
+    /// Bandwidth is charged on the party's full outbound byte count, and
+    /// the slowest party bounds the run. This is an optimistic-but-tight
+    /// lower bound: it never exceeds the serial (`latency · total_msgs`)
+    /// model and is exact for the all-to-all rounds the protocols use.
     pub fn estimate_seconds(&self, stats: &NetworkStats) -> f64 {
-        (0..stats.n_parties())
+        let n = stats.n_parties();
+        (0..n)
             .map(|i| {
-                stats.messages_sent_by(i) as f64 * self.latency_s
+                let deepest_link = (0..n)
+                    .map(|j| stats.messages_between(i, j))
+                    .max()
+                    .unwrap_or(0);
+                deepest_link as f64 * self.latency_s
                     + stats.bytes_sent_by(i) as f64 / self.bandwidth_bytes_per_s
             })
             .fold(0.0, f64::max)
     }
 }
 
-/// One party's view of the network: senders to every peer, receivers from
-/// every peer.
+/// Receiver-side state of one incoming link: the channel plus the
+/// in-order delivery machinery (next expected sequence number and a
+/// buffer of early arrivals).
+#[derive(Debug)]
+struct RecvState {
+    rx: Receiver<Message>,
+    next_seq: u64,
+    early: BTreeMap<u64, Message>,
+}
+
+/// One party's view of the network: senders to every peer, in-order
+/// deadline-aware receivers from every peer.
 #[derive(Debug)]
 pub struct Endpoint {
     id: usize,
     n: usize,
     senders: Vec<Option<Sender<Message>>>,
-    receivers: Vec<Option<Receiver<Message>>>,
+    send_seqs: Vec<AtomicU64>,
+    links: Vec<Option<Mutex<RecvState>>>,
     stats: Arc<NetworkStats>,
+}
+
+/// Serializes words into the little-endian byte payload.
+pub(crate) fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    buf
 }
 
 impl Endpoint {
@@ -175,48 +278,118 @@ impl Endpoint {
         &self.stats
     }
 
-    /// Sends a vector of u64 words to a peer under a tag.
-    pub fn send_words(&self, to: usize, tag: u32, words: &[u64]) -> Result<(), MpcError> {
-        let sender = self
-            .senders
-            .get(to)
-            .ok_or(MpcError::NoSuchParty {
+    /// Allocates the next sequence number for the link to `to`,
+    /// validating the link exists.
+    pub(crate) fn alloc_seq(&self, to: usize) -> Result<u64, MpcError> {
+        if to == self.id || to >= self.n {
+            return Err(MpcError::NoSuchParty {
                 id: to,
                 n_parties: self.n,
-            })?
-            .as_ref()
-            .ok_or(MpcError::NoSuchParty {
-                id: to,
-                n_parties: self.n,
-            })?;
-        let mut buf = BytesMut::with_capacity(words.len() * 8);
-        for &w in words {
-            buf.put_u64_le(w);
+            });
         }
-        let payload = buf.freeze();
-        self.stats.record(self.id, to, payload.len());
+        Ok(self.send_seqs[to].fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Ships an already-framed message, recording its cost. Used by the
+    /// fault-injection layer to duplicate and reorder frames.
+    pub(crate) fn send_frame(&self, to: usize, msg: Message) -> Result<(), MpcError> {
+        let sender =
+            self.senders
+                .get(to)
+                .and_then(|s| s.as_ref())
+                .ok_or(MpcError::NoSuchParty {
+                    id: to,
+                    n_parties: self.n,
+                })?;
+        self.stats.record(self.id, to, msg.payload.len());
         sender
-            .send(Message { tag, payload })
+            .send(msg)
             .map_err(|_| MpcError::ChannelClosed { peer: to })
     }
 
-    /// Receives a word vector from a specific peer, verifying the tag.
-    pub fn recv_words(&self, from: usize, expected_tag: u32) -> Result<Vec<u64>, MpcError> {
-        let receiver = self
-            .receivers
+    /// Sends a raw byte payload to a peer under a tag.
+    pub fn send_bytes(&self, to: usize, tag: u32, payload: &[u8]) -> Result<(), MpcError> {
+        let seq = self.alloc_seq(to)?;
+        self.send_frame(
+            to,
+            Message {
+                seq,
+                tag,
+                payload: payload.to_vec(),
+            },
+        )
+    }
+
+    /// Sends a vector of u64 words to a peer under a tag.
+    pub fn send_words(&self, to: usize, tag: u32, words: &[u64]) -> Result<(), MpcError> {
+        self.send_bytes(to, tag, &words_to_bytes(words))
+    }
+
+    /// Receives the next in-order frame from `from`, waiting at most
+    /// `deadline`. Duplicates (already-delivered sequence numbers) are
+    /// discarded; early arrivals are buffered until their turn.
+    fn recv_frame(&self, from: usize, tag: u32, deadline: Duration) -> Result<Message, MpcError> {
+        let link = self
+            .links
             .get(from)
-            .ok_or(MpcError::NoSuchParty {
-                id: from,
-                n_parties: self.n,
-            })?
-            .as_ref()
+            .and_then(|l| l.as_ref())
             .ok_or(MpcError::NoSuchParty {
                 id: from,
                 n_parties: self.n,
             })?;
-        let msg = receiver
-            .recv()
-            .map_err(|_| MpcError::ChannelClosed { peer: from })?;
+        let start = Instant::now();
+        let mut st = link.lock();
+        loop {
+            let expected = st.next_seq;
+            if let Some(msg) = st.early.remove(&expected) {
+                st.next_seq += 1;
+                return Ok(msg);
+            }
+            let remaining = match deadline.checked_sub(start.elapsed()) {
+                Some(r) if r > Duration::ZERO => r,
+                _ => {
+                    self.stats.record_timeout(self.id);
+                    return Err(MpcError::Timeout {
+                        peer: from,
+                        tag,
+                        waited: start.elapsed(),
+                    });
+                }
+            };
+            match st.rx.recv_timeout(remaining) {
+                Ok(msg) if msg.seq < st.next_seq => continue, // duplicate
+                Ok(msg) if msg.seq == st.next_seq => {
+                    st.next_seq += 1;
+                    return Ok(msg);
+                }
+                Ok(msg) => {
+                    // Early arrival (reordered); hold until its turn.
+                    st.early.insert(msg.seq, msg);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.stats.record_timeout(self.id);
+                    return Err(MpcError::Timeout {
+                        peer: from,
+                        tag,
+                        waited: start.elapsed(),
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(MpcError::ChannelClosed { peer: from });
+                }
+            }
+        }
+    }
+
+    /// Receives a raw byte payload from a peer, verifying the tag and
+    /// waiting at most `deadline`.
+    pub fn recv_bytes_timeout(
+        &self,
+        from: usize,
+        expected_tag: u32,
+        deadline: Duration,
+    ) -> Result<Vec<u8>, MpcError> {
+        let msg = self.recv_frame(from, expected_tag, deadline)?;
         if msg.tag != expected_tag {
             return Err(MpcError::UnexpectedMessage {
                 expected_tag,
@@ -224,49 +397,100 @@ impl Endpoint {
                 from,
             });
         }
-        let mut payload = msg.payload;
-        let mut words = Vec::with_capacity(payload.len() / 8);
-        while payload.remaining() >= 8 {
-            words.push(payload.get_u64_le());
-        }
-        Ok(words)
+        Ok(msg.payload)
     }
+
+    /// Receives a word vector from a specific peer, verifying the tag
+    /// and waiting at most `deadline`. A payload that is not a whole
+    /// number of words is rejected rather than silently truncated.
+    pub fn recv_words_timeout(
+        &self,
+        from: usize,
+        expected_tag: u32,
+        deadline: Duration,
+    ) -> Result<Vec<u64>, MpcError> {
+        let payload = self.recv_bytes_timeout(from, expected_tag, deadline)?;
+        if payload.len() % 8 != 0 {
+            return Err(MpcError::MalformedPayload {
+                from,
+                len: payload.len(),
+            });
+        }
+        Ok(payload
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+            .collect())
+    }
+
+    /// Receives a word vector with the [`DEFAULT_DEADLINE`].
+    pub fn recv_words(&self, from: usize, expected_tag: u32) -> Result<Vec<u64>, MpcError> {
+        self.recv_words_timeout(from, expected_tag, DEFAULT_DEADLINE)
+    }
+}
+
+/// Knobs for one protocol run: the transport policy every party uses,
+/// plus optional fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetOptions {
+    /// Receive deadline and send retry policy.
+    pub transport: TransportConfig,
+    /// When set, every endpoint is wrapped in a
+    /// [`FaultyTransport`] driven by this plan.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Factory for in-process party networks.
 pub struct Network;
 
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "party panicked with non-string payload".to_string()
+    }
+}
+
 impl Network {
     /// Builds endpoints for `n` parties plus the shared counters.
     pub fn endpoints(n: usize) -> Result<(Vec<Endpoint>, Arc<NetworkStats>), MpcError> {
         if n == 0 {
-            return Err(MpcError::BadPartyCount { n_parties: 0, min: 1 });
+            return Err(MpcError::BadPartyCount {
+                n_parties: 0,
+                min: 1,
+            });
         }
         let stats = Arc::new(NetworkStats::new(n));
         // channels[i][j]: sender for link i→j held by i, receiver held by j.
         let mut senders: Vec<Vec<Option<Sender<Message>>>> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> =
+        let mut links: Vec<Vec<Option<Mutex<RecvState>>>> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         for i in 0..n {
             for j in 0..n {
                 if i == j {
                     continue;
                 }
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 senders[i][j] = Some(tx);
-                receivers[j][i] = Some(rx);
+                links[j][i] = Some(Mutex::new(RecvState {
+                    rx,
+                    next_seq: 0,
+                    early: BTreeMap::new(),
+                }));
             }
         }
         let endpoints = senders
             .into_iter()
-            .zip(receivers)
+            .zip(links)
             .enumerate()
-            .map(|(id, (s, r))| Endpoint {
+            .map(|(id, (s, l))| Endpoint {
                 id,
                 n,
                 senders: s,
-                receivers: r,
+                send_seqs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                links: l,
                 stats: Arc::clone(&stats),
             })
             .collect();
@@ -298,23 +522,59 @@ impl Network {
         T: Send,
         F: Fn(&mut PartyCtx) -> T + Sync,
     {
+        let (results, stats, audit) =
+            Self::run_parties_detailed_with(n, seed, &NetOptions::default(), f);
+        let results = results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("party thread panicked: {e}")))
+            .collect();
+        (results, stats, audit)
+    }
+
+    /// The fault-tolerant runner: like [`Network::run_parties_detailed`]
+    /// but each party's slot is a `Result` — a party that panics (or hits
+    /// an injected crash fault) yields `Err(MpcError::PartyFailed)` in its
+    /// own slot while the survivors keep running and report their own
+    /// structured errors ([`MpcError::ChannelClosed`] or
+    /// [`MpcError::Timeout`]) within the configured deadline. The process
+    /// never panics and never hangs.
+    pub fn run_parties_detailed_with<T, F>(
+        n: usize,
+        seed: u64,
+        opts: &NetOptions,
+        f: F,
+    ) -> (Vec<Result<T, MpcError>>, Arc<NetworkStats>, DisclosureLog)
+    where
+        T: Send,
+        F: Fn(&mut PartyCtx) -> T + Sync,
+    {
         let (endpoints, stats) = Self::endpoints(n).expect("n >= 1");
         let audit = DisclosureLog::new();
-        let results: Vec<T> = std::thread::scope(|scope| {
+        let results: Vec<Result<T, MpcError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = endpoints
                 .into_iter()
                 .map(|ep| {
                     let audit = audit.clone();
                     let f = &f;
+                    let id = ep.id();
                     scope.spawn(move || {
-                        let mut ctx = PartyCtx::new(ep, seed, audit);
-                        f(&mut ctx)
+                        let transport: Box<dyn Transport> = match opts.faults {
+                            Some(plan) => Box::new(FaultyTransport::new(ep, plan)),
+                            None => Box::new(ep),
+                        };
+                        let mut ctx =
+                            PartyCtx::with_transport(transport, opts.transport, seed, audit);
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)))
+                            .map_err(|payload| MpcError::PartyFailed {
+                                party: id,
+                                reason: panic_reason(payload.as_ref()),
+                            })
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("party thread panicked"))
+                .map(|h| h.join().expect("party thread aborted outside catch_unwind"))
                 .collect()
         });
         (results, stats, audit)
@@ -324,6 +584,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::RetryPolicy;
 
     #[test]
     fn zero_parties_rejected() {
@@ -378,6 +639,63 @@ mod tests {
     }
 
     #[test]
+    fn trailing_bytes_rejected_not_truncated() {
+        // Regression: recv_words used to silently drop a ragged tail,
+        // returning a short-but-plausible vector.
+        let (eps, _) = Network::endpoints(2).unwrap();
+        eps[0]
+            .send_bytes(1, 3, &[1, 2, 3, 4, 5, 6, 7, 8, 9])
+            .unwrap();
+        assert_eq!(
+            eps[1].recv_words(0, 3),
+            Err(MpcError::MalformedPayload { from: 0, len: 9 })
+        );
+        // Raw byte receives of the same shape are fine.
+        eps[0].send_bytes(1, 4, &[1, 2, 3]).unwrap();
+        assert_eq!(
+            eps[1].recv_bytes_timeout(0, 4, DEFAULT_DEADLINE).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn recv_deadline_expires_with_structured_error() {
+        let (eps, stats) = Network::endpoints(2).unwrap();
+        let start = Instant::now();
+        let err = eps[1]
+            .recv_words_timeout(0, 9, Duration::from_millis(30))
+            .unwrap_err();
+        match err {
+            MpcError::Timeout { peer, tag, waited } => {
+                assert_eq!((peer, tag), (0, 9));
+                assert!(waited >= Duration::from_millis(30));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(stats.timeouts_by(1), 1);
+        assert_eq!(stats.total_timeouts(), 1);
+    }
+
+    #[test]
+    fn duplicate_and_reordered_frames_handled() {
+        let (eps, _) = Network::endpoints(2).unwrap();
+        let frame = |seq: u64, tag: u32, word: u64| Message {
+            seq,
+            tag,
+            payload: words_to_bytes(&[word]),
+        };
+        // Deliver out of order with a duplicate: 1, 0, 0-again, 2.
+        eps[0].send_frame(1, frame(1, 11, 101)).unwrap();
+        eps[0].send_frame(1, frame(0, 10, 100)).unwrap();
+        eps[0].send_frame(1, frame(0, 10, 100)).unwrap();
+        eps[0].send_frame(1, frame(2, 12, 102)).unwrap();
+        assert_eq!(eps[1].recv_words(0, 10).unwrap(), vec![100]);
+        assert_eq!(eps[1].recv_words(0, 11).unwrap(), vec![101]);
+        assert_eq!(eps[1].recv_words(0, 12).unwrap(), vec![102]);
+    }
+
+    #[test]
     fn run_parties_all_to_all() {
         // Every party sends its id to everyone and sums what it receives.
         let results = Network::run_parties(4, 99, |ctx| {
@@ -385,18 +703,91 @@ mod tests {
             let tag = ctx.fresh_tag();
             for j in 0..ctx.n_parties() {
                 if j != ctx.id() {
-                    ctx.endpoint().send_words(j, tag, &[me]).unwrap();
+                    ctx.send_words(j, tag, &[me]).unwrap();
                 }
             }
             let mut sum = me;
             for j in 0..ctx.n_parties() {
                 if j != ctx.id() {
-                    sum += ctx.endpoint().recv_words(j, tag).unwrap()[0];
+                    sum += ctx.recv_words(j, tag).unwrap()[0];
                 }
             }
             sum
         });
         assert_eq!(results, vec![6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn stalled_party_times_out_all_survivors() {
+        // Tentpole acceptance: party 2 never sends; with the old blocking
+        // recv this test would hang. Survivors must return Timeout within
+        // the deadline while party 2's own slot completes.
+        let opts = NetOptions {
+            transport: TransportConfig {
+                deadline: Duration::from_millis(100),
+                retry: RetryPolicy::default(),
+            },
+            faults: None,
+        };
+        let start = Instant::now();
+        let (results, stats, _) =
+            Network::run_parties_detailed_with(3, 1, &opts, |ctx| -> Result<Vec<u64>, MpcError> {
+                if ctx.id() == 2 {
+                    // Stall without closing the channel.
+                    std::thread::sleep(Duration::from_millis(400));
+                    return Ok(vec![]);
+                }
+                ctx.recv_words(2, 77)
+            });
+        assert!(start.elapsed() < Duration::from_secs(5));
+        for survivor in [0, 1] {
+            match &results[survivor] {
+                Ok(Err(MpcError::Timeout {
+                    peer: 2,
+                    tag: 77,
+                    waited,
+                })) => {
+                    assert!(*waited >= Duration::from_millis(100));
+                }
+                other => panic!("survivor {survivor}: expected Timeout, got {other:?}"),
+            }
+        }
+        assert_eq!(results[2], Ok(Ok(vec![])));
+        assert_eq!(stats.total_timeouts(), 2);
+    }
+
+    #[test]
+    fn panicking_party_becomes_error_not_process_panic() {
+        // Regression: run_parties_detailed used to propagate a party
+        // panic through join(), killing the whole run. Now the dead
+        // party's slot carries PartyFailed and survivors get a
+        // structured channel error.
+        let (results, _, _) = Network::run_parties_detailed_with(
+            3,
+            5,
+            &NetOptions::default(),
+            |ctx| -> Result<Vec<u64>, MpcError> {
+                if ctx.id() == 1 {
+                    panic!("boom at round 0");
+                }
+                ctx.recv_words(1, 50)
+            },
+        );
+        match &results[1] {
+            Err(MpcError::PartyFailed { party: 1, reason }) => {
+                assert!(reason.contains("boom"), "reason = {reason:?}");
+            }
+            other => panic!("expected PartyFailed, got {other:?}"),
+        }
+        for survivor in [0, 2] {
+            match &results[survivor] {
+                Ok(Err(MpcError::ChannelClosed { peer: 1 }))
+                | Ok(Err(MpcError::Timeout { peer: 1, .. })) => {}
+                other => {
+                    panic!("survivor {survivor}: expected ChannelClosed/Timeout, got {other:?}")
+                }
+            }
+        }
     }
 
     #[test]
@@ -408,8 +799,13 @@ mod tests {
         assert_eq!(stats.bytes_sent_by(0), 2 * HEADER_BYTES + 80 + 40);
         assert_eq!(stats.total_messages(), 3);
         assert_eq!(stats.max_party_bytes(), stats.bytes_sent_by(0));
+        let _ = eps[1].recv_words_timeout(0, 0, Duration::from_millis(1));
+        stats.record_retry(2);
+        assert_eq!(stats.retries_by(2), 1);
         stats.reset();
         assert_eq!(stats.total_bytes(), 0);
+        assert_eq!(stats.total_retries(), 0);
+        assert_eq!(stats.total_timeouts(), 0);
     }
 
     #[test]
@@ -418,10 +814,31 @@ mod tests {
         eps[0].send_words(1, 0, &[0; 1000]).unwrap();
         let lan = CostModel::lan();
         let t = lan.estimate_seconds(&stats);
-        let expect = 1.0 * lan.latency_s + (HEADER_BYTES as f64 + 8000.0) / lan.bandwidth_bytes_per_s;
+        let expect =
+            1.0 * lan.latency_s + (HEADER_BYTES as f64 + 8000.0) / lan.bandwidth_bytes_per_s;
         assert!((t - expect).abs() < 1e-12);
         // WAN is strictly slower.
         assert!(CostModel::wan().estimate_seconds(&stats) > t);
+    }
+
+    #[test]
+    fn cost_model_overlaps_distinct_peer_sends() {
+        // A round where party 0 fires back-to-back messages to two
+        // different peers: latency is charged per busiest link (2 here),
+        // not per total message count (3), because independent links
+        // carry frames concurrently.
+        let (eps, stats) = Network::endpoints(3).unwrap();
+        eps[0].send_words(1, 0, &[]).unwrap();
+        eps[0].send_words(1, 1, &[]).unwrap();
+        eps[0].send_words(2, 0, &[]).unwrap();
+        let lan = CostModel::lan();
+        let lan_expect =
+            2.0 * lan.latency_s + (3 * HEADER_BYTES) as f64 / lan.bandwidth_bytes_per_s;
+        assert!((lan.estimate_seconds(&stats) - lan_expect).abs() < 1e-15);
+        let wan = CostModel::wan();
+        let wan_expect =
+            2.0 * wan.latency_s + (3 * HEADER_BYTES) as f64 / wan.bandwidth_bytes_per_s;
+        assert!((wan.estimate_seconds(&stats) - wan_expect).abs() < 1e-12);
     }
 
     #[test]

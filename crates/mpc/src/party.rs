@@ -15,11 +15,13 @@ use crate::field::F61;
 use crate::net::Endpoint;
 use crate::prg::Prg;
 use crate::ring::R64;
+use crate::transport::{Transport, TransportConfig};
 
 /// One party's execution context.
 #[derive(Debug)]
 pub struct PartyCtx {
-    ep: Endpoint,
+    transport: Box<dyn Transport>,
+    config: TransportConfig,
     rng: Prg,
     pair_prgs: Vec<Option<Prg>>,
     audit: DisclosureLog,
@@ -27,16 +29,27 @@ pub struct PartyCtx {
 }
 
 impl PartyCtx {
-    /// Builds a context from an endpoint and the network-wide master seed.
+    /// Builds a context from an endpoint and the network-wide master
+    /// seed, with the default [`TransportConfig`].
+    pub fn new(ep: Endpoint, master_seed: u64, audit: DisclosureLog) -> Self {
+        Self::with_transport(Box::new(ep), TransportConfig::default(), master_seed, audit)
+    }
+
+    /// Builds a context over any [`Transport`] with an explicit policy.
     ///
     /// Private randomness is derived as `h(master, party)`; the pairwise
     /// seed for `{i, j}` as `h(master, pair(i,j))`, identically on both
     /// sides. In a real deployment the pairwise seeds would come from an
     /// authenticated key exchange; the derivation here stands in for that
     /// step and keeps runs reproducible.
-    pub fn new(ep: Endpoint, master_seed: u64, audit: DisclosureLog) -> Self {
-        let id = ep.id();
-        let n = ep.n_parties();
+    pub fn with_transport(
+        transport: Box<dyn Transport>,
+        config: TransportConfig,
+        master_seed: u64,
+        audit: DisclosureLog,
+    ) -> Self {
+        let id = transport.id();
+        let n = transport.n_parties();
         let rng = Prg::from_seed(Prg::derive_seed(master_seed, 0x5EED_0000 + id as u64));
         let pair_prgs = (0..n)
             .map(|j| {
@@ -50,7 +63,8 @@ impl PartyCtx {
             })
             .collect();
         PartyCtx {
-            ep,
+            transport,
+            config,
             rng,
             pair_prgs,
             audit,
@@ -60,17 +74,48 @@ impl PartyCtx {
 
     /// This party's id in `0..n_parties`.
     pub fn id(&self) -> usize {
-        self.ep.id()
+        self.transport.id()
     }
 
     /// Number of parties.
     pub fn n_parties(&self) -> usize {
-        self.ep.n_parties()
+        self.transport.n_parties()
     }
 
-    /// The underlying network endpoint.
-    pub fn endpoint(&self) -> &Endpoint {
-        &self.ep
+    /// The underlying transport.
+    pub fn endpoint(&self) -> &dyn Transport {
+        self.transport.as_ref()
+    }
+
+    /// The transport policy this party runs under.
+    pub fn transport_config(&self) -> &TransportConfig {
+        &self.config
+    }
+
+    /// Sends a word vector, retrying transient failures with exponential
+    /// backoff per the configured [`crate::transport::RetryPolicy`].
+    pub fn send_words(&self, to: usize, tag: u32, words: &[u64]) -> Result<(), MpcError> {
+        let mut backoff = self.config.retry.backoff;
+        let mut attempt = 0;
+        loop {
+            match self.transport.send_words(to, tag, words) {
+                Err(MpcError::TransientFailure { .. })
+                    if attempt < self.config.retry.max_retries =>
+                {
+                    attempt += 1;
+                    self.transport.stats().record_retry(self.id());
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Receives a word vector, waiting at most the configured deadline.
+    pub fn recv_words(&self, from: usize, tag: u32) -> Result<Vec<u64>, MpcError> {
+        self.transport
+            .recv_words_timeout(from, tag, self.config.deadline)
     }
 
     /// The shared disclosure log.
@@ -89,7 +134,10 @@ impl PartyCtx {
         self.pair_prgs
             .get_mut(j)
             .and_then(|p| p.as_mut())
-            .ok_or(MpcError::NoSuchParty { id: j, n_parties: n })
+            .ok_or(MpcError::NoSuchParty {
+                id: j,
+                n_parties: n,
+            })
     }
 
     /// Returns a fresh protocol tag. All parties call protocols in the
@@ -106,24 +154,23 @@ impl PartyCtx {
         // R64 is a transparent u64 wrapper; map without extra allocation
         // cost beyond the word buffer itself.
         let words: Vec<u64> = v.iter().map(|r| r.0).collect();
-        self.ep.send_words(to, tag, &words)
+        self.send_words(to, tag, &words)
     }
 
     /// Receives a ring vector from a peer.
     pub fn recv_ring(&self, from: usize, tag: u32) -> Result<Vec<R64>, MpcError> {
-        Ok(self.ep.recv_words(from, tag)?.into_iter().map(R64).collect())
+        Ok(self.recv_words(from, tag)?.into_iter().map(R64).collect())
     }
 
     /// Sends a field vector to a peer.
     pub fn send_field(&self, to: usize, tag: u32, v: &[F61]) -> Result<(), MpcError> {
         let words: Vec<u64> = v.iter().map(|f| f.value()).collect();
-        self.ep.send_words(to, tag, &words)
+        self.send_words(to, tag, &words)
     }
 
     /// Receives a field vector from a peer.
     pub fn recv_field(&self, from: usize, tag: u32) -> Result<Vec<F61>, MpcError> {
         Ok(self
-            .ep
             .recv_words(from, tag)?
             .into_iter()
             .map(F61::new)

@@ -139,21 +139,17 @@ pub fn beaver_inner(
     }
     // Open [xs − a ; ys − b] in a single message.
     let mut masked = Vec::with_capacity(2 * len);
-    for i in 0..len {
-        masked.push(xs[i] - triple.a[i]);
-    }
-    for i in 0..len {
-        masked.push(ys[i] - triple.b[i]);
-    }
+    masked.extend(xs.iter().zip(&triple.a).map(|(&x, &a)| x - a));
+    masked.extend(ys.iter().zip(&triple.b).map(|(&y, &b)| y - b));
     let opened = open_field(ctx, &masked, None)?;
     let (d, e) = opened.split_at(len);
     let mut z = triple.c;
-    for i in 0..len {
-        z += d[i] * triple.b[i] + e[i] * triple.a[i];
+    for ((&dv, &ev), (&av, &bv)) in d.iter().zip(e).zip(triple.a.iter().zip(&triple.b)) {
+        z += dv * bv + ev * av;
     }
     if ctx.id() == 0 {
-        for i in 0..len {
-            z += d[i] * e[i];
+        for (&dv, &ev) in d.iter().zip(e) {
+            z += dv * ev;
         }
     }
     Ok(z)
@@ -369,11 +365,14 @@ mod tests {
         let x_clear = F61::from_i64(5);
         let results = with_triples(n, 22, bundles, |ctx, triples| {
             let owner_data = [x_clear];
-            let data = if ctx.id() == 0 { Some(&owner_data[..]) } else { None };
+            let data = if ctx.id() == 0 {
+                Some(&owner_data[..])
+            } else {
+                None
+            };
             let xs = input_shares(ctx, 0, data, 1).unwrap();
             let t = triples.next_scalar().unwrap();
-            let d = open_field(ctx, &[xs[0] - t.a], None).unwrap()[0];
-            d
+            open_field(ctx, &[xs[0] - t.a], None).unwrap()[0]
         });
         assert_eq!(results[0], results[1]);
         assert_ne!(results[0], x_clear, "mask failed to hide the input");
@@ -390,7 +389,9 @@ mod tests {
         // Deterministic clear inputs per pair.
         let clear: Vec<(Vec<f64>, Vec<f64>)> = (0..n_pairs)
             .map(|p| {
-                let xs: Vec<f64> = (0..len).map(|i| (p * len + i) as f64 * 0.25 - 1.0).collect();
+                let xs: Vec<f64> = (0..len)
+                    .map(|i| (p * len + i) as f64 * 0.25 - 1.0)
+                    .collect();
                 let ys: Vec<f64> = (0..len).map(|i| 1.5 - (p + i) as f64 * 0.5).collect();
                 (xs, ys)
             })
@@ -414,12 +415,11 @@ mod tests {
                 seq.push(beaver_inner(ctx, xs, ys, &t).unwrap());
             }
             // Batched.
-            let mut batch_triples: Vec<InnerTriple> =
-                (0..n_pairs).map(|_| triples.next_inner().unwrap()).collect();
-            let pair_refs: Vec<(&[F61], &[F61])> = share_pairs
-                .iter()
-                .map(|(x, y)| (&x[..], &y[..]))
+            let mut batch_triples: Vec<InnerTriple> = (0..n_pairs)
+                .map(|_| triples.next_inner().unwrap())
                 .collect();
+            let pair_refs: Vec<(&[F61], &[F61])> =
+                share_pairs.iter().map(|(x, y)| (&x[..], &y[..])).collect();
             let batch = beaver_inner_batch(ctx, &pair_refs, &mut batch_triples).unwrap();
             let seq_open = open_field(ctx, &seq, None).unwrap();
             let batch_open = open_field(ctx, &batch, None).unwrap();
@@ -446,7 +446,7 @@ mod tests {
             // Wrong triple count.
             let r1 = beaver_inner_batch(ctx, &[(&xs, &ys), (&xs, &ys)], &mut [t.clone()]).err();
             // Mismatched operand lengths.
-            let short = vec![F61::ONE; 2];
+            let short = [F61::ONE; 2];
             let r2 = beaver_inner_batch(ctx, &[(&xs[..], &short[..])], &mut [t]).err();
             (r1, r2)
         });

@@ -93,7 +93,11 @@ mod tests {
         for n in 1..=5usize {
             let results = Network::run_parties(n, 42, move |ctx| {
                 let me = ctx.id() as u64;
-                let mine = vec![R64(me + 1), R64(100 * (me + 1)), R64::from_i64(-(me as i64))];
+                let mine = vec![
+                    R64(me + 1),
+                    R64(100 * (me + 1)),
+                    R64::from_i64(-(me as i64)),
+                ];
                 secure_sum_ring(ctx, &mine, "test total").unwrap()
             });
             let expect_0: u64 = (1..=n as u64).sum();
@@ -152,9 +156,7 @@ mod tests {
 
     #[test]
     fn empty_vector_is_fine() {
-        let results = Network::run_parties(3, 2, |ctx| {
-            secure_sum_ring(ctx, &[], "empty").unwrap()
-        });
+        let results = Network::run_parties(3, 2, |ctx| secure_sum_ring(ctx, &[], "empty").unwrap());
         for r in results {
             assert!(r.is_empty());
         }
@@ -174,9 +176,8 @@ mod tests {
 
     #[test]
     fn single_party_identity() {
-        let results = Network::run_parties(1, 2, |ctx| {
-            secure_sum_ring(ctx, &[R64(5)], "solo").unwrap()
-        });
+        let results =
+            Network::run_parties(1, 2, |ctx| secure_sum_ring(ctx, &[R64(5)], "solo").unwrap());
         assert_eq!(results[0], vec![R64(5)]);
     }
 }

@@ -1,0 +1,558 @@
+//! Transport abstraction: deadline-aware messaging plus deterministic
+//! fault injection.
+//!
+//! [`Transport`] is the narrow interface protocols talk to — send a word
+//! vector, receive one under a deadline. [`Endpoint`](crate::net::Endpoint)
+//! implements it directly for healthy runs; [`FaultyTransport`] wraps an
+//! endpoint and injects delays, drops, duplicates, reorders, transient
+//! send failures and party crashes, each decided by a pure hash of
+//! `(plan seed, link, message index)` so every run is reproducible.
+//!
+//! Fault semantics are chosen so that *every* outcome is structured: a
+//! dropped message leaves the receiver to hit [`MpcError::Timeout`] or
+//! [`MpcError::UnexpectedMessage`]; duplicates and reorders are absorbed
+//! by the sequence-numbered receive path; a crashed party returns
+//! [`MpcError::PartyFailed`] from its own transport calls (unwinding its
+//! thread cleanly) while survivors observe `ChannelClosed` or `Timeout`.
+//! Nothing hangs and nothing takes down the process.
+
+use crate::error::MpcError;
+use crate::net::{Endpoint, Message, NetworkStats, DEFAULT_DEADLINE};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The message layer a [`crate::party::PartyCtx`] drives. Object-safe so
+/// the runner can swap the faulty wrapper in without protocols noticing.
+pub trait Transport: Send + std::fmt::Debug {
+    /// This party's id.
+    fn id(&self) -> usize;
+    /// Number of parties on the network.
+    fn n_parties(&self) -> usize;
+    /// The shared network counters.
+    fn stats(&self) -> &Arc<NetworkStats>;
+    /// Sends a word vector to a peer under a tag.
+    fn send_words(&self, to: usize, tag: u32, words: &[u64]) -> Result<(), MpcError>;
+    /// Receives a word vector from a peer, waiting at most `deadline`.
+    fn recv_words_timeout(
+        &self,
+        from: usize,
+        tag: u32,
+        deadline: Duration,
+    ) -> Result<Vec<u64>, MpcError>;
+    /// Receives with the [`DEFAULT_DEADLINE`].
+    fn recv_words(&self, from: usize, tag: u32) -> Result<Vec<u64>, MpcError> {
+        self.recv_words_timeout(from, tag, DEFAULT_DEADLINE)
+    }
+}
+
+impl Transport for Endpoint {
+    fn id(&self) -> usize {
+        Endpoint::id(self)
+    }
+    fn n_parties(&self) -> usize {
+        Endpoint::n_parties(self)
+    }
+    fn stats(&self) -> &Arc<NetworkStats> {
+        Endpoint::stats(self)
+    }
+    fn send_words(&self, to: usize, tag: u32, words: &[u64]) -> Result<(), MpcError> {
+        Endpoint::send_words(self, to, tag, words)
+    }
+    fn recv_words_timeout(
+        &self,
+        from: usize,
+        tag: u32,
+        deadline: Duration,
+    ) -> Result<Vec<u64>, MpcError> {
+        Endpoint::recv_words_timeout(self, from, tag, deadline)
+    }
+}
+
+/// Bounded resend policy for transient send failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Resend attempts after the first failure.
+    pub max_retries: u32,
+    /// Sleep before the first resend; doubles each further attempt.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Per-run transport policy threaded through every party's context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Longest a receive waits for one message before returning
+    /// [`MpcError::Timeout`].
+    pub deadline: Duration,
+    /// Send retry policy.
+    pub retry: RetryPolicy,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            deadline: DEFAULT_DEADLINE,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Kills one party after it has completed a number of sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Which party crashes.
+    pub party: usize,
+    /// Sends the party completes before its next transport call fails.
+    pub after_sends: u64,
+}
+
+/// Deterministic fault-injection plan. Every per-message fate is a pure
+/// function of `(seed, sender, receiver, message index)`, so a failing
+/// run replays exactly under the same plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fate decisions.
+    pub seed: u64,
+    /// Probability a message is delayed before delivery.
+    pub delay_prob: f64,
+    /// Upper bound on an injected delay.
+    pub max_delay: Duration,
+    /// Probability a message is silently discarded.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice.
+    pub dup_prob: f64,
+    /// Probability a message is held back behind the next one.
+    pub reorder_prob: f64,
+    /// Probability the first send attempt of a message fails
+    /// transiently (succeeds on retry).
+    pub transient_prob: f64,
+    /// Optional hard crash of one party.
+    pub crash: Option<CrashPoint>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            delay_prob: 0.0,
+            max_delay: Duration::from_millis(2),
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            transient_prob: 0.0,
+            crash: None,
+        }
+    }
+}
+
+// Distinct salts keep the per-fault fate streams independent.
+const SALT_DELAY: u64 = 1;
+const SALT_DROP: u64 = 2;
+const SALT_DUP: u64 = 3;
+const SALT_REORDER: u64 = 4;
+const SALT_TRANSIENT: u64 = 5;
+
+/// SplitMix64-style finalizer over the fate coordinates.
+fn fate_hash(seed: u64, from: usize, to: usize, idx: u64, salt: u64) -> u64 {
+    let mut z = seed
+        ^ (from as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (to as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ idx.wrapping_mul(0x94D0_49BB_1331_11EB)
+        ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform [0, 1) from a fate hash.
+fn fate_roll(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[derive(Debug)]
+struct HeldFrame {
+    to: usize,
+    msg: Message,
+}
+
+/// Fault-injecting wrapper around an [`Endpoint`].
+///
+/// All faults act on the send side: the wrapped party's outgoing traffic
+/// is delayed, dropped, duplicated, reordered or refused according to
+/// the [`FaultPlan`]; a [`CrashPoint`] makes every transport call fail
+/// once the party has completed its quota of sends.
+#[derive(Debug)]
+pub struct FaultyTransport {
+    inner: Endpoint,
+    plan: FaultPlan,
+    /// Completed sends (crash-point bookkeeping).
+    sends: AtomicU64,
+    crashed: AtomicBool,
+    /// Per-destination logical message index driving the fate hashes.
+    msg_idx: Vec<AtomicU64>,
+    /// Messages that already failed once (transient faults fire once).
+    failed_once: Mutex<HashSet<(usize, u64)>>,
+    /// Per-destination frame held back by a reorder fault.
+    holdback: Mutex<Vec<Option<Message>>>,
+}
+
+impl FaultyTransport {
+    /// Wraps `inner`, injecting faults per `plan`.
+    pub fn new(inner: Endpoint, plan: FaultPlan) -> Self {
+        let n = Endpoint::n_parties(&inner);
+        FaultyTransport {
+            inner,
+            plan,
+            sends: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            msg_idx: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            failed_once: Mutex::new(HashSet::new()),
+            holdback: Mutex::new((0..n).map(|_| None).collect()),
+        }
+    }
+
+    fn crash_error(&self) -> MpcError {
+        MpcError::PartyFailed {
+            party: Endpoint::id(&self.inner),
+            reason: "injected crash fault".to_string(),
+        }
+    }
+
+    fn check_alive(&self) -> Result<(), MpcError> {
+        if self.crashed.load(Ordering::Relaxed) {
+            Err(self.crash_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn roll(&self, to: usize, idx: u64, salt: u64) -> f64 {
+        fate_roll(fate_hash(
+            self.plan.seed,
+            Endpoint::id(&self.inner),
+            to,
+            idx,
+            salt,
+        ))
+    }
+
+    /// Releases a frame held back for `to`, if any.
+    fn flush_holdback(&self, to: usize) -> Result<(), MpcError> {
+        let held = self.holdback.lock()[to].take();
+        if let Some(msg) = held {
+            self.inner.send_frame(to, msg)?;
+        }
+        Ok(())
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn id(&self) -> usize {
+        Endpoint::id(&self.inner)
+    }
+
+    fn n_parties(&self) -> usize {
+        Endpoint::n_parties(&self.inner)
+    }
+
+    fn stats(&self) -> &Arc<NetworkStats> {
+        Endpoint::stats(&self.inner)
+    }
+
+    fn send_words(&self, to: usize, tag: u32, words: &[u64]) -> Result<(), MpcError> {
+        self.check_alive()?;
+        if to == self.id() || to >= self.n_parties() {
+            return Err(MpcError::NoSuchParty {
+                id: to,
+                n_parties: self.n_parties(),
+            });
+        }
+        let idx = self.msg_idx[to].load(Ordering::Relaxed);
+        // Transient failure: refuse the first attempt of this message
+        // (the logical index is not consumed, so the retry maps to the
+        // same fates and goes through).
+        if self.roll(to, idx, SALT_TRANSIENT) < self.plan.transient_prob
+            && self.failed_once.lock().insert((to, idx))
+        {
+            return Err(MpcError::TransientFailure { peer: to });
+        }
+        self.msg_idx[to].fetch_add(1, Ordering::Relaxed);
+
+        // Crash: the party dies once it has completed its send quota.
+        if let Some(cp) = self.plan.crash {
+            if cp.party == self.id() && self.sends.load(Ordering::Relaxed) >= cp.after_sends {
+                self.crashed.store(true, Ordering::Relaxed);
+                return Err(self.crash_error());
+            }
+        }
+        self.sends.fetch_add(1, Ordering::Relaxed);
+
+        if self.roll(to, idx, SALT_DELAY) < self.plan.delay_prob {
+            let frac = fate_roll(fate_hash(
+                self.plan.seed,
+                self.id(),
+                to,
+                idx,
+                SALT_DELAY ^ 0xFF,
+            ));
+            std::thread::sleep(self.plan.max_delay.mul_f64(frac));
+        }
+
+        // Drop: discard without consuming a wire sequence number — the
+        // receiver sees the next frame in this slot (wrong tag →
+        // UnexpectedMessage) or nothing at all (Timeout).
+        if self.roll(to, idx, SALT_DROP) < self.plan.drop_prob {
+            return Ok(());
+        }
+
+        let seq = self.inner.alloc_seq(to)?;
+        let msg = Message {
+            seq,
+            tag,
+            payload: crate::net::words_to_bytes(words),
+        };
+
+        // Reorder: hold this frame back until the next frame to the same
+        // peer, which then ships first — a genuine wire-order inversion
+        // the receiver's sequence buffer has to undo. A frame still held
+        // at the end of the run ships when the transport drops.
+        if self.roll(to, idx, SALT_REORDER) < self.plan.reorder_prob {
+            let held = self.holdback.lock()[to].take();
+            match held {
+                None => {
+                    self.holdback.lock()[to] = Some(msg);
+                    return Ok(());
+                }
+                Some(prev) => {
+                    self.inner.send_frame(to, msg)?;
+                    self.inner.send_frame(to, prev)?;
+                    return Ok(());
+                }
+            }
+        }
+
+        let dup = self.roll(to, idx, SALT_DUP) < self.plan.dup_prob;
+        let copy = if dup { Some(msg.clone()) } else { None };
+        self.inner.send_frame(to, msg)?;
+        self.flush_holdback(to)?;
+        if let Some(copy) = copy {
+            // Duplicate delivery; the receiver's dedup absorbs it.
+            self.inner.send_frame(to, copy)?;
+        }
+        Ok(())
+    }
+
+    fn recv_words_timeout(
+        &self,
+        from: usize,
+        tag: u32,
+        deadline: Duration,
+    ) -> Result<Vec<u64>, MpcError> {
+        self.check_alive()?;
+        self.inner.recv_words_timeout(from, tag, deadline)
+    }
+}
+
+impl Drop for FaultyTransport {
+    fn drop(&mut self) {
+        // Ship any frames still held back by reorder faults so peers
+        // waiting on them unblock without burning their deadline.
+        let held: Vec<HeldFrame> = self
+            .holdback
+            .lock()
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(to, slot)| slot.take().map(|msg| HeldFrame { to, msg }))
+            .collect();
+        for h in held {
+            let _ = self.inner.send_frame(h.to, h.msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetOptions, Network};
+
+    fn two_endpoints() -> (Endpoint, Endpoint, Arc<NetworkStats>) {
+        let (mut eps, stats) = Network::endpoints(2).unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        (a, b, stats)
+    }
+
+    #[test]
+    fn fates_are_deterministic() {
+        let plan = FaultPlan {
+            seed: 42,
+            drop_prob: 0.5,
+            ..FaultPlan::default()
+        };
+        let fates = |seed| {
+            let plan = FaultPlan { seed, ..plan };
+            let (a, _b, _) = two_endpoints();
+            let t = FaultyTransport::new(a, plan);
+            (0..64)
+                .map(|i| t.roll(1, i, SALT_DROP) < plan.drop_prob)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fates(42), fates(42));
+        assert_ne!(fates(42), fates(43));
+    }
+
+    #[test]
+    fn duplicates_are_delivered_once() {
+        let (a, b, _) = two_endpoints();
+        let t = FaultyTransport::new(
+            a,
+            FaultPlan {
+                dup_prob: 1.0,
+                ..FaultPlan::default()
+            },
+        );
+        t.send_words(1, 5, &[7]).unwrap();
+        assert_eq!(b.recv_words(0, 5).unwrap(), vec![7]);
+        // The duplicate is on the wire but must not surface.
+        assert!(matches!(
+            b.recv_words_timeout(0, 6, Duration::from_millis(20)),
+            Err(MpcError::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn reordered_frames_arrive_in_order() {
+        let (a, b, _) = two_endpoints();
+        let t = FaultyTransport::new(
+            a,
+            FaultPlan {
+                seed: 9,
+                reorder_prob: 1.0,
+                ..FaultPlan::default()
+            },
+        );
+        // Frames ship pairwise inverted on the wire; sequence numbers
+        // restore protocol order at the receiver.
+        t.send_words(1, 1, &[10]).unwrap();
+        t.send_words(1, 2, &[20]).unwrap();
+        t.send_words(1, 3, &[30]).unwrap();
+        drop(t); // flush the final held frame
+        assert_eq!(b.recv_words(0, 1).unwrap(), vec![10]);
+        assert_eq!(b.recv_words(0, 2).unwrap(), vec![20]);
+        assert_eq!(b.recv_words(0, 3).unwrap(), vec![30]);
+    }
+
+    #[test]
+    fn dropped_frame_yields_structured_error() {
+        let (a, b, _) = two_endpoints();
+        let t = FaultyTransport::new(
+            a,
+            FaultPlan {
+                seed: 3,
+                drop_prob: 1.0,
+                ..FaultPlan::default()
+            },
+        );
+        t.send_words(1, 5, &[7]).unwrap();
+        assert!(matches!(
+            b.recv_words_timeout(0, 5, Duration::from_millis(20)),
+            Err(MpcError::Timeout {
+                peer: 0,
+                tag: 5,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn transient_failures_recover_under_retry() {
+        let plan = FaultPlan {
+            seed: 17,
+            transient_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let opts = NetOptions {
+            faults: Some(plan),
+            ..NetOptions::default()
+        };
+        let (results, stats, _) =
+            Network::run_parties_detailed_with(3, 7, &opts, |ctx| -> Result<u64, MpcError> {
+                let tag = ctx.fresh_tag();
+                let me = ctx.id() as u64;
+                for j in 0..ctx.n_parties() {
+                    if j != ctx.id() {
+                        ctx.send_words(j, tag, &[me])?;
+                    }
+                }
+                let mut sum = me;
+                for j in 0..ctx.n_parties() {
+                    if j != ctx.id() {
+                        sum += ctx.recv_words(j, tag)?[0];
+                    }
+                }
+                Ok(sum)
+            });
+        for r in results {
+            assert_eq!(r, Ok(Ok(3)));
+        }
+        // Every message failed once and was resent: 6 messages, 6 retries.
+        assert_eq!(stats.total_retries(), 6);
+    }
+
+    #[test]
+    fn crashed_party_fails_cleanly_and_survivors_get_errors() {
+        let plan = FaultPlan {
+            crash: Some(CrashPoint {
+                party: 1,
+                after_sends: 0,
+            }),
+            ..FaultPlan::default()
+        };
+        let opts = NetOptions {
+            transport: TransportConfig {
+                deadline: Duration::from_millis(200),
+                retry: RetryPolicy::default(),
+            },
+            faults: Some(plan),
+        };
+        let (results, _, _) =
+            Network::run_parties_detailed_with(3, 11, &opts, |ctx| -> Result<u64, MpcError> {
+                let tag = ctx.fresh_tag();
+                for j in 0..ctx.n_parties() {
+                    if j != ctx.id() {
+                        ctx.send_words(j, tag, &[ctx.id() as u64])?;
+                    }
+                }
+                let mut sum = 0;
+                for j in 0..ctx.n_parties() {
+                    if j != ctx.id() {
+                        sum += ctx.recv_words(j, tag)?[0];
+                    }
+                }
+                Ok(sum)
+            });
+        match &results[1] {
+            Ok(Err(MpcError::PartyFailed { party: 1, .. })) => {}
+            other => panic!("crashed party: expected PartyFailed, got {other:?}"),
+        }
+        for survivor in [0, 2] {
+            match &results[survivor] {
+                Ok(Err(
+                    MpcError::ChannelClosed { peer: 1 } | MpcError::Timeout { peer: 1, .. },
+                )) => {}
+                other => panic!("survivor {survivor}: unexpected {other:?}"),
+            }
+        }
+    }
+}

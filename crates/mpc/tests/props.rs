@@ -7,9 +7,7 @@ use dash_mpc::prg::Prg;
 use dash_mpc::protocol::masked::masked_sum_ring;
 use dash_mpc::protocol::sum::secure_sum_ring;
 use dash_mpc::ring::R64;
-use dash_mpc::share::{
-    reconstruct_field, reconstruct_ring, share_field, share_ring,
-};
+use dash_mpc::share::{reconstruct_field, reconstruct_ring, share_field, share_ring};
 use proptest::prelude::*;
 
 proptest! {

@@ -7,21 +7,12 @@ use std::fmt;
 pub enum StatsError {
     /// A distribution parameter was out of range (non-positive degrees of
     /// freedom, negative variance, …).
-    InvalidParameter {
-        what: &'static str,
-        value: f64,
-    },
+    InvalidParameter { what: &'static str, value: f64 },
     /// A special-function argument was outside its domain.
-    DomainError {
-        what: &'static str,
-        value: f64,
-    },
+    DomainError { what: &'static str, value: f64 },
     /// An iterative special-function evaluation failed to converge; the
     /// argument is reported so the caller can diagnose extreme inputs.
-    NoConvergence {
-        what: &'static str,
-        value: f64,
-    },
+    NoConvergence { what: &'static str, value: f64 },
     /// An estimator needs more observations than it was given.
     NotEnoughData {
         what: &'static str,

@@ -49,8 +49,7 @@ impl FDistribution {
             return 0.0;
         }
         let z = self.d1 * x / (self.d1 * x + self.d2);
-        reg_inc_beta(self.d1 / 2.0, self.d2 / 2.0, z)
-            .expect("z in [0,1] with positive shapes")
+        reg_inc_beta(self.d1 / 2.0, self.d2 / 2.0, z).expect("z in [0,1] with positive shapes")
     }
 
     /// Survival function `P(F > x)`, evaluated via the complementary
@@ -60,8 +59,7 @@ impl FDistribution {
             return 1.0;
         }
         let z = self.d2 / (self.d1 * x + self.d2);
-        reg_inc_beta(self.d2 / 2.0, self.d1 / 2.0, z)
-            .expect("z in [0,1] with positive shapes")
+        reg_inc_beta(self.d2 / 2.0, self.d1 / 2.0, z).expect("z in [0,1] with positive shapes")
     }
 }
 

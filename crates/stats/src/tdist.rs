@@ -36,9 +36,8 @@ impl StudentT {
     /// Probability density at `t`.
     pub fn pdf(&self, t: f64) -> f64 {
         let v = self.df;
-        let ln_c = ln_gamma((v + 1.0) / 2.0)
-            - ln_gamma(v / 2.0)
-            - 0.5 * (v * std::f64::consts::PI).ln();
+        let ln_c =
+            ln_gamma((v + 1.0) / 2.0) - ln_gamma(v / 2.0) - 0.5 * (v * std::f64::consts::PI).ln();
         (ln_c - 0.5 * (v + 1.0) * (1.0 + t * t / v).ln()).exp()
     }
 

@@ -29,7 +29,9 @@ fn main() {
             .collect();
         let outcome: Vec<f64> = dose
             .iter()
-            .map(|d| 0.4 * (d - dose_shift) + outcome_shift + 0.8 * sample_standard_normal(&mut rng))
+            .map(|d| {
+                0.4 * (d - dose_shift) + outcome_shift + 0.8 * sample_standard_normal(&mut rng)
+            })
             .collect();
         let x = Matrix::from_cols(&[&dose]).unwrap();
         let c = Matrix::from_cols(&[&vec![1.0; n]]).unwrap(); // intercept
@@ -77,5 +79,7 @@ fn main() {
         joint.result.p[0] < meta.p[0],
         "joint analysis should dominate meta-analysis here"
     );
-    println!("\nOK: joint secure scan recovers the true effect more powerfully than meta-analysis.");
+    println!(
+        "\nOK: joint secure scan recovers the true effect more powerfully than meta-analysis."
+    );
 }

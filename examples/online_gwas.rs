@@ -41,8 +41,7 @@ fn main() {
             bank.push_batch(&batch).unwrap();
         }
         // One-round secure merge of the running statistics.
-        let (result, report) =
-            secure_online_scan(&banks, &SecureScanConfig::default()).unwrap();
+        let (result, report) = secure_online_scan(&banks, &SecureScanConfig::default()).unwrap();
         let n_total: usize = banks.iter().map(|b| b.n_samples()).sum();
         let p = result.p[causal];
         println!(

@@ -33,14 +33,17 @@ fn main() {
 
     // The secure multi-party scan: paper-default modes (public K x K
     // R factors, masked secure sums).
-    let out = secure_scan(&parties, &SecureScanConfig::paper_default(7))
-        .expect("secure scan succeeds");
+    let out =
+        secure_scan(&parties, &SecureScanConfig::paper_default(7)).expect("secure scan succeeds");
 
     println!("Secure scan over {} parties:", out.n_parties);
     println!("  variants analyzed : {}", out.result.len());
     println!("  degrees of freedom: {}", out.result.df);
     println!("  total traffic     : {} bytes", out.network.total_bytes);
-    println!("  values opened     : {} disclosures", out.disclosures.len());
+    println!(
+        "  values opened     : {} disclosures",
+        out.disclosures.len()
+    );
 
     // Verify against the (hypothetical, privacy-violating) pooled scan.
     let pooled = pool_parties(&parties).unwrap();

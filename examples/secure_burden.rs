@@ -46,8 +46,7 @@ fn main() {
     // Gene sets: uniform weights over each gene's variants.
     let sets: Vec<GeneSet> = (0..n_genes)
         .map(|g| {
-            let idx: Vec<usize> =
-                (g * variants_per_gene..(g + 1) * variants_per_gene).collect();
+            let idx: Vec<usize> = (g * variants_per_gene..(g + 1) * variants_per_gene).collect();
             GeneSet::uniform(format!("GENE{g:02}"), &idx)
         })
         .collect();
@@ -55,11 +54,7 @@ fn main() {
     // Per-variant scan finds nothing genome-wide...
     let pooled = pool_parties(&parties).unwrap();
     let per_variant = dash_core::scan::associate(&pooled).unwrap();
-    let best_single = per_variant
-        .p
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
+    let best_single = per_variant.p.iter().cloned().fold(f64::INFINITY, f64::min);
     println!("best single-variant p across {m} rare variants: {best_single:.2e}");
 
     // ...while the secure burden scan nails the causal gene.
@@ -75,7 +70,11 @@ fn main() {
             sets[g].name,
             out.result.beta[g],
             out.result.p[g],
-            if g == causal_gene { "   <- planted" } else { "" }
+            if g == causal_gene {
+                "   <- planted"
+            } else {
+                ""
+            }
         );
     }
     assert_eq!(order[0], causal_gene, "causal gene should rank first");

@@ -6,6 +6,12 @@ cd "$(dirname "$0")/.."
 echo "== build (all targets)"
 cargo build --workspace --all-targets --release
 
+echo "== lint (clippy, warnings are errors)"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "== format"
+cargo fmt --all --check
+
 echo "== tests"
 cargo test --workspace --release
 

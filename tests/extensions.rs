@@ -81,7 +81,10 @@ fn secure_pca_then_secure_scan_pipeline() {
     let lambda_naive = dash_gwas::power::lambda_gc(&naive.p);
     // The PC estimate carries sampling noise at moderate M, so demand a large
     // improvement over the confounded baseline rather than perfection.
-    assert!(lambda_naive > 2.0, "construction should confound: {lambda_naive}");
+    assert!(
+        lambda_naive > 2.0,
+        "construction should confound: {lambda_naive}"
+    );
     assert!(
         lambda < 0.5 * lambda_naive && lambda < 1.6,
         "lambda {lambda} (naive {lambda_naive})"
@@ -195,7 +198,10 @@ fn star_topology_matches_all_to_all_on_real_workload() {
         },
     )
     .unwrap();
-    assert_eq!(star.result.beta, full.result.beta, "topology must not change results");
+    assert_eq!(
+        star.result.beta, full.result.beta,
+        "topology must not change results"
+    );
     assert!(star.network.total_bytes < full.network.total_bytes);
     // P = 4: all-to-all ships P(P−1) copies, star ships 2(P−1).
     let ratio = full.network.total_bytes as f64 / star.network.total_bytes as f64;

@@ -54,11 +54,10 @@ fn multi_phenotype_consistent_with_single_scans() {
     let c = normal_matrix(n, 2, &mut rng);
     let ys = normal_matrix(n, 4, &mut rng);
     let multi = multi_phenotype_scan(&ys, &x, &c).unwrap();
-    for t in 0..4 {
+    for (t, result) in multi.iter().enumerate() {
         let single =
-            associate(&PartyData::new(ys.col(t).to_vec(), x.clone(), c.clone()).unwrap())
-                .unwrap();
-        assert!(multi[t].max_rel_diff(&single).unwrap() < 1e-10, "t={t}");
+            associate(&PartyData::new(ys.col(t).to_vec(), x.clone(), c.clone()).unwrap()).unwrap();
+        assert!(result.max_rel_diff(&single).unwrap() < 1e-10, "t={t}");
     }
 }
 
@@ -96,8 +95,8 @@ fn lmm_corrects_kinship_confounding() {
     // Null phenotype: sigma_g^2 = 4 on the kinship (so axis sd = 10),
     // sigma_e^2 = 1 -> true delta = 4.
     let mut y: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
-    for axis in 0..n_axes {
-        let coef = (4.0f64 * s[axis]).sqrt() * sample_standard_normal(&mut rng);
+    for (axis, &sa) in s.iter().enumerate().take(n_axes) {
+        let coef = (4.0f64 * sa).sqrt() * sample_standard_normal(&mut rng);
         for (yi, ui) in y.iter_mut().zip(u.col(axis)) {
             *yi += coef * ui;
         }
@@ -106,7 +105,9 @@ fn lmm_corrects_kinship_confounding() {
     let data = PartyData::new(y, x, c).unwrap();
 
     let plain = associate(&data).unwrap();
-    let grid: Vec<f64> = (0..=24).map(|i| 10f64.powf(-2.0 + i as f64 * 0.2)).collect();
+    let grid: Vec<f64> = (0..=24)
+        .map(|i| 10f64.powf(-2.0 + i as f64 * 0.2))
+        .collect();
     let delta = estimate_delta(&data, &kin, &grid).unwrap();
     let mixed = lmm_scan(&data, &kin, delta).unwrap();
 

@@ -43,7 +43,10 @@ fn strict_mode_discloses_nothing_per_party() {
     assert_eq!(per_party_scalars(&out), 0);
     // Everything opened is an aggregate with a descriptive label.
     for d in &out.disclosures {
-        assert!(d.source_party.is_none(), "unexpected per-party opening: {d}");
+        assert!(
+            d.source_party.is_none(),
+            "unexpected per-party opening: {d}"
+        );
         assert!(!d.label.is_empty());
     }
 }
@@ -82,7 +85,10 @@ fn tree_mode_leaks_only_to_parents() {
 fn public_aggregation_is_the_worst_rung() {
     let public = per_party_scalars(&run(RFactorMode::PublicStack, AggregationMode::Public));
     let masked = per_party_scalars(&run(RFactorMode::PublicStack, AggregationMode::MaskedPrg));
-    let strict = per_party_scalars(&run(RFactorMode::GramAggregate, AggregationMode::BeaverDots));
+    let strict = per_party_scalars(&run(
+        RFactorMode::GramAggregate,
+        AggregationMode::BeaverDots,
+    ));
     assert!(public > masked);
     assert!(masked > strict);
     assert_eq!(strict, 0);

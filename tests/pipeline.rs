@@ -101,7 +101,10 @@ fn tsv_roundtrip_preserves_analysis() {
 
     let before = associate(party).unwrap();
     let after = associate(&reloaded).unwrap();
-    assert_eq!(before.beta, after.beta, "TSV roundtrip changed the analysis");
+    assert_eq!(
+        before.beta, after.beta,
+        "TSV roundtrip changed the analysis"
+    );
 
     // Results roundtrip too.
     write_scan_tsv(&rp, &before).unwrap();

@@ -5,10 +5,10 @@
 //! `exp1_correctness`). The assertions mirror `all.equal(df[1:M0,], df2)`.
 
 use dash_core::model::pool_parties;
+use dash_core::model::PartyData;
 use dash_core::scan::{associate, associate_parallel, per_variant_ols};
 use dash_core::secure::{secure_scan, AggregationMode, RFactorMode, SecureScanConfig};
 use dash_gwas::pheno::{normal_matrix, normal_vec};
-use dash_core::model::PartyData;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

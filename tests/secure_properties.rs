@@ -6,6 +6,7 @@ use dash_core::model::{pool_parties, PartyData};
 use dash_core::scan::associate;
 use dash_core::secure::{secure_scan, AggregationMode, RFactorMode, SecureScanConfig};
 use dash_gwas::pheno::{normal_matrix, normal_vec};
+use dash_mpc::{CrashPoint, FaultPlan};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -94,6 +95,83 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Under injected network faults, every aggregation mode and party
+    /// count must either finish with the pooled-plaintext statistics or
+    /// return a structured MPC error — never hang, never panic.
+    #[test]
+    fn faulty_networks_finish_or_fail_structured(
+        p in 2usize..=5,
+        mode_idx in 0usize..5,
+        fault_idx in 0usize..3,
+        fault_seed in 0u64..1_000,
+    ) {
+        let sizes = vec![15; p];
+        let parties = make_parties(&sizes, 3, 1, 21);
+        let reference = associate(&pool_parties(&parties).unwrap()).unwrap();
+        let agg = [
+            AggregationMode::Public,
+            AggregationMode::SecureShares,
+            AggregationMode::MaskedPrg,
+            AggregationMode::MaskedStar,
+            AggregationMode::BeaverDots,
+        ][mode_idx];
+        let faults = match fault_idx {
+            // Pure delays: every message still arrives, so the run must
+            // succeed despite the jitter.
+            0 => FaultPlan {
+                seed: fault_seed,
+                delay_prob: 0.4,
+                ..FaultPlan::default()
+            },
+            // Drops: the victim link loses a frame; the receive deadline
+            // converts that into a structured timeout (or a tag mismatch
+            // when a later frame fills the sequence slot).
+            1 => FaultPlan {
+                seed: fault_seed,
+                drop_prob: 0.04,
+                ..FaultPlan::default()
+            },
+            // Crash: one party dies after a few sends; all survivors
+            // must come back with errors before the deadline.
+            _ => FaultPlan {
+                seed: fault_seed,
+                crash: Some(CrashPoint {
+                    party: (fault_seed as usize) % p,
+                    after_sends: fault_seed % 5,
+                }),
+                ..FaultPlan::default()
+            },
+        };
+        let cfg = SecureScanConfig {
+            rfactor: RFactorMode::GramAggregate,
+            aggregation: agg,
+            seed: 21,
+            deadline_ms: 500,
+            faults: Some(faults),
+            ..SecureScanConfig::default()
+        };
+        match secure_scan(&parties, &cfg) {
+            Ok(out) => {
+                let d = out.result.max_rel_diff(&reference).unwrap();
+                prop_assert!(d < 1e-4, "p={p}, {agg:?}, fault {fault_idx}: diff {d}");
+            }
+            Err(e) => {
+                prop_assert!(
+                    matches!(e, dash_core::CoreError::Mpc(_)),
+                    "p={p}, {agg:?}, fault {fault_idx}: non-MPC error {e}"
+                );
+                prop_assert!(
+                    fault_idx != 0,
+                    "p={p}, {agg:?}: delay-only faults must not fail, got {e}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn traffic_depends_on_m_not_n() {
     let cfg = SecureScanConfig::paper_default(4);
@@ -156,8 +234,7 @@ fn beaver_mode_handles_extreme_scales() {
         let out = secure_scan(&parties, &cfg).unwrap();
         // t and p are scale-invariant; compare those.
         for j in 0..4 {
-            let dt = (out.result.t[j] - reference.t[j]).abs()
-                / (1.0 + reference.t[j].abs());
+            let dt = (out.result.t[j] - reference.t[j]).abs() / (1.0 + reference.t[j].abs());
             assert!(dt < 1e-3, "scale {scale}, variant {j}: t diff {dt}");
         }
     }
