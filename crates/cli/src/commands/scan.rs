@@ -4,7 +4,7 @@ use crate::args::Flags;
 use crate::commands::load_party_dir;
 use crate::error::CliError;
 use dash_core::model::PartyData;
-use dash_core::scan::{associate, associate_parallel};
+use dash_core::scan::associate_parallel;
 use dash_gwas::io::{read_matrix_tsv, write_scan_tsv};
 use std::io::Write;
 use std::path::PathBuf;
@@ -18,7 +18,7 @@ INPUT (either):
 
 OPTIONS:
     --out FILE             write results TSV here [default: print summary only]
-    --threads T            worker threads [default: 1]";
+    --threads T            worker threads, >= 1 [default: 1]";
 
 /// Runs the subcommand.
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -26,13 +26,21 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let data = load_input(&flags)?;
     let out_path = flags.optional("out").map(PathBuf::from);
     let threads = flags.parse_or("threads", 1usize, "a positive integer")?;
+    if threads == 0 {
+        // `--threads 0` used to silently run the serial path; make the
+        // bad value loud instead.
+        return Err(CliError::BadValue {
+            flag: "--threads".into(),
+            value: "0".into(),
+            expected: "a positive integer (use 1 for a serial scan)",
+        });
+    }
     flags.reject_unknown(USAGE)?;
 
-    let result = if threads > 1 {
-        associate_parallel(&data, threads)?
-    } else {
-        associate(&data)?
-    };
+    // `associate_parallel(_, 1)` runs the same kernel as `associate` on
+    // one worker (bit-identical results), so every thread count takes the
+    // same code path.
+    let result = associate_parallel(&data, threads)?;
     writeln!(
         out,
         "scanned {} variants over {} samples (K = {}, df = {})",
@@ -158,6 +166,42 @@ mod tests {
         )
         .unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("top association"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_threads_rejected_loudly() {
+        let dir = tmp_dir("scan0");
+        write_party(&dir, &toy_party(20, 3, 1, 3));
+        let mut buf = Vec::new();
+        let err = run(
+            &argv(&["--dir", dir.to_str().unwrap(), "--threads", "0"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::BadValue { flag, .. } if flag == "--threads"),
+            "got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn one_thread_matches_serial_scan() {
+        // `--threads 1` now routes through `associate_parallel`, which
+        // must be bit-identical to the serial scan.
+        let dir = tmp_dir("scan1");
+        let party = toy_party(35, 5, 2, 4);
+        write_party(&dir, &party);
+        let mut buf = Vec::new();
+        run(
+            &argv(&["--dir", dir.to_str().unwrap(), "--threads", "1"]),
+            &mut buf,
+        )
+        .unwrap();
+        let serial = dash_core::scan::associate(&party).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains(&format!("df = {}", serial.df)));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -31,6 +31,9 @@ pub enum CoreError {
     CollinearCovariates,
     /// A configuration value was invalid.
     BadConfig { what: &'static str },
+    /// A worker thread panicked; the payload is preserved instead of
+    /// aborting the process with an opaque join failure.
+    WorkerPanicked { reason: String },
     /// An underlying linear-algebra kernel failed.
     Linalg(LinalgError),
     /// An underlying statistical routine failed.
@@ -66,10 +69,28 @@ impl fmt::Display for CoreError {
                 "pooled permanent covariates are collinear; drop or merge columns of C"
             ),
             CoreError::BadConfig { what } => write!(f, "invalid configuration: {what}"),
+            CoreError::WorkerPanicked { reason } => {
+                write!(f, "worker thread panicked: {reason}")
+            }
             CoreError::Linalg(e) => write!(f, "linear algebra: {e}"),
             CoreError::Stats(e) => write!(f, "statistics: {e}"),
             CoreError::Mpc(e) => write!(f, "mpc: {e}"),
         }
+    }
+}
+
+impl CoreError {
+    /// Builds [`CoreError::WorkerPanicked`] from a thread's panic payload,
+    /// recovering the human-readable message when there is one.
+    pub(crate) fn worker_panicked(payload: &(dyn std::any::Any + Send)) -> Self {
+        let reason = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        CoreError::WorkerPanicked { reason }
     }
 }
 

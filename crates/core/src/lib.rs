@@ -84,7 +84,7 @@ pub use secure::{
     secure_scan, secure_scan_with, AggregationMode, RFactorMode, SecureScanConfig,
     SecureScanOutput, SummandSource,
 };
-pub use suffstats::{ScanStats, SuffStats};
+pub use suffstats::{ScanStats, SuffStats, VariantSummands};
 
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -8,8 +8,9 @@
 
 use crate::error::CoreError;
 use crate::model::{PartyData, ScanResult};
-use crate::suffstats::{orthonormal_basis, ScanStats};
+use crate::suffstats::{column_dots, orthonormal_basis, ScanStats};
 use dash_linalg::{dot, gemv_t, self_dot, Matrix};
+use std::thread::ScopedJoinHandle;
 
 /// Per-variant statistics for a block of columns.
 struct BlockStats {
@@ -22,8 +23,10 @@ struct BlockStats {
 
 /// Computes the per-variant statistics for columns `[lo, hi)`.
 ///
-/// Reads each column exactly once, computing all four dot products in one
-/// pass over the (K+1) relevant vectors.
+/// Reads each column exactly once via the shared
+/// [`crate::suffstats::column_dots`] kernel (also the engine of the
+/// blocked secure scan), then reduces the `QᵀX` column against `Qᵀy` in
+/// place.
 fn scan_block(y: &[f64], x: &Matrix, q: &Matrix, qty: &[f64], lo: usize, hi: usize) -> BlockStats {
     let k = q.cols();
     let mut xy = Vec::with_capacity(hi - lo);
@@ -32,12 +35,9 @@ fn scan_block(y: &[f64], x: &Matrix, q: &Matrix, qty: &[f64], lo: usize, hi: usi
     let mut qtxqtx = Vec::with_capacity(hi - lo);
     let mut qtx_col = vec![0.0; k];
     for j in lo..hi {
-        let col = x.col(j);
-        xy.push(dot(col, y));
-        xx.push(self_dot(col));
-        for (i, q_i) in qtx_col.iter_mut().enumerate() {
-            *q_i = dot(q.col(i), col);
-        }
+        let (xyv, xxv) = column_dots(y, q, x.col(j), &mut qtx_col);
+        xy.push(xyv);
+        xx.push(xxv);
         qtxqty.push(dot(&qtx_col, qty));
         qtxqtx.push(self_dot(&qtx_col));
     }
@@ -48,6 +48,24 @@ fn scan_block(y: &[f64], x: &Matrix, q: &Matrix, qty: &[f64], lo: usize, hi: usi
         qtxqty,
         qtxqtx,
     }
+}
+
+/// Joins every worker handle, converting a panic into a structured
+/// [`CoreError::WorkerPanicked`] instead of aborting the process.
+///
+/// All handles are joined before any outcome is inspected: bailing on the
+/// first panic would leave later panicked threads unjoined and re-raise
+/// their payloads when the enclosing scope exits.
+pub(crate) fn join_workers<T>(handles: Vec<ScopedJoinHandle<'_, T>>) -> Result<Vec<T>, CoreError> {
+    let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+    let mut out = Vec::with_capacity(joined.len());
+    for j in joined {
+        match j {
+            Ok(v) => out.push(v),
+            Err(payload) => return Err(CoreError::worker_panicked(payload.as_ref())),
+        }
+    }
+    Ok(out)
 }
 
 /// Runs the association scan with variant columns distributed over
@@ -87,11 +105,8 @@ pub fn associate_parallel(data: &PartyData, n_threads: usize) -> Result<ScanResu
             handles.push(scope.spawn(move || scan_block(y, x_ref, q_ref, qty_ref, lo, hi)));
             lo = hi;
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scan worker"))
-            .collect()
-    });
+        join_workers(handles)
+    })?;
 
     // Step 4: assemble and finalize.
     let mut xy = vec![0.0; m];
@@ -145,6 +160,29 @@ mod tests {
             assert_eq!(par.beta, serial.beta, "threads={threads}");
             assert_eq!(par.se, serial.se, "threads={threads}");
             assert_eq!(par.p, serial.p, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_structured_error() {
+        // Regression: join().expect() used to abort the process with an
+        // opaque "scan worker" message. Also checks that a panic in one
+        // worker does not leave sibling panicked threads unjoined (which
+        // would re-panic at scope exit).
+        let err = std::thread::scope(|scope| {
+            let handles = vec![
+                scope.spawn(|| 1usize),
+                scope.spawn(|| panic!("worker exploded: j = 3")),
+                scope.spawn(|| panic!("second worker down")),
+            ];
+            join_workers(handles)
+        })
+        .unwrap_err();
+        match err {
+            CoreError::WorkerPanicked { reason } => {
+                assert!(reason.contains("worker exploded"), "reason = {reason:?}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
         }
     }
 

@@ -7,7 +7,8 @@
 use crate::error::CoreError;
 use crate::secure::wire::all_gather_f64;
 use crate::secure::{AggregationMode, SecureScanConfig};
-use crate::suffstats::{ScanStats, SuffStats};
+use crate::suffstats::{ScanStats, SuffStats, VariantSummands};
+use dash_linalg::{dot, self_dot, Matrix};
 use dash_mpc::dealer::PartyTriples;
 use dash_mpc::field::F61;
 use dash_mpc::protocol::beaver::{beaver_inner_batch, open_field};
@@ -165,6 +166,288 @@ fn beaver_dots(
         xy,
         xx,
         qtyqty,
+        qtxqty,
+        qtxqtx,
+    })
+}
+
+/// The y-side aggregate of the blocked protocol's round 0: everything the
+/// per-block rounds need from the block-independent statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum YAggregate {
+    /// The aggregate `Qᵀy` opened (every mode except Beaver).
+    Opened { yy: f64, qty: Vec<f64> },
+    /// `Qᵀy` still secret-shared (Beaver mode): each party keeps its
+    /// normalized additive share and only `Qᵀy·Qᵀy` has opened.
+    BeaverShared {
+        yy: f64,
+        qty_share: Vec<F61>,
+        qtyqty: f64,
+    },
+}
+
+impl YAggregate {
+    /// `(y·y, Qᵀy·Qᵀy)` — the block-independent scalars of Lemma 2.1.
+    ///
+    /// `Opened` computes `Qᵀy·Qᵀy` with the same `self_dot` call as
+    /// [`SuffStats::reduce`], so it is bit-identical to the monolithic
+    /// path.
+    pub(crate) fn y_stats(&self) -> (f64, f64) {
+        match self {
+            YAggregate::Opened { yy, qty } => (*yy, self_dot(qty)),
+            YAggregate::BeaverShared { yy, qtyqty, .. } => (*yy, *qtyqty),
+        }
+    }
+}
+
+/// The per-variant aggregates of one block of the blocked protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BlockAggregate {
+    pub xy: Vec<f64>,
+    pub xx: Vec<f64>,
+    pub qtxqty: Vec<f64>,
+    pub qtxqtx: Vec<f64>,
+}
+
+/// Sums the gathered vectors element-wise in party order, starting from
+/// zero — the same accumulation order as `SuffStats::zeros` +
+/// `add_assign` in [`public`], so blocked `Public` sums are bit-identical
+/// to monolithic ones.
+fn sum_gathered(gathered: Vec<Vec<f64>>, len: usize) -> Result<Vec<f64>, CoreError> {
+    let mut total = vec![0.0; len];
+    for v in gathered {
+        if v.len() != len {
+            return Err(CoreError::ShapeMismatch {
+                what: "gathered summand vector length",
+                expected: len,
+                got: v.len(),
+            });
+        }
+        for (a, b) in total.iter_mut().zip(&v) {
+            *a += b;
+        }
+    }
+    Ok(total)
+}
+
+/// Round 0 of the blocked protocol: aggregates the block-independent
+/// y-side summands `(y·y, Qᵀy)` under the configured mode.
+///
+/// `m` is the total variant count — `Public` mode records its one
+/// disclosure entry per party here, sized for the *full* summand vector,
+/// so the audit totals match the monolithic path exactly.
+///
+/// Consumes dealer triple 0 for the `(Qᵀy, Qᵀy)` product in Beaver mode —
+/// the same triple the monolithic batch assigns to that pair — keeping
+/// every opened Beaver value bit-identical to the unblocked run.
+pub(crate) fn aggregate_y(
+    ctx: &mut PartyCtx,
+    yy: f64,
+    qty: &[f64],
+    m: usize,
+    cfg: &SecureScanConfig,
+    triples: Option<&mut PartyTriples>,
+) -> Result<YAggregate, CoreError> {
+    let k = qty.len();
+    let mut flat = Vec::with_capacity(1 + k);
+    flat.push(yy);
+    flat.extend_from_slice(qty);
+    let opened = match cfg.aggregation {
+        AggregationMode::Public => {
+            ctx.audit().record_party(
+                ctx.id(),
+                format!("party {} raw statistic summands", ctx.id()),
+                1 + 2 * m + k + k * m,
+            );
+            let tag = ctx.fresh_tag();
+            let gathered = all_gather_f64(ctx, tag, &flat)?;
+            sum_gathered(gathered, flat.len())?
+        }
+        AggregationMode::SecureShares => {
+            secure_sum_f64(ctx, &cfg.ring_codec()?, &flat, "aggregate y·y, Qᵀy")?
+        }
+        AggregationMode::MaskedPrg => {
+            masked_sum_f64(ctx, &cfg.ring_codec()?, &flat, "aggregate y·y, Qᵀy")?
+        }
+        AggregationMode::MaskedStar => {
+            masked_sum_star_f64(ctx, &cfg.ring_codec()?, &flat, "aggregate y·y, Qᵀy")?
+        }
+        AggregationMode::BeaverDots => {
+            let opened = masked_sum_f64(ctx, &cfg.ring_codec()?, &[yy], "aggregate y·y")?;
+            let yy_total = opened[0];
+            if k == 0 {
+                return Ok(YAggregate::BeaverShared {
+                    yy: yy_total,
+                    qty_share: Vec::new(),
+                    qtyqty: 0.0,
+                });
+            }
+            let triples = triples.ok_or(MpcError::DealerExhausted {
+                what: "inner-product triples (none supplied)",
+            })?;
+            let field_codec = cfg.field_codec()?;
+            let y_scale = safe_inv_sqrt(yy_total);
+            let qty_scaled: Vec<f64> = qty.iter().map(|v| v * y_scale).collect();
+            let qty_share = field_codec.encode_field_vec(&qty_scaled)?;
+            let pairs: Vec<(&[F61], &[F61])> = vec![(&qty_share, &qty_share)];
+            let mut batch = vec![triples.next_inner()?];
+            let product_shares = beaver_inner_batch(ctx, &pairs, &mut batch)?;
+            let opened = open_field(
+                ctx,
+                &product_shares,
+                Some("projected response dot product (Qᵀy·Qᵀy)"),
+            )?;
+            let qtyqty = field_codec.decode_field_product(opened[0]) * yy_total;
+            return Ok(YAggregate::BeaverShared {
+                yy: yy_total,
+                qty_share,
+                qtyqty,
+            });
+        }
+    };
+    Ok(YAggregate::Opened {
+        yy: opened[0],
+        qty: opened[1..].to_vec(),
+    })
+}
+
+/// One per-block round of the blocked protocol: aggregates the
+/// variant-side summands of `block` and reduces them against the y-side
+/// aggregate from [`aggregate_y`].
+///
+/// Element-wise, every secure sum here opens exactly the value the
+/// monolithic round would (fixed-point sums are exact and PRG masks
+/// cancel exactly, regardless of how the vector is split across rounds),
+/// and Beaver triples are consumed in the monolithic order (two per
+/// variant, ascending) — so the returned aggregates are bit-identical to
+/// the corresponding slice of the unblocked run.
+pub(crate) fn aggregate_block(
+    ctx: &mut PartyCtx,
+    block: &VariantSummands,
+    head: &YAggregate,
+    cfg: &SecureScanConfig,
+    triples: Option<&mut PartyTriples>,
+) -> Result<BlockAggregate, CoreError> {
+    let len = block.len();
+    let k = block.qtx.rows();
+    if cfg.aggregation == AggregationMode::BeaverDots {
+        let (yy, qty_share) = match head {
+            YAggregate::BeaverShared { yy, qty_share, .. } => (*yy, qty_share),
+            YAggregate::Opened { .. } => {
+                return Err(CoreError::from(MpcError::Protocol {
+                    what: "blocked Beaver round given an opened y-aggregate",
+                }))
+            }
+        };
+        let mut left = Vec::with_capacity(2 * len);
+        left.extend_from_slice(&block.xy);
+        left.extend_from_slice(&block.xx);
+        let left_total = masked_sum_f64(ctx, &cfg.ring_codec()?, &left, "aggregate X·y, X·X")?;
+        let xy = left_total[..len].to_vec();
+        let xx = left_total[len..].to_vec();
+        if k == 0 {
+            return Ok(BlockAggregate {
+                xy,
+                xx,
+                qtxqty: vec![0.0; len],
+                qtxqtx: vec![0.0; len],
+            });
+        }
+        let triples = triples.ok_or(MpcError::DealerExhausted {
+            what: "inner-product triples (none supplied)",
+        })?;
+        let field_codec = cfg.field_codec()?;
+        let mut qtx_shares: Vec<Vec<F61>> = Vec::with_capacity(len);
+        for (j, &xxj) in xx.iter().enumerate() {
+            let s = safe_inv_sqrt(xxj);
+            let col: Vec<f64> = block.qtx.col(j).iter().map(|v| v * s).collect();
+            qtx_shares.push(field_codec.encode_field_vec(&col)?);
+        }
+        let mut pairs: Vec<(&[F61], &[F61])> = Vec::with_capacity(2 * len);
+        for share in &qtx_shares {
+            pairs.push((share, qty_share));
+            pairs.push((share, share));
+        }
+        let mut batch = Vec::with_capacity(pairs.len());
+        for _ in 0..pairs.len() {
+            batch.push(triples.next_inner()?);
+        }
+        let product_shares = beaver_inner_batch(ctx, &pairs, &mut batch)?;
+        let opened = open_field(
+            ctx,
+            &product_shares,
+            Some("per-variant projected dot products (QᵀX·Qᵀy, QᵀX·QᵀX)"),
+        )?;
+        let mut qtxqty = Vec::with_capacity(len);
+        let mut qtxqtx = Vec::with_capacity(len);
+        for j in 0..len {
+            let d1 = field_codec.decode_field_product(opened[2 * j]);
+            let d2 = field_codec.decode_field_product(opened[2 * j + 1]);
+            qtxqty.push(d1 * xx[j].max(0.0).sqrt() * yy.max(0.0).sqrt());
+            qtxqtx.push(d2 * xx[j]);
+        }
+        return Ok(BlockAggregate {
+            xy,
+            xx,
+            qtxqty,
+            qtxqtx,
+        });
+    }
+
+    let qty = match head {
+        YAggregate::Opened { qty, .. } => qty,
+        YAggregate::BeaverShared { .. } => {
+            return Err(CoreError::from(MpcError::Protocol {
+                what: "blocked opening round given a shared y-aggregate",
+            }))
+        }
+    };
+    let mut flat = Vec::with_capacity(2 * len + k * len);
+    flat.extend_from_slice(&block.xy);
+    flat.extend_from_slice(&block.xx);
+    flat.extend_from_slice(block.qtx.as_slice());
+    let total = match cfg.aggregation {
+        AggregationMode::Public => {
+            // Disclosure already recorded once per party in
+            // `aggregate_y`, covering the full summand vector.
+            let tag = ctx.fresh_tag();
+            let gathered = all_gather_f64(ctx, tag, &flat)?;
+            sum_gathered(gathered, flat.len())?
+        }
+        AggregationMode::SecureShares => secure_sum_f64(
+            ctx,
+            &cfg.ring_codec()?,
+            &flat,
+            "aggregate variant-block statistics",
+        )?,
+        AggregationMode::MaskedPrg => masked_sum_f64(
+            ctx,
+            &cfg.ring_codec()?,
+            &flat,
+            "aggregate variant-block statistics",
+        )?,
+        AggregationMode::MaskedStar => masked_sum_star_f64(
+            ctx,
+            &cfg.ring_codec()?,
+            &flat,
+            "aggregate variant-block statistics",
+        )?,
+        AggregationMode::BeaverDots => unreachable!("handled above"),
+    };
+    let xy = total[..len].to_vec();
+    let xx = total[len..2 * len].to_vec();
+    let qtx = Matrix::from_column_major(k, len, total[2 * len..].to_vec())?;
+    let mut qtxqty = Vec::with_capacity(len);
+    let mut qtxqtx = Vec::with_capacity(len);
+    for j in 0..len {
+        // Same `dot`/`self_dot` reduction as `SuffStats::reduce`.
+        let col = qtx.col(j);
+        qtxqty.push(dot(col, qty));
+        qtxqtx.push(self_dot(col));
+    }
+    Ok(BlockAggregate {
+        xy,
+        xx,
         qtxqty,
         qtxqtx,
     })

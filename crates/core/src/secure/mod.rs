@@ -98,6 +98,16 @@ pub struct SecureScanConfig {
     pub retry_backoff_ms: u64,
     /// Optional deterministic fault injection (testing/chaos runs only).
     pub faults: Option<FaultPlan>,
+    /// Variant-block size of the blocked aggregation pipeline: `Some(B)`
+    /// walks the variants in blocks of B columns — peak summand memory
+    /// O(N·B + K·B) instead of O(N·M) — overlapping each block's secure
+    /// round with the next block's local compute. `None` runs the
+    /// original monolithic single-round aggregation. Results are
+    /// bit-identical either way.
+    pub block_size: Option<usize>,
+    /// Worker threads for the blocked path's local summand compute
+    /// (must be ≥ 1; the monolithic path ignores it).
+    pub threads: usize,
 }
 
 impl Default for SecureScanConfig {
@@ -112,6 +122,8 @@ impl Default for SecureScanConfig {
             max_retries: 3,
             retry_backoff_ms: 1,
             faults: None,
+            block_size: None,
+            threads: 1,
         }
     }
 }
@@ -206,6 +218,10 @@ pub struct SecureScanOutput {
     pub disclosures: Vec<Disclosure>,
     /// Number of participating parties.
     pub n_parties: usize,
+    /// Bytes exchanged during each blocked aggregation round, in block
+    /// order (empty for monolithic runs). Together with the unscoped
+    /// protocol traffic these partition [`NetworkReport::total_bytes`].
+    pub per_block_bytes: Vec<u64>,
 }
 
 /// A party-local provider of the scan's additive statistics.
@@ -227,6 +243,29 @@ pub trait SummandSource: Sync {
     /// The additive statistics of Lemma 2.1 for this party's rows, given
     /// its slice `Q_k` of the shared orthonormal basis.
     fn summands(&self, q: &dash_linalg::Matrix) -> Result<crate::suffstats::SuffStats, CoreError>;
+    /// The block-independent y-side summands `(y·y, Qᵀy)` — round 0 of
+    /// the blocked pipeline.
+    ///
+    /// The default derives them from [`SummandSource::summands`]; storage
+    /// that can produce them directly should override so the blocked path
+    /// never materializes all M variant summands at once.
+    fn y_summands(&self, q: &dash_linalg::Matrix) -> Result<(f64, Vec<f64>), CoreError> {
+        let s = self.summands(q)?;
+        Ok((s.yy, s.qty))
+    }
+    /// The variant-side summands for columns `[lo, hi)` — the per-block
+    /// unit of the blocked pipeline.
+    ///
+    /// The default slices [`SummandSource::summands`]; overriding with a
+    /// native block computation is what realizes the O(K·B) memory bound.
+    fn summands_block(
+        &self,
+        q: &dash_linalg::Matrix,
+        lo: usize,
+        hi: usize,
+    ) -> Result<crate::suffstats::VariantSummands, CoreError> {
+        crate::suffstats::VariantSummands::from_suffstats(&self.summands(q)?, lo, hi)
+    }
 }
 
 impl SummandSource for PartyData {
@@ -241,6 +280,29 @@ impl SummandSource for PartyData {
     }
     fn summands(&self, q: &dash_linalg::Matrix) -> Result<crate::suffstats::SuffStats, CoreError> {
         crate::suffstats::SuffStats::local(self.y(), self.x(), q)
+    }
+    fn y_summands(&self, q: &dash_linalg::Matrix) -> Result<(f64, Vec<f64>), CoreError> {
+        // The same `self_dot`/`gemv_t` calls `SuffStats::local` makes, so
+        // the blocked path opens bit-identical y-side values.
+        if q.rows() != self.n_samples() {
+            return Err(CoreError::ShapeMismatch {
+                what: "y_summands Q rows",
+                expected: self.n_samples(),
+                got: q.rows(),
+            });
+        }
+        Ok((
+            dash_linalg::self_dot(self.y()),
+            dash_linalg::gemv_t(q, self.y())?,
+        ))
+    }
+    fn summands_block(
+        &self,
+        q: &dash_linalg::Matrix,
+        lo: usize,
+        hi: usize,
+    ) -> Result<crate::suffstats::VariantSummands, CoreError> {
+        crate::suffstats::VariantSummands::local(self.y(), self.x(), q, lo, hi)
     }
 }
 
@@ -307,6 +369,23 @@ pub fn secure_scan_with<S: SummandSource>(
     // thread spawns.
     cfg.ring_codec()?;
     cfg.field_codec()?;
+    if cfg.threads == 0 {
+        return Err(CoreError::BadConfig {
+            what: "threads must be >= 1 (use 1 for serial block compute)",
+        });
+    }
+    if let Some(b) = cfg.block_size {
+        if b == 0 {
+            return Err(CoreError::BadConfig {
+                what: "block_size must be >= 1 (or None for the monolithic path)",
+            });
+        }
+        if m.div_ceil(b) as u64 > dash_mpc::net::MAX_BLOCK_ID as u64 + 1 {
+            return Err(CoreError::BadConfig {
+                what: "too many variant blocks for the block tag range; raise block_size",
+            });
+        }
+    }
 
     // Offline phase: deal Beaver material when the strict mode needs it.
     let triple_slots: Vec<Mutex<Option<PartyTriples>>> =
@@ -340,11 +419,25 @@ pub fn secure_scan_with<S: SummandSource>(
         );
     }
 
+    // The tag-keyed per-block counters must partition the run's total
+    // traffic exactly: every frame is attributed to exactly one block or
+    // to the unscoped protocol phases.
+    debug_assert_eq!(
+        stats.block_bytes_total() + stats.unscoped_bytes(),
+        stats.total_bytes(),
+        "per-block traffic counters must partition the run total"
+    );
+    let per_block_bytes = stats
+        .per_block_traffic()
+        .into_iter()
+        .map(|(_, bytes, _)| bytes)
+        .collect();
     let network = NetworkReport::from_stats(&stats);
     Ok(SecureScanOutput {
         result: first,
         network,
         disclosures: audit.entries(),
         n_parties: p,
+        per_block_bytes,
     })
 }

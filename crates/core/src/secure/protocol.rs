@@ -1,14 +1,29 @@
 //! The full per-party protocol: QR phase → private Q rows → summands →
 //! aggregation → Lemma 2.1.
+//!
+//! Phase 2 has two shapes. The **monolithic** path (`block_size: None`)
+//! materializes all M variant summands and aggregates them in one secure
+//! round. The **blocked** path (`block_size: Some(B)`) walks the variants
+//! in blocks of B columns: round 0 aggregates the block-independent
+//! y-side statistics under ordinary protocol tags, then each block runs
+//! its own secure round inside a [block-scoped tag
+//! range](dash_mpc::net::BLOCK_TAG_BASE), while a producer thread
+//! computes the *next* block's local summands concurrently (optionally
+//! splitting each block's columns over `threads` workers). Peak summand
+//! memory is O(K·B) instead of O(K·M), and results are bit-identical to
+//! the monolithic path for every block size.
 
 use crate::error::CoreError;
 use crate::model::ScanResult;
+use crate::scan::parallel::join_workers;
 use crate::secure::{aggregate, rfactor, SecureScanConfig, SummandSource};
+use crate::suffstats::{ScanStats, VariantSummands};
 
 use dash_linalg::{invert_upper, ops::gemm, Matrix};
 use dash_mpc::dealer::PartyTriples;
 use dash_mpc::protocol::masked::masked_sum_ring;
 use dash_mpc::{PartyCtx, R64};
+use std::sync::mpsc;
 
 /// Executes the secure scan from one party's perspective (SPMD — every
 /// party runs this same function over the shared network). Generic over
@@ -45,9 +60,141 @@ pub(crate) fn party_protocol_with<S: SummandSource>(
 
     // Phase 2: local summands (storage-specific), secure aggregation,
     // finalization.
-    let summands = data.summands(&q_k)?;
-    let stats = aggregate::aggregate(ctx, &summands, cfg, triples)?;
-    stats.finalize(n_total, k)
+    match cfg.block_size {
+        None => {
+            let summands = data.summands(&q_k)?;
+            let stats = aggregate::aggregate(ctx, &summands, cfg, triples)?;
+            stats.finalize(n_total, k)
+        }
+        Some(b) => blocked_protocol(ctx, data, &q_k, n_total, b, cfg, triples),
+    }
+}
+
+/// Computes one block's local summands, splitting its columns over up to
+/// `threads` workers and stitching the sub-ranges back in column order.
+fn compute_block<S: SummandSource>(
+    data: &S,
+    q: &Matrix,
+    lo: usize,
+    hi: usize,
+    threads: usize,
+) -> Result<VariantSummands, CoreError> {
+    let len = hi - lo;
+    let threads = threads.min(len.max(1));
+    if threads <= 1 {
+        return data.summands_block(q, lo, hi);
+    }
+    let chunk = len.div_ceil(threads).max(1);
+    let parts = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut a = lo;
+        while a < hi {
+            let b = (a + chunk).min(hi);
+            handles.push(scope.spawn(move || data.summands_block(q, a, b)));
+            a = b;
+        }
+        join_workers(handles)
+    })?;
+    let k = q.cols();
+    let mut xy = Vec::with_capacity(len);
+    let mut xx = Vec::with_capacity(len);
+    let mut qtx = Matrix::zeros(k, len);
+    for part in parts {
+        let part = part?;
+        for j in 0..part.len() {
+            qtx.col_mut(part.lo - lo + j)
+                .copy_from_slice(part.qtx.col(j));
+        }
+        xy.extend_from_slice(&part.xy);
+        xx.extend_from_slice(&part.xx);
+    }
+    Ok(VariantSummands { lo, xy, xx, qtx })
+}
+
+/// Phase 2 of the blocked pipeline (see the module docs).
+///
+/// A producer thread computes block b+1's summands while the protocol
+/// thread runs block b's secure round; a rendezvous channel of depth 1
+/// bounds in-flight summand memory to two blocks.
+fn blocked_protocol<S: SummandSource>(
+    ctx: &mut PartyCtx,
+    data: &S,
+    q_k: &Matrix,
+    n_total: usize,
+    block_size: usize,
+    cfg: &SecureScanConfig,
+    triples: Option<&mut PartyTriples>,
+) -> Result<ScanResult, CoreError> {
+    let m = data.n_variants();
+    let k = q_k.cols();
+    let mut triples = triples;
+
+    // Round 0, under ordinary protocol tags: the y-side statistics.
+    let (yy_local, qty_local) = data.y_summands(q_k)?;
+    let head = aggregate::aggregate_y(ctx, yy_local, &qty_local, m, cfg, triples.as_deref_mut())?;
+
+    let n_blocks = m.div_ceil(block_size.max(1));
+    let mut xy = vec![0.0; m];
+    let mut xx = vec![0.0; m];
+    let mut qtxqty = vec![0.0; m];
+    let mut qtxqtx = vec![0.0; m];
+    std::thread::scope(|scope| -> Result<(), CoreError> {
+        let (tx, rx) = mpsc::sync_channel::<Result<VariantSummands, CoreError>>(1);
+        let threads = cfg.threads;
+        let producer = scope.spawn(move || {
+            for b in 0..n_blocks {
+                let lo = b * block_size;
+                let hi = (lo + block_size).min(m);
+                let res = compute_block(data, q_k, lo, hi, threads);
+                let stop = res.is_err();
+                if tx.send(res).is_err() || stop {
+                    break;
+                }
+            }
+        });
+        let mut consume = || -> Result<(), CoreError> {
+            for b in 0..n_blocks {
+                let summ = rx.recv().map_err(|_| CoreError::WorkerPanicked {
+                    reason: "block producer exited without delivering a block".to_string(),
+                })??;
+                // Each block's secure round runs inside its own tag range,
+                // so its traffic is attributed to the block and cannot
+                // collide with neighbouring rounds even though parties may
+                // momentarily be in different blocks.
+                ctx.enter_block(b as u32).map_err(CoreError::from)?;
+                let agg =
+                    aggregate::aggregate_block(ctx, &summ, &head, cfg, triples.as_deref_mut());
+                ctx.exit_block().map_err(CoreError::from)?;
+                let agg = agg?;
+                let (lo, len) = (summ.lo, summ.len());
+                xy[lo..lo + len].copy_from_slice(&agg.xy);
+                xx[lo..lo + len].copy_from_slice(&agg.xx);
+                qtxqty[lo..lo + len].copy_from_slice(&agg.qtxqty);
+                qtxqtx[lo..lo + len].copy_from_slice(&agg.qtxqtx);
+            }
+            Ok(())
+        };
+        let res = consume();
+        // Dropping the receiver unblocks a producer stuck on a full
+        // channel before we join it; a producer panic outranks whatever
+        // error made us bail.
+        drop(rx);
+        if let Err(payload) = producer.join() {
+            return Err(CoreError::worker_panicked(payload.as_ref()));
+        }
+        res
+    })?;
+
+    let (yy, qtyqty) = head.y_stats();
+    ScanStats {
+        yy,
+        xy,
+        xx,
+        qtyqty,
+        qtxqty,
+        qtxqtx,
+    }
+    .finalize(n_total, k)
 }
 
 #[cfg(test)]

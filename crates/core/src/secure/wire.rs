@@ -33,21 +33,31 @@ pub(crate) fn broadcast_f64(ctx: &PartyCtx, tag: u32, vals: &[f64]) -> Result<()
     Ok(())
 }
 
-/// All-gather: broadcasts own doubles and returns everyone's vectors in
-/// party order (own contribution included at its index).
+/// All-gather: exchanges doubles with every other party and returns
+/// everyone's vectors in party order (own contribution included at its
+/// index).
+///
+/// Uses a rank-rotated schedule: at step `d`, party `me` sends to
+/// `(me + d) % n` and receives from `(me + n − d) % n`. Every step pairs
+/// each party with a *different* peer, so no single slow party serializes
+/// the whole gather the way the old fixed `0..n` receive order did
+/// (everyone used to drain party 0 first, then 1, …, turning one slow
+/// link into a convoy). Same messages, bytes, and tag as before — only
+/// the completion order changed.
 pub(crate) fn all_gather_f64(
     ctx: &PartyCtx,
     tag: u32,
     own: &[f64],
 ) -> Result<Vec<Vec<f64>>, MpcError> {
-    broadcast_f64(ctx, tag, own)?;
-    let mut out = Vec::with_capacity(ctx.n_parties());
-    for j in 0..ctx.n_parties() {
-        if j == ctx.id() {
-            out.push(own.to_vec());
-        } else {
-            out.push(recv_f64(ctx, j, tag)?);
-        }
+    let n = ctx.n_parties();
+    let me = ctx.id();
+    let mut out = vec![Vec::new(); n];
+    out[me] = own.to_vec();
+    for d in 1..n {
+        let to = (me + d) % n;
+        let from = (me + n - d) % n;
+        send_f64(ctx, to, tag, own)?;
+        out[from] = recv_f64(ctx, from, tag)?;
     }
     Ok(out)
 }
@@ -82,6 +92,45 @@ mod tests {
         });
         for r in results {
             assert_eq!(r, vec![vec![0.0], vec![10.0], vec![20.0]]);
+        }
+    }
+
+    #[test]
+    fn all_gather_survives_injected_delays() {
+        // Regression for the fixed-order schedule: with random link
+        // delays, every party must still assemble the party-ordered
+        // vector, and repeated gathers must not cross-talk (the rotated
+        // schedule changes completion order, not correctness).
+        use dash_mpc::net::NetOptions;
+        use dash_mpc::transport::FaultPlan;
+        use std::time::Duration;
+
+        let opts = NetOptions {
+            faults: Some(FaultPlan {
+                seed: 7,
+                delay_prob: 0.6,
+                max_delay: Duration::from_millis(3),
+                ..FaultPlan::default()
+            }),
+            ..NetOptions::default()
+        };
+        let (results, _, _) = Network::run_parties_detailed_with(4, 2, &opts, |ctx| {
+            let mut rounds = Vec::new();
+            for round in 0..3 {
+                let tag = ctx.fresh_tag();
+                let own = [ctx.id() as f64 + 100.0 * round as f64];
+                rounds.push(all_gather_f64(ctx, tag, &own).unwrap());
+            }
+            rounds
+        });
+        for r in results {
+            let rounds = r.unwrap();
+            for (round, gathered) in rounds.into_iter().enumerate() {
+                let want: Vec<Vec<f64>> = (0..4)
+                    .map(|p| vec![p as f64 + 100.0 * round as f64])
+                    .collect();
+                assert_eq!(gathered, want, "round {round}");
+            }
         }
     }
 }

@@ -216,6 +216,119 @@ impl SuffStats {
     }
 }
 
+/// One pass over a variant column: `X_j·y`, `X_j·X_j`, and the K dots
+/// `Q_i·X_j` written into `qtx_col`.
+///
+/// This is the shared kernel of the parallel plaintext scan and the
+/// blocked secure scan. It performs the *same* `dot`/`self_dot` calls as
+/// [`SuffStats::local`] (whose `gemm_at_b` entry `(i, j)` is exactly
+/// `dot(q.col(i), x.col(j))`), so per-column results are bit-identical to
+/// the monolithic path.
+pub(crate) fn column_dots(y: &[f64], q: &Matrix, col: &[f64], qtx_col: &mut [f64]) -> (f64, f64) {
+    let xy = dot(col, y);
+    let xx = self_dot(col);
+    for (i, q_i) in qtx_col.iter_mut().enumerate() {
+        *q_i = dot(q.col(i), col);
+    }
+    (xy, xx)
+}
+
+/// The variant-side slice of [`SuffStats`] for columns `[lo, lo+len)`:
+/// everything except the block-independent `yy`/`qty`. This is the unit
+/// the blocked secure scan computes, ships, and aggregates — peak summand
+/// memory is O(K·B) per block instead of O(K·M).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantSummands {
+    /// First variant index covered by this block.
+    pub lo: usize,
+    /// `X_m·y` summands for the block.
+    pub xy: Vec<f64>,
+    /// `X_m·X_m` summands for the block.
+    pub xx: Vec<f64>,
+    /// `QᵀX` summand columns for the block, K×len.
+    pub qtx: Matrix,
+}
+
+impl VariantSummands {
+    /// Number of variants in the block.
+    pub fn len(&self) -> usize {
+        self.xy.len()
+    }
+
+    /// True when the block covers no variants.
+    pub fn is_empty(&self) -> bool {
+        self.xy.is_empty()
+    }
+
+    /// Computes one party's variant-side summands for columns `[lo, hi)`
+    /// directly from its rows, without materializing the full M-wide
+    /// statistics. Bit-identical to slicing [`SuffStats::local`].
+    pub fn local(
+        y: &[f64],
+        x: &Matrix,
+        q: &Matrix,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Self, CoreError> {
+        if x.rows() != y.len() {
+            return Err(CoreError::ShapeMismatch {
+                what: "VariantSummands::local X rows",
+                expected: y.len(),
+                got: x.rows(),
+            });
+        }
+        if q.rows() != y.len() {
+            return Err(CoreError::ShapeMismatch {
+                what: "VariantSummands::local Q rows",
+                expected: y.len(),
+                got: q.rows(),
+            });
+        }
+        if lo > hi || hi > x.cols() {
+            return Err(CoreError::ShapeMismatch {
+                what: "VariantSummands::local column range",
+                expected: x.cols(),
+                got: hi,
+            });
+        }
+        let k = q.cols();
+        let len = hi - lo;
+        let mut xy = Vec::with_capacity(len);
+        let mut xx = Vec::with_capacity(len);
+        let mut qtx = Matrix::zeros(k, len);
+        for j in lo..hi {
+            let (xyv, xxv) = column_dots(y, q, x.col(j), qtx.col_mut(j - lo));
+            xy.push(xyv);
+            xx.push(xxv);
+        }
+        Ok(VariantSummands { lo, xy, xx, qtx })
+    }
+
+    /// Slices the variant range `[lo, hi)` out of already-computed full
+    /// summands (the generic fallback for [`crate::secure::SummandSource`]
+    /// implementations without a native block path).
+    pub fn from_suffstats(s: &SuffStats, lo: usize, hi: usize) -> Result<Self, CoreError> {
+        if lo > hi || hi > s.n_variants() {
+            return Err(CoreError::ShapeMismatch {
+                what: "VariantSummands::from_suffstats column range",
+                expected: s.n_variants(),
+                got: hi,
+            });
+        }
+        let k = s.n_covariates();
+        let mut qtx = Matrix::zeros(k, hi - lo);
+        for j in lo..hi {
+            qtx.col_mut(j - lo).copy_from_slice(s.qtx.col(j));
+        }
+        Ok(VariantSummands {
+            lo,
+            xy: s.xy[lo..hi].to_vec(),
+            xx: s.xx[lo..hi].to_vec(),
+            qtx,
+        })
+    }
+}
+
 /// The reduced (openable) statistics of Lemma 2.1 and their finalization.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScanStats {
@@ -522,6 +635,26 @@ mod tests {
         assert_eq!(b1.n_variants(), 2);
         assert!((b1.xy[1] - full.xy[1]).abs() < 1e-14);
         assert!((b2.xy[0] - full.xy[2]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn variant_summands_bit_identical_to_full() {
+        let (y, x, c) = toy(18, 7, 2, 9);
+        let q = orthonormal_basis(&c).unwrap();
+        let full = SuffStats::local(&y, &x, &q).unwrap();
+        for (lo, hi) in [(0, 7), (0, 3), (3, 7), (2, 2), (6, 7)] {
+            let direct = VariantSummands::local(&y, &x, &q, lo, hi).unwrap();
+            let sliced = VariantSummands::from_suffstats(&full, lo, hi).unwrap();
+            // Bit-identical, not merely close: the blocked secure path
+            // depends on this equivalence.
+            assert_eq!(direct, sliced, "[{lo}, {hi})");
+            for j in lo..hi {
+                assert_eq!(direct.xy[j - lo].to_bits(), full.xy[j].to_bits());
+                assert_eq!(direct.xx[j - lo].to_bits(), full.xx[j].to_bits());
+            }
+        }
+        assert!(VariantSummands::local(&y, &x, &q, 3, 9).is_err());
+        assert!(VariantSummands::from_suffstats(&full, 5, 3).is_err());
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub enum MpcError {
     DealerExhausted { what: &'static str },
     /// A party id outside `0..n_parties`.
     NoSuchParty { id: usize, n_parties: usize },
+    /// A protocol invariant was violated by the caller (e.g. mismatched
+    /// block tag scopes).
+    Protocol { what: &'static str },
     /// The number of parties is unsupported for the operation (e.g. fewer
     /// than two for a multi-party protocol).
     BadPartyCount { n_parties: usize, min: usize },
@@ -119,6 +122,9 @@ impl fmt::Display for MpcError {
             }
             MpcError::NoSuchParty { id, n_parties } => {
                 write!(f, "party id {id} out of range for {n_parties} parties")
+            }
+            MpcError::Protocol { what } => {
+                write!(f, "protocol invariant violated: {what}")
             }
             MpcError::BadPartyCount { n_parties, min } => {
                 write!(f, "{n_parties} parties unsupported; need at least {min}")

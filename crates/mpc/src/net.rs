@@ -36,6 +36,25 @@ pub const HEADER_BYTES: u64 = 20;
 /// trip it, finite so nothing blocks forever.
 pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(60);
 
+/// First tag of the block-scoped tag range. Tags below this value belong
+/// to the ordinary lockstep counter (see [`PartyCtx::fresh_tag`]); tags at
+/// or above it are attributed to a variant block by [`block_of_tag`], so
+/// the shared [`NetworkStats`] can account traffic per block even though
+/// parties enter blocks at different wall-clock times.
+pub const BLOCK_TAG_BASE: u32 = 1 << 20;
+
+/// Tags reserved per block: block `b` owns
+/// `[BLOCK_TAG_BASE + b·STRIDE, BLOCK_TAG_BASE + (b+1)·STRIDE)`.
+pub const BLOCK_TAG_STRIDE: u32 = 1 << 10;
+
+/// Largest block id representable in the tag range.
+pub const MAX_BLOCK_ID: u32 = (u32::MAX - BLOCK_TAG_BASE) / BLOCK_TAG_STRIDE - 1;
+
+/// The block id a tag is scoped to, or `None` for ordinary tags.
+pub fn block_of_tag(tag: u32) -> Option<u32> {
+    (tag >= BLOCK_TAG_BASE).then(|| (tag - BLOCK_TAG_BASE) / BLOCK_TAG_STRIDE)
+}
+
 /// A framed protocol message.
 #[derive(Debug, Clone)]
 pub struct Message {
@@ -56,6 +75,10 @@ pub struct NetworkStats {
     msgs: Vec<AtomicU64>,
     retries: Vec<AtomicU64>,
     timeouts: Vec<AtomicU64>,
+    /// Per-block (bytes, messages), keyed by block id (tag-derived).
+    block_traffic: Mutex<BTreeMap<u32, (u64, u64)>>,
+    /// Bytes of every message whose tag is outside the block range.
+    unscoped_bytes: AtomicU64,
 }
 
 impl NetworkStats {
@@ -66,14 +89,30 @@ impl NetworkStats {
             msgs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
             retries: (0..n).map(|_| AtomicU64::new(0)).collect(),
             timeouts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            block_traffic: Mutex::new(BTreeMap::new()),
+            unscoped_bytes: AtomicU64::new(0),
         }
     }
 
     #[inline]
-    fn record(&self, from: usize, to: usize, payload_len: usize) {
+    fn record(&self, from: usize, to: usize, tag: u32, payload_len: usize) {
         let idx = from * self.n + to;
-        self.bytes[idx].fetch_add(HEADER_BYTES + payload_len as u64, Ordering::Relaxed);
+        let nbytes = HEADER_BYTES + payload_len as u64;
+        self.bytes[idx].fetch_add(nbytes, Ordering::Relaxed);
         self.msgs[idx].fetch_add(1, Ordering::Relaxed);
+        // Attribution by tag is race-free even though parties sit in
+        // different blocks at any instant: the sender stamped the tag.
+        match block_of_tag(tag) {
+            Some(b) => {
+                let mut map = self.block_traffic.lock();
+                let e = map.entry(b).or_insert((0, 0));
+                e.0 += nbytes;
+                e.1 += 1;
+            }
+            None => {
+                self.unscoped_bytes.fetch_add(nbytes, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Counts one send retry performed by `party`.
@@ -153,6 +192,26 @@ impl NetworkStats {
             .unwrap_or(0)
     }
 
+    /// Per-block `(block id, bytes, messages)` in block order, for
+    /// traffic recorded under block-scoped tags (see [`block_of_tag`]).
+    pub fn per_block_traffic(&self) -> Vec<(u32, u64, u64)> {
+        self.block_traffic
+            .lock()
+            .iter()
+            .map(|(&b, &(bytes, msgs))| (b, bytes, msgs))
+            .collect()
+    }
+
+    /// Total bytes recorded under block-scoped tags.
+    pub fn block_bytes_total(&self) -> u64 {
+        self.block_traffic.lock().values().map(|&(b, _)| b).sum()
+    }
+
+    /// Total bytes recorded under ordinary (non-block) tags.
+    pub fn unscoped_bytes(&self) -> u64 {
+        self.unscoped_bytes.load(Ordering::Relaxed)
+    }
+
     /// Resets all counters (between experiment repetitions).
     pub fn reset(&self) {
         for b in &self.bytes {
@@ -167,6 +226,8 @@ impl NetworkStats {
         for t in &self.timeouts {
             t.store(0, Ordering::Relaxed);
         }
+        self.block_traffic.lock().clear();
+        self.unscoped_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -301,7 +362,7 @@ impl Endpoint {
                     id: to,
                     n_parties: self.n,
                 })?;
-        self.stats.record(self.id, to, msg.payload.len());
+        self.stats.record(self.id, to, msg.tag, msg.payload.len());
         sender
             .send(msg)
             .map_err(|_| MpcError::ChannelClosed { peer: to })
@@ -839,6 +900,42 @@ mod tests {
         let wan_expect =
             2.0 * wan.latency_s + (3 * HEADER_BYTES) as f64 / wan.bandwidth_bytes_per_s;
         assert!((wan.estimate_seconds(&stats) - wan_expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_tag_attribution() {
+        assert_eq!(block_of_tag(0), None);
+        assert_eq!(block_of_tag(1000), None);
+        assert_eq!(block_of_tag(BLOCK_TAG_BASE - 1), None);
+        assert_eq!(block_of_tag(BLOCK_TAG_BASE), Some(0));
+        assert_eq!(block_of_tag(BLOCK_TAG_BASE + BLOCK_TAG_STRIDE - 1), Some(0));
+        assert_eq!(
+            block_of_tag(BLOCK_TAG_BASE + 3 * BLOCK_TAG_STRIDE + 7),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn per_block_counters_sum_to_total() {
+        let (eps, stats) = Network::endpoints(2).unwrap();
+        eps[0].send_words(1, 5, &[1, 2]).unwrap();
+        eps[0].send_words(1, BLOCK_TAG_BASE + 1, &[0; 4]).unwrap();
+        eps[1]
+            .send_words(0, BLOCK_TAG_BASE + BLOCK_TAG_STRIDE + 2, &[0; 3])
+            .unwrap();
+        let blocks = stats.per_block_traffic();
+        assert_eq!(
+            blocks,
+            vec![(0, HEADER_BYTES + 32, 1), (1, HEADER_BYTES + 24, 1)]
+        );
+        assert_eq!(stats.unscoped_bytes(), HEADER_BYTES + 16);
+        assert_eq!(
+            stats.block_bytes_total() + stats.unscoped_bytes(),
+            stats.total_bytes()
+        );
+        stats.reset();
+        assert!(stats.per_block_traffic().is_empty());
+        assert_eq!(stats.unscoped_bytes(), 0);
     }
 
     #[test]

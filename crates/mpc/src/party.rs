@@ -12,7 +12,7 @@
 use crate::audit::DisclosureLog;
 use crate::error::MpcError;
 use crate::field::F61;
-use crate::net::Endpoint;
+use crate::net::{Endpoint, BLOCK_TAG_BASE, BLOCK_TAG_STRIDE, MAX_BLOCK_ID};
 use crate::prg::Prg;
 use crate::ring::R64;
 use crate::transport::{Transport, TransportConfig};
@@ -26,6 +26,8 @@ pub struct PartyCtx {
     pair_prgs: Vec<Option<Prg>>,
     audit: DisclosureLog,
     tag_counter: u32,
+    /// Ordinary counter value saved while inside a block tag scope.
+    saved_tag: Option<u32>,
 }
 
 impl PartyCtx {
@@ -69,6 +71,7 @@ impl PartyCtx {
             pair_prgs,
             audit,
             tag_counter: 1000,
+            saved_tag: None,
         }
     }
 
@@ -145,6 +148,42 @@ impl PartyCtx {
     pub fn fresh_tag(&mut self) -> u32 {
         self.tag_counter += 1;
         self.tag_counter
+    }
+
+    /// Enters block `b`'s tag scope: subsequent [`PartyCtx::fresh_tag`]
+    /// calls draw from the block's reserved range, so the shared
+    /// [`crate::net::NetworkStats`] attributes the traffic to the block.
+    /// Scopes do not nest; each block must be exited before the next is
+    /// entered, and blocks must be entered in the same order by all
+    /// parties (SPMD, like tags themselves).
+    pub fn enter_block(&mut self, block: u32) -> Result<(), MpcError> {
+        if self.saved_tag.is_some() {
+            return Err(MpcError::Protocol {
+                what: "enter_block while already inside a block tag scope",
+            });
+        }
+        if block > MAX_BLOCK_ID {
+            return Err(MpcError::Protocol {
+                what: "block id exceeds the tag range (MAX_BLOCK_ID)",
+            });
+        }
+        self.saved_tag = Some(self.tag_counter);
+        self.tag_counter = BLOCK_TAG_BASE + block * BLOCK_TAG_STRIDE;
+        Ok(())
+    }
+
+    /// Leaves the current block tag scope, restoring the ordinary
+    /// lockstep counter.
+    pub fn exit_block(&mut self) -> Result<(), MpcError> {
+        match self.saved_tag.take() {
+            Some(t) => {
+                self.tag_counter = t;
+                Ok(())
+            }
+            None => Err(MpcError::Protocol {
+                what: "exit_block without a matching enter_block",
+            }),
+        }
     }
 
     // ---- typed send/recv helpers -------------------------------------
@@ -307,6 +346,25 @@ mod tests {
         let tags = Network::run_parties(3, 1, |ctx| (ctx.fresh_tag(), ctx.fresh_tag()));
         assert!(tags.iter().all(|&t| t == tags[0]));
         assert_ne!(tags[0].0, tags[0].1);
+    }
+
+    #[test]
+    fn block_tag_scope_save_restore() {
+        Network::run_parties(2, 1, |ctx| {
+            let before = ctx.fresh_tag();
+            ctx.enter_block(2).unwrap();
+            let inside = ctx.fresh_tag();
+            assert_eq!(inside, BLOCK_TAG_BASE + 2 * BLOCK_TAG_STRIDE + 1);
+            // Scopes do not nest.
+            assert!(ctx.enter_block(3).is_err());
+            ctx.exit_block().unwrap();
+            // The ordinary counter resumes where it left off.
+            assert_eq!(ctx.fresh_tag(), before + 1);
+            // Unbalanced exits are rejected.
+            assert!(ctx.exit_block().is_err());
+            // Block ids beyond the tag range are rejected.
+            assert!(ctx.enter_block(MAX_BLOCK_ID + 1).is_err());
+        });
     }
 
     #[test]

@@ -15,6 +15,19 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// Like [`ProptestConfig::with_cases`], but an environment variable
+    /// named `var` overrides the count at runtime — how CI bounds an
+    /// expensive property without a separate test body. Unset, empty, or
+    /// unparsable values fall back to `cases`; an explicit `0` is clamped
+    /// to 1 so the property still executes.
+    pub fn with_cases_env(cases: u32, var: &str) -> Self {
+        let cases = std::env::var(var)
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .map_or(cases, |v| v.max(1));
+        ProptestConfig { cases }
+    }
 }
 
 impl Default for ProptestConfig {
@@ -72,6 +85,21 @@ impl TestRng {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cases_env_override() {
+        // Process-wide env mutation: use a variable unique to this test.
+        const VAR: &str = "DASH_PROPTEST_CASES_ENV_TEST";
+        std::env::remove_var(VAR);
+        assert_eq!(ProptestConfig::with_cases_env(9, VAR).cases, 9);
+        std::env::set_var(VAR, "3");
+        assert_eq!(ProptestConfig::with_cases_env(9, VAR).cases, 3);
+        std::env::set_var(VAR, "0");
+        assert_eq!(ProptestConfig::with_cases_env(9, VAR).cases, 1);
+        std::env::set_var(VAR, "not a number");
+        assert_eq!(ProptestConfig::with_cases_env(9, VAR).cases, 9);
+        std::env::remove_var(VAR);
+    }
 
     #[test]
     fn reproducible_and_distinct() {

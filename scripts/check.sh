@@ -15,10 +15,17 @@ cargo fmt --all --check
 echo "== tests"
 cargo test --workspace --release
 
+echo "== blocked-vs-monolithic bit-identity property (bounded case count)"
+# The blocked secure pipeline must be bit-identical to the monolithic
+# path; DASH_BLOCKED_CASES bounds the randomized sweep so CI stays fast
+# (raise it locally for a deeper search). The run also exercises the
+# debug assertion that per-block traffic counters partition the total.
+DASH_BLOCKED_CASES=16 cargo test -p dash-core --test blocked_secure
+
 echo "== docs"
 cargo doc --workspace --no-deps
 
-echo "== experiments (E1..E11)"
+echo "== experiments (E1..E12)"
 cargo run --release -p dash-bench --bin run_all
 
 echo "== done"
