@@ -1,0 +1,437 @@
+//! Checked-in suppression baseline.
+//!
+//! The baseline grandfathers pre-existing findings (today: the
+//! `secure-indexing` warn sites) so the gate can be deny-by-default for
+//! new code without a flag day. Entries are keyed by a *fingerprint* —
+//! a stable hash of lint, file, enclosing function, and the normalized
+//! source line — so reformatting or moving a line within its function
+//! does not invalidate the suppression, while any semantic change does.
+//!
+//! The file format is a small, stable JSON document read and written by
+//! the hand-rolled parser below (no serde, per the vendored-shim policy).
+
+use crate::Finding;
+use std::fmt::Write as _;
+
+/// One suppression entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    pub lint: String,
+    pub file: String,
+    pub function: String,
+    pub fingerprint: String,
+    pub reason: String,
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// FNV-1a 64-bit over `lint|file|function|normalized-snippet`, rendered
+/// as 16 hex digits. Line numbers are deliberately excluded so unrelated
+/// edits above a site do not churn the baseline.
+pub fn fingerprint(f: &Finding) -> String {
+    let norm: String = f.snippet.split_whitespace().collect::<Vec<_>>().join(" ");
+    let key = format!("{}|{}|{}|{}", f.lint, f.file, f.function, norm);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+impl Baseline {
+    /// Whether `f` is suppressed by this baseline.
+    pub fn suppresses(&self, f: &Finding) -> bool {
+        let fp = fingerprint(f);
+        self.entries.iter().any(|e| e.fingerprint == fp)
+    }
+
+    /// Fingerprints present in the baseline but matching none of
+    /// `findings` — stale entries that should be pruned.
+    pub fn unused<'a>(&'a self, findings: &[Finding]) -> Vec<&'a BaselineEntry> {
+        let live: Vec<String> = findings.iter().map(fingerprint).collect();
+        self.entries
+            .iter()
+            .filter(|e| !live.contains(&e.fingerprint))
+            .collect()
+    }
+
+    /// Builds a baseline suppressing all of `findings`, carrying over
+    /// reasons from `prev` where fingerprints match.
+    pub fn from_findings(findings: &[Finding], prev: &Baseline, default_reason: &str) -> Baseline {
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        for f in findings {
+            let fp = fingerprint(f);
+            if entries.iter().any(|e| e.fingerprint == fp) {
+                continue;
+            }
+            let reason = prev
+                .entries
+                .iter()
+                .find(|e| e.fingerprint == fp)
+                .map(|e| e.reason.clone())
+                .unwrap_or_else(|| default_reason.to_string());
+            entries.push(BaselineEntry {
+                lint: f.lint.to_string(),
+                file: f.file.clone(),
+                function: f.function.clone(),
+                fingerprint: fp,
+                reason,
+            });
+        }
+        entries.sort_by(|a, b| {
+            (&a.lint, &a.file, &a.function, &a.fingerprint).cmp(&(
+                &b.lint,
+                &b.file,
+                &b.function,
+                &b.fingerprint,
+            ))
+        });
+        Baseline { entries }
+    }
+
+    /// Serializes to the checked-in JSON format (stable ordering, one
+    /// entry per line group, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\n      \"lint\": {},\n      \"file\": {},\n      \"function\": {},\n      \"fingerprint\": {},\n      \"reason\": {}\n    }}",
+                json_str(&e.lint),
+                json_str(&e.file),
+                json_str(&e.function),
+                json_str(&e.fingerprint),
+                json_str(&e.reason)
+            );
+        }
+        if !self.entries.is_empty() {
+            s.push('\n');
+            s.push_str("  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parses the baseline JSON; `Err` carries a human-readable reason.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let v = parse_json(src)?;
+        let obj = v.as_obj().ok_or("baseline root must be an object")?;
+        let list = obj
+            .iter()
+            .find(|(k, _)| k == "findings")
+            .and_then(|(_, v)| v.as_arr())
+            .ok_or("baseline must contain a \"findings\" array")?;
+        let mut entries = Vec::new();
+        for item in list {
+            let o = item
+                .as_obj()
+                .ok_or("each baseline finding must be an object")?;
+            let get = |k: &str| -> String {
+                o.iter()
+                    .find(|(n, _)| n == k)
+                    .and_then(|(_, v)| v.as_str())
+                    .unwrap_or_default()
+                    .to_string()
+            };
+            let e = BaselineEntry {
+                lint: get("lint"),
+                file: get("file"),
+                function: get("function"),
+                fingerprint: get("fingerprint"),
+                reason: get("reason"),
+            };
+            if e.fingerprint.is_empty() {
+                return Err("baseline entry missing \"fingerprint\"".to_string());
+            }
+            entries.push(e);
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+/// JSON string literal with escaping.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value for the baseline format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed).
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let v = parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing garbage at byte {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && b[*i].is_ascii_whitespace() {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => {
+            *i += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, i);
+                let k = parse_string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {i}"));
+                }
+                *i += 1;
+                let v = parse_value(b, i)?;
+                fields.push((k, v));
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, i)?)),
+        Some(b't') if b[*i..].starts_with(b"true") => {
+            *i += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*i..].starts_with(b"false") => {
+            *i += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*i..].starts_with(b"null") => {
+            *i += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *i;
+            *i += 1;
+            while *i < b.len()
+                && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                *i += 1;
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        _ => Err(format!("unexpected byte at {i}")),
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}"));
+    }
+    *i += 1;
+    let mut out = String::new();
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| format!("bad \\u escape at byte {i}"))?;
+                        out.push(hex);
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+                *i += 1;
+            }
+            c => {
+                // Multi-byte UTF-8: copy the full char.
+                let s = std::str::from_utf8(&b[*i..])
+                    .map_err(|_| format!("invalid utf-8 at byte {i}"))?;
+                let ch = s.chars().next().ok_or("empty string tail")?;
+                out.push(ch);
+                *i += ch.len_utf8();
+                let _ = c;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(lint: &'static str, file: &str, func: &str, snippet: &str) -> Finding {
+        Finding {
+            lint,
+            file: file.to_string(),
+            line: 10,
+            function: func.to_string(),
+            message: "m".to_string(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_stable_under_whitespace_and_line_moves() {
+        let a = f("panic-free", "a.rs", "g", "v.unwrap()");
+        let mut b = a.clone();
+        b.line = 99;
+        b.snippet = "  v.unwrap()  ".to_string();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = f("panic-free", "a.rs", "h", "v.unwrap()");
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn roundtrip_and_suppression() {
+        let findings = vec![
+            f("secure-indexing", "crates/mpc/src/net.rs", "recv", "buf[i]"),
+            f("secure-indexing", "crates/mpc/src/net.rs", "send", "q[j]"),
+        ];
+        let base = Baseline::from_findings(&findings, &Baseline::default(), "grandfathered");
+        let json = base.to_json();
+        let back = Baseline::parse(&json).unwrap();
+        assert_eq!(back.entries.len(), 2);
+        assert!(back.suppresses(&findings[0]));
+        assert!(back.suppresses(&findings[1]));
+        let novel = f(
+            "secure-indexing",
+            "crates/mpc/src/net.rs",
+            "recv",
+            "other[k]",
+        );
+        assert!(!back.suppresses(&novel));
+        assert_eq!(back.unused(&findings).len(), 0);
+        assert_eq!(back.unused(&findings[..1]).len(), 1);
+    }
+
+    #[test]
+    fn reasons_survive_regeneration() {
+        let findings = vec![f("panic-free", "x.rs", "g", "a.unwrap()")];
+        let mut prev = Baseline::from_findings(&findings, &Baseline::default(), "old reason");
+        prev.entries[0].reason = "documented exception".to_string();
+        let next = Baseline::from_findings(&findings, &prev, "new default");
+        assert_eq!(next.entries[0].reason, "documented exception");
+    }
+
+    #[test]
+    fn json_escapes() {
+        let s = json_str("a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+        let v = parse_json("{\"k\": \"a\\\"b\\\\c\\nd\", \"n\": [1, 2.5], \"t\": true}").unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj[0].1.as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(Baseline::parse("{").is_err());
+        assert!(Baseline::parse("{\"findings\": [{}]}").is_err());
+        assert!(Baseline::parse("[]").is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! `dash-analyze`: a dependency-free static analyzer for the DASH
+//! workspace, enforcing the protocol invariants that the type system
+//! cannot express:
+//!
+//! - **disclosure-completeness** — every call to an opening primitive
+//!   (`all_gather*`, `broadcast*`, `exchange_sum*`, `open_*`) must be
+//!   accounted to the [`DisclosureLog`] in the same function, so the
+//!   leakage ladder measured by the experiments stays honest.
+//! - **tag-range** — the message-tag registry in `dash_mpc::tags` must be
+//!   pairwise disjoint, exhaustively named, and cover the whole `u32`
+//!   space; tag constants may not be declared anywhere else.
+//! - **panic-free** — `unwrap`/`expect`/`panic!`-family macros are denied
+//!   in the secure crates' non-test code: a party that panics mid-round
+//!   deadlocks or crashes everyone else.
+//! - **secret-taint** — share/mask/triple types must not derive `Debug`,
+//!   flow into print macros, or appear in formatting/assertions outside
+//!   `#[cfg(test)]`.
+//! - **secure-indexing** — direct `x[i]` indexing in secure code (warn;
+//!   pre-existing sites are grandfathered in the baseline and burned down
+//!   over time).
+//!
+//! The analyzer is self-contained by design: a hand-rolled lexer and JSON
+//! reader/writer, no registry access, consistent with the workspace's
+//! vendored-shim policy. Findings are suppressed either by an inline
+//! pragma —
+//!
+//! ```text
+//! // dash-analyze::allow(<lint>): <reason>
+//! ```
+//!
+//! — which applies to the enclosing (or immediately following) function,
+//! or by an entry in the checked-in baseline file.
+//!
+//! [`DisclosureLog`]: ../dash_mpc/audit/struct.DisclosureLog.html
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+pub mod model;
+pub mod report;
+pub mod tags_check;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Names of every lint, in report order.
+pub const LINTS: [&str; 5] = [
+    "disclosure-completeness",
+    "tag-range",
+    "panic-free",
+    "secret-taint",
+    "secure-indexing",
+];
+
+/// Severity of a lint or finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Allow,
+    Warn,
+    Deny,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Allow => "allow",
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        }
+    }
+}
+
+/// Default level of each lint before CLI overrides.
+pub fn default_level(lint: &str) -> Level {
+    if lint == "secure-indexing" {
+        Level::Warn
+    } else {
+        Level::Deny
+    }
+}
+
+/// One raw finding (before level resolution and baseline suppression).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    pub lint: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Enclosing function, or `""` for item-level findings.
+    pub function: String,
+    pub message: String,
+    /// Trimmed source line, used for fingerprinting.
+    pub snippet: String,
+}
+
+/// Whether a repo-relative path is in the secure scope the deny lints
+/// cover.
+pub fn in_scope(rel: &str) -> bool {
+    rel.contains("crates/mpc/src") || rel.contains("crates/core/src/secure")
+}
+
+/// Analyzes one file's source. `scoped` selects whether the secure-code
+/// lints apply; the tag-registry consistency check additionally runs when
+/// `rel` is the registry module itself.
+pub fn analyze_source(rel: &str, src: &str, scoped: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if scoped {
+        let m = model::FileModel::parse(rel, src);
+        findings.extend(lints::run_all(&m));
+    }
+    if rel.ends_with("crates/mpc/src/tags.rs") || rel == "crates/mpc/src/tags.rs" {
+        findings.extend(tags_check::check_tags_source(rel, src));
+    }
+    findings
+}
+
+/// Walks the workspace under `root` and analyzes every `.rs` file beneath
+/// each crate's `src/` (plus the root package's `src/`, if any).
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut saw_registry = false;
+    for path in files {
+        let rel = rel_path(root, &path);
+        let src = fs::read_to_string(&path)?;
+        if rel.ends_with("crates/mpc/src/tags.rs") {
+            saw_registry = true;
+        }
+        findings.extend(analyze_source(&rel, &src, in_scope(&rel)));
+    }
+    if !saw_registry {
+        findings.push(Finding {
+            lint: "tag-range",
+            file: "crates/mpc/src/tags.rs".to_string(),
+            line: 1,
+            function: String::new(),
+            message: "tag registry module is missing: crates/mpc/src/tags.rs must exist and \
+                      define REGISTRY"
+                .to_string(),
+            snippet: String::new(),
+        });
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with forward slashes (stable across platforms for
+/// baselines and reports).
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_covers_secure_dirs_only() {
+        assert!(in_scope("crates/mpc/src/net.rs"));
+        assert!(in_scope("crates/core/src/secure/aggregate.rs"));
+        assert!(!in_scope("crates/core/src/scan/parallel.rs"));
+        assert!(!in_scope("crates/linalg/src/lib.rs"));
+        assert!(!in_scope("crates/mpc/tests/props.rs"));
+    }
+
+    #[test]
+    fn default_levels() {
+        assert_eq!(default_level("panic-free"), Level::Deny);
+        assert_eq!(default_level("secure-indexing"), Level::Warn);
+    }
+
+    #[test]
+    fn unscoped_source_yields_nothing() {
+        let src = "fn f(v: Vec<u32>) -> u32 { v[0] }";
+        assert!(analyze_source("crates/linalg/src/x.rs", src, false).is_empty());
+    }
+}

@@ -1,0 +1,563 @@
+//! The token-level lint passes.
+//!
+//! Each lint walks the comment-free token stream of one [`FileModel`],
+//! skipping test code, and honours inline
+//! `// dash-analyze::allow(<lint>): …` pragmas (function scope).
+
+use crate::lexer::{Tok, TokKind};
+use crate::model::FileModel;
+use crate::Finding;
+
+/// Identifier prefixes that open values to other parties. A function
+/// whose own name starts with one of these is the primitive layer itself
+/// and is exempt from disclosure-completeness.
+const OPENING_PREFIXES: [&str; 4] = ["all_gather", "broadcast", "exchange_sum", "open_"];
+
+/// Idents that record into the [`DisclosureLog`].
+///
+/// [`DisclosureLog`]: ../../dash_mpc/audit/struct.DisclosureLog.html
+const RECORDERS: [&str; 2] = ["record_aggregate", "record_party"];
+
+/// Runs every secure-scope lint over one file.
+pub fn run_all(m: &FileModel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    disclosure_completeness(m, &mut out);
+    panic_free(m, &mut out);
+    secure_indexing(m, &mut out);
+    secret_taint(m, &mut out);
+    stray_tag_consts(m, &mut out);
+    out
+}
+
+fn finding(m: &FileModel, lint: &'static str, idx: usize, message: String) -> Finding {
+    let line = m.code.get(idx).map_or(0, |t| t.line);
+    Finding {
+        lint,
+        file: m.rel.clone(),
+        line,
+        function: m
+            .enclosing_fn(idx)
+            .map(|f| f.name.clone())
+            .unwrap_or_default(),
+        message,
+        snippet: m.line_text(line).to_string(),
+    }
+}
+
+/// Index (in the code view) of the token matching the opener at `open`.
+/// `open`/`close` are single punctuation chars. Returns the last token on
+/// unbalanced input (the lints must not panic).
+fn matching(code: &[Tok], open: usize, oc: char, cc: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < code.len() {
+        if code[i].is_punct(oc) {
+            depth += 1;
+        } else if code[i].is_punct(cc) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Lint 1: every opening-primitive call must be accounted to the
+/// disclosure log within the same function — either directly
+/// (`record_aggregate`/`record_party` reachable in the body), through the
+/// primitive itself (`open_field(.., Some(label))` records internally),
+/// or via an explicit pragma for the by-design cases (uniform masked
+/// differences).
+fn disclosure_completeness(m: &FileModel, out: &mut Vec<Finding>) {
+    const LINT: &str = "disclosure-completeness";
+    for f in &m.fns {
+        if f.is_test {
+            continue;
+        }
+        if OPENING_PREFIXES.iter().any(|p| f.name.starts_with(p)) {
+            continue; // the primitive layer itself
+        }
+        let body = &m.code[f.body_start..=f.body_end.min(m.code.len() - 1)];
+        let records = body
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && RECORDERS.contains(&t.text.as_str()));
+        for (k, t) in body.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let is_open = OPENING_PREFIXES.iter().any(|p| t.text.starts_with(p));
+            if !is_open || !body.get(k + 1).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            // `open_*` primitives record internally when handed a label.
+            if t.text.starts_with("open_") {
+                let close = matching(body, k + 1, '(', ')');
+                let labelled = body[k + 1..=close].iter().any(|a| a.is_ident("Some"));
+                if labelled {
+                    continue;
+                }
+            }
+            if records {
+                continue;
+            }
+            let idx = f.body_start + k;
+            if m.allowed(LINT, idx) {
+                continue;
+            }
+            out.push(finding(
+                m,
+                LINT,
+                idx,
+                format!(
+                    "`{}` opens values to other parties but `{}` has no reachable \
+                     DisclosureLog::record_* call (and no recording label); every opening \
+                     must be accounted or pragma-allowed with a justification",
+                    t.text, f.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Lint 3: no panicking constructs in secure non-test code.
+fn panic_free(m: &FileModel, out: &mut Vec<Finding>) {
+    const LINT: &str = "panic-free";
+    const METHODS: [&str; 2] = ["unwrap", "expect"];
+    const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+    for (i, t) in m.code.iter().enumerate() {
+        if t.kind != TokKind::Ident || m.in_test(i) {
+            continue;
+        }
+        let what = if METHODS.contains(&t.text.as_str())
+            && i > 0
+            && m.code[i - 1].is_punct('.')
+            && m.code.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            format!(".{}() panics on the error path", t.text)
+        } else if MACROS.contains(&t.text.as_str())
+            && m.code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            format!("{}! aborts the party mid-protocol", t.text)
+        } else {
+            continue;
+        };
+        if m.allowed(LINT, i) {
+            continue;
+        }
+        out.push(finding(
+            m,
+            LINT,
+            i,
+            format!(
+                "{what}; a panicking party deadlocks or crashes the other parties — return a \
+                 structured MpcError/CoreError instead"
+            ),
+        ));
+    }
+}
+
+/// Lint 5 (warn): direct `x[i]` indexing. Range slicing (`x[a..b]`),
+/// attributes (`#[…]`) and macro brackets (`vec![…]`) are not flagged.
+fn secure_indexing(m: &FileModel, out: &mut Vec<Finding>) {
+    const LINT: &str = "secure-indexing";
+    for (i, t) in m.code.iter().enumerate() {
+        if !t.is_punct('[') || i == 0 || m.in_test(i) {
+            continue;
+        }
+        let prev = &m.code[i - 1];
+        let indexes_value = prev.kind == TokKind::Ident && !is_keyword(&prev.text)
+            || prev.is_punct(']')
+            || prev.is_punct(')');
+        if !indexes_value {
+            continue;
+        }
+        // A top-level `..` inside the brackets is a range slice: the
+        // result is a slice, and slicing is handled by length checks at
+        // the call sites (and still bounds-checked by the runtime).
+        let close = matching(&m.code, i, '[', ']');
+        let mut depth = 0usize;
+        let mut is_range = false;
+        let mut j = i;
+        while j < close {
+            let a = &m.code[j];
+            if a.is_punct('[') || a.is_punct('(') {
+                depth += 1;
+            } else if a.is_punct(']') || a.is_punct(')') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 1
+                && a.is_punct('.')
+                && m.code.get(j + 1).is_some_and(|n| n.is_punct('.'))
+            {
+                is_range = true;
+                break;
+            }
+            j += 1;
+        }
+        if is_range || m.allowed(LINT, i) {
+            continue;
+        }
+        out.push(finding(
+            m,
+            LINT,
+            i,
+            "direct indexing panics on out-of-range; prefer .get()/iterators or slice \
+             patterns in secure code"
+                .to_string(),
+        ));
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "match"
+            | "return"
+            | "in"
+            | "as"
+            | "mut"
+            | "let"
+            | "move"
+            | "break"
+            | "continue"
+            | "while"
+            | "for"
+            | "loop"
+            | "impl"
+            | "dyn"
+            | "where"
+            | "fn"
+            | "use"
+            | "pub"
+            | "const"
+            | "static"
+            | "type"
+            | "struct"
+            | "enum"
+            | "mod"
+            | "ref"
+    )
+}
+
+/// Whether an identifier names secret share/mask material.
+fn secret_ident(s: &str) -> bool {
+    let l = s.to_ascii_lowercase();
+    l == "prg"
+        || [
+            "share", "shares", "mask", "masks", "secret", "secrets", "triple", "triples",
+        ]
+        .iter()
+        .any(|suf| l.ends_with(suf))
+}
+
+/// Lint 4: secret material must not flow into Debug/Display formatting.
+///
+/// Three shapes:
+/// - `#[derive(Debug)]` on a *leaf* secret type (type name matching
+///   triple/share/mask/prg, or a field named like share/mask/secret) —
+///   leaf types must hand-write a redacting `Debug` impl; containers may
+///   keep derived `Debug` because their leaf fields print redacted.
+/// - `println!`-family / `dbg!` anywhere in secure non-test code.
+/// - formatting/assert macros whose arguments mention a secret-named
+///   identifier outside `#[cfg(test)]`.
+fn secret_taint(m: &FileModel, out: &mut Vec<Finding>) {
+    const LINT: &str = "secret-taint";
+    const PRINTS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+    const FORMATTERS: [&str; 9] = [
+        "format",
+        "write",
+        "writeln",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+        "debug_assert",
+        "debug_assert_eq",
+        "debug_assert_ne",
+    ];
+
+    let mut i = 0;
+    while i < m.code.len() {
+        let t = &m.code[i];
+        // Shape 1: #[derive(.., Debug, ..)] on a leaf secret type.
+        if t.is_punct('#')
+            && m.code.get(i + 1).is_some_and(|n| n.is_punct('['))
+            && m.code.get(i + 2).is_some_and(|n| n.is_ident("derive"))
+            && !m.in_test(i)
+        {
+            let attr_close = matching(&m.code, i + 1, '[', ']');
+            let derives_debug = m.code[i + 2..=attr_close]
+                .iter()
+                .any(|a| a.is_ident("Debug"));
+            if derives_debug {
+                if let Some(f) = leaf_secret_type(m, attr_close + 1) {
+                    if !m.allowed(LINT, f.0) {
+                        out.push(finding(
+                            m,
+                            LINT,
+                            f.0,
+                            format!(
+                                "`{}` holds secret share/mask material; derive(Debug) would \
+                                 print it — hand-write a redacting Debug impl instead",
+                                f.1
+                            ),
+                        ));
+                    }
+                }
+            }
+            i = attr_close + 1;
+            continue;
+        }
+        // Shapes 2 and 3: macro invocations.
+        if t.kind == TokKind::Ident && m.code.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            let name = t.text.as_str();
+            if !m.in_test(i) && !m.allowed(LINT, i) {
+                if PRINTS.contains(&name) {
+                    out.push(finding(
+                        m,
+                        LINT,
+                        i,
+                        format!(
+                            "{name}! in secure code can leak protocol state to stdout/stderr; \
+                             route observability through the DisclosureLog or tracing in \
+                             non-secure layers"
+                        ),
+                    ));
+                } else if FORMATTERS.contains(&name) {
+                    if let Some(open) = (i + 2..m.code.len().min(i + 4))
+                        .find(|&k| m.code[k].is_punct('(') || m.code[k].is_punct('['))
+                    {
+                        let (oc, cc) = if m.code[open].is_punct('(') {
+                            ('(', ')')
+                        } else {
+                            ('[', ']')
+                        };
+                        let close = matching(&m.code, open, oc, cc);
+                        if let Some(bad) = m.code[open..=close]
+                            .iter()
+                            .find(|a| a.kind == TokKind::Ident && secret_ident(&a.text))
+                        {
+                            out.push(finding(
+                                m,
+                                LINT,
+                                i,
+                                format!(
+                                    "{name}! formats `{}`, which names secret share/mask \
+                                     material; secrets must not reach Debug/Display output \
+                                     outside #[cfg(test)]",
+                                    bad.text
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// If the item following token `start` is a struct/enum whose name or
+/// field names mark it as a secret *leaf* type, returns (name token
+/// index, name).
+fn leaf_secret_type(m: &FileModel, start: usize) -> Option<(usize, String)> {
+    // Skip further attributes and visibility to the struct/enum keyword.
+    let mut i = start;
+    while i < m.code.len() {
+        let t = &m.code[i];
+        if t.is_punct('#') && m.code.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            i = matching(&m.code, i + 1, '[', ']') + 1;
+            continue;
+        }
+        if t.is_ident("pub") {
+            // Possible pub(crate).
+            if m.code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                i = matching(&m.code, i + 1, '(', ')') + 1;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if t.is_ident("struct") || t.is_ident("enum") {
+            break;
+        }
+        return None;
+    }
+    let name_tok = m.code.get(i + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    let lname = name.to_ascii_lowercase();
+    let name_secret = ["triple", "share", "mask", "prg"]
+        .iter()
+        .any(|p| lname.contains(p));
+
+    // Field names: idents followed by `:` anywhere in the body braces.
+    let mut field_secret = false;
+    if let Some(open) = (i + 1..m.code.len())
+        .find(|&k| m.code[k].is_punct('{') || m.code[k].is_punct(';') || m.code[k].is_punct('('))
+    {
+        if m.code[open].is_punct('{') {
+            let close = matching(&m.code, open, '{', '}');
+            let mut k = open;
+            while k < close {
+                let a = &m.code[k];
+                if a.kind == TokKind::Ident
+                    && m.code.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                    && !m.code.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    let lf = a.text.to_ascii_lowercase();
+                    if ["share", "mask", "secret"].iter().any(|p| lf.contains(p)) {
+                        field_secret = true;
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+    (name_secret || field_secret).then_some((i + 1, name))
+}
+
+/// Tag-range hygiene: tag constants must live in the registry module
+/// (`crates/mpc/src/tags.rs`), never scattered across the secure crates,
+/// so the disjointness proof actually covers every tag in the workspace.
+fn stray_tag_consts(m: &FileModel, out: &mut Vec<Finding>) {
+    const LINT: &str = "tag-range";
+    if m.rel.ends_with("tags.rs") {
+        return;
+    }
+    for (i, t) in m.code.iter().enumerate() {
+        if !t.is_ident("const") || m.in_test(i) {
+            continue;
+        }
+        let Some(name) = m.code.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokKind::Ident || name.is_ident("fn") {
+            continue;
+        }
+        if name.text.to_ascii_uppercase().contains("TAG")
+            && m.code.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && !m.allowed(LINT, i)
+        {
+            out.push(finding(
+                m,
+                LINT,
+                i + 1,
+                format!(
+                    "tag constant `{}` declared outside the registry; move it into \
+                     dash_mpc::tags so the disjointness check covers it",
+                    name.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        run_all(&FileModel::parse("crates/mpc/src/x.rs", src))
+    }
+
+    fn lints_of(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|x| x.lint).collect()
+    }
+
+    #[test]
+    fn unwrap_in_nontest_flagged_in_test_ok() {
+        let src = r#"
+fn bad(v: Option<u32>) -> u32 { v.unwrap() }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+"#;
+        let f = run(src);
+        assert_eq!(lints_of(&f), vec!["panic-free"]);
+        assert_eq!(f[0].function, "bad");
+    }
+
+    #[test]
+    fn unwrap_or_does_not_trigger() {
+        let f = run("fn ok(v: Option<u32>) -> u32 { v.unwrap_or(0).max(v.unwrap_or_default()) }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panic_macros_flagged_unless_pragma() {
+        let f = run("fn bad() { panic!(\"boom\"); }");
+        assert_eq!(lints_of(&f), vec!["panic-free"]);
+        let f = run(
+            "fn ok() {\n// dash-analyze::allow(panic-free): documented contract\npanic!(\"x\"); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn indexing_flagged_slicing_not() {
+        let f = run("fn a(v: &[u32], i: usize) -> u32 { v[i] }");
+        assert_eq!(lints_of(&f), vec!["secure-indexing"]);
+        let f = run("fn b(v: &[u32]) -> &[u32] { &v[1..3] }");
+        assert!(f.is_empty(), "{f:?}");
+        let f = run("fn c() -> Vec<u32> { vec![1, 2] }");
+        assert!(f.is_empty(), "{f:?}");
+        let f = run("#[derive(Clone)]\nstruct S { a: [u32; 4] }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn disclosure_requires_record_or_label() {
+        let leaky = "fn leaky(ctx: &mut Ctx) { let v = all_gather_f64(ctx, t, &x); }";
+        assert_eq!(lints_of(&run(leaky)), vec!["disclosure-completeness"]);
+        let ok = "fn ok(ctx: &mut Ctx) { ctx.audit().record_aggregate(\"l\", 1); \
+                  let v = all_gather_f64(ctx, t, &x); }";
+        assert!(run(ok).is_empty());
+        let labelled =
+            "fn ok2(ctx: &mut Ctx) { open_field(ctx, &s, Some(\"l\")).unwrap_or_default(); }";
+        assert!(run(labelled).is_empty());
+        let unlabelled = "fn bad2(ctx: &mut Ctx) { open_field(ctx, &s, None).ok(); }";
+        assert_eq!(lints_of(&run(unlabelled)), vec!["disclosure-completeness"]);
+    }
+
+    #[test]
+    fn primitive_layer_itself_exempt() {
+        let src = "fn broadcast_ring(&mut self, tag: u32) { self.send(tag); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn derive_debug_on_leaf_secret_flagged() {
+        let f = run("#[derive(Debug, Clone)]\npub struct BeaverTriple { pub a: F61 }");
+        assert_eq!(lints_of(&f), vec!["secret-taint"]);
+        // Container with an innocuous name and fields: fine.
+        let f = run("#[derive(Debug)]\npub struct Config { pub bits: u32 }");
+        assert!(f.is_empty(), "{f:?}");
+        // Secret-named field marks a leaf even with a neutral type name.
+        let f = run("#[derive(Debug)]\nstruct Buf { mask_words: Vec<u64> }");
+        assert_eq!(lints_of(&f), vec!["secret-taint"]);
+    }
+
+    #[test]
+    fn print_and_secret_formatting_flagged() {
+        let f = run("fn bad(x: u32) { println!(\"{x}\"); }");
+        assert_eq!(lints_of(&f), vec!["secret-taint"]);
+        let f = run("fn bad2(qty_share: &[F61]) { debug_assert_eq!(qty_share.len(), 3); }");
+        assert_eq!(lints_of(&f), vec!["secret-taint"]);
+        let f = run("fn ok(label: &str, n: usize) -> String { format!(\"{label}: {n}\") }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stray_tag_const_flagged() {
+        let f = run("pub const MY_TAG_BASE: u32 = 77;");
+        assert_eq!(lints_of(&f), vec!["tag-range"]);
+        let m = FileModel::parse("crates/mpc/src/tags.rs", "pub const MY_TAG_BASE: u32 = 77;");
+        assert!(run_all(&m).is_empty());
+    }
+}

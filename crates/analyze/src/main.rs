@@ -1,0 +1,159 @@
+//! `dash-analyze` CLI: the workspace invariants gate.
+//!
+//! ```text
+//! dash-analyze [--root <dir>] [--format text|json]
+//!              [--baseline <file>] [--update-baseline]
+//!              [--deny <lint>|all]... [--warn <lint>|all]... [--allow <lint>|all]...
+//! ```
+//!
+//! Exits 0 when no unsuppressed deny-level finding remains, 1 when the
+//! gate fails, 2 on usage or I/O errors.
+
+use dash_analyze::baseline::Baseline;
+use dash_analyze::report::{judge, render_json, render_text, Levels};
+use dash_analyze::{analyze_workspace, Level};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    format: String,
+    baseline_path: PathBuf,
+    update_baseline: bool,
+    levels: Levels,
+}
+
+fn usage() -> String {
+    "usage: dash-analyze [--root <dir>] [--format text|json] [--baseline <file>] \
+     [--update-baseline] [--deny <lint>|all] [--warn <lint>|all] [--allow <lint>|all]"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut levels = Levels::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(take("--root")?)),
+            "--format" => {
+                format = take("--format")?;
+                if format != "text" && format != "json" {
+                    return Err(format!("--format must be text or json\n{}", usage()));
+                }
+            }
+            "--baseline" => baseline_path = Some(PathBuf::from(take("--baseline")?)),
+            "--update-baseline" => update_baseline = true,
+            "--deny" => levels.set(&take("--deny")?, Level::Deny)?,
+            "--warn" => levels.set(&take("--warn")?, Level::Warn)?,
+            "--allow" => levels.set(&take("--allow")?, Level::Allow)?,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => find_root()?,
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("analyze-baseline.json"));
+    Ok(Args {
+        root,
+        format,
+        baseline_path,
+        update_baseline,
+        levels,
+    })
+}
+
+/// Walks up from the current directory to the workspace root (the first
+/// ancestor holding both `Cargo.toml` and `crates/`).
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("could not find the workspace root (Cargo.toml + crates/); \
+                        pass --root"
+                .to_string());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match analyze_workspace(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "dash-analyze: cannot read workspace at {}: {e}",
+                args.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let prev = if args.baseline_path.is_file() {
+        match std::fs::read_to_string(&args.baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| Baseline::parse(&s))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "dash-analyze: bad baseline {}: {e}",
+                    args.baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    if args.update_baseline {
+        let base = Baseline::from_findings(
+            &findings,
+            &prev,
+            "grandfathered pre-existing site; burn down per ROADMAP",
+        );
+        if let Err(e) = std::fs::write(&args.baseline_path, base.to_json()) {
+            eprintln!(
+                "dash-analyze: cannot write {}: {e}",
+                args.baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "dash-analyze: wrote {} entries to {}",
+            base.entries.len(),
+            args.baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome = judge(findings, &args.levels, &prev);
+    if args.format == "json" {
+        print!("{}", render_json(&outcome));
+    } else {
+        print!("{}", render_text(&outcome));
+    }
+    if outcome.blocking > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

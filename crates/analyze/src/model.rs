@@ -1,0 +1,288 @@
+//! File model: function spans, test regions, and suppression pragmas
+//! recovered from the token stream by brace tracking.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A function's span in the token stream (indices into the *code* view,
+/// i.e. the comment-free token list).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Index of the opening `{` in the code view.
+    pub body_start: usize,
+    /// Index of the closing `}` in the code view.
+    pub body_end: usize,
+    pub start_line: usize,
+    pub end_line: usize,
+    /// `#[test]` function or nested inside a `#[cfg(test)]` module.
+    pub is_test: bool,
+}
+
+/// An inline `// dash-analyze::allow(<lint>): reason` suppression.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    pub lint: String,
+    pub line: usize,
+}
+
+/// One analyzed source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Repo-relative path (forward slashes).
+    pub rel: String,
+    /// Comment-free token stream — what the lints scan.
+    pub code: Vec<Tok>,
+    pub fns: Vec<FnSpan>,
+    pub pragmas: Vec<Pragma>,
+    /// Line ranges (inclusive) of `#[cfg(test)]` modules.
+    pub test_mod_lines: Vec<(usize, usize)>,
+    /// Trimmed source lines, for finding snippets (index = line − 1).
+    pub lines: Vec<String>,
+}
+
+impl FileModel {
+    /// Lexes and models `src`.
+    pub fn parse(rel: &str, src: &str) -> FileModel {
+        let all = lex(src);
+        let mut pragmas = Vec::new();
+        for t in &all {
+            if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+                let body = t.text.trim().trim_start_matches('!').trim();
+                if let Some(rest) = body.strip_prefix("dash-analyze::allow(") {
+                    if let Some(end) = rest.find(')') {
+                        pragmas.push(Pragma {
+                            lint: rest[..end].trim().to_string(),
+                            line: t.line,
+                        });
+                    }
+                }
+            }
+        }
+        let code: Vec<Tok> = all
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        let (fns, test_mod_lines) = scan_items(&code);
+        FileModel {
+            rel: rel.to_string(),
+            code,
+            fns,
+            pragmas,
+            test_mod_lines,
+            lines: src.lines().map(|l| l.trim().to_string()).collect(),
+        }
+    }
+
+    /// The trimmed source text of `line` (1-based), for snippets.
+    pub fn line_text(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// The innermost function whose body contains code-token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body_start <= idx && idx <= f.body_end)
+            .min_by_key(|f| f.body_end - f.body_start)
+    }
+
+    /// Whether code-token `idx` is inside test-only code (a `#[test]` fn
+    /// or a `#[cfg(test)]` module).
+    pub fn in_test(&self, idx: usize) -> bool {
+        if self.enclosing_fn(idx).is_some_and(|f| f.is_test) {
+            return true;
+        }
+        let line = self.code.get(idx).map_or(0, |t| t.line);
+        self.test_mod_lines
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Whether a pragma suppresses `lint` for the function around code
+    /// token `idx`. A pragma applies to the function whose line span
+    /// contains it, or — when written above an item — to the first
+    /// function starting after the pragma line.
+    pub fn allowed(&self, lint: &str, idx: usize) -> bool {
+        let Some(f) = self.enclosing_fn(idx) else {
+            // Item-level code: accept a pragma anywhere above it within
+            // the preceding 5 lines.
+            let line = self.code.get(idx).map_or(0, |t| t.line);
+            return self
+                .pragmas
+                .iter()
+                .any(|p| p.lint == lint && p.line <= line && line - p.line <= 5);
+        };
+        self.pragmas.iter().any(|p| {
+            p.lint == lint
+                && ((f.start_line <= p.line && p.line <= f.end_line)
+                    || (p.line < f.start_line
+                        && !self
+                            .fns
+                            .iter()
+                            .any(|g| g.start_line > p.line && g.start_line < f.start_line)))
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Frame {
+    Plain,
+    Fn(usize),
+    TestMod,
+}
+
+/// Single pass over the code tokens: tracks braces, attributes, `fn` and
+/// `mod` items; returns function spans and test-module line ranges.
+fn scan_items(code: &[Tok]) -> (Vec<FnSpan>, Vec<(usize, usize)>) {
+    let mut fns: Vec<FnSpan> = Vec::new();
+    let mut test_mods: Vec<(usize, usize)> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut test_depth = 0usize;
+    let mut attr_is_test = false;
+    let mut pending_fn: Option<(String, usize, bool)> = None;
+    let mut pending_test_mod = false;
+    let mut mod_start_line = 0usize;
+
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_punct('#') && code.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            // Attribute: collect idents to the matching `]`.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut has_test = false;
+            while j < code.len() {
+                let a = &code[j];
+                if a.is_punct('[') {
+                    depth += 1;
+                } else if a.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if a.kind == TokKind::Ident && a.text == "test" {
+                    has_test = true;
+                }
+                j += 1;
+            }
+            attr_is_test |= has_test;
+            i = j + 1;
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident if t.text == "fn" => {
+                if let Some(name) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    pending_fn = Some((name.text.clone(), t.line, attr_is_test || test_depth > 0));
+                }
+                attr_is_test = false;
+            }
+            TokKind::Ident if t.text == "mod" => {
+                pending_test_mod = attr_is_test;
+                mod_start_line = t.line;
+                attr_is_test = false;
+            }
+            TokKind::Punct if t.is_punct(';') => {
+                // Trait method signature or `mod foo;` — no body.
+                pending_fn = None;
+                pending_test_mod = false;
+            }
+            TokKind::Punct if t.is_punct('{') => {
+                if let Some((name, line, is_test)) = pending_fn.take() {
+                    fns.push(FnSpan {
+                        name,
+                        body_start: i,
+                        body_end: code.len().saturating_sub(1),
+                        start_line: line,
+                        end_line: t.line,
+                        is_test,
+                    });
+                    stack.push(Frame::Fn(fns.len() - 1));
+                } else if pending_test_mod {
+                    pending_test_mod = false;
+                    test_depth += 1;
+                    test_mods.push((mod_start_line, usize::MAX));
+                    stack.push(Frame::TestMod);
+                } else {
+                    stack.push(Frame::Plain);
+                }
+            }
+            TokKind::Punct if t.is_punct('}') => match stack.pop() {
+                Some(Frame::Fn(k)) => {
+                    if let Some(f) = fns.get_mut(k) {
+                        f.body_end = i;
+                        f.end_line = t.line;
+                    }
+                }
+                Some(Frame::TestMod) => {
+                    test_depth = test_depth.saturating_sub(1);
+                    if let Some(m) = test_mods.iter_mut().rev().find(|m| m.1 == usize::MAX) {
+                        m.1 = t.line;
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    for m in &mut test_mods {
+        if m.1 == usize::MAX {
+            m.1 = code.last().map_or(m.0, |t| t.line);
+        }
+    }
+    (fns, test_mods)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+// dash-analyze::allow(panic-free): demo pragma above item
+fn top() { inner_call(); }
+
+fn plain(v: Vec<u32>) -> u32 {
+    // dash-analyze::allow(secure-indexing): demo inline
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a_test() { assert!(true); }
+}
+"#;
+
+    #[test]
+    fn functions_and_tests_found() {
+        let m = FileModel::parse("x.rs", SRC);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["top", "plain", "a_test"]);
+        assert!(m.fns[2].is_test);
+        assert!(!m.fns[0].is_test);
+        assert_eq!(m.test_mod_lines.len(), 1);
+    }
+
+    #[test]
+    fn pragmas_resolve_to_functions() {
+        let m = FileModel::parse("x.rs", SRC);
+        let top = m.fns.iter().find(|f| f.name == "top").unwrap();
+        let plain = m.fns.iter().find(|f| f.name == "plain").unwrap();
+        assert!(m.allowed("panic-free", top.body_start + 1));
+        assert!(!m.allowed("panic-free", plain.body_start + 1));
+        assert!(m.allowed("secure-indexing", plain.body_start + 1));
+        assert!(!m.allowed("secure-indexing", top.body_start + 1));
+    }
+
+    #[test]
+    fn in_test_detects_cfg_test_module() {
+        let m = FileModel::parse("x.rs", SRC);
+        let a = m.fns.iter().find(|f| f.name == "a_test").unwrap();
+        assert!(m.in_test(a.body_start + 1));
+        let top = m.fns.iter().find(|f| f.name == "top").unwrap();
+        assert!(!m.in_test(top.body_start + 1));
+    }
+}

@@ -1,0 +1,585 @@
+//! Lint 2: static verification of the message-tag registry.
+//!
+//! Parses `crates/mpc/src/tags.rs` at the token level, evaluates the
+//! `u32` constant expressions (with real Rust operator precedence), and
+//! re-proves what the registry's unit tests assert at runtime: the
+//! [`REGISTRY`] ranges are in ascending order, pairwise disjoint,
+//! contiguous, exhaustively named, and cover `0..=u32::MAX` exactly.
+//!
+//! Duplicating the proof statically matters because the unit test only
+//! runs when `dash-mpc`'s tests run; the analyzer gate re-checks it on
+//! every `scripts/check.sh` invocation, including doc-only changes, and
+//! fails closed when the module can no longer be parsed (an unevaluable
+//! constant is itself a finding).
+//!
+//! [`REGISTRY`]: ../../dash_mpc/tags/constant.REGISTRY.html
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::Finding;
+use std::collections::HashMap;
+
+/// One parsed `TagRange { name, first, last }` literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRange {
+    pub name: String,
+    pub first: u64,
+    pub last: u64,
+    pub line: usize,
+}
+
+/// Checks the registry source; returns findings (empty when sound).
+pub fn check_tags_source(rel: &str, src: &str) -> Vec<Finding> {
+    let toks: Vec<Tok> = lex(src)
+        .into_iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut out = Vec::new();
+    let mk = |line: usize, message: String| Finding {
+        lint: "tag-range",
+        file: rel.to_string(),
+        line,
+        function: String::new(),
+        message,
+        snippet: src
+            .lines()
+            .nth(line.saturating_sub(1))
+            .unwrap_or("")
+            .trim()
+            .to_string(),
+    };
+
+    let env = collect_consts(&toks, &mut out, &mk);
+    let ranges = collect_registry(&toks, &env, &mut out, &mk);
+    let Some(ranges) = ranges else {
+        return out;
+    };
+    if ranges.is_empty() {
+        out.push(mk(1, "REGISTRY has no TagRange entries".to_string()));
+        return out;
+    }
+    // Names: non-empty and unique.
+    for r in &ranges {
+        if r.name.is_empty() {
+            out.push(mk(r.line, "registry range has an empty name".to_string()));
+        }
+        if r.first > r.last {
+            out.push(mk(
+                r.line,
+                format!("range `{}` is inverted: {}..={}", r.name, r.first, r.last),
+            ));
+        }
+    }
+    for (i, a) in ranges.iter().enumerate() {
+        for b in ranges.iter().skip(i + 1) {
+            if a.name == b.name {
+                out.push(mk(
+                    b.line,
+                    format!("duplicate registry range name `{}`", a.name),
+                ));
+            }
+        }
+    }
+    // Order, disjointness, contiguity, coverage.
+    for w in ranges.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if b.first <= a.last {
+            out.push(mk(
+                b.line,
+                format!(
+                    "ranges `{}` ({}..={}) and `{}` ({}..={}) overlap or are out of order",
+                    a.name, a.first, a.last, b.name, b.first, b.last
+                ),
+            ));
+        } else if a.last + 1 != b.first {
+            out.push(mk(
+                b.line,
+                format!(
+                    "gap between `{}` (ends {}) and `{}` (starts {}): tags {}..={} are unnamed",
+                    a.name,
+                    a.last,
+                    b.name,
+                    b.first,
+                    a.last + 1,
+                    b.first - 1
+                ),
+            ));
+        }
+    }
+    if let Some(first) = ranges.first() {
+        if first.first != 0 {
+            out.push(mk(
+                first.line,
+                format!("registry must start at tag 0, starts at {}", first.first),
+            ));
+        }
+    }
+    if let Some(last) = ranges.last() {
+        if last.last != u64::from(u32::MAX) {
+            out.push(mk(
+                last.line,
+                format!(
+                    "registry must end at u32::MAX, ends at {} — the tag space is not \
+                     exhaustively named",
+                    last.last
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Parses the registry entries only (for reuse in tests); `None` when the
+/// `REGISTRY` constant cannot be found.
+pub fn parse_registry(src: &str) -> Option<Vec<ParsedRange>> {
+    let toks: Vec<Tok> = lex(src)
+        .into_iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut sink = Vec::new();
+    let mk = |_: usize, _: String| Finding {
+        lint: "tag-range",
+        file: String::new(),
+        line: 0,
+        function: String::new(),
+        message: String::new(),
+        snippet: String::new(),
+    };
+    let env = collect_consts(&toks, &mut sink, &mk);
+    collect_registry(&toks, &env, &mut sink, &mk)
+}
+
+/// Evaluates every `const NAME: u32 = expr;` to a fixpoint, so forward
+/// references between constants resolve just as they do in Rust.
+fn collect_consts(
+    toks: &[Tok],
+    out: &mut Vec<Finding>,
+    mk: &impl Fn(usize, String) -> Finding,
+) -> HashMap<String, u64> {
+    // Gather declarations first.
+    struct Decl {
+        name: String,
+        line: usize,
+        start: usize,
+        end: usize,
+    }
+    let mut decls: Vec<Decl> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("const")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokKind::Ident && !t.is_ident("fn"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("u32"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('='))
+        {
+            let start = i + 5;
+            let end = (start..toks.len())
+                .find(|&k| toks[k].is_punct(';'))
+                .unwrap_or(toks.len());
+            decls.push(Decl {
+                name: toks[i + 1].text.clone(),
+                line: toks[i + 1].line,
+                start,
+                end,
+            });
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    // Fixpoint: re-try unevaluated declarations until a full pass makes
+    // no progress (handles any forward-reference order; cycles fail).
+    let mut env = HashMap::new();
+    let mut resolved = vec![false; decls.len()];
+    loop {
+        let mut progressed = false;
+        for (k, d) in decls.iter().enumerate() {
+            if resolved[k] {
+                continue;
+            }
+            if let Some(v) = eval(&toks[d.start..d.end], &env) {
+                if v <= u64::from(u32::MAX) {
+                    env.insert(d.name.clone(), v);
+                } else {
+                    out.push(mk(
+                        d.line,
+                        format!("const `{}` evaluates to {v}, which overflows u32", d.name),
+                    ));
+                }
+                resolved[k] = true;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for (k, d) in decls.iter().enumerate() {
+        if !resolved[k] {
+            out.push(mk(
+                d.line,
+                format!(
+                    "cannot statically evaluate const `{}`; keep registry constants to \
+                     literals, +, -, *, /, <<, >>, u32::MAX and other registry constants",
+                    d.name
+                ),
+            ));
+        }
+    }
+    env
+}
+
+/// Parses the `REGISTRY` array literal into evaluated ranges.
+fn collect_registry(
+    toks: &[Tok],
+    env: &HashMap<String, u64>,
+    out: &mut Vec<Finding>,
+    mk: &impl Fn(usize, String) -> Finding,
+) -> Option<Vec<ParsedRange>> {
+    // Find `REGISTRY` followed by `:` (its const declaration).
+    let reg = (0..toks.len()).find(|&i| {
+        toks[i].is_ident("REGISTRY") && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+    });
+    let Some(reg) = reg else {
+        out.push(mk(
+            1,
+            "no `REGISTRY: [TagRange; N]` constant found in the tags module".to_string(),
+        ));
+        return None;
+    };
+    let end = (reg..toks.len())
+        .find(|&k| toks[k].is_punct(';') && brace_free(&toks[reg..k]))
+        .unwrap_or(toks.len());
+    let mut ranges = Vec::new();
+    let mut i = reg;
+    while i < end {
+        if toks[i].is_ident("TagRange") && toks.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+            let line = toks[i].line;
+            let close = matching_brace(toks, i + 1, end);
+            let mut name = None;
+            let mut first = None;
+            let mut last = None;
+            let mut k = i + 2;
+            while k < close {
+                if toks[k].kind == TokKind::Ident
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                {
+                    let field = toks[k].text.clone();
+                    let vstart = k + 2;
+                    let vend = field_end(toks, vstart, close);
+                    match field.as_str() {
+                        "name" => {
+                            name = toks[vstart..vend]
+                                .iter()
+                                .find(|t| t.kind == TokKind::Str)
+                                .map(|t| t.text.clone());
+                        }
+                        "first" => first = eval(&toks[vstart..vend], env),
+                        "last" => last = eval(&toks[vstart..vend], env),
+                        _ => {}
+                    }
+                    k = vend;
+                    continue;
+                }
+                k += 1;
+            }
+            match (name, first, last) {
+                (Some(name), Some(first), Some(last)) => ranges.push(ParsedRange {
+                    name,
+                    first,
+                    last,
+                    line,
+                }),
+                _ => out.push(mk(
+                    line,
+                    "cannot statically evaluate a TagRange entry (name/first/last)".to_string(),
+                )),
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    Some(ranges)
+}
+
+fn brace_free(toks: &[Tok]) -> bool {
+    let mut depth = 0i64;
+    for t in toks {
+        if t.is_punct('{') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(']') {
+            depth -= 1;
+        }
+    }
+    depth <= 0
+}
+
+fn matching_brace(toks: &[Tok], open: usize, limit: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < limit {
+        if toks[i].is_punct('{') {
+            depth += 1;
+        } else if toks[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// End of a struct-literal field value: the `,` or `}` at depth 0.
+fn field_end(toks: &[Tok], start: usize, limit: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < limit {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct('}') {
+            if depth == 0 {
+                return i;
+            }
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            return i;
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// Evaluates an integer const expression with Rust precedence:
+/// `*`/`/` bind tighter than `+`/`-`, which bind tighter than `<<`/`>>`.
+/// Supports parenthesized subexpressions, `u32::MAX`, underscored and
+/// hex/octal/binary literals with type suffixes, and named constants.
+pub fn eval(toks: &[Tok], env: &HashMap<String, u64>) -> Option<u64> {
+    let mut pos = 0usize;
+    let v = parse_shift(toks, &mut pos, env)?;
+    // Trailing tokens (e.g. an unsupported operator) make the result
+    // unreliable: fail closed.
+    while pos < toks.len() {
+        if toks[pos].is_punct(',') {
+            pos += 1;
+            continue;
+        }
+        return None;
+    }
+    Some(v)
+}
+
+fn parse_shift(toks: &[Tok], pos: &mut usize, env: &HashMap<String, u64>) -> Option<u64> {
+    let mut acc = parse_add(toks, pos, env)?;
+    loop {
+        let (shl, shr) = (
+            toks.get(*pos).is_some_and(|t| t.is_punct('<'))
+                && toks.get(*pos + 1).is_some_and(|t| t.is_punct('<')),
+            toks.get(*pos).is_some_and(|t| t.is_punct('>'))
+                && toks.get(*pos + 1).is_some_and(|t| t.is_punct('>')),
+        );
+        if !shl && !shr {
+            return Some(acc);
+        }
+        *pos += 2;
+        let rhs = parse_add(toks, pos, env)?;
+        if rhs >= 64 {
+            return None;
+        }
+        acc = if shl {
+            acc.checked_shl(rhs as u32)?
+        } else {
+            acc.checked_shr(rhs as u32)?
+        };
+    }
+}
+
+fn parse_add(toks: &[Tok], pos: &mut usize, env: &HashMap<String, u64>) -> Option<u64> {
+    let mut acc = parse_mul(toks, pos, env)?;
+    loop {
+        let t = toks.get(*pos);
+        if t.is_some_and(|t| t.is_punct('+')) {
+            *pos += 1;
+            acc = acc.checked_add(parse_mul(toks, pos, env)?)?;
+        } else if t.is_some_and(|t| t.is_punct('-')) {
+            *pos += 1;
+            acc = acc.checked_sub(parse_mul(toks, pos, env)?)?;
+        } else {
+            return Some(acc);
+        }
+    }
+}
+
+fn parse_mul(toks: &[Tok], pos: &mut usize, env: &HashMap<String, u64>) -> Option<u64> {
+    let mut acc = parse_primary(toks, pos, env)?;
+    loop {
+        let t = toks.get(*pos);
+        if t.is_some_and(|t| t.is_punct('*')) {
+            *pos += 1;
+            acc = acc.checked_mul(parse_primary(toks, pos, env)?)?;
+        } else if t.is_some_and(|t| t.is_punct('/')) {
+            *pos += 1;
+            let d = parse_primary(toks, pos, env)?;
+            acc = acc.checked_div(d)?;
+        } else {
+            return Some(acc);
+        }
+    }
+}
+
+fn parse_primary(toks: &[Tok], pos: &mut usize, env: &HashMap<String, u64>) -> Option<u64> {
+    let t = toks.get(*pos)?;
+    if t.is_punct('(') {
+        *pos += 1;
+        let v = parse_shift(toks, pos, env)?;
+        if !toks.get(*pos).is_some_and(|t| t.is_punct(')')) {
+            return None;
+        }
+        *pos += 1;
+        return Some(v);
+    }
+    if t.kind == TokKind::Number {
+        *pos += 1;
+        return parse_number(&t.text);
+    }
+    if t.kind == TokKind::Ident {
+        // Path: `u32::MAX`, or a cast suffix `NAME as u64` is rejected.
+        if toks.get(*pos + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(*pos + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            let base = &t.text;
+            let member = toks.get(*pos + 3)?;
+            *pos += 4;
+            return match (base.as_str(), member.text.as_str()) {
+                ("u32", "MAX") => Some(u64::from(u32::MAX)),
+                ("u32", "MIN") => Some(0),
+                _ => None,
+            };
+        }
+        *pos += 1;
+        return env.get(&t.text).copied();
+    }
+    None
+}
+
+/// Parses `1_000`, `0xFF`, `0b1010`, `0o77`, with optional type suffix.
+fn parse_number(s: &str) -> Option<u64> {
+    let clean: String = s.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = if let Some(rest) = clean.strip_prefix("0x").or(clean.strip_prefix("0X"))
+    {
+        (16, rest)
+    } else if let Some(rest) = clean.strip_prefix("0b").or(clean.strip_prefix("0B")) {
+        (2, rest)
+    } else if let Some(rest) = clean.strip_prefix("0o").or(clean.strip_prefix("0O")) {
+        (8, rest)
+    } else {
+        (10, clean.as_str())
+    };
+    // Strip a type suffix (u32, u64, usize…): keep the leading digits
+    // valid in this radix.
+    let end = digits
+        .char_indices()
+        .find(|&(_, c)| !c.is_digit(radix))
+        .map_or(digits.len(), |(i, _)| i);
+    if end == 0 {
+        return None;
+    }
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: &str) -> Option<u64> {
+        let toks: Vec<Tok> = lex(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        let mut env = HashMap::new();
+        env.insert("BASE".to_string(), 1u64 << 20);
+        env.insert("STRIDE".to_string(), 1u64 << 10);
+        eval(&toks, &env)
+    }
+
+    #[test]
+    fn precedence_matches_rust() {
+        assert_eq!(ev("1 + 2 * 3"), Some(7));
+        assert_eq!(ev("1 << 20"), Some(1 << 20));
+        // Shifts bind looser than +: `1 << 2 + 3` is `1 << 5` in Rust.
+        assert_eq!(ev("1 << 2 + 3"), Some(32));
+        assert_eq!(
+            ev("(u32::MAX - BASE) / STRIDE - 1"),
+            Some((0xFFFF_FFFFu64 - (1 << 20)) / 1024 - 1)
+        );
+        assert_eq!(
+            ev("BASE + (4 + 1) * STRIDE - 1"),
+            Some((1 << 20) + 5 * 1024 - 1)
+        );
+    }
+
+    #[test]
+    fn literals_with_radix_and_suffix() {
+        assert_eq!(ev("0xFF"), Some(255));
+        assert_eq!(ev("0b101"), Some(5));
+        assert_eq!(ev("1_000u32"), Some(1000));
+        assert_eq!(ev("999"), Some(999));
+    }
+
+    #[test]
+    fn unknown_names_fail_closed() {
+        assert_eq!(ev("MYSTERY + 1"), None);
+        assert_eq!(ev("1 %% 2"), None);
+    }
+
+    const GOOD: &str = r#"
+pub const A_LAST: u32 = 9;
+pub const B_FIRST: u32 = 10;
+pub const REGISTRY: [TagRange; 2] = [
+    TagRange { name: "low", first: 0, last: A_LAST },
+    TagRange { name: "high", first: B_FIRST, last: u32::MAX },
+];
+"#;
+
+    #[test]
+    fn sound_registry_passes() {
+        let f = check_tags_source("tags.rs", GOOD);
+        assert!(f.is_empty(), "{f:?}");
+        let ranges = parse_registry(GOOD).unwrap();
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges[1].name, "high");
+        assert_eq!(ranges[1].last, u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn overlap_gap_and_coverage_detected() {
+        let overlap = GOOD.replace("first: B_FIRST", "first: 5");
+        assert!(check_tags_source("tags.rs", &overlap)
+            .iter()
+            .any(|f| f.message.contains("overlap")));
+        let gap = GOOD.replace("first: B_FIRST", "first: 12");
+        assert!(check_tags_source("tags.rs", &gap)
+            .iter()
+            .any(|f| f.message.contains("gap")));
+        let short = GOOD.replace("last: u32::MAX", "last: 100");
+        assert!(check_tags_source("tags.rs", &short)
+            .iter()
+            .any(|f| f.message.contains("u32::MAX")));
+        let dup = GOOD.replace("name: \"high\"", "name: \"low\"");
+        assert!(check_tags_source("tags.rs", &dup)
+            .iter()
+            .any(|f| f.message.contains("duplicate")));
+    }
+
+    #[test]
+    fn missing_registry_is_a_finding() {
+        let f = check_tags_source("tags.rs", "pub const X_TAG: u32 = 1;");
+        assert!(f.iter().any(|f| f.message.contains("REGISTRY")));
+    }
+}

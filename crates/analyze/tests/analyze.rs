@@ -1,0 +1,175 @@
+//! Integration tests: the analyzer must (a) detect every seeded violation
+//! in its fixture corpus, (b) pass cleanly over the real workspace with
+//! the checked-in baseline, and (c) prove the live tag registry sound.
+
+use dash_analyze::baseline::Baseline;
+use dash_analyze::report::{judge, Levels};
+use dash_analyze::{analyze_source, analyze_workspace, tags_check, Finding};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Runs the secure-scope lints over a fixture as if it lived in the
+/// secure scope.
+fn run_fixture(name: &str) -> Vec<Finding> {
+    analyze_source(name, &fixture(name), true)
+}
+
+fn count(findings: &[Finding], lint: &str) -> usize {
+    findings.iter().filter(|f| f.lint == lint).count()
+}
+
+#[test]
+fn disclosure_fixture_detected() {
+    let f = run_fixture("disclosure.rs");
+    assert_eq!(count(&f, "disclosure-completeness"), 2, "{f:?}");
+    let fns: Vec<&str> = f.iter().map(|x| x.function.as_str()).collect();
+    assert!(fns.contains(&"leaky_gather"));
+    assert!(fns.contains(&"leaky_open"));
+    // The recorded/labelled/pragma'd/primitive functions are all clean.
+    assert!(!fns.contains(&"recorded_gather"));
+    assert!(!fns.contains(&"labelled_open"));
+    assert!(!fns.contains(&"masked_difference_open"));
+    assert!(!fns.contains(&"broadcast_scalars"));
+}
+
+#[test]
+fn panic_fixture_detected() {
+    let f = run_fixture("panics.rs");
+    assert_eq!(count(&f, "panic-free"), 4, "{f:?}");
+    let fns: Vec<&str> = f.iter().map(|x| x.function.as_str()).collect();
+    for bad in ["take_unwrap", "take_expect", "boom", "pick"] {
+        assert!(fns.contains(&bad), "missing {bad} in {fns:?}");
+    }
+    assert!(!fns.contains(&"graceful"));
+    assert!(!fns.contains(&"documented_panic"));
+    assert!(!fns.contains(&"tests_may_panic_freely"));
+}
+
+#[test]
+fn taint_fixture_detected() {
+    let f = run_fixture("taint.rs");
+    assert_eq!(count(&f, "secret-taint"), 4, "{f:?}");
+    let msgs: String = f
+        .iter()
+        .map(|x| x.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(msgs.contains("LeakyTriple"));
+    assert!(msgs.contains("PadBuffer"));
+    assert!(msgs.contains("println!"));
+    assert!(msgs.contains("qty_share"));
+    assert!(
+        !msgs.contains("ScanConfig"),
+        "containers must not be flagged"
+    );
+}
+
+#[test]
+fn indexing_fixture_detected() {
+    let f = run_fixture("indexing.rs");
+    assert_eq!(count(&f, "secure-indexing"), 3, "{f:?}");
+    assert!(f
+        .iter()
+        .all(|x| x.function == "first" || x.function == "pick"));
+}
+
+#[test]
+fn stray_tag_fixture_detected() {
+    let f = run_fixture("stray_tag.rs");
+    assert_eq!(count(&f, "tag-range"), 1, "{f:?}");
+    assert!(f[0].message.contains("SIDE_CHANNEL_TAG_BASE"));
+}
+
+#[test]
+fn broken_registry_fixture_detected() {
+    let f = tags_check::check_tags_source("bad_tags.rs", &fixture("bad_tags.rs"));
+    let msgs: String = f
+        .iter()
+        .map(|x| x.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(msgs.contains("overlap"), "{msgs}");
+    assert!(msgs.contains("gap"), "{msgs}");
+    assert!(msgs.contains("u32::MAX"), "{msgs}");
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// The live registry in dash_mpc::tags must prove sound statically.
+#[test]
+fn live_tag_registry_sound() {
+    let src = std::fs::read_to_string(workspace_root().join("crates/mpc/src/tags.rs")).unwrap();
+    let f = tags_check::check_tags_source("crates/mpc/src/tags.rs", &src);
+    assert!(f.is_empty(), "live registry findings: {f:?}");
+    let ranges = tags_check::parse_registry(&src).unwrap();
+    assert_eq!(ranges.len(), 4);
+    assert_eq!(ranges[0].name, "reserved");
+    assert_eq!(ranges[3].last, u64::from(u32::MAX));
+}
+
+/// The gate the repo actually ships under: the full workspace analysis,
+/// judged with the checked-in baseline at deny-all, must pass. This is
+/// the same invocation `scripts/check.sh` runs.
+#[test]
+fn workspace_clean_under_checked_in_baseline() {
+    let root = workspace_root();
+    let findings = analyze_workspace(&root).expect("workspace walk");
+    let baseline_src = std::fs::read_to_string(root.join("analyze-baseline.json"))
+        .expect("checked-in analyze-baseline.json");
+    let baseline = Baseline::parse(&baseline_src).expect("baseline parses");
+    let mut levels = Levels::default();
+    levels.set("all", dash_analyze::Level::Deny).unwrap();
+    let outcome = judge(findings, &levels, &baseline);
+    let blocking: Vec<_> = outcome
+        .judged
+        .iter()
+        .filter(|j| !j.suppressed)
+        .map(|j| {
+            format!(
+                "{}:{} {} — {}",
+                j.finding.file, j.finding.line, j.finding.lint, j.finding.message
+            )
+        })
+        .collect();
+    assert_eq!(
+        outcome.blocking,
+        0,
+        "unsuppressed findings:\n{}",
+        blocking.join("\n")
+    );
+    assert_eq!(
+        outcome.stale_baseline, 0,
+        "baseline has stale entries; regenerate with --update-baseline"
+    );
+}
+
+/// Satellite invariant: the panic-free lint holds with zero baseline
+/// entries in the two hot-path files, and indeed everywhere.
+#[test]
+fn no_baselined_panics_in_hot_paths() {
+    let root = workspace_root();
+    let baseline_src = std::fs::read_to_string(root.join("analyze-baseline.json")).unwrap();
+    let baseline = Baseline::parse(&baseline_src).unwrap();
+    assert!(
+        baseline.entries.iter().all(|e| e.lint != "panic-free"),
+        "panic-free findings must be fixed, not baselined"
+    );
+    let findings = analyze_workspace(&root).unwrap();
+    assert_eq!(
+        findings.iter().filter(|f| f.lint == "panic-free").count(),
+        0,
+        "un-pragma'd panicking constructs in secure code"
+    );
+}

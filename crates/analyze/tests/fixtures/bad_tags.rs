@@ -1,0 +1,26 @@
+//! A deliberately broken tag registry: the `low`/`mid` ranges overlap,
+//! there is a gap before `high`, and the space does not reach u32::MAX.
+//! Parsed (never compiled) by the analyzer's integration tests.
+
+pub const LOW_LAST: u32 = 100;
+pub const MID_FIRST: u32 = 50;
+pub const MID_LAST: u32 = 1 << 10;
+pub const HIGH_FIRST: u32 = MID_LAST + 10;
+
+pub const REGISTRY: [TagRange; 3] = [
+    TagRange {
+        name: "low",
+        first: 0,
+        last: LOW_LAST,
+    },
+    TagRange {
+        name: "mid",
+        first: MID_FIRST,
+        last: MID_LAST,
+    },
+    TagRange {
+        name: "high",
+        first: HIGH_FIRST,
+        last: 1_000_000,
+    },
+];

@@ -1,0 +1,26 @@
+//! Seeded violations for the secure-indexing lint.
+//! Not compiled by cargo — parsed by the analyzer's integration tests.
+
+/// VIOLATION: direct indexing.
+fn first(v: &[u32]) -> u32 {
+    v[0]
+}
+
+/// VIOLATION: chained indexing (two sites).
+fn pick(grid: &[Vec<u32>], i: usize, j: usize) -> u32 {
+    grid[i][j]
+}
+
+/// OK: range slicing, macros, attributes, array types.
+#[derive(Clone)]
+struct Fixed {
+    words: [u64; 4],
+}
+
+fn tail(v: &[u32]) -> &[u32] {
+    &v[1..]
+}
+
+fn build() -> Vec<u32> {
+    vec![1, 2, 3]
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: a tag constant declared outside the registry.
+//! Not compiled by cargo — parsed by the analyzer's integration tests.
+
+/// VIOLATION: this belongs in dash_mpc::tags.
+pub const SIDE_CHANNEL_TAG_BASE: u32 = 7_000;
+
+/// OK: not a tag.
+pub const WORD_BYTES: u32 = 8;

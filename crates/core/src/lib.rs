@@ -57,6 +57,14 @@
 //! assert!(result.beta[0] > 0.0); // variant 0 tracks y
 //! ```
 
+// Unit tests assert freely; the panic-free discipline (clippy
+// unwrap_used/expect_used plus the dash-analyze gate) applies to the
+// non-test code compiled without cfg(test).
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
+
 pub mod block;
 pub mod burden;
 pub mod error;

@@ -334,7 +334,7 @@ pub fn secure_logistic_scan(
         party_logistic(ctx, &parties[ctx.id()], m, k, &codec)
     });
     let mut iter = results.into_iter();
-    let first = iter.next().expect("p >= 1")?;
+    let first = iter.next().ok_or(CoreError::NoParties)??;
     for r in iter {
         r?;
     }

@@ -208,7 +208,7 @@ pub fn secure_multi_phenotype_scan(
         Ok(out)
     });
     let mut iter = results.0.into_iter();
-    let firstr = iter.next().expect("p >= 1")?;
+    let firstr = iter.next().ok_or(CoreError::NoParties)??;
     for r in iter {
         r?;
     }

@@ -157,7 +157,7 @@ pub fn secure_online_scan(
         pooled.finalize(k)
     });
     let mut iter = results.into_iter();
-    let result = iter.next().expect("p >= 1")?;
+    let result = iter.next().ok_or(CoreError::NoParties)??;
     for r in iter {
         r?;
     }

@@ -101,7 +101,7 @@ pub fn secure_pca(parties: &[PartyData], cfg: &PcaConfig) -> Result<SecurePcaOut
         party_pca(ctx, parties[ctx.id()].x(), m, r, cfg, &codec)
     });
     let mut iter = results.into_iter();
-    let (loadings, eigenvalues, score0) = iter.next().expect("p >= 1")?;
+    let (loadings, eigenvalues, score0) = iter.next().ok_or(CoreError::NoParties)??;
     let mut scores = vec![score0];
     for res in iter {
         let (l, _e, s) = res?;

@@ -80,7 +80,7 @@ pub fn permutation_scan(
                 .fold(0.0f64, |acc, &t| acc.max(t.abs()))
         })
         .collect();
-    max_t_null.sort_by(|a, b| a.partial_cmp(b).expect("finite max stats"));
+    max_t_null.sort_by(f64::total_cmp);
 
     // Adjusted p-values with +1 smoothing.
     let b = n_permutations as f64;

@@ -173,7 +173,7 @@ fn beaver_dots(
 
 /// The y-side aggregate of the blocked protocol's round 0: everything the
 /// per-block rounds need from the block-independent statistics.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub(crate) enum YAggregate {
     /// The aggregate `Qᵀy` opened (every mode except Beaver).
     Opened { yy: f64, qty: Vec<f64> },
@@ -184,6 +184,33 @@ pub(crate) enum YAggregate {
         qty_share: Vec<F61>,
         qtyqty: f64,
     },
+}
+
+impl std::fmt::Debug for YAggregate {
+    // `qty_share` is this party's additive share of Qᵀy; its Debug form
+    // stays redacted so a stray `{:?}` cannot leak share material.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            YAggregate::Opened { yy, qty } => f
+                .debug_struct("Opened")
+                .field("yy", yy)
+                .field("qty_len", &qty.len())
+                .finish(),
+            YAggregate::BeaverShared {
+                yy,
+                qtyqty,
+                qty_share,
+            } => f
+                .debug_struct("BeaverShared")
+                .field("yy", yy)
+                .field("qtyqty", qtyqty)
+                .field(
+                    "qty_share",
+                    &format_args!("<{} shares redacted>", qty_share.len()),
+                )
+                .finish(),
+        }
+    }
 }
 
 impl YAggregate {
@@ -408,8 +435,10 @@ pub(crate) fn aggregate_block(
     flat.extend_from_slice(block.qtx.as_slice());
     let total = match cfg.aggregation {
         AggregationMode::Public => {
-            // Disclosure already recorded once per party in
-            // `aggregate_y`, covering the full summand vector.
+            // dash-analyze::allow(disclosure-completeness): the per-party
+            // disclosure for the *whole* summand vector is recorded once in
+            // `aggregate_y` (sized 1 + 2m + k + km); recording again per
+            // block would double-count the same opening.
             let tag = ctx.fresh_tag();
             let gathered = all_gather_f64(ctx, tag, &flat)?;
             sum_gathered(gathered, flat.len())?
@@ -432,7 +461,14 @@ pub(crate) fn aggregate_block(
             &flat,
             "aggregate variant-block statistics",
         )?,
-        AggregationMode::BeaverDots => unreachable!("handled above"),
+        AggregationMode::BeaverDots => {
+            // Already dispatched before the opened-qty match; reaching this
+            // arm means the dispatch above was broken, so surface a
+            // structured protocol error instead of panicking mid-round.
+            return Err(CoreError::from(MpcError::Protocol {
+                what: "blocked opening round re-entered the Beaver arm",
+            }));
+        }
     };
     let xy = total[..len].to_vec();
     let xx = total[len..2 * len].to_vec();

@@ -410,7 +410,10 @@ pub fn secure_scan_with<S: SummandSource>(
     // faults (PartyFailed), the inner one protocol errors. Either way the
     // run fails with a structured error, never a hang or a process panic.
     let mut iter = results.into_iter();
-    let first = iter.next().expect("p >= 1").map_err(CoreError::from)??;
+    let first = iter
+        .next()
+        .ok_or(CoreError::NoParties)?
+        .map_err(CoreError::from)??;
     for r in iter {
         let r = r.map_err(CoreError::from)??;
         debug_assert_eq!(

@@ -1,0 +1,206 @@
+//! The leakage ladder must be invariant to blocking: splitting the
+//! aggregation into variant blocks changes *when* values open, but must
+//! not change *what* leaks. For every rung of the mode matrix and every
+//! block size, the blocked pipeline's [`DisclosureLog`] must account for
+//! exactly the leakage of the monolithic path:
+//!
+//! - the per-party disclosures (the quantity the stricter modes drive to
+//!   zero) are identical entry for entry — same party, same label, same
+//!   scalar count;
+//! - the aggregate disclosures total the same number of opened scalars
+//!   (the blocked path opens the same values under round-scoped labels);
+//! - the strictest rung (GramAggregate + a secure aggregation) leaks no
+//!   per-party value in either path.
+
+// Test code asserts freely; the panic-free discipline applies to the
+// protocol code proper.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+use dash_core::model::PartyData;
+use dash_core::secure::{
+    secure_scan, AggregationMode, RFactorMode, SecureScanConfig, SecureScanOutput,
+};
+use dash_linalg::Matrix;
+use dash_mpc::audit::Disclosure;
+
+fn gen_parties(sizes: &[usize], m: usize, k: usize, seed: u64) -> Vec<PartyData> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17);
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    sizes
+        .iter()
+        .map(|&n| {
+            let y: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = Matrix::from_fn(n, m, |_, _| next());
+            let c = Matrix::from_fn(n, k, |_, _| next());
+            PartyData::new(y, x, c).unwrap()
+        })
+        .collect()
+}
+
+/// Parties run on threads, so the interleaving of log entries across
+/// parties is nondeterministic — compare as a sorted multiset.
+fn sorted(mut entries: Vec<Disclosure>) -> Vec<(Option<usize>, String, usize)> {
+    entries.sort_by(|a, b| {
+        (a.source_party, &a.label, a.scalars).cmp(&(b.source_party, &b.label, b.scalars))
+    });
+    entries
+        .into_iter()
+        .map(|d| (d.source_party, d.label, d.scalars))
+        .collect()
+}
+
+fn per_party(entries: &[Disclosure]) -> Vec<Disclosure> {
+    entries
+        .iter()
+        .filter(|d| d.source_party.is_some())
+        .cloned()
+        .collect()
+}
+
+fn aggregate_scalars(entries: &[Disclosure]) -> usize {
+    entries
+        .iter()
+        .filter(|d| d.source_party.is_none())
+        .map(|d| d.scalars)
+        .sum()
+}
+
+const ALL_RF: [RFactorMode; 3] = [
+    RFactorMode::PublicStack,
+    RFactorMode::PairwiseTree,
+    RFactorMode::GramAggregate,
+];
+const ALL_AGG: [AggregationMode; 5] = [
+    AggregationMode::Public,
+    AggregationMode::SecureShares,
+    AggregationMode::MaskedPrg,
+    AggregationMode::MaskedStar,
+    AggregationMode::BeaverDots,
+];
+
+fn run(parties: &[PartyData], cfg: &SecureScanConfig) -> SecureScanOutput {
+    secure_scan(parties, cfg).unwrap()
+}
+
+#[test]
+fn blocked_leakage_identical_across_modes_and_block_sizes() {
+    let m = 6;
+    let k = 2;
+    let parties = gen_parties(&[13, 18, 11], m, k, 77);
+    for rf in ALL_RF {
+        for agg in ALL_AGG {
+            let base = SecureScanConfig {
+                rfactor: rf,
+                aggregation: agg,
+                seed: 29,
+                ..SecureScanConfig::default()
+            };
+            let mono = run(&parties, &base);
+            for block in [1, 3, 4, m, m + 3] {
+                let what = format!("{rf:?}/{agg:?} block={block}");
+                let blocked = run(
+                    &parties,
+                    &SecureScanConfig {
+                        block_size: Some(block),
+                        ..base
+                    },
+                );
+                // Per-party leakage: identical entry for entry.
+                assert_eq!(
+                    sorted(per_party(&blocked.disclosures)),
+                    sorted(per_party(&mono.disclosures)),
+                    "{what}: per-party disclosures must match the monolithic path"
+                );
+                // Aggregate leakage: same total opened scalars (labels
+                // are round-scoped, so entry counts legitimately differ).
+                assert_eq!(
+                    aggregate_scalars(&blocked.disclosures),
+                    aggregate_scalars(&mono.disclosures),
+                    "{what}: aggregate scalars must match the monolithic path"
+                );
+                // Public aggregation leaks whole summand vectors
+                // per-party; splitting into blocks must not re-label or
+                // re-size that disclosure.
+                if agg == AggregationMode::Public {
+                    assert!(
+                        per_party(&blocked.disclosures)
+                            .iter()
+                            .any(|d| d.scalars == 1 + 2 * m + k + k * m),
+                        "{what}: Public mode records the full summand vector once"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The top rung of the ladder must stay leak-free under blocking: with
+/// aggregate-only R factors and any secure aggregation, *no* per-party
+/// value opens in either path.
+#[test]
+fn strictest_rung_leaks_nothing_per_party_blocked_or_not() {
+    let parties = gen_parties(&[12, 15], 4, 2, 5);
+    for agg in [
+        AggregationMode::SecureShares,
+        AggregationMode::MaskedPrg,
+        AggregationMode::MaskedStar,
+        AggregationMode::BeaverDots,
+    ] {
+        let base = SecureScanConfig {
+            rfactor: RFactorMode::GramAggregate,
+            aggregation: agg,
+            seed: 31,
+            ..SecureScanConfig::default()
+        };
+        for block in [None, Some(2)] {
+            let out = run(
+                &parties,
+                &SecureScanConfig {
+                    block_size: block,
+                    ..base
+                },
+            );
+            let leaked = per_party(&out.disclosures);
+            assert!(
+                leaked.is_empty(),
+                "{agg:?} block={block:?}: per-party disclosures {leaked:?}"
+            );
+        }
+    }
+}
+
+/// Moving up the ladder never leaks more: per-party scalar counts are
+/// monotonically non-increasing as the R-factor mode tightens, in both
+/// the monolithic and the blocked pipeline.
+#[test]
+fn ladder_monotone_under_blocking() {
+    let parties = gen_parties(&[16, 13, 10], 5, 2, 13);
+    for block in [None, Some(2)] {
+        let mut prev: Option<usize> = None;
+        for rf in ALL_RF {
+            let out = run(
+                &parties,
+                &SecureScanConfig {
+                    rfactor: rf,
+                    aggregation: AggregationMode::MaskedPrg,
+                    seed: 3,
+                    block_size: block,
+                    ..SecureScanConfig::default()
+                },
+            );
+            let leaked: usize = per_party(&out.disclosures).iter().map(|d| d.scalars).sum();
+            if let Some(p) = prev {
+                assert!(
+                    leaked <= p,
+                    "{rf:?} block={block:?}: leaked {leaked} > previous rung {p}"
+                );
+            }
+            prev = Some(leaked);
+        }
+    }
+}

@@ -1,5 +1,9 @@
 //! Property-based tests for the scan's statistical invariances.
 
+// Test code asserts freely; the panic-free discipline applies to the
+// protocol code proper.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
 use dash_core::block::{block_scan, TransientBlock};
 use dash_core::model::PartyData;
 use dash_core::scan::{associate, per_variant_ols};

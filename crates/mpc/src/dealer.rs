@@ -14,9 +14,10 @@ use crate::field::F61;
 use crate::prg::Prg;
 use crate::share::share_field;
 use std::collections::VecDeque;
+use std::fmt;
 
 /// One party's share of a scalar Beaver triple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct BeaverTriple {
     /// Share of `a`.
     pub a: F61,
@@ -26,9 +27,17 @@ pub struct BeaverTriple {
     pub c: F61,
 }
 
+impl fmt::Debug for BeaverTriple {
+    // Triple shares are secret material: never print the values, even in
+    // panic messages or test diagnostics.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BeaverTriple { <shares redacted> }")
+    }
+}
+
 /// One party's share of an inner-product triple over vectors of a fixed
 /// length.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct InnerTriple {
     /// Share of the masking vector `a⃗`.
     pub a: Vec<F61>,
@@ -38,12 +47,33 @@ pub struct InnerTriple {
     pub c: F61,
 }
 
+impl fmt::Debug for InnerTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "InnerTriple {{ len: {}, <shares redacted> }}",
+            self.a.len()
+        )
+    }
+}
+
 /// A queue of preprocessed material handed to one party before the online
 /// phase.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct PartyTriples {
     scalars: VecDeque<BeaverTriple>,
     inners: VecDeque<InnerTriple>,
+}
+
+impl fmt::Debug for PartyTriples {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PartyTriples {{ scalars: {}, inners: {}, <shares redacted> }}",
+            self.scalars.len(),
+            self.inners.len()
+        )
+    }
 }
 
 impl PartyTriples {
@@ -105,12 +135,8 @@ impl TrustedDealer {
             let sa = share_field(a, self.n, &mut self.prg);
             let sb = share_field(b, self.n, &mut self.prg);
             let sc = share_field(c, self.n, &mut self.prg);
-            for p in 0..self.n {
-                out[p].scalars.push_back(BeaverTriple {
-                    a: sa[p],
-                    b: sb[p],
-                    c: sc[p],
-                });
+            for (dst, ((a, b), c)) in out.iter_mut().zip(sa.into_iter().zip(sb).zip(sc)) {
+                dst.scalars.push_back(BeaverTriple { a, b, c });
             }
         }
         out
@@ -130,27 +156,26 @@ impl TrustedDealer {
                 (0..self.n).map(|_| Vec::with_capacity(len)).collect();
             let mut shares_b: Vec<Vec<F61>> =
                 (0..self.n).map(|_| Vec::with_capacity(len)).collect();
-            for i in 0..len {
-                for (p, s) in share_field(a[i], self.n, &mut self.prg)
-                    .into_iter()
-                    .enumerate()
+            for (&ai, &bi) in a.iter().zip(&b) {
+                for (dst, s) in shares_a
+                    .iter_mut()
+                    .zip(share_field(ai, self.n, &mut self.prg))
                 {
-                    shares_a[p].push(s);
+                    dst.push(s);
                 }
-                for (p, s) in share_field(b[i], self.n, &mut self.prg)
-                    .into_iter()
-                    .enumerate()
+                for (dst, s) in shares_b
+                    .iter_mut()
+                    .zip(share_field(bi, self.n, &mut self.prg))
                 {
-                    shares_b[p].push(s);
+                    dst.push(s);
                 }
             }
             let sc = share_field(c, self.n, &mut self.prg);
-            for p in (0..self.n).rev() {
-                out[p].inners.push_back(InnerTriple {
-                    a: shares_a.pop().expect("one per party"),
-                    b: shares_b.pop().expect("one per party"),
-                    c: sc[p],
-                });
+            for (dst, ((a, b), c)) in out
+                .iter_mut()
+                .zip(shares_a.into_iter().zip(shares_b).zip(sc))
+            {
+                dst.inners.push_back(InnerTriple { a, b, c });
             }
         }
         out

@@ -57,6 +57,14 @@
 //! }
 //! ```
 
+// Unit tests assert freely; the panic-free discipline (clippy
+// unwrap_used/expect_used plus the dash-analyze gate) applies to the
+// non-test protocol code compiled without cfg(test).
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
+
 pub mod audit;
 pub mod dealer;
 pub mod error;
@@ -68,6 +76,7 @@ pub mod prg;
 pub mod protocol;
 pub mod ring;
 pub mod share;
+pub mod tags;
 pub mod transport;
 
 pub use audit::{Disclosure, DisclosureLog};

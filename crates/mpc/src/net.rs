@@ -36,24 +36,10 @@ pub const HEADER_BYTES: u64 = 20;
 /// trip it, finite so nothing blocks forever.
 pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(60);
 
-/// First tag of the block-scoped tag range. Tags below this value belong
-/// to the ordinary lockstep counter (see [`PartyCtx::fresh_tag`]); tags at
-/// or above it are attributed to a variant block by [`block_of_tag`], so
-/// the shared [`NetworkStats`] can account traffic per block even though
-/// parties enter blocks at different wall-clock times.
-pub const BLOCK_TAG_BASE: u32 = 1 << 20;
-
-/// Tags reserved per block: block `b` owns
-/// `[BLOCK_TAG_BASE + b·STRIDE, BLOCK_TAG_BASE + (b+1)·STRIDE)`.
-pub const BLOCK_TAG_STRIDE: u32 = 1 << 10;
-
-/// Largest block id representable in the tag range.
-pub const MAX_BLOCK_ID: u32 = (u32::MAX - BLOCK_TAG_BASE) / BLOCK_TAG_STRIDE - 1;
-
-/// The block id a tag is scoped to, or `None` for ordinary tags.
-pub fn block_of_tag(tag: u32) -> Option<u32> {
-    (tag >= BLOCK_TAG_BASE).then(|| (tag - BLOCK_TAG_BASE) / BLOCK_TAG_STRIDE)
-}
+// The tag-space constants historically lived here; they now come from the
+// central registry in [`crate::tags`] and are re-exported for the existing
+// `dash_mpc::net::…` call sites and docs.
+pub use crate::tags::{block_of_tag, BLOCK_TAG_BASE, BLOCK_TAG_STRIDE, MAX_BLOCK_ID};
 
 /// A framed protocol message.
 #[derive(Debug, Clone)]
@@ -479,7 +465,11 @@ impl Endpoint {
         }
         Ok(payload
             .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+            .map(|c| {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(c);
+                u64::from_le_bytes(w)
+            })
             .collect())
     }
 
@@ -587,6 +577,10 @@ impl Network {
             Self::run_parties_detailed_with(n, seed, &NetOptions::default(), f);
         let results = results
             .into_iter()
+            // dash-analyze::allow(panic-free): this runner's documented
+            // contract is to surface a party panic as a process panic so
+            // tests see the original failure; the fault-tolerant
+            // `run_parties_detailed_with` is the structured-error path.
             .map(|r| r.unwrap_or_else(|e| panic!("party thread panicked: {e}")))
             .collect();
         (results, stats, audit)
@@ -609,7 +603,18 @@ impl Network {
         T: Send,
         F: Fn(&mut PartyCtx) -> T + Sync,
     {
-        let (endpoints, stats) = Self::endpoints(n).expect("n >= 1");
+        let (endpoints, stats) = match Self::endpoints(n) {
+            Ok(pair) => pair,
+            // A zero-party run has no parties to fail: empty results, zero
+            // counters, empty log.
+            Err(_) => {
+                return (
+                    Vec::new(),
+                    Arc::new(NetworkStats::new(0)),
+                    DisclosureLog::new(),
+                );
+            }
+        };
         let audit = DisclosureLog::new();
         let results: Vec<Result<T, MpcError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = endpoints
@@ -618,7 +623,7 @@ impl Network {
                     let audit = audit.clone();
                     let f = &f;
                     let id = ep.id();
-                    scope.spawn(move || {
+                    let handle = scope.spawn(move || {
                         let transport: Box<dyn Transport> = match opts.faults {
                             Some(plan) => Box::new(FaultyTransport::new(ep, plan)),
                             None => Box::new(ep),
@@ -630,12 +635,23 @@ impl Network {
                                 party: id,
                                 reason: panic_reason(payload.as_ref()),
                             })
-                    })
+                    });
+                    (id, handle)
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("party thread aborted outside catch_unwind"))
+                .map(|(id, h)| {
+                    // The closure runs under catch_unwind, so join only
+                    // fails if the panic machinery itself aborted; report
+                    // that as a party failure instead of propagating.
+                    h.join().unwrap_or_else(|payload| {
+                        Err(MpcError::PartyFailed {
+                            party: id,
+                            reason: panic_reason(payload.as_ref()),
+                        })
+                    })
+                })
                 .collect()
         });
         (results, stats, audit)

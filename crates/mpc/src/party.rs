@@ -12,9 +12,10 @@
 use crate::audit::DisclosureLog;
 use crate::error::MpcError;
 use crate::field::F61;
-use crate::net::{Endpoint, BLOCK_TAG_BASE, BLOCK_TAG_STRIDE, MAX_BLOCK_ID};
+use crate::net::Endpoint;
 use crate::prg::Prg;
 use crate::ring::R64;
+use crate::tags::{self, BLOCK_TAG_BASE, BLOCK_TAG_STRIDE, MAX_BLOCK_ID};
 use crate::transport::{Transport, TransportConfig};
 
 /// One party's execution context.
@@ -28,6 +29,9 @@ pub struct PartyCtx {
     tag_counter: u32,
     /// Ordinary counter value saved while inside a block tag scope.
     saved_tag: Option<u32>,
+    /// Block id of the currently entered tag scope, if any (used by the
+    /// debug assertions that tie issued tags to the [`tags::REGISTRY`]).
+    cur_block: Option<u32>,
 }
 
 impl PartyCtx {
@@ -70,8 +74,9 @@ impl PartyCtx {
             rng,
             pair_prgs,
             audit,
-            tag_counter: 1000,
+            tag_counter: tags::PROTOCOL_TAG_FIRST,
             saved_tag: None,
+            cur_block: None,
         }
     }
 
@@ -145,9 +150,28 @@ impl PartyCtx {
 
     /// Returns a fresh protocol tag. All parties call protocols in the
     /// same order, so counters agree across the network.
+    ///
+    /// Debug builds assert against the [`tags::REGISTRY`]: ordinary tags
+    /// must stay inside the `protocol` range and block-scoped tags inside
+    /// the entered block's stride (a scope that issues more than
+    /// [`BLOCK_TAG_STRIDE`] tags would silently collide with the next
+    /// block's range).
     pub fn fresh_tag(&mut self) -> u32 {
         self.tag_counter += 1;
-        self.tag_counter
+        let tag = self.tag_counter;
+        match self.cur_block {
+            None => debug_assert_eq!(
+                tags::range_of_tag(tag).name,
+                "protocol",
+                "ordinary tag {tag} escaped the protocol range"
+            ),
+            Some(b) => debug_assert_eq!(
+                tags::block_of_tag(tag),
+                Some(b),
+                "block-scoped tag {tag} left block {b}'s stride"
+            ),
+        }
+        tag
     }
 
     /// Enters block `b`'s tag scope: subsequent [`PartyCtx::fresh_tag`]
@@ -168,6 +192,7 @@ impl PartyCtx {
             });
         }
         self.saved_tag = Some(self.tag_counter);
+        self.cur_block = Some(block);
         self.tag_counter = BLOCK_TAG_BASE + block * BLOCK_TAG_STRIDE;
         Ok(())
     }
@@ -178,6 +203,7 @@ impl PartyCtx {
         match self.saved_tag.take() {
             Some(t) => {
                 self.tag_counter = t;
+                self.cur_block = None;
                 Ok(())
             }
             None => Err(MpcError::Protocol {

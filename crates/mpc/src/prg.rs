@@ -16,9 +16,17 @@ use rand::{Rng, RngCore, SeedableRng};
 ///
 /// Two parties constructing `Prg::from_seed(s)` with the same seed draw
 /// identical streams — the basis of the pairwise-mask protocol.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Prg {
     rng: StdRng,
+}
+
+impl std::fmt::Debug for Prg {
+    // The internal state determines every future mask; printing it would
+    // leak the pads, so the Debug form is deliberately opaque.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Prg { <state redacted> }")
+    }
 }
 
 impl Prg {

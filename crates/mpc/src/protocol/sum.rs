@@ -44,7 +44,9 @@ pub fn secure_sum_ring(
             ctx.send_ring(j, tag_shares, sv)?;
         }
     }
-    let mut partial = share_vecs.into_iter().nth(me).expect("own share exists");
+    let mut partial = share_vecs.into_iter().nth(me).ok_or(MpcError::Protocol {
+        what: "secure_sum_ring: own share vector missing",
+    })?;
     for j in 0..n {
         if j == me {
             continue;

@@ -1,0 +1,221 @@
+//! Message-tag registry: the single source of truth for how the 32-bit
+//! tag space is carved up.
+//!
+//! Tags serve two purposes: receivers verify them to catch protocol
+//! desyncs early, and the shared [`crate::net::NetworkStats`] uses them to
+//! attribute traffic to variant blocks. Both uses break silently if two
+//! subsystems ever claim overlapping tag values, so every named range
+//! lives here, the [`REGISTRY`] table enumerates them exhaustively, and
+//! both a unit test and the `dash-analyze` static checker verify that the
+//! ranges are pairwise disjoint and cover the whole `u32` space. Defining
+//! a tag constant anywhere else in `crates/mpc` or `crates/core/src/secure`
+//! is a `dash-analyze` finding.
+//!
+//! | range | tags | who issues them |
+//! |-------|------|-----------------|
+//! | `reserved` | `0..=999` | hand-picked tags in tests and examples |
+//! | `protocol` | `1000..=BLOCK_TAG_BASE-1` | the lockstep [`crate::party::PartyCtx::fresh_tag`] counter |
+//! | `blocks` | `BLOCK_TAG_BASE..=BLOCK_TAG_LAST` | per-block scopes ([`crate::party::PartyCtx::enter_block`]), 1024 tags per block |
+//! | `block-tail` | `BLOCK_TAG_LAST+1..=u32::MAX` | nobody — the partial stride above the last whole block, kept unissuable |
+
+/// First tag of the reserved range (hand-picked tags in tests/examples).
+pub const RESERVED_TAG_FIRST: u32 = 0;
+
+/// Last tag of the reserved range.
+pub const RESERVED_TAG_LAST: u32 = 999;
+
+/// First value of the ordinary lockstep counter range. The counter starts
+/// *at* this value and pre-increments, so the first issued tag is
+/// `PROTOCOL_TAG_FIRST + 1`.
+pub const PROTOCOL_TAG_FIRST: u32 = 1000;
+
+/// Last tag of the ordinary lockstep counter range.
+pub const PROTOCOL_TAG_LAST: u32 = BLOCK_TAG_BASE - 1;
+
+/// First tag of the block-scoped tag range. Tags below this value belong
+/// to the ordinary lockstep counter (see
+/// [`crate::party::PartyCtx::fresh_tag`]); tags at or above it are
+/// attributed to a variant block by [`block_of_tag`], so the shared
+/// [`crate::net::NetworkStats`] can account traffic per block even though
+/// parties enter blocks at different wall-clock times.
+pub const BLOCK_TAG_BASE: u32 = 1 << 20;
+
+/// Tags reserved per block: block `b` owns
+/// `[BLOCK_TAG_BASE + b·STRIDE, BLOCK_TAG_BASE + (b+1)·STRIDE)`.
+pub const BLOCK_TAG_STRIDE: u32 = 1 << 10;
+
+/// Largest block id representable in the tag range.
+pub const MAX_BLOCK_ID: u32 = (u32::MAX - BLOCK_TAG_BASE) / BLOCK_TAG_STRIDE - 1;
+
+/// Last tag of the last whole block stride. The remainder of the `u32`
+/// space above it (`block-tail` in the [`REGISTRY`]) is smaller than one
+/// stride and is never issued: [`crate::party::PartyCtx::enter_block`]
+/// rejects block ids beyond [`MAX_BLOCK_ID`].
+pub const BLOCK_TAG_LAST: u32 = BLOCK_TAG_BASE + (MAX_BLOCK_ID + 1) * BLOCK_TAG_STRIDE - 1;
+
+/// A named, inclusive range of message tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagRange {
+    /// Registry name of the range.
+    pub name: &'static str,
+    /// First tag of the range (inclusive).
+    pub first: u32,
+    /// Last tag of the range (inclusive).
+    pub last: u32,
+}
+
+impl TagRange {
+    /// Whether `tag` falls inside this range.
+    pub const fn contains(&self, tag: u32) -> bool {
+        self.first <= tag && tag <= self.last
+    }
+}
+
+/// Every named tag range, in ascending order. The ranges are pairwise
+/// disjoint and together cover `0..=u32::MAX` exactly — asserted by the
+/// unit tests below and re-verified statically by `dash-analyze`.
+pub const REGISTRY: [TagRange; 4] = [
+    TagRange {
+        name: "reserved",
+        first: RESERVED_TAG_FIRST,
+        last: RESERVED_TAG_LAST,
+    },
+    TagRange {
+        name: "protocol",
+        first: PROTOCOL_TAG_FIRST,
+        last: PROTOCOL_TAG_LAST,
+    },
+    TagRange {
+        name: "blocks",
+        first: BLOCK_TAG_BASE,
+        last: BLOCK_TAG_LAST,
+    },
+    TagRange {
+        name: "block-tail",
+        first: BLOCK_TAG_LAST + 1,
+        last: u32::MAX,
+    },
+];
+
+/// The registry range a tag belongs to (total: every tag is in exactly
+/// one range, so the fallback below is unreachable in practice).
+pub fn range_of_tag(tag: u32) -> &'static TagRange {
+    const FALLBACK: TagRange = TagRange {
+        name: "reserved",
+        first: 0,
+        last: 0,
+    };
+    REGISTRY
+        .iter()
+        .find(|r| r.contains(tag))
+        .unwrap_or(&FALLBACK)
+}
+
+/// The block id a tag is scoped to, or `None` for ordinary tags.
+///
+/// Tags in the `block-tail` range map to the (unissuable) partial block
+/// `MAX_BLOCK_ID + 1`, so an adversarially crafted tail tag still gets a
+/// deterministic attribution rather than corrupting a real block's
+/// counters.
+pub fn block_of_tag(tag: u32) -> Option<u32> {
+    (tag >= BLOCK_TAG_BASE).then(|| (tag - BLOCK_TAG_BASE) / BLOCK_TAG_STRIDE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite invariant: the registry ranges are pairwise disjoint,
+    /// ascending, and exhaustive over the whole `u32` tag space.
+    #[test]
+    fn registry_disjoint_and_exhaustive() {
+        for w in REGISTRY.windows(2) {
+            assert!(
+                w[0].last < w[1].first,
+                "ranges {} and {} overlap or are out of order",
+                w[0].name,
+                w[1].name
+            );
+            assert_eq!(
+                w[0].last + 1,
+                w[1].first,
+                "gap between ranges {} and {}",
+                w[0].name,
+                w[1].name
+            );
+        }
+        assert_eq!(REGISTRY[0].first, 0, "registry must start at tag 0");
+        assert_eq!(
+            REGISTRY[REGISTRY.len() - 1].last,
+            u32::MAX,
+            "registry must end at u32::MAX"
+        );
+        for r in &REGISTRY {
+            assert!(r.first <= r.last, "range {} is empty or inverted", r.name);
+        }
+    }
+
+    #[test]
+    fn range_names_unique() {
+        for (i, a) in REGISTRY.iter().enumerate() {
+            for b in REGISTRY.iter().skip(i + 1) {
+                assert_ne!(a.name, b.name, "duplicate range name");
+            }
+        }
+    }
+
+    #[test]
+    fn range_of_tag_consistent_with_registry() {
+        for tag in [
+            0,
+            999,
+            1000,
+            1001,
+            BLOCK_TAG_BASE - 1,
+            BLOCK_TAG_BASE,
+            BLOCK_TAG_LAST,
+            BLOCK_TAG_LAST + 1,
+            u32::MAX,
+        ] {
+            let r = range_of_tag(tag);
+            assert!(r.contains(tag), "tag {tag} not in its own range {}", r.name);
+        }
+        assert_eq!(range_of_tag(500).name, "reserved");
+        assert_eq!(range_of_tag(2000).name, "protocol");
+        assert_eq!(range_of_tag(BLOCK_TAG_BASE).name, "blocks");
+        assert_eq!(range_of_tag(u32::MAX).name, "block-tail");
+    }
+
+    /// `block_of_tag` must agree with the stride constants and only ever
+    /// exceed `MAX_BLOCK_ID` inside the unissuable tail.
+    #[test]
+    fn block_attribution_matches_strides() {
+        assert_eq!(block_of_tag(0), None);
+        assert_eq!(block_of_tag(BLOCK_TAG_BASE - 1), None);
+        assert_eq!(block_of_tag(BLOCK_TAG_BASE), Some(0));
+        assert_eq!(block_of_tag(BLOCK_TAG_BASE + BLOCK_TAG_STRIDE), Some(1));
+        assert_eq!(
+            block_of_tag(BLOCK_TAG_BASE + MAX_BLOCK_ID * BLOCK_TAG_STRIDE),
+            Some(MAX_BLOCK_ID)
+        );
+        assert_eq!(block_of_tag(BLOCK_TAG_LAST), Some(MAX_BLOCK_ID));
+        // The tail attributes to the partial block beyond MAX_BLOCK_ID.
+        assert_eq!(block_of_tag(BLOCK_TAG_LAST + 1), Some(MAX_BLOCK_ID + 1));
+        assert_eq!(block_of_tag(u32::MAX), Some(MAX_BLOCK_ID + 1));
+    }
+
+    #[test]
+    fn whole_blocks_fit_below_the_tail() {
+        // Every enterable block's full stride fits inside the `blocks`
+        // range, so block-scoped fresh_tag can never wander into the tail.
+        let last_block_start =
+            BLOCK_TAG_BASE as u64 + MAX_BLOCK_ID as u64 * BLOCK_TAG_STRIDE as u64;
+        assert_eq!(
+            last_block_start + BLOCK_TAG_STRIDE as u64 - 1,
+            BLOCK_TAG_LAST as u64
+        );
+        // ... and a non-empty tail sits above the last block.
+        assert_eq!(range_of_tag(u32::MAX).name, "block-tail");
+        assert_ne!(range_of_tag(BLOCK_TAG_LAST).name, "block-tail");
+    }
+}

@@ -546,11 +546,16 @@ mod tests {
             Ok(Err(MpcError::PartyFailed { party: 1, .. })) => {}
             other => panic!("crashed party: expected PartyFailed, got {other:?}"),
         }
+        // Survivors must fail with a structured transport error. The peer
+        // they blame is scheduling-dependent: a survivor usually times out
+        // on (or finds closed) its channel from the crashed party 1, but a
+        // survivor whose own send to party 1 fails first exits early, and
+        // the *other* survivor then sees that cascade as a closed channel
+        // from a non-crashed peer.
         for survivor in [0, 2] {
             match &results[survivor] {
-                Ok(Err(
-                    MpcError::ChannelClosed { peer: 1 } | MpcError::Timeout { peer: 1, .. },
-                )) => {}
+                Ok(Err(MpcError::ChannelClosed { peer } | MpcError::Timeout { peer, .. }))
+                    if *peer != survivor => {}
                 other => panic!("survivor {survivor}: unexpected {other:?}"),
             }
         }
