@@ -39,6 +39,7 @@ pub mod lints;
 pub mod model;
 pub mod report;
 pub mod tags_check;
+pub mod trace_check;
 
 use std::fs;
 use std::io;

@@ -252,9 +252,10 @@ fn secret_ident(s: &str) -> bool {
         .any(|suf| l.ends_with(suf))
 }
 
-/// Lint 4: secret material must not flow into Debug/Display formatting.
+/// Lint 4: secret material must not flow into Debug/Display formatting
+/// or observability sinks.
 ///
-/// Three shapes:
+/// Four shapes:
 /// - `#[derive(Debug)]` on a *leaf* secret type (type name matching
 ///   triple/share/mask/prg, or a field named like share/mask/secret) —
 ///   leaf types must hand-write a redacting `Debug` impl; containers may
@@ -262,9 +263,14 @@ fn secret_ident(s: &str) -> bool {
 /// - `println!`-family / `dbg!` anywhere in secure non-test code.
 /// - formatting/assert macros whose arguments mention a secret-named
 ///   identifier outside `#[cfg(test)]`.
+/// - trace/metric emission calls (`trace_add`, `trace_span`,
+///   `trace_span_at`) with a secret-named argument: the trace exports to
+///   JSON on the operator's machine, so these are formatter-like sinks —
+///   only counts and static labels may flow in, never share/mask values.
 fn secret_taint(m: &FileModel, out: &mut Vec<Finding>) {
     const LINT: &str = "secret-taint";
     const PRINTS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+    const TRACE_SINKS: [&str; 3] = ["trace_add", "trace_span", "trace_span_at"];
     const FORMATTERS: [&str; 9] = [
         "format",
         "write",
@@ -307,6 +313,33 @@ fn secret_taint(m: &FileModel, out: &mut Vec<Finding>) {
                 }
             }
             i = attr_close + 1;
+            continue;
+        }
+        // Shape 4: trace/metric emission with a secret-named argument.
+        if t.kind == TokKind::Ident
+            && TRACE_SINKS.contains(&t.text.as_str())
+            && m.code.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !m.in_test(i)
+            && !m.allowed(LINT, i)
+        {
+            let close = matching(&m.code, i + 1, '(', ')');
+            if let Some(bad) = m.code[i + 1..=close]
+                .iter()
+                .find(|a| a.kind == TokKind::Ident && secret_ident(&a.text))
+            {
+                out.push(finding(
+                    m,
+                    LINT,
+                    i,
+                    format!(
+                        "{}(..) records `{}`, which names secret share/mask material, \
+                         into the trace; observability sinks may carry counts and \
+                         static labels only",
+                        t.text, bad.text
+                    ),
+                ));
+            }
+            i = close + 1;
             continue;
         }
         // Shapes 2 and 3: macro invocations.
@@ -550,6 +583,28 @@ mod tests {
         let f = run("fn bad2(qty_share: &[F61]) { debug_assert_eq!(qty_share.len(), 3); }");
         assert_eq!(lints_of(&f), vec!["secret-taint"]);
         let f = run("fn ok(label: &str, n: usize) -> String { format!(\"{label}: {n}\") }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn trace_sink_with_secret_argument_flagged() {
+        // Counts and enum variants are fine.
+        let f = run("fn ok(ctx: &Ctx, n: u64) { ctx.trace_add(Counter::OpenedScalars, n); }");
+        assert!(f.is_empty(), "{f:?}");
+        // A secret-named value flowing into the sink is not.
+        let f = run(
+            "fn bad(ctx: &Ctx, qty_share: u64) { ctx.trace_add(Counter::BytesSent, qty_share); }",
+        );
+        assert_eq!(lints_of(&f), vec!["secret-taint"]);
+        let f = run("fn bad2(ctx: &Ctx, mask: u64) { ctx.trace_span_at(\"block\", mask); }");
+        assert_eq!(lints_of(&f), vec!["secret-taint"]);
+        // Pragma escape hatch works for sinks too.
+        let f = run("fn ok2(ctx: &Ctx, n_triples: u64) {\n\
+             // dash-analyze::allow(secret-taint): count of triples, not their values\n\
+             ctx.trace_add(Counter::TriplesConsumed, n_triples); }");
+        assert!(f.is_empty(), "{f:?}");
+        // In test code the sink is unrestricted.
+        let f = run("#[cfg(test)]\nmod tests {\n#[test]\nfn t() { ctx.trace_add(C::B, mask); }\n}");
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -4,10 +4,14 @@
 //! dash-analyze [--root <dir>] [--format text|json]
 //!              [--baseline <file>] [--update-baseline]
 //!              [--deny <lint>|all]... [--warn <lint>|all]... [--allow <lint>|all]...
+//! dash-analyze --validate-trace <trace.json>
 //! ```
 //!
 //! Exits 0 when no unsuppressed deny-level finding remains, 1 when the
-//! gate fails, 2 on usage or I/O errors.
+//! gate fails, 2 on usage or I/O errors. `--validate-trace` skips the
+//! workspace scan and instead checks one `dash-trace/1` JSON export
+//! (as written by `dash secure-scan --trace-out`) for schema and
+//! conservation-invariant violations.
 
 use dash_analyze::baseline::Baseline;
 use dash_analyze::report::{judge, render_json, render_text, Levels};
@@ -25,8 +29,35 @@ struct Args {
 
 fn usage() -> String {
     "usage: dash-analyze [--root <dir>] [--format text|json] [--baseline <file>] \
-     [--update-baseline] [--deny <lint>|all] [--warn <lint>|all] [--allow <lint>|all]"
+     [--update-baseline] [--deny <lint>|all] [--warn <lint>|all] [--allow <lint>|all]\n\
+     \x20      dash-analyze --validate-trace <trace.json>"
         .to_string()
+}
+
+/// `--validate-trace` mode: checks one trace export and exits.
+fn validate_trace_file(path: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dash-analyze: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match dash_analyze::trace_check::validate_trace(&src) {
+        Ok(s) => {
+            println!(
+                "trace ok: {} parties, {} bytes, {} spans",
+                s.n_parties, s.total_bytes, s.n_spans
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errs) => {
+            for e in &errs {
+                eprintln!("trace invalid: {e}");
+            }
+            ExitCode::from(1)
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -89,6 +120,20 @@ fn find_root() -> Result<PathBuf, String> {
 }
 
 fn main() -> ExitCode {
+    // Trace validation is a self-contained mode with its own exit paths.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = raw.iter().position(|a| a == "--validate-trace") {
+        return match raw.get(i + 1) {
+            Some(path) if raw.len() == 2 => validate_trace_file(path),
+            _ => {
+                eprintln!(
+                    "--validate-trace takes exactly one file argument\n{}",
+                    usage()
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

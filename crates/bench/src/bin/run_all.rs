@@ -1,4 +1,4 @@
-//! Runs every experiment binary in sequence (E1–E12), separated by
+//! Runs every experiment binary in sequence (E1–E13), separated by
 //! banners — the one-command reproduction of EXPERIMENTS.md.
 //!
 //! Each experiment is an independent binary; this runner invokes their
@@ -20,6 +20,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp10_ablation",
     "exp11_logistic",
     "exp12_blocked_secure",
+    "exp13_trace_overhead",
 ];
 
 fn main() {

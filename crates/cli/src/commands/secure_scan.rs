@@ -3,7 +3,9 @@
 use crate::args::Flags;
 use crate::commands::load_all_parties;
 use crate::error::CliError;
-use dash_core::secure::{secure_scan, AggregationMode, RFactorMode, SecureScanConfig};
+use dash_core::secure::{
+    secure_scan_traced, AggregationMode, RFactorMode, SecureScanConfig, TraceHandle,
+};
 use dash_gwas::io::write_scan_tsv;
 use dash_mpc::{CrashPoint, FaultPlan};
 use std::io::Write;
@@ -28,6 +30,12 @@ OPTIONS:
     --out FILE      write results TSV here
     --seed S        protocol seed [default: 42]
     --audit BOOL    print the disclosure log (true/false) [default: true]
+
+OBSERVABILITY:
+    --trace-out FILE  write a dash-trace/1 JSON trace (per-party spans and
+                      counters) to FILE after the run
+    --metrics BOOL    print the per-party metrics summary (true/false)
+                      [default: false]
 
 BLOCKED PIPELINE (results are bit-identical for any block size):
     --block-size B  aggregate variants in blocks of B columns; peak summand
@@ -115,6 +123,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let out_path = flags.optional("out").map(PathBuf::from);
     let seed = flags.parse_or("seed", 42u64, "an integer seed")?;
     let audit = flags.parse_or("audit", true, "true or false")?;
+    let trace_out = flags.optional("trace-out").map(PathBuf::from);
+    let metrics = flags.parse_or("metrics", false, "true or false")?;
     let deadline_ms = flags.parse_or("deadline-ms", 60_000u64, "milliseconds")?;
     let max_retries = flags.parse_or("retries", 3u32, "a retry count")?;
     let retry_backoff_ms = flags.parse_or("backoff-ms", 1u64, "milliseconds")?;
@@ -179,7 +189,12 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     cfg.threads = threads;
 
     let parties = load_all_parties(&dir)?;
-    let output = secure_scan(&parties, &cfg)?;
+    let trace = if trace_out.is_some() || metrics {
+        TraceHandle::enabled(parties.len())
+    } else {
+        TraceHandle::disabled()
+    };
+    let output = secure_scan_traced(&parties, &cfg, trace.clone())?;
     writeln!(
         out,
         "secure scan over {} parties, {} variants (mode: {mode})",
@@ -227,10 +242,22 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "  {d}")?;
         }
     }
+    if metrics {
+        out.write_all(trace.summary().as_bytes())?;
+    }
     super::scan::summarize(&output.result, out)?;
     if let Some(path) = out_path {
         write_scan_tsv(&path, &output.result)?;
         writeln!(out, "results written to {}", path.display())?;
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(&path, trace.export_json()).map_err(CliError::Io)?;
+        writeln!(
+            out,
+            "trace written to {} ({} spans)",
+            path.display(),
+            trace.spans().len()
+        )?;
     }
     Ok(())
 }
@@ -456,6 +483,88 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("--threads"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Sums every `"key": <int>` occurrence in a JSON text (the trace
+    /// counters section has one per party).
+    fn sum_json_ints(json: &str, key: &str) -> u64 {
+        let pat = format!("\"{key}\": ");
+        json.match_indices(&pat)
+            .map(|(i, _)| {
+                json[i + pat.len()..]
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse::<u64>()
+                    .unwrap()
+            })
+            .sum()
+    }
+
+    /// Acceptance criterion: the per-party byte totals in the emitted
+    /// JSON trace must equal the `NetworkStats` totals the command
+    /// itself reports — exactly, not approximately.
+    #[test]
+    fn trace_out_json_byte_totals_match_reported_stats() {
+        let dir = setup("traceout");
+        let trace_file = dir.join("trace.json");
+        let mut buf = Vec::new();
+        run(
+            &argv(&[
+                "--dir",
+                dir.to_str().unwrap(),
+                "--mode",
+                "max",
+                "--block-size",
+                "2",
+                "--audit",
+                "false",
+                "--metrics",
+                "true",
+                "--trace-out",
+                trace_file.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // "traffic: N bytes total, ..." is the command's own report of
+        // NetworkStats::total_bytes().
+        let reported: u64 = text
+            .lines()
+            .find(|l| l.starts_with("traffic:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(reported > 0);
+        let json = std::fs::read_to_string(&trace_file).unwrap();
+        assert!(json.contains("\"schema\": \"dash-trace/1\""), "{json}");
+        assert!(json.contains("\"n_parties\": 2"), "{json}");
+        assert_eq!(sum_json_ints(&json, "bytes_sent"), reported, "{json}");
+        assert_eq!(sum_json_ints(&json, "bytes_received"), reported);
+        assert!(json.contains("\"name\": \"scan\""), "span tree exported");
+        assert!(json.contains("\"name\": \"block\""), "block spans exported");
+        // --metrics prints the summary table; the trace path is echoed.
+        assert!(text.contains("per-party counters"), "{text}");
+        assert!(text.contains("trace written to"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Without the observability flags no trace file appears and the
+    /// output is byte-identical to a plain run (the handle is disabled).
+    #[test]
+    fn trace_flags_off_by_default() {
+        let dir = setup("notrace");
+        let mut buf = Vec::new();
+        run(
+            &argv(&["--dir", dir.to_str().unwrap(), "--audit", "false"]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains("per-party counters"), "{text}");
+        assert!(!text.contains("trace written to"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

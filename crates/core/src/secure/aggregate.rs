@@ -15,6 +15,7 @@ use dash_mpc::protocol::beaver::{beaver_inner_batch, open_field};
 use dash_mpc::protocol::masked::{masked_sum_f64, masked_sum_star_f64};
 use dash_mpc::protocol::sum::secure_sum_f64;
 use dash_mpc::{MpcError, PartyCtx};
+use dash_obs::Counter;
 
 /// Aggregates this party's summands with everyone else's under the
 /// configured mode and returns the reduced statistics every party needs
@@ -144,6 +145,7 @@ fn beaver_dots(
     for _ in 0..pairs.len() {
         batch.push(triples.next_inner()?);
     }
+    ctx.trace_add(Counter::TriplesConsumed, batch.len() as u64);
     let product_shares = beaver_inner_batch(ctx, &pairs, &mut batch)?;
 
     // Step 4: open only the products and rescale.
@@ -318,6 +320,7 @@ pub(crate) fn aggregate_y(
             let qty_share = field_codec.encode_field_vec(&qty_scaled)?;
             let pairs: Vec<(&[F61], &[F61])> = vec![(&qty_share, &qty_share)];
             let mut batch = vec![triples.next_inner()?];
+            ctx.trace_add(Counter::TriplesConsumed, 1);
             let product_shares = beaver_inner_batch(ctx, &pairs, &mut batch)?;
             let opened = open_field(
                 ctx,
@@ -399,6 +402,7 @@ pub(crate) fn aggregate_block(
         for _ in 0..pairs.len() {
             batch.push(triples.next_inner()?);
         }
+        ctx.trace_add(Counter::TriplesConsumed, batch.len() as u64);
         let product_shares = beaver_inner_batch(ctx, &pairs, &mut batch)?;
         let opened = open_field(
             ctx,

@@ -38,6 +38,7 @@ use dash_mpc::dealer::{PartyTriples, TrustedDealer};
 use dash_mpc::net::{CostModel, NetOptions, Network};
 use dash_mpc::transport::{FaultPlan, RetryPolicy, TransportConfig};
 use dash_mpc::FixedPointCodec;
+pub use dash_obs::{Counter as TraceCounter, SpanRecord, TraceHandle};
 use parking_lot::Mutex;
 use std::time::Duration;
 
@@ -158,7 +159,8 @@ impl SecureScanConfig {
         Ok(FixedPointCodec::new(self.field_frac_bits)?)
     }
 
-    /// The network runner options this configuration implies.
+    /// The network runner options this configuration implies (tracing
+    /// disabled; [`secure_scan_traced_with`] injects an enabled handle).
     pub fn net_options(&self) -> NetOptions {
         NetOptions {
             transport: TransportConfig {
@@ -169,6 +171,7 @@ impl SecureScanConfig {
                 },
             },
             faults: self.faults,
+            trace: TraceHandle::disabled(),
         }
     }
 }
@@ -358,10 +361,32 @@ pub fn secure_scan(
     secure_scan_with(parties, cfg)
 }
 
+/// Like [`secure_scan`] but records spans and per-party counters into
+/// `trace` (pass [`TraceHandle::enabled`] with the party count; a
+/// disabled handle makes this identical to [`secure_scan`]).
+pub fn secure_scan_traced(
+    parties: &[PartyData],
+    cfg: &SecureScanConfig,
+    trace: TraceHandle,
+) -> Result<SecureScanOutput, CoreError> {
+    secure_scan_traced_with(parties, cfg, trace)
+}
+
 /// Generic variant of [`secure_scan`] over any [`SummandSource`] storage.
 pub fn secure_scan_with<S: SummandSource>(
     parties: &[S],
     cfg: &SecureScanConfig,
+) -> Result<SecureScanOutput, CoreError> {
+    secure_scan_traced_with(parties, cfg, TraceHandle::disabled())
+}
+
+/// Generic traced variant: the run's transport counters mirror into
+/// `trace` and every party records hierarchical spans
+/// (`scan → phase → block → secure round`) plus protocol counters.
+pub fn secure_scan_traced_with<S: SummandSource>(
+    parties: &[S],
+    cfg: &SecureScanConfig,
+    trace: TraceHandle,
 ) -> Result<SecureScanOutput, CoreError> {
     let (_n, m, k) = validate_sources(parties)?;
     let p = parties.len();
@@ -400,11 +425,24 @@ pub fn secure_scan_with<S: SummandSource>(
             (0..p).map(|_| Mutex::new(None)).collect()
         };
 
-    let (results, stats, audit) =
-        Network::run_parties_detailed_with(p, cfg.seed, &cfg.net_options(), |ctx| {
-            let mut triples = triple_slots[ctx.id()].lock().take();
-            protocol::party_protocol_with(ctx, &parties[ctx.id()], cfg, triples.as_mut())
-        });
+    let opts = NetOptions {
+        trace,
+        ..cfg.net_options()
+    };
+    let (results, stats, audit) = Network::run_parties_detailed_with(p, cfg.seed, &opts, |ctx| {
+        // ctx.id() < p by construction; the lookups are total anyway.
+        let data = parties
+            .get(ctx.id())
+            .ok_or(dash_mpc::MpcError::NoSuchParty {
+                id: ctx.id(),
+                n_parties: p,
+            })?;
+        let mut triples = triple_slots
+            .get(ctx.id())
+            .and_then(|slot| slot.lock().take());
+        protocol::party_protocol_with(ctx, data, cfg, triples.as_mut())
+    })
+    .map_err(CoreError::from)?;
 
     // Flatten each party's slot: the outer Result carries panics/crash
     // faults (PartyFailed), the inner one protocol errors. Either way the

@@ -34,6 +34,7 @@ pub(crate) fn party_protocol_with<S: SummandSource>(
     cfg: &SecureScanConfig,
     triples: Option<&mut PartyTriples>,
 ) -> Result<ScanResult, CoreError> {
+    let _scan_span = ctx.trace_span("scan");
     let c = data.covariates();
     let k = c.cols();
 
@@ -41,6 +42,7 @@ pub(crate) fn party_protocol_with<S: SummandSource>(
     // freedom). Summed securely so individual cohort sizes stay private
     // under the secure modes.
     let n_total = {
+        let _span = ctx.trace_span("phase:count");
         let own = [R64(data.n_samples() as u64)];
         let total = masked_sum_ring(ctx, &own, "total sample count N")?;
         total[0].0 as usize
@@ -50,6 +52,7 @@ pub(crate) fn party_protocol_with<S: SummandSource>(
     }
 
     // Phase 1: combined R factor, then private Q rows.
+    let rfactor_span = ctx.trace_span("phase:rfactor");
     let r = rfactor::combine_r(ctx, c, cfg)?;
     let q_k = if k == 0 {
         Matrix::zeros(data.n_samples(), 0)
@@ -57,9 +60,11 @@ pub(crate) fn party_protocol_with<S: SummandSource>(
         let rinv = invert_upper(&r)?;
         gemm(c, &rinv)?
     };
+    drop(rfactor_span);
 
     // Phase 2: local summands (storage-specific), secure aggregation,
     // finalization.
+    let _agg_span = ctx.trace_span("phase:aggregate");
     match cfg.block_size {
         None => {
             let summands = data.summands(&q_k)?;
@@ -130,8 +135,10 @@ fn blocked_protocol<S: SummandSource>(
     let mut triples = triples;
 
     // Round 0, under ordinary protocol tags: the y-side statistics.
+    let y_span = ctx.trace_span("round:y");
     let (yy_local, qty_local) = data.y_summands(q_k)?;
     let head = aggregate::aggregate_y(ctx, yy_local, &qty_local, m, cfg, triples.as_deref_mut())?;
+    drop(y_span);
 
     let n_blocks = m.div_ceil(block_size.max(1));
     let mut xy = vec![0.0; m];
@@ -161,9 +168,12 @@ fn blocked_protocol<S: SummandSource>(
                 // so its traffic is attributed to the block and cannot
                 // collide with neighbouring rounds even though parties may
                 // momentarily be in different blocks.
+                let _block_span = ctx.trace_span_at("block", b as u64);
                 ctx.enter_block(b as u32).map_err(CoreError::from)?;
+                let round_span = ctx.trace_span("round:secure");
                 let agg =
                     aggregate::aggregate_block(ctx, &summ, &head, cfg, triples.as_deref_mut());
+                drop(round_span);
                 ctx.exit_block().map_err(CoreError::from)?;
                 let agg = agg?;
                 let (lo, len) = (summ.lo, summ.len());

@@ -122,7 +122,8 @@ mod tests {
                 rounds.push(all_gather_f64(ctx, tag, &own).unwrap());
             }
             rounds
-        });
+        })
+        .unwrap();
         for r in results {
             let rounds = r.unwrap();
             for (round, gathered) in rounds.into_iter().enumerate() {

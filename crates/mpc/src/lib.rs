@@ -86,6 +86,10 @@ pub use field::F61;
 pub use fixed::FixedPointCodec;
 pub use net::{CostModel, NetOptions, Network, NetworkStats};
 pub use party::PartyCtx;
+// The observability layer (spans, typed counters, JSON trace export)
+// lives in its own dependency-free crate; re-export the handle types the
+// protocol and application layers need.
+pub use dash_obs::{Counter as TraceCounter, SpanRecord, TraceHandle};
 pub use ring::R64;
 pub use transport::{
     CrashPoint, FaultPlan, FaultyTransport, RetryPolicy, Transport, TransportConfig,

@@ -19,6 +19,7 @@ use crate::audit::DisclosureLog;
 use crate::error::MpcError;
 use crate::party::PartyCtx;
 use crate::transport::{FaultPlan, FaultyTransport, Transport, TransportConfig};
+use dash_obs::{Counter, TraceHandle};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,10 +66,14 @@ pub struct NetworkStats {
     block_traffic: Mutex<BTreeMap<u32, (u64, u64)>>,
     /// Bytes of every message whose tag is outside the block range.
     unscoped_bytes: AtomicU64,
+    /// Observability mirror: every counter update is also forwarded to
+    /// this handle (a no-op unless the caller enabled tracing), so trace
+    /// byte totals match these counters exactly by construction.
+    trace: TraceHandle,
 }
 
 impl NetworkStats {
-    fn new(n: usize) -> Self {
+    fn new_traced(n: usize, trace: TraceHandle) -> Self {
         NetworkStats {
             n,
             bytes: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
@@ -77,15 +82,26 @@ impl NetworkStats {
             timeouts: (0..n).map(|_| AtomicU64::new(0)).collect(),
             block_traffic: Mutex::new(BTreeMap::new()),
             unscoped_bytes: AtomicU64::new(0),
+            trace,
         }
+    }
+
+    /// The observability handle mirroring these counters (disabled and
+    /// free unless the run was started with tracing).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     #[inline]
     fn record(&self, from: usize, to: usize, tag: u32, payload_len: usize) {
-        let idx = from * self.n + to;
         let nbytes = HEADER_BYTES + payload_len as u64;
-        self.bytes[idx].fetch_add(nbytes, Ordering::Relaxed);
-        self.msgs[idx].fetch_add(1, Ordering::Relaxed);
+        if let Some(b) = self.bytes.get(from * self.n + to) {
+            b.fetch_add(nbytes, Ordering::Relaxed);
+        }
+        if let Some(m) = self.msgs.get(from * self.n + to) {
+            m.fetch_add(1, Ordering::Relaxed);
+        }
+        self.trace.on_message(from, to, nbytes);
         // Attribution by tag is race-free even though parties sit in
         // different blocks at any instant: the sender stamped the tag.
         match block_of_tag(tag) {
@@ -103,12 +119,18 @@ impl NetworkStats {
 
     /// Counts one send retry performed by `party`.
     pub(crate) fn record_retry(&self, party: usize) {
-        self.retries[party].fetch_add(1, Ordering::Relaxed);
+        if let Some(r) = self.retries.get(party) {
+            r.fetch_add(1, Ordering::Relaxed);
+        }
+        self.trace.add(party, Counter::Retries, 1);
     }
 
     /// Counts one receive deadline expiry suffered by `party`.
     pub(crate) fn record_timeout(&self, party: usize) {
-        self.timeouts[party].fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.timeouts.get(party) {
+            t.fetch_add(1, Ordering::Relaxed);
+        }
+        self.trace.add(party, Counter::Timeouts, 1);
     }
 
     /// Number of parties.
@@ -118,12 +140,16 @@ impl NetworkStats {
 
     /// Bytes sent on the directed link `from → to`.
     pub fn bytes_between(&self, from: usize, to: usize) -> u64 {
-        self.bytes[from * self.n + to].load(Ordering::Relaxed)
+        self.bytes
+            .get(from * self.n + to)
+            .map_or(0, |b| b.load(Ordering::Relaxed))
     }
 
     /// Messages sent on the directed link `from → to`.
     pub fn messages_between(&self, from: usize, to: usize) -> u64 {
-        self.msgs[from * self.n + to].load(Ordering::Relaxed)
+        self.msgs
+            .get(from * self.n + to)
+            .map_or(0, |m| m.load(Ordering::Relaxed))
     }
 
     /// Total bytes sent by one party.
@@ -138,12 +164,16 @@ impl NetworkStats {
 
     /// Send retries performed by one party.
     pub fn retries_by(&self, party: usize) -> u64 {
-        self.retries[party].load(Ordering::Relaxed)
+        self.retries
+            .get(party)
+            .map_or(0, |r| r.load(Ordering::Relaxed))
     }
 
     /// Receive timeouts suffered by one party.
     pub fn timeouts_by(&self, party: usize) -> u64 {
-        self.timeouts[party].load(Ordering::Relaxed)
+        self.timeouts
+            .get(party)
+            .map_or(0, |t| t.load(Ordering::Relaxed))
     }
 
     /// Total bytes over all links.
@@ -328,13 +358,19 @@ impl Endpoint {
     /// Allocates the next sequence number for the link to `to`,
     /// validating the link exists.
     pub(crate) fn alloc_seq(&self, to: usize) -> Result<u64, MpcError> {
-        if to == self.id || to >= self.n {
+        if to == self.id {
             return Err(MpcError::NoSuchParty {
                 id: to,
                 n_parties: self.n,
             });
         }
-        Ok(self.send_seqs[to].fetch_add(1, Ordering::Relaxed))
+        self.send_seqs
+            .get(to)
+            .map(|s| s.fetch_add(1, Ordering::Relaxed))
+            .ok_or(MpcError::NoSuchParty {
+                id: to,
+                n_parties: self.n,
+            })
     }
 
     /// Ships an already-framed message, recording its cost. Used by the
@@ -480,14 +516,19 @@ impl Endpoint {
 }
 
 /// Knobs for one protocol run: the transport policy every party uses,
-/// plus optional fault injection.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// optional fault injection, and the observability sink.
+#[derive(Debug, Clone, Default)]
 pub struct NetOptions {
     /// Receive deadline and send retry policy.
     pub transport: TransportConfig,
     /// When set, every endpoint is wrapped in a
     /// [`FaultyTransport`] driven by this plan.
     pub faults: Option<FaultPlan>,
+    /// Observability sink. Disabled by default; when enabled, the shared
+    /// [`NetworkStats`] mirrors every counter into it and the protocol
+    /// layers record spans and protocol counters through
+    /// [`crate::party::PartyCtx`].
+    pub trace: TraceHandle,
 }
 
 /// Factory for in-process party networks.
@@ -506,30 +547,41 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
 impl Network {
     /// Builds endpoints for `n` parties plus the shared counters.
     pub fn endpoints(n: usize) -> Result<(Vec<Endpoint>, Arc<NetworkStats>), MpcError> {
+        Self::endpoints_traced(n, TraceHandle::disabled())
+    }
+
+    /// Like [`Network::endpoints`] but the shared counters mirror into
+    /// `trace` (pass [`TraceHandle::disabled`] for the free path).
+    pub fn endpoints_traced(
+        n: usize,
+        trace: TraceHandle,
+    ) -> Result<(Vec<Endpoint>, Arc<NetworkStats>), MpcError> {
         if n == 0 {
             return Err(MpcError::BadPartyCount {
                 n_parties: 0,
                 min: 1,
             });
         }
-        let stats = Arc::new(NetworkStats::new(n));
+        let stats = Arc::new(NetworkStats::new_traced(n, trace));
         // channels[i][j]: sender for link i→j held by i, receiver held by j.
         let mut senders: Vec<Vec<Option<Sender<Message>>>> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         let mut links: Vec<Vec<Option<Mutex<RecvState>>>> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-        for i in 0..n {
-            for j in 0..n {
+        for (i, sender_row) in senders.iter_mut().enumerate() {
+            for (j, send_slot) in sender_row.iter_mut().enumerate() {
                 if i == j {
                     continue;
                 }
                 let (tx, rx) = channel();
-                senders[i][j] = Some(tx);
-                links[j][i] = Some(Mutex::new(RecvState {
-                    rx,
-                    next_seq: 0,
-                    early: BTreeMap::new(),
-                }));
+                *send_slot = Some(tx);
+                if let Some(recv_slot) = links.get_mut(j).and_then(|row| row.get_mut(i)) {
+                    *recv_slot = Some(Mutex::new(RecvState {
+                        rx,
+                        next_seq: 0,
+                        early: BTreeMap::new(),
+                    }));
+                }
             }
         }
         let endpoints = senders
@@ -574,7 +626,12 @@ impl Network {
         F: Fn(&mut PartyCtx) -> T + Sync,
     {
         let (results, stats, audit) =
-            Self::run_parties_detailed_with(n, seed, &NetOptions::default(), f);
+            Self::run_parties_detailed_with(n, seed, &NetOptions::default(), f)
+                // dash-analyze::allow(panic-free): this runner's documented
+                // contract is panic-on-failure (tests want the original
+                // failure); `run_parties_detailed_with` is the
+                // structured-error path.
+                .unwrap_or_else(|e| panic!("network setup failed: {e}"));
         let results = results
             .into_iter()
             // dash-analyze::allow(panic-free): this runner's documented
@@ -593,28 +650,23 @@ impl Network {
     /// structured errors ([`MpcError::ChannelClosed`] or
     /// [`MpcError::Timeout`]) within the configured deadline. The process
     /// never panics and never hangs.
+    ///
+    /// A network that cannot be set up at all (e.g. `n == 0`) is an
+    /// `Err` on the runner itself — previously this was silently mapped
+    /// to an empty zero-party *success*, making a setup failure
+    /// indistinguishable from "no parties" (regression-tested below).
+    #[allow(clippy::type_complexity)]
     pub fn run_parties_detailed_with<T, F>(
         n: usize,
         seed: u64,
         opts: &NetOptions,
         f: F,
-    ) -> (Vec<Result<T, MpcError>>, Arc<NetworkStats>, DisclosureLog)
+    ) -> Result<(Vec<Result<T, MpcError>>, Arc<NetworkStats>, DisclosureLog), MpcError>
     where
         T: Send,
         F: Fn(&mut PartyCtx) -> T + Sync,
     {
-        let (endpoints, stats) = match Self::endpoints(n) {
-            Ok(pair) => pair,
-            // A zero-party run has no parties to fail: empty results, zero
-            // counters, empty log.
-            Err(_) => {
-                return (
-                    Vec::new(),
-                    Arc::new(NetworkStats::new(0)),
-                    DisclosureLog::new(),
-                );
-            }
-        };
+        let (endpoints, stats) = Self::endpoints_traced(n, opts.trace.clone())?;
         let audit = DisclosureLog::new();
         let results: Vec<Result<T, MpcError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = endpoints
@@ -654,7 +706,7 @@ impl Network {
                 })
                 .collect()
         });
-        (results, stats, audit)
+        Ok((results, stats, audit))
     }
 }
 
@@ -669,6 +721,73 @@ mod tests {
             Network::endpoints(0),
             Err(MpcError::BadPartyCount { .. })
         ));
+    }
+
+    #[test]
+    fn runner_propagates_setup_failure() {
+        // Regression: a failed Self::endpoints(n) used to be swallowed
+        // into an empty zero-party *success* (empty results, zero
+        // counters), indistinguishable from a degenerate-but-valid run.
+        // The runner must surface the structured error instead.
+        let err = Network::run_parties_detailed_with(0, 7, &NetOptions::default(), |ctx| ctx.id())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MpcError::BadPartyCount {
+                n_parties: 0,
+                min: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn trace_mirror_matches_stats_exactly() {
+        // Tentpole acceptance: per-party trace byte/message totals equal
+        // the NetworkStats counters exactly, including retry/timeout
+        // counters, because both are fed from the same accounting point.
+        use dash_obs::Counter;
+        let opts = NetOptions {
+            trace: TraceHandle::enabled(3),
+            ..NetOptions::default()
+        };
+        let (results, stats, _) =
+            Network::run_parties_detailed_with(3, 42, &opts, |ctx| -> Result<u64, MpcError> {
+                let me = ctx.id() as u64;
+                let tag = ctx.fresh_tag();
+                for j in 0..ctx.n_parties() {
+                    if j != ctx.id() {
+                        ctx.send_words(j, tag, &[me; 5])?;
+                    }
+                }
+                let mut sum = me;
+                for j in 0..ctx.n_parties() {
+                    if j != ctx.id() {
+                        sum += ctx.recv_words(j, tag)?.first().copied().unwrap_or(0);
+                    }
+                }
+                Ok(sum)
+            })
+            .unwrap();
+        for r in results {
+            assert_eq!(r.unwrap().unwrap(), 3);
+        }
+        let trace = stats.trace();
+        assert!(trace.is_enabled());
+        assert!(stats.total_bytes() > 0);
+        for p in 0..3 {
+            assert_eq!(trace.counter(p, Counter::BytesSent), stats.bytes_sent_by(p));
+            assert_eq!(
+                trace.counter(p, Counter::MessagesSent),
+                stats.messages_sent_by(p)
+            );
+            assert_eq!(trace.counter(p, Counter::Retries), stats.retries_by(p));
+            assert_eq!(trace.counter(p, Counter::Timeouts), stats.timeouts_by(p));
+        }
+        assert_eq!(trace.counter_total(Counter::BytesSent), stats.total_bytes());
+        assert_eq!(
+            trace.counter_total(Counter::BytesReceived),
+            stats.total_bytes()
+        );
     }
 
     #[test]
@@ -804,7 +923,7 @@ mod tests {
                 deadline: Duration::from_millis(100),
                 retry: RetryPolicy::default(),
             },
-            faults: None,
+            ..NetOptions::default()
         };
         let start = Instant::now();
         let (results, stats, _) =
@@ -815,7 +934,8 @@ mod tests {
                     return Ok(vec![]);
                 }
                 ctx.recv_words(2, 77)
-            });
+            })
+            .unwrap();
         assert!(start.elapsed() < Duration::from_secs(5));
         for survivor in [0, 1] {
             match &results[survivor] {
@@ -849,7 +969,8 @@ mod tests {
                 }
                 ctx.recv_words(1, 50)
             },
-        );
+        )
+        .unwrap();
         match &results[1] {
             Err(MpcError::PartyFailed { party: 1, reason }) => {
                 assert!(reason.contains("boom"), "reason = {reason:?}");

@@ -17,6 +17,7 @@ use crate::prg::Prg;
 use crate::ring::R64;
 use crate::tags::{self, BLOCK_TAG_BASE, BLOCK_TAG_STRIDE, MAX_BLOCK_ID};
 use crate::transport::{Transport, TransportConfig};
+use dash_obs::{Counter, SpanGuard, TraceHandle};
 
 /// One party's execution context.
 #[derive(Debug)]
@@ -26,6 +27,9 @@ pub struct PartyCtx {
     rng: Prg,
     pair_prgs: Vec<Option<Prg>>,
     audit: DisclosureLog,
+    /// Observability handle cloned off the shared network stats at
+    /// construction; disabled (free) unless the run enabled tracing.
+    trace: TraceHandle,
     tag_counter: u32,
     /// Ordinary counter value saved while inside a block tag scope.
     saved_tag: Option<u32>,
@@ -68,12 +72,14 @@ impl PartyCtx {
                 }
             })
             .collect();
+        let trace = transport.stats().trace().clone();
         PartyCtx {
             transport,
             config,
             rng,
             pair_prgs,
             audit,
+            trace,
             tag_counter: tags::PROTOCOL_TAG_FIRST,
             saved_tag: None,
             cur_block: None,
@@ -129,6 +135,32 @@ impl PartyCtx {
     /// The shared disclosure log.
     pub fn audit(&self) -> &DisclosureLog {
         &self.audit
+    }
+
+    /// The observability handle for this run (disabled by default).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// Adds `amount` to this party's trace counter. A no-op (one branch)
+    /// when tracing is disabled. Only pass *counts* here — never secret
+    /// values; `dash-analyze`'s secret-taint lint flags secret-named
+    /// arguments to this sink.
+    #[inline]
+    pub fn trace_add(&self, counter: Counter, amount: u64) {
+        self.trace.add(self.id(), counter, amount);
+    }
+
+    /// Opens a named span on this party; it closes when the guard drops.
+    #[inline]
+    pub fn trace_span(&self, name: &'static str) -> SpanGuard {
+        self.trace.span(self.id(), name)
+    }
+
+    /// Opens an indexed span (e.g. per block) on this party.
+    #[inline]
+    pub fn trace_span_at(&self, name: &'static str, index: u64) -> SpanGuard {
+        self.trace.span_at(self.id(), name, index)
     }
 
     /// This party's private randomness.

@@ -18,6 +18,7 @@ use crate::error::MpcError;
 use crate::field::F61;
 use crate::party::PartyCtx;
 use crate::share::share_field;
+use dash_obs::Counter;
 
 /// Opens a vector of shared field elements: everyone broadcasts shares and
 /// sums. If `disclosed_as` is given, party 0 records the opening.
@@ -31,6 +32,7 @@ pub fn open_field(
     if let Some(label) = disclosed_as {
         if ctx.id() == 0 {
             ctx.audit().record_aggregate(label, opened.len());
+            ctx.trace_add(Counter::OpenedScalars, opened.len() as u64);
         }
     }
     Ok(opened)

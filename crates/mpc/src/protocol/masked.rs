@@ -18,6 +18,7 @@ use crate::error::MpcError;
 use crate::fixed::FixedPointCodec;
 use crate::party::PartyCtx;
 use crate::ring::{add_assign_vec, sub_assign_vec, R64};
+use dash_obs::Counter;
 
 /// Securely sums each coordinate of `values` across all parties using
 /// pairwise-correlated masks; every party learns only the totals.
@@ -30,6 +31,7 @@ pub fn masked_sum_ring(
     let me = ctx.id();
     if n == 1 {
         ctx.audit().record_aggregate(label, values.len());
+        ctx.trace_add(Counter::OpenedScalars, values.len() as u64);
         return Ok(values.to_vec());
     }
     // Apply pairwise masks. Both endpoints of a pair draw the same stream;
@@ -52,6 +54,10 @@ pub fn masked_sum_ring(
     let total = ctx.exchange_sum_ring(tag, &masked)?;
     if me == 0 {
         ctx.audit().record_aggregate(label, total.len());
+        // The trace observes the opened word count at the opening step,
+        // on the recording party, so the disclosure-size tests can check
+        // the log's *claimed* scalar counts against what was opened.
+        ctx.trace_add(Counter::OpenedScalars, total.len() as u64);
     }
     Ok(total)
 }
@@ -74,6 +80,7 @@ pub fn masked_sum_star_ring(
     let me = ctx.id();
     if n == 1 {
         ctx.audit().record_aggregate(label, values.len());
+        ctx.trace_add(Counter::OpenedScalars, values.len() as u64);
         return Ok(values.to_vec());
     }
     let mut masked = values.to_vec();
@@ -106,6 +113,7 @@ pub fn masked_sum_star_ring(
         }
         ctx.broadcast_ring(tag_down, &total)?;
         ctx.audit().record_aggregate(label, total.len());
+        ctx.trace_add(Counter::OpenedScalars, total.len() as u64);
         Ok(total)
     } else {
         ctx.send_ring(0, tag_up, &masked)?;

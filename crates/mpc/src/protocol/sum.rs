@@ -17,6 +17,7 @@ use crate::fixed::FixedPointCodec;
 use crate::party::PartyCtx;
 use crate::ring::{add_assign_vec, R64};
 use crate::share::share_ring_vec;
+use dash_obs::Counter;
 
 /// Securely sums each coordinate of `values` across all parties; every
 /// party learns the totals and nothing else.
@@ -34,6 +35,7 @@ pub fn secure_sum_ring(
         // Degenerate single party: the "sum" is its own data; still record
         // the opening so leakage accounting stays honest.
         ctx.audit().record_aggregate(label, values.len());
+        ctx.trace_add(Counter::OpenedScalars, values.len() as u64);
         return Ok(values.to_vec());
     }
     // Round 1: distribute shares.
@@ -66,6 +68,7 @@ pub fn secure_sum_ring(
     let total = ctx.exchange_sum_ring(tag_open, &partial)?;
     if me == 0 {
         ctx.audit().record_aggregate(label, total.len());
+        ctx.trace_add(Counter::OpenedScalars, total.len() as u64);
     }
     Ok(total)
 }

@@ -249,7 +249,7 @@ impl FaultyTransport {
 
     /// Releases a frame held back for `to`, if any.
     fn flush_holdback(&self, to: usize) -> Result<(), MpcError> {
-        let held = self.holdback.lock()[to].take();
+        let held = self.holdback.lock().get_mut(to).and_then(Option::take);
         if let Some(msg) = held {
             self.inner.send_frame(to, msg)?;
         }
@@ -278,7 +278,10 @@ impl Transport for FaultyTransport {
                 n_parties: self.n_parties(),
             });
         }
-        let idx = self.msg_idx[to].load(Ordering::Relaxed);
+        let idx = self
+            .msg_idx
+            .get(to)
+            .map_or(0, |m| m.load(Ordering::Relaxed));
         // Transient failure: refuse the first attempt of this message
         // (the logical index is not consumed, so the retry maps to the
         // same fates and goes through).
@@ -287,7 +290,9 @@ impl Transport for FaultyTransport {
         {
             return Err(MpcError::TransientFailure { peer: to });
         }
-        self.msg_idx[to].fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.msg_idx.get(to) {
+            m.fetch_add(1, Ordering::Relaxed);
+        }
 
         // Crash: the party dies once it has completed its send quota.
         if let Some(cp) = self.plan.crash {
@@ -328,10 +333,12 @@ impl Transport for FaultyTransport {
         // the receiver's sequence buffer has to undo. A frame still held
         // at the end of the run ships when the transport drops.
         if self.roll(to, idx, SALT_REORDER) < self.plan.reorder_prob {
-            let held = self.holdback.lock()[to].take();
+            let held = self.holdback.lock().get_mut(to).and_then(Option::take);
             match held {
                 None => {
-                    self.holdback.lock()[to] = Some(msg);
+                    if let Some(slot) = self.holdback.lock().get_mut(to) {
+                        *slot = Some(msg);
+                    }
                     return Ok(());
                 }
                 Some(prev) => {
@@ -502,12 +509,86 @@ mod tests {
                     }
                 }
                 Ok(sum)
-            });
+            })
+            .unwrap();
         for r in results {
             assert_eq!(r, Ok(Ok(3)));
         }
         // Every message failed once and was resent: 6 messages, 6 retries.
         assert_eq!(stats.total_retries(), 6);
+    }
+
+    #[test]
+    fn duplicated_frames_attribute_to_originating_block() {
+        // Satellite bugfix verification: per-block byte attribution must
+        // hold under fault-injected duplication — a duplicated frame
+        // carries the original's tag (attribution happens at the single
+        // send_frame accounting point), so the extra bytes land in the
+        // originating block, never in another block or the unscoped
+        // bucket, and the partition of the total stays exact.
+        use crate::net::{BLOCK_TAG_BASE, BLOCK_TAG_STRIDE, HEADER_BYTES};
+        let (a, b, stats) = two_endpoints();
+        let t = FaultyTransport::new(
+            a,
+            FaultPlan {
+                dup_prob: 1.0,
+                ..FaultPlan::default()
+            },
+        );
+        // One message in block 3's tag range, one ordinary message.
+        let block_tag = BLOCK_TAG_BASE + 3 * BLOCK_TAG_STRIDE + 1;
+        t.send_words(1, block_tag, &[1, 2]).unwrap();
+        t.send_words(1, 900, &[5]).unwrap();
+        assert_eq!(b.recv_words(0, block_tag).unwrap(), vec![1, 2]);
+        assert_eq!(b.recv_words(0, 900).unwrap(), vec![5]);
+        // Both frames were duplicated on the wire: block 3 carries two
+        // copies of the block message, the unscoped bucket two copies of
+        // the ordinary one.
+        let per_block = stats.per_block_traffic();
+        assert_eq!(per_block, vec![(3, 2 * (HEADER_BYTES + 16), 2)]);
+        assert_eq!(stats.unscoped_bytes(), 2 * (HEADER_BYTES + 8));
+        assert_eq!(
+            stats.block_bytes_total() + stats.unscoped_bytes(),
+            stats.total_bytes()
+        );
+    }
+
+    #[test]
+    fn retried_sends_attribute_to_originating_block() {
+        // Same invariant for transient-failure retries: the refused first
+        // attempt never reaches the wire (nothing is counted), and the
+        // successful retry carries the original tag, so exactly one copy
+        // is attributed to the originating block.
+        use crate::net::{BLOCK_TAG_BASE, BLOCK_TAG_STRIDE, HEADER_BYTES};
+        let plan = FaultPlan {
+            seed: 23,
+            transient_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let opts = NetOptions {
+            faults: Some(plan),
+            ..NetOptions::default()
+        };
+        let block_tag = BLOCK_TAG_BASE + 5 * BLOCK_TAG_STRIDE + 1;
+        let (results, stats, _) =
+            Network::run_parties_detailed_with(2, 7, &opts, |ctx| -> Result<Vec<u64>, MpcError> {
+                let peer = 1 - ctx.id();
+                ctx.send_words(peer, block_tag, &[9, 9, 9])?;
+                ctx.recv_words(peer, block_tag)
+            })
+            .unwrap();
+        for r in results {
+            assert_eq!(r, Ok(Ok(vec![9, 9, 9])));
+        }
+        // Each party's send failed once then succeeded: 2 retries, but
+        // only 2 frames on the wire, both attributed to block 5.
+        assert_eq!(stats.total_retries(), 2);
+        assert_eq!(
+            stats.per_block_traffic(),
+            vec![(5, 2 * (HEADER_BYTES + 24), 2)]
+        );
+        assert_eq!(stats.unscoped_bytes(), 0);
+        assert_eq!(stats.block_bytes_total(), stats.total_bytes());
     }
 
     #[test]
@@ -525,6 +606,7 @@ mod tests {
                 retry: RetryPolicy::default(),
             },
             faults: Some(plan),
+            ..NetOptions::default()
         };
         let (results, _, _) =
             Network::run_parties_detailed_with(3, 11, &opts, |ctx| -> Result<u64, MpcError> {
@@ -541,7 +623,8 @@ mod tests {
                     }
                 }
                 Ok(sum)
-            });
+            })
+            .unwrap();
         match &results[1] {
             Ok(Err(MpcError::PartyFailed { party: 1, .. })) => {}
             other => panic!("crashed party: expected PartyFailed, got {other:?}"),

@@ -28,10 +28,22 @@ echo "== blocked-vs-monolithic bit-identity property (bounded case count)"
 # debug assertion that per-block traffic counters partition the total.
 DASH_BLOCKED_CASES=16 cargo test -p dash-core --test blocked_secure
 
+echo "== trace smoke (scan --trace-out, then schema/invariant validation)"
+# A tiny end-to-end observability round trip: simulate a 2-party study,
+# run a blocked secure scan with tracing on, and validate the emitted
+# dash-trace/1 JSON (schema, counter conservation, span monotonicity).
+TRACE_TMP=$(mktemp -d)
+trap 'rm -rf "$TRACE_TMP"' EXIT
+./target/release/dash simulate --out "$TRACE_TMP" --samples 40,50 \
+    --variants 12 --causal 3 --covariates 2 --seed 7
+./target/release/dash secure-scan --dir "$TRACE_TMP" --block-size 4 \
+    --audit false --metrics true --trace-out "$TRACE_TMP/trace.json"
+./target/release/dash-analyze --validate-trace "$TRACE_TMP/trace.json"
+
 echo "== docs"
 cargo doc --workspace --no-deps
 
-echo "== experiments (E1..E12)"
+echo "== experiments (E1..E13)"
 cargo run --release -p dash-bench --bin run_all
 
 echo "== done"
