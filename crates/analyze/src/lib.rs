@@ -15,9 +15,16 @@
 //! - **secret-taint** — share/mask/triple types must not derive `Debug`,
 //!   flow into print macros, or appear in formatting/assertions outside
 //!   `#[cfg(test)]`.
-//! - **secure-indexing** — direct `x[i]` indexing in secure code (warn;
-//!   pre-existing sites are grandfathered in the baseline and burned down
-//!   over time).
+//! - **cross-function-taint** — call-graph closure of secret-taint: a
+//!   value produced by any `Secret`-returning function (directly or
+//!   through a call chain that never passes an audited open) must not
+//!   reach a print/format macro, even via innocuously-named locals or
+//!   wrapper structs.
+//! - **secure-indexing** — direct `x[i]` indexing in secure code. The
+//!   grandfathered baseline has been burned down to zero and the lint now
+//!   denies like the rest.
+//!
+//! All lints deny by default; there is no warn tier left in the defaults.
 //!
 //! The analyzer is self-contained by design: a hand-rolled lexer and JSON
 //! reader/writer, no registry access, consistent with the workspace's
@@ -39,6 +46,7 @@ pub mod lints;
 pub mod model;
 pub mod report;
 pub mod tags_check;
+pub mod taint;
 pub mod trace_check;
 
 use std::fs;
@@ -46,11 +54,12 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Names of every lint, in report order.
-pub const LINTS: [&str; 5] = [
+pub const LINTS: [&str; 6] = [
     "disclosure-completeness",
     "tag-range",
     "panic-free",
     "secret-taint",
+    "cross-function-taint",
     "secure-indexing",
 ];
 
@@ -72,13 +81,11 @@ impl Level {
     }
 }
 
-/// Default level of each lint before CLI overrides.
-pub fn default_level(lint: &str) -> Level {
-    if lint == "secure-indexing" {
-        Level::Warn
-    } else {
-        Level::Deny
-    }
+/// Default level of each lint before CLI overrides. Every lint denies:
+/// `secure-indexing` graduated from warn once its grandfathered baseline
+/// reached zero.
+pub fn default_level(_lint: &str) -> Level {
+    Level::Deny
 }
 
 /// One raw finding (before level resolution and baseline suppression).
@@ -105,11 +112,17 @@ pub fn in_scope(rel: &str) -> bool {
 /// Analyzes one file's source. `scoped` selects whether the secure-code
 /// lints apply; the tag-registry consistency check additionally runs when
 /// `rel` is the registry module itself.
+///
+/// The cross-function taint pass runs here over the single file only —
+/// enough for fixtures and ad-hoc checks. Whole-workspace runs go through
+/// [`analyze_workspace`], which feeds the pass every scoped file at once
+/// so chains spanning files are closed too.
 pub fn analyze_source(rel: &str, src: &str, scoped: bool) -> Vec<Finding> {
     let mut findings = Vec::new();
     if scoped {
         let m = model::FileModel::parse(rel, src);
         findings.extend(lints::run_all(&m));
+        findings.extend(taint::run(std::slice::from_ref(&m)));
     }
     if rel.ends_with("crates/mpc/src/tags.rs") || rel == "crates/mpc/src/tags.rs" {
         findings.extend(tags_check::check_tags_source(rel, src));
@@ -138,14 +151,23 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
 
     let mut findings = Vec::new();
     let mut saw_registry = false;
+    let mut models = Vec::new();
     for path in files {
         let rel = rel_path(root, &path);
         let src = fs::read_to_string(&path)?;
         if rel.ends_with("crates/mpc/src/tags.rs") {
             saw_registry = true;
+            findings.extend(tags_check::check_tags_source(&rel, &src));
         }
-        findings.extend(analyze_source(&rel, &src, in_scope(&rel)));
+        if in_scope(&rel) {
+            let m = model::FileModel::parse(&rel, &src);
+            findings.extend(lints::run_all(&m));
+            models.push(m);
+        }
     }
+    // One global taint pass over every scoped file, so secret-returning
+    // call chains that cross files (mpc → core/secure) are closed.
+    findings.extend(taint::run(&models));
     if !saw_registry {
         findings.push(Finding {
             lint: "tag-range",
@@ -203,7 +225,8 @@ mod tests {
     #[test]
     fn default_levels() {
         assert_eq!(default_level("panic-free"), Level::Deny);
-        assert_eq!(default_level("secure-indexing"), Level::Warn);
+        assert_eq!(default_level("secure-indexing"), Level::Deny);
+        assert_eq!(default_level("cross-function-taint"), Level::Deny);
     }
 
     #[test]

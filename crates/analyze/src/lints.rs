@@ -13,10 +13,16 @@ use crate::Finding;
 /// and is exempt from disclosure-completeness.
 const OPENING_PREFIXES: [&str; 4] = ["all_gather", "broadcast", "exchange_sum", "open_"];
 
-/// Idents that record into the [`DisclosureLog`].
+/// Idents that record into the [`DisclosureLog`]: the log's own
+/// `record_*` methods, plus the audited-open primitives that record
+/// internally at the moment of opening (`Secret::open_via` and
+/// `PartyCtx::open_local`). The `open_sum_*` helpers are *not* listed —
+/// they carry the `open_` prefix and are covered by the
+/// `Some(label)`-argument check below, so an unlabelled (pad) open cannot
+/// self-exempt.
 ///
 /// [`DisclosureLog`]: ../../dash_mpc/audit/struct.DisclosureLog.html
-const RECORDERS: [&str; 2] = ["record_aggregate", "record_party"];
+const RECORDERS: [&str; 4] = ["record_aggregate", "record_party", "open_via", "open_local"];
 
 /// Runs every secure-scope lint over one file.
 pub fn run_all(m: &FileModel) -> Vec<Finding> {
@@ -47,7 +53,7 @@ fn finding(m: &FileModel, lint: &'static str, idx: usize, message: String) -> Fi
 /// Index (in the code view) of the token matching the opener at `open`.
 /// `open`/`close` are single punctuation chars. Returns the last token on
 /// unbalanced input (the lints must not panic).
-fn matching(code: &[Tok], open: usize, oc: char, cc: char) -> usize {
+pub(crate) fn matching(code: &[Tok], open: usize, oc: char, cc: char) -> usize {
     let mut depth = 0usize;
     let mut i = open;
     while i < code.len() {
@@ -556,6 +562,21 @@ mod tests {
         assert!(run(labelled).is_empty());
         let unlabelled = "fn bad2(ctx: &mut Ctx) { open_field(ctx, &s, None).ok(); }";
         assert_eq!(lints_of(&run(unlabelled)), vec!["disclosure-completeness"]);
+    }
+
+    #[test]
+    fn audited_open_primitives_count_as_recording() {
+        // `open_via` / `open_local` record into the DisclosureLog at the
+        // moment of opening, so a function using them to account a nearby
+        // opening call is complete.
+        let via = "fn finish(ctx: &mut Ctx, s: Secret<Vec<R64>>) { \
+                   let v = exchange_sum_ring(ctx, t, &x); \
+                   s.open_via(ctx.audit(), \"sum\", OpenMode::Aggregate(\"sum\")); }";
+        assert!(run(via).is_empty());
+        let local = "fn finish2(ctx: &mut Ctx, s: Secret<R64>) { \
+                     let v = exchange_sum_ring(ctx, t, &x); \
+                     let _ = ctx.open_local(s, Some(\"sum\")); }";
+        assert!(run(local).is_empty());
     }
 
     #[test]

@@ -195,13 +195,27 @@ mod tests {
 
     #[test]
     fn deny_blocks_warn_does_not() {
+        // Every lint denies by default now; demote one explicitly to
+        // exercise the warn path.
+        let mut levels = Levels::default();
+        levels.set("secure-indexing", Level::Warn).unwrap();
         let o = judge(
             vec![f("panic-free", "a.unwrap()"), f("secure-indexing", "v[0]")],
-            &Levels::default(),
+            &levels,
             &Baseline::default(),
         );
         assert_eq!(o.blocking, 1);
         assert!(render_text(&o).contains("FAIL"));
+    }
+
+    #[test]
+    fn defaults_block_secure_indexing() {
+        let o = judge(
+            vec![f("secure-indexing", "v[0]")],
+            &Levels::default(),
+            &Baseline::default(),
+        );
+        assert_eq!(o.blocking, 1);
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! Cross-function secret-taint closure (`cross-function-taint`).
+//!
+//! The token-level `secret-taint` lint catches secrets reaching a
+//! formatter *in the same expression*. This pass closes the remaining
+//! gap: secret material that escapes through a call chain — a function
+//! returns a [`Secret`]-typed value (or a struct carrying one), a second
+//! function passes it along under an innocuous name and type, and a third
+//! finally Debug-formats it.
+//!
+//! The pass is call-graph-aware but deliberately coarse:
+//!
+//! 1. **Seeds** — every non-test function in the secure scope whose
+//!    declared return type mentions `Secret` is secret-producing. The
+//!    wrapper's own combinators in `crates/mpc/src/secret.rs` are *not*
+//!    seeded: their names (`map`, `new`, `element`, …) collide with
+//!    ubiquitous std methods under bare-name matching, and the newtype
+//!    already guarantees their results print redacted.
+//! 2. **Propagation** — a function that returns a value, is not an
+//!    audited-open sanitizer, and calls a tainted function becomes
+//!    tainted itself, to a fixpoint across all files (calls are matched
+//!    by bare name, so the graph is conservative).
+//! 3. **Sanitizers** — a function whose body goes through the audited
+//!    open path (`open_via`, `open_local`, `open_sum_*`, `open_field`) or
+//!    a `reconstruct_*` helper returns *opened* (public) data; taint does
+//!    not propagate through it.
+//! 4. **Sinks** — a print/format macro in non-test secure code whose
+//!    arguments contain a direct call to a tainted function, a local
+//!    `let`-bound from one (transitively through local-to-local moves
+//!    within the function), or an inline `{name}` capture of such a
+//!    local, is a denied leak unless pragma-allowed
+//!    (`// dash-analyze::allow(cross-function-taint): reason`).
+//!
+//! [`Secret`]: ../../dash_mpc/secret/struct.Secret.html
+
+use crate::lexer::TokKind;
+use crate::lints::matching;
+use crate::model::{FileModel, FnSpan};
+use crate::Finding;
+use std::collections::BTreeSet;
+
+const LINT: &str = "cross-function-taint";
+
+/// Print/format macros that render values. `format_args`-style capture
+/// scanning is applied to their string-literal arguments too.
+const SINK_MACROS: [&str; 8] = [
+    "println", "eprintln", "print", "eprint", "dbg", "format", "write", "writeln",
+];
+
+/// Whether `name` is an audited-open (or reconstruction) primitive: the
+/// value it produces is opened/public, so it ends a taint chain.
+fn sanitizing_ident(name: &str) -> bool {
+    matches!(
+        name,
+        "open_via" | "open_local" | "open_sum_ring" | "open_sum_field" | "open_field"
+    ) || name.starts_with("reconstruct_")
+}
+
+/// Per-function facts extracted from the token stream.
+struct FnFacts {
+    model: usize,
+    fn_idx: usize,
+    name: String,
+    /// Signature declares a return type at all.
+    returns_value: bool,
+    /// Declared return type mentions `Secret`.
+    returns_secret: bool,
+    /// Body reaches an audited open / reconstruction.
+    sanitizes: bool,
+    /// Bare names of everything the body calls.
+    calls: BTreeSet<String>,
+}
+
+fn is_call_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "match" | "while" | "for" | "loop" | "return" | "move" | "in" | "as" | "fn"
+    )
+}
+
+fn collect_facts(m: &FileModel, model: usize, fn_idx: usize, f: &FnSpan) -> FnFacts {
+    let code = &m.code;
+    let body_end = f.body_end.min(code.len().saturating_sub(1));
+    // Signature: backwards from the body brace to this fn's `fn` keyword.
+    let sig_start = (0..f.body_start)
+        .rev()
+        .find(|&j| code[j].is_ident("fn"))
+        .unwrap_or(0);
+    let arrow = (sig_start..f.body_start.saturating_sub(1))
+        .find(|&j| code[j].is_punct('-') && code.get(j + 1).is_some_and(|n| n.is_punct('>')));
+    let returns_secret =
+        arrow.is_some_and(|a| code[a..f.body_start].iter().any(|t| t.is_ident("Secret")));
+
+    let mut sanitizes = false;
+    let mut calls = BTreeSet::new();
+    for k in f.body_start..=body_end {
+        let t = &code[k];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if sanitizing_ident(&t.text) {
+            sanitizes = true;
+        }
+        if code.get(k + 1).is_some_and(|n| n.is_punct('('))
+            && !is_call_keyword(&t.text)
+            && !(k > 0 && code[k - 1].is_ident("fn"))
+        {
+            calls.insert(t.text.clone());
+        }
+    }
+    FnFacts {
+        model,
+        fn_idx,
+        name: f.name.clone(),
+        returns_value: arrow.is_some(),
+        returns_secret,
+        sanitizes,
+        calls,
+    }
+}
+
+/// Names of locals in `f` bound (transitively) from tainted calls.
+fn tainted_locals(m: &FileModel, f: &FnSpan, tainted: &BTreeSet<String>) -> BTreeSet<String> {
+    let code = &m.code;
+    let body_end = f.body_end.min(code.len().saturating_sub(1));
+    let mut out: BTreeSet<String> = BTreeSet::new();
+    let mut k = f.body_start;
+    while k <= body_end {
+        if !code[k].is_ident("let") {
+            k += 1;
+            continue;
+        }
+        let mut j = k + 1;
+        if code.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = code.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            k += 1;
+            continue;
+        };
+        let name = name_tok.text.clone();
+        // Statement span: to the `;` (or unbalanced close) at depth 0.
+        let mut depth = 0i32;
+        let mut q = j + 1;
+        let mut stmt_end = body_end;
+        while q <= body_end {
+            let t = &code[q];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+                if depth < 0 {
+                    stmt_end = q;
+                    break;
+                }
+            } else if depth == 0 && t.is_punct(';') {
+                stmt_end = q;
+                break;
+            }
+            q += 1;
+        }
+        let sanitized = (j + 1..stmt_end)
+            .any(|q| code[q].kind == TokKind::Ident && sanitizing_ident(&code[q].text));
+        let initializer_tainted = !sanitized
+            && (j + 1..stmt_end).any(|q| {
+                let t = &code[q];
+                t.kind == TokKind::Ident
+                    && ((tainted.contains(&t.text)
+                        && code.get(q + 1).is_some_and(|n| n.is_punct('(')))
+                        || out.contains(&t.text))
+            });
+        if initializer_tainted {
+            out.insert(name);
+        }
+        k = stmt_end + 1;
+    }
+    out
+}
+
+/// Identifiers captured inline in a format-string literal: `{name}`,
+/// `{name:?}`, `{name:>8}`, …
+fn inline_captures(lit: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = lit.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            if bytes.get(i + 1) == Some(&b'{') {
+                i += 2; // escaped brace
+                continue;
+            }
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != b'}' && bytes[j] != b':' {
+                j += 1;
+            }
+            let name = &lit[i + 1..j];
+            if !name.is_empty()
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !name.starts_with(|c: char| c.is_ascii_digit())
+            {
+                out.push(name.to_string());
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Runs the cross-function taint closure over a set of (secure-scope)
+/// file models and reports formatter sinks fed by secret-returning call
+/// chains.
+pub fn run(models: &[FileModel]) -> Vec<Finding> {
+    // Pass 1: facts.
+    let mut facts: Vec<FnFacts> = Vec::new();
+    for (mi, m) in models.iter().enumerate() {
+        for (fi, f) in m.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            facts.push(collect_facts(m, mi, fi, f));
+        }
+    }
+    // Pass 2: seeds, then propagation to fixpoint (bare-name matching).
+    let mut tainted: BTreeSet<String> = facts
+        .iter()
+        .filter(|ff| {
+            ff.returns_secret
+                && !models
+                    .get(ff.model)
+                    .is_some_and(|m| m.rel.ends_with("mpc/src/secret.rs"))
+        })
+        .map(|ff| ff.name.clone())
+        .collect();
+    loop {
+        let mut changed = false;
+        for ff in &facts {
+            if !ff.returns_value || ff.sanitizes || tainted.contains(&ff.name) {
+                continue;
+            }
+            if ff.calls.iter().any(|c| tainted.contains(c)) {
+                tainted.insert(ff.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Pass 3: sinks.
+    let mut out = Vec::new();
+    for ff in &facts {
+        let Some(m) = models.get(ff.model) else {
+            continue;
+        };
+        let Some(f) = m.fns.get(ff.fn_idx) else {
+            continue;
+        };
+        let locals = tainted_locals(m, f, &tainted);
+        let code = &m.code;
+        let body_end = f.body_end.min(code.len().saturating_sub(1));
+        let mut k = f.body_start;
+        while k <= body_end {
+            let t = &code[k];
+            let is_sink = t.kind == TokKind::Ident
+                && SINK_MACROS.contains(&t.text.as_str())
+                && code.get(k + 1).is_some_and(|n| n.is_punct('!'));
+            if !is_sink {
+                k += 1;
+                continue;
+            }
+            let Some(open) = (k + 2..code.len().min(k + 4))
+                .find(|&q| code[q].is_punct('(') || code[q].is_punct('['))
+            else {
+                k += 1;
+                continue;
+            };
+            let (oc, cc) = if code[open].is_punct('(') {
+                ('(', ')')
+            } else {
+                ('[', ']')
+            };
+            let close = matching(code, open, oc, cc);
+            let mut offender: Option<(String, &'static str)> = None;
+            for q in open..=close.min(body_end) {
+                let a = &code[q];
+                match a.kind {
+                    TokKind::Ident => {
+                        if tainted.contains(&a.text)
+                            && code.get(q + 1).is_some_and(|n| n.is_punct('('))
+                        {
+                            offender = Some((a.text.clone(), "a call to secret-returning"));
+                            break;
+                        }
+                        if locals.contains(&a.text) {
+                            offender =
+                                Some((a.text.clone(), "a local bound from secret-returning"));
+                            break;
+                        }
+                    }
+                    TokKind::Str => {
+                        if let Some(cap) = inline_captures(&a.text)
+                            .into_iter()
+                            .find(|c| locals.contains(c))
+                        {
+                            offender = Some((cap, "an inline capture of a local bound from"));
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some((name, how)) = offender {
+                if !m.allowed(LINT, k) {
+                    out.push(Finding {
+                        lint: LINT,
+                        file: m.rel.clone(),
+                        line: code.get(k).map_or(0, |t| t.line),
+                        function: f.name.clone(),
+                        message: format!(
+                            "{}! formats `{}` — {} function material that never passed an \
+                             audited open (`open_via`); secret-typed values must open through \
+                             the DisclosureLog before they may be rendered",
+                            t.text, name, how
+                        ),
+                        snippet: m.line_text(code.get(k).map_or(0, |t| t.line)).to_string(),
+                    });
+                }
+            }
+            k = close + 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models(files: &[(&str, &str)]) -> Vec<FileModel> {
+        files
+            .iter()
+            .map(|(rel, src)| FileModel::parse(rel, src))
+            .collect()
+    }
+
+    fn lint_count(f: &[Finding]) -> usize {
+        f.iter().filter(|x| x.lint == LINT).count()
+    }
+
+    #[test]
+    fn direct_seed_and_sink_same_file() {
+        let src = r#"
+fn draw(prg: &mut Prg) -> Secret<Vec<R64>> { Secret::new(prg.ring_vec(4)) }
+fn leak(prg: &mut Prg) -> String {
+    let noise = draw(prg);
+    format!("{:?}", noise)
+}
+"#;
+        let f = run(&models(&[("crates/mpc/src/x.rs", src)]));
+        assert_eq!(lint_count(&f), 1, "{f:?}");
+        assert_eq!(f[0].function, "leak");
+        assert!(f[0].message.contains("noise"));
+    }
+
+    #[test]
+    fn taint_propagates_across_files_and_wrapper_types() {
+        // draw() returns Secret; summarize() hides it inside a struct with
+        // an innocuous declared type; report() (another file) formats the
+        // result two calls downstream.
+        let a = r#"
+pub fn draw(prg: &mut Prg) -> Secret<Vec<R64>> { Secret::new(prg.ring_vec(4)) }
+pub fn summarize(prg: &mut Prg) -> Summary {
+    Summary { label: "round", payload: draw(prg) }
+}
+"#;
+        let b = r#"
+fn report(prg: &mut Prg) -> String {
+    let stats = summarize(prg);
+    format!("{stats:?}")
+}
+"#;
+        let f = run(&models(&[
+            ("crates/mpc/src/a.rs", a),
+            ("crates/core/src/secure/b.rs", b),
+        ]));
+        assert_eq!(lint_count(&f), 1, "{f:?}");
+        assert_eq!(f[0].function, "report");
+        assert_eq!(f[0].file, "crates/core/src/secure/b.rs");
+    }
+
+    #[test]
+    fn audited_open_sanitizes_the_chain() {
+        let src = r#"
+fn draw(prg: &mut Prg) -> Secret<Vec<R64>> { Secret::new(prg.ring_vec(4)) }
+fn open_and_report(ctx: &mut Ctx, prg: &mut Prg) -> String {
+    let shares = draw(prg);
+    let total = ctx.open_local(shares, Some("total"));
+    format!("{total:?}")
+}
+fn derived(ctx: &mut Ctx, prg: &mut Prg) -> Vec<R64> {
+    let s = draw(prg);
+    reconstruct_ring(&s)
+}
+fn uses_derived(ctx: &mut Ctx, prg: &mut Prg) -> String {
+    let v = derived(ctx, prg);
+    format!("{v:?}")
+}
+"#;
+        let f = run(&models(&[("crates/mpc/src/x.rs", src)]));
+        assert_eq!(lint_count(&f), 0, "{f:?}");
+    }
+
+    #[test]
+    fn local_to_local_moves_tracked_and_pragma_respected() {
+        let src = r#"
+fn draw(prg: &mut Prg) -> Secret<Vec<R64>> { Secret::new(prg.ring_vec(4)) }
+fn leak(prg: &mut Prg) {
+    let a = draw(prg);
+    let b = a;
+    println!("{:?}", b);
+}
+fn allowed(prg: &mut Prg) {
+    let a = draw(prg);
+    // dash-analyze::allow(cross-function-taint): demo of redacted Debug
+    println!("{:?}", a);
+}
+"#;
+        let f = run(&models(&[("crates/mpc/src/x.rs", src)]));
+        assert_eq!(lint_count(&f), 1, "{f:?}");
+        assert_eq!(f[0].function, "leak");
+    }
+
+    #[test]
+    fn wrapper_module_combinators_do_not_seed() {
+        // `map` defined in secret.rs returning Secret must not taint every
+        // iterator `.map(...)` call in the workspace.
+        let secret_rs = r#"
+impl<T> Secret<T> {
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Secret<U> { Secret(f(self.0)) }
+}
+"#;
+        let user = r#"
+fn doubles(xs: &[u64]) -> Vec<u64> {
+    let out = xs.iter().map(|x| x * 2).collect::<Vec<_>>();
+    out
+}
+fn show(xs: &[u64]) -> String {
+    let d = doubles(xs);
+    format!("{d:?}")
+}
+"#;
+        let f = run(&models(&[
+            ("crates/mpc/src/secret.rs", secret_rs),
+            ("crates/mpc/src/y.rs", user),
+        ]));
+        assert_eq!(lint_count(&f), 0, "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+fn draw(prg: &mut Prg) -> Secret<Vec<R64>> { Secret::new(prg.ring_vec(4)) }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let s = draw(&mut prg);
+        println!("{s:?}");
+    }
+}
+"#;
+        let f = run(&models(&[("crates/mpc/src/x.rs", src)]));
+        assert_eq!(lint_count(&f), 0, "{f:?}");
+    }
+
+    #[test]
+    fn inline_capture_parsing() {
+        assert_eq!(
+            inline_captures("\"{a} {b:?} {{escaped}} {0} {c:>8}\""),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+    }
+}

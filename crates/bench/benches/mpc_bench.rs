@@ -11,6 +11,7 @@ use dash_mpc::protocol::masked::masked_sum_ring;
 use dash_mpc::protocol::sum::secure_sum_ring;
 use dash_mpc::ring::R64;
 use dash_mpc::share::share_ring_vec;
+use dash_mpc::Secret;
 use parking_lot::Mutex;
 
 fn bench_sharing(c: &mut Criterion) {
@@ -67,12 +68,11 @@ fn bench_beaver_batch(c: &mut Criterion) {
                         bundles.into_iter().map(|x| Mutex::new(Some(x))).collect();
                     Network::run_parties(3, 9, |ctx| {
                         let mut triples = slots[ctx.id()].lock().take().unwrap();
-                        let xs = vec![F61::from_i64(ctx.id() as i64 + 1); k];
-                        let pair_list: Vec<(&[F61], &[F61])> =
-                            (0..pairs).map(|_| (&xs[..], &xs[..])).collect();
-                        let mut batch: Vec<_> =
+                        let xs = Secret::new(vec![F61::from_i64(ctx.id() as i64 + 1); k]);
+                        let pair_list: Vec<_> = (0..pairs).map(|_| (&xs, &xs)).collect();
+                        let batch: Vec<_> =
                             (0..pairs).map(|_| triples.next_inner().unwrap()).collect();
-                        beaver_inner_batch(ctx, &pair_list, &mut batch).unwrap()
+                        beaver_inner_batch(ctx, &pair_list, &batch).unwrap()
                     })
                 })
             },

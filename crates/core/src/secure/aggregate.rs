@@ -11,11 +11,21 @@ use crate::suffstats::{ScanStats, SuffStats, VariantSummands};
 use dash_linalg::{dot, self_dot, Matrix};
 use dash_mpc::dealer::PartyTriples;
 use dash_mpc::field::F61;
-use dash_mpc::protocol::beaver::{beaver_inner_batch, open_field};
+use dash_mpc::protocol::beaver::{beaver_inner_batch, open_field, SecretVecPair};
 use dash_mpc::protocol::masked::{masked_sum_f64, masked_sum_star_f64};
 use dash_mpc::protocol::sum::secure_sum_f64;
-use dash_mpc::{MpcError, PartyCtx};
+use dash_mpc::{MpcError, PartyCtx, Secret};
 use dash_obs::Counter;
+
+/// Structured shape error for opened aggregate vectors that arrive with
+/// fewer entries than the protocol's declared layout.
+fn shape(what: &'static str, expected: usize, got: usize) -> CoreError {
+    CoreError::ShapeMismatch {
+        what,
+        expected,
+        got,
+    }
+}
 
 /// Aggregates this party's summands with everyone else's under the
 /// configured mode and returns the reduced statistics every party needs
@@ -61,13 +71,16 @@ pub(crate) fn aggregate(
 fn public(ctx: &mut PartyCtx, summands: &SuffStats) -> Result<ScanStats, CoreError> {
     let m = summands.n_variants();
     let k = summands.n_covariates();
+    // The recorded scalar count is the length of the very buffer that goes
+    // on the wire, so audit and transcript cannot drift apart.
+    let flat = summands.to_flat();
     ctx.audit().record_party(
         ctx.id(),
         format!("party {} raw statistic summands", ctx.id()),
-        summands.to_flat().len(),
+        flat.len(),
     );
     let tag = ctx.fresh_tag();
-    let gathered = all_gather_f64(ctx, tag, &summands.to_flat())?;
+    let gathered = all_gather_f64(ctx, tag, &flat)?;
     let mut total = SuffStats::zeros(m, k);
     for flat in gathered {
         let s = SuffStats::from_flat(&flat, m, k)?;
@@ -103,9 +116,30 @@ fn beaver_dots(
     left.extend_from_slice(&summands.xy);
     left.extend_from_slice(&summands.xx);
     let left_total = masked_sum_f64(ctx, &ring_codec, &left, "aggregate y·y, X·y, X·X")?;
-    let yy = left_total[0];
-    let xy = left_total[1..1 + m].to_vec();
-    let xx = left_total[1 + m..1 + 2 * m].to_vec();
+    let expect_left = 1 + 2 * m;
+    let yy = *left_total
+        .first()
+        .ok_or_else(|| shape("aggregated left-hand statistics", expect_left, 0))?;
+    let xy = left_total
+        .get(1..1 + m)
+        .ok_or_else(|| {
+            shape(
+                "aggregated left-hand statistics",
+                expect_left,
+                left_total.len(),
+            )
+        })?
+        .to_vec();
+    let xx = left_total
+        .get(1 + m..1 + 2 * m)
+        .ok_or_else(|| {
+            shape(
+                "aggregated left-hand statistics",
+                expect_left,
+                left_total.len(),
+            )
+        })?
+        .to_vec();
 
     if k == 0 {
         return Ok(ScanStats {
@@ -123,30 +157,31 @@ fn beaver_dots(
     let field_codec = cfg.field_codec()?;
 
     // Step 2: normalize and encode this party's K-vector summands. A
-    // party's summand is its additive share of the aggregate vector.
+    // party's summand is its additive share of the aggregate vector; from
+    // the moment it is encoded into the field it stays wrapped.
     let y_scale = safe_inv_sqrt(yy);
     let qty_scaled: Vec<f64> = summands.qty.iter().map(|v| v * y_scale).collect();
-    let qty_share = field_codec.encode_field_vec(&qty_scaled)?;
-    let mut qtx_shares: Vec<Vec<F61>> = Vec::with_capacity(m);
+    let qty_share = Secret::new(field_codec.encode_field_vec(&qty_scaled)?);
+    let mut qtx_shares: Vec<Secret<Vec<F61>>> = Vec::with_capacity(m);
     for (j, &xxj) in xx.iter().enumerate().take(m) {
         let s = safe_inv_sqrt(xxj);
         let col: Vec<f64> = summands.qtx.col(j).iter().map(|v| v * s).collect();
-        qtx_shares.push(field_codec.encode_field_vec(&col)?);
+        qtx_shares.push(Secret::new(field_codec.encode_field_vec(&col)?));
     }
 
     // Step 3: all 2M+1 inner products in one batched round.
-    let mut pairs: Vec<(&[F61], &[F61])> = Vec::with_capacity(2 * m + 1);
+    let mut pairs: Vec<SecretVecPair<'_>> = Vec::with_capacity(2 * m + 1);
     pairs.push((&qty_share, &qty_share));
     for share in &qtx_shares {
         pairs.push((share, &qty_share));
         pairs.push((share, share));
     }
-    let mut batch: Vec<_> = Vec::with_capacity(pairs.len());
+    let mut batch: Vec<Secret<_>> = Vec::with_capacity(pairs.len());
     for _ in 0..pairs.len() {
         batch.push(triples.next_inner()?);
     }
     ctx.trace_add(Counter::TriplesConsumed, batch.len() as u64);
-    let product_shares = beaver_inner_batch(ctx, &pairs, &mut batch)?;
+    let product_shares = beaver_inner_batch(ctx, &pairs, &batch)?;
 
     // Step 4: open only the products and rescale.
     let opened = open_field(
@@ -154,14 +189,25 @@ fn beaver_dots(
         &product_shares,
         Some("per-variant projected dot products (Qᵀy·Qᵀy, QᵀX·Qᵀy, QᵀX·QᵀX)"),
     )?;
-    let qtyqty = field_codec.decode_field_product(opened[0]) * yy;
+    let expect_open = 1 + 2 * m;
+    let qtyqty = field_codec.decode_field_product(
+        *opened
+            .first()
+            .ok_or_else(|| shape("opened Beaver products", expect_open, 0))?,
+    ) * yy;
+    let mut products = opened.iter().skip(1);
     let mut qtxqty = Vec::with_capacity(m);
     let mut qtxqtx = Vec::with_capacity(m);
-    for j in 0..m {
-        let d1 = field_codec.decode_field_product(opened[1 + 2 * j]);
-        let d2 = field_codec.decode_field_product(opened[2 + 2 * j]);
-        qtxqty.push(d1 * xx[j].max(0.0).sqrt() * yy.max(0.0).sqrt());
-        qtxqtx.push(d2 * xx[j]);
+    for &xxj in &xx {
+        let d1 = *products
+            .next()
+            .ok_or_else(|| shape("opened Beaver products", expect_open, opened.len()))?;
+        let d2 = *products
+            .next()
+            .ok_or_else(|| shape("opened Beaver products", expect_open, opened.len()))?;
+        qtxqty
+            .push(field_codec.decode_field_product(d1) * xxj.max(0.0).sqrt() * yy.max(0.0).sqrt());
+        qtxqtx.push(field_codec.decode_field_product(d2) * xxj);
     }
     Ok(ScanStats {
         yy,
@@ -183,14 +229,15 @@ pub(crate) enum YAggregate {
     /// normalized additive share and only `Qᵀy·Qᵀy` has opened.
     BeaverShared {
         yy: f64,
-        qty_share: Vec<F61>,
+        qty_share: Secret<Vec<F61>>,
         qtyqty: f64,
     },
 }
 
 impl std::fmt::Debug for YAggregate {
-    // `qty_share` is this party's additive share of Qᵀy; its Debug form
-    // stays redacted so a stray `{:?}` cannot leak share material.
+    // `qty_share` is this party's additive share of Qᵀy; on top of the
+    // wrapper's own redaction, this Debug form reports only its length so
+    // a stray `{:?}` shows shape, never material.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             YAggregate::Opened { yy, qty } => f
@@ -208,7 +255,7 @@ impl std::fmt::Debug for YAggregate {
                 .field("qtyqty", qtyqty)
                 .field(
                     "qty_share",
-                    &format_args!("<{} shares redacted>", qty_share.len()),
+                    &format_args!("<{} shares redacted>", qty_share.scalar_count()),
                 )
                 .finish(),
         }
@@ -283,10 +330,19 @@ pub(crate) fn aggregate_y(
     flat.extend_from_slice(qty);
     let opened = match cfg.aggregation {
         AggregationMode::Public => {
+            // Recorded once for the whole blocked run: this round sends the
+            // 1 + k y-side scalars, and the per-block rounds send the
+            // remaining m·(2 + k) — together the full summand vector.
+            let full_count = 1 + 2 * m + k + k * m;
+            debug_assert_eq!(
+                full_count,
+                flat.len() + m * (2 + k),
+                "blocked Public disclosure accounting out of sync with the y-round payload"
+            );
             ctx.audit().record_party(
                 ctx.id(),
                 format!("party {} raw statistic summands", ctx.id()),
-                1 + 2 * m + k + k * m,
+                full_count,
             );
             let tag = ctx.fresh_tag();
             let gathered = all_gather_f64(ctx, tag, &flat)?;
@@ -303,11 +359,13 @@ pub(crate) fn aggregate_y(
         }
         AggregationMode::BeaverDots => {
             let opened = masked_sum_f64(ctx, &cfg.ring_codec()?, &[yy], "aggregate y·y")?;
-            let yy_total = opened[0];
+            let yy_total = *opened
+                .first()
+                .ok_or_else(|| shape("aggregated y·y", 1, 0))?;
             if k == 0 {
                 return Ok(YAggregate::BeaverShared {
                     yy: yy_total,
-                    qty_share: Vec::new(),
+                    qty_share: Secret::new(Vec::new()),
                     qtyqty: 0.0,
                 });
             }
@@ -317,17 +375,21 @@ pub(crate) fn aggregate_y(
             let field_codec = cfg.field_codec()?;
             let y_scale = safe_inv_sqrt(yy_total);
             let qty_scaled: Vec<f64> = qty.iter().map(|v| v * y_scale).collect();
-            let qty_share = field_codec.encode_field_vec(&qty_scaled)?;
-            let pairs: Vec<(&[F61], &[F61])> = vec![(&qty_share, &qty_share)];
-            let mut batch = vec![triples.next_inner()?];
+            let qty_share = Secret::new(field_codec.encode_field_vec(&qty_scaled)?);
+            let pairs: Vec<SecretVecPair<'_>> = vec![(&qty_share, &qty_share)];
+            let batch = vec![triples.next_inner()?];
             ctx.trace_add(Counter::TriplesConsumed, 1);
-            let product_shares = beaver_inner_batch(ctx, &pairs, &mut batch)?;
+            let product_shares = beaver_inner_batch(ctx, &pairs, &batch)?;
             let opened = open_field(
                 ctx,
                 &product_shares,
                 Some("projected response dot product (Qᵀy·Qᵀy)"),
             )?;
-            let qtyqty = field_codec.decode_field_product(opened[0]) * yy_total;
+            let qtyqty = field_codec.decode_field_product(
+                *opened
+                    .first()
+                    .ok_or_else(|| shape("opened Qᵀy·Qᵀy product", 1, 0))?,
+            ) * yy_total;
             return Ok(YAggregate::BeaverShared {
                 yy: yy_total,
                 qty_share,
@@ -335,9 +397,12 @@ pub(crate) fn aggregate_y(
             });
         }
     };
+    let (yy_total, qty_total) = opened
+        .split_first()
+        .ok_or_else(|| shape("aggregated y-side statistics", 1 + k, 0))?;
     Ok(YAggregate::Opened {
-        yy: opened[0],
-        qty: opened[1..].to_vec(),
+        yy: *yy_total,
+        qty: qty_total.to_vec(),
     })
 }
 
@@ -387,13 +452,13 @@ pub(crate) fn aggregate_block(
             what: "inner-product triples (none supplied)",
         })?;
         let field_codec = cfg.field_codec()?;
-        let mut qtx_shares: Vec<Vec<F61>> = Vec::with_capacity(len);
+        let mut qtx_shares: Vec<Secret<Vec<F61>>> = Vec::with_capacity(len);
         for (j, &xxj) in xx.iter().enumerate() {
             let s = safe_inv_sqrt(xxj);
             let col: Vec<f64> = block.qtx.col(j).iter().map(|v| v * s).collect();
-            qtx_shares.push(field_codec.encode_field_vec(&col)?);
+            qtx_shares.push(Secret::new(field_codec.encode_field_vec(&col)?));
         }
-        let mut pairs: Vec<(&[F61], &[F61])> = Vec::with_capacity(2 * len);
+        let mut pairs: Vec<SecretVecPair<'_>> = Vec::with_capacity(2 * len);
         for share in &qtx_shares {
             pairs.push((share, qty_share));
             pairs.push((share, share));
@@ -403,19 +468,26 @@ pub(crate) fn aggregate_block(
             batch.push(triples.next_inner()?);
         }
         ctx.trace_add(Counter::TriplesConsumed, batch.len() as u64);
-        let product_shares = beaver_inner_batch(ctx, &pairs, &mut batch)?;
+        let product_shares = beaver_inner_batch(ctx, &pairs, &batch)?;
         let opened = open_field(
             ctx,
             &product_shares,
             Some("per-variant projected dot products (QᵀX·Qᵀy, QᵀX·QᵀX)"),
         )?;
+        let mut products = opened.iter();
         let mut qtxqty = Vec::with_capacity(len);
         let mut qtxqtx = Vec::with_capacity(len);
-        for j in 0..len {
-            let d1 = field_codec.decode_field_product(opened[2 * j]);
-            let d2 = field_codec.decode_field_product(opened[2 * j + 1]);
-            qtxqty.push(d1 * xx[j].max(0.0).sqrt() * yy.max(0.0).sqrt());
-            qtxqtx.push(d2 * xx[j]);
+        for &xxj in &xx {
+            let d1 = *products
+                .next()
+                .ok_or_else(|| shape("opened block Beaver products", 2 * len, opened.len()))?;
+            let d2 = *products
+                .next()
+                .ok_or_else(|| shape("opened block Beaver products", 2 * len, opened.len()))?;
+            qtxqty.push(
+                field_codec.decode_field_product(d1) * xxj.max(0.0).sqrt() * yy.max(0.0).sqrt(),
+            );
+            qtxqtx.push(field_codec.decode_field_product(d2) * xxj);
         }
         return Ok(BlockAggregate {
             xy,

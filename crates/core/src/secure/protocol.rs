@@ -45,7 +45,14 @@ pub(crate) fn party_protocol_with<S: SummandSource>(
         let _span = ctx.trace_span("phase:count");
         let own = [R64(data.n_samples() as u64)];
         let total = masked_sum_ring(ctx, &own, "total sample count N")?;
-        total[0].0 as usize
+        total
+            .first()
+            .map(|r| r.0 as usize)
+            .ok_or(CoreError::ShapeMismatch {
+                what: "aggregated sample count",
+                expected: 1,
+                got: 0,
+            })?
     };
     if n_total <= k + 1 {
         return Err(CoreError::NotEnoughSamples { n: n_total, k });

@@ -18,6 +18,63 @@ fn triangle_scalars(k: usize) -> usize {
     k * (k + 1) / 2
 }
 
+/// Flattens a K×K upper-triangular factor into its `k(k+1)/2` meaningful
+/// entries (columns in order, each truncated at the diagonal).
+///
+/// Every R exchanged in this module travels packed, so the word count on
+/// the wire equals the scalar count recorded in the disclosure log — the
+/// audit matches the transcript by construction instead of counting `k²`
+/// words of which `k(k−1)/2` are structural zeros.
+fn pack_upper(r: &Matrix) -> Result<Vec<f64>, CoreError> {
+    let k = r.cols();
+    let mut out = Vec::with_capacity(triangle_scalars(k));
+    for j in 0..k {
+        let col = r.col(j);
+        let head = col.get(..=j).ok_or(CoreError::ShapeMismatch {
+            what: "upper-triangular factor column",
+            expected: j + 1,
+            got: col.len(),
+        })?;
+        debug_assert!(
+            col.get(j + 1..)
+                .is_some_and(|below| below.iter().all(|&v| v == 0.0)),
+            "R factor has nonzero entries below the diagonal"
+        );
+        out.extend_from_slice(head);
+    }
+    debug_assert_eq!(out.len(), triangle_scalars(k));
+    Ok(out)
+}
+
+/// Inverse of [`pack_upper`]: rebuilds the K×K matrix with explicit zeros
+/// below the diagonal. Rejects payloads of the wrong length.
+fn unpack_upper(k: usize, flat: &[f64]) -> Result<Matrix, CoreError> {
+    if flat.len() != triangle_scalars(k) {
+        return Err(CoreError::ShapeMismatch {
+            what: "packed upper-triangular factor",
+            expected: triangle_scalars(k),
+            got: flat.len(),
+        });
+    }
+    let mut m = Matrix::zeros(k, k);
+    let mut off = 0;
+    for j in 0..k {
+        let src = flat.get(off..off + j + 1).ok_or(CoreError::ShapeMismatch {
+            what: "packed upper-triangular factor column",
+            expected: off + j + 1,
+            got: flat.len(),
+        })?;
+        let dst = m.col_mut(j).get_mut(..=j).ok_or(CoreError::ShapeMismatch {
+            what: "unpacked factor column",
+            expected: j + 1,
+            got: 0,
+        })?;
+        dst.copy_from_slice(src);
+        off += j + 1;
+    }
+    Ok(m)
+}
+
 /// This party's K×K local R factor. A party with fewer rows than K pads
 /// its block with zero rows first — zero rows leave `C_kᵀC_k` unchanged,
 /// so the stacked-R identity of §3 is unaffected and even a single-sample
@@ -53,16 +110,18 @@ pub(crate) fn combine_r(
 /// and refactors.
 fn public_stack(ctx: &mut PartyCtx, c: &Matrix, k: usize) -> Result<Matrix, CoreError> {
     let r_local = local_r(c)?;
+    let packed = pack_upper(&r_local)?;
+    debug_assert_eq!(packed.len(), triangle_scalars(k));
     ctx.audit().record_party(
         ctx.id(),
         format!("party {} local R factor", ctx.id()),
-        triangle_scalars(k),
+        packed.len(),
     );
     let tag = ctx.fresh_tag();
-    let gathered = all_gather_f64(ctx, tag, r_local.as_slice())?;
+    let gathered = all_gather_f64(ctx, tag, &packed)?;
     let blocks: Vec<Matrix> = gathered
         .into_iter()
-        .map(|flat| Matrix::from_column_major(k, k, flat).map_err(CoreError::from))
+        .map(|flat| unpack_upper(k, &flat))
         .collect::<Result<_, _>>()?;
     let refs: Vec<&Matrix> = blocks.iter().collect();
     let stacked = Matrix::vstack(&refs)?;
@@ -85,18 +144,20 @@ fn pairwise_tree(ctx: &mut PartyCtx, c: &Matrix, k: usize) -> Result<Matrix, Cor
                 // Send my subtree's combined factor to the parent.
                 let parent = me - gap;
                 let tag = tree_tag(ctx, gap);
-                send_f64(ctx, parent, tag, r.as_slice())?;
+                let packed = pack_upper(&r)?;
+                debug_assert_eq!(packed.len(), triangle_scalars(k));
+                send_f64(ctx, parent, tag, &packed)?;
                 ctx.audit().record_party(
                     me,
                     format!("subtree R at party {me} (tree gap {gap}, sent to party {parent})"),
-                    triangle_scalars(k),
+                    packed.len(),
                 );
                 active = false;
             } else if me.is_multiple_of(2 * gap) && me + gap < n {
                 let child = me + gap;
                 let tag = tree_tag(ctx, gap);
                 let flat = recv_f64(ctx, child, tag)?;
-                let r_child = Matrix::from_column_major(k, k, flat)?;
+                let r_child = unpack_upper(k, &flat)?;
                 r = combine_r_factors(&r, &r_child)?;
             } else {
                 // No partner at this level; keep the tag counter moving in
@@ -111,12 +172,14 @@ fn pairwise_tree(ctx: &mut PartyCtx, c: &Matrix, k: usize) -> Result<Matrix, Cor
     // Root broadcasts the final factor (an all-party aggregate).
     let tag = ctx.fresh_tag();
     let combined = if me == 0 {
-        broadcast_f64(ctx, tag, r.as_slice())?;
+        let packed = pack_upper(&r)?;
+        debug_assert_eq!(packed.len(), triangle_scalars(k));
+        broadcast_f64(ctx, tag, &packed)?;
         ctx.audit()
-            .record_aggregate("combined R factor of pooled C", triangle_scalars(k));
+            .record_aggregate("combined R factor of pooled C", packed.len());
         r
     } else {
-        Matrix::from_column_major(k, k, recv_f64(ctx, 0, tag)?)?
+        unpack_upper(k, &recv_f64(ctx, 0, tag)?)?
     };
     Ok(combined)
 }
@@ -253,6 +316,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_and_shape_check() {
+        let c = rand_block(9, 4, 77);
+        let r = qr_r_factor(&c).unwrap();
+        let packed = pack_upper(&r).unwrap();
+        assert_eq!(packed.len(), triangle_scalars(4));
+        let back = unpack_upper(4, &packed).unwrap();
+        assert_eq!(back.max_abs_diff(&r).unwrap(), 0.0);
+        // Wrong payload length is a structured error, not a panic.
+        assert!(matches!(
+            unpack_upper(4, &packed[..packed.len() - 1]),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

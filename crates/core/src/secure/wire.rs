@@ -52,12 +52,19 @@ pub(crate) fn all_gather_f64(
     let n = ctx.n_parties();
     let me = ctx.id();
     let mut out = vec![Vec::new(); n];
-    out[me] = own.to_vec();
+    *out.get_mut(me).ok_or(MpcError::NoSuchParty {
+        id: me,
+        n_parties: n,
+    })? = own.to_vec();
     for d in 1..n {
         let to = (me + d) % n;
         let from = (me + n - d) % n;
         send_f64(ctx, to, tag, own)?;
-        out[from] = recv_f64(ctx, from, tag)?;
+        let received = recv_f64(ctx, from, tag)?;
+        *out.get_mut(from).ok_or(MpcError::NoSuchParty {
+            id: from,
+            n_parties: n,
+        })? = received;
     }
     Ok(out)
 }

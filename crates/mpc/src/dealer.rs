@@ -12,6 +12,7 @@
 use crate::error::MpcError;
 use crate::field::F61;
 use crate::prg::Prg;
+use crate::secret::Secret;
 use crate::share::share_field;
 use std::collections::VecDeque;
 use std::fmt;
@@ -77,18 +78,25 @@ impl fmt::Debug for PartyTriples {
 }
 
 impl PartyTriples {
-    /// Takes the next scalar triple.
-    pub fn next_scalar(&mut self) -> Result<BeaverTriple, MpcError> {
-        self.scalars.pop_front().ok_or(MpcError::DealerExhausted {
-            what: "scalar Beaver triples",
-        })
+    /// Takes the next scalar triple, wrapped: triple shares are secret
+    /// from the moment they leave the queue.
+    pub fn next_scalar(&mut self) -> Result<Secret<BeaverTriple>, MpcError> {
+        self.scalars
+            .pop_front()
+            .map(Secret::new)
+            .ok_or(MpcError::DealerExhausted {
+                what: "scalar Beaver triples",
+            })
     }
 
-    /// Takes the next inner-product triple.
-    pub fn next_inner(&mut self) -> Result<InnerTriple, MpcError> {
-        self.inners.pop_front().ok_or(MpcError::DealerExhausted {
-            what: "inner-product triples",
-        })
+    /// Takes the next inner-product triple, wrapped.
+    pub fn next_inner(&mut self) -> Result<Secret<InnerTriple>, MpcError> {
+        self.inners
+            .pop_front()
+            .map(Secret::new)
+            .ok_or(MpcError::DealerExhausted {
+                what: "inner-product triples",
+            })
     }
 
     /// Remaining scalar triples.
@@ -132,9 +140,9 @@ impl TrustedDealer {
             let a = self.prg.next_field();
             let b = self.prg.next_field();
             let c = a * b;
-            let sa = share_field(a, self.n, &mut self.prg);
-            let sb = share_field(b, self.n, &mut self.prg);
-            let sc = share_field(c, self.n, &mut self.prg);
+            let sa = share_field(a, self.n, &mut self.prg).into_inner();
+            let sb = share_field(b, self.n, &mut self.prg).into_inner();
+            let sc = share_field(c, self.n, &mut self.prg).into_inner();
             for (dst, ((a, b), c)) in out.iter_mut().zip(sa.into_iter().zip(sb).zip(sc)) {
                 dst.scalars.push_back(BeaverTriple { a, b, c });
             }
@@ -159,18 +167,18 @@ impl TrustedDealer {
             for (&ai, &bi) in a.iter().zip(&b) {
                 for (dst, s) in shares_a
                     .iter_mut()
-                    .zip(share_field(ai, self.n, &mut self.prg))
+                    .zip(share_field(ai, self.n, &mut self.prg).into_inner())
                 {
                     dst.push(s);
                 }
                 for (dst, s) in shares_b
                     .iter_mut()
-                    .zip(share_field(bi, self.n, &mut self.prg))
+                    .zip(share_field(bi, self.n, &mut self.prg).into_inner())
                 {
                     dst.push(s);
                 }
             }
-            let sc = share_field(c, self.n, &mut self.prg);
+            let sc = share_field(c, self.n, &mut self.prg).into_inner();
             for (dst, ((a, b), c)) in out
                 .iter_mut()
                 .zip(shares_a.into_iter().zip(shares_b).zip(sc))
@@ -208,11 +216,11 @@ mod tests {
         for _ in 0..5 {
             let trs: Vec<BeaverTriple> = per_party
                 .iter_mut()
-                .map(|p| p.next_scalar().unwrap())
+                .map(|p| p.next_scalar().unwrap().into_inner())
                 .collect();
-            let a = reconstruct_field(&trs.iter().map(|t| t.a).collect::<Vec<_>>());
-            let b = reconstruct_field(&trs.iter().map(|t| t.b).collect::<Vec<_>>());
-            let c = reconstruct_field(&trs.iter().map(|t| t.c).collect::<Vec<_>>());
+            let a = reconstruct_field(&Secret::new(trs.iter().map(|t| t.a).collect::<Vec<_>>()));
+            let b = reconstruct_field(&Secret::new(trs.iter().map(|t| t.b).collect::<Vec<_>>()));
+            let c = reconstruct_field(&Secret::new(trs.iter().map(|t| t.c).collect::<Vec<_>>()));
             assert_eq!(a * b, c);
         }
         // Exhaustion reported.
@@ -229,18 +237,20 @@ mod tests {
         for _ in 0..3 {
             let trs: Vec<InnerTriple> = per_party
                 .iter_mut()
-                .map(|p| p.next_inner().unwrap())
+                .map(|p| p.next_inner().unwrap().into_inner())
                 .collect();
             let len = trs[0].a.len();
             assert_eq!(len, 6);
             // Reconstruct a, b element-wise and c.
             let mut dot = F61::ZERO;
             for i in 0..len {
-                let ai = reconstruct_field(&trs.iter().map(|t| t.a[i]).collect::<Vec<_>>());
-                let bi = reconstruct_field(&trs.iter().map(|t| t.b[i]).collect::<Vec<_>>());
+                let ai =
+                    reconstruct_field(&Secret::new(trs.iter().map(|t| t.a[i]).collect::<Vec<_>>()));
+                let bi =
+                    reconstruct_field(&Secret::new(trs.iter().map(|t| t.b[i]).collect::<Vec<_>>()));
                 dot += ai * bi;
             }
-            let c = reconstruct_field(&trs.iter().map(|t| t.c).collect::<Vec<_>>());
+            let c = reconstruct_field(&Secret::new(trs.iter().map(|t| t.c).collect::<Vec<_>>()));
             assert_eq!(dot, c);
         }
     }
@@ -249,8 +259,8 @@ mod tests {
     fn shares_differ_across_parties() {
         let mut d = TrustedDealer::new(3, 11).unwrap();
         let mut pp = d.deal_scalars(1);
-        let t0 = pp[0].next_scalar().unwrap();
-        let t1 = pp[1].next_scalar().unwrap();
+        let t0 = pp[0].next_scalar().unwrap().into_inner();
+        let t1 = pp[1].next_scalar().unwrap().into_inner();
         assert_ne!(t0, t1);
     }
 
@@ -271,7 +281,7 @@ mod tests {
         let deal = |seed| {
             let mut d = TrustedDealer::new(2, seed).unwrap();
             let mut pp = d.deal_scalars(1);
-            pp[0].next_scalar().unwrap()
+            pp[0].next_scalar().unwrap().into_inner()
         };
         assert_eq!(deal(5), deal(5));
         assert_ne!(deal(5), deal(6));

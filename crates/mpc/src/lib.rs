@@ -75,6 +75,7 @@ pub mod party;
 pub mod prg;
 pub mod protocol;
 pub mod ring;
+pub mod secret;
 pub mod share;
 pub mod tags;
 pub mod transport;
@@ -91,6 +92,7 @@ pub use party::PartyCtx;
 // protocol and application layers need.
 pub use dash_obs::{Counter as TraceCounter, SpanRecord, TraceHandle};
 pub use ring::R64;
+pub use secret::{OpenMode, ScalarCount, Secret};
 pub use transport::{
     CrashPoint, FaultPlan, FaultyTransport, RetryPolicy, Transport, TransportConfig,
 };

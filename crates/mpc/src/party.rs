@@ -15,6 +15,7 @@ use crate::field::F61;
 use crate::net::Endpoint;
 use crate::prg::Prg;
 use crate::ring::R64;
+use crate::secret::{OpenMode, ScalarCount, Secret};
 use crate::tags::{self, BLOCK_TAG_BASE, BLOCK_TAG_STRIDE, MAX_BLOCK_ID};
 use crate::transport::{Transport, TransportConfig};
 use dash_obs::{Counter, SpanGuard, TraceHandle};
@@ -109,17 +110,18 @@ impl PartyCtx {
     /// Sends a word vector, retrying transient failures with exponential
     /// backoff per the configured [`crate::transport::RetryPolicy`].
     pub fn send_words(&self, to: usize, tag: u32, words: &[u64]) -> Result<(), MpcError> {
-        let mut backoff = self.config.retry.backoff;
         let mut attempt = 0;
         loop {
             match self.transport.send_words(to, tag, words) {
                 Err(MpcError::TransientFailure { .. })
                     if attempt < self.config.retry.max_retries =>
                 {
-                    attempt += 1;
                     self.transport.stats().record_retry(self.id());
-                    std::thread::sleep(backoff);
-                    backoff = backoff.saturating_mul(2);
+                    // backoff_for clamps a zero/near-zero configured
+                    // backoff to a floor, so a misconfigured policy can't
+                    // degenerate into an instant-retry busy loop.
+                    std::thread::sleep(self.config.retry.backoff_for(attempt));
+                    attempt += 1;
                 }
                 other => return other,
             }
@@ -340,6 +342,98 @@ impl PartyCtx {
             }
         }
         Ok(total)
+    }
+
+    // ---- Secret-typed helpers ----------------------------------------
+    //
+    // Shares travel between parties wrapped in [`Secret`]; a single share
+    // is uniform noise to its recipient, so sending it is not a
+    // disclosure. Only the *sum* over all parties opens, and only through
+    // [`Secret::open_via`] below.
+
+    /// Sends one wrapped ring share-vector to a peer.
+    pub fn send_ring_secret(
+        &self,
+        to: usize,
+        tag: u32,
+        v: &Secret<Vec<R64>>,
+    ) -> Result<(), MpcError> {
+        self.send_ring(to, tag, v.expose())
+    }
+
+    /// Receives one wrapped ring share-vector from a peer.
+    pub fn recv_ring_secret(&self, from: usize, tag: u32) -> Result<Secret<Vec<R64>>, MpcError> {
+        Ok(Secret::new(self.recv_ring(from, tag)?))
+    }
+
+    /// Sends one wrapped field share-vector to a peer.
+    pub fn send_field_secret(
+        &self,
+        to: usize,
+        tag: u32,
+        v: &Secret<Vec<F61>>,
+    ) -> Result<(), MpcError> {
+        self.send_field(to, tag, v.expose())
+    }
+
+    /// Receives one wrapped field share-vector from a peer.
+    pub fn recv_field_secret(&self, from: usize, tag: u32) -> Result<Secret<Vec<F61>>, MpcError> {
+        Ok(Secret::new(self.recv_field(from, tag)?))
+    }
+
+    /// Opens an additively shared ring vector: exchanges partial sums with
+    /// every peer and routes the total through the audited
+    /// [`Secret::open_via`] path. With `Some(label)` the total is a
+    /// disclosure — party 0 records it (once per network, not once per
+    /// party) and mirrors the count into the trace; with `None` the total
+    /// is a uniform one-time-pad difference (Beaver `d`/`e`), which is not
+    /// a disclosure by construction.
+    pub fn open_sum_ring(
+        &self,
+        tag: u32,
+        partial: &Secret<Vec<R64>>,
+        disclosed_as: Option<&str>,
+    ) -> Result<Vec<R64>, MpcError> {
+        let total = self.exchange_sum_ring(tag, partial.expose())?;
+        Ok(self.finish_open(Secret::new(total), disclosed_as))
+    }
+
+    /// Field counterpart of [`PartyCtx::open_sum_ring`].
+    pub fn open_sum_field(
+        &self,
+        tag: u32,
+        partial: &Secret<Vec<F61>>,
+        disclosed_as: Option<&str>,
+    ) -> Result<Vec<F61>, MpcError> {
+        let total = self.exchange_sum_field(tag, partial.expose())?;
+        Ok(self.finish_open(Secret::new(total), disclosed_as))
+    }
+
+    /// Opens a value this party already holds in full (the single-party
+    /// fast path, or a star aggregator's locally accumulated total) via
+    /// the same audited path as [`PartyCtx::open_sum_ring`].
+    pub fn open_local<T: ScalarCount>(&self, value: Secret<T>, disclosed_as: Option<&str>) -> T {
+        self.finish_open(value, disclosed_as)
+    }
+
+    /// The single audited exit for every opening in the protocol layer.
+    /// The disclosure count is derived from the opened value itself inside
+    /// [`Secret::open_via`], so the log cannot drift from what opened.
+    fn finish_open<T: ScalarCount>(&self, total: Secret<T>, disclosed_as: Option<&str>) -> T {
+        match disclosed_as {
+            Some(label) if self.id() == 0 => {
+                // The trace observes the opened word count at the opening
+                // step, on the recording party, so the disclosure-size
+                // tests can check the log's claimed scalar counts against
+                // what was opened.
+                self.trace_add(Counter::OpenedScalars, total.scalar_count() as u64);
+                total.open_via(&self.audit, OpenMode::Aggregate(label))
+            }
+            // Every party opens the same total in lockstep; parties other
+            // than the leader open a replica, which records nothing.
+            Some(_) => total.open_via(&self.audit, OpenMode::Replica),
+            None => total.open_via(&self.audit, OpenMode::Pad),
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::field::{F61, MODULUS};
 use crate::ring::R64;
+use crate::secret::Secret;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -81,6 +82,14 @@ impl Prg {
     /// Fills a vector with uniform field elements.
     pub fn field_vec(&mut self, len: usize) -> Vec<F61> {
         (0..len).map(|_| self.next_field()).collect()
+    }
+
+    /// Draws a correlated pad for the masked-sum protocols. The pad is a
+    /// one-time key: it is secret material from the moment it is drawn,
+    /// so it comes out wrapped and is applied via [`Secret::pad_into`]
+    /// without ever existing as a bare vector at the call site.
+    pub fn mask_ring_vec(&mut self, len: usize) -> Secret<Vec<R64>> {
+        Secret::new(self.ring_vec(len))
     }
 
     /// Uniform f64 in [0, 1) — used by simulators layered on this PRG.

@@ -12,30 +12,34 @@
 //! reconstructs to `x·y`. Inner products use vector triples with a scalar
 //! `c = a⃗·b⃗` so each length-L dot costs one round of `2L` opened masked
 //! words instead of `L` separate multiplications.
+//!
+//! Every share, triple and intermediate result here travels wrapped in
+//! [`Secret`]; the only unwrap points are the audited
+//! [`crate::party::PartyCtx::open_sum_field`] openings behind
+//! [`open_field`].
 
 use crate::dealer::{BeaverTriple, InnerTriple};
 use crate::error::MpcError;
 use crate::field::F61;
 use crate::party::PartyCtx;
-use crate::share::share_field;
-use dash_obs::Counter;
+use crate::secret::Secret;
+use crate::share::share_field_vec;
+
+/// One `(xs, ys)` operand pair for [`beaver_inner_batch`]: borrowed,
+/// wrapped share vectors of equal length.
+pub type SecretVecPair<'a> = (&'a Secret<Vec<F61>>, &'a Secret<Vec<F61>>);
 
 /// Opens a vector of shared field elements: everyone broadcasts shares and
-/// sums. If `disclosed_as` is given, party 0 records the opening.
+/// sums. With `Some(label)` the total is a disclosure, recorded by party 0
+/// with the count taken from the opened value itself; with `None` the
+/// total is a uniform one-time-pad difference (not a disclosure).
 pub fn open_field(
     ctx: &mut PartyCtx,
-    shares: &[F61],
+    shares: &Secret<Vec<F61>>,
     disclosed_as: Option<&str>,
 ) -> Result<Vec<F61>, MpcError> {
     let tag = ctx.fresh_tag();
-    let opened = ctx.exchange_sum_field(tag, shares)?;
-    if let Some(label) = disclosed_as {
-        if ctx.id() == 0 {
-            ctx.audit().record_aggregate(label, opened.len());
-            ctx.trace_add(Counter::OpenedScalars, opened.len() as u64);
-        }
-    }
-    Ok(opened)
+    ctx.open_sum_field(tag, shares, disclosed_as)
 }
 
 /// Secret-shares this party's private input vector so the network holds
@@ -43,13 +47,13 @@ pub fn open_field(
 ///
 /// Round structure: the owner shares each of its values; every party
 /// contributes in `party` order so the SPMD call sequence stays aligned.
-/// Returns this party's shares of `owner`'s vector.
+/// Returns this party's (wrapped) shares of `owner`'s vector.
 pub fn input_shares(
     ctx: &mut PartyCtx,
     owner: usize,
     xs: Option<&[F61]>,
     len: usize,
-) -> Result<Vec<F61>, MpcError> {
+) -> Result<Secret<Vec<F61>>, MpcError> {
     let n = ctx.n_parties();
     let me = ctx.id();
     if owner >= n {
@@ -73,27 +77,22 @@ pub fn input_shares(
             });
         }
         // Share every element; send share-vector j to party j.
-        let mut per_party: Vec<Vec<F61>> = (0..n).map(|_| Vec::with_capacity(len)).collect();
-        for &x in xs {
-            for (p, s) in share_field(x, n, ctx.rng_mut()).into_iter().enumerate() {
-                per_party[p].push(s);
-            }
-        }
+        let per_party = share_field_vec(xs, n, ctx.rng_mut());
         for (j, sv) in per_party.iter().enumerate() {
             if j != me {
-                ctx.send_field(j, tag, sv)?;
+                ctx.send_field_secret(j, tag, sv)?;
             }
         }
         per_party.into_iter().nth(me).ok_or(MpcError::Protocol {
             what: "input_shares: own share vector missing",
         })
     } else {
-        let sv = ctx.recv_field(owner, tag)?;
-        if sv.len() != len {
+        let sv = ctx.recv_field_secret(owner, tag)?;
+        if sv.scalar_count() != len {
             return Err(MpcError::LengthMismatch {
                 what: "input_shares received",
                 expected: len,
-                got: sv.len(),
+                got: sv.scalar_count(),
             });
         }
         Ok(sv)
@@ -101,59 +100,70 @@ pub fn input_shares(
 }
 
 /// Multiplies two shared scalars, consuming one scalar triple. Returns a
-/// share of the product.
+/// (wrapped) share of the product.
 pub fn beaver_mul(
     ctx: &mut PartyCtx,
-    x: F61,
-    y: F61,
-    triple: &BeaverTriple,
-) -> Result<F61, MpcError> {
+    x: &Secret<F61>,
+    y: &Secret<F61>,
+    triple: &Secret<BeaverTriple>,
+) -> Result<Secret<F61>, MpcError> {
+    let (xv, yv) = (*x.expose(), *y.expose());
+    let t = triple.expose();
+    let pads = Secret::new(vec![xv - t.a, yv - t.b]);
     // dash-analyze::allow(disclosure-completeness): the opened values are
     // the one-time-pad differences x−a, y−b — uniform and independent of
     // the inputs — so by design they are not a disclosure.
-    let de = open_field(ctx, &[x - triple.a, y - triple.b], None)?;
-    let (d, e) = (de[0], de[1]);
-    let mut z = triple.c + d * triple.b + e * triple.a;
+    let de = open_field(ctx, &pads, None)?;
+    let (d, e) = match de.as_slice() {
+        [d, e] => (*d, *e),
+        _ => {
+            return Err(MpcError::Protocol {
+                what: "beaver_mul: expected exactly two opened pad differences",
+            })
+        }
+    };
+    let mut z = t.c + d * t.b + e * t.a;
     if ctx.id() == 0 {
         z += d * e;
     }
-    Ok(z)
+    Ok(Secret::new(z))
 }
 
 /// Inner product of two shared vectors, consuming one inner-product triple
-/// of matching length. Returns a share of `xs · ys` after one
+/// of matching length. Returns a (wrapped) share of `xs · ys` after one
 /// communication round.
 pub fn beaver_inner(
     ctx: &mut PartyCtx,
-    xs: &[F61],
-    ys: &[F61],
-    triple: &InnerTriple,
-) -> Result<F61, MpcError> {
-    let len = xs.len();
-    if ys.len() != len {
+    xs: &Secret<Vec<F61>>,
+    ys: &Secret<Vec<F61>>,
+    triple: &Secret<InnerTriple>,
+) -> Result<Secret<F61>, MpcError> {
+    let len = xs.scalar_count();
+    if ys.scalar_count() != len {
         return Err(MpcError::LengthMismatch {
             what: "beaver_inner operands",
             expected: len,
-            got: ys.len(),
+            got: ys.scalar_count(),
         });
     }
-    if triple.a.len() != len {
+    if triple.vec_len() != len {
         return Err(MpcError::LengthMismatch {
             what: "beaver_inner triple",
             expected: len,
-            got: triple.a.len(),
+            got: triple.vec_len(),
         });
     }
+    let t = triple.expose();
     // Open [xs − a ; ys − b] in a single message.
-    let mut masked = Vec::with_capacity(2 * len);
-    masked.extend(xs.iter().zip(&triple.a).map(|(&x, &a)| x - a));
-    masked.extend(ys.iter().zip(&triple.b).map(|(&y, &b)| y - b));
+    let mut pads = Vec::with_capacity(2 * len);
+    pads.extend(xs.expose().iter().zip(&t.a).map(|(&x, &a)| x - a));
+    pads.extend(ys.expose().iter().zip(&t.b).map(|(&y, &b)| y - b));
     // dash-analyze::allow(disclosure-completeness): xs−a⃗ and ys−b⃗ are
     // uniform one-time-pad differences; opening them reveals nothing.
-    let opened = open_field(ctx, &masked, None)?;
+    let opened = open_field(ctx, &Secret::new(pads), None)?;
     let (d, e) = opened.split_at(len);
-    let mut z = triple.c;
-    for ((&dv, &ev), (&av, &bv)) in d.iter().zip(e).zip(triple.a.iter().zip(&triple.b)) {
+    let mut z = t.c;
+    for ((&dv, &ev), (&av, &bv)) in d.iter().zip(e).zip(t.a.iter().zip(&t.b)) {
         z += dv * bv + ev * av;
     }
     if ctx.id() == 0 {
@@ -161,7 +171,7 @@ pub fn beaver_inner(
             z += dv * ev;
         }
     }
-    Ok(z)
+    Ok(Secret::new(z))
 }
 
 /// Batched inner products: evaluates many length-L dots in **one**
@@ -169,7 +179,8 @@ pub fn beaver_inner(
 /// into a single opening.
 ///
 /// `pairs[i]` is `(xs_i, ys_i)`; `triples` must supply one inner-product
-/// triple of matching length per pair. Returns one share per pair.
+/// triple of matching length per pair. Returns one (wrapped) share per
+/// pair.
 ///
 /// This is what makes the strictest scan mode round-efficient: 2M+1 dot
 /// products cost one masked opening plus one result opening instead of
@@ -177,9 +188,9 @@ pub fn beaver_inner(
 /// hours.
 pub fn beaver_inner_batch(
     ctx: &mut PartyCtx,
-    pairs: &[(&[F61], &[F61])],
-    triples: &mut [InnerTriple],
-) -> Result<Vec<F61>, MpcError> {
+    pairs: &[SecretVecPair<'_>],
+    triples: &[Secret<InnerTriple>],
+) -> Result<Secret<Vec<F61>>, MpcError> {
     if triples.len() != pairs.len() {
         return Err(MpcError::LengthMismatch {
             what: "beaver_inner_batch triples",
@@ -188,56 +199,56 @@ pub fn beaver_inner_batch(
         });
     }
     // Concatenate [xs_i − a_i ; ys_i − b_i] for all i.
-    let total_len: usize = pairs.iter().map(|(x, _)| 2 * x.len()).sum();
-    let mut masked = Vec::with_capacity(total_len);
-    for ((xs, ys), t) in pairs.iter().zip(triples.iter()) {
-        let len = xs.len();
-        if ys.len() != len {
+    let total_len: usize = pairs.iter().map(|(x, _)| 2 * x.scalar_count()).sum();
+    let mut pads = Vec::with_capacity(total_len);
+    for ((xs, ys), tr) in pairs.iter().zip(triples.iter()) {
+        let len = xs.scalar_count();
+        if ys.scalar_count() != len {
             return Err(MpcError::LengthMismatch {
                 what: "beaver_inner_batch operands",
                 expected: len,
-                got: ys.len(),
+                got: ys.scalar_count(),
             });
         }
-        if t.a.len() != len {
+        if tr.vec_len() != len {
             return Err(MpcError::LengthMismatch {
                 what: "beaver_inner_batch triple length",
                 expected: len,
-                got: t.a.len(),
+                got: tr.vec_len(),
             });
         }
-        for i in 0..len {
-            masked.push(xs[i] - t.a[i]);
-        }
-        for i in 0..len {
-            masked.push(ys[i] - t.b[i]);
-        }
+        let t = tr.expose();
+        pads.extend(xs.expose().iter().zip(&t.a).map(|(&x, &a)| x - a));
+        pads.extend(ys.expose().iter().zip(&t.b).map(|(&y, &b)| y - b));
     }
     // dash-analyze::allow(disclosure-completeness): the concatenated
     // per-pair differences are uniform one-time-pad values; opening them
     // reveals nothing, so no disclosure entry is due here.
-    let opened = open_field(ctx, &masked, None)?;
+    let opened = open_field(ctx, &Secret::new(pads), None)?;
     // Reassemble shares.
     let mut out = Vec::with_capacity(pairs.len());
     let mut off = 0;
     let leader = ctx.id() == 0;
-    for ((xs, _), t) in pairs.iter().zip(triples.iter()) {
-        let len = xs.len();
-        let d = &opened[off..off + len];
-        let e = &opened[off + len..off + 2 * len];
+    for ((xs, _), tr) in pairs.iter().zip(triples.iter()) {
+        let len = xs.scalar_count();
+        let t = tr.expose();
+        let de = opened.get(off..off + 2 * len).ok_or(MpcError::Protocol {
+            what: "beaver_inner_batch: opened buffer shorter than its declared shape",
+        })?;
+        let (d, e) = de.split_at(len);
         off += 2 * len;
         let mut z = t.c;
-        for i in 0..len {
-            z += d[i] * t.b[i] + e[i] * t.a[i];
+        for ((&dv, &ev), (&av, &bv)) in d.iter().zip(e).zip(t.a.iter().zip(&t.b)) {
+            z += dv * bv + ev * av;
         }
         if leader {
-            for i in 0..len {
-                z += d[i] * e[i];
+            for (&dv, &ev) in d.iter().zip(e) {
+                z += dv * ev;
             }
         }
         out.push(z);
     }
-    Ok(out)
+    Ok(Secret::new(out))
 }
 
 #[cfg(test)]
@@ -272,7 +283,8 @@ mod tests {
         let results = with_triples(3, 2, bundles, |ctx, triples| {
             let t = triples.next_scalar().unwrap();
             // a is shared; open it.
-            open_field(ctx, &[t.a], Some("the a value")).unwrap()[0]
+            let a_share = t.map(|t| vec![t.a]);
+            open_field(ctx, &a_share, Some("the a value")).unwrap()[0]
         });
         // All parties agree on the opened value.
         assert_eq!(results[0], results[1]);
@@ -294,8 +306,8 @@ mod tests {
             let xs = input_shares(ctx, 0, Some(&[xe]), 1).unwrap();
             let ys = input_shares(ctx, 1, Some(&[ye]), 1).unwrap();
             let t = triples.next_scalar().unwrap();
-            let z = beaver_mul(ctx, xs[0], ys[0], &t).unwrap();
-            let opened = open_field(ctx, &[z], Some("product")).unwrap();
+            let z = beaver_mul(ctx, &xs.element(0).unwrap(), &ys.element(0).unwrap(), &t).unwrap();
+            let opened = open_field(ctx, &z.map(|v| vec![v]), Some("product")).unwrap();
             codec.decode_field_product(opened[0])
         });
         for r in results {
@@ -320,7 +332,7 @@ mod tests {
             let ys = input_shares(ctx, 2, Some(&ye), len).unwrap();
             let t = triples.next_inner().unwrap();
             let z = beaver_inner(ctx, &xs, &ys, &t).unwrap();
-            let opened = open_field(ctx, &[z], Some("dot")).unwrap();
+            let opened = open_field(ctx, &z.map(|v| vec![v]), Some("dot")).unwrap();
             codec.decode_field_product(opened[0])
         });
         for r in results {
@@ -335,8 +347,8 @@ mod tests {
         let bundles = dealer.deal_inners(4, 1);
         let results = with_triples(n, 6, bundles, |ctx, triples| {
             let t = triples.next_inner().unwrap();
-            let xs = vec![F61::ONE; 4];
-            let ys = vec![F61::ONE; 3];
+            let xs = Secret::new(vec![F61::ONE; 4]);
+            let ys = Secret::new(vec![F61::ONE; 3]);
             beaver_inner(ctx, &xs, &ys, &t).err()
         });
         for r in results {
@@ -350,7 +362,7 @@ mod tests {
         let n = 3;
         let results = Network::run_parties(n, 8, |ctx| {
             let mine = [F61::from_i64((ctx.id() as i64 + 1) * 7)];
-            let mut acc = vec![F61::ZERO];
+            let mut acc = Secret::new(vec![F61::ZERO]);
             for owner in 0..3 {
                 let data = if ctx.id() == owner {
                     Some(&mine[..])
@@ -358,7 +370,7 @@ mod tests {
                     None
                 };
                 let sh = input_shares(ctx, owner, data, 1).unwrap();
-                acc[0] += sh[0];
+                acc.add_assign_secret(&sh).unwrap();
             }
             open_field(ctx, &acc, Some("sum of inputs")).unwrap()[0].as_i64()
         });
@@ -384,7 +396,8 @@ mod tests {
             };
             let xs = input_shares(ctx, 0, data, 1).unwrap();
             let t = triples.next_scalar().unwrap();
-            open_field(ctx, &[xs[0] - t.a], None).unwrap()[0]
+            let pad = xs.element(0).unwrap().zip_with(t, |x, t| vec![x - t.a]);
+            open_field(ctx, &pad, None).unwrap()[0]
         });
         assert_eq!(results[0], results[1]);
         assert_ne!(results[0], x_clear, "mask failed to hide the input");
@@ -424,16 +437,16 @@ mod tests {
             let mut seq = Vec::new();
             for (xs, ys) in &share_pairs {
                 let t = triples.next_inner().unwrap();
-                seq.push(beaver_inner(ctx, xs, ys, &t).unwrap());
+                seq.push(beaver_inner(ctx, xs, ys, &t).unwrap().into_inner());
             }
             // Batched.
-            let mut batch_triples: Vec<InnerTriple> = (0..n_pairs)
+            let batch_triples: Vec<Secret<InnerTriple>> = (0..n_pairs)
                 .map(|_| triples.next_inner().unwrap())
                 .collect();
-            let pair_refs: Vec<(&[F61], &[F61])> =
-                share_pairs.iter().map(|(x, y)| (&x[..], &y[..])).collect();
-            let batch = beaver_inner_batch(ctx, &pair_refs, &mut batch_triples).unwrap();
-            let seq_open = open_field(ctx, &seq, None).unwrap();
+            let pair_refs: Vec<SecretVecPair<'_>> =
+                share_pairs.iter().map(|(x, y)| (x, y)).collect();
+            let batch = beaver_inner_batch(ctx, &pair_refs, &batch_triples).unwrap();
+            let seq_open = open_field(ctx, &Secret::new(seq), None).unwrap();
             let batch_open = open_field(ctx, &batch, None).unwrap();
             (seq_open, batch_open)
         });
@@ -453,13 +466,14 @@ mod tests {
         let bundles = dealer.deal_inners(3, 1);
         let results = with_triples(n, 42, bundles, |ctx, triples| {
             let t = triples.next_inner().unwrap();
-            let xs = vec![F61::ONE; 3];
-            let ys = vec![F61::ONE; 3];
+            let xs = Secret::new(vec![F61::ONE; 3]);
+            let ys = Secret::new(vec![F61::ONE; 3]);
             // Wrong triple count.
-            let r1 = beaver_inner_batch(ctx, &[(&xs, &ys), (&xs, &ys)], &mut [t.clone()]).err();
+            let r1 =
+                beaver_inner_batch(ctx, &[(&xs, &ys), (&xs, &ys)], std::slice::from_ref(&t)).err();
             // Mismatched operand lengths.
-            let short = [F61::ONE; 2];
-            let r2 = beaver_inner_batch(ctx, &[(&xs[..], &short[..])], &mut [t]).err();
+            let short = Secret::new(vec![F61::ONE; 2]);
+            let r2 = beaver_inner_batch(ctx, &[(&xs, &short)], &[t]).err();
             (r1, r2)
         });
         for (r1, r2) in results {

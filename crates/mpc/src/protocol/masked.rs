@@ -17,8 +17,8 @@
 use crate::error::MpcError;
 use crate::fixed::FixedPointCodec;
 use crate::party::PartyCtx;
-use crate::ring::{add_assign_vec, sub_assign_vec, R64};
-use dash_obs::Counter;
+use crate::ring::R64;
+use crate::secret::Secret;
 
 /// Securely sums each coordinate of `values` across all parties using
 /// pairwise-correlated masks; every party learns only the totals.
@@ -30,36 +30,25 @@ pub fn masked_sum_ring(
     let n = ctx.n_parties();
     let me = ctx.id();
     if n == 1 {
-        ctx.audit().record_aggregate(label, values.len());
-        ctx.trace_add(Counter::OpenedScalars, values.len() as u64);
-        return Ok(values.to_vec());
+        return Ok(ctx.open_local(Secret::new(values.to_vec()), Some(label)));
     }
     // Apply pairwise masks. Both endpoints of a pair draw the same stream;
     // iteration order differs per party but streams are per-pair, so each
     // pair advances its PRG exactly once per invocation on both sides.
+    // The pads come out of the PRG wrapped and are applied in place — the
+    // masked buffer is publishable, the pads themselves never unwrap.
     let mut masked = values.to_vec();
     for j in 0..n {
         if j == me {
             continue;
         }
-        let mask = ctx.pair_prg_mut(j)?.ring_vec(values.len());
-        if me < j {
-            add_assign_vec(&mut masked, &mask);
-        } else {
-            sub_assign_vec(&mut masked, &mask);
-        }
+        let pad = ctx.pair_prg_mut(j)?.mask_ring_vec(values.len());
+        pad.pad_into(&mut masked, me < j)?;
     }
-    // One broadcast round; masks cancel in the sum.
+    // One broadcast round; masks cancel in the sum. The total opens
+    // through the audited path (recorded once, by party 0).
     let tag = ctx.fresh_tag();
-    let total = ctx.exchange_sum_ring(tag, &masked)?;
-    if me == 0 {
-        ctx.audit().record_aggregate(label, total.len());
-        // The trace observes the opened word count at the opening step,
-        // on the recording party, so the disclosure-size tests can check
-        // the log's *claimed* scalar counts against what was opened.
-        ctx.trace_add(Counter::OpenedScalars, total.len() as u64);
-    }
-    Ok(total)
+    ctx.open_sum_ring(tag, &Secret::new(masked), Some(label))
 }
 
 /// Star-topology masked sum: masked values flow to one aggregator
@@ -79,44 +68,34 @@ pub fn masked_sum_star_ring(
     let n = ctx.n_parties();
     let me = ctx.id();
     if n == 1 {
-        ctx.audit().record_aggregate(label, values.len());
-        ctx.trace_add(Counter::OpenedScalars, values.len() as u64);
-        return Ok(values.to_vec());
+        return Ok(ctx.open_local(Secret::new(values.to_vec()), Some(label)));
     }
     let mut masked = values.to_vec();
     for j in 0..n {
         if j == me {
             continue;
         }
-        let mask = ctx.pair_prg_mut(j)?.ring_vec(values.len());
-        if me < j {
-            add_assign_vec(&mut masked, &mask);
-        } else {
-            sub_assign_vec(&mut masked, &mask);
-        }
+        let pad = ctx.pair_prg_mut(j)?.mask_ring_vec(values.len());
+        pad.pad_into(&mut masked, me < j)?;
     }
     let tag_up = ctx.fresh_tag();
     let tag_down = ctx.fresh_tag();
     if me == 0 {
-        // Aggregate and broadcast.
-        let mut total = masked;
+        // Aggregate and broadcast. Until the last leaf's contribution is
+        // folded in, the accumulator is still a masked partial — it stays
+        // wrapped and only the final total goes through the audited open.
+        let mut total = Secret::new(masked);
         for j in 1..n {
-            let v = ctx.recv_ring(j, tag_up)?;
-            if v.len() != total.len() {
-                return Err(MpcError::LengthMismatch {
-                    what: "masked_sum_star_ring",
-                    expected: total.len(),
-                    got: v.len(),
-                });
-            }
-            add_assign_vec(&mut total, &v);
+            let v = ctx.recv_ring_secret(j, tag_up)?;
+            total.add_assign_secret(&v)?;
         }
+        let total = ctx.open_local(total, Some(label));
         ctx.broadcast_ring(tag_down, &total)?;
-        ctx.audit().record_aggregate(label, total.len());
-        ctx.trace_add(Counter::OpenedScalars, total.len() as u64);
         Ok(total)
     } else {
         ctx.send_ring(0, tag_up, &masked)?;
+        // The aggregator already recorded this total; what arrives here is
+        // the published aggregate, not a secret.
         ctx.recv_ring(0, tag_down)
     }
 }

@@ -15,15 +15,16 @@
 use crate::error::MpcError;
 use crate::fixed::FixedPointCodec;
 use crate::party::PartyCtx;
-use crate::ring::{add_assign_vec, R64};
+use crate::ring::R64;
+use crate::secret::Secret;
 use crate::share::share_ring_vec;
-use dash_obs::Counter;
 
 /// Securely sums each coordinate of `values` across all parties; every
 /// party learns the totals and nothing else.
 ///
 /// `label` names the opened aggregate in the disclosure log (recorded once
-/// by party 0).
+/// by party 0, with the scalar count derived from the opened total itself
+/// inside [`Secret::open_via`]).
 pub fn secure_sum_ring(
     ctx: &mut PartyCtx,
     values: &[R64],
@@ -32,18 +33,17 @@ pub fn secure_sum_ring(
     let n = ctx.n_parties();
     let me = ctx.id();
     if n == 1 {
-        // Degenerate single party: the "sum" is its own data; still record
-        // the opening so leakage accounting stays honest.
-        ctx.audit().record_aggregate(label, values.len());
-        ctx.trace_add(Counter::OpenedScalars, values.len() as u64);
-        return Ok(values.to_vec());
+        // Degenerate single party: the "sum" is its own data; still open
+        // through the audited path so leakage accounting stays honest.
+        return Ok(ctx.open_local(Secret::new(values.to_vec()), Some(label)));
     }
-    // Round 1: distribute shares.
+    // Round 1: distribute shares. Each share vector is secret material
+    // from the moment it is drawn; the wire helpers keep it wrapped.
     let tag_shares = ctx.fresh_tag();
     let share_vecs = share_ring_vec(values, n, ctx.rng_mut());
     for (j, sv) in share_vecs.iter().enumerate() {
         if j != me {
-            ctx.send_ring(j, tag_shares, sv)?;
+            ctx.send_ring_secret(j, tag_shares, sv)?;
         }
     }
     let mut partial = share_vecs.into_iter().nth(me).ok_or(MpcError::Protocol {
@@ -53,24 +53,12 @@ pub fn secure_sum_ring(
         if j == me {
             continue;
         }
-        let sv = ctx.recv_ring(j, tag_shares)?;
-        if sv.len() != partial.len() {
-            return Err(MpcError::LengthMismatch {
-                what: "secure_sum_ring shares",
-                expected: partial.len(),
-                got: sv.len(),
-            });
-        }
-        add_assign_vec(&mut partial, &sv);
+        let sv = ctx.recv_ring_secret(j, tag_shares)?;
+        partial.add_assign_secret(&sv)?;
     }
-    // Round 2: open the partial sums.
+    // Round 2: open the partial sums through the audited path.
     let tag_open = ctx.fresh_tag();
-    let total = ctx.exchange_sum_ring(tag_open, &partial)?;
-    if me == 0 {
-        ctx.audit().record_aggregate(label, total.len());
-        ctx.trace_add(Counter::OpenedScalars, total.len() as u64);
-    }
-    Ok(total)
+    ctx.open_sum_ring(tag_open, &partial, Some(label))
 }
 
 /// Fixed-point wrapper: encodes `values`, runs [`secure_sum_ring`], and

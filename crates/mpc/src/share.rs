@@ -3,57 +3,67 @@
 //! `share(x)` produces n shares that sum to `x`; any n−1 of them are
 //! jointly uniform, so nothing short of the full set reveals anything
 //! about `x`. This is the "simple secret sharing" the paper's §3 invokes.
+//!
+//! Every sharing function returns its shares wrapped in [`Secret`]: a
+//! share is secret material from the moment it exists, and stays wrapped
+//! until a protocol opens the *sum* through the audited
+//! [`Secret::open_via`] path. The `reconstruct_*` inverses are the
+//! dealer/test-side counterparts that recombine a complete share set.
 
 use crate::field::F61;
 use crate::prg::Prg;
 use crate::ring::R64;
+use crate::secret::Secret;
 
-/// Splits a ring element into `n` additive shares.
+/// Splits a ring element into `n` additive shares (one per recipient).
 ///
 /// Panics in debug builds if `n == 0`; protocols guarantee `n ≥ 1`.
-pub fn share_ring(x: R64, n: usize, prg: &mut Prg) -> Vec<R64> {
+pub fn share_ring(x: R64, n: usize, prg: &mut Prg) -> Secret<Vec<R64>> {
     debug_assert!(n >= 1, "cannot share into zero shares");
-    let mut shares = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
     let mut acc = R64::ZERO;
     for _ in 0..n - 1 {
         let s = prg.next_ring();
         acc += s;
-        shares.push(s);
+        out.push(s);
     }
-    shares.push(x - acc);
-    shares
+    out.push(x - acc);
+    Secret::new(out)
 }
 
-/// Recombines ring shares.
-pub fn reconstruct_ring(shares: &[R64]) -> R64 {
-    R64::sum(shares)
+/// Recombines a complete ring share set (dealer/test-side inverse of
+/// [`share_ring`]; a full set is by definition no longer hiding).
+pub fn reconstruct_ring(shares: &Secret<Vec<R64>>) -> R64 {
+    R64::sum(shares.expose())
 }
 
 /// Splits each element of a vector into `n` additive shares; returns one
 /// share-vector per recipient (transposed layout, ready to send).
-pub fn share_ring_vec(xs: &[R64], n: usize, prg: &mut Prg) -> Vec<Vec<R64>> {
+pub fn share_ring_vec(xs: &[R64], n: usize, prg: &mut Prg) -> Vec<Secret<Vec<R64>>> {
     debug_assert!(n >= 1);
     let mut out: Vec<Vec<R64>> = (0..n).map(|_| Vec::with_capacity(xs.len())).collect();
     for &x in xs {
         let shares = share_ring(x, n, prg);
-        for (recipient, s) in shares.into_iter().enumerate() {
-            out[recipient].push(s);
+        for (recipient, s) in out.iter_mut().zip(shares.into_inner()) {
+            recipient.push(s);
         }
     }
-    out
+    out.into_iter().map(Secret::new).collect()
 }
 
 /// Recombines per-recipient ring share vectors (inverse of
 /// [`share_ring_vec`]).
-pub fn reconstruct_ring_vec(share_vecs: &[Vec<R64>]) -> Vec<R64> {
-    if share_vecs.is_empty() {
-        return Vec::new();
-    }
-    let len = share_vecs[0].len();
+pub fn reconstruct_ring_vec(share_vecs: &[Secret<Vec<R64>>]) -> Vec<R64> {
+    let len = match share_vecs.first() {
+        Some(first) => first.scalar_count(),
+        None => return Vec::new(),
+    };
     let mut out = vec![R64::ZERO; len];
     for sv in share_vecs {
-        debug_assert_eq!(sv.len(), len);
-        for (o, &s) in out.iter_mut().zip(sv) {
+        debug_assert_eq!(sv.scalar_count(), len);
+        // Complete share set: summing into the public output *is* the
+        // reconstruction, not a leak.
+        for (o, &s) in out.iter_mut().zip(sv.expose()) {
             *o += s;
         }
     }
@@ -61,48 +71,48 @@ pub fn reconstruct_ring_vec(share_vecs: &[Vec<R64>]) -> Vec<R64> {
 }
 
 /// Splits a field element into `n` additive shares.
-pub fn share_field(x: F61, n: usize, prg: &mut Prg) -> Vec<F61> {
+pub fn share_field(x: F61, n: usize, prg: &mut Prg) -> Secret<Vec<F61>> {
     debug_assert!(n >= 1);
-    let mut shares = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
     let mut acc = F61::ZERO;
     for _ in 0..n - 1 {
         let s = prg.next_field();
         acc += s;
-        shares.push(s);
+        out.push(s);
     }
-    shares.push(x - acc);
-    shares
+    out.push(x - acc);
+    Secret::new(out)
 }
 
-/// Recombines field shares.
-pub fn reconstruct_field(shares: &[F61]) -> F61 {
-    F61::sum(shares)
+/// Recombines a complete field share set.
+pub fn reconstruct_field(shares: &Secret<Vec<F61>>) -> F61 {
+    F61::sum(shares.expose())
 }
 
 /// Splits each element of a vector into `n` field shares (transposed
 /// layout, one vector per recipient).
-pub fn share_field_vec(xs: &[F61], n: usize, prg: &mut Prg) -> Vec<Vec<F61>> {
+pub fn share_field_vec(xs: &[F61], n: usize, prg: &mut Prg) -> Vec<Secret<Vec<F61>>> {
     debug_assert!(n >= 1);
     let mut out: Vec<Vec<F61>> = (0..n).map(|_| Vec::with_capacity(xs.len())).collect();
     for &x in xs {
         let shares = share_field(x, n, prg);
-        for (recipient, s) in shares.into_iter().enumerate() {
-            out[recipient].push(s);
+        for (recipient, s) in out.iter_mut().zip(shares.into_inner()) {
+            recipient.push(s);
         }
     }
-    out
+    out.into_iter().map(Secret::new).collect()
 }
 
 /// Recombines per-recipient field share vectors.
-pub fn reconstruct_field_vec(share_vecs: &[Vec<F61>]) -> Vec<F61> {
-    if share_vecs.is_empty() {
-        return Vec::new();
-    }
-    let len = share_vecs[0].len();
+pub fn reconstruct_field_vec(share_vecs: &[Secret<Vec<F61>>]) -> Vec<F61> {
+    let len = match share_vecs.first() {
+        Some(first) => first.scalar_count(),
+        None => return Vec::new(),
+    };
     let mut out = vec![F61::ZERO; len];
     for sv in share_vecs {
-        debug_assert_eq!(sv.len(), len);
-        for (o, &s) in out.iter_mut().zip(sv) {
+        debug_assert_eq!(sv.scalar_count(), len);
+        for (o, &s) in out.iter_mut().zip(sv.expose()) {
             *o += s;
         }
     }
@@ -120,7 +130,7 @@ mod tests {
             for n in 1..=5 {
                 let x = R64::from_i64(v);
                 let shares = share_ring(x, n, &mut prg);
-                assert_eq!(shares.len(), n);
+                assert_eq!(shares.scalar_count(), n);
                 assert_eq!(reconstruct_ring(&shares), x, "v={v} n={n}");
             }
         }
@@ -142,9 +152,9 @@ mod tests {
     fn single_share_is_value() {
         let mut prg = Prg::from_seed(3);
         let x = R64(777);
-        assert_eq!(share_ring(x, 1, &mut prg), vec![x]);
+        assert_eq!(share_ring(x, 1, &mut prg).into_inner(), vec![x]);
         let y = F61::new(777);
-        assert_eq!(share_field(y, 1, &mut prg), vec![y]);
+        assert_eq!(share_field(y, 1, &mut prg).into_inner(), vec![y]);
     }
 
     #[test]
@@ -152,8 +162,8 @@ mod tests {
         // A fixed value shared twice gives unrelated share sets.
         let mut prg = Prg::from_seed(4);
         let x = R64(42);
-        let s1 = share_ring(x, 3, &mut prg);
-        let s2 = share_ring(x, 3, &mut prg);
+        let s1 = share_ring(x, 3, &mut prg).into_inner();
+        let s2 = share_ring(x, 3, &mut prg).into_inner();
         assert_ne!(s1, s2);
         // No individual share equals the secret (overwhelmingly likely).
         assert!(s1.iter().filter(|&&s| s == x).count() <= 1);
@@ -166,7 +176,7 @@ mod tests {
         let per_recipient = share_ring_vec(&xs, 4, &mut prg);
         assert_eq!(per_recipient.len(), 4);
         for sv in &per_recipient {
-            assert_eq!(sv.len(), 3);
+            assert_eq!(sv.scalar_count(), 3);
         }
         assert_eq!(reconstruct_ring_vec(&per_recipient), xs);
     }
@@ -183,9 +193,16 @@ mod tests {
     fn empty_vectors() {
         let mut prg = Prg::from_seed(7);
         let shared = share_ring_vec(&[], 3, &mut prg);
-        assert!(shared.iter().all(|s| s.is_empty()));
+        assert!(shared.iter().all(|s| s.scalar_count() == 0));
         assert!(reconstruct_ring_vec(&shared).is_empty());
         assert!(reconstruct_ring_vec(&[]).is_empty());
         assert!(reconstruct_field_vec(&[]).is_empty());
+    }
+
+    #[test]
+    fn shares_debug_redacted() {
+        let mut prg = Prg::from_seed(8);
+        let shares = share_ring(R64(0xDEAD), 3, &mut prg);
+        assert_eq!(format!("{shares:?}"), "Secret { <redacted> }");
     }
 }

@@ -80,6 +80,25 @@ pub struct RetryPolicy {
     pub backoff: Duration,
 }
 
+impl RetryPolicy {
+    /// Smallest sleep between resend attempts. A configured backoff of
+    /// zero (or a duration that rounds to zero, e.g. derived from a
+    /// deadline at the epoch boundary via `saturating_sub`) would turn
+    /// the retry loop into an instant-retry busy spin; the floor keeps
+    /// every retry a real yield.
+    pub const MIN_BACKOFF: Duration = Duration::from_micros(50);
+
+    /// Sleep before resend number `attempt` (0-based): the configured
+    /// backoff clamped to [`RetryPolicy::MIN_BACKOFF`], doubled per
+    /// attempt. The shift is capped so pathological `max_retries`
+    /// settings can't overflow the doubling.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.backoff
+            .max(Self::MIN_BACKOFF)
+            .saturating_mul(1u32 << attempt.min(16))
+    }
+}
+
 impl Default for RetryPolicy {
     fn default() -> Self {
         RetryPolicy {
@@ -354,8 +373,16 @@ impl Transport for FaultyTransport {
         self.inner.send_frame(to, msg)?;
         self.flush_holdback(to)?;
         if let Some(copy) = copy {
-            // Duplicate delivery; the receiver's dedup absorbs it.
-            self.inner.send_frame(to, copy)?;
+            // Duplicate delivery; the receiver's dedup absorbs it. The
+            // peer may consume the original, finish the protocol, and
+            // tear down its link before the copy ships — a lost duplicate
+            // is indistinguishable from a drop on a real network, so a
+            // closed link here must not fail the (already successful)
+            // logical send.
+            match self.inner.send_frame(to, copy) {
+                Err(MpcError::ChannelClosed { .. }) => {}
+                other => other?,
+            }
         }
         Ok(())
     }
@@ -483,6 +510,38 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_of_final_frame_tolerates_peer_teardown() {
+        // Regression: with duplication on, the copy of a party's *final*
+        // frame races against the peer consuming the original, finishing
+        // the protocol, and dropping its endpoint. The copy then hits a
+        // closed link; that lost duplicate must be treated like a drop,
+        // not fail the (already successful) logical send. Many seeds ×
+        // dup_prob 1.0 make the race land reliably without the fix.
+        for seed in 0..40u64 {
+            let opts = NetOptions {
+                faults: Some(FaultPlan {
+                    seed,
+                    dup_prob: 1.0,
+                    ..FaultPlan::default()
+                }),
+                ..NetOptions::default()
+            };
+            let (results, _, _) = Network::run_parties_detailed_with(2, seed, &opts, |ctx| {
+                let tag = ctx.fresh_tag();
+                ctx.exchange_sum_ring(tag, &[crate::ring::R64(ctx.id() as u64 + 1)])
+            })
+            .unwrap();
+            for r in results {
+                assert_eq!(
+                    r.unwrap().unwrap(),
+                    vec![crate::ring::R64(3)],
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn transient_failures_recover_under_retry() {
         let plan = FaultPlan {
             seed: 17,
@@ -589,6 +648,79 @@ mod tests {
         );
         assert_eq!(stats.unscoped_bytes(), 0);
         assert_eq!(stats.block_bytes_total(), stats.total_bytes());
+    }
+
+    #[test]
+    fn zero_backoff_clamps_to_floor_and_doubles() {
+        // Regression: a zero (or rounded-to-zero) configured backoff must
+        // not produce zero sleeps — that made the retry loop an
+        // instant-retry busy spin.
+        let p = RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::ZERO,
+        };
+        assert_eq!(p.backoff_for(0), RetryPolicy::MIN_BACKOFF);
+        assert_eq!(p.backoff_for(1), RetryPolicy::MIN_BACKOFF * 2);
+        assert_eq!(p.backoff_for(2), RetryPolicy::MIN_BACKOFF * 4);
+        // A configured backoff above the floor is respected and doubles.
+        let q = RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+        };
+        assert_eq!(q.backoff_for(0), Duration::from_millis(1));
+        assert_eq!(q.backoff_for(3), Duration::from_millis(8));
+        // The doubling shift is capped: huge attempt numbers saturate
+        // instead of overflowing the `1 << attempt` multiplier.
+        assert_eq!(q.backoff_for(u32::MAX), q.backoff_for(16));
+    }
+
+    #[test]
+    fn near_zero_deadline_times_out_structurally() {
+        // Regression: a deadline at/near the epoch boundary must surface
+        // as a structured Timeout from the receive path, not underflow
+        // into a spin or a hang. Zero backoff rides along to exercise the
+        // clamped retry sleeps under real transient faults.
+        let plan = FaultPlan {
+            seed: 29,
+            transient_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let opts = NetOptions {
+            transport: TransportConfig {
+                deadline: Duration::from_nanos(1),
+                retry: RetryPolicy {
+                    max_retries: 3,
+                    backoff: Duration::ZERO,
+                },
+            },
+            faults: Some(plan),
+            ..NetOptions::default()
+        };
+        let started = std::time::Instant::now();
+        let (results, _, _) =
+            Network::run_parties_detailed_with(2, 13, &opts, |ctx| -> Result<Vec<u64>, MpcError> {
+                let tag = ctx.fresh_tag();
+                let peer = 1 - ctx.id();
+                // Both parties receive before anyone sends, so nothing is
+                // in flight: the receive must burn its 1 ns deadline and
+                // fail structurally rather than spin or hang.
+                let timed_out = ctx.recv_words(peer, tag);
+                // Exercise the clamped zero-backoff retry sleep under a
+                // real transient fault; the outcome is irrelevant (the
+                // peer may already have exited with its own timeout).
+                ctx.send_words(peer, tag, &[1]).ok();
+                timed_out
+            })
+            .unwrap();
+        for r in results {
+            match r {
+                Ok(Err(MpcError::Timeout { .. })) => {}
+                other => panic!("expected structured Timeout, got {other:?}"),
+            }
+        }
+        // A busy loop would still return; the time bound distinguishes a
+        // prompt structured failure from deadline-underflow spinning.
+        assert!(started.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

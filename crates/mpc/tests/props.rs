@@ -4,15 +4,36 @@
 // protocol code proper.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
+use dash_mpc::dealer::{BeaverTriple, InnerTriple};
 use dash_mpc::field::{F61, MODULUS};
 use dash_mpc::fixed::FixedPointCodec;
-use dash_mpc::net::Network;
+use dash_mpc::net::{NetOptions, Network};
 use dash_mpc::prg::Prg;
 use dash_mpc::protocol::masked::masked_sum_ring;
 use dash_mpc::protocol::sum::secure_sum_ring;
 use dash_mpc::ring::R64;
 use dash_mpc::share::{reconstruct_field, reconstruct_ring, share_field, share_ring};
+use dash_mpc::transport::FaultPlan;
+use dash_mpc::{Secret, TraceCounter, TraceHandle};
 use proptest::prelude::*;
+use std::time::Duration;
+
+const REDACTED: &str = "Secret { <redacted> }";
+
+/// The Debug output must be the bare redaction marker — in particular it
+/// must not contain the value's decimal rendering.
+fn assert_redacted(d: &str, raw: &[u64]) {
+    assert_eq!(d, REDACTED);
+    for v in raw {
+        // Single digits appear in the marker-free string trivially; only
+        // check multi-digit renderings (collision odds for random u64/F61
+        // values are negligible).
+        let s = v.to_string();
+        if s.len() > 1 {
+            assert!(!d.contains(&s), "debug output leaked {s}");
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -21,7 +42,7 @@ proptest! {
     fn ring_sharing_roundtrip(v in any::<u64>(), n in 1usize..8, seed in any::<u64>()) {
         let mut prg = Prg::from_seed(seed);
         let shares = share_ring(R64(v), n, &mut prg);
-        prop_assert_eq!(shares.len(), n);
+        prop_assert_eq!(shares.scalar_count(), n);
         prop_assert_eq!(reconstruct_ring(&shares), R64(v));
     }
 
@@ -122,6 +143,43 @@ proptest! {
         prop_assert_eq!(shared[0], expect);
     }
 
+    /// Tentpole invariant, property form: `{:?}` prints the redaction
+    /// marker — and nothing value-derived — for **every** `Secret<T>`
+    /// instantiation the workspace uses (both scalars, both vectors, both
+    /// triple kinds).
+    #[test]
+    fn debug_redacts_every_secret_instantiation(
+        r in any::<u64>(),
+        f in 0u64..MODULUS,
+        rv in proptest::collection::vec(any::<u64>(), 1..6),
+        fv in proptest::collection::vec(0u64..MODULUS, 1..6),
+        t in proptest::collection::vec(0u64..MODULUS, 3),
+        iv in proptest::collection::vec(0u64..MODULUS, 2..9),
+    ) {
+        assert_redacted(&format!("{:?}", Secret::new(R64(r))), &[r]);
+        assert_redacted(&format!("{:?}", Secret::new(F61::new(f))), &[F61::new(f).value()]);
+        let rv_secret = Secret::new(rv.iter().map(|&v| R64(v)).collect::<Vec<_>>());
+        assert_redacted(&format!("{rv_secret:?}"), &rv);
+        let fvals: Vec<F61> = fv.iter().map(|&v| F61::new(v)).collect();
+        let fraw: Vec<u64> = fvals.iter().map(|x| x.value()).collect();
+        assert_redacted(&format!("{:?}", Secret::new(fvals)), &fraw);
+        let bt = BeaverTriple {
+            a: F61::new(t[0]),
+            b: F61::new(t[1]),
+            c: F61::new(t[2]),
+        };
+        let braw = [bt.a.value(), bt.b.value(), bt.c.value()];
+        assert_redacted(&format!("{:?}", Secret::new(bt)), &braw);
+        let half = iv.len() / 2;
+        let it = InnerTriple {
+            a: iv[..half].iter().map(|&v| F61::new(v)).collect(),
+            b: iv[half..2 * half].iter().map(|&v| F61::new(v)).collect(),
+            c: F61::new(iv[0]),
+        };
+        let iraw: Vec<u64> = iv.iter().map(|&v| F61::new(v).value()).collect();
+        assert_redacted(&format!("{:?}", Secret::new(it)), &iraw);
+    }
+
     #[test]
     fn shares_of_zero_and_value_indistinguishable_marginally(
         v in any::<u64>(),
@@ -133,9 +191,87 @@ proptest! {
         let mut prg2 = Prg::from_seed(seed);
         let s_val = share_ring(R64(v), 4, &mut prg1);
         let s_zero = share_ring(R64::ZERO, 4, &mut prg2);
-        prop_assert_eq!(&s_val[..3], &s_zero[..3]);
+        // Secret<_> hides the raw buffer; compare elementwise through the
+        // wrapped accessors (Secret implements PartialEq).
+        for i in 0..3 {
+            prop_assert_eq!(s_val.element(i), s_zero.element(i));
+        }
         if v != 0 {
             prop_assert_ne!(reconstruct_ring(&s_val), reconstruct_ring(&s_zero));
         }
+    }
+}
+
+proptest! {
+    // Full network runs per case: keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Audited-open soundness under adversarial transport: with random
+    /// duplication, transient failures and delays injected, the scalar
+    /// totals the [`DisclosureLog`] *claims* (recorded by `open_via` at
+    /// the moment of opening) still equal the opened-scalar count the
+    /// trace *observed* — retransmissions and duplicates must never
+    /// double-count a disclosure.
+    #[test]
+    fn open_via_totals_match_trace_under_faults(
+        vals in proptest::collection::vec(any::<u64>(), 2..5),
+        len in 1usize..6,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        dup_prob in 0.0f64..0.4,
+        transient_prob in 0.0f64..0.4,
+    ) {
+        let n = vals.len();
+        let trace = TraceHandle::enabled(n);
+        let opts = NetOptions {
+            trace: trace.clone(),
+            faults: Some(FaultPlan {
+                seed: fault_seed,
+                dup_prob,
+                transient_prob,
+                delay_prob: 0.2,
+                max_delay: Duration::from_millis(1),
+                ..FaultPlan::default()
+            }),
+            ..NetOptions::default()
+        };
+        let (results, _, audit) = Network::run_parties_detailed_with(n, seed, &opts, |ctx| {
+            let mine = vec![R64(vals[ctx.id()]); len];
+            // Two distinct audited openings per party pair up retries and
+            // duplicates across rounds.
+            let a = masked_sum_ring(ctx, &mine, "masked round")?;
+            let b = secure_sum_ring(ctx, &mine, "shared round")?;
+            Ok::<_, dash_mpc::MpcError>((a, b))
+        }).unwrap();
+        let errs: Vec<String> = results
+            .iter()
+            .filter_map(|r| match r {
+                Err(e) => Some(format!("outer: {e:?}")),
+                Ok(Err(e)) => Some(format!("inner: {e:?}")),
+                Ok(Ok(_)) => None,
+            })
+            .collect();
+        prop_assert!(
+            errs.is_empty(),
+            "party errors: {errs:?} (n={n}, len={len}, dup={dup_prob:?}, \
+             transient={transient_prob:?}, seed={seed}, fault_seed={fault_seed})"
+        );
+        for r in results {
+            let (a, b) = r.unwrap().unwrap();
+            let expect = vals.iter().fold(R64::ZERO, |acc, &v| acc + R64(v));
+            prop_assert!(a.iter().all(|&x| x == expect));
+            prop_assert!(b.iter().all(|&x| x == expect));
+        }
+        let claimed: u64 = audit.entries().iter().map(|d| d.scalars as u64).sum();
+        let observed = trace.counter_total(TraceCounter::OpenedScalars);
+        prop_assert!(claimed > 0, "both rounds disclose aggregates");
+        prop_assert_eq!(
+            claimed, observed,
+            "disclosure log claims {} opened scalars, trace observed {}",
+            claimed, observed
+        );
+        // Exactly one aggregate entry per labelled opening: retries and
+        // duplicates must not append extra log entries.
+        prop_assert_eq!(audit.entries().len(), 2);
     }
 }
