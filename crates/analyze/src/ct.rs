@@ -1,0 +1,708 @@
+//! Constant-time discipline for share arithmetic (`constant-time`).
+//!
+//! The disclosure log and taint passes pin *what* the protocols open;
+//! they say nothing about timing. A single data-dependent branch,
+//! division, or table lookup in the field/ring arithmetic leaks
+//! share-dependent timing to anyone co-resident with a party. This lint
+//! denies the shapes that produce such leaks inside the mpc crate's
+//! arithmetic and share modules:
+//!
+//! - `if`/`while`/`match` whose condition (or scrutinee) reads a
+//!   secret-tainted value;
+//! - binary `%`, `/`, `<`, `>`, `<=`, `>=`, `==`, `!=` with a tainted
+//!   operand (shifts `<<`/`>>`, arrows and fat arrows are recognized as
+//!   non-comparisons from the single-char token stream);
+//! - indexing `x[i]` where the index expression is tainted.
+//!
+//! **Taint** starts from function parameters whose declared type mentions
+//! an element/secret type (`F61`, `R64`, `Secret`, `BeaverTriple`,
+//! `InnerTriple` — plus raw `u64`/`u128`/`i64` words inside the element
+//! modules themselves, where every word *is* an element), from `self` in
+//! the element/share modules, and from locals bound from tainted
+//! expressions or from calls into the element-producing call graph — the
+//! same seed-and-fixpoint closure the `cross-function-taint` pass uses
+//! ([`crate::taint::closure_over`]), seeded on element-returning
+//! signatures instead of `Secret`-returning ones.
+//!
+//! **Public metadata escapes the taint**: an access chain that goes
+//! through a length/shape method (`len`, `is_empty`, `scalar_count`,
+//! `first`, `get`, …) is public — `if shares.len() != n` is fine,
+//! `if shares[0].value() > n` is not. A cast (`as`) also ends an operand
+//! chain: casts launder provenance at the token level, which keeps the
+//! fixed-point decode divisions (`v.as_i64() as f64 / scale`) clean —
+//! division by a *public* scale after a cast is exactly the pattern the
+//! codec uses on purpose.
+//!
+//! Test code is exempt; deliberate exceptions carry
+//! `// dash-analyze::allow(constant-time): reason` pragmas (the only one
+//! in-tree is `F61::inverse`, whose `Option` return is inherently a
+//! branch on invertibility).
+
+use crate::lexer::{Tok, TokKind};
+use crate::lints::{is_keyword, matching};
+use crate::model::FileModel;
+use crate::taint;
+use crate::Finding;
+use std::collections::BTreeSet;
+
+const LINT: &str = "constant-time";
+
+/// Basenames of the mpc modules under constant-time discipline. The
+/// protocol/transport layers above them branch on *public* control flow
+/// (lengths, tags, party ids) and are out of scope by design.
+const CT_MODULES: [&str; 6] = [
+    "field.rs",
+    "ring.rs",
+    "ctime.rs",
+    "fixed.rs",
+    "share.rs",
+    "secret.rs",
+];
+
+/// Modules where every raw machine word is an element (so `u64`/`u128`/
+/// `i64` parameters are secret too, not just the named element types).
+const WORD_MODULES: [&str; 3] = ["field.rs", "ring.rs", "ctime.rs"];
+
+/// Type identifiers that mark a parameter as secret material.
+fn secret_type_ident(s: &str) -> bool {
+    matches!(s, "F61" | "R64" | "Secret" | "BeaverTriple" | "InnerTriple")
+}
+
+/// Raw word types — secret only inside the element modules.
+fn word_type_ident(s: &str) -> bool {
+    matches!(s, "u64" | "u128" | "i64" | "i128")
+}
+
+/// Methods whose result is public shape metadata, ending a taint chain.
+/// Lengths and emptiness are exchanged in the clear by the protocols;
+/// `first`/`get` appear only in `Option`-emptiness dispatch.
+const SANITIZER_METHODS: [&str; 9] = [
+    "len",
+    "is_empty",
+    "scalar_count",
+    "vec_len",
+    "first",
+    "last",
+    "get",
+    "capacity",
+    "count",
+];
+
+fn basename(rel: &str) -> &str {
+    rel.rsplit('/').next().unwrap_or(rel)
+}
+
+/// Whether `rel` is under constant-time discipline. Fixture files named
+/// `ct_*.rs` are scoped too, so the lint is testable standalone.
+pub fn in_ct_scope(rel: &str) -> bool {
+    let base = basename(rel);
+    if base.starts_with("ct_") {
+        return true;
+    }
+    CT_MODULES.contains(&base) && rel.contains("crates/mpc/src")
+}
+
+fn is_word_module(rel: &str) -> bool {
+    let base = basename(rel);
+    WORD_MODULES.contains(&base) || base.starts_with("ct_")
+}
+
+/// `self` carries element data everywhere except the codec, whose fields
+/// are public configuration (`frac_bits`).
+fn self_is_secret(rel: &str) -> bool {
+    basename(rel) != "fixed.rs"
+}
+
+/// Keywords that terminate an operand walk in either direction.
+fn operand_stop_keyword(s: &str) -> bool {
+    is_keyword(s) || matches!(s, "await" | "else")
+}
+
+/// Scans `range` for an identifier in `tainted` whose postfix chain
+/// (`.field`, `.0`, `.method(args)`) never reaches a sanitizing
+/// (public-metadata) method; returns the first offender's name.
+fn tainted_occurrence(
+    code: &[Tok],
+    range: std::ops::Range<usize>,
+    tainted: &BTreeSet<String>,
+) -> Option<String> {
+    let end = range.end.min(code.len());
+    let mut q = range.start;
+    while q < end {
+        let t = &code[q];
+        if !(t.kind == TokKind::Ident && tainted.contains(&t.text)) {
+            q += 1;
+            continue;
+        }
+        // Walk the postfix chain looking for a sanitizer.
+        let mut sanitized = false;
+        let mut j = q + 1;
+        while code.get(j).is_some_and(|n| n.is_punct('.')) {
+            match code.get(j + 1) {
+                Some(nm) if nm.kind == TokKind::Ident => {
+                    if SANITIZER_METHODS.contains(&nm.text.as_str()) {
+                        sanitized = true;
+                        break;
+                    }
+                    if code.get(j + 2).is_some_and(|n| n.is_punct('(')) {
+                        j = matching(code, j + 2, '(', ')') + 1;
+                    } else {
+                        j += 2;
+                    }
+                }
+                Some(nm) if nm.kind == TokKind::Number => j += 2, // tuple field
+                _ => break,
+            }
+        }
+        if !sanitized {
+            return Some(t.text.clone());
+        }
+        q = j.max(q + 1);
+    }
+    None
+}
+
+/// The span scanned for a branch keyword at `kw`: up to the body `{` at
+/// bracket depth 0, bounded by `;`/`=>` so match-arm guards cannot
+/// overshoot into arm bodies.
+fn condition_span(code: &[Tok], kw: usize, body_end: usize) -> std::ops::Range<usize> {
+    let mut depth = 0i32;
+    let mut q = kw + 1;
+    while q <= body_end.min(code.len().saturating_sub(1)) {
+        let t = &code[q];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth <= 0 {
+            if t.is_punct('{') || t.is_punct(';') {
+                return kw + 1..q;
+            }
+            if t.is_punct('=') && code.get(q + 1).is_some_and(|n| n.is_punct('>')) {
+                return kw + 1..q;
+            }
+        }
+        q += 1;
+    }
+    kw + 1..body_end + 1
+}
+
+/// Left operand region of a binary operator at `k`: walk left at depth 0
+/// over one postfix chain (jumping whole `(...)`/`[...]` groups), stopping
+/// at any other operator, statement punctuation, or keyword (`as` included
+/// — a cast ends the chain).
+fn left_operand(code: &[Tok], k: usize, body_start: usize) -> std::ops::Range<usize> {
+    let mut depth = 0i32;
+    let mut j = k as i64 - 1;
+    while j >= body_start as i64 {
+        let t = &code[j as usize];
+        if t.is_punct(')') || t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 {
+            if t.kind == TokKind::Punct && !t.is_punct('.') {
+                break;
+            }
+            if t.kind == TokKind::Ident && operand_stop_keyword(&t.text) {
+                break;
+            }
+        }
+        j -= 1;
+    }
+    ((j + 1).max(0) as usize)..k
+}
+
+/// Right operand region of a binary operator at `k` (skipping the `=` of
+/// a two-char comparison): forward at depth 0 until statement punctuation,
+/// another operator, or a keyword.
+fn right_operand(code: &[Tok], k: usize, body_end: usize) -> std::ops::Range<usize> {
+    let mut q = k + 1;
+    if code.get(q).is_some_and(|t| t.is_punct('=')) {
+        q += 1;
+    }
+    let start = q;
+    let mut depth = 0i32;
+    while q <= body_end.min(code.len().saturating_sub(1)) {
+        let t = &code[q];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_punct('{') {
+                break;
+            }
+            if t.kind == TokKind::Punct
+                && !(t.is_punct('.')
+                    || t.is_punct('&')
+                    || t.is_punct('*')
+                    || t.is_punct('!')
+                    || t.is_punct(':'))
+            {
+                break;
+            }
+            if t.kind == TokKind::Ident && operand_stop_keyword(&t.text) {
+                break;
+            }
+        }
+        q += 1;
+    }
+    start..q
+}
+
+/// Parameter names of `f` whose declared type marks them secret, plus
+/// `self` where the receiver carries element data.
+fn secret_params(m: &FileModel, f: &crate::model::FnSpan, word_secret: bool) -> BTreeSet<String> {
+    let code = &m.code;
+    let mut out = BTreeSet::new();
+    // Signature: backwards from the body brace to this fn's `fn` keyword,
+    // then the first `(` opens the parameter list.
+    let sig_start = (0..f.body_start)
+        .rev()
+        .find(|&j| code[j].is_ident("fn"))
+        .unwrap_or(0);
+    let Some(open) = (sig_start..f.body_start).find(|&j| code[j].is_punct('(')) else {
+        return out;
+    };
+    let close = matching(code, open, '(', ')').min(f.body_start);
+    // Split the list at depth-1 commas.
+    let mut depth = 0i32;
+    let mut seg_start = open + 1;
+    let mut segments: Vec<(usize, usize)> = Vec::new();
+    for (j, t) in code.iter().enumerate().take(close + 1).skip(open) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 && j == close {
+                segments.push((seg_start, j));
+            }
+        } else if depth == 1 && t.is_punct(',') {
+            segments.push((seg_start, j));
+            seg_start = j + 1;
+        }
+    }
+    for (a, b) in segments {
+        if a >= b {
+            continue;
+        }
+        let toks = &code[a..b];
+        // `self` receiver (possibly `&self`, `&mut self`, `mut self`).
+        if toks.iter().take(3).any(|t| t.is_ident("self")) {
+            if self_is_secret(&m.rel) {
+                out.insert("self".to_string());
+            }
+            continue;
+        }
+        // `name: Type` — name is the first plain ident (skipping `mut`).
+        let Some(colon) = toks.iter().position(|t| t.is_punct(':')) else {
+            continue;
+        };
+        let name = toks[..colon]
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && !t.is_ident("mut"));
+        let Some(name) = name else { continue };
+        let ty = &toks[colon + 1..];
+        let secret = ty.iter().any(|t| {
+            t.kind == TokKind::Ident
+                && (secret_type_ident(&t.text) || (word_secret && word_type_ident(&t.text)))
+        });
+        if secret {
+            out.insert(name.text.clone());
+        }
+    }
+    out
+}
+
+/// Extends `tainted` with locals `let`-bound from tainted expressions or
+/// from calls into the element-producing call graph (single forward pass;
+/// later statements see earlier bindings).
+fn add_tainted_locals(
+    m: &FileModel,
+    f: &crate::model::FnSpan,
+    tainted_fns: &BTreeSet<String>,
+    tainted: &mut BTreeSet<String>,
+) {
+    let code = &m.code;
+    let body_end = f.body_end.min(code.len().saturating_sub(1));
+    let mut k = f.body_start;
+    while k <= body_end {
+        if !code[k].is_ident("let") {
+            k += 1;
+            continue;
+        }
+        let mut j = k + 1;
+        if code.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = code.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            k += 1;
+            continue;
+        };
+        let name = name_tok.text.clone();
+        // Statement span to the `;` (or unbalanced close) at depth 0.
+        let mut depth = 0i32;
+        let mut q = j + 1;
+        let mut stmt_end = body_end;
+        while q <= body_end {
+            let t = &code[q];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+                if depth < 0 {
+                    stmt_end = q;
+                    break;
+                }
+            } else if depth == 0 && t.is_punct(';') {
+                stmt_end = q;
+                break;
+            }
+            q += 1;
+        }
+        let from_tainted_call = (j + 1..stmt_end).any(|q| {
+            code[q].kind == TokKind::Ident
+                && tainted_fns.contains(&code[q].text)
+                && code.get(q + 1).is_some_and(|n| n.is_punct('('))
+        });
+        let from_tainted_ident = tainted_occurrence(code, j + 1..stmt_end, tainted).is_some();
+        if from_tainted_call || from_tainted_ident {
+            tainted.insert(name);
+        }
+        k = stmt_end + 1;
+    }
+}
+
+fn finding(m: &FileModel, k: usize, function: &str, message: String) -> Finding {
+    let line = m.code.get(k).map_or(0, |t| t.line);
+    Finding {
+        lint: LINT,
+        file: m.rel.clone(),
+        line,
+        function: function.to_string(),
+        message,
+        snippet: m.line_text(line).to_string(),
+    }
+}
+
+/// Runs the constant-time lint over a set of (secure-scope) file models.
+/// The whole model set feeds the element-producing call-graph closure;
+/// only the arithmetic/share modules are scanned for violating shapes.
+pub fn run(models: &[FileModel]) -> Vec<Finding> {
+    let facts = taint::collect_all_facts(models);
+    // Element-producing seeds: declared return type mentions an element
+    // type; `Self` counts inside the element modules (`F61::new -> Self`).
+    // The Secret wrapper's own combinators are excluded for the same
+    // bare-name-collision reason as in the cross-function-taint pass.
+    let tainted_fns = taint::closure_over(models, &facts, |m, ff| {
+        !m.rel.ends_with("mpc/src/secret.rs")
+            && ff.ret_range.is_some_and(|(a, b)| {
+                m.code[a..b.min(m.code.len())].iter().any(|t| {
+                    t.kind == TokKind::Ident
+                        && (secret_type_ident(&t.text)
+                            || (is_word_module(&m.rel) && t.is_ident("Self")))
+                })
+            })
+    });
+
+    let mut out: Vec<Finding> = Vec::new();
+    for m in models.iter().filter(|m| in_ct_scope(&m.rel)) {
+        let word_secret = is_word_module(&m.rel);
+        let code = &m.code;
+        for f in &m.fns {
+            if f.is_test || m.in_test(f.body_start) {
+                continue;
+            }
+            let mut tainted = secret_params(m, f, word_secret);
+            add_tainted_locals(m, f, &tainted_fns, &mut tainted);
+            if tainted.is_empty() {
+                continue;
+            }
+            let body_end = f.body_end.min(code.len().saturating_sub(1));
+            let mut seen_lines: BTreeSet<usize> = BTreeSet::new();
+            let push =
+                |out: &mut Vec<Finding>, seen: &mut BTreeSet<usize>, k: usize, msg: String| {
+                    let line = code.get(k).map_or(0, |t| t.line);
+                    if !seen.insert(line) || m.allowed(LINT, k) {
+                        return;
+                    }
+                    out.push(finding(m, k, &f.name, msg));
+                };
+            for k in f.body_start..=body_end {
+                let t = &code[k];
+                // Shape 1: branch/scrutinee on a secret.
+                if t.kind == TokKind::Ident && matches!(t.text.as_str(), "if" | "while" | "match") {
+                    let span = condition_span(code, k, body_end);
+                    if let Some(name) = tainted_occurrence(code, span, &tainted) {
+                        push(
+                            &mut out,
+                            &mut seen_lines,
+                            k,
+                            format!(
+                                "`{}` branches on secret value `{}` — control flow must not \
+                                 depend on share material; use the ctime mask primitives \
+                                 (ct_select / ct_eq) instead",
+                                t.text, name
+                            ),
+                        );
+                    }
+                    continue;
+                }
+                if t.kind != TokKind::Punct {
+                    continue;
+                }
+                let c = t.text.as_bytes().first().copied().unwrap_or(0);
+                let prev = k
+                    .checked_sub(1)
+                    .and_then(|p| code.get(p))
+                    .filter(|p| p.kind == TokKind::Punct)
+                    .map(|p| p.text.as_bytes()[0]);
+                let next = code
+                    .get(k + 1)
+                    .filter(|n| n.kind == TokKind::Punct)
+                    .map(|n| n.text.as_bytes()[0]);
+                let op: Option<&str> = match c {
+                    b'%' => Some("%"),
+                    b'/' => Some("/"),
+                    b'<' => {
+                        // `<<`, `<<=`, turbofish `::<`: not comparisons.
+                        if prev == Some(b'<') || next == Some(b'<') || prev == Some(b':') {
+                            None
+                        } else {
+                            Some(if next == Some(b'=') { "<=" } else { "<" })
+                        }
+                    }
+                    b'>' => {
+                        // `>>`, `->`, `=>`: not comparisons.
+                        if prev == Some(b'>')
+                            || next == Some(b'>')
+                            || prev == Some(b'-')
+                            || prev == Some(b'=')
+                        {
+                            None
+                        } else {
+                            Some(if next == Some(b'=') { ">=" } else { ">" })
+                        }
+                    }
+                    b'=' => {
+                        // `==` only; the first `=` must not extend `<=` etc.
+                        if next == Some(b'=')
+                            && !matches!(
+                                prev,
+                                Some(
+                                    b'=' | b'<'
+                                        | b'>'
+                                        | b'!'
+                                        | b'+'
+                                        | b'-'
+                                        | b'*'
+                                        | b'/'
+                                        | b'%'
+                                        | b'&'
+                                        | b'|'
+                                        | b'^'
+                                )
+                            )
+                        {
+                            Some("==")
+                        } else {
+                            None
+                        }
+                    }
+                    b'!' => {
+                        if next == Some(b'=') {
+                            Some("!=")
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some(op) = op {
+                    let l = left_operand(code, k, f.body_start);
+                    let r = right_operand(code, k, body_end);
+                    let offender = tainted_occurrence(code, l, &tainted)
+                        .or_else(|| tainted_occurrence(code, r, &tainted));
+                    if let Some(name) = offender {
+                        let what = match op {
+                            "%" | "/" => "divides/reduces",
+                            _ => "compares",
+                        };
+                        push(
+                            &mut out,
+                            &mut seen_lines,
+                            k,
+                            format!(
+                                "`{op}` {what} secret value `{name}` — variable-time on this \
+                                 hardware; use branch-free mask arithmetic (wrapping ops + \
+                                 ctime masks) instead"
+                            ),
+                        );
+                    }
+                    continue;
+                }
+                // Shape 3: secret-indexed table lookup.
+                if c == b'[' {
+                    let indexee = k.checked_sub(1).and_then(|p| code.get(p));
+                    let is_index = indexee.is_some_and(|p| {
+                        (p.kind == TokKind::Ident && !is_keyword(&p.text))
+                            || p.is_punct(')')
+                            || p.is_punct(']')
+                    });
+                    if is_index {
+                        let close = matching(code, k, '[', ']');
+                        if let Some(name) = tainted_occurrence(code, k + 1..close, &tainted) {
+                            push(
+                                &mut out,
+                                &mut seen_lines,
+                                k,
+                                format!(
+                                    "table lookup indexed by secret value `{name}` — memory \
+                                     access patterns must not depend on share material"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn run_on(rel: &str, src: &str) -> Vec<Finding> {
+        run(std::slice::from_ref(&FileModel::parse(rel, src)))
+    }
+
+    #[test]
+    fn scope_is_the_arithmetic_core() {
+        assert!(in_ct_scope("crates/mpc/src/field.rs"));
+        assert!(in_ct_scope("crates/mpc/src/ctime.rs"));
+        assert!(in_ct_scope("crates/mpc/src/share.rs"));
+        assert!(!in_ct_scope("crates/mpc/src/net.rs"));
+        assert!(!in_ct_scope("crates/mpc/src/protocol.rs"));
+        assert!(!in_ct_scope("crates/core/src/secure/aggregate.rs"));
+        assert!(in_ct_scope("ct_fixture.rs"));
+    }
+
+    #[test]
+    fn branch_on_secret_param_denied() {
+        let f = run_on(
+            "crates/mpc/src/field.rs",
+            "fn reduce(v: u64) -> u64 { if v >= M { v - M } else { v } }",
+        );
+        assert!(!f.is_empty(), "expected a finding");
+        assert!(f.iter().all(|x| x.lint == "constant-time"));
+        assert!(
+            f[0].message.contains("branches on secret value `v`"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn match_on_secret_scrutinee_denied() {
+        let f = run_on(
+            "crates/mpc/src/ring.rs",
+            "fn sign(x: R64) -> i32 { match x.0 { 0 => 0, _ => 1 } }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`match` branches"));
+    }
+
+    #[test]
+    fn modulo_and_division_on_secret_denied() {
+        let f = run_on(
+            "crates/mpc/src/field.rs",
+            "fn bad(x: F61) -> u64 { x.0 % 7 }\nfn bad2(x: F61) -> u64 { x.0 / 4 }",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.message.contains("divides/reduces")));
+    }
+
+    #[test]
+    fn comparison_via_local_from_element_call_denied() {
+        // `s` is bound from a call into the element-producing graph and
+        // then compared: the call-graph closure must catch it.
+        let src = "fn draw(prg: &mut Prg) -> R64 { R64::new(prg.next()) }\n\
+                   fn check(prg: &mut Prg) -> bool { let s = draw(prg); s.0 > 10 }";
+        let f = run_on("crates/mpc/src/ring.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("compares secret value `s`"));
+    }
+
+    #[test]
+    fn secret_indexed_lookup_denied() {
+        let f = run_on(
+            "crates/mpc/src/field.rs",
+            "fn lut(x: F61, tbl: &[u64; 8]) -> u64 { tbl[(x.0 & 7) as usize] }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0]
+            .message
+            .contains("table lookup indexed by secret value `x`"));
+    }
+
+    #[test]
+    fn branchless_mask_arithmetic_is_clean() {
+        let src = "fn reduce_once(v: u64) -> u64 { v.wrapping_sub(M & ge_mask(v, M)) }\n\
+                   fn neg(x: F61) -> F61 { F61((M - x.0) & nonzero_mask(x.0)) }\n\
+                   fn fold(v: u64) -> u64 { (v >> 61) + (v & M) }\n\
+                   fn ladder(mut e: u64) -> u64 { e >>= 1; e }";
+        assert!(run_on("crates/mpc/src/field.rs", src).is_empty());
+    }
+
+    #[test]
+    fn public_shape_branches_are_clean() {
+        // Lengths and emptiness are public metadata; `n` is a public
+        // usize; casts (`as`) end an operand chain.
+        let src = "fn recon(shares: &[F61], n: usize) -> F61 {\n\
+                     if shares.len() != n { return F61::ZERO; }\n\
+                     if n > 4 { F61::ZERO } else { F61::ONE }\n\
+                   }\n\
+                   fn decode(x: F61, scale: f64) -> f64 { x.as_i64() as f64 / scale }";
+        assert!(run_on("crates/mpc/src/share.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_and_test_code_exempt() {
+        let src = "// dash-analyze::allow(constant-time): Option return is public\n\
+                   fn inverse(x: F61) -> Option<F61> { if x.0 == 0 { None } else { Some(x) } }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn helper(x: F61) -> bool { x.0 == 0 }\n\
+                   }";
+        assert!(run_on("crates/mpc/src/field.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_words_secret_only_in_element_modules() {
+        // In share.rs a bare u64 parameter is public (a length, a seed
+        // index); the same signature in field.rs is share material.
+        let src = "fn pick(n: u64) -> u64 { if n > 4 { 1 } else { 0 } }";
+        assert!(run_on("crates/mpc/src/share.rs", src).is_empty());
+        assert_eq!(run_on("crates/mpc/src/field.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn equality_operands_walk_through_parens() {
+        let f = run_on(
+            "crates/mpc/src/field.rs",
+            "fn cmp(a: F61, b: F61) -> bool { (a.0 ^ b.0) == 0 }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("compares"));
+    }
+}

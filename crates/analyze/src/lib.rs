@@ -23,6 +23,12 @@
 //! - **secure-indexing** — direct `x[i]` indexing in secure code. The
 //!   grandfathered baseline has been burned down to zero and the lint now
 //!   denies like the rest.
+//! - **constant-time** — the mpc crate's element/share modules must stay
+//!   branch-free on secret data: no `if`/`while`/`match`, comparison,
+//!   `%`/`/`, or table indexing whose operand is share material. Scoped
+//!   to the arithmetic core (`field.rs`, `ring.rs`, `ctime.rs`,
+//!   `fixed.rs`, `share.rs`, `secret.rs`); protocol layers branch on
+//!   public control flow and are exempt by design.
 //!
 //! All lints deny by default; there is no warn tier left in the defaults.
 //!
@@ -41,6 +47,7 @@
 //! [`DisclosureLog`]: ../dash_mpc/audit/struct.DisclosureLog.html
 
 pub mod baseline;
+pub mod ct;
 pub mod lexer;
 pub mod lints;
 pub mod model;
@@ -54,13 +61,14 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Names of every lint, in report order.
-pub const LINTS: [&str; 6] = [
+pub const LINTS: [&str; 7] = [
     "disclosure-completeness",
     "tag-range",
     "panic-free",
     "secret-taint",
     "cross-function-taint",
     "secure-indexing",
+    "constant-time",
 ];
 
 /// Severity of a lint or finding.
@@ -123,6 +131,7 @@ pub fn analyze_source(rel: &str, src: &str, scoped: bool) -> Vec<Finding> {
         let m = model::FileModel::parse(rel, src);
         findings.extend(lints::run_all(&m));
         findings.extend(taint::run(std::slice::from_ref(&m)));
+        findings.extend(ct::run(std::slice::from_ref(&m)));
     }
     if rel.ends_with("crates/mpc/src/tags.rs") || rel == "crates/mpc/src/tags.rs" {
         findings.extend(tags_check::check_tags_source(rel, src));
@@ -168,6 +177,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     // One global taint pass over every scoped file, so secret-returning
     // call chains that cross files (mpc → core/secure) are closed.
     findings.extend(taint::run(&models));
+    findings.extend(ct::run(&models));
     if !saw_registry {
         findings.push(Finding {
             lint: "tag-range",

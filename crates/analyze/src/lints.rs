@@ -215,7 +215,7 @@ fn secure_indexing(m: &FileModel, out: &mut Vec<Finding>) {
     }
 }
 
-fn is_keyword(s: &str) -> bool {
+pub(crate) fn is_keyword(s: &str) -> bool {
     matches!(
         s,
         "if" | "else"

@@ -145,6 +145,9 @@ fn scan_items(code: &[Tok]) -> (Vec<FnSpan>, Vec<(usize, usize)>) {
     let mut pending_fn: Option<(String, usize, bool)> = None;
     let mut pending_test_mod = false;
     let mut mod_start_line = 0usize;
+    // Paren/bracket nesting, so the `;` inside an array type in a
+    // signature (`fn f(t: &[u64; 8])`) doesn't cancel the pending fn.
+    let mut pdepth = 0usize;
 
     let mut i = 0;
     while i < code.len() {
@@ -184,7 +187,13 @@ fn scan_items(code: &[Tok]) -> (Vec<FnSpan>, Vec<(usize, usize)>) {
                 mod_start_line = t.line;
                 attr_is_test = false;
             }
-            TokKind::Punct if t.is_punct(';') => {
+            TokKind::Punct if t.is_punct('(') || t.is_punct('[') => {
+                pdepth += 1;
+            }
+            TokKind::Punct if t.is_punct(')') || t.is_punct(']') => {
+                pdepth = pdepth.saturating_sub(1);
+            }
+            TokKind::Punct if t.is_punct(';') && pdepth == 0 => {
                 // Trait method signature or `mod foo;` — no body.
                 pending_fn = None;
                 pending_test_mod = false;
@@ -275,6 +284,18 @@ mod tests {
         assert!(!m.allowed("panic-free", plain.body_start + 1));
         assert!(m.allowed("secure-indexing", plain.body_start + 1));
         assert!(!m.allowed("secure-indexing", top.body_start + 1));
+    }
+
+    #[test]
+    fn array_type_semicolon_in_signature_keeps_fn() {
+        // Regression: the `;` inside `[u64; 8]` used to cancel the
+        // pending fn, hiding the function from every lint.
+        let m = FileModel::parse(
+            "x.rs",
+            "fn lut(t: &[u64; 8]) -> [u8; 4] { body() }\nfn after() {}",
+        );
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["lut", "after"]);
     }
 
     #[test]

@@ -55,19 +55,22 @@ fn sanitizing_ident(name: &str) -> bool {
     ) || name.starts_with("reconstruct_")
 }
 
-/// Per-function facts extracted from the token stream.
-struct FnFacts {
-    model: usize,
-    fn_idx: usize,
-    name: String,
+/// Per-function facts extracted from the token stream. Shared between
+/// this pass and the `constant-time` lint (`crate::ct`), which reuses the
+/// same seed-and-fixpoint closure with a different seed predicate.
+pub(crate) struct FnFacts {
+    pub(crate) model: usize,
+    pub(crate) fn_idx: usize,
+    pub(crate) name: String,
     /// Signature declares a return type at all.
-    returns_value: bool,
-    /// Declared return type mentions `Secret`.
-    returns_secret: bool,
+    pub(crate) returns_value: bool,
+    /// Token range (in the model's code view) of the declared return
+    /// type: `arrow_index..body_start`. `None` when the fn returns unit.
+    pub(crate) ret_range: Option<(usize, usize)>,
     /// Body reaches an audited open / reconstruction.
-    sanitizes: bool,
+    pub(crate) sanitizes: bool,
     /// Bare names of everything the body calls.
-    calls: BTreeSet<String>,
+    pub(crate) calls: BTreeSet<String>,
 }
 
 fn is_call_keyword(s: &str) -> bool {
@@ -87,8 +90,6 @@ fn collect_facts(m: &FileModel, model: usize, fn_idx: usize, f: &FnSpan) -> FnFa
         .unwrap_or(0);
     let arrow = (sig_start..f.body_start.saturating_sub(1))
         .find(|&j| code[j].is_punct('-') && code.get(j + 1).is_some_and(|n| n.is_punct('>')));
-    let returns_secret =
-        arrow.is_some_and(|a| code[a..f.body_start].iter().any(|t| t.is_ident("Secret")));
 
     let mut sanitizes = false;
     let mut calls = BTreeSet::new();
@@ -112,10 +113,56 @@ fn collect_facts(m: &FileModel, model: usize, fn_idx: usize, f: &FnSpan) -> FnFa
         fn_idx,
         name: f.name.clone(),
         returns_value: arrow.is_some(),
-        returns_secret,
+        ret_range: arrow.map(|a| (a, f.body_start)),
         sanitizes,
         calls,
     }
+}
+
+/// Collects [`FnFacts`] for every non-test function across `models`.
+pub(crate) fn collect_all_facts(models: &[FileModel]) -> Vec<FnFacts> {
+    let mut facts = Vec::new();
+    for (mi, m) in models.iter().enumerate() {
+        for (fi, f) in m.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            facts.push(collect_facts(m, mi, fi, f));
+        }
+    }
+    facts
+}
+
+/// The shared seed-and-fixpoint closure: functions for which `seed`
+/// holds are tainted, and taint propagates through every value-returning,
+/// non-sanitizing caller (bare-name call matching) until nothing changes.
+/// Returns the tainted function-name set.
+pub(crate) fn closure_over(
+    models: &[FileModel],
+    facts: &[FnFacts],
+    seed: impl Fn(&FileModel, &FnFacts) -> bool,
+) -> BTreeSet<String> {
+    let mut tainted: BTreeSet<String> = facts
+        .iter()
+        .filter(|ff| models.get(ff.model).is_some_and(|m| seed(m, ff)))
+        .map(|ff| ff.name.clone())
+        .collect();
+    loop {
+        let mut changed = false;
+        for ff in facts {
+            if !ff.returns_value || ff.sanitizes || tainted.contains(&ff.name) {
+                continue;
+            }
+            if ff.calls.iter().any(|c| tainted.contains(c)) {
+                tainted.insert(ff.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    tainted
 }
 
 /// Names of locals in `f` bound (transitively) from tainted calls.
@@ -211,41 +258,16 @@ fn inline_captures(lit: &str) -> Vec<String> {
 /// chains.
 pub fn run(models: &[FileModel]) -> Vec<Finding> {
     // Pass 1: facts.
-    let mut facts: Vec<FnFacts> = Vec::new();
-    for (mi, m) in models.iter().enumerate() {
-        for (fi, f) in m.fns.iter().enumerate() {
-            if f.is_test {
-                continue;
-            }
-            facts.push(collect_facts(m, mi, fi, f));
-        }
-    }
-    // Pass 2: seeds, then propagation to fixpoint (bare-name matching).
-    let mut tainted: BTreeSet<String> = facts
-        .iter()
-        .filter(|ff| {
-            ff.returns_secret
-                && !models
-                    .get(ff.model)
-                    .is_some_and(|m| m.rel.ends_with("mpc/src/secret.rs"))
-        })
-        .map(|ff| ff.name.clone())
-        .collect();
-    loop {
-        let mut changed = false;
-        for ff in &facts {
-            if !ff.returns_value || ff.sanitizes || tainted.contains(&ff.name) {
-                continue;
-            }
-            if ff.calls.iter().any(|c| tainted.contains(c)) {
-                tainted.insert(ff.name.clone());
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+    let facts = collect_all_facts(models);
+    // Pass 2: seeds (declared return type mentions `Secret`, outside the
+    // wrapper module itself), then propagation to fixpoint.
+    let tainted = closure_over(models, &facts, |m, ff| {
+        ff.ret_range.is_some_and(|(a, b)| {
+            m.code[a..b.min(m.code.len())]
+                .iter()
+                .any(|t| t.is_ident("Secret"))
+        }) && !m.rel.ends_with("mpc/src/secret.rs")
+    });
     // Pass 3: sinks.
     let mut out = Vec::new();
     for ff in &facts {

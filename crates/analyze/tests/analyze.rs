@@ -93,6 +93,41 @@ fn indexing_fixture_detected() {
 }
 
 #[test]
+fn constant_time_fixture_detected() {
+    let f = run_fixture("ct_violations.rs");
+    assert_eq!(count(&f, "constant-time"), 7, "{f:?}");
+    let flagged: Vec<&str> = f
+        .iter()
+        .filter(|x| x.lint == "constant-time")
+        .map(|x| x.function.as_str())
+        .collect();
+    for bad in [
+        "branchy_reduce",
+        "secret_mod",
+        "table_lookup",
+        "compare_shares",
+        "sign_match",
+        "local_leak",
+        "div_leak",
+    ] {
+        assert!(flagged.contains(&bad), "missing {bad} in {flagged:?}");
+    }
+    // Branch-free arithmetic, public shape metadata, pragma'd Option
+    // branches, and test code must all stay clean.
+    for good in [
+        "branchless_reduce",
+        "ge_mask",
+        "public_branch",
+        "len_check",
+        "checked_inverse",
+        "next_mask",
+        "assert_reduced",
+    ] {
+        assert!(!flagged.contains(&good), "false positive on {good}");
+    }
+}
+
+#[test]
 fn stray_tag_fixture_detected() {
     let f = run_fixture("stray_tag.rs");
     assert_eq!(count(&f, "tag-range"), 1, "{f:?}");

@@ -1,6 +1,10 @@
 //! Criterion microbenchmarks for the extensions: secure PCA and logistic
 //! score scans.
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dash_bench::workloads::normal_parties;
 use dash_core::logistic::{logistic_score_scan, secure_logistic_scan};

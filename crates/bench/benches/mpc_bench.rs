@@ -1,6 +1,10 @@
 //! Criterion microbenchmarks for the MPC substrate: sharing, the two
 //! secure-sum protocols, and Beaver inner products.
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dash_mpc::dealer::TrustedDealer;
 use dash_mpc::field::F61;

@@ -1,6 +1,10 @@
 //! Criterion microbenchmarks for the QR kernels: thin Householder QR,
 //! the TSQR tree, and the secure R-combination inputs (Gram + Cholesky).
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dash_gwas::pheno::normal_matrix;
 use dash_linalg::{cholesky_upper, gemm_at_b, qr_r_factor, qr_thin, tsqr_r, Matrix};

@@ -1,5 +1,9 @@
 //! Criterion microbenchmarks for the association scan (E2/E4 companion).
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dash_bench::workloads::{normal_parties, normal_single};
 use dash_core::scan::{associate, associate_parallel};

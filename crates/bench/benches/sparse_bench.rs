@@ -1,5 +1,9 @@
 //! Criterion microbenchmarks for the sparse scan kernel (E7 companion).
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dash_core::suffstats::{orthonormal_basis, SuffStats};
 use dash_gwas::genotype::simulate_genotypes_at;

@@ -9,6 +9,10 @@
 //! 3. **R-combination strategy**: direct stacked QR vs binary-tree TSQR
 //!    vs Gram+Cholesky — numerical agreement and per-party cost.
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dash_bench::table::{fmt_bytes, fmt_sci, fmt_seconds, Table};
 use dash_bench::workloads::normal_parties;
 use dash_core::model::pool_parties;

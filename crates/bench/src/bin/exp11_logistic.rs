@@ -7,6 +7,10 @@
 //! secure ≡ pooled-plaintext equality, and the communication profile
 //! (IRLS rounds are O(K²); the score layer is O(M·K), independent of N).
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dash_bench::table::{fmt_bytes, fmt_sci, Table};
 use dash_core::logistic::{logistic_score_scan, secure_logistic_scan};
 use dash_core::model::{pool_parties, PartyData};

@@ -16,6 +16,10 @@
 //! - the per-block traffic accounting (rounds × bytes) that the blocked
 //!   path exposes.
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dash_bench::table::{fmt_bytes, fmt_seconds, Table};
 use dash_bench::timing::time_median;
 use dash_bench::workloads::normal_parties;

@@ -18,6 +18,10 @@
 //! scan timescales (milliseconds of protocol work per trace event) both
 //! modes are indistinguishable within run-to-run noise.
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dash_bench::table::{fmt_seconds, Table};
 use dash_bench::timing::time_median;
 use dash_bench::workloads::normal_parties;

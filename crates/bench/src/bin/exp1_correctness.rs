@@ -13,6 +13,10 @@
 //! and prints the max relative differences — the Rust analogue of
 //! `all.equal(df[1:M0,], df2)`.
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dash_bench::table::{fmt_sci, Table};
 use dash_bench::workloads::r_demo_parties;
 use dash_core::model::pool_parties;

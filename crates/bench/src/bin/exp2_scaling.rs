@@ -6,6 +6,10 @@
 //! element throughput `N·M / seconds`, which stays roughly flat along the
 //! N and M sweeps if the claim holds, and the speedup along the C sweep.
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dash_bench::table::{fmt_seconds, Table};
 use dash_bench::timing::time_median;
 use dash_bench::workloads::normal_single;

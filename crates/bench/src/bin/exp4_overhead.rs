@@ -12,6 +12,10 @@
 //! - the simulated LAN/WAN network time from the exact byte/message
 //!   counters, reported separately (the in-process run has no real wire).
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dash_bench::table::{fmt_seconds, Table};
 use dash_bench::timing::time_median;
 use dash_bench::workloads::r_demo_parties;

@@ -14,6 +14,10 @@
 //!    is positive in every party but whose naive pooled effect is
 //!    negative.
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dash_bench::table::{fmt_sci, Table};
 use dash_core::meta::meta_analyze_scan;
 use dash_core::model::{pool_parties, PartyData};

@@ -6,6 +6,10 @@
 //! This is the quantified version of the paper's "for greater security,
 //! one could …" remarks.
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dash_bench::table::{fmt_bytes, fmt_sci, fmt_seconds, Table};
 use dash_bench::workloads::normal_parties;
 use dash_core::model::pool_parties;

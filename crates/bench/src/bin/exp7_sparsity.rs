@@ -7,6 +7,10 @@
 //! the dense scan kernel against the CSC kernel. The speedup should track
 //! `1 / density`.
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dash_bench::table::{fmt_seconds, Table};
 use dash_bench::timing::time_median;
 use dash_core::suffstats::{orthonormal_basis, SuffStats};

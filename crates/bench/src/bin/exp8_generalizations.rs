@@ -5,6 +5,10 @@
 //! plaintext counterpart (or recovers planted structure), end to end
 //! through the secure machinery where applicable.
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dash_bench::table::{fmt_sci, Table};
 use dash_bench::workloads::normal_parties;
 use dash_core::burden::{burden_parties, burden_scan, GeneSet};

@@ -17,6 +17,10 @@
 //!    appended to C (calibrated), at unchanged power on planted causals.
 //! 3. Cost: bytes per iteration, independence from N.
 
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dash_bench::table::{fmt_bytes, Table};
 use dash_core::model::{pool_parties, PartyData};
 use dash_core::pca::{plaintext_pca, secure_pca, PcaConfig};

@@ -1,9 +1,13 @@
-//! Runs every experiment binary in sequence (E1–E13), separated by
+//! Runs every experiment binary in sequence (E1–E14), separated by
 //! banners — the one-command reproduction of EXPERIMENTS.md.
 //!
 //! Each experiment is an independent binary; this runner invokes their
 //! `main` logic in-process by shelling out to the sibling executables,
 //! so a crash in one experiment doesn't lose the others' output.
+
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::process::Command;
 
@@ -21,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp11_logistic",
     "exp12_blocked_secure",
     "exp13_trace_overhead",
+    "exp14_timing",
 ];
 
 fn main() {

@@ -6,6 +6,7 @@
 //! (see DESIGN.md §3 for the experiment index); this crate keeps them
 //! small and uniform.
 
+pub mod dudect;
 pub mod table;
 pub mod timing;
 pub mod workloads;

@@ -26,14 +26,15 @@ pub fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (Timed, T) {
     assert!(reps >= 1, "need at least one repetition");
     let _warm = f();
     let mut samples = Vec::with_capacity(reps);
-    let mut last = None;
-    for _ in 0..reps {
+    let t0 = Instant::now();
+    let mut last = f();
+    samples.push(t0.elapsed().as_secs_f64());
+    for _ in 1..reps {
         let t0 = Instant::now();
-        let out = f();
+        last = f();
         samples.push(t0.elapsed().as_secs_f64());
-        last = Some(out);
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples.sort_by(f64::total_cmp);
     let median_s = if reps % 2 == 1 {
         samples[reps / 2]
     } else {
@@ -46,7 +47,7 @@ pub fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (Timed, T) {
             max_s: samples[reps - 1],
             reps,
         },
-        last.expect("reps >= 1"),
+        last,
     )
 }
 

@@ -24,14 +24,17 @@ pub fn normal_parties(sizes: &[usize], m: usize, k: usize, seed: u64) -> Vec<Par
             let y = normal_vec(n, &mut rng);
             let x = normal_matrix(n, m, &mut rng);
             let c = normal_matrix(n, k, &mut rng);
-            PartyData::new(y, x, c).expect("consistent by construction")
+            PartyData::new(y, x, c)
+                .unwrap_or_else(|e| panic!("workload dimensions consistent by construction: {e}"))
         })
         .collect()
 }
 
 /// A single pooled standard-normal dataset (for plaintext-only timings).
 pub fn normal_single(n: usize, m: usize, k: usize, seed: u64) -> PartyData {
-    normal_parties(&[n], m, k, seed).pop().expect("one party")
+    normal_parties(&[n], m, k, seed)
+        .pop()
+        .unwrap_or_else(|| panic!("normal_parties returns one party per size"))
 }
 
 #[cfg(test)]

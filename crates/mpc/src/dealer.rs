@@ -202,7 +202,7 @@ impl TrustedDealer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::share::reconstruct_field;
+    use crate::share::reconstruct_field_iter;
 
     #[test]
     fn zero_parties_rejected() {
@@ -218,9 +218,9 @@ mod tests {
                 .iter_mut()
                 .map(|p| p.next_scalar().unwrap().into_inner())
                 .collect();
-            let a = reconstruct_field(&Secret::new(trs.iter().map(|t| t.a).collect::<Vec<_>>()));
-            let b = reconstruct_field(&Secret::new(trs.iter().map(|t| t.b).collect::<Vec<_>>()));
-            let c = reconstruct_field(&Secret::new(trs.iter().map(|t| t.c).collect::<Vec<_>>()));
+            let a = reconstruct_field_iter(trs.iter().map(|t| t.a));
+            let b = reconstruct_field_iter(trs.iter().map(|t| t.b));
+            let c = reconstruct_field_iter(trs.iter().map(|t| t.c));
             assert_eq!(a * b, c);
         }
         // Exhaustion reported.
@@ -244,13 +244,11 @@ mod tests {
             // Reconstruct a, b element-wise and c.
             let mut dot = F61::ZERO;
             for i in 0..len {
-                let ai =
-                    reconstruct_field(&Secret::new(trs.iter().map(|t| t.a[i]).collect::<Vec<_>>()));
-                let bi =
-                    reconstruct_field(&Secret::new(trs.iter().map(|t| t.b[i]).collect::<Vec<_>>()));
+                let ai = reconstruct_field_iter(trs.iter().map(|t| t.a[i]));
+                let bi = reconstruct_field_iter(trs.iter().map(|t| t.b[i]));
                 dot += ai * bi;
             }
-            let c = reconstruct_field(&Secret::new(trs.iter().map(|t| t.c).collect::<Vec<_>>()));
+            let c = reconstruct_field_iter(trs.iter().map(|t| t.c));
             assert_eq!(dot, c);
         }
     }

@@ -71,6 +71,14 @@ impl FixedPointCodec {
         (63.0 - self.frac_bits as f64).exp2()
     }
 
+    /// Scales and rounds, rejecting non-finite input and magnitudes above
+    /// `max_abs`. The boundary is deliberately *inclusive*: every
+    /// `max_abs` used by this codec is a power of two `2^(k−f)` with
+    /// `k ≤ 62 < 64`, so `x.abs() == max_abs` scales to exactly `2^k` —
+    /// integer-exact in `f64`, unchanged by `round()`, and within the
+    /// `k`-bit budget. Rounding therefore cannot push an accepted value
+    /// past the budget; the round-trip proptests in `tests/props.rs` pin
+    /// `±max_abs` exactly.
     fn to_scaled_i64(self, x: f64, max_abs: f64) -> Result<i64, MpcError> {
         if !x.is_finite() {
             return Err(MpcError::NotFinite { value: x });
@@ -262,6 +270,36 @@ mod tests {
         let decf = c.decode_field_vec(&encf);
         for (a, b) in xs.iter().zip(&decf) {
             assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn boundary_magnitudes_roundtrip_exactly() {
+        // x.abs() == max_abs is accepted and scales to an exact power of
+        // two, so encode/decode is lossless right at the boundary — for
+        // every legal frac_bits setting, ring and field alike.
+        for f in 1..=FixedPointCodec::MAX_FRAC_BITS {
+            let c = FixedPointCodec::new(f).unwrap();
+            let mr = c.max_abs_ring();
+            let mf = c.max_abs_field();
+            assert_eq!(c.decode_ring(c.encode_ring(mr).unwrap()), mr, "f={f}");
+            assert_eq!(c.decode_ring(c.encode_ring(-mr).unwrap()), -mr, "f={f}");
+            assert_eq!(c.decode_field(c.encode_field(mf).unwrap()), mf, "f={f}");
+            assert_eq!(c.decode_field(c.encode_field(-mf).unwrap()), -mf, "f={f}");
+        }
+    }
+
+    #[test]
+    fn just_above_boundary_rejected() {
+        for f in [1, 20, 32, 52] {
+            let c = FixedPointCodec::new(f).unwrap();
+            let ring_above = c.max_abs_ring() * (1.0 + 1e-9);
+            assert!(ring_above > c.max_abs_ring());
+            assert!(c.encode_ring(ring_above).is_err(), "f={f}");
+            assert!(c.encode_ring(-ring_above).is_err(), "f={f}");
+            let field_above = c.max_abs_field() * (1.0 + 1e-9);
+            assert!(c.encode_field(field_above).is_err(), "f={f}");
+            assert!(c.encode_field(-field_above).is_err(), "f={f}");
         }
     }
 

@@ -9,6 +9,8 @@
 //!
 //! Layers, bottom to top:
 //!
+//! - [`ctime`]: branch-free mask primitives (select, comparisons as
+//!   all-ones/zero masks) underlying every constant-time arithmetic path.
 //! - [`ring`]: the ring **Z₂⁶⁴** (wrapping `u64`) used by the additive
 //!   secure-sum protocols — sums that are opened immediately.
 //! - [`field`]: the Mersenne prime field **F_{2⁶¹−1}** used by the Beaver
@@ -66,6 +68,7 @@
 )]
 
 pub mod audit;
+pub mod ctime;
 pub mod dealer;
 pub mod error;
 pub mod field;

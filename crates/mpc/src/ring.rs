@@ -4,7 +4,17 @@
 //! any n−1 of the n shares of a value are uniformly random. All secure-sum
 //! protocols in this crate operate on [`R64`] elements; the fixed-point
 //! codec ([`crate::fixed`]) maps statistics into and out of the ring.
+//!
+//! # Constant time
+//!
+//! All ring arithmetic is `wrapping_*` on `u64` — straight-line machine
+//! code with no data-dependent branches or memory accesses, audited under
+//! the same `constant-time` dash-analyze lint as [`crate::field`].
+//! Comparisons are provided only as mask-returning [`R64::ct_eq`] (plus
+//! [`R64::ct_select`]) so callers never need `==`/`<` on share words.
 
+use crate::ctime;
+use std::borrow::Borrow;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
 /// An element of Z₂⁶⁴. All arithmetic wraps.
@@ -30,9 +40,40 @@ impl R64 {
         R64(v as u64)
     }
 
-    /// Sums a slice of ring elements.
-    pub fn sum(elems: &[R64]) -> R64 {
-        elems.iter().fold(R64::ZERO, |acc, &e| acc + e)
+    /// Sums ring elements from any iterator (of values or references)
+    /// without forcing callers to collect into a slice first.
+    pub fn sum<I>(elems: I) -> R64
+    where
+        I: IntoIterator,
+        I::Item: Borrow<R64>,
+    {
+        elems
+            .into_iter()
+            .fold(R64::ZERO, |acc, e| acc + *e.borrow())
+    }
+
+    /// Constant-time equality: all-ones if equal, zero otherwise.
+    #[inline]
+    pub fn ct_eq(self, other: R64) -> u64 {
+        ctime::eq_mask(self.0, other.0)
+    }
+
+    /// Constant-time select: `a` where `mask` is all-ones, `b` where zero.
+    #[inline]
+    pub fn ct_select(mask: u64, a: R64, b: R64) -> R64 {
+        R64(ctime::select(mask, a.0, b.0))
+    }
+}
+
+impl std::iter::Sum for R64 {
+    fn sum<I: Iterator<Item = R64>>(iter: I) -> R64 {
+        R64::sum(iter)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a R64> for R64 {
+    fn sum<I: Iterator<Item = &'a R64>>(iter: I) -> R64 {
+        R64::sum(iter)
     }
 }
 
@@ -140,10 +181,23 @@ mod tests {
     }
 
     #[test]
-    fn sum_of_slice() {
+    fn sum_accepts_slices_and_iterators() {
         let v = [R64(1), R64(2), R64::from_i64(-3)];
-        assert_eq!(R64::sum(&v), R64::ZERO);
-        assert_eq!(R64::sum(&[]), R64::ZERO);
+        assert_eq!(R64::sum(v.as_slice()), R64::ZERO);
+        assert_eq!(R64::sum(v.iter().copied()), R64::ZERO);
+        assert_eq!(R64::sum(std::iter::empty::<R64>()), R64::ZERO);
+        assert_eq!(v.iter().sum::<R64>(), R64::ZERO);
+        assert_eq!(v.iter().copied().sum::<R64>(), R64::ZERO);
+    }
+
+    #[test]
+    fn ct_eq_and_select() {
+        let a = R64(0xDEAD);
+        let b = R64(0xBEEF);
+        assert_eq!(a.ct_eq(a), u64::MAX);
+        assert_eq!(a.ct_eq(b), 0);
+        assert_eq!(R64::ct_select(u64::MAX, a, b), a);
+        assert_eq!(R64::ct_select(0, a, b), b);
     }
 
     #[test]

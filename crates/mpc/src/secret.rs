@@ -125,6 +125,14 @@ impl ScalarCount for R64 {
     }
 }
 
+impl ScalarCount for u64 {
+    // A bare mask word (from the constant-time combinators) counts as one
+    // scalar if a caller ever opens it.
+    fn scalar_count(&self) -> usize {
+        1
+    }
+}
+
 impl ScalarCount for F61 {
     fn scalar_count(&self) -> usize {
         1
@@ -228,6 +236,36 @@ impl Secret<Vec<R64>> {
     }
 }
 
+impl Secret<F61> {
+    /// Constant-time equality of two secret field elements. The result is
+    /// an all-ones/zero *mask* and stays wrapped: whether two shares are
+    /// equal is itself secret.
+    pub fn ct_eq(&self, other: &Secret<F61>) -> Secret<u64> {
+        Secret(self.0.ct_eq(other.0))
+    }
+
+    /// Constant-time selection between two secret elements under a secret
+    /// mask (`a` where all-ones, `b` where zero). No branch is taken on
+    /// any of the three inputs.
+    pub fn ct_select(mask: &Secret<u64>, a: &Secret<F61>, b: &Secret<F61>) -> Secret<F61> {
+        Secret(F61::ct_select(mask.0, a.0, b.0))
+    }
+}
+
+impl Secret<R64> {
+    /// Constant-time equality of two secret ring elements (see
+    /// [`Secret::<F61>::ct_eq`]).
+    pub fn ct_eq(&self, other: &Secret<R64>) -> Secret<u64> {
+        Secret(self.0.ct_eq(other.0))
+    }
+
+    /// Constant-time selection between two secret ring elements under a
+    /// secret mask.
+    pub fn ct_select(mask: &Secret<u64>, a: &Secret<R64>, b: &Secret<R64>) -> Secret<R64> {
+        Secret(R64::ct_select(mask.0, a.0, b.0))
+    }
+}
+
 impl<T: Copy> Secret<Vec<T>> {
     /// Extracts one element as its own secret; `None` out of bounds.
     pub fn element(&self, i: usize) -> Option<Secret<T>> {
@@ -326,6 +364,25 @@ mod tests {
         assert_eq!(buf, vec![R64(1), R64(2)]);
         let mut short = vec![R64(0)];
         assert!(pad.pad_into(&mut short, true).is_err());
+    }
+
+    #[test]
+    fn ct_combinators_stay_wrapped() {
+        let log = DisclosureLog::new();
+        let a = Secret::new(F61::new(5));
+        let b = Secret::new(F61::new(9));
+        let mask = a.ct_eq(&a);
+        let picked = Secret::<F61>::ct_select(&mask, &a, &b);
+        assert_eq!(picked.open_via(&log, OpenMode::Pad), F61::new(5));
+        let zero_mask = Secret::new(F61::new(5)).ct_eq(&b);
+        let other = Secret::<F61>::ct_select(&zero_mask, &a, &b);
+        assert_eq!(other.open_via(&log, OpenMode::Pad), F61::new(9));
+        let ra = Secret::new(R64(1));
+        let rb = Secret::new(R64(2));
+        let rmask = ra.ct_eq(&rb);
+        assert_eq!(rmask.open_via(&log, OpenMode::Pad), 0);
+        let sel = Secret::<R64>::ct_select(&ra.ct_eq(&ra), &ra, &rb);
+        assert_eq!(sel.open_via(&log, OpenMode::Pad), R64(1));
     }
 
     #[test]

@@ -37,6 +37,17 @@ pub fn reconstruct_ring(shares: &Secret<Vec<R64>>) -> R64 {
     R64::sum(shares.expose())
 }
 
+/// Recombines ring shares streamed from an iterator — for callers that
+/// hold shares scattered across structures (e.g. one per triple) and
+/// would otherwise collect a `Vec` just to sum it.
+pub fn reconstruct_ring_iter<I>(shares: I) -> R64
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<R64>,
+{
+    R64::sum(shares)
+}
+
 /// Splits each element of a vector into `n` additive shares; returns one
 /// share-vector per recipient (transposed layout, ready to send).
 pub fn share_ring_vec(xs: &[R64], n: usize, prg: &mut Prg) -> Vec<Secret<Vec<R64>>> {
@@ -87,6 +98,16 @@ pub fn share_field(x: F61, n: usize, prg: &mut Prg) -> Secret<Vec<F61>> {
 /// Recombines a complete field share set.
 pub fn reconstruct_field(shares: &Secret<Vec<F61>>) -> F61 {
     F61::sum(shares.expose())
+}
+
+/// Recombines field shares streamed from an iterator (see
+/// [`reconstruct_ring_iter`]).
+pub fn reconstruct_field_iter<I>(shares: I) -> F61
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<F61>,
+{
+    F61::sum(shares)
 }
 
 /// Splits each element of a vector into `n` field shares (transposed
@@ -146,6 +167,21 @@ mod tests {
                 assert_eq!(reconstruct_field(&shares), x, "v={v} n={n}");
             }
         }
+    }
+
+    #[test]
+    fn iterator_reconstruction_matches_slice_reconstruction() {
+        let mut prg = Prg::from_seed(11);
+        let x = R64::from_i64(-987654);
+        let shares = share_ring(x, 4, &mut prg);
+        assert_eq!(reconstruct_ring_iter(shares.expose().iter()), x);
+        let y = F61::from_i64(424242);
+        let fshares = share_field(y, 4, &mut prg);
+        assert_eq!(reconstruct_field_iter(fshares.expose().iter()), y);
+        // Streaming from a mapped iterator — the use case that previously
+        // forced an intermediate Vec.
+        let pairs: Vec<(R64, R64)> = shares.expose().iter().map(|&s| (s, s)).collect();
+        assert_eq!(reconstruct_ring_iter(pairs.iter().map(|p| p.0)), x);
     }
 
     #[test]

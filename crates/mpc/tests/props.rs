@@ -83,6 +83,27 @@ proptest! {
         }
     }
 
+    /// Boundary pin for `to_scaled_i64`'s inclusive range check: for every
+    /// legal `frac_bits`, `x.abs() == max_abs` encodes without error and
+    /// round-trips *exactly* (the boundary is a power of two, so scaling
+    /// is integer-exact and rounding is the identity). Together with the
+    /// just-above-rejection unit tests this proves the inclusive check
+    /// correct — rounding cannot push an accepted value past the budget.
+    #[test]
+    fn fixed_point_boundary_roundtrips_exactly(frac in 1u32..53) {
+        let c = FixedPointCodec::new(frac).unwrap();
+        for (enc_max, ring) in [(c.max_abs_ring(), true), (c.max_abs_field(), false)] {
+            for x in [enc_max, -enc_max] {
+                let back = if ring {
+                    c.decode_ring(c.encode_ring(x).unwrap())
+                } else {
+                    c.decode_field(c.encode_field(x).unwrap())
+                };
+                prop_assert_eq!(back, x, "frac={} ring={}", frac, ring);
+            }
+        }
+    }
+
     #[test]
     fn fixed_point_encoding_additive(
         xs in proptest::collection::vec(-1000.0f64..1000.0, 1..20),

@@ -16,7 +16,10 @@ cargo clippy --workspace --all-targets --release -- -D warnings -A clippy::index
 echo "== static analysis (dash-analyze, all lints denied, cross-function taint)"
 # Covers the token lints plus the call-graph taint pass: any path from a
 # Secret-producing function to a formatter that never goes through an
-# audited open (open_via/open_local) is a build failure.
+# audited open (open_via/open_local) is a build failure. The set includes
+# the constant-time lint: data-dependent branches, comparisons, `%`/`/`,
+# and table lookups on share material in the mpc arithmetic modules deny
+# with a zero baseline.
 cargo run --release -p dash-analyze -- --deny all --format json
 
 echo "== analyzer baseline must stay empty"
@@ -53,10 +56,19 @@ trap 'rm -rf "$TRACE_TMP"' EXIT
     --audit false --metrics true --trace-out "$TRACE_TMP/trace.json"
 ./target/release/dash-analyze --validate-trace "$TRACE_TMP/trace.json"
 
+echo "== timing-leak smoke (E14, bounded samples, enforced)"
+# The dudect harness must see no class split in the F61 arithmetic. The
+# bounded sample count keeps CI fast (raise DASH_TIMING_SAMPLES locally
+# for a deeper scan); the loosened threshold absorbs shared-runner noise.
+# The in-run positive control is reported but not enforced here — a noisy
+# host can drown it without invalidating the negatives' machinery.
+DASH_TIMING_SAMPLES=2000 DASH_TIMING_THRESHOLD=8 DASH_TIMING_ENFORCE=1 \
+    ./target/release/exp14_timing
+
 echo "== docs"
 cargo doc --workspace --no-deps
 
-echo "== experiments (E1..E13)"
+echo "== experiments (E1..E14)"
 cargo run --release -p dash-bench --bin run_all
 
 echo "== done"
