@@ -94,6 +94,40 @@ impl Baseline {
         Baseline { entries }
     }
 
+    /// Regenerates the baseline from the current `findings`.
+    ///
+    /// Stale entries in `prev` — fingerprints matching no current finding,
+    /// e.g. after the offending line was fixed or reworded — are *kept* by
+    /// default so an `--update-baseline` run cannot silently lose a
+    /// suppression that a concurrent branch still needs; the caller warns
+    /// about each. With `prune` set they are dropped. Returns the new
+    /// baseline and the stale entries (kept or pruned).
+    pub fn regenerate(
+        findings: &[Finding],
+        prev: &Baseline,
+        default_reason: &str,
+        prune: bool,
+    ) -> (Baseline, Vec<BaselineEntry>) {
+        let mut base = Baseline::from_findings(findings, prev, default_reason);
+        let stale: Vec<BaselineEntry> = prev.unused(findings).into_iter().cloned().collect();
+        if !prune {
+            for e in &stale {
+                if !base.entries.iter().any(|x| x.fingerprint == e.fingerprint) {
+                    base.entries.push(e.clone());
+                }
+            }
+            base.entries.sort_by(|a, b| {
+                (&a.lint, &a.file, &a.function, &a.fingerprint).cmp(&(
+                    &b.lint,
+                    &b.file,
+                    &b.function,
+                    &b.fingerprint,
+                ))
+            });
+        }
+        (base, stale)
+    }
+
     /// Serializes to the checked-in JSON format (stable ordering, one
     /// entry per line group, trailing newline).
     pub fn to_json(&self) -> String {
@@ -430,6 +464,29 @@ mod tests {
         prev.entries[0].reason = "documented exception".to_string();
         let next = Baseline::from_findings(&findings, &prev, "new default");
         assert_eq!(next.entries[0].reason, "documented exception");
+    }
+
+    #[test]
+    fn regenerate_keeps_stale_entries_unless_pruned() {
+        let old = vec![
+            f("secure-indexing", "crates/mpc/src/net.rs", "recv", "buf[i]"),
+            f("secure-indexing", "crates/mpc/src/net.rs", "send", "q[j]"),
+        ];
+        let prev = Baseline::from_findings(&old, &Baseline::default(), "grandfathered");
+        // The `send` site was fixed: only `recv` still fires.
+        let current = &old[..1];
+        let (kept, stale) = Baseline::regenerate(current, &prev, "grandfathered", false);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].function, "send");
+        assert_eq!(
+            kept.entries.len(),
+            2,
+            "stale entry retained without --prune"
+        );
+        let (pruned, stale) = Baseline::regenerate(current, &prev, "grandfathered", true);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(pruned.entries.len(), 1, "stale entry dropped with --prune");
+        assert_eq!(pruned.entries[0].function, "recv");
     }
 
     #[test]

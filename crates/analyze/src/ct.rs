@@ -5,43 +5,44 @@
 //! division, or table lookup in the field/ring arithmetic leaks
 //! share-dependent timing to anyone co-resident with a party. This lint
 //! denies the shapes that produce such leaks inside the mpc crate's
-//! arithmetic and share modules:
+//! arithmetic and share modules, working over the parsed AST
+//! (`crate::ast`):
 //!
-//! - `if`/`while`/`match` whose condition (or scrutinee) reads a
-//!   secret-tainted value;
-//! - binary `%`, `/`, `<`, `>`, `<=`, `>=`, `==`, `!=` with a tainted
-//!   operand (shifts `<<`/`>>`, arrows and fat arrows are recognized as
-//!   non-comparisons from the single-char token stream);
-//! - indexing `x[i]` where the index expression is tainted.
+//! - [`ExprKind::If`]/[`ExprKind::While`]/[`ExprKind::Match`] whose
+//!   condition (or scrutinee) reads a secret-tainted value;
+//! - [`ExprKind::Binary`] `%`, `/`, or any comparison with a tainted
+//!   operand (shifts are distinct operators in the AST, so `<<`/`>>`
+//!   never need disambiguation);
+//! - [`ExprKind::Index`] where the index expression is tainted.
 //!
 //! **Taint** starts from function parameters whose declared type mentions
 //! an element/secret type (`F61`, `R64`, `Secret`, `BeaverTriple`,
 //! `InnerTriple` — plus raw `u64`/`u128`/`i64` words inside the element
 //! modules themselves, where every word *is* an element), from `self` in
 //! the element/share modules, and from locals bound from tainted
-//! expressions or from calls into the element-producing call graph — the
-//! same seed-and-fixpoint closure the `cross-function-taint` pass uses
-//! ([`crate::taint::closure_over`]), seeded on element-returning
-//! signatures instead of `Secret`-returning ones.
+//! expressions or from calls into the element-producing call graph — a
+//! seed-and-fixpoint closure over the program registry, seeded on
+//! element-returning signatures.
 //!
 //! **Public metadata escapes the taint**: an access chain that goes
 //! through a length/shape method (`len`, `is_empty`, `scalar_count`,
 //! `first`, `get`, …) is public — `if shares.len() != n` is fine,
-//! `if shares[0].value() > n` is not. A cast (`as`) also ends an operand
-//! chain: casts launder provenance at the token level, which keeps the
-//! fixed-point decode divisions (`v.as_i64() as f64 / scale`) clean —
+//! `if shares[0].value() > n` is not. A cast (`as`) ends a *binary
+//! operand* chain: casts launder provenance for arithmetic, which keeps
+//! the fixed-point decode divisions (`v.as_i64() as f64 / scale`) clean —
 //! division by a *public* scale after a cast is exactly the pattern the
-//! codec uses on purpose.
+//! codec uses on purpose. Branch conditions and index expressions look
+//! through casts: a branch on `(x.0 & 7) as usize` still branches on
+//! share material.
 //!
 //! Test code is exempt; deliberate exceptions carry
 //! `// dash-analyze::allow(constant-time): reason` pragmas (the only one
 //! in-tree is `F61::inverse`, whose `Option` return is inherently a
 //! branch on invertibility).
 
-use crate::lexer::{Tok, TokKind};
-use crate::lints::{is_keyword, matching};
+use crate::ast::{BinOp, Block, Expr, ExprKind, Stmt};
 use crate::model::FileModel;
-use crate::taint;
+use crate::registry::Registry;
 use crate::Finding;
 use std::collections::BTreeSet;
 
@@ -88,6 +89,15 @@ const SANITIZER_METHODS: [&str; 9] = [
     "count",
 ];
 
+/// Audited-open / reconstruction identifiers: a body that reaches one
+/// returns *opened* data, ending element-taint propagation through it.
+fn sanitizing_ident(name: &str) -> bool {
+    matches!(
+        name,
+        "open_via" | "open_local" | "open_sum_ring" | "open_sum_field" | "open_field"
+    ) || name.starts_with("reconstruct_")
+}
+
 fn basename(rel: &str) -> &str {
     rel.rsplit('/').next().unwrap_or(rel)
 }
@@ -113,282 +123,484 @@ fn self_is_secret(rel: &str) -> bool {
     basename(rel) != "fixed.rs"
 }
 
-/// Keywords that terminate an operand walk in either direction.
-fn operand_stop_keyword(s: &str) -> bool {
-    is_keyword(s) || matches!(s, "await" | "else")
+/// Collects the bare names every expression in a body calls, plus whether
+/// the body reaches an audited open (which ends propagation through it).
+fn body_calls(b: &Block, calls: &mut BTreeSet<String>, sanitizes: &mut bool) {
+    let mut idents = Vec::new();
+    for s in &b.stmts {
+        match s {
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    expr_calls(e, calls, sanitizes);
+                    e.collect_idents(&mut idents);
+                }
+            }
+            Stmt::Expr { expr, .. } => {
+                expr_calls(expr, calls, sanitizes);
+                expr.collect_idents(&mut idents);
+            }
+            Stmt::Item(_) | Stmt::Empty => {}
+        }
+    }
+    if idents.iter().any(|i| sanitizing_ident(i)) {
+        *sanitizes = true;
+    }
 }
 
-/// Scans `range` for an identifier in `tainted` whose postfix chain
-/// (`.field`, `.0`, `.method(args)`) never reaches a sanitizing
-/// (public-metadata) method; returns the first offender's name.
-fn tainted_occurrence(
-    code: &[Tok],
-    range: std::ops::Range<usize>,
-    tainted: &BTreeSet<String>,
-) -> Option<String> {
-    let end = range.end.min(code.len());
-    let mut q = range.start;
-    while q < end {
-        let t = &code[q];
-        if !(t.kind == TokKind::Ident && tainted.contains(&t.text)) {
-            q += 1;
-            continue;
-        }
-        // Walk the postfix chain looking for a sanitizer.
-        let mut sanitized = false;
-        let mut j = q + 1;
-        while code.get(j).is_some_and(|n| n.is_punct('.')) {
-            match code.get(j + 1) {
-                Some(nm) if nm.kind == TokKind::Ident => {
-                    if SANITIZER_METHODS.contains(&nm.text.as_str()) {
-                        sanitized = true;
-                        break;
-                    }
-                    if code.get(j + 2).is_some_and(|n| n.is_punct('(')) {
-                        j = matching(code, j + 2, '(', ')') + 1;
-                    } else {
-                        j += 2;
-                    }
+fn expr_calls(e: &Expr, calls: &mut BTreeSet<String>, sanitizes: &mut bool) {
+    match &e.kind {
+        ExprKind::Call { callee, args } => {
+            if let ExprKind::Path(segs) = &callee.kind {
+                if let Some(l) = segs.last() {
+                    calls.insert(l.clone());
                 }
-                Some(nm) if nm.kind == TokKind::Number => j += 2, // tuple field
-                _ => break,
+            } else {
+                expr_calls(callee, calls, sanitizes);
+            }
+            for a in args {
+                expr_calls(a, calls, sanitizes);
             }
         }
-        if !sanitized {
-            return Some(t.text.clone());
+        ExprKind::MethodCall { recv, name, args } => {
+            calls.insert(name.clone());
+            expr_calls(recv, calls, sanitizes);
+            for a in args {
+                expr_calls(a, calls, sanitizes);
+            }
         }
-        q = j.max(q + 1);
+        ExprKind::Closure { body, .. } => expr_calls(body, calls, sanitizes),
+        ExprKind::Binary(_, a, b) | ExprKind::Assign { lhs: a, rhs: b } => {
+            expr_calls(a, calls, sanitizes);
+            expr_calls(b, calls, sanitizes);
+        }
+        ExprKind::Unary(i) | ExprKind::Try(i) | ExprKind::Cast(i, _) => {
+            expr_calls(i, calls, sanitizes)
+        }
+        ExprKind::Index { base, index } => {
+            expr_calls(base, calls, sanitizes);
+            expr_calls(index, calls, sanitizes);
+        }
+        ExprKind::StructLit { fields, base, .. } => {
+            for (_, fe) in fields {
+                expr_calls(fe, calls, sanitizes);
+            }
+            if let Some(b) = base {
+                expr_calls(b, calls, sanitizes);
+            }
+        }
+        ExprKind::Tuple(es) | ExprKind::Array(es) | ExprKind::Macro { args: es, .. } => {
+            for x in es {
+                expr_calls(x, calls, sanitizes);
+            }
+        }
+        ExprKind::If { cond, then, els } => {
+            expr_calls(cond, calls, sanitizes);
+            body_calls(then, calls, sanitizes);
+            if let Some(e) = els {
+                expr_calls(e, calls, sanitizes);
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            expr_calls(scrutinee, calls, sanitizes);
+            for a in arms {
+                if let Some(g) = &a.guard {
+                    expr_calls(g, calls, sanitizes);
+                }
+                expr_calls(&a.body, calls, sanitizes);
+            }
+        }
+        ExprKind::While { cond, body } => {
+            expr_calls(cond, calls, sanitizes);
+            body_calls(body, calls, sanitizes);
+        }
+        ExprKind::ForLoop { iter, body, .. } => {
+            expr_calls(iter, calls, sanitizes);
+            body_calls(body, calls, sanitizes);
+        }
+        ExprKind::Loop(b) | ExprKind::Block(b) => body_calls(b, calls, sanitizes),
+        ExprKind::Return(v) | ExprKind::Break(v) => {
+            if let Some(v) = v {
+                expr_calls(v, calls, sanitizes);
+            }
+        }
+        ExprKind::Range(a, b) => {
+            if let Some(a) = a {
+                expr_calls(a, calls, sanitizes);
+            }
+            if let Some(b) = b {
+                expr_calls(b, calls, sanitizes);
+            }
+        }
+        ExprKind::Field(b, _) => expr_calls(b, calls, sanitizes),
+        ExprKind::Path(_) | ExprKind::Lit | ExprKind::Str(_) | ExprKind::Unknown => {}
+    }
+}
+
+/// The element-producing call-graph closure: seeds are non-test fns whose
+/// declared return type mentions an element type (`Self` counts inside
+/// the word modules — `F61::new -> Self`), excluding the Secret wrapper's
+/// own combinators; taint propagates through every value-returning,
+/// non-sanitizing caller by bare name.
+fn element_fns(reg: &Registry) -> BTreeSet<String> {
+    struct Facts {
+        name: String,
+        returns_value: bool,
+        sanitizes: bool,
+        calls: BTreeSet<String>,
+    }
+    let mut facts = Vec::new();
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+    for e in &reg.fns {
+        if e.fun.is_test {
+            continue;
+        }
+        let Some(m) = reg.models.get(e.model) else {
+            continue;
+        };
+        let mut calls = BTreeSet::new();
+        let mut sanitizes = false;
+        body_calls(&e.fun.body, &mut calls, &mut sanitizes);
+        let seed = !m.rel.ends_with("mpc/src/secret.rs")
+            && (e.fun.ret.idents.iter().any(|i| secret_type_ident(i))
+                || (is_word_module(&m.rel) && e.fun.ret.mentions("Self")));
+        if seed {
+            tainted.insert(e.fun.name.clone());
+        }
+        facts.push(Facts {
+            name: e.fun.name.clone(),
+            returns_value: e.returns_value(),
+            sanitizes,
+            calls,
+        });
+    }
+    loop {
+        let mut changed = false;
+        for f in &facts {
+            if !f.returns_value || f.sanitizes || tainted.contains(&f.name) {
+                continue;
+            }
+            if f.calls.iter().any(|c| tainted.contains(c)) {
+                tainted.insert(f.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    tainted
+}
+
+/// First tainted value read by `e`, if any: a tainted local (or a field
+/// projection rooted at one), or a call into the element-producing graph.
+/// Chains through public-metadata methods are clean. `casts_opaque`
+/// selects binary-operand semantics, where `as` launders provenance.
+fn offender(
+    e: &Expr,
+    locals: &BTreeSet<String>,
+    fns: &BTreeSet<String>,
+    casts_opaque: bool,
+) -> Option<String> {
+    let walk = |x: &Expr| offender(x, locals, fns, casts_opaque);
+    match &e.kind {
+        ExprKind::Path(segs) if segs.len() == 1 && locals.contains(&segs[0]) => {
+            Some(segs[0].clone())
+        }
+        ExprKind::Path(_) | ExprKind::Lit | ExprKind::Str(_) | ExprKind::Unknown => None,
+        ExprKind::Field(base, _) => {
+            if let Some(p) = e.place() {
+                let root = p.split('.').next().unwrap_or("");
+                return locals.contains(root).then(|| root.to_string());
+            }
+            walk(base)
+        }
+        ExprKind::MethodCall { recv, name, args } => {
+            if SANITIZER_METHODS.contains(&name.as_str()) {
+                return None; // public shape metadata ends the chain
+            }
+            if let Some(o) = walk(recv) {
+                return Some(o);
+            }
+            if fns.contains(name.as_str()) {
+                return Some(name.clone());
+            }
+            args.iter().find_map(walk)
+        }
+        ExprKind::Call { callee, args } => {
+            if let ExprKind::Path(segs) = &callee.kind {
+                if let Some(l) = segs.last() {
+                    if fns.contains(l.as_str()) {
+                        return Some(l.clone());
+                    }
+                }
+            } else if let Some(o) = walk(callee) {
+                return Some(o);
+            }
+            args.iter().find_map(walk)
+        }
+        ExprKind::Cast(i, _) => {
+            if casts_opaque {
+                None
+            } else {
+                walk(i)
+            }
+        }
+        ExprKind::Unary(i) | ExprKind::Try(i) => walk(i),
+        ExprKind::Binary(_, a, b) | ExprKind::Assign { lhs: a, rhs: b } => {
+            walk(a).or_else(|| walk(b))
+        }
+        ExprKind::Index { base, index } => walk(base).or_else(|| walk(index)),
+        ExprKind::Macro { args, .. } | ExprKind::Tuple(args) | ExprKind::Array(args) => {
+            args.iter().find_map(walk)
+        }
+        ExprKind::StructLit { fields, base, .. } => fields
+            .iter()
+            .find_map(|(_, fe)| walk(fe))
+            .or_else(|| base.as_deref().and_then(walk)),
+        ExprKind::Closure { body, .. } => walk(body),
+        ExprKind::If { cond, then, els } => walk(cond)
+            .or_else(|| block_offender(then, locals, fns, casts_opaque))
+            .or_else(|| els.as_deref().and_then(walk)),
+        ExprKind::Match { scrutinee, arms } => walk(scrutinee).or_else(|| {
+            arms.iter()
+                .find_map(|a| a.guard.as_ref().and_then(&walk).or_else(|| walk(&a.body)))
+        }),
+        ExprKind::While { cond, body } => {
+            walk(cond).or_else(|| block_offender(body, locals, fns, casts_opaque))
+        }
+        ExprKind::ForLoop { iter, body, .. } => {
+            walk(iter).or_else(|| block_offender(body, locals, fns, casts_opaque))
+        }
+        ExprKind::Loop(b) | ExprKind::Block(b) => block_offender(b, locals, fns, casts_opaque),
+        ExprKind::Return(v) | ExprKind::Break(v) => v.as_deref().and_then(walk),
+        ExprKind::Range(a, b) => a
+            .as_deref()
+            .and_then(&walk)
+            .or_else(|| b.as_deref().and_then(walk)),
+    }
+}
+
+fn block_offender(
+    b: &Block,
+    locals: &BTreeSet<String>,
+    fns: &BTreeSet<String>,
+    casts_opaque: bool,
+) -> Option<String> {
+    for s in &b.stmts {
+        let e = match s {
+            Stmt::Let { init: Some(e), .. } => e,
+            Stmt::Expr { expr, .. } => expr,
+            _ => continue,
+        };
+        if let Some(o) = offender(e, locals, fns, casts_opaque) {
+            return Some(o);
+        }
     }
     None
 }
 
-/// The span scanned for a branch keyword at `kw`: up to the body `{` at
-/// bracket depth 0, bounded by `;`/`=>` so match-arm guards cannot
-/// overshoot into arm bodies.
-fn condition_span(code: &[Tok], kw: usize, body_end: usize) -> std::ops::Range<usize> {
-    let mut depth = 0i32;
-    let mut q = kw + 1;
-    while q <= body_end.min(code.len().saturating_sub(1)) {
-        let t = &code[q];
-        if t.is_punct('(') || t.is_punct('[') {
-            depth += 1;
-        } else if t.is_punct(')') || t.is_punct(']') {
-            depth -= 1;
-        } else if depth <= 0 {
-            if t.is_punct('{') || t.is_punct(';') {
-                return kw + 1..q;
-            }
-            if t.is_punct('=') && code.get(q + 1).is_some_and(|n| n.is_punct('>')) {
-                return kw + 1..q;
-            }
-        }
-        q += 1;
-    }
-    kw + 1..body_end + 1
+fn op_str(op: BinOp) -> Option<&'static str> {
+    Some(match op {
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Gt => ">",
+        BinOp::Le => "<=",
+        BinOp::Ge => ">=",
+        _ => return None,
+    })
 }
 
-/// Left operand region of a binary operator at `k`: walk left at depth 0
-/// over one postfix chain (jumping whole `(...)`/`[...]` groups), stopping
-/// at any other operator, statement punctuation, or keyword (`as` included
-/// — a cast ends the chain).
-fn left_operand(code: &[Tok], k: usize, body_start: usize) -> std::ops::Range<usize> {
-    let mut depth = 0i32;
-    let mut j = k as i64 - 1;
-    while j >= body_start as i64 {
-        let t = &code[j as usize];
-        if t.is_punct(')') || t.is_punct(']') {
-            depth += 1;
-        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
-            if depth == 0 {
-                break;
-            }
-            depth -= 1;
-        } else if depth == 0 {
-            if t.kind == TokKind::Punct && !t.is_punct('.') {
-                break;
-            }
-            if t.kind == TokKind::Ident && operand_stop_keyword(&t.text) {
-                break;
-            }
-        }
-        j -= 1;
-    }
-    ((j + 1).max(0) as usize)..k
+/// Per-function shape scan.
+struct CtScan<'a> {
+    m: &'a FileModel,
+    fun_name: &'a str,
+    locals: BTreeSet<String>,
+    fns: &'a BTreeSet<String>,
+    seen_lines: BTreeSet<usize>,
+    out: Vec<Finding>,
 }
 
-/// Right operand region of a binary operator at `k` (skipping the `=` of
-/// a two-char comparison): forward at depth 0 until statement punctuation,
-/// another operator, or a keyword.
-fn right_operand(code: &[Tok], k: usize, body_end: usize) -> std::ops::Range<usize> {
-    let mut q = k + 1;
-    if code.get(q).is_some_and(|t| t.is_punct('=')) {
-        q += 1;
-    }
-    let start = q;
-    let mut depth = 0i32;
-    while q <= body_end.min(code.len().saturating_sub(1)) {
-        let t = &code[q];
-        if t.is_punct('(') || t.is_punct('[') {
-            depth += 1;
-        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
-            if depth == 0 {
-                break;
-            }
-            depth -= 1;
-        } else if depth == 0 {
-            if t.is_punct('{') {
-                break;
-            }
-            if t.kind == TokKind::Punct
-                && !(t.is_punct('.')
-                    || t.is_punct('&')
-                    || t.is_punct('*')
-                    || t.is_punct('!')
-                    || t.is_punct(':'))
-            {
-                break;
-            }
-            if t.kind == TokKind::Ident && operand_stop_keyword(&t.text) {
-                break;
-            }
+impl CtScan<'_> {
+    fn push(&mut self, line: usize, message: String) {
+        if !self.seen_lines.insert(line) || self.m.allowed_line(LINT, line) {
+            return;
         }
-        q += 1;
-    }
-    start..q
-}
-
-/// Parameter names of `f` whose declared type marks them secret, plus
-/// `self` where the receiver carries element data.
-fn secret_params(m: &FileModel, f: &crate::model::FnSpan, word_secret: bool) -> BTreeSet<String> {
-    let code = &m.code;
-    let mut out = BTreeSet::new();
-    // Signature: backwards from the body brace to this fn's `fn` keyword,
-    // then the first `(` opens the parameter list.
-    let sig_start = (0..f.body_start)
-        .rev()
-        .find(|&j| code[j].is_ident("fn"))
-        .unwrap_or(0);
-    let Some(open) = (sig_start..f.body_start).find(|&j| code[j].is_punct('(')) else {
-        return out;
-    };
-    let close = matching(code, open, '(', ')').min(f.body_start);
-    // Split the list at depth-1 commas.
-    let mut depth = 0i32;
-    let mut seg_start = open + 1;
-    let mut segments: Vec<(usize, usize)> = Vec::new();
-    for (j, t) in code.iter().enumerate().take(close + 1).skip(open) {
-        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
-            depth += 1;
-        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
-            depth -= 1;
-            if depth == 0 && j == close {
-                segments.push((seg_start, j));
-            }
-        } else if depth == 1 && t.is_punct(',') {
-            segments.push((seg_start, j));
-            seg_start = j + 1;
-        }
-    }
-    for (a, b) in segments {
-        if a >= b {
-            continue;
-        }
-        let toks = &code[a..b];
-        // `self` receiver (possibly `&self`, `&mut self`, `mut self`).
-        if toks.iter().take(3).any(|t| t.is_ident("self")) {
-            if self_is_secret(&m.rel) {
-                out.insert("self".to_string());
-            }
-            continue;
-        }
-        // `name: Type` — name is the first plain ident (skipping `mut`).
-        let Some(colon) = toks.iter().position(|t| t.is_punct(':')) else {
-            continue;
-        };
-        let name = toks[..colon]
-            .iter()
-            .find(|t| t.kind == TokKind::Ident && !t.is_ident("mut"));
-        let Some(name) = name else { continue };
-        let ty = &toks[colon + 1..];
-        let secret = ty.iter().any(|t| {
-            t.kind == TokKind::Ident
-                && (secret_type_ident(&t.text) || (word_secret && word_type_ident(&t.text)))
+        self.out.push(Finding {
+            lint: LINT,
+            file: self.m.rel.clone(),
+            line,
+            function: self.fun_name.to_string(),
+            message,
+            snippet: self.m.line_text(line).to_string(),
         });
-        if secret {
-            out.insert(name.text.clone());
-        }
     }
-    out
-}
 
-/// Extends `tainted` with locals `let`-bound from tainted expressions or
-/// from calls into the element-producing call graph (single forward pass;
-/// later statements see earlier bindings).
-fn add_tainted_locals(
-    m: &FileModel,
-    f: &crate::model::FnSpan,
-    tainted_fns: &BTreeSet<String>,
-    tainted: &mut BTreeSet<String>,
-) {
-    let code = &m.code;
-    let body_end = f.body_end.min(code.len().saturating_sub(1));
-    let mut k = f.body_start;
-    while k <= body_end {
-        if !code[k].is_ident("let") {
-            k += 1;
-            continue;
-        }
-        let mut j = k + 1;
-        if code.get(j).is_some_and(|t| t.is_ident("mut")) {
-            j += 1;
-        }
-        let Some(name_tok) = code.get(j).filter(|t| t.kind == TokKind::Ident) else {
-            k += 1;
-            continue;
-        };
-        let name = name_tok.text.clone();
-        // Statement span to the `;` (or unbalanced close) at depth 0.
-        let mut depth = 0i32;
-        let mut q = j + 1;
-        let mut stmt_end = body_end;
-        while q <= body_end {
-            let t = &code[q];
-            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
-                depth += 1;
-            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
-                depth -= 1;
-                if depth < 0 {
-                    stmt_end = q;
-                    break;
+    fn scan_block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            match s {
+                Stmt::Let { pat, init, .. } => {
+                    if let Some(e) = init {
+                        self.scan_expr(e);
+                        // Locals bound from tainted expressions join the
+                        // taint set (forward pass: later statements see
+                        // earlier bindings).
+                        if offender(e, &self.locals, self.fns, false).is_some() {
+                            let mut binds = Vec::new();
+                            pat.bindings(&mut binds);
+                            self.locals.extend(binds);
+                        }
+                    }
                 }
-            } else if depth == 0 && t.is_punct(';') {
-                stmt_end = q;
-                break;
+                Stmt::Expr { expr, .. } => self.scan_expr(expr),
+                Stmt::Item(_) | Stmt::Empty => {}
             }
-            q += 1;
         }
-        let from_tainted_call = (j + 1..stmt_end).any(|q| {
-            code[q].kind == TokKind::Ident
-                && tainted_fns.contains(&code[q].text)
-                && code.get(q + 1).is_some_and(|n| n.is_punct('('))
-        });
-        let from_tainted_ident = tainted_occurrence(code, j + 1..stmt_end, tainted).is_some();
-        if from_tainted_call || from_tainted_ident {
-            tainted.insert(name);
-        }
-        k = stmt_end + 1;
     }
-}
 
-fn finding(m: &FileModel, k: usize, function: &str, message: String) -> Finding {
-    let line = m.code.get(k).map_or(0, |t| t.line);
-    Finding {
-        lint: LINT,
-        file: m.rel.clone(),
-        line,
-        function: function.to_string(),
-        message,
-        snippet: m.line_text(line).to_string(),
+    fn scan_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::If { cond, then, els } => {
+                if let Some(name) = offender(cond, &self.locals, self.fns, false) {
+                    self.push(
+                        e.line,
+                        format!(
+                            "`if` branches on secret value `{name}` — control flow must not \
+                             depend on share material; use the ctime mask primitives \
+                             (ct_select / ct_eq) instead"
+                        ),
+                    );
+                }
+                self.scan_expr(cond);
+                self.scan_block(then);
+                if let Some(x) = els {
+                    self.scan_expr(x);
+                }
+            }
+            ExprKind::While { cond, body } => {
+                if let Some(name) = offender(cond, &self.locals, self.fns, false) {
+                    self.push(
+                        e.line,
+                        format!(
+                            "`while` branches on secret value `{name}` — control flow must not \
+                             depend on share material; use the ctime mask primitives \
+                             (ct_select / ct_eq) instead"
+                        ),
+                    );
+                }
+                self.scan_expr(cond);
+                self.scan_block(body);
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                if let Some(name) = offender(scrutinee, &self.locals, self.fns, false) {
+                    self.push(
+                        e.line,
+                        format!(
+                            "`match` branches on secret value `{name}` — control flow must not \
+                             depend on share material; use the ctime mask primitives \
+                             (ct_select / ct_eq) instead"
+                        ),
+                    );
+                }
+                self.scan_expr(scrutinee);
+                for a in arms {
+                    if let Some(g) = &a.guard {
+                        self.scan_expr(g);
+                    }
+                    self.scan_expr(&a.body);
+                }
+            }
+            ExprKind::Binary(op, a, b) => {
+                if let Some(ops) = op_str(*op) {
+                    let off = offender(a, &self.locals, self.fns, true)
+                        .or_else(|| offender(b, &self.locals, self.fns, true));
+                    if let Some(name) = off {
+                        let what = match ops {
+                            "%" | "/" => "divides/reduces",
+                            _ => "compares",
+                        };
+                        self.push(
+                            e.line,
+                            format!(
+                                "`{ops}` {what} secret value `{name}` — variable-time on this \
+                                 hardware; use branch-free mask arithmetic (wrapping ops + \
+                                 ctime masks) instead"
+                            ),
+                        );
+                    }
+                }
+                self.scan_expr(a);
+                self.scan_expr(b);
+            }
+            ExprKind::Index { base, index } => {
+                if let Some(name) = offender(index, &self.locals, self.fns, false) {
+                    self.push(
+                        e.line,
+                        format!(
+                            "table lookup indexed by secret value `{name}` — memory access \
+                             patterns must not depend on share material"
+                        ),
+                    );
+                }
+                self.scan_expr(base);
+                self.scan_expr(index);
+            }
+            ExprKind::Field(b, _)
+            | ExprKind::Unary(b)
+            | ExprKind::Try(b)
+            | ExprKind::Cast(b, _) => self.scan_expr(b),
+            ExprKind::MethodCall { recv, args, .. } => {
+                self.scan_expr(recv);
+                for a in args {
+                    self.scan_expr(a);
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                self.scan_expr(callee);
+                for a in args {
+                    self.scan_expr(a);
+                }
+            }
+            ExprKind::Macro { args, .. } | ExprKind::Tuple(args) | ExprKind::Array(args) => {
+                for a in args {
+                    self.scan_expr(a);
+                }
+            }
+            ExprKind::StructLit { fields, base, .. } => {
+                for (_, fe) in fields {
+                    self.scan_expr(fe);
+                }
+                if let Some(b) = base {
+                    self.scan_expr(b);
+                }
+            }
+            ExprKind::Closure { body, .. } => self.scan_expr(body),
+            ExprKind::Assign { lhs, rhs } => {
+                self.scan_expr(lhs);
+                self.scan_expr(rhs);
+            }
+            ExprKind::Loop(b) | ExprKind::Block(b) => self.scan_block(b),
+            ExprKind::ForLoop { iter, body, .. } => {
+                self.scan_expr(iter);
+                self.scan_block(body);
+            }
+            ExprKind::Return(v) | ExprKind::Break(v) => {
+                if let Some(v) = v {
+                    self.scan_expr(v);
+                }
+            }
+            ExprKind::Range(a, b) => {
+                if let Some(a) = a {
+                    self.scan_expr(a);
+                }
+                if let Some(b) = b {
+                    self.scan_expr(b);
+                }
+            }
+            ExprKind::Path(_) | ExprKind::Lit | ExprKind::Str(_) | ExprKind::Unknown => {}
+        }
     }
 }
 
@@ -396,183 +608,46 @@ fn finding(m: &FileModel, k: usize, function: &str, message: String) -> Finding 
 /// The whole model set feeds the element-producing call-graph closure;
 /// only the arithmetic/share modules are scanned for violating shapes.
 pub fn run(models: &[FileModel]) -> Vec<Finding> {
-    let facts = taint::collect_all_facts(models);
-    // Element-producing seeds: declared return type mentions an element
-    // type; `Self` counts inside the element modules (`F61::new -> Self`).
-    // The Secret wrapper's own combinators are excluded for the same
-    // bare-name-collision reason as in the cross-function-taint pass.
-    let tainted_fns = taint::closure_over(models, &facts, |m, ff| {
-        !m.rel.ends_with("mpc/src/secret.rs")
-            && ff.ret_range.is_some_and(|(a, b)| {
-                m.code[a..b.min(m.code.len())].iter().any(|t| {
-                    t.kind == TokKind::Ident
-                        && (secret_type_ident(&t.text)
-                            || (is_word_module(&m.rel) && t.is_ident("Self")))
-                })
-            })
-    });
-
+    let reg = Registry::build(models);
+    let tainted_fns = element_fns(&reg);
     let mut out: Vec<Finding> = Vec::new();
-    for m in models.iter().filter(|m| in_ct_scope(&m.rel)) {
+    for e in &reg.fns {
+        if e.fun.is_test {
+            continue;
+        }
+        let Some(m) = reg.models.get(e.model) else {
+            continue;
+        };
+        if !in_ct_scope(&m.rel) {
+            continue;
+        }
         let word_secret = is_word_module(&m.rel);
-        let code = &m.code;
-        for f in &m.fns {
-            if f.is_test || m.in_test(f.body_start) {
-                continue;
-            }
-            let mut tainted = secret_params(m, f, word_secret);
-            add_tainted_locals(m, f, &tainted_fns, &mut tainted);
-            if tainted.is_empty() {
-                continue;
-            }
-            let body_end = f.body_end.min(code.len().saturating_sub(1));
-            let mut seen_lines: BTreeSet<usize> = BTreeSet::new();
-            let push =
-                |out: &mut Vec<Finding>, seen: &mut BTreeSet<usize>, k: usize, msg: String| {
-                    let line = code.get(k).map_or(0, |t| t.line);
-                    if !seen.insert(line) || m.allowed(LINT, k) {
-                        return;
-                    }
-                    out.push(finding(m, k, &f.name, msg));
-                };
-            for k in f.body_start..=body_end {
-                let t = &code[k];
-                // Shape 1: branch/scrutinee on a secret.
-                if t.kind == TokKind::Ident && matches!(t.text.as_str(), "if" | "while" | "match") {
-                    let span = condition_span(code, k, body_end);
-                    if let Some(name) = tainted_occurrence(code, span, &tainted) {
-                        push(
-                            &mut out,
-                            &mut seen_lines,
-                            k,
-                            format!(
-                                "`{}` branches on secret value `{}` — control flow must not \
-                                 depend on share material; use the ctime mask primitives \
-                                 (ct_select / ct_eq) instead",
-                                t.text, name
-                            ),
-                        );
-                    }
-                    continue;
-                }
-                if t.kind != TokKind::Punct {
-                    continue;
-                }
-                let c = t.text.as_bytes().first().copied().unwrap_or(0);
-                let prev = k
-                    .checked_sub(1)
-                    .and_then(|p| code.get(p))
-                    .filter(|p| p.kind == TokKind::Punct)
-                    .map(|p| p.text.as_bytes()[0]);
-                let next = code
-                    .get(k + 1)
-                    .filter(|n| n.kind == TokKind::Punct)
-                    .map(|n| n.text.as_bytes()[0]);
-                let op: Option<&str> = match c {
-                    b'%' => Some("%"),
-                    b'/' => Some("/"),
-                    b'<' => {
-                        // `<<`, `<<=`, turbofish `::<`: not comparisons.
-                        if prev == Some(b'<') || next == Some(b'<') || prev == Some(b':') {
-                            None
-                        } else {
-                            Some(if next == Some(b'=') { "<=" } else { "<" })
-                        }
-                    }
-                    b'>' => {
-                        // `>>`, `->`, `=>`: not comparisons.
-                        if prev == Some(b'>')
-                            || next == Some(b'>')
-                            || prev == Some(b'-')
-                            || prev == Some(b'=')
-                        {
-                            None
-                        } else {
-                            Some(if next == Some(b'=') { ">=" } else { ">" })
-                        }
-                    }
-                    b'=' => {
-                        // `==` only; the first `=` must not extend `<=` etc.
-                        if next == Some(b'=')
-                            && !matches!(
-                                prev,
-                                Some(
-                                    b'=' | b'<'
-                                        | b'>'
-                                        | b'!'
-                                        | b'+'
-                                        | b'-'
-                                        | b'*'
-                                        | b'/'
-                                        | b'%'
-                                        | b'&'
-                                        | b'|'
-                                        | b'^'
-                                )
-                            )
-                        {
-                            Some("==")
-                        } else {
-                            None
-                        }
-                    }
-                    b'!' => {
-                        if next == Some(b'=') {
-                            Some("!=")
-                        } else {
-                            None
-                        }
-                    }
-                    _ => None,
-                };
-                if let Some(op) = op {
-                    let l = left_operand(code, k, f.body_start);
-                    let r = right_operand(code, k, body_end);
-                    let offender = tainted_occurrence(code, l, &tainted)
-                        .or_else(|| tainted_occurrence(code, r, &tainted));
-                    if let Some(name) = offender {
-                        let what = match op {
-                            "%" | "/" => "divides/reduces",
-                            _ => "compares",
-                        };
-                        push(
-                            &mut out,
-                            &mut seen_lines,
-                            k,
-                            format!(
-                                "`{op}` {what} secret value `{name}` — variable-time on this \
-                                 hardware; use branch-free mask arithmetic (wrapping ops + \
-                                 ctime masks) instead"
-                            ),
-                        );
-                    }
-                    continue;
-                }
-                // Shape 3: secret-indexed table lookup.
-                if c == b'[' {
-                    let indexee = k.checked_sub(1).and_then(|p| code.get(p));
-                    let is_index = indexee.is_some_and(|p| {
-                        (p.kind == TokKind::Ident && !is_keyword(&p.text))
-                            || p.is_punct(')')
-                            || p.is_punct(']')
-                    });
-                    if is_index {
-                        let close = matching(code, k, '[', ']');
-                        if let Some(name) = tainted_occurrence(code, k + 1..close, &tainted) {
-                            push(
-                                &mut out,
-                                &mut seen_lines,
-                                k,
-                                format!(
-                                    "table lookup indexed by secret value `{name}` — memory \
-                                     access patterns must not depend on share material"
-                                ),
-                            );
-                        }
-                    }
-                }
+        // Seed the local taint set from the signature.
+        let mut locals: BTreeSet<String> = BTreeSet::new();
+        if e.fun.has_self && self_is_secret(&m.rel) {
+            locals.insert("self".to_string());
+        }
+        for (pat, ty) in &e.fun.params {
+            let secret = ty
+                .idents
+                .iter()
+                .any(|i| secret_type_ident(i) || (word_secret && word_type_ident(i)));
+            if secret {
+                let mut binds = Vec::new();
+                pat.bindings(&mut binds);
+                locals.extend(binds);
             }
         }
+        let mut scan = CtScan {
+            m,
+            fun_name: &e.fun.name,
+            locals,
+            fns: &tainted_fns,
+            seen_lines: BTreeSet::new(),
+            out: Vec::new(),
+        };
+        scan.scan_block(&e.fun.body);
+        out.extend(scan.out);
     }
     out
 }
@@ -667,7 +742,7 @@ mod tests {
     #[test]
     fn public_shape_branches_are_clean() {
         // Lengths and emptiness are public metadata; `n` is a public
-        // usize; casts (`as`) end an operand chain.
+        // usize; casts (`as`) end a binary operand chain.
         let src = "fn recon(shares: &[F61], n: usize) -> F61 {\n\
                      if shares.len() != n { return F61::ZERO; }\n\
                      if n > 4 { F61::ZERO } else { F61::ONE }\n\
@@ -704,5 +779,30 @@ mod tests {
         );
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("compares"));
+    }
+
+    #[test]
+    fn impl_trait_param_arrow_does_not_hide_the_share_param() {
+        // Regression: the token scanner mis-took the `>` of `->` inside an
+        // `impl Fn` parameter for a closing angle and mis-segmented the
+        // parameter list, losing `share`'s taint.
+        let src = "fn apply(g: impl Fn() -> u64, share: F61) -> u64 {\n\
+                     if share.0 > 3 { g() } else { 0 }\n\
+                   }";
+        let f = run_on("crates/mpc/src/field.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("branches on secret value `share`"));
+    }
+
+    #[test]
+    fn branch_condition_sees_through_casts() {
+        // Casts launder binary operands (decode divisions) but not branch
+        // conditions: this still branches on share material.
+        let f = run_on(
+            "crates/mpc/src/field.rs",
+            "fn pick(x: F61) -> u64 { if lut_idx(x.0 as usize) { 1 } else { 0 } }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("branches on secret value `x`"));
     }
 }

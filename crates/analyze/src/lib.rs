@@ -46,11 +46,14 @@
 //!
 //! [`DisclosureLog`]: ../dash_mpc/audit/struct.DisclosureLog.html
 
+pub mod ast;
 pub mod baseline;
 pub mod ct;
 pub mod lexer;
 pub mod lints;
 pub mod model;
+pub mod parser;
+pub(crate) mod registry;
 pub mod report;
 pub mod tags_check;
 pub mod taint;
@@ -117,6 +120,19 @@ pub fn in_scope(rel: &str) -> bool {
     rel.contains("crates/mpc/src") || rel.contains("crates/core/src/secure")
 }
 
+/// Which cross-function-taint engine to run.
+///
+/// `Ast` is the production engine: field-sensitive, closure-aware
+/// abstract interpretation over the parsed syntax. `Token` is the legacy
+/// token-stream closure, kept as a differential baseline — every leak it
+/// can see, the AST engine must also see (`--differential` enforces
+/// this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintEngine {
+    Token,
+    Ast,
+}
+
 /// Analyzes one file's source. `scoped` selects whether the secure-code
 /// lints apply; the tag-registry consistency check additionally runs when
 /// `rel` is the registry module itself.
@@ -126,11 +142,21 @@ pub fn in_scope(rel: &str) -> bool {
 /// [`analyze_workspace`], which feeds the pass every scoped file at once
 /// so chains spanning files are closed too.
 pub fn analyze_source(rel: &str, src: &str, scoped: bool) -> Vec<Finding> {
+    analyze_source_engine(rel, src, scoped, TaintEngine::Ast)
+}
+
+/// [`analyze_source`] with an explicit taint engine (differential runs).
+pub fn analyze_source_engine(
+    rel: &str,
+    src: &str,
+    scoped: bool,
+    engine: TaintEngine,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     if scoped {
         let m = model::FileModel::parse(rel, src);
         findings.extend(lints::run_all(&m));
-        findings.extend(taint::run(std::slice::from_ref(&m)));
+        findings.extend(run_taint(std::slice::from_ref(&m), engine));
         findings.extend(ct::run(std::slice::from_ref(&m)));
     }
     if rel.ends_with("crates/mpc/src/tags.rs") || rel == "crates/mpc/src/tags.rs" {
@@ -139,9 +165,23 @@ pub fn analyze_source(rel: &str, src: &str, scoped: bool) -> Vec<Finding> {
     findings
 }
 
+fn run_taint(models: &[model::FileModel], engine: TaintEngine) -> Vec<Finding> {
+    match engine {
+        TaintEngine::Ast => taint::run(models),
+        TaintEngine::Token => taint::run_token(models),
+    }
+}
+
 /// Walks the workspace under `root` and analyzes every `.rs` file beneath
 /// each crate's `src/` (plus the root package's `src/`, if any).
 pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    analyze_workspace_engine(root, TaintEngine::Ast)
+}
+
+/// [`analyze_workspace`] with an explicit taint engine (differential
+/// runs: `--differential` runs both and requires the AST engine to see a
+/// superset of the token engine's cross-function-taint findings).
+pub fn analyze_workspace_engine(root: &Path, engine: TaintEngine) -> io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     let crates = root.join("crates");
     if crates.is_dir() {
@@ -176,7 +216,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     }
     // One global taint pass over every scoped file, so secret-returning
     // call chains that cross files (mpc → core/secure) are closed.
-    findings.extend(taint::run(&models));
+    findings.extend(run_taint(&models, engine));
     findings.extend(ct::run(&models));
     if !saw_registry {
         findings.push(Finding {

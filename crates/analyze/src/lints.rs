@@ -1,9 +1,14 @@
-//! The token-level lint passes.
+//! The per-file lint passes.
 //!
-//! Each lint walks the comment-free token stream of one [`FileModel`],
-//! skipping test code, and honours inline
-//! `// dash-analyze::allow(<lint>): …` pragmas (function scope).
+//! The cheap structural lints (disclosure-completeness, panic-free,
+//! secure-indexing, stray tag constants) walk the comment-free token
+//! stream of one [`FileModel`] — they key off single tokens and need no
+//! syntax. `secret-taint` works over the parsed AST so it sees macro
+//! argument structure, inline format-string captures, and derive lists as
+//! syntax rather than token windows. All passes skip test code and honour
+//! inline `// dash-analyze::allow(<lint>): …` pragmas (function scope).
 
+use crate::ast::{Expr, ExprKind, Item};
 use crate::lexer::{Tok, TokKind};
 use crate::model::FileModel;
 use crate::Finding;
@@ -45,6 +50,25 @@ fn finding(m: &FileModel, lint: &'static str, idx: usize, message: String) -> Fi
             .enclosing_fn(idx)
             .map(|f| f.name.clone())
             .unwrap_or_default(),
+        message,
+        snippet: m.line_text(line).to_string(),
+    }
+}
+
+/// Finding constructor for the AST passes, which carry lines (not token
+/// indices) and know their enclosing function directly.
+fn finding_at(
+    m: &FileModel,
+    lint: &'static str,
+    line: usize,
+    function: String,
+    message: String,
+) -> Finding {
+    Finding {
+        lint,
+        file: m.rel.clone(),
+        line,
+        function,
         message,
         snippet: m.line_text(line).to_string(),
     }
@@ -259,7 +283,7 @@ fn secret_ident(s: &str) -> bool {
 }
 
 /// Lint 4: secret material must not flow into Debug/Display formatting
-/// or observability sinks.
+/// or observability sinks. Works over the parsed AST (`crate::ast`).
 ///
 /// Four shapes:
 /// - `#[derive(Debug)]` on a *leaf* secret type (type name matching
@@ -268,195 +292,191 @@ fn secret_ident(s: &str) -> bool {
 ///   keep derived `Debug` because their leaf fields print redacted.
 /// - `println!`-family / `dbg!` anywhere in secure non-test code.
 /// - formatting/assert macros whose arguments mention a secret-named
-///   identifier outside `#[cfg(test)]`.
+///   identifier outside `#[cfg(test)]` — including inline format-string
+///   captures (`format!("{share:?}")`), which the token pass could not
+///   see inside string literals.
 /// - trace/metric emission calls (`trace_add`, `trace_span`,
 ///   `trace_span_at`) with a secret-named argument: the trace exports to
 ///   JSON on the operator's machine, so these are formatter-like sinks —
 ///   only counts and static labels may flow in, never share/mask values.
 fn secret_taint(m: &FileModel, out: &mut Vec<Finding>) {
-    const LINT: &str = "secret-taint";
-    const PRINTS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
-    const TRACE_SINKS: [&str; 3] = ["trace_add", "trace_span", "trace_span_at"];
-    const FORMATTERS: [&str; 9] = [
-        "format",
-        "write",
-        "writeln",
-        "assert",
-        "assert_eq",
-        "assert_ne",
-        "debug_assert",
-        "debug_assert_eq",
-        "debug_assert_ne",
-    ];
+    walk_items(&m.ast, &mut |item| secret_taint_item(m, item, out));
+}
 
-    let mut i = 0;
-    while i < m.code.len() {
-        let t = &m.code[i];
-        // Shape 1: #[derive(.., Debug, ..)] on a leaf secret type.
-        if t.is_punct('#')
-            && m.code.get(i + 1).is_some_and(|n| n.is_punct('['))
-            && m.code.get(i + 2).is_some_and(|n| n.is_ident("derive"))
-            && !m.in_test(i)
-        {
-            let attr_close = matching(&m.code, i + 1, '[', ']');
-            let derives_debug = m.code[i + 2..=attr_close]
-                .iter()
-                .any(|a| a.is_ident("Debug"));
-            if derives_debug {
-                if let Some(f) = leaf_secret_type(m, attr_close + 1) {
-                    if !m.allowed(LINT, f.0) {
-                        out.push(finding(
-                            m,
-                            LINT,
-                            f.0,
-                            format!(
-                                "`{}` holds secret share/mask material; derive(Debug) would \
-                                 print it — hand-write a redacting Debug impl instead",
-                                f.1
-                            ),
-                        ));
-                    }
-                }
-            }
-            i = attr_close + 1;
-            continue;
+const PRINTS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+const TRACE_SINKS: [&str; 3] = ["trace_add", "trace_span", "trace_span_at"];
+const FORMATTERS: [&str; 9] = [
+    "format",
+    "write",
+    "writeln",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Visit every item in the tree, recursing through modules and impls.
+fn walk_items<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item)) {
+    for item in items {
+        f(item);
+        if let Item::Mod(md) = item {
+            walk_items(&md.items, f);
         }
-        // Shape 4: trace/metric emission with a secret-named argument.
-        if t.kind == TokKind::Ident
-            && TRACE_SINKS.contains(&t.text.as_str())
-            && m.code.get(i + 1).is_some_and(|n| n.is_punct('('))
-            && !m.in_test(i)
-            && !m.allowed(LINT, i)
-        {
-            let close = matching(&m.code, i + 1, '(', ')');
-            if let Some(bad) = m.code[i + 1..=close]
-                .iter()
-                .find(|a| a.kind == TokKind::Ident && secret_ident(&a.text))
-            {
-                out.push(finding(
-                    m,
-                    LINT,
-                    i,
-                    format!(
-                        "{}(..) records `{}`, which names secret share/mask material, \
-                         into the trace; observability sinks may carry counts and \
-                         static labels only",
-                        t.text, bad.text
-                    ),
-                ));
-            }
-            i = close + 1;
-            continue;
-        }
-        // Shapes 2 and 3: macro invocations.
-        if t.kind == TokKind::Ident && m.code.get(i + 1).is_some_and(|n| n.is_punct('!')) {
-            let name = t.text.as_str();
-            if !m.in_test(i) && !m.allowed(LINT, i) {
-                if PRINTS.contains(&name) {
-                    out.push(finding(
-                        m,
-                        LINT,
-                        i,
-                        format!(
-                            "{name}! in secure code can leak protocol state to stdout/stderr; \
-                             route observability through the DisclosureLog or tracing in \
-                             non-secure layers"
-                        ),
-                    ));
-                } else if FORMATTERS.contains(&name) {
-                    if let Some(open) = (i + 2..m.code.len().min(i + 4))
-                        .find(|&k| m.code[k].is_punct('(') || m.code[k].is_punct('['))
-                    {
-                        let (oc, cc) = if m.code[open].is_punct('(') {
-                            ('(', ')')
-                        } else {
-                            ('[', ']')
-                        };
-                        let close = matching(&m.code, open, oc, cc);
-                        if let Some(bad) = m.code[open..=close]
-                            .iter()
-                            .find(|a| a.kind == TokKind::Ident && secret_ident(&a.text))
-                        {
-                            out.push(finding(
-                                m,
-                                LINT,
-                                i,
-                                format!(
-                                    "{name}! formats `{}`, which names secret share/mask \
-                                     material; secrets must not reach Debug/Display output \
-                                     outside #[cfg(test)]",
-                                    bad.text
-                                ),
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-        i += 1;
     }
 }
 
-/// If the item following token `start` is a struct/enum whose name or
-/// field names mark it as a secret *leaf* type, returns (name token
-/// index, name).
-fn leaf_secret_type(m: &FileModel, start: usize) -> Option<(usize, String)> {
-    // Skip further attributes and visibility to the struct/enum keyword.
-    let mut i = start;
-    while i < m.code.len() {
-        let t = &m.code[i];
-        if t.is_punct('#') && m.code.get(i + 1).is_some_and(|n| n.is_punct('[')) {
-            i = matching(&m.code, i + 1, '[', ']') + 1;
-            continue;
-        }
-        if t.is_ident("pub") {
-            // Possible pub(crate).
-            if m.code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
-                i = matching(&m.code, i + 1, '(', ')') + 1;
-            } else {
-                i += 1;
+fn secret_taint_item(m: &FileModel, item: &Item, out: &mut Vec<Finding>) {
+    const LINT: &str = "secret-taint";
+    match item {
+        // Shape 1: #[derive(.., Debug, ..)] on a leaf secret type.
+        Item::Struct(sd) => {
+            if sd.derives.iter().any(|d| d == "Debug")
+                && is_leaf_secret_type(sd)
+                && !m.line_in_test(sd.line)
+                && !m.allowed_line(LINT, sd.line)
+            {
+                out.push(finding_at(
+                    m,
+                    LINT,
+                    sd.line,
+                    String::new(),
+                    format!(
+                        "`{}` holds secret share/mask material; derive(Debug) would \
+                         print it — hand-write a redacting Debug impl instead",
+                        sd.name
+                    ),
+                ));
             }
-            continue;
         }
-        if t.is_ident("struct") || t.is_ident("enum") {
-            break;
+        Item::Fn(f) => secret_taint_fn(m, f, out),
+        Item::Impl(ib) => {
+            for f in &ib.fns {
+                secret_taint_fn(m, f, out);
+            }
         }
-        return None;
+        Item::Mod(_) | Item::Other => {}
     }
-    let name_tok = m.code.get(i + 1)?;
-    if name_tok.kind != TokKind::Ident {
-        return None;
-    }
-    let name = name_tok.text.clone();
-    let lname = name.to_ascii_lowercase();
-    let name_secret = ["triple", "share", "mask", "prg"]
-        .iter()
-        .any(|p| lname.contains(p));
+}
 
-    // Field names: idents followed by `:` anywhere in the body braces.
-    let mut field_secret = false;
-    if let Some(open) = (i + 1..m.code.len())
-        .find(|&k| m.code[k].is_punct('{') || m.code[k].is_punct(';') || m.code[k].is_punct('('))
-    {
-        if m.code[open].is_punct('{') {
-            let close = matching(&m.code, open, '{', '}');
-            let mut k = open;
-            while k < close {
-                let a = &m.code[k];
-                if a.kind == TokKind::Ident
-                    && m.code.get(k + 1).is_some_and(|n| n.is_punct(':'))
-                    && !m.code.get(k + 2).is_some_and(|n| n.is_punct(':'))
-                {
-                    let lf = a.text.to_ascii_lowercase();
-                    if ["share", "mask", "secret"].iter().any(|p| lf.contains(p)) {
-                        field_secret = true;
-                    }
+fn secret_taint_fn(m: &FileModel, f: &crate::ast::Fun, out: &mut Vec<Finding>) {
+    const LINT: &str = "secret-taint";
+    if f.is_test {
+        return;
+    }
+    f.body.walk(&mut |e| {
+        // Shapes 2 and 3: macro invocations.
+        if let ExprKind::Macro {
+            name,
+            raw_idents,
+            strs,
+            ..
+        } = &e.kind
+        {
+            if m.allowed_line(LINT, e.line) {
+                return;
+            }
+            if PRINTS.contains(&name.as_str()) {
+                out.push(finding_at(
+                    m,
+                    LINT,
+                    e.line,
+                    f.name.clone(),
+                    format!(
+                        "{name}! in secure code can leak protocol state to stdout/stderr; \
+                             route observability through the DisclosureLog or tracing in \
+                             non-secure layers"
+                    ),
+                ));
+            } else if FORMATTERS.contains(&name.as_str()) {
+                // Raw idents cover both parsed args and anything the
+                // sub-parse gave up on; inline captures reach inside
+                // the format string itself.
+                let bad = raw_idents
+                    .iter()
+                    .find(|i| secret_ident(i))
+                    .cloned()
+                    .or_else(|| {
+                        strs.iter()
+                            .flat_map(|s| crate::taint::inline_captures(s))
+                            .find(|c| secret_ident(c))
+                    });
+                if let Some(bad) = bad {
+                    out.push(finding_at(
+                        m,
+                        LINT,
+                        e.line,
+                        f.name.clone(),
+                        format!(
+                            "{name}! formats `{bad}`, which names secret share/mask \
+                                 material; secrets must not reach Debug/Display output \
+                                 outside #[cfg(test)]"
+                        ),
+                    ));
                 }
-                k += 1;
             }
         }
+        // Shape 4: trace/metric emission with a secret-named argument
+        // (method and free-fn call forms both).
+        if let Some((sink, args)) = trace_sink_call(e) {
+            if !m.allowed_line(LINT, e.line) {
+                let mut idents = Vec::new();
+                for a in args {
+                    a.collect_idents(&mut idents);
+                }
+                if let Some(bad) = idents.iter().find(|i| secret_ident(i)) {
+                    out.push(finding_at(
+                        m,
+                        LINT,
+                        e.line,
+                        f.name.clone(),
+                        format!(
+                            "{sink}(..) records `{bad}`, which names secret share/mask \
+                             material, into the trace; observability sinks may carry counts \
+                             and static labels only"
+                        ),
+                    ));
+                }
+            }
+        }
+    });
+}
+
+/// If `e` is a call to a trace/metric sink, returns its name and args.
+fn trace_sink_call(e: &Expr) -> Option<(&str, &[Expr])> {
+    match &e.kind {
+        ExprKind::MethodCall { name, args, .. } if TRACE_SINKS.contains(&name.as_str()) => {
+            Some((name.as_str(), args))
+        }
+        ExprKind::Call { callee, args } => match &callee.kind {
+            ExprKind::Path(segs)
+                if segs
+                    .last()
+                    .is_some_and(|l| TRACE_SINKS.contains(&l.as_str())) =>
+            {
+                Some((segs.last().map(String::as_str).unwrap_or(""), args))
+            }
+            _ => None,
+        },
+        _ => None,
     }
-    (name_secret || field_secret).then_some((i + 1, name))
+}
+
+/// Whether a struct/enum's name or field names mark it as a secret *leaf*
+/// type (the thing that must hand-write a redacting `Debug`).
+fn is_leaf_secret_type(sd: &crate::ast::StructDef) -> bool {
+    let lname = sd.name.to_ascii_lowercase();
+    if ["triple", "share", "mask", "prg"]
+        .iter()
+        .any(|p| lname.contains(p))
+    {
+        return true;
+    }
+    sd.fields.iter().any(|(fname, _)| {
+        let lf = fname.to_ascii_lowercase();
+        ["share", "mask", "secret"].iter().any(|p| lf.contains(p))
+    })
 }
 
 /// Tag-range hygiene: tag constants must live in the registry module
@@ -604,6 +624,16 @@ mod tests {
         let f = run("fn bad2(qty_share: &[F61]) { debug_assert_eq!(qty_share.len(), 3); }");
         assert_eq!(lints_of(&f), vec!["secret-taint"]);
         let f = run("fn ok(label: &str, n: usize) -> String { format!(\"{label}: {n}\") }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn inline_format_capture_is_seen_inside_the_string() {
+        // `format!("{mask:?}")` mentions the secret only inside the
+        // string literal — invisible to a token scan, caught on the AST.
+        let f = run("fn bad(mask: u64) -> String { format!(\"{mask:?}\") }");
+        assert_eq!(lints_of(&f), vec!["secret-taint"]);
+        let f = run("fn ok(label: &str) -> String { format!(\"{label}\") }");
         assert!(f.is_empty(), "{f:?}");
     }
 

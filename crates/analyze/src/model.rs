@@ -1,7 +1,15 @@
 //! File model: function spans, test regions, and suppression pragmas
-//! recovered from the token stream by brace tracking.
+//! recovered from the token stream by brace tracking — plus the parsed
+//! AST (`ast` field) that the taint and constant-time passes walk.
+//!
+//! The token-level view (`code`, `fns`, `enclosing_fn`, …) remains the
+//! interface for the cheap lints (disclosure-completeness, panic-free,
+//! secure-indexing, tag-range); the AST passes use `ast` together with
+//! the line-based helpers `allowed_line` and `line_in_test`.
 
+use crate::ast::Item;
 use crate::lexer::{lex, Tok, TokKind};
+use crate::parser;
 
 /// A function's span in the token stream (indices into the *code* view,
 /// i.e. the comment-free token list).
@@ -38,6 +46,8 @@ pub struct FileModel {
     pub test_mod_lines: Vec<(usize, usize)>,
     /// Trimmed source lines, for finding snippets (index = line − 1).
     pub lines: Vec<String>,
+    /// Parsed AST of the same comment-free token stream.
+    pub ast: Vec<Item>,
 }
 
 impl FileModel {
@@ -63,6 +73,7 @@ impl FileModel {
             .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
             .collect();
         let (fns, test_mod_lines) = scan_items(&code);
+        let ast = parser::parse_items(&code);
         FileModel {
             rel: rel.to_string(),
             code,
@@ -70,6 +81,7 @@ impl FileModel {
             pragmas,
             test_mod_lines,
             lines: src.lines().map(|l| l.trim().to_string()).collect(),
+            ast,
         }
     }
 
@@ -99,6 +111,45 @@ impl FileModel {
         self.test_mod_lines
             .iter()
             .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Whether source `line` (1-based) is inside test-only code.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        if self
+            .fns
+            .iter()
+            .any(|f| f.is_test && f.start_line <= line && line <= f.end_line)
+        {
+            return true;
+        }
+        self.test_mod_lines
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Line-based variant of [`FileModel::allowed`], for the AST passes:
+    /// whether a pragma suppresses `lint` at source `line` (1-based).
+    pub fn allowed_line(&self, lint: &str, line: usize) -> bool {
+        let enclosing = self
+            .fns
+            .iter()
+            .filter(|f| f.start_line <= line && line <= f.end_line)
+            .min_by_key(|f| f.end_line - f.start_line);
+        let Some(f) = enclosing else {
+            return self
+                .pragmas
+                .iter()
+                .any(|p| p.lint == lint && p.line <= line && line - p.line <= 5);
+        };
+        self.pragmas.iter().any(|p| {
+            p.lint == lint
+                && ((f.start_line <= p.line && p.line <= f.end_line)
+                    || (p.line < f.start_line
+                        && !self
+                            .fns
+                            .iter()
+                            .any(|g| g.start_line > p.line && g.start_line < f.start_line)))
+        })
     }
 
     /// Whether a pragma suppresses `lint` for the function around code
@@ -148,6 +199,10 @@ fn scan_items(code: &[Tok]) -> (Vec<FnSpan>, Vec<(usize, usize)>) {
     // Paren/bracket nesting, so the `;` inside an array type in a
     // signature (`fn f(t: &[u64; 8])`) doesn't cancel the pending fn.
     let mut pdepth = 0usize;
+    // Angle-bracket nesting between `fn` and its body, arrow-aware (the
+    // `>` of `->` is not a closer), so a const-generic brace argument
+    // (`-> Table<{N >> 1}>`) is not taken for the fn body.
+    let mut adepth = 0usize;
 
     let mut i = 0;
     while i < code.len() {
@@ -181,6 +236,7 @@ fn scan_items(code: &[Tok]) -> (Vec<FnSpan>, Vec<(usize, usize)>) {
                     pending_fn = Some((name.text.clone(), t.line, attr_is_test || test_depth > 0));
                 }
                 attr_is_test = false;
+                adepth = 0;
             }
             TokKind::Ident if t.text == "mod" => {
                 pending_test_mod = attr_is_test;
@@ -197,8 +253,29 @@ fn scan_items(code: &[Tok]) -> (Vec<FnSpan>, Vec<(usize, usize)>) {
                 // Trait method signature or `mod foo;` — no body.
                 pending_fn = None;
                 pending_test_mod = false;
+                adepth = 0;
+            }
+            TokKind::Punct if t.is_punct('<') && pending_fn.is_some() => {
+                adepth += 1;
+            }
+            // The `>` of `->` closes nothing (the guard skips it; no
+            // later arm matches a bare `>`, so falling through is inert).
+            TokKind::Punct
+                if t.is_punct('>')
+                    && pending_fn.is_some()
+                    && !(i > 0 && code[i - 1].is_punct('-')) =>
+            {
+                adepth = adepth.saturating_sub(1);
+            }
+            TokKind::Punct if t.is_punct('{') && pending_fn.is_some() && adepth > 0 => {
+                // Const-generic argument brace inside the signature
+                // (`Table<{N >> 1}>`): skip to its close, it is not the
+                // fn body. (The `>>` inside decrements `adepth` harmlessly
+                // — it saturates and the real closer re-saturates at 0.)
+                i = crate::lints::matching(code, i, '{', '}');
             }
             TokKind::Punct if t.is_punct('{') => {
+                adepth = 0;
                 if let Some((name, line, is_test)) = pending_fn.take() {
                     fns.push(FnSpan {
                         name,
@@ -296,6 +373,44 @@ mod tests {
         );
         let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
         assert_eq!(names, vec!["lut", "after"]);
+    }
+
+    #[test]
+    fn const_generic_brace_in_signature_is_not_the_body() {
+        // Regression: the `{` of a const-generic argument used to open
+        // the fn body, so the body span ended at the argument's `}` and
+        // everything after escaped the lints.
+        let m = FileModel::parse(
+            "x.rs",
+            "fn lut<const N: usize>() -> Table<{ N >> 1 }> { body() }\nfn after() {}",
+        );
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["lut", "after"]);
+        assert_eq!(m.fns[0].end_line, 1);
+        assert_eq!(m.fns[1].start_line, 2);
+    }
+
+    #[test]
+    fn nested_generics_where_clause_and_impl_trait_params() {
+        // `>>` closers, an `impl Fn() -> u64` arrow in the parameter
+        // list, and a where-clause must all leave the spans intact.
+        let src = "fn f<T: Iterator<Item = Vec<u64>>>(g: impl Fn() -> u64, v: Vec<Vec<u64>>) \
+                   -> bool where T: Clone { g() > 0 }\nfn tail() { after(); }";
+        let m = FileModel::parse("x.rs", src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["f", "tail"]);
+        assert_eq!(m.fns[0].start_line, 1);
+        assert_eq!(m.fns[1].start_line, 2);
+        // Both bodies are properly delimited: token in f's body resolves
+        // to f, token in tail's body to tail.
+        assert_eq!(
+            m.enclosing_fn(m.fns[0].body_start + 1).map(|x| &*x.name),
+            Some("f")
+        );
+        assert_eq!(
+            m.enclosing_fn(m.fns[1].body_start + 1).map(|x| &*x.name),
+            Some("tail")
+        );
     }
 
     #[test]

@@ -1,0 +1,2398 @@
+//! Hand-rolled recursive-descent parser from the lexer's token stream to
+//! the lossy AST in `ast.rs`.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never panic, never loop.** Every loop consumes at least one token
+//!    or breaks; malformed input degrades to [`ExprKind::Unknown`], not
+//!    an error. The analyzer is itself a panic-free gate.
+//! 2. **Faithful where the passes look.** Items, signatures, bodies,
+//!    `let`/`match` bindings, field projections, closures, and calls are
+//!    modeled structurally.
+//! 3. **Lossy everywhere else.** Lifetimes, bounds, visibility, and
+//!    attribute contents (beyond `test`/`cfg(test)`/`derive`) are
+//!    skipped. Known ambiguities inherited from a single-char punct
+//!    stream (`a | |x| x`, `a < <T>::f()`) resolve toward the common
+//!    reading.
+
+use crate::ast::{
+    Arm, BinOp, Block, Expr, ExprKind, Fun, ImplBlock, Item, ModDef, Pat, Stmt, StructDef, Ty,
+};
+use crate::lexer::{Tok, TokKind};
+
+/// Parses a comment-free token stream into items.
+pub fn parse_items(code: &[Tok]) -> Vec<Item> {
+    let mut p = Parser { t: code, pos: 0 };
+    p.items(false)
+}
+
+/// Parses a standalone expression from a token slice (used for macro
+/// argument segments). Leftover tokens are ignored.
+fn parse_expr_slice(code: &[Tok]) -> Option<Expr> {
+    if code.is_empty() {
+        return None;
+    }
+    let mut p = Parser { t: code, pos: 0 };
+    Some(p.expr(false))
+}
+
+#[derive(Default)]
+struct Attrs {
+    test: bool,
+    cfg_test: bool,
+    derives: Vec<String>,
+}
+
+struct Parser<'a> {
+    t: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    // ----- token helpers ---------------------------------------------
+
+    fn tok(&self) -> Option<&'a Tok> {
+        self.t.get(self.pos)
+    }
+
+    fn nth(&self, k: usize) -> Option<&'a Tok> {
+        self.t.get(self.pos + k)
+    }
+
+    fn is_p(&self, c: char) -> bool {
+        self.tok().is_some_and(|t| t.is_punct(c))
+    }
+
+    fn nth_is_p(&self, k: usize, c: char) -> bool {
+        self.nth(k).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn is_id(&self, s: &str) -> bool {
+        self.tok().is_some_and(|t| t.is_ident(s))
+    }
+
+    fn is_ident_tok(&self) -> bool {
+        self.tok().is_some_and(|t| t.kind == TokKind::Ident)
+    }
+
+    fn line(&self) -> usize {
+        self.tok()
+            .map_or(self.t.last().map_or(1, |t| t.line), |t| t.line)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn eat_p(&mut self, c: char) -> bool {
+        if self.is_p(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_id(&mut self, s: &str) -> bool {
+        if self.is_id(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.t.len()
+    }
+
+    /// Skips a balanced delimiter group; `pos` must sit on an opener.
+    /// Tracks all three bracket kinds so `)` inside `{}` doesn't confuse
+    /// the count. Collects idents and string literals if sinks given.
+    fn skip_balanced(&mut self, idents: Option<&mut Vec<String>>, strs: Option<&mut Vec<String>>) {
+        let mut depth = 0usize;
+        let mut id_sink = idents;
+        let mut str_sink = strs;
+        while let Some(t) = self.tok() {
+            match t.kind {
+                TokKind::Punct => {
+                    let c = t.text.as_bytes().first().copied().unwrap_or(0);
+                    if matches!(c, b'(' | b'[' | b'{') {
+                        depth += 1;
+                    } else if matches!(c, b')' | b']' | b'}') {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            self.bump();
+                            return;
+                        }
+                    }
+                }
+                TokKind::Ident => {
+                    if let Some(sink) = id_sink.as_deref_mut() {
+                        sink.push(t.text.clone());
+                    }
+                }
+                TokKind::Str => {
+                    if let Some(sink) = str_sink.as_deref_mut() {
+                        sink.push(t.text.clone());
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+            if depth == 0 {
+                // Wasn't on an opener — give up after one token.
+                return;
+            }
+        }
+    }
+
+    /// Skips a generic-argument group; `pos` must sit on `<`. Understands
+    /// `->` (its `>` is not a closer), nested delimiters, and
+    /// const-generic braces.
+    fn skip_angles(&mut self, idents: Option<&mut Vec<String>>) {
+        let mut depth = 0usize;
+        let mut sink = idents;
+        while let Some(t) = self.tok() {
+            if t.is_punct('<') {
+                depth += 1;
+                self.bump();
+            } else if t.is_punct('>') {
+                depth = depth.saturating_sub(1);
+                self.bump();
+                if depth == 0 {
+                    return;
+                }
+            } else if t.is_punct('-') && self.nth_is_p(1, '>') {
+                self.bump();
+                self.bump();
+            } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                self.skip_balanced(sink.as_deref_mut(), None);
+            } else {
+                if t.kind == TokKind::Ident {
+                    if let Some(s) = sink.as_deref_mut() {
+                        s.push(t.text.clone());
+                    }
+                }
+                self.bump();
+            }
+            if depth == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Consumes `#[...]` / `#![...]` attributes, classifying the bits the
+    /// passes care about.
+    fn attrs(&mut self) -> Attrs {
+        let mut out = Attrs::default();
+        while self.is_p('#') {
+            let mut k = 1;
+            if self.nth_is_p(1, '!') {
+                k = 2;
+            }
+            if !self.nth_is_p(k, '[') {
+                break;
+            }
+            self.bump();
+            if k == 2 {
+                self.bump();
+            }
+            let mut ids = Vec::new();
+            self.skip_balanced(Some(&mut ids), None);
+            let has = |s: &str| ids.iter().any(|i| i == s);
+            if has("derive") {
+                out.derives
+                    .extend(ids.iter().filter(|i| *i != "derive").cloned());
+            }
+            if has("test") {
+                out.test = true;
+                if has("cfg") {
+                    out.cfg_test = true;
+                }
+            }
+        }
+        out
+    }
+
+    // ----- types -----------------------------------------------------
+
+    /// Parses a type, stopping at any token that cannot continue one
+    /// (`,` `)` `;` `=` `>` `{` `]` `where` `for` …).
+    fn ty(&mut self) -> Ty {
+        let mut ty = self.ty_component();
+        // Trait bounds: `A + B + 'a`.
+        while self.is_p('+') {
+            self.bump();
+            if self.tok().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                self.bump();
+                continue;
+            }
+            let more = self.ty_component();
+            ty.idents.extend(more.idents);
+        }
+        ty
+    }
+
+    fn ty_component(&mut self) -> Ty {
+        // Prefixes that don't change the head.
+        loop {
+            if self.is_p('&') {
+                self.bump();
+                if self.tok().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                    self.bump();
+                }
+                self.eat_id("mut");
+            } else if self.is_p('*') {
+                self.bump();
+                let _ = self.eat_id("const") || self.eat_id("mut");
+            } else if self.is_id("dyn") || self.is_id("impl") {
+                self.bump();
+            } else if self.is_id("for") && self.nth_is_p(1, '<') {
+                self.bump();
+                self.skip_angles(None);
+            } else if self.tok().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.is_p('(') {
+            // Tuple (or parenthesized) type.
+            self.bump();
+            let mut args = Vec::new();
+            let mut idents = Vec::new();
+            let mut saw_comma = false;
+            while !self.at_end() && !self.is_p(')') {
+                let before = self.pos;
+                let el = self.ty();
+                idents.extend(el.idents.iter().cloned());
+                args.push(el);
+                saw_comma |= self.eat_p(',');
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            self.eat_p(')');
+            if args.len() == 1 && !saw_comma {
+                return args.into_iter().next().unwrap_or_default();
+            }
+            return Ty {
+                head: String::new(),
+                args,
+                idents,
+            };
+        }
+        if self.is_p('[') {
+            // Slice / array.
+            self.bump();
+            let el = self.ty();
+            let mut idents = el.idents.clone();
+            if self.eat_p(';') {
+                // Const length expression: skip to `]` at depth 0.
+                while let Some(t) = self.tok() {
+                    if t.is_punct(']') {
+                        break;
+                    }
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        self.skip_balanced(Some(&mut idents), None);
+                    } else {
+                        if t.kind == TokKind::Ident {
+                            idents.push(t.text.clone());
+                        }
+                        self.bump();
+                    }
+                }
+            }
+            self.eat_p(']');
+            return Ty {
+                head: String::new(),
+                args: vec![el],
+                idents,
+            };
+        }
+        if self.is_id("fn") {
+            // Fn-pointer type.
+            self.bump();
+            let mut idents = vec!["fn".to_string()];
+            if self.is_p('(') {
+                self.skip_balanced(Some(&mut idents), None);
+            }
+            if self.is_p('-') && self.nth_is_p(1, '>') {
+                self.bump();
+                self.bump();
+                let ret = self.ty();
+                idents.extend(ret.idents);
+            }
+            return Ty {
+                head: "fn".to_string(),
+                args: Vec::new(),
+                idents,
+            };
+        }
+        if !self.is_ident_tok() && !self.is_p(':') {
+            return Ty::default();
+        }
+        // Path type: `a::b::C<...>`, `Fn(..) -> R` sugar on any segment.
+        let mut segs: Vec<String> = Vec::new();
+        let mut idents = Vec::new();
+        let mut args: Vec<Ty> = Vec::new();
+        // Leading `::`.
+        if self.is_p(':') && self.nth_is_p(1, ':') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(t) = self.tok() {
+            if t.kind != TokKind::Ident {
+                break;
+            }
+            if t.text == "where" || (t.text == "for" && !self.nth_is_p(1, '<')) || t.text == "as" {
+                break;
+            }
+            segs.push(t.text.clone());
+            idents.push(t.text.clone());
+            self.bump();
+            if self.is_p('(') {
+                // `Fn(args) -> Ret` sugar.
+                self.skip_balanced(Some(&mut idents), None);
+                if self.is_p('-') && self.nth_is_p(1, '>') {
+                    self.bump();
+                    self.bump();
+                    let ret = self.ty();
+                    idents.extend(ret.idents.iter().cloned());
+                    args.push(ret);
+                }
+                break;
+            }
+            if self.is_p('<') {
+                let (a, ids) = self.generic_args();
+                args = a;
+                idents.extend(ids);
+            }
+            if self.is_p(':') && self.nth_is_p(1, ':') {
+                self.bump();
+                self.bump();
+                // A later segment's generic args win; reset.
+                args.clear();
+                continue;
+            }
+            break;
+        }
+        if segs.is_empty() {
+            return Ty::default();
+        }
+        Ty {
+            head: segs.last().cloned().unwrap_or_default(),
+            args,
+            idents,
+        }
+    }
+
+    /// Parses `<...>` generic arguments; `pos` sits on `<`. Returns the
+    /// positional type args and every ident seen.
+    fn generic_args(&mut self) -> (Vec<Ty>, Vec<String>) {
+        let mut args = Vec::new();
+        let mut idents = Vec::new();
+        self.bump(); // `<`
+        while let Some(t) = self.tok() {
+            if t.is_punct('>') {
+                self.bump();
+                break;
+            }
+            if t.is_punct(',') {
+                self.bump();
+                continue;
+            }
+            if t.kind == TokKind::Lifetime {
+                self.bump();
+                continue;
+            }
+            if t.kind == TokKind::Ident && self.nth_is_p(1, '=') {
+                // Associated binding `Item = T`.
+                idents.push(t.text.clone());
+                self.bump();
+                self.bump();
+                let ty = self.ty();
+                idents.extend(ty.idents);
+                continue;
+            }
+            if t.is_punct('{') {
+                // Const-generic expression.
+                self.skip_balanced(Some(&mut idents), None);
+                continue;
+            }
+            if t.kind == TokKind::Number || t.is_ident("true") || t.is_ident("false") {
+                self.bump();
+                continue;
+            }
+            let before = self.pos;
+            let ty = self.ty();
+            idents.extend(ty.idents.iter().cloned());
+            args.push(ty);
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        (args, idents)
+    }
+
+    // ----- patterns --------------------------------------------------
+
+    fn pat(&mut self) -> Pat {
+        let first = self.pat_single();
+        if !self.is_p('|') || self.nth_is_p(1, '|') {
+            return first;
+        }
+        // Or-pattern: union of alternatives' bindings.
+        let mut alts = vec![first];
+        while self.is_p('|') && !self.nth_is_p(1, '|') {
+            self.bump();
+            alts.push(self.pat_single());
+        }
+        Pat::Tuple(alts)
+    }
+
+    fn pat_single(&mut self) -> Pat {
+        loop {
+            if self.eat_id("ref") || self.eat_id("mut") || self.eat_id("box") {
+                continue;
+            }
+            if self.is_p('&') {
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        let Some(t) = self.tok() else {
+            return Pat::Other;
+        };
+        match t.kind {
+            TokKind::Ident if t.text == "_" => {
+                self.bump();
+                Pat::Wild
+            }
+            TokKind::Number | TokKind::Str | TokKind::Char => {
+                self.bump();
+                self.pat_range_tail();
+                Pat::Other
+            }
+            TokKind::Punct if t.is_punct('-') => {
+                self.bump();
+                if self.tok().is_some_and(|t| t.kind == TokKind::Number) {
+                    self.bump();
+                }
+                self.pat_range_tail();
+                Pat::Other
+            }
+            TokKind::Punct if t.is_punct('(') => {
+                self.bump();
+                let ps = self.pat_list(')');
+                Pat::Tuple(ps)
+            }
+            TokKind::Punct if t.is_punct('[') => {
+                self.bump();
+                let ps = self.pat_list(']');
+                Pat::Tuple(ps)
+            }
+            TokKind::Punct if t.is_punct('.') => {
+                // `..` rest pattern.
+                self.bump();
+                self.eat_p('.');
+                self.eat_p('=');
+                Pat::Other
+            }
+            TokKind::Ident => {
+                let mut segs = vec![t.text.clone()];
+                self.bump();
+                while self.is_p(':') && self.nth_is_p(1, ':') {
+                    self.bump();
+                    self.bump();
+                    if self.is_p('<') {
+                        self.skip_angles(None);
+                    }
+                    if let Some(n) = self.tok().filter(|n| n.kind == TokKind::Ident) {
+                        segs.push(n.text.clone());
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let name = segs.last().cloned().unwrap_or_default();
+                if self.is_p('(') {
+                    self.bump();
+                    let ps = self.pat_list(')');
+                    return Pat::TupleStruct(name, ps);
+                }
+                if self.is_p('{') {
+                    self.bump();
+                    let mut fields = Vec::new();
+                    while !self.at_end() && !self.is_p('}') {
+                        let before = self.pos;
+                        if self.is_p('.') {
+                            // `..` rest.
+                            self.bump();
+                            self.eat_p('.');
+                        } else if let Some(f) =
+                            self.tok().filter(|f| f.kind == TokKind::Ident).cloned()
+                        {
+                            self.bump();
+                            if self.eat_p(':') {
+                                let p = self.pat();
+                                fields.push((f.text.clone(), p));
+                            } else {
+                                fields.push((f.text.clone(), Pat::Ident(f.text.clone())));
+                            }
+                        }
+                        self.eat_p(',');
+                        if self.pos == before {
+                            self.bump();
+                        }
+                    }
+                    self.eat_p('}');
+                    return Pat::Struct(name, fields);
+                }
+                if segs.len() > 1 {
+                    self.pat_range_tail();
+                    return Pat::Other;
+                }
+                // `n @ sub-pattern` keeps the binding.
+                if self.is_p('@') {
+                    self.bump();
+                    let _ = self.pat_single();
+                    return Pat::Ident(name);
+                }
+                if self.is_p('.') && self.nth_is_p(1, '.') {
+                    self.pat_range_tail();
+                    return Pat::Other;
+                }
+                // Heuristic: lowercase-initial single segment binds;
+                // uppercase is a unit variant / const (`None`, `MAX`).
+                if name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_')
+                {
+                    Pat::Ident(name)
+                } else {
+                    Pat::Other
+                }
+            }
+            _ => {
+                self.bump();
+                Pat::Other
+            }
+        }
+    }
+
+    /// Consumes a `..`/`..=` literal-range tail if present.
+    fn pat_range_tail(&mut self) {
+        if self.is_p('.') && self.nth_is_p(1, '.') {
+            self.bump();
+            self.bump();
+            self.eat_p('=');
+            if self
+                .tok()
+                .is_some_and(|t| matches!(t.kind, TokKind::Number | TokKind::Char))
+            {
+                self.bump();
+            } else if self.is_p('-') {
+                self.bump();
+                if self.tok().is_some_and(|t| t.kind == TokKind::Number) {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn pat_list(&mut self, close: char) -> Vec<Pat> {
+        let mut ps = Vec::new();
+        while !self.at_end() && !self.is_p(close) {
+            let before = self.pos;
+            ps.push(self.pat());
+            self.eat_p(',');
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_p(close);
+        ps
+    }
+
+    // ----- items -----------------------------------------------------
+
+    /// Parses items until `}` or EOF. `in_test` marks everything inside a
+    /// `#[cfg(test)]` module.
+    fn items(&mut self, in_test: bool) -> Vec<Item> {
+        let mut out = Vec::new();
+        while !self.at_end() && !self.is_p('}') {
+            let before = self.pos;
+            if let Some(item) = self.item_one(in_test) {
+                out.push(item);
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        out
+    }
+
+    fn item_one(&mut self, in_test: bool) -> Option<Item> {
+        if self.eat_p(';') {
+            return None;
+        }
+        let attrs = self.attrs();
+        if self.eat_id("pub") && self.is_p('(') {
+            self.skip_balanced(None, None);
+        }
+        // Fn qualifiers.
+        let mut saw_qual = false;
+        loop {
+            if (self.is_id("const") && self.nth(1).is_some_and(|t| t.is_ident("fn")))
+                || self.is_id("async")
+                || self.is_id("unsafe")
+            {
+                self.bump();
+                saw_qual = true;
+            } else if self.is_id("extern") {
+                self.bump();
+                saw_qual = true;
+                if self.tok().is_some_and(|t| t.kind == TokKind::Str) {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        if self.is_id("fn") {
+            return Some(Item::Fn(self.fun(in_test || attrs.test)));
+        }
+        if saw_qual {
+            // `unsafe impl`, `extern { … }` blocks.
+            if self.is_id("impl") {
+                return Some(Item::Impl(self.impl_block(in_test)));
+            }
+            if self.is_p('{') {
+                self.skip_balanced(None, None);
+            }
+            return Some(Item::Other);
+        }
+        if self.is_id("struct") || self.is_id("enum") || self.is_id("union") {
+            return Some(Item::Struct(self.struct_def(attrs.derives)));
+        }
+        if self.is_id("impl") {
+            return Some(Item::Impl(self.impl_block(in_test)));
+        }
+        if self.is_id("trait") {
+            return Some(Item::Impl(self.trait_def(in_test)));
+        }
+        if self.is_id("mod") {
+            self.bump();
+            let name = self
+                .tok()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            self.bump();
+            if self.eat_p(';') {
+                return Some(Item::Other);
+            }
+            let cfg_test = attrs.cfg_test || attrs.test;
+            if self.eat_p('{') {
+                let items = self.items(in_test || cfg_test);
+                self.eat_p('}');
+                return Some(Item::Mod(ModDef {
+                    name,
+                    cfg_test,
+                    items,
+                }));
+            }
+            return Some(Item::Other);
+        }
+        if self.is_id("use") || self.is_id("const") || self.is_id("static") || self.is_id("type") {
+            // Skip to `;` at depth 0, stepping over any delimiter groups.
+            self.bump();
+            while let Some(t) = self.tok() {
+                if t.is_punct(';') {
+                    self.bump();
+                    break;
+                }
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    self.skip_balanced(None, None);
+                } else if t.is_punct('<') {
+                    self.skip_angles(None);
+                } else if t.is_punct('}') {
+                    break;
+                } else {
+                    self.bump();
+                }
+            }
+            return Some(Item::Other);
+        }
+        if self.is_id("macro_rules") {
+            self.bump();
+            self.eat_p('!');
+            if self.is_ident_tok() {
+                self.bump();
+            }
+            if self.is_p('(') || self.is_p('[') || self.is_p('{') {
+                self.skip_balanced(None, None);
+            }
+            return Some(Item::Other);
+        }
+        None
+    }
+
+    fn fun(&mut self, is_test: bool) -> Fun {
+        let line = self.line();
+        self.bump(); // `fn`
+        let name = self
+            .tok()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        if !name.is_empty() {
+            self.bump();
+        }
+        if self.is_p('<') {
+            self.skip_angles(None);
+        }
+        let mut params = Vec::new();
+        let mut has_self = false;
+        if self.eat_p('(') {
+            while !self.at_end() && !self.is_p(')') {
+                let before = self.pos;
+                let _ = self.attrs();
+                // Self parameter: `[&]['a][mut] self [: Ty]`.
+                let save = self.pos;
+                if self.eat_p('&') && self.tok().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                    self.bump();
+                }
+                self.eat_id("mut");
+                if self.eat_id("self") {
+                    has_self = true;
+                    if self.eat_p(':') {
+                        let _ = self.ty();
+                    }
+                } else {
+                    self.pos = save;
+                    let pat = self.pat();
+                    let ty = if self.eat_p(':') {
+                        self.ty()
+                    } else {
+                        Ty::default()
+                    };
+                    params.push((pat, ty));
+                }
+                self.eat_p(',');
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            self.eat_p(')');
+        }
+        let ret = if self.is_p('-') && self.nth_is_p(1, '>') {
+            self.bump();
+            self.bump();
+            self.ty()
+        } else {
+            Ty::default()
+        };
+        if self.is_id("where") {
+            self.skip_where();
+        }
+        let (body, end_line) = if self.is_p('{') {
+            let b = self.block();
+            (
+                b,
+                self.t
+                    .get(self.pos.saturating_sub(1))
+                    .map_or(line, |t| t.line),
+            )
+        } else {
+            self.eat_p(';');
+            (Block::default(), line)
+        };
+        Fun {
+            name,
+            params,
+            ret,
+            body,
+            line,
+            end_line,
+            is_test,
+            has_self,
+        }
+    }
+
+    /// Skips a `where` clause up to the `{`/`;` that ends it, with the
+    /// same `->`/angle awareness as the type parser.
+    fn skip_where(&mut self) {
+        self.bump(); // `where`
+        while let Some(t) = self.tok() {
+            if t.is_punct('{') || t.is_punct(';') {
+                return;
+            }
+            if t.is_punct('<') {
+                self.skip_angles(None);
+            } else if t.is_punct('-') && self.nth_is_p(1, '>') {
+                self.bump();
+                self.bump();
+            } else if t.is_punct('(') || t.is_punct('[') {
+                self.skip_balanced(None, None);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    fn struct_def(&mut self, derives: Vec<String>) -> StructDef {
+        let line = self.line();
+        let is_enum = self.is_id("enum");
+        self.bump(); // struct/enum/union
+        let name = self
+            .tok()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        if !name.is_empty() {
+            self.bump();
+        }
+        if self.is_p('<') {
+            self.skip_angles(None);
+        }
+        if self.is_id("where") {
+            self.skip_where();
+        }
+        let mut fields = Vec::new();
+        if self.eat_p('(') {
+            // Tuple struct.
+            let mut idx = 0usize;
+            while !self.at_end() && !self.is_p(')') {
+                let before = self.pos;
+                let _ = self.attrs();
+                let _ = self.eat_id("pub");
+                if self.is_p('(') {
+                    self.skip_balanced(None, None);
+                }
+                let ty = self.ty();
+                fields.push((idx.to_string(), ty));
+                idx += 1;
+                self.eat_p(',');
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            self.eat_p(')');
+            self.eat_p(';');
+        } else if self.eat_p('{') {
+            if is_enum {
+                while !self.at_end() && !self.is_p('}') {
+                    let before = self.pos;
+                    let _ = self.attrs();
+                    if self.is_ident_tok() {
+                        self.bump();
+                    }
+                    if self.eat_p('(') {
+                        let mut idx = 0usize;
+                        while !self.at_end() && !self.is_p(')') {
+                            let b2 = self.pos;
+                            let ty = self.ty();
+                            fields.push((idx.to_string(), ty));
+                            idx += 1;
+                            self.eat_p(',');
+                            if self.pos == b2 {
+                                self.bump();
+                            }
+                        }
+                        self.eat_p(')');
+                    } else if self.eat_p('{') {
+                        self.named_fields(&mut fields);
+                    }
+                    if self.eat_p('=') {
+                        // Discriminant: skip to `,`/`}`.
+                        while let Some(t) = self.tok() {
+                            if t.is_punct(',') || t.is_punct('}') {
+                                break;
+                            }
+                            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                                self.skip_balanced(None, None);
+                            } else {
+                                self.bump();
+                            }
+                        }
+                    }
+                    self.eat_p(',');
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+            } else {
+                self.named_fields(&mut fields);
+            }
+            self.eat_p('}');
+        } else {
+            self.eat_p(';');
+        }
+        StructDef {
+            name,
+            fields,
+            derives,
+            is_enum,
+            line,
+        }
+    }
+
+    /// Parses `name: Ty,` pairs up to (and including) the closing `}` of
+    /// the *current* group — the opener has already been consumed.
+    fn named_fields(&mut self, fields: &mut Vec<(String, Ty)>) {
+        while !self.at_end() && !self.is_p('}') {
+            let before = self.pos;
+            let _ = self.attrs();
+            if self.eat_id("pub") && self.is_p('(') {
+                self.skip_balanced(None, None);
+            }
+            if let Some(f) = self.tok().filter(|t| t.kind == TokKind::Ident).cloned() {
+                self.bump();
+                if self.eat_p(':') {
+                    let ty = self.ty();
+                    fields.push((f.text.clone(), ty));
+                }
+            }
+            self.eat_p(',');
+            if self.pos == before {
+                self.bump();
+            }
+        }
+    }
+
+    fn impl_block(&mut self, in_test: bool) -> ImplBlock {
+        self.bump(); // `impl`
+        if self.is_p('<') {
+            self.skip_angles(None);
+        }
+        let first = self.ty();
+        let (self_ty, trait_name) = if self.eat_id("for") {
+            let target = self.ty();
+            (target.head, Some(first.head))
+        } else {
+            (first.head, None)
+        };
+        if self.is_id("where") {
+            self.skip_where();
+        }
+        let mut fns = Vec::new();
+        if self.eat_p('{') {
+            for item in self.items(in_test) {
+                if let Item::Fn(f) = item {
+                    fns.push(f);
+                }
+            }
+            self.eat_p('}');
+        }
+        ImplBlock {
+            self_ty,
+            trait_name,
+            fns,
+        }
+    }
+
+    fn trait_def(&mut self, in_test: bool) -> ImplBlock {
+        self.bump(); // `trait`
+        let name = self
+            .tok()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        if !name.is_empty() {
+            self.bump();
+        }
+        if self.is_p('<') {
+            self.skip_angles(None);
+        }
+        if self.eat_p(':') {
+            // Supertrait bounds.
+            while let Some(t) = self.tok() {
+                if t.is_punct('{') || t.is_punct(';') {
+                    break;
+                }
+                if t.is_punct('<') {
+                    self.skip_angles(None);
+                } else if t.is_punct('(') {
+                    self.skip_balanced(None, None);
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        if self.is_id("where") {
+            self.skip_where();
+        }
+        let mut fns = Vec::new();
+        if self.eat_p('{') {
+            for item in self.items(in_test) {
+                if let Item::Fn(f) = item {
+                    fns.push(f);
+                }
+            }
+            self.eat_p('}');
+        }
+        ImplBlock {
+            self_ty: name,
+            trait_name: None,
+            fns,
+        }
+    }
+
+    // ----- statements & blocks ---------------------------------------
+
+    /// Parses a `{ … }` block; `pos` sits on `{`.
+    fn block(&mut self) -> Block {
+        let mut stmts = Vec::new();
+        if !self.eat_p('{') {
+            return Block { stmts };
+        }
+        while !self.at_end() && !self.is_p('}') {
+            let before = self.pos;
+            if self.eat_p(';') {
+                stmts.push(Stmt::Empty);
+                continue;
+            }
+            if self.is_id("let") {
+                stmts.push(self.let_stmt());
+            } else if self.at_item_start() {
+                if let Some(item) = self.item_one(false) {
+                    stmts.push(Stmt::Item(Box::new(item)));
+                }
+            } else {
+                let expr = self.expr(false);
+                let semi = self.eat_p(';');
+                stmts.push(Stmt::Expr { expr, semi });
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_p('}');
+        Block { stmts }
+    }
+
+    /// Whether the current token begins a nested item rather than an
+    /// expression statement.
+    fn at_item_start(&self) -> bool {
+        let Some(t) = self.tok() else { return false };
+        if t.is_punct('#') {
+            return true;
+        }
+        if t.kind != TokKind::Ident {
+            return false;
+        }
+        matches!(
+            t.text.as_str(),
+            "fn" | "struct"
+                | "enum"
+                | "union"
+                | "impl"
+                | "trait"
+                | "mod"
+                | "use"
+                | "static"
+                | "type"
+                | "macro_rules"
+                | "pub"
+        ) || (t.text == "const" && !self.nth_is_p(1, '{'))
+    }
+
+    fn let_stmt(&mut self) -> Stmt {
+        let line = self.line();
+        self.bump(); // `let`
+        let pat = self.pat();
+        let ty = if self.eat_p(':') {
+            Some(self.ty())
+        } else {
+            None
+        };
+        let init = if self.is_p('=') && !self.nth_is_p(1, '=') {
+            self.bump();
+            Some(self.expr(false))
+        } else {
+            None
+        };
+        let else_block = if self.eat_id("else") {
+            if self.is_p('{') {
+                Some(self.block())
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        self.eat_p(';');
+        Stmt::Let {
+            pat,
+            ty,
+            init,
+            else_block,
+            line,
+        }
+    }
+
+    // ----- expressions -----------------------------------------------
+
+    /// Parses one expression. `ns` (no-struct) forbids `Path { … }`
+    /// struct literals, as in `if`/`while`/`match`-header positions.
+    fn expr(&mut self, ns: bool) -> Expr {
+        self.assign(ns)
+    }
+
+    fn assign(&mut self, ns: bool) -> Expr {
+        let line = self.line();
+        let lhs = self.range_expr(ns);
+        // `=` (plain) or compound `op=`; comparison `<=`/`>=`/`==`/`!=`
+        // were already consumed at the binary level.
+        if self.is_p('=') && !self.nth_is_p(1, '=') {
+            self.bump();
+            let rhs = self.assign(ns);
+            return Expr {
+                line,
+                kind: ExprKind::Assign {
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        for op in ["+", "-", "*", "/", "%", "^", "&", "|"] {
+            if self.is_p(op.as_bytes()[0] as char) && self.nth_is_p(1, '=') {
+                self.bump();
+                self.bump();
+                let rhs = self.assign(ns);
+                return Expr {
+                    line,
+                    kind: ExprKind::Assign {
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
+                };
+            }
+        }
+        for c in ['<', '>'] {
+            if self.is_p(c) && self.nth_is_p(1, c) && self.nth_is_p(2, '=') {
+                self.bump();
+                self.bump();
+                self.bump();
+                let rhs = self.assign(ns);
+                return Expr {
+                    line,
+                    kind: ExprKind::Assign {
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
+                };
+            }
+        }
+        lhs
+    }
+
+    fn range_expr(&mut self, ns: bool) -> Expr {
+        let line = self.line();
+        if self.is_p('.') && self.nth_is_p(1, '.') {
+            // Leading `..hi` / `..`.
+            self.bump();
+            self.bump();
+            self.eat_p('=');
+            let hi = if self.expr_can_start(ns) {
+                Some(Box::new(self.or_expr(ns)))
+            } else {
+                None
+            };
+            return Expr {
+                line,
+                kind: ExprKind::Range(None, hi),
+            };
+        }
+        let lo = self.or_expr(ns);
+        if self.is_p('.') && self.nth_is_p(1, '.') {
+            self.bump();
+            self.bump();
+            self.eat_p('=');
+            let hi = if self.expr_can_start(ns) {
+                Some(Box::new(self.or_expr(ns)))
+            } else {
+                None
+            };
+            return Expr {
+                line,
+                kind: ExprKind::Range(Some(Box::new(lo)), hi),
+            };
+        }
+        lo
+    }
+
+    /// Whether the current token can plausibly begin an expression (used
+    /// only to decide open-ended ranges).
+    fn expr_can_start(&self, _ns: bool) -> bool {
+        let Some(t) = self.tok() else { return false };
+        match t.kind {
+            TokKind::Ident => !matches!(t.text.as_str(), "in" | "else" | "where"),
+            TokKind::Number | TokKind::Str | TokKind::Char => true,
+            TokKind::Punct => {
+                matches!(
+                    t.text.as_bytes().first(),
+                    Some(b'(' | b'[' | b'{' | b'-' | b'!' | b'*' | b'&' | b'|')
+                )
+            }
+            _ => false,
+        }
+    }
+
+    fn or_expr(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.and_expr(ns);
+        while self.is_p('|') && self.nth_is_p(1, '|') && !self.nth_is_p(2, '=') {
+            let line = self.line();
+            self.bump();
+            self.bump();
+            let rhs = self.and_expr(ns);
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        lhs
+    }
+
+    fn and_expr(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.cmp_expr(ns);
+        while self.is_p('&') && self.nth_is_p(1, '&') && !self.nth_is_p(2, '=') {
+            let line = self.line();
+            self.bump();
+            self.bump();
+            let rhs = self.cmp_expr(ns);
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        lhs
+    }
+
+    fn cmp_expr(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.bitor_expr(ns);
+        loop {
+            let line = self.line();
+            let op = if self.is_p('=') && self.nth_is_p(1, '=') {
+                self.bump();
+                self.bump();
+                BinOp::Eq
+            } else if self.is_p('!') && self.nth_is_p(1, '=') {
+                self.bump();
+                self.bump();
+                BinOp::Ne
+            } else if self.is_p('<') && self.nth_is_p(1, '=') {
+                self.bump();
+                self.bump();
+                BinOp::Le
+            } else if self.is_p('>') && self.nth_is_p(1, '=') {
+                self.bump();
+                self.bump();
+                BinOp::Ge
+            } else if self.is_p('<') && !self.nth_is_p(1, '<') {
+                self.bump();
+                BinOp::Lt
+            } else if self.is_p('>') && !self.nth_is_p(1, '>') {
+                self.bump();
+                BinOp::Gt
+            } else {
+                break;
+            };
+            let rhs = self.bitor_expr(ns);
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        lhs
+    }
+
+    fn bitor_expr(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.bitxor_expr(ns);
+        while self.is_p('|') && !self.nth_is_p(1, '|') && !self.nth_is_p(1, '=') {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bitxor_expr(ns);
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(BinOp::BitOr, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        lhs
+    }
+
+    fn bitxor_expr(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.bitand_expr(ns);
+        while self.is_p('^') && !self.nth_is_p(1, '=') {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bitand_expr(ns);
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(BinOp::BitXor, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        lhs
+    }
+
+    fn bitand_expr(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.shift_expr(ns);
+        while self.is_p('&') && !self.nth_is_p(1, '&') && !self.nth_is_p(1, '=') {
+            let line = self.line();
+            self.bump();
+            let rhs = self.shift_expr(ns);
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(BinOp::BitAnd, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        lhs
+    }
+
+    fn shift_expr(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.add_expr(ns);
+        loop {
+            let line = self.line();
+            let op = if self.is_p('<') && self.nth_is_p(1, '<') && !self.nth_is_p(2, '=') {
+                self.bump();
+                self.bump();
+                BinOp::Shl
+            } else if self.is_p('>') && self.nth_is_p(1, '>') && !self.nth_is_p(2, '=') {
+                self.bump();
+                self.bump();
+                BinOp::Shr
+            } else {
+                break;
+            };
+            let rhs = self.add_expr(ns);
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        lhs
+    }
+
+    fn add_expr(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.mul_expr(ns);
+        loop {
+            let line = self.line();
+            let op = if self.is_p('+') && !self.nth_is_p(1, '=') {
+                self.bump();
+                BinOp::Add
+            } else if self.is_p('-') && !self.nth_is_p(1, '=') && !self.nth_is_p(1, '>') {
+                self.bump();
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.mul_expr(ns);
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        lhs
+    }
+
+    fn mul_expr(&mut self, ns: bool) -> Expr {
+        let mut lhs = self.cast_expr(ns);
+        loop {
+            let line = self.line();
+            let op = if self.is_p('*') && !self.nth_is_p(1, '=') {
+                self.bump();
+                BinOp::Mul
+            } else if self.is_p('/') && !self.nth_is_p(1, '=') {
+                self.bump();
+                BinOp::Div
+            } else if self.is_p('%') && !self.nth_is_p(1, '=') {
+                self.bump();
+                BinOp::Rem
+            } else {
+                break;
+            };
+            let rhs = self.cast_expr(ns);
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        lhs
+    }
+
+    fn cast_expr(&mut self, ns: bool) -> Expr {
+        let line = self.line();
+        let mut e = self.unary(ns);
+        while self.eat_id("as") {
+            let ty = self.ty();
+            e = Expr {
+                line,
+                kind: ExprKind::Cast(Box::new(e), ty),
+            };
+        }
+        e
+    }
+
+    fn unary(&mut self, ns: bool) -> Expr {
+        let line = self.line();
+        if self.is_p('-') || self.is_p('!') || self.is_p('*') {
+            self.bump();
+            let inner = self.unary(ns);
+            return Expr {
+                line,
+                kind: ExprKind::Unary(Box::new(inner)),
+            };
+        }
+        if self.is_p('&') {
+            self.bump();
+            // `&&x` is two tokens; the second `&` recurses.
+            self.eat_id("mut");
+            let inner = self.unary(ns);
+            return Expr {
+                line,
+                kind: ExprKind::Unary(Box::new(inner)),
+            };
+        }
+        self.postfix(ns)
+    }
+
+    fn postfix(&mut self, ns: bool) -> Expr {
+        let mut e = self.primary(ns);
+        loop {
+            let line = self.line();
+            if self.is_p('.') && !self.nth_is_p(1, '.') {
+                let Some(next) = self.nth(1) else { break };
+                match next.kind {
+                    TokKind::Ident if next.text == "await" => {
+                        self.bump();
+                        self.bump();
+                        // `.await` is transparent to the passes.
+                    }
+                    TokKind::Ident => {
+                        let name = next.text.clone();
+                        self.bump();
+                        self.bump();
+                        // Turbofish between name and call parens.
+                        if self.is_p(':') && self.nth_is_p(1, ':') && self.nth_is_p(2, '<') {
+                            self.bump();
+                            self.bump();
+                            self.skip_angles(None);
+                        }
+                        if self.is_p('(') {
+                            let args = self.call_args();
+                            e = Expr {
+                                line,
+                                kind: ExprKind::MethodCall {
+                                    recv: Box::new(e),
+                                    name,
+                                    args,
+                                },
+                            };
+                        } else {
+                            e = Expr {
+                                line,
+                                kind: ExprKind::Field(Box::new(e), name),
+                            };
+                        }
+                    }
+                    TokKind::Number => {
+                        let name = next.text.clone();
+                        self.bump();
+                        self.bump();
+                        e = Expr {
+                            line,
+                            kind: ExprKind::Field(Box::new(e), name),
+                        };
+                    }
+                    _ => break,
+                }
+            } else if self.is_p('(') {
+                let args = self.call_args();
+                e = Expr {
+                    line,
+                    kind: ExprKind::Call {
+                        callee: Box::new(e),
+                        args,
+                    },
+                };
+            } else if self.is_p('[') {
+                self.bump();
+                let idx = self.expr(false);
+                self.eat_p(']');
+                e = Expr {
+                    line,
+                    kind: ExprKind::Index {
+                        base: Box::new(e),
+                        index: Box::new(idx),
+                    },
+                };
+            } else if self.is_p('?') {
+                self.bump();
+                e = Expr {
+                    line,
+                    kind: ExprKind::Try(Box::new(e)),
+                };
+            } else {
+                break;
+            }
+        }
+        e
+    }
+
+    /// Parses `( expr, … )` call arguments; `pos` sits on `(`.
+    fn call_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        self.bump(); // `(`
+        while !self.at_end() && !self.is_p(')') {
+            let before = self.pos;
+            args.push(self.expr(false));
+            self.eat_p(',');
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_p(')');
+        args
+    }
+
+    fn primary(&mut self, ns: bool) -> Expr {
+        let line = self.line();
+        let Some(t) = self.tok() else {
+            return Expr::unknown(line);
+        };
+        match t.kind {
+            TokKind::Number | TokKind::Char => {
+                self.bump();
+                Expr {
+                    line,
+                    kind: ExprKind::Lit,
+                }
+            }
+            TokKind::Str => {
+                let s = t.text.clone();
+                self.bump();
+                Expr {
+                    line,
+                    kind: ExprKind::Str(s),
+                }
+            }
+            TokKind::Lifetime => {
+                // Loop label: `'l: loop { … }`.
+                self.bump();
+                self.eat_p(':');
+                self.primary(ns)
+            }
+            TokKind::Punct => self.primary_punct(ns, line),
+            TokKind::Ident => self.primary_ident(ns, line),
+            _ => {
+                self.bump();
+                Expr::unknown(line)
+            }
+        }
+    }
+
+    fn primary_punct(&mut self, _ns: bool, line: usize) -> Expr {
+        if self.is_p('(') {
+            self.bump();
+            let mut els = Vec::new();
+            let mut saw_comma = false;
+            while !self.at_end() && !self.is_p(')') {
+                let before = self.pos;
+                els.push(self.expr(false));
+                saw_comma |= self.eat_p(',');
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            self.eat_p(')');
+            if els.len() == 1 && !saw_comma {
+                return els.pop().unwrap_or_else(|| Expr::unknown(line));
+            }
+            return Expr {
+                line,
+                kind: ExprKind::Tuple(els),
+            };
+        }
+        if self.is_p('[') {
+            self.bump();
+            let mut els = Vec::new();
+            while !self.at_end() && !self.is_p(']') {
+                let before = self.pos;
+                els.push(self.expr(false));
+                let _ = self.eat_p(',') || self.eat_p(';');
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            self.eat_p(']');
+            return Expr {
+                line,
+                kind: ExprKind::Array(els),
+            };
+        }
+        if self.is_p('{') {
+            let b = self.block();
+            return Expr {
+                line,
+                kind: ExprKind::Block(b),
+            };
+        }
+        if self.is_p('|') {
+            return self.closure(line);
+        }
+        if self.is_p('<') {
+            // Qualified path `<T as Trait>::method(…)`: skip the type,
+            // then parse the path tail.
+            self.skip_angles(None);
+            if self.is_p(':') && self.nth_is_p(1, ':') {
+                self.bump();
+                self.bump();
+                return self.primary(true);
+            }
+            return Expr::unknown(line);
+        }
+        self.bump();
+        Expr::unknown(line)
+    }
+
+    fn closure(&mut self, line: usize) -> Expr {
+        // `pos` sits on the first `|` (or caller consumed `move`).
+        let mut params = Vec::new();
+        self.bump(); // `|`
+        if self.eat_p('|') {
+            // `||` zero-param closure.
+        } else {
+            while !self.at_end() && !self.is_p('|') {
+                let before = self.pos;
+                // `pat_single`, not `pat`: the closing `|` of the closure
+                // must not start an or-pattern.
+                let pat = self.pat_single();
+                let ty = if self.eat_p(':') {
+                    self.ty()
+                } else {
+                    Ty::default()
+                };
+                params.push((pat, ty));
+                self.eat_p(',');
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            self.eat_p('|');
+        }
+        if self.is_p('-') && self.nth_is_p(1, '>') {
+            self.bump();
+            self.bump();
+            let _ = self.ty();
+        }
+        let body = self.expr(false);
+        Expr {
+            line,
+            kind: ExprKind::Closure {
+                params,
+                body: Box::new(body),
+            },
+        }
+    }
+
+    fn primary_ident(&mut self, ns: bool, line: usize) -> Expr {
+        let Some(t) = self.tok() else {
+            return Expr::unknown(line);
+        };
+        match t.text.as_str() {
+            "true" | "false" | "continue" => {
+                self.bump();
+                if self.tok().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                    self.bump();
+                }
+                Expr {
+                    line,
+                    kind: ExprKind::Lit,
+                }
+            }
+            "if" => self.if_expr(line),
+            "match" => self.match_expr(line),
+            "while" => self.while_expr(line),
+            "for" => {
+                self.bump();
+                let pat = self.pat();
+                self.eat_id("in");
+                let iter = self.expr(true);
+                let body = self.block();
+                Expr {
+                    line,
+                    kind: ExprKind::ForLoop {
+                        pat,
+                        iter: Box::new(iter),
+                        body,
+                    },
+                }
+            }
+            "loop" => {
+                self.bump();
+                let body = self.block();
+                Expr {
+                    line,
+                    kind: ExprKind::Loop(body),
+                }
+            }
+            "return" => {
+                self.bump();
+                let val = if self.expr_can_start(ns) && !self.is_p('}') {
+                    Some(Box::new(self.expr(ns)))
+                } else {
+                    None
+                };
+                Expr {
+                    line,
+                    kind: ExprKind::Return(val),
+                }
+            }
+            "break" => {
+                self.bump();
+                if self.tok().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                    self.bump();
+                }
+                let val = if self.expr_can_start(ns) && !self.is_p('}') && !self.is_p(';') {
+                    Some(Box::new(self.expr(ns)))
+                } else {
+                    None
+                };
+                Expr {
+                    line,
+                    kind: ExprKind::Break(val),
+                }
+            }
+            "unsafe" => {
+                self.bump();
+                if self.is_p('{') {
+                    let b = self.block();
+                    return Expr {
+                        line,
+                        kind: ExprKind::Block(b),
+                    };
+                }
+                Expr::unknown(line)
+            }
+            "move" => {
+                self.bump();
+                if self.is_p('|') {
+                    return self.closure(line);
+                }
+                Expr::unknown(line)
+            }
+            "let" => {
+                // Let-chain fragment (`… && let Some(x) = e`): keep the
+                // scrutinee, drop the binding — lossy but safe.
+                self.bump();
+                let _ = self.pat();
+                if self.is_p('=') && !self.nth_is_p(1, '=') {
+                    self.bump();
+                    return self.expr(true);
+                }
+                Expr::unknown(line)
+            }
+            _ => self.path_expr(ns, line),
+        }
+    }
+
+    fn if_expr(&mut self, line: usize) -> Expr {
+        self.bump(); // `if`
+        if self.eat_id("let") {
+            // Desugar `if let P = e { A } else { B }` to a two-arm match.
+            let pat = self.pat();
+            let scrutinee = if self.is_p('=') && !self.nth_is_p(1, '=') {
+                self.bump();
+                self.expr(true)
+            } else {
+                Expr::unknown(line)
+            };
+            let then = self.block();
+            let els = self.else_tail(line);
+            let mut arms = vec![Arm {
+                pat,
+                guard: None,
+                body: Expr {
+                    line,
+                    kind: ExprKind::Block(then),
+                },
+            }];
+            arms.push(Arm {
+                pat: Pat::Wild,
+                guard: None,
+                body: els.unwrap_or_else(|| Expr {
+                    line,
+                    kind: ExprKind::Block(Block::default()),
+                }),
+            });
+            return Expr {
+                line,
+                kind: ExprKind::Match {
+                    scrutinee: Box::new(scrutinee),
+                    arms,
+                },
+            };
+        }
+        let cond = self.expr(true);
+        let then = self.block();
+        let els = self.else_tail(line);
+        Expr {
+            line,
+            kind: ExprKind::If {
+                cond: Box::new(cond),
+                then,
+                els: els.map(Box::new),
+            },
+        }
+    }
+
+    fn else_tail(&mut self, line: usize) -> Option<Expr> {
+        if !self.eat_id("else") {
+            return None;
+        }
+        if self.is_id("if") {
+            return Some(self.if_expr(self.line()));
+        }
+        if self.is_p('{') {
+            let b = self.block();
+            return Some(Expr {
+                line,
+                kind: ExprKind::Block(b),
+            });
+        }
+        None
+    }
+
+    fn match_expr(&mut self, line: usize) -> Expr {
+        self.bump(); // `match`
+        let scrutinee = self.expr(true);
+        let mut arms = Vec::new();
+        if self.eat_p('{') {
+            while !self.at_end() && !self.is_p('}') {
+                let before = self.pos;
+                let _ = self.attrs();
+                self.eat_p('|');
+                let pat = self.pat();
+                let guard = if self.eat_id("if") {
+                    Some(self.expr(true))
+                } else {
+                    None
+                };
+                if self.is_p('=') && self.nth_is_p(1, '>') {
+                    self.bump();
+                    self.bump();
+                }
+                let body = self.expr(false);
+                arms.push(Arm { pat, guard, body });
+                self.eat_p(',');
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            self.eat_p('}');
+        }
+        Expr {
+            line,
+            kind: ExprKind::Match {
+                scrutinee: Box::new(scrutinee),
+                arms,
+            },
+        }
+    }
+
+    fn while_expr(&mut self, line: usize) -> Expr {
+        self.bump(); // `while`
+        if self.eat_id("let") {
+            // Desugar `while let P = e { B }` to
+            // `loop { match e { P => B, _ => break } }`.
+            let pat = self.pat();
+            let scrutinee = if self.is_p('=') && !self.nth_is_p(1, '=') {
+                self.bump();
+                self.expr(true)
+            } else {
+                Expr::unknown(line)
+            };
+            let body = self.block();
+            let mtch = Expr {
+                line,
+                kind: ExprKind::Match {
+                    scrutinee: Box::new(scrutinee),
+                    arms: vec![
+                        Arm {
+                            pat,
+                            guard: None,
+                            body: Expr {
+                                line,
+                                kind: ExprKind::Block(body),
+                            },
+                        },
+                        Arm {
+                            pat: Pat::Wild,
+                            guard: None,
+                            body: Expr {
+                                line,
+                                kind: ExprKind::Break(None),
+                            },
+                        },
+                    ],
+                },
+            };
+            return Expr {
+                line,
+                kind: ExprKind::Loop(Block {
+                    stmts: vec![Stmt::Expr {
+                        expr: mtch,
+                        semi: true,
+                    }],
+                }),
+            };
+        }
+        let cond = self.expr(true);
+        let body = self.block();
+        Expr {
+            line,
+            kind: ExprKind::While {
+                cond: Box::new(cond),
+                body,
+            },
+        }
+    }
+
+    fn path_expr(&mut self, ns: bool, line: usize) -> Expr {
+        let mut segs: Vec<String> = Vec::new();
+        while let Some(t) = self.tok() {
+            if t.kind != TokKind::Ident {
+                break;
+            }
+            segs.push(t.text.clone());
+            self.bump();
+            if self.is_p(':') && self.nth_is_p(1, ':') {
+                self.bump();
+                self.bump();
+                if self.is_p('<') {
+                    // Turbofish.
+                    self.skip_angles(None);
+                    if self.is_p(':') && self.nth_is_p(1, ':') {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        if segs.is_empty() {
+            self.bump();
+            return Expr::unknown(line);
+        }
+        // Macro invocation.
+        if self.is_p('!')
+            && self
+                .nth(1)
+                .is_some_and(|t| t.is_punct('(') || t.is_punct('[') || t.is_punct('{'))
+        {
+            self.bump(); // `!`
+            return self.macro_call(segs.last().cloned().unwrap_or_default(), line);
+        }
+        // Struct literal (uppercase-initial heads only, outside header
+        // positions).
+        let head = segs.last().cloned().unwrap_or_default();
+        if !ns && self.is_p('{') && head.chars().next().is_some_and(|c| c.is_uppercase()) {
+            return self.struct_lit(head, line);
+        }
+        Expr {
+            line,
+            kind: ExprKind::Path(segs),
+        }
+    }
+
+    fn struct_lit(&mut self, path: String, line: usize) -> Expr {
+        self.bump(); // `{`
+        let mut fields = Vec::new();
+        let mut base = None;
+        while !self.at_end() && !self.is_p('}') {
+            let before = self.pos;
+            if self.is_p('.') && self.nth_is_p(1, '.') {
+                self.bump();
+                self.bump();
+                base = Some(Box::new(self.expr(false)));
+            } else if let Some(f) = self.tok().filter(|t| t.kind == TokKind::Ident).cloned() {
+                self.bump();
+                if self.eat_p(':') {
+                    let e = self.expr(false);
+                    fields.push((f.text.clone(), e));
+                } else {
+                    // Shorthand `Foo { x }`.
+                    fields.push((
+                        f.text.clone(),
+                        Expr {
+                            line: f.line,
+                            kind: ExprKind::Path(vec![f.text.clone()]),
+                        },
+                    ));
+                }
+            }
+            self.eat_p(',');
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_p('}');
+        Expr {
+            line,
+            kind: ExprKind::StructLit { path, fields, base },
+        }
+    }
+
+    /// Parses `name!(…)` — `pos` sits on the opening delimiter. Captures
+    /// the raw ident/string bag, then best-effort parses the top-level
+    /// `,`/`;`-separated segments as expressions.
+    fn macro_call(&mut self, name: String, line: usize) -> Expr {
+        let open = self.pos;
+        let mut raw_idents = Vec::new();
+        let mut strs = Vec::new();
+        self.skip_balanced(Some(&mut raw_idents), Some(&mut strs));
+        let close = self.pos.saturating_sub(1);
+        let inner: &[Tok] = if open < close {
+            &self.t[open + 1..close]
+        } else {
+            &[]
+        };
+        let mut args = Vec::new();
+        let mut depth = 0usize;
+        let mut seg_start = 0usize;
+        for (i, t) in inner.iter().enumerate() {
+            if t.kind == TokKind::Punct {
+                let c = t.text.as_bytes().first().copied().unwrap_or(0);
+                if matches!(c, b'(' | b'[' | b'{') {
+                    depth += 1;
+                } else if matches!(c, b')' | b']' | b'}') {
+                    depth = depth.saturating_sub(1);
+                } else if (c == b',' || c == b';') && depth == 0 {
+                    if let Some(e) = parse_expr_slice(&inner[seg_start..i]) {
+                        args.push(e);
+                    }
+                    seg_start = i + 1;
+                }
+            }
+        }
+        if let Some(e) = parse_expr_slice(&inner[seg_start.min(inner.len())..]) {
+            args.push(e);
+        }
+        Expr {
+            line,
+            kind: ExprKind::Macro {
+                name,
+                args,
+                raw_idents,
+                strs,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::model::FileModel;
+
+    fn parse(src: &str) -> Vec<Item> {
+        let m = FileModel::parse("x.rs", src);
+        let _ = m;
+        let code: Vec<Tok> = lex(src)
+            .into_iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    crate::lexer::TokKind::LineComment | crate::lexer::TokKind::BlockComment
+                )
+            })
+            .collect();
+        parse_items(&code)
+    }
+
+    fn first_fn(items: &[Item]) -> &Fun {
+        items
+            .iter()
+            .find_map(|i| match i {
+                Item::Fn(f) => Some(f),
+                _ => None,
+            })
+            .expect("no fn parsed")
+    }
+
+    #[test]
+    fn fn_signature_and_ret() {
+        let items = parse("fn f(a: Secret<Vec<R64>>, n: usize) -> Secret<u64> { a.open() }");
+        let f = first_fn(&items);
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].1.head, "Secret");
+        assert_eq!(f.params[0].1.args[0].head, "Vec");
+        assert!(f.ret.mentions("Secret"));
+    }
+
+    #[test]
+    fn nested_generics_with_shift_close() {
+        let items = parse("fn g(m: BTreeMap<String, Vec<Vec<u64>>>) -> usize { m.len() }");
+        let f = first_fn(&items);
+        assert_eq!(f.params[0].1.head, "BTreeMap");
+        assert!(f.params[0].1.mentions("u64"));
+        assert_eq!(f.ret.head, "usize");
+    }
+
+    #[test]
+    fn impl_fn_param_arrow_does_not_split_params() {
+        // The `->` inside the Fn trait must not eat the second param.
+        let items = parse("fn h(g: impl Fn(u64) -> Vec<u64>, share: F61) -> u64 { 0 }");
+        let f = first_fn(&items);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[1].1.head, "F61");
+    }
+
+    #[test]
+    fn const_generic_brace_is_not_fn_body() {
+        let items = parse("fn k() -> Foo<{ 1 >> 2 }> { make() }\nfn after() {}");
+        let names: Vec<&str> = items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Fn(f) => Some(f.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["k", "after"]);
+        let f = first_fn(&items);
+        assert_eq!(f.body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn where_clause_skipped() {
+        let items = parse("fn w<T>(x: T) -> T where T: Clone + Send, Vec<T>: IntoIterator { x }");
+        let f = first_fn(&items);
+        assert_eq!(f.name, "w");
+        assert!(f.body.tail().is_some());
+    }
+
+    #[test]
+    fn struct_fields_and_derives() {
+        let items = parse(
+            "#[derive(Clone, Debug)]\npub struct Pkt { pub label: String, shares: Secret<Vec<R64>> }",
+        );
+        let Some(Item::Struct(s)) = items.first() else {
+            panic!("expected struct");
+        };
+        assert_eq!(s.name, "Pkt");
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[1].0, "shares");
+        assert!(s.fields[1].1.mentions("Secret"));
+        assert!(s.derives.iter().any(|d| d == "Debug"));
+    }
+
+    #[test]
+    fn impl_methods_resolved_to_self_ty() {
+        let items = parse(
+            "impl<T> Secret<T> { pub fn open_via(&self) -> T { self.0 } }\n\
+             impl Render for Pkt { fn render(&self) -> String { format!(\"x\") } }",
+        );
+        let Some(Item::Impl(i1)) = items.first() else {
+            panic!("expected impl");
+        };
+        assert_eq!(i1.self_ty, "Secret");
+        assert_eq!(i1.fns[0].name, "open_via");
+        assert!(i1.fns[0].has_self);
+        let Some(Item::Impl(i2)) = items.get(1) else {
+            panic!("expected impl");
+        };
+        assert_eq!(i2.self_ty, "Pkt");
+        assert_eq!(i2.trait_name.as_deref(), Some("Render"));
+    }
+
+    #[test]
+    fn method_chain_and_field_projection() {
+        let items = parse("fn f(p: Pkt) { p.shares.iter().for_each(|s| drop(s)); }");
+        let f = first_fn(&items);
+        let Some(Stmt::Expr { expr, .. }) = f.body.stmts.first() else {
+            panic!("expected expr stmt");
+        };
+        // for_each(recv = iter() on field p.shares, arg = closure)
+        let ExprKind::MethodCall { recv, name, args } = &expr.kind else {
+            panic!("expected method call, got {expr:?}");
+        };
+        assert_eq!(name, "for_each");
+        assert!(matches!(args[0].kind, ExprKind::Closure { .. }));
+        let ExprKind::MethodCall {
+            recv: r2, name: n2, ..
+        } = &recv.kind
+        else {
+            panic!("expected inner call");
+        };
+        assert_eq!(n2, "iter");
+        assert_eq!(r2.place().as_deref(), Some("p.shares"));
+    }
+
+    #[test]
+    fn closures_params_and_captures() {
+        let items = parse("fn f() { let g = move |x: u64, y| x + y; g(1, 2); }");
+        let f = first_fn(&items);
+        let Some(Stmt::Let { init: Some(e), .. }) = f.body.stmts.first() else {
+            panic!("expected let");
+        };
+        let ExprKind::Closure { params, .. } = &e.kind else {
+            panic!("expected closure, got {e:?}");
+        };
+        assert_eq!(params.len(), 2);
+    }
+
+    #[test]
+    fn if_let_desugars_to_match() {
+        let items = parse("fn f(o: Option<u64>) { if let Some(v) = o { use_it(v); } }");
+        let f = first_fn(&items);
+        let Some(Stmt::Expr { expr, .. }) = f.body.stmts.first() else {
+            panic!("expected stmt");
+        };
+        let ExprKind::Match { arms, .. } = &expr.kind else {
+            panic!("expected match desugar, got {expr:?}");
+        };
+        assert_eq!(arms.len(), 2);
+        let mut binds = Vec::new();
+        arms[0].pat.bindings(&mut binds);
+        assert_eq!(binds, vec!["v"]);
+    }
+
+    #[test]
+    fn match_arms_with_struct_patterns() {
+        let items = parse(
+            "fn f(y: Y) -> u64 { match y { Y::Shared { qty, .. } => qty, Y::Plain(v) => v, _ => 0 } }",
+        );
+        let f = first_fn(&items);
+        let Some(Stmt::Expr { expr, .. }) = f.body.stmts.first() else {
+            panic!("expected stmt");
+        };
+        let ExprKind::Match { arms, .. } = &expr.kind else {
+            panic!("expected match");
+        };
+        assert_eq!(arms.len(), 3);
+        let mut b0 = Vec::new();
+        arms[0].pat.bindings(&mut b0);
+        assert_eq!(b0, vec!["qty"]);
+        let mut b1 = Vec::new();
+        arms[1].pat.bindings(&mut b1);
+        assert_eq!(b1, vec!["v"]);
+    }
+
+    #[test]
+    fn macro_args_and_inline_captures() {
+        let items = parse(r#"fn f(x: u64) { println!("v={:?} {x}", pkt.shares); }"#);
+        let f = first_fn(&items);
+        let Some(Stmt::Expr { expr, .. }) = f.body.stmts.first() else {
+            panic!("expected stmt");
+        };
+        let ExprKind::Macro {
+            name, args, strs, ..
+        } = &expr.kind
+        else {
+            panic!("expected macro, got {expr:?}");
+        };
+        assert_eq!(name, "println");
+        assert!(strs[0].contains("{x}"));
+        assert_eq!(args[1].place().as_deref(), Some("pkt.shares"));
+    }
+
+    #[test]
+    fn tuple_field_access() {
+        let items = parse("fn f(pair: (u64, Secret<R64>)) -> u64 { pair.0 }");
+        let f = first_fn(&items);
+        let tail = f.body.tail().expect("tail");
+        assert_eq!(tail.place().as_deref(), Some("pair.0"));
+        assert_eq!(f.params[0].1.args.len(), 2);
+        assert!(f.params[0]
+            .1
+            .tuple_elem(1)
+            .is_some_and(|t| t.mentions("Secret")));
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_fns() {
+        let items = parse("#[cfg(test)]\nmod tests { fn helper() {} #[test] fn t() {} }");
+        let Some(Item::Mod(m)) = items.first() else {
+            panic!("expected mod");
+        };
+        assert!(m.cfg_test);
+        for item in &m.items {
+            if let Item::Fn(f) = item {
+                assert!(f.is_test, "{} should be test-scoped", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn while_let_and_ranges_parse() {
+        let items = parse(
+            "fn f(mut it: I) { while let Some(x) = it.next() { use_it(x); } for i in 0..10 { g(i); } }",
+        );
+        let f = first_fn(&items);
+        assert!(f.body.stmts.len() >= 2);
+        let Some(Stmt::Expr { expr, .. }) = f.body.stmts.get(1) else {
+            panic!("expected for loop");
+        };
+        let ExprKind::ForLoop { iter, .. } = &expr.kind else {
+            panic!("expected for, got {expr:?}");
+        };
+        assert!(matches!(iter.kind, ExprKind::Range(_, _)));
+    }
+
+    #[test]
+    fn operators_classified() {
+        let items = parse("fn f(a: u64, b: u64) -> bool { (a % b) < (a / b) }");
+        let f = first_fn(&items);
+        let tail = f.body.tail().expect("tail");
+        let ExprKind::Binary(op, l, r) = &tail.kind else {
+            panic!("expected cmp, got {tail:?}");
+        };
+        assert_eq!(*op, BinOp::Lt);
+        assert!(matches!(l.kind, ExprKind::Binary(BinOp::Rem, _, _)));
+        assert!(matches!(r.kind, ExprKind::Binary(BinOp::Div, _, _)));
+    }
+
+    #[test]
+    fn shift_vs_comparison() {
+        let items = parse("fn f(a: u64) -> u64 { a << 3 >> 1 }");
+        let f = first_fn(&items);
+        let tail = f.body.tail().expect("tail");
+        assert!(matches!(tail.kind, ExprKind::Binary(BinOp::Shr, _, _)));
+    }
+
+    #[test]
+    fn struct_literal_vs_block() {
+        let items = parse("fn f() -> Pkt { Pkt { label: name(), shares: s } }");
+        let f = first_fn(&items);
+        let tail = f.body.tail().expect("tail");
+        let ExprKind::StructLit { path, fields, .. } = &tail.kind else {
+            panic!("expected struct lit, got {tail:?}");
+        };
+        assert_eq!(path, "Pkt");
+        assert_eq!(fields.len(), 2);
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in [
+            "fn f( { ) }",
+            "impl { fn }",
+            "fn g() { let = ; match { } }",
+            "struct S { x: , }",
+            "fn h() { a.b.(c) }",
+            "fn i() { x < < y }",
+        ] {
+            let _ = parse(src);
+        }
+    }
+}

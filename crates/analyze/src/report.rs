@@ -140,6 +140,46 @@ pub fn render_text(o: &Outcome) -> String {
     s
 }
 
+/// GitHub Actions workflow-command annotations: one
+/// `::error`/`::warning` line per unsuppressed finding, so findings show
+/// inline on the PR diff. Message text is percent-encoded per the
+/// workflow-command escaping rules (`%` → `%25`, newline → `%0A`,
+/// carriage return → `%0D`). A plain summary line follows for the log.
+pub fn render_github(o: &Outcome) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('%', "%25")
+            .replace('\r', "%0D")
+            .replace('\n', "%0A")
+    }
+    let mut s = String::new();
+    for j in &o.judged {
+        if j.suppressed {
+            continue;
+        }
+        let f = &j.finding;
+        let kind = match j.level {
+            Level::Deny => "error",
+            _ => "warning",
+        };
+        let _ = writeln!(
+            s,
+            "::{kind} file={},line={},title=dash-analyze[{}]::{}",
+            f.file,
+            f.line,
+            f.lint,
+            esc(&f.message)
+        );
+    }
+    let _ = writeln!(
+        s,
+        "dash-analyze: {} blocking, {} stale baseline entr{}",
+        o.blocking,
+        o.stale_baseline,
+        if o.stale_baseline == 1 { "y" } else { "ies" }
+    );
+    s
+}
+
 /// Machine-readable report (one JSON document on stdout).
 pub fn render_json(o: &Outcome) -> String {
     let mut s = String::from("{\n  \"findings\": [");
@@ -255,6 +295,28 @@ mod tests {
     #[test]
     fn unknown_lint_rejected() {
         assert!(Levels::default().set("nope", Level::Deny).is_err());
+    }
+
+    #[test]
+    fn github_annotations_escape_workflow_commands() {
+        let mut bad = f("panic-free", "a.unwrap()");
+        bad.message = "50% of cases\nbreak".to_string();
+        let o = judge(vec![bad], &Levels::default(), &Baseline::default());
+        let s = render_github(&o);
+        assert!(
+            s.contains("::error file=crates/mpc/src/x.rs,line=3,title=dash-analyze[panic-free]::"),
+            "{s}"
+        );
+        assert!(s.contains("50%25 of cases%0Abreak"), "{s}");
+        // Suppressed findings emit no annotation.
+        let findings = vec![f("panic-free", "a.unwrap()")];
+        let base = Baseline::from_findings(&findings, &Baseline::default(), "ok");
+        let o = judge(findings, &Levels::default(), &base);
+        assert!(
+            !render_github(&o).contains("::error"),
+            "{}",
+            render_github(&o)
+        );
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Seeded violation: closure-capture and combinator-body leaks.
+//!
+//! Neither leak mentions a tainted name inside the macro parentheses the
+//! token engine scans: the first hides the secret behind a captured
+//! closure called at the sink, the second behind a combinator parameter
+//! whose only appearance is an inline format-string capture. The AST
+//! engine propagates taint into closure captures and through combinator
+//! parameters on tainted receivers, and catches both.
+
+pub struct RoundBuf {
+    pub label: String,
+    pub rows: Secret<Vec<R64>>,
+}
+
+/// LEAK: `grab` captures the secret-bearing projection; calling it at
+/// the sink yields share material straight into the formatter.
+fn leak_capture(buf: RoundBuf, out: &mut Vec<String>) {
+    let grab = move || buf.rows;
+    out.push(format!("{:?}", grab()));
+}
+
+/// LEAK: the combinator body's parameter is a projection of the tainted
+/// receiver; the only mention is the inline capture inside the string.
+fn leak_combinator(s: &Secret<Vec<R64>>, out: &mut Vec<String>) {
+    s.map(|row| out.push(format!("{row:?}")));
+}
+
+/// Clean: the same shape over public words taints nothing.
+fn clean_combinator(xs: &[u64], out: &mut Vec<String>) {
+    xs.iter().map(|x| out.push(format!("{x}"))).count();
+}

@@ -1,0 +1,27 @@
+//! Seeded violation: a look-alike `open_via` on the wrong type.
+//!
+//! The token engine sanitizes by bare identifier, so any method named
+//! `open_via` ends a taint chain — including this one, which merely
+//! exposes the inner secret without recording anything. The AST engine
+//! resolves the receiver type: `RoundState::open_via` is *defined* here
+//! and `RoundState` is not an audited type, so the call is an ordinary
+//! method whose fixpoint verdict (returns projected secret material) is
+//! tainted, and the formatter downstream is flagged.
+
+pub struct RoundState {
+    pub inner: Secret<Vec<R64>>,
+}
+
+impl RoundState {
+    /// Same name as the audited primitive, none of its auditing.
+    pub fn open_via(&self) -> Vec<R64> {
+        self.inner.expose()
+    }
+}
+
+/// LEAK: `vals` comes from the fake open; the only sink mention is the
+/// inline capture.
+fn leak_dispatch(st: RoundState, out: &mut Vec<String>) {
+    let vals = st.open_via();
+    out.push(format!("{vals:?}"));
+}

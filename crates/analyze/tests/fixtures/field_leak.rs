@@ -1,0 +1,24 @@
+//! Seeded violation: field-projection leak through a secret-bearing
+//! wrapper struct.
+//!
+//! `Pkt` never mentions `Secret` in any function signature here, so the
+//! token-stream taint engine has nothing to seed on and misses the leak
+//! entirely. The AST engine closes the struct-field index transitively
+//! (`Pkt.share_vec: Secret<…>`), tracks the projection per-path, and
+//! flags exactly the secret field — the public sibling stays clean.
+
+pub struct Pkt {
+    pub label: String,
+    pub share_vec: Secret<Vec<R64>>,
+}
+
+/// Clean: formats only the public metadata field of the same value.
+fn describe_label(pkt: &Pkt, out: &mut Vec<String>) {
+    out.push(format!("packet {}", pkt.label));
+}
+
+/// LEAK: projects the `Secret`-bearing field into a formatter without an
+/// audited open.
+fn describe_payload(pkt: &Pkt, out: &mut Vec<String>) {
+    out.push(format!("payload {:?}", pkt.share_vec));
+}

@@ -1,0 +1,143 @@
+//! E15 — analyzer runtime over the full workspace.
+//!
+//! `dash-analyze` moved from a token-stream taint pass onto a real
+//! recursive-descent parser with a field-sensitive, closure-aware
+//! cross-function fixpoint (DESIGN.md §7). That precision is only
+//! affordable if the gate stays interactive: it runs on every
+//! `scripts/check.sh` invocation and in CI, so this experiment pins the
+//! median full-workspace analysis under a hard wall-clock budget and
+//! reports the AST engine's cost next to the legacy token engine it
+//! replaced. The run **asserts** the budget — a parser or fixpoint
+//! regression that makes the gate sluggish fails the experiment suite,
+//! not just developer patience.
+
+// Experiment/bench binaries may abort on broken preconditions: an unwrap
+// here fails the run loudly instead of printing a wrong table.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dash_analyze::{analyze_workspace_engine, Finding, TaintEngine};
+use dash_bench::table::{fmt_seconds, Table};
+use dash_bench::timing::time_median;
+use std::path::{Path, PathBuf};
+
+/// Hard wall-clock budget for one full-workspace AST analysis (median
+/// of 5 runs). The hand-rolled lexer/parser clocks in far below this on
+/// commodity hardware; the slack absorbs noisy shared CI machines.
+const BUDGET_S: f64 = 1.5;
+
+/// Walks up from the cwd to the workspace root; falls back to the
+/// compile-time manifest location so `cargo run` works from anywhere.
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root above crates/bench")
+        .to_path_buf()
+}
+
+/// Counts `.rs` files and source lines under `crates/`, skipping build
+/// output, to put the timings in throughput terms.
+fn workspace_stats(root: &Path) -> (usize, usize) {
+    let (mut files, mut lines) = (0usize, 0usize);
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(src) = std::fs::read_to_string(&path) {
+                    files += 1;
+                    lines += src.lines().count();
+                }
+            }
+        }
+    }
+    (files, lines)
+}
+
+fn taint_sites(findings: &[Finding]) -> usize {
+    findings
+        .iter()
+        .filter(|f| f.lint == "cross-function-taint")
+        .count()
+}
+
+fn main() {
+    let root = find_root();
+    let (files, lines) = workspace_stats(&root);
+    println!(
+        "E15: analyzer runtime (workspace at {}, {files} .rs files, {lines} lines)\n",
+        root.display()
+    );
+
+    let (t_ast, ast) = time_median(5, || {
+        analyze_workspace_engine(&root, TaintEngine::Ast).unwrap()
+    });
+    let (t_tok, tok) = time_median(5, || {
+        analyze_workspace_engine(&root, TaintEngine::Token).unwrap()
+    });
+
+    let mut t = Table::new(&["quantity", "value"]);
+    t.row(vec![
+        "workspace analysis, AST engine (median of 5)".into(),
+        fmt_seconds(t_ast.median_s),
+    ]);
+    t.row(vec![
+        "workspace analysis, token engine (median of 5)".into(),
+        fmt_seconds(t_tok.median_s),
+    ]);
+    t.row(vec![
+        "AST / token".into(),
+        format!("{:.2}x", t_ast.median_s / t_tok.median_s),
+    ]);
+    t.row(vec![
+        "AST throughput".into(),
+        format!("{:.0} klines/s", lines as f64 / t_ast.median_s / 1e3),
+    ]);
+    t.row(vec![
+        "findings (AST / token)".into(),
+        format!("{} / {}", ast.len(), tok.len()),
+    ]);
+    t.row(vec![
+        "cross-function-taint sites (AST / token)".into(),
+        format!("{} / {}", taint_sites(&ast), taint_sites(&tok)),
+    ]);
+    t.row(vec!["budget".into(), fmt_seconds(BUDGET_S)]);
+    t.print();
+
+    assert!(
+        t_ast.median_s < BUDGET_S,
+        "AST workspace analysis took {} — breaches the {} gate budget",
+        fmt_seconds(t_ast.median_s),
+        fmt_seconds(BUDGET_S)
+    );
+    // Sanity: the precision upgrade must not lose legacy coverage (the
+    // full site-level check is `dash-analyze --differential`).
+    assert!(
+        taint_sites(&ast) >= taint_sites(&tok),
+        "AST engine reports fewer cross-function-taint sites than the token engine"
+    );
+    println!(
+        "\nThe AST engine analyzes the workspace in {} ({:.0} klines/s), inside the \
+         {} budget — precise enough to gate every check.sh run without a cache.",
+        fmt_seconds(t_ast.median_s),
+        lines as f64 / t_ast.median_s / 1e3,
+        fmt_seconds(BUDGET_S)
+    );
+}

@@ -1,4 +1,4 @@
-//! Runs every experiment binary in sequence (E1–E14), separated by
+//! Runs every experiment binary in sequence (E1–E15), separated by
 //! banners — the one-command reproduction of EXPERIMENTS.md.
 //!
 //! Each experiment is an independent binary; this runner invokes their
@@ -26,6 +26,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp12_blocked_secure",
     "exp13_trace_overhead",
     "exp14_timing",
+    "exp15_analyze",
 ];
 
 fn main() {

@@ -22,6 +22,17 @@ echo "== static analysis (dash-analyze, all lints denied, cross-function taint)"
 # with a zero baseline.
 cargo run --release -p dash-analyze -- --deny all --format json
 
+echo "== analyzer differential (AST engine must cover the token engine)"
+# The AST taint engine replaced the token-stream pass; this guard runs
+# both over the workspace and fails if the AST engine misses any
+# cross-function-taint site the legacy engine still finds.
+cargo run --release -p dash-analyze -- --differential
+
+echo "== analyzer runtime budget (E15)"
+# The gate runs uncached on every sweep, so its own runtime is pinned:
+# E15 asserts the median full-workspace AST analysis stays under 1.5 s.
+./target/release/exp15_analyze
+
 echo "== analyzer baseline must stay empty"
 # The grandfathered secure-indexing sites were burned down to zero; the
 # gate is one-way. New findings get fixed or pragma'd with a written
@@ -68,7 +79,7 @@ DASH_TIMING_SAMPLES=2000 DASH_TIMING_THRESHOLD=8 DASH_TIMING_ENFORCE=1 \
 echo "== docs"
 cargo doc --workspace --no-deps
 
-echo "== experiments (E1..E14)"
+echo "== experiments (E1..E15)"
 cargo run --release -p dash-bench --bin run_all
 
 echo "== done"
