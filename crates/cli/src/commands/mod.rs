@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 pub mod meta;
+pub mod party;
 pub mod pca;
 pub mod perm;
 pub mod scan;
@@ -10,7 +11,9 @@ pub mod top;
 
 use crate::error::CliError;
 use dash_core::model::PartyData;
+use dash_core::secure::{AggregationMode, RFactorMode, SecureScanConfig, SecureScanOutput};
 use dash_gwas::io::read_matrix_tsv;
+use std::io::Write;
 use std::path::Path;
 
 /// Loads one dataset from a directory holding `y.tsv` (N×1), `x.tsv`
@@ -28,6 +31,99 @@ pub(crate) fn load_party_dir(dir: &Path) -> Result<PartyData, CliError> {
     let x = read_matrix_tsv(&dir.join("x.tsv"))?;
     let c = read_matrix_tsv(&dir.join("c.tsv"))?;
     Ok(PartyData::new(y, x, c)?)
+}
+
+/// Maps a `--mode` name to the matching security-ladder configuration
+/// (shared by `secure-scan` and `party` so the two paths cannot drift).
+pub(crate) fn mode_config(mode: &str, seed: u64) -> Result<SecureScanConfig, CliError> {
+    match mode {
+        "public" => Ok(SecureScanConfig {
+            rfactor: RFactorMode::PublicStack,
+            aggregation: AggregationMode::Public,
+            seed,
+            ..SecureScanConfig::default()
+        }),
+        "default" => Ok(SecureScanConfig::paper_default(seed)),
+        "star" => Ok(SecureScanConfig {
+            aggregation: AggregationMode::MaskedStar,
+            seed,
+            ..SecureScanConfig::default()
+        }),
+        "tree" => Ok(SecureScanConfig {
+            rfactor: RFactorMode::PairwiseTree,
+            aggregation: AggregationMode::MaskedPrg,
+            seed,
+            ..SecureScanConfig::default()
+        }),
+        "max" => Ok(SecureScanConfig::max_security(seed)),
+        other => Err(CliError::BadValue {
+            flag: "--mode".into(),
+            value: other.into(),
+            expected: "one of public|default|star|tree|max",
+        }),
+    }
+}
+
+/// Prints the standard secure-scan report (traffic, transport counters,
+/// blocked-pipeline summary, disclosure audit, top results). Shared by
+/// `secure-scan` and `party` so their outputs stay line-compatible —
+/// the multi-process smoke test parses both with the same patterns.
+pub(crate) fn report_secure_output(
+    out: &mut dyn Write,
+    output: &SecureScanOutput,
+    mode: &str,
+    block_size: Option<usize>,
+    threads: usize,
+    audit: bool,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "secure scan over {} parties, {} variants (mode: {mode})",
+        output.n_parties,
+        output.result.len()
+    )?;
+    writeln!(
+        out,
+        "traffic: {} bytes total, {} bytes worst party, {} messages",
+        output.network.total_bytes, output.network.max_party_bytes, output.network.total_messages
+    )?;
+    writeln!(
+        out,
+        "simulated network time: LAN {:.1} ms, WAN {:.1} ms",
+        output.network.lan_seconds * 1e3,
+        output.network.wan_seconds * 1e3
+    )?;
+    writeln!(
+        out,
+        "transport: {} send retries, {} receive timeouts",
+        output.network.total_retries, output.network.total_timeouts
+    )?;
+    if !output.per_block_bytes.is_empty() {
+        let block_total: u64 = output.per_block_bytes.iter().sum();
+        writeln!(
+            out,
+            "blocked pipeline: {} blocks of <= {} variants, {} bytes in block rounds ({} bytes/block avg), {} threads",
+            output.per_block_bytes.len(),
+            block_size.unwrap_or(0),
+            block_total,
+            block_total / output.per_block_bytes.len() as u64,
+            threads,
+        )?;
+    }
+    let per_party: usize = output
+        .disclosures
+        .iter()
+        .filter(|d| d.source_party.is_some())
+        .map(|d| d.scalars)
+        .sum();
+    writeln!(out, "per-party scalars disclosed: {per_party}")?;
+    if audit {
+        writeln!(out, "disclosure log:")?;
+        for d in &output.disclosures {
+            writeln!(out, "  {d}")?;
+        }
+    }
+    Ok(())
 }
 
 /// Loads `party0/ party1/ …` subdirectories of `dir`, in order.

@@ -1,0 +1,349 @@
+//! `dash party` — one protocol party as its own OS process over TCP.
+//!
+//! Where `dash secure-scan` simulates every party inside one process
+//! (threads over in-memory channels), `dash party` runs exactly one
+//! party against real sockets: launch P processes — one per data owner,
+//! on one machine or several — pointing each at its own data directory
+//! and the shared ordered peer list. The protocol, seeds, and framing
+//! are identical, so the results are bit-identical to the in-process
+//! run with the same `--seed`.
+//!
+//! ```text
+//! dash party --id 0 --peers 127.0.0.1:9100,127.0.0.1:9101,127.0.0.1:9102 \
+//!            --dir workload/party0 --out party0.tsv &
+//! dash party --id 1 --peers ... --dir workload/party1 --out party1.tsv &
+//! dash party --id 2 --peers ... --dir workload/party2 --out party2.tsv
+//! ```
+
+use crate::args::Flags;
+use crate::commands::{load_party_dir, mode_config, report_secure_output};
+use crate::error::CliError;
+use dash_core::secure::{secure_scan_party_with, TraceHandle};
+use dash_core::CoreError;
+use dash_gwas::io::write_scan_tsv;
+use dash_mpc::net::NetworkStats;
+use dash_mpc::tcp::{TcpConfig, TcpTransport};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+dash party — run ONE party of the secure scan as its own process (TCP)
+
+REQUIRED:
+    --id K          this party's index, 0-based, into the peer list
+    --peers LIST    comma-separated ordered addresses of ALL parties
+                    (host:port; entry K is this party's own address)
+    --dir DIR       this party's data directory with y.tsv / x.tsv / c.tsv
+
+OPTIONS:
+    --listen ADDR   bind address [default: the peer list's entry K]
+    --mode MODE     security mode: public | default | star | tree | max
+                    [default: default]
+    --out FILE      write results TSV here
+    --seed S        protocol seed — must match at every party [default: 42]
+    --run-id R      handshake run identifier; rejects peers from a
+                    different run [default: the protocol seed]
+    --audit BOOL    print the disclosure log (true/false) [default: true]
+
+OBSERVABILITY:
+    --trace-out FILE  write a dash-trace/1 JSON trace for this party
+    --metrics BOOL    print the per-party metrics summary [default: false]
+
+BLOCKED PIPELINE:
+    --block-size B  variant block size, or 'off' [default: 4096]
+    --threads T     worker threads for block compute, >= 1 [default: 1]
+
+TRANSPORT:
+    --deadline-ms N         per-receive deadline in ms [default: 60000]
+    --retries N             max send retries on transient failure [default: 3]
+    --backoff-ms N          initial retry backoff in ms [default: 1]
+    --connect-timeout-ms N  per-attempt dial/hello timeout in ms [default: 2000]
+    --connect-retries N     dial attempts per lower-id peer [default: 30]
+    --accept-timeout-ms N   total wait for higher-id peers in ms [default: 30000]";
+
+/// Parses the full ordered `host:port,host:port,…` peer list.
+fn parse_peers(raw: &str) -> Result<Vec<SocketAddr>, CliError> {
+    raw.split(',')
+        .map(|tok| {
+            tok.trim().parse().map_err(|_| CliError::BadValue {
+                flag: "--peers".into(),
+                value: tok.trim().to_string(),
+                expected: "a socket address (host:port)",
+            })
+        })
+        .collect()
+}
+
+/// Runs the subcommand.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, USAGE)?;
+    let id_raw = flags.required("id", USAGE)?;
+    let id: usize = id_raw.parse().map_err(|_| CliError::BadValue {
+        flag: "--id".into(),
+        value: id_raw,
+        expected: "a 0-based party index",
+    })?;
+    let peers = parse_peers(&flags.required("peers", USAGE)?)?;
+    let dir = PathBuf::from(flags.required("dir", USAGE)?);
+    let mode = flags.optional("mode").unwrap_or_else(|| "default".into());
+    let out_path = flags.optional("out").map(PathBuf::from);
+    let seed = flags.parse_or("seed", 42u64, "an integer seed")?;
+    let run_id = flags.parse_or("run-id", seed, "an integer run identifier")?;
+    let audit = flags.parse_or("audit", true, "true or false")?;
+    let trace_out = flags.optional("trace-out").map(PathBuf::from);
+    let metrics = flags.parse_or("metrics", false, "true or false")?;
+    let deadline_ms = flags.parse_or("deadline-ms", 60_000u64, "milliseconds")?;
+    let max_retries = flags.parse_or("retries", 3u32, "a retry count")?;
+    let retry_backoff_ms = flags.parse_or("backoff-ms", 1u64, "milliseconds")?;
+    let connect_timeout_ms = flags.parse_or("connect-timeout-ms", 2_000u64, "milliseconds")?;
+    let connect_retries = flags.parse_or("connect-retries", 30u32, "an attempt count")?;
+    let accept_timeout_ms = flags.parse_or("accept-timeout-ms", 30_000u64, "milliseconds")?;
+    let block_size = match flags.optional("block-size") {
+        None => Some(4096),
+        Some(raw) if raw == "off" => None,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(b) if b >= 1 => Some(b),
+            _ => {
+                return Err(CliError::BadValue {
+                    flag: "--block-size".into(),
+                    value: raw,
+                    expected: "a positive block size, or 'off' for the monolithic path",
+                })
+            }
+        },
+    };
+    let threads = flags.parse_or("threads", 1usize, "a positive integer")?;
+    if threads == 0 {
+        return Err(CliError::BadValue {
+            flag: "--threads".into(),
+            value: "0".into(),
+            expected: "a positive integer (use 1 for serial block compute)",
+        });
+    }
+    let listen = flags.optional("listen");
+    flags.reject_unknown(USAGE)?;
+
+    let n = peers.len();
+    if id >= n {
+        return Err(CliError::BadValue {
+            flag: "--id".into(),
+            value: id.to_string(),
+            expected: "an index into the --peers list",
+        });
+    }
+    if n < 2 {
+        return Err(CliError::BadValue {
+            flag: "--peers".into(),
+            value: n.to_string(),
+            expected: "at least two party addresses",
+        });
+    }
+
+    let mut cfg = mode_config(&mode, seed)?;
+    cfg.deadline_ms = deadline_ms;
+    cfg.max_retries = max_retries;
+    cfg.retry_backoff_ms = retry_backoff_ms;
+    cfg.block_size = block_size;
+    cfg.threads = threads;
+
+    let data = load_party_dir(&dir)?;
+
+    let trace = if trace_out.is_some() || metrics {
+        TraceHandle::enabled(n)
+    } else {
+        TraceHandle::disabled()
+    };
+    let stats = Arc::new(NetworkStats::with_trace(n, trace.clone()));
+    let own = listen.as_deref().unwrap_or("");
+    let bind_addr = if own.is_empty() {
+        peers.get(id).map(|a| a.to_string()).unwrap_or_default()
+    } else {
+        own.to_string()
+    };
+    let listener = TcpListener::bind(&bind_addr)?;
+    writeln!(
+        out,
+        "party {id} of {n} listening on {} (run id {run_id})",
+        listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or(bind_addr),
+    )?;
+    out.flush()?;
+
+    let tcp_cfg = TcpConfig {
+        run_id,
+        connect_timeout: Duration::from_millis(connect_timeout_ms),
+        connect_retries,
+        accept_timeout: Duration::from_millis(accept_timeout_ms),
+        ..TcpConfig::default()
+    };
+    let transport = TcpTransport::connect(id, listener, &peers, tcp_cfg, stats)
+        .map_err(|e| CliError::Core(CoreError::Mpc(e)))?;
+    writeln!(out, "party {id}: all {n} parties connected")?;
+    out.flush()?;
+
+    let output = secure_scan_party_with(&data, &cfg, transport)?;
+    report_secure_output(out, &output, &mode, block_size, threads, audit)?;
+    if metrics {
+        out.write_all(trace.summary().as_bytes())?;
+    }
+    super::scan::summarize(&output.result, out)?;
+    if let Some(path) = out_path {
+        write_scan_tsv(&path, &output.result)?;
+        writeln!(out, "results written to {}", path.display())?;
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(&path, trace.export_json()).map_err(CliError::Io)?;
+        writeln!(
+            out,
+            "trace written to {} ({} spans)",
+            path.display(),
+            trace.spans().len()
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn bad_id_and_peer_list_rejected() {
+        let mut buf = Vec::new();
+        let err = run(
+            &argv(&[
+                "--id",
+                "3",
+                "--peers",
+                "127.0.0.1:1,127.0.0.1:2",
+                "--dir",
+                "x",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--id"), "{err}");
+        let err = run(
+            &argv(&["--id", "0", "--peers", "127.0.0.1:1", "--dir", "x"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--peers"), "{err}");
+        let err = run(
+            &argv(&["--id", "0", "--peers", "not-an-addr", "--dir", "x"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("socket address"), "{err}");
+    }
+
+    #[test]
+    fn missing_required_flags_show_usage() {
+        let mut buf = Vec::new();
+        let err = run(&argv(&[]), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("--id"), "{err}");
+    }
+
+    /// Full in-test run: three `run()` calls on three threads over real
+    /// loopback sockets must agree bit-for-bit with the in-process scan.
+    #[test]
+    fn three_parties_over_loopback_match_inprocess() {
+        let dir = tmp_dir("party_cmd");
+        let datasets = [
+            toy_party(14, 4, 2, 21),
+            toy_party(11, 4, 2, 22),
+            toy_party(9, 4, 2, 23),
+        ];
+        for (i, p) in datasets.iter().enumerate() {
+            write_party(&dir.join(format!("party{i}")), p);
+        }
+        // Reserve three distinct loopback ports, then release them for
+        // the parties to bind (the race window is negligible in tests).
+        let holders: Vec<TcpListener> = (0..3)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let peers = holders
+            .iter()
+            .map(|l| l.local_addr().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        drop(holders);
+
+        let outputs: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let dir = dir.clone();
+                    let peers = peers.clone();
+                    s.spawn(move || {
+                        let res_file = dir.join(format!("res{i}.tsv"));
+                        let mut buf = Vec::new();
+                        run(
+                            &argv(&[
+                                "--id",
+                                &i.to_string(),
+                                "--peers",
+                                &peers,
+                                "--dir",
+                                dir.join(format!("party{i}")).to_str().unwrap(),
+                                "--seed",
+                                "99",
+                                "--audit",
+                                "false",
+                                "--out",
+                                res_file.to_str().unwrap(),
+                            ]),
+                            &mut buf,
+                        )
+                        .unwrap();
+                        String::from_utf8(buf).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, text) in outputs.iter().enumerate() {
+            assert!(
+                text.contains("secure scan over 3 parties"),
+                "party {i}: {text}"
+            );
+        }
+
+        // Reference: the in-process path with the same seed.
+        let cfg = dash_core::secure::SecureScanConfig {
+            block_size: Some(4096),
+            ..dash_core::secure::SecureScanConfig::paper_default(99)
+        };
+        let reference = dash_core::secure_scan(&datasets, &cfg).unwrap();
+        let ref_file = dir.join("ref.tsv");
+        write_scan_tsv(&ref_file, &reference.result).unwrap();
+        let want = std::fs::read_to_string(&ref_file).unwrap();
+        for i in 0..3 {
+            let got = std::fs::read_to_string(dir.join(format!("res{i}.tsv"))).unwrap();
+            assert_eq!(got, want, "party {i} results differ from in-process run");
+        }
+        // Each party reports its own outbound traffic; together the three
+        // processes account for exactly the in-process total.
+        let sent: u64 = outputs
+            .iter()
+            .map(|text| {
+                text.lines()
+                    .find(|l| l.starts_with("traffic:"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(sent, reference.network.total_bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

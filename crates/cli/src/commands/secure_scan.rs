@@ -1,11 +1,9 @@
 //! `dash secure-scan` — the multi-party protocol over party directories.
 
 use crate::args::Flags;
-use crate::commands::load_all_parties;
+use crate::commands::{load_all_parties, mode_config, report_secure_output};
 use crate::error::CliError;
-use dash_core::secure::{
-    secure_scan_traced, AggregationMode, RFactorMode, SecureScanConfig, TraceHandle,
-};
+use dash_core::secure::{secure_scan_traced, TraceHandle};
 use dash_gwas::io::write_scan_tsv;
 use dash_mpc::{CrashPoint, FaultPlan};
 use std::io::Write;
@@ -153,34 +151,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
     flags.reject_unknown(USAGE)?;
 
-    let mut cfg = match mode.as_str() {
-        "public" => SecureScanConfig {
-            rfactor: RFactorMode::PublicStack,
-            aggregation: AggregationMode::Public,
-            seed,
-            ..SecureScanConfig::default()
-        },
-        "default" => SecureScanConfig::paper_default(seed),
-        "star" => SecureScanConfig {
-            aggregation: AggregationMode::MaskedStar,
-            seed,
-            ..SecureScanConfig::default()
-        },
-        "tree" => SecureScanConfig {
-            rfactor: RFactorMode::PairwiseTree,
-            aggregation: AggregationMode::MaskedPrg,
-            seed,
-            ..SecureScanConfig::default()
-        },
-        "max" => SecureScanConfig::max_security(seed),
-        other => {
-            return Err(CliError::BadValue {
-                flag: "--mode".into(),
-                value: other.into(),
-                expected: "one of public|default|star|tree|max",
-            })
-        }
-    };
+    let mut cfg = mode_config(&mode, seed)?;
     cfg.deadline_ms = deadline_ms;
     cfg.max_retries = max_retries;
     cfg.retry_backoff_ms = retry_backoff_ms;
@@ -195,53 +166,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         TraceHandle::disabled()
     };
     let output = secure_scan_traced(&parties, &cfg, trace.clone())?;
-    writeln!(
-        out,
-        "secure scan over {} parties, {} variants (mode: {mode})",
-        output.n_parties,
-        output.result.len()
-    )?;
-    writeln!(
-        out,
-        "traffic: {} bytes total, {} bytes worst party, {} messages",
-        output.network.total_bytes, output.network.max_party_bytes, output.network.total_messages
-    )?;
-    writeln!(
-        out,
-        "simulated network time: LAN {:.1} ms, WAN {:.1} ms",
-        output.network.lan_seconds * 1e3,
-        output.network.wan_seconds * 1e3
-    )?;
-    writeln!(
-        out,
-        "transport: {} send retries, {} receive timeouts",
-        output.network.total_retries, output.network.total_timeouts
-    )?;
-    if !output.per_block_bytes.is_empty() {
-        let block_total: u64 = output.per_block_bytes.iter().sum();
-        writeln!(
-            out,
-            "blocked pipeline: {} blocks of <= {} variants, {} bytes in block rounds ({} bytes/block avg), {} threads",
-            output.per_block_bytes.len(),
-            block_size.unwrap_or(0),
-            block_total,
-            block_total / output.per_block_bytes.len() as u64,
-            threads,
-        )?;
-    }
-    let per_party: usize = output
-        .disclosures
-        .iter()
-        .filter(|d| d.source_party.is_some())
-        .map(|d| d.scalars)
-        .sum();
-    writeln!(out, "per-party scalars disclosed: {per_party}")?;
-    if audit {
-        writeln!(out, "disclosure log:")?;
-        for d in &output.disclosures {
-            writeln!(out, "  {d}")?;
-        }
-    }
+    report_secure_output(out, &output, &mode, block_size, threads, audit)?;
     if metrics {
         out.write_all(trace.summary().as_bytes())?;
     }

@@ -8,6 +8,7 @@
 //! dash simulate    --out DIR --samples 500,600 [--variants 1000] [--causal 10] …
 //! dash scan        --y y.tsv --x x.tsv --c c.tsv --out results.tsv
 //! dash secure-scan --dir DIR [--mode default|max|public] --out results.tsv
+//! dash party       --id K --peers HOST:PORT,… --dir DIR/partyK --out results.tsv
 //! dash meta        --dir DIR --out results.tsv
 //! dash top         --results results.tsv [--alpha 5e-8] [--limit 10]
 //! ```
@@ -34,6 +35,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "simulate" => commands::simulate::run(rest, out),
         "scan" => commands::scan::run(rest, out),
         "secure-scan" => commands::secure_scan::run(rest, out),
+        "party" => commands::party::run(rest, out),
         "meta" => commands::meta::run(rest, out),
         "pca" => commands::pca::run(rest, out),
         "perm" => commands::perm::run(rest, out),
@@ -59,6 +61,7 @@ COMMANDS:
     simulate     Generate a synthetic multi-party GWAS workload as TSV files
     scan         Plaintext association scan on one dataset
     secure-scan  Secure multi-party scan across party directories
+    party        Run ONE party of the secure scan over TCP (one process each)
     meta         Inverse-variance meta-analysis of per-party scans
     pca          Secure distributed PCA (ancestry covariates)
     perm         Max-T permutation scan (empirical FWER control)

@@ -33,13 +33,19 @@ pub(crate) mod wire;
 
 use crate::error::CoreError;
 use crate::model::{PartyData, ScanResult};
-use dash_mpc::audit::Disclosure;
+use dash_mpc::audit::{Disclosure, DisclosureLog};
 use dash_mpc::dealer::{PartyTriples, TrustedDealer};
-use dash_mpc::net::{CostModel, NetOptions, Network};
-use dash_mpc::transport::{FaultPlan, RetryPolicy, TransportConfig};
+use dash_mpc::net::{CostModel, NetOptions, Network, NetworkStats};
+use dash_mpc::party::PartyCtx;
+use dash_mpc::tcp::{TcpConfig, TcpTransport};
+use dash_mpc::transport::{
+    FaultPlan, FaultyTransport, FrameTransport, RetryPolicy, Transport, TransportConfig,
+};
 use dash_mpc::FixedPointCodec;
 pub use dash_obs::{Counter as TraceCounter, SpanRecord, TraceHandle};
 use parking_lot::Mutex;
+use std::net::TcpListener;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How the combined R factor of the pooled covariates is obtained.
@@ -347,6 +353,31 @@ fn validate_sources<S: SummandSource>(parties: &[S]) -> Result<(usize, usize, us
     Ok((n, m, k))
 }
 
+/// Validates the run-shape knobs of a configuration against the variant
+/// count (shared by the in-process and multi-process entry points).
+fn validate_config(cfg: &SecureScanConfig, m: usize) -> Result<(), CoreError> {
+    cfg.ring_codec()?;
+    cfg.field_codec()?;
+    if cfg.threads == 0 {
+        return Err(CoreError::BadConfig {
+            what: "threads must be >= 1 (use 1 for serial block compute)",
+        });
+    }
+    if let Some(b) = cfg.block_size {
+        if b == 0 {
+            return Err(CoreError::BadConfig {
+                what: "block_size must be >= 1 (or None for the monolithic path)",
+            });
+        }
+        if m.div_ceil(b) as u64 > dash_mpc::net::MAX_BLOCK_ID as u64 + 1 {
+            return Err(CoreError::BadConfig {
+                what: "too many variant blocks for the block tag range; raise block_size",
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Runs the full secure multi-party association scan over an in-process
 /// party network.
 ///
@@ -390,27 +421,9 @@ pub fn secure_scan_traced_with<S: SummandSource>(
 ) -> Result<SecureScanOutput, CoreError> {
     let (_n, m, k) = validate_sources(parties)?;
     let p = parties.len();
-    // Validate codecs eagerly so configuration errors surface before any
-    // thread spawns.
-    cfg.ring_codec()?;
-    cfg.field_codec()?;
-    if cfg.threads == 0 {
-        return Err(CoreError::BadConfig {
-            what: "threads must be >= 1 (use 1 for serial block compute)",
-        });
-    }
-    if let Some(b) = cfg.block_size {
-        if b == 0 {
-            return Err(CoreError::BadConfig {
-                what: "block_size must be >= 1 (or None for the monolithic path)",
-            });
-        }
-        if m.div_ceil(b) as u64 > dash_mpc::net::MAX_BLOCK_ID as u64 + 1 {
-            return Err(CoreError::BadConfig {
-                what: "too many variant blocks for the block tag range; raise block_size",
-            });
-        }
-    }
+    // Validate eagerly so configuration errors surface before any thread
+    // spawns.
+    validate_config(cfg, m)?;
 
     // Offline phase: deal Beaver material when the strict mode needs it.
     let triple_slots: Vec<Mutex<Option<PartyTriples>>> =
@@ -463,6 +476,227 @@ pub fn secure_scan_traced_with<S: SummandSource>(
     // The tag-keyed per-block counters must partition the run's total
     // traffic exactly: every frame is attributed to exactly one block or
     // to the unscoped protocol phases.
+    debug_assert_eq!(
+        stats.block_bytes_total() + stats.unscoped_bytes(),
+        stats.total_bytes(),
+        "per-block traffic counters must partition the run total"
+    );
+    let per_block_bytes = stats
+        .per_block_traffic()
+        .into_iter()
+        .map(|(_, bytes, _)| bytes)
+        .collect();
+    let network = NetworkReport::from_stats(&stats);
+    Ok(SecureScanOutput {
+        result: first,
+        network,
+        disclosures: audit.entries(),
+        n_parties: p,
+        per_block_bytes,
+    })
+}
+
+/// Runs **one party's** side of the secure scan over an externally
+/// established transport — a [`TcpTransport`] in a real multi-process
+/// deployment, or any [`FrameTransport`] in tests. This is the
+/// per-process counterpart of [`secure_scan_with`], which runs every
+/// party on threads of one process.
+///
+/// The Beaver offline phase is reproduced locally: the trusted dealer is
+/// a deterministic function of `(party count, seed)`, so every process
+/// deals the full output and keeps its own slice — bit-identical to the
+/// central dealing of the in-process path.
+///
+/// The returned [`SecureScanOutput`] is this process's view: `network`
+/// counts **own outbound** traffic only (receivers never record, so the
+/// sum over all party processes equals the in-process run's total), and
+/// `disclosures` holds the openings this party records (party 0 records
+/// the aggregates; per-party disclosures are recorded by their owner —
+/// the union over processes equals the in-process shared log).
+pub fn secure_scan_party_with<S, T>(
+    data: &S,
+    cfg: &SecureScanConfig,
+    transport: T,
+) -> Result<SecureScanOutput, CoreError>
+where
+    S: SummandSource,
+    T: FrameTransport + 'static,
+{
+    let id = transport.id();
+    let p = transport.n_parties();
+    let m = data.n_variants();
+    let k = data.covariates().cols();
+    if data.covariates().rows() != data.n_samples() {
+        return Err(CoreError::ShapeMismatch {
+            what: "covariate rows vs samples",
+            expected: data.n_samples(),
+            got: data.covariates().rows(),
+        });
+    }
+    validate_config(cfg, m)?;
+
+    let mut triples = if cfg.aggregation == AggregationMode::BeaverDots && k > 0 {
+        let mut dealer = TrustedDealer::new(p, cfg.seed)?;
+        dealer.deal_inners(k, 2 * m + 1).into_iter().nth(id)
+    } else {
+        None
+    };
+
+    let stats = Arc::clone(transport.stats());
+    let audit = DisclosureLog::new();
+    let boxed: Box<dyn Transport> = match cfg.faults {
+        Some(plan) => Box::new(FaultyTransport::new(transport, plan)),
+        None => Box::new(transport),
+    };
+    let mut ctx =
+        PartyCtx::with_transport(boxed, cfg.net_options().transport, cfg.seed, audit.clone());
+    let result = protocol::party_protocol_with(&mut ctx, data, cfg, triples.as_mut())?;
+    // Tear the socket mesh down before reporting so every reader thread
+    // has exited and the counters are final.
+    drop(ctx);
+
+    debug_assert_eq!(
+        stats.block_bytes_total() + stats.unscoped_bytes(),
+        stats.total_bytes(),
+        "per-block traffic counters must partition the process total"
+    );
+    let per_block_bytes = stats
+        .per_block_traffic()
+        .into_iter()
+        .map(|(_, bytes, _)| bytes)
+        .collect();
+    let network = NetworkReport::from_stats(&stats);
+    Ok(SecureScanOutput {
+        result,
+        network,
+        disclosures: audit.entries(),
+        n_parties: p,
+        per_block_bytes,
+    })
+}
+
+/// Runs the secure scan over **real loopback TCP sockets**, one
+/// [`TcpTransport`] per party thread — the full socket path (framing,
+/// handshake, reader threads) under one roof so tests and the check.sh
+/// smoke can assert bit-identical results and accounting against
+/// [`secure_scan_with`].
+///
+/// Unlike separate `dash party` processes, all parties share one
+/// [`NetworkStats`] and one [`DisclosureLog`] here, exactly like the
+/// in-process runner — so `network` and `disclosures` of the output are
+/// directly comparable (equal, for a deterministic protocol) to the
+/// mpsc run's.
+pub fn secure_scan_tcp_local<S: SummandSource>(
+    parties: &[S],
+    cfg: &SecureScanConfig,
+) -> Result<SecureScanOutput, CoreError> {
+    secure_scan_tcp_local_traced(parties, cfg, TraceHandle::disabled())
+}
+
+/// [`secure_scan_tcp_local`] with the shared counters mirroring into
+/// `trace`.
+pub fn secure_scan_tcp_local_traced<S: SummandSource>(
+    parties: &[S],
+    cfg: &SecureScanConfig,
+    trace: TraceHandle,
+) -> Result<SecureScanOutput, CoreError> {
+    let (_n, m, k) = validate_sources(parties)?;
+    let p = parties.len();
+    validate_config(cfg, m)?;
+
+    let triple_slots: Vec<Mutex<Option<PartyTriples>>> =
+        if cfg.aggregation == AggregationMode::BeaverDots && k > 0 {
+            let mut dealer = TrustedDealer::new(p, cfg.seed)?;
+            dealer
+                .deal_inners(k, 2 * m + 1)
+                .into_iter()
+                .map(|b| Mutex::new(Some(b)))
+                .collect()
+        } else {
+            (0..p).map(|_| Mutex::new(None)).collect()
+        };
+
+    // Rendezvous: bind every party's listener up front (port 0 → the OS
+    // assigns), so each thread knows the full address list.
+    let mut listeners = Vec::with_capacity(p);
+    let mut addrs = Vec::with_capacity(p);
+    for i in 0..p {
+        let l = TcpListener::bind("127.0.0.1:0").map_err(|e| {
+            CoreError::Mpc(dash_mpc::MpcError::Handshake {
+                peer: i,
+                reason: format!("bind loopback listener: {e}"),
+            })
+        })?;
+        let addr = l.local_addr().map_err(|e| {
+            CoreError::Mpc(dash_mpc::MpcError::Handshake {
+                peer: i,
+                reason: format!("read listener address: {e}"),
+            })
+        })?;
+        listeners.push(l);
+        addrs.push(addr);
+    }
+    let tcp_cfg = TcpConfig {
+        run_id: cfg.seed,
+        ..TcpConfig::default()
+    };
+
+    let stats = Arc::new(NetworkStats::with_trace(p, trace));
+    let audit = DisclosureLog::new();
+    let results: Vec<Result<ScanResult, CoreError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, listener)| {
+                let addrs = &addrs;
+                let stats = Arc::clone(&stats);
+                let audit = audit.clone();
+                let triple_slots = &triple_slots;
+                let handle = scope.spawn(move || -> Result<ScanResult, CoreError> {
+                    let data = parties.get(i).ok_or(CoreError::NoParties)?;
+                    let tcp = TcpTransport::connect(i, listener, addrs, tcp_cfg, stats)?;
+                    let transport: Box<dyn Transport> = match cfg.faults {
+                        Some(plan) => Box::new(FaultyTransport::new(tcp, plan)),
+                        None => Box::new(tcp),
+                    };
+                    let mut ctx = PartyCtx::with_transport(
+                        transport,
+                        cfg.net_options().transport,
+                        cfg.seed,
+                        audit,
+                    );
+                    let mut triples = triple_slots.get(i).and_then(|slot| slot.lock().take());
+                    protocol::party_protocol_with(&mut ctx, data, cfg, triples.as_mut())
+                });
+                (i, handle)
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(i, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(CoreError::Mpc(dash_mpc::MpcError::PartyFailed {
+                        party: i,
+                        reason: match CoreError::worker_panicked(payload.as_ref()) {
+                            CoreError::WorkerPanicked { reason } => reason,
+                            _ => "party thread panicked".to_string(),
+                        },
+                    }))
+                })
+            })
+            .collect()
+    });
+
+    let mut iter = results.into_iter();
+    let first = iter.next().ok_or(CoreError::NoParties)??;
+    for r in iter {
+        let r = r?;
+        debug_assert_eq!(
+            r, first,
+            "parties derived different results from identical opened values"
+        );
+    }
+
     debug_assert_eq!(
         stats.block_bytes_total() + stats.unscoped_bytes(),
         stats.total_bytes(),

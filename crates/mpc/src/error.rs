@@ -51,6 +51,16 @@ pub enum MpcError {
     /// words, so it cannot be decoded without silently dropping trailing
     /// bytes.
     MalformedPayload { from: usize, len: usize },
+    /// A peer sprayed more early-sequence frames than the per-link
+    /// reorder buffer holds. A correct peer under the supported fault
+    /// model stays far below the cap, so overflow means the peer is
+    /// misbehaving (or the link is corrupting sequence numbers); failing
+    /// structurally beats growing without bound.
+    ReorderOverflow { peer: usize, buffered: usize },
+    /// The TCP connect handshake with a peer failed: the peer answered
+    /// with a different run id or protocol version, claimed an impossible
+    /// party id, or the socket died before the hello exchange finished.
+    Handshake { peer: usize, reason: String },
     /// A send attempt failed transiently (injected fault or flaky link).
     /// Retryable: the retry policy resends with backoff, and the error
     /// only surfaces once retries are exhausted.
@@ -114,6 +124,13 @@ impl fmt::Display for MpcError {
                 f,
                 "malformed payload from party {from}: {len} bytes is not a whole number of words"
             ),
+            MpcError::ReorderOverflow { peer, buffered } => write!(
+                f,
+                "reorder buffer overflow: party {peer} has {buffered} early frames outstanding"
+            ),
+            MpcError::Handshake { peer, reason } => {
+                write!(f, "handshake with party {peer} failed: {reason}")
+            }
             MpcError::TransientFailure { peer } => {
                 write!(f, "transient send failure towards party {peer}")
             }
@@ -149,6 +166,22 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("1e20") || s.contains("100000000000000000000"));
         assert!(s.contains("32"));
+    }
+
+    #[test]
+    fn display_reorder_overflow_and_handshake() {
+        let e = MpcError::ReorderOverflow {
+            peer: 3,
+            buffered: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("party 3") && s.contains("1024"));
+        let e = MpcError::Handshake {
+            peer: 1,
+            reason: "run id mismatch".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("party 1") && s.contains("run id mismatch"));
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! - [`transport`]: the deadline-aware [`transport::Transport`] interface
 //!   protocols talk to, plus deterministic fault injection
 //!   ([`transport::FaultyTransport`]) for resilience testing.
+//! - [`tcp`]: the same contract over real sockets
+//!   ([`tcp::TcpTransport`]) — one OS process per party, length-prefixed
+//!   frames, deterministic connect handshake, identical error surface
+//!   and accounting to the in-process endpoint.
 //! - [`party`]: per-party protocol context tying network, randomness and
 //!   the [`audit`] disclosure log together.
 //! - [`dealer`]: trusted dealer producing Beaver scalar and inner-product
@@ -81,6 +85,7 @@ pub mod ring;
 pub mod secret;
 pub mod share;
 pub mod tags;
+pub mod tcp;
 pub mod transport;
 
 pub use audit::{Disclosure, DisclosureLog};
@@ -96,8 +101,9 @@ pub use party::PartyCtx;
 pub use dash_obs::{Counter as TraceCounter, SpanRecord, TraceHandle};
 pub use ring::R64;
 pub use secret::{OpenMode, ScalarCount, Secret};
+pub use tcp::{TcpConfig, TcpTransport};
 pub use transport::{
-    CrashPoint, FaultPlan, FaultyTransport, RetryPolicy, Transport, TransportConfig,
+    CrashPoint, FaultPlan, FaultyTransport, FrameTransport, RetryPolicy, Transport, TransportConfig,
 };
 
 /// Convenience alias used across the crate.

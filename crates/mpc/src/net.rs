@@ -37,6 +37,13 @@ pub const HEADER_BYTES: u64 = 20;
 /// trip it, finite so nothing blocks forever.
 pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(60);
 
+/// Most early (out-of-order) frames a receiver buffers per link before
+/// failing with [`MpcError::ReorderOverflow`]. The supported fault model
+/// inverts at most adjacent frames, so a well-behaved link never holds
+/// more than a handful; the cap exists so a misbehaving peer spraying
+/// far-future sequence numbers exhausts this bound instead of memory.
+pub const MAX_EARLY_FRAMES: usize = 1024;
+
 // The tag-space constants historically lived here; they now come from the
 // central registry in [`crate::tags`] and are re-exported for the existing
 // `dash_mpc::net::…` call sites and docs.
@@ -73,6 +80,16 @@ pub struct NetworkStats {
 }
 
 impl NetworkStats {
+    /// Standalone counters for `n` parties, mirroring into `trace` (pass
+    /// [`TraceHandle::disabled`] for the free path). The in-process
+    /// [`Network`] builds its shared counters internally; this
+    /// constructor exists for transports assembled by hand — one
+    /// [`crate::tcp::TcpTransport`] per OS process, for example — which
+    /// need the same single accounting point.
+    pub fn with_trace(n: usize, trace: TraceHandle) -> Self {
+        Self::new_traced(n, trace)
+    }
+
     fn new_traced(n: usize, trace: TraceHandle) -> Self {
         NetworkStats {
             n,
@@ -92,8 +109,12 @@ impl NetworkStats {
         &self.trace
     }
 
+    /// The single accounting point: every frame that reaches the wire —
+    /// mpsc or TCP — is recorded here exactly once, on the sender, so the
+    /// per-link counters, per-block attribution and the trace mirror can
+    /// never drift apart.
     #[inline]
-    fn record(&self, from: usize, to: usize, tag: u32, payload_len: usize) {
+    pub(crate) fn record(&self, from: usize, to: usize, tag: u32, payload_len: usize) {
         let nbytes = HEADER_BYTES + payload_len as u64;
         if let Some(b) = self.bytes.get(from * self.n + to) {
             b.fetch_add(nbytes, Ordering::Relaxed);
@@ -311,11 +332,89 @@ impl CostModel {
 /// Receiver-side state of one incoming link: the channel plus the
 /// in-order delivery machinery (next expected sequence number and a
 /// buffer of early arrivals).
+///
+/// Shared between the in-process [`Endpoint`] and the TCP transport
+/// (whose per-peer reader threads feed the same channel type), so both
+/// paths get identical dedup/reorder/overflow semantics.
 #[derive(Debug)]
-struct RecvState {
+pub(crate) struct RecvState {
     rx: Receiver<Message>,
     next_seq: u64,
     early: BTreeMap<u64, Message>,
+}
+
+impl RecvState {
+    pub(crate) fn new(rx: Receiver<Message>) -> Self {
+        RecvState {
+            rx,
+            next_seq: 0,
+            early: BTreeMap::new(),
+        }
+    }
+
+    /// Delivers the next in-order frame from the link, waiting at most
+    /// `deadline`. Duplicates (already-delivered sequence numbers) are
+    /// discarded; early arrivals are buffered — up to
+    /// [`MAX_EARLY_FRAMES`] of them — until their turn.
+    ///
+    /// The caller owns the error accounting: a returned
+    /// [`MpcError::Timeout`] has *not* been counted into any
+    /// [`NetworkStats`] yet.
+    pub(crate) fn recv_in_order(
+        &mut self,
+        from: usize,
+        tag: u32,
+        deadline: Duration,
+    ) -> Result<Message, MpcError> {
+        let start = Instant::now();
+        loop {
+            let expected = self.next_seq;
+            if let Some(msg) = self.early.remove(&expected) {
+                self.next_seq += 1;
+                return Ok(msg);
+            }
+            let remaining = match deadline.checked_sub(start.elapsed()) {
+                Some(r) if r > Duration::ZERO => r,
+                _ => {
+                    return Err(MpcError::Timeout {
+                        peer: from,
+                        tag,
+                        waited: start.elapsed(),
+                    });
+                }
+            };
+            match self.rx.recv_timeout(remaining) {
+                Ok(msg) if msg.seq < self.next_seq => continue, // duplicate
+                Ok(msg) if msg.seq == self.next_seq => {
+                    self.next_seq += 1;
+                    return Ok(msg);
+                }
+                Ok(msg) => {
+                    // Early arrival (reordered); hold until its turn. The
+                    // buffer is bounded: a peer spraying far-future
+                    // sequence numbers fails the link structurally
+                    // instead of exhausting memory.
+                    if self.early.len() >= MAX_EARLY_FRAMES {
+                        return Err(MpcError::ReorderOverflow {
+                            peer: from,
+                            buffered: self.early.len(),
+                        });
+                    }
+                    self.early.insert(msg.seq, msg);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(MpcError::Timeout {
+                        peer: from,
+                        tag,
+                        waited: start.elapsed(),
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(MpcError::ChannelClosed { peer: from });
+                }
+            }
+        }
+    }
 }
 
 /// One party's view of the network: senders to every peer, in-order
@@ -420,48 +519,11 @@ impl Endpoint {
                 id: from,
                 n_parties: self.n,
             })?;
-        let start = Instant::now();
-        let mut st = link.lock();
-        loop {
-            let expected = st.next_seq;
-            if let Some(msg) = st.early.remove(&expected) {
-                st.next_seq += 1;
-                return Ok(msg);
-            }
-            let remaining = match deadline.checked_sub(start.elapsed()) {
-                Some(r) if r > Duration::ZERO => r,
-                _ => {
-                    self.stats.record_timeout(self.id);
-                    return Err(MpcError::Timeout {
-                        peer: from,
-                        tag,
-                        waited: start.elapsed(),
-                    });
-                }
-            };
-            match st.rx.recv_timeout(remaining) {
-                Ok(msg) if msg.seq < st.next_seq => continue, // duplicate
-                Ok(msg) if msg.seq == st.next_seq => {
-                    st.next_seq += 1;
-                    return Ok(msg);
-                }
-                Ok(msg) => {
-                    // Early arrival (reordered); hold until its turn.
-                    st.early.insert(msg.seq, msg);
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    self.stats.record_timeout(self.id);
-                    return Err(MpcError::Timeout {
-                        peer: from,
-                        tag,
-                        waited: start.elapsed(),
-                    });
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(MpcError::ChannelClosed { peer: from });
-                }
-            }
+        let res = link.lock().recv_in_order(from, tag, deadline);
+        if let Err(MpcError::Timeout { .. }) = &res {
+            self.stats.record_timeout(self.id);
         }
+        res
     }
 
     /// Receives a raw byte payload from a peer, verifying the tag and
@@ -576,11 +638,7 @@ impl Network {
                 let (tx, rx) = channel();
                 *send_slot = Some(tx);
                 if let Some(recv_slot) = links.get_mut(j).and_then(|row| row.get_mut(i)) {
-                    *recv_slot = Some(Mutex::new(RecvState {
-                        rx,
-                        next_seq: 0,
-                        early: BTreeMap::new(),
-                    }));
+                    *recv_slot = Some(Mutex::new(RecvState::new(rx)));
                 }
             }
         }
@@ -889,6 +947,68 @@ mod tests {
         assert_eq!(eps[1].recv_words(0, 10).unwrap(), vec![100]);
         assert_eq!(eps[1].recv_words(0, 11).unwrap(), vec![101]);
         assert_eq!(eps[1].recv_words(0, 12).unwrap(), vec![102]);
+    }
+
+    #[test]
+    fn reorder_buffer_is_bounded() {
+        // Regression (satellite bugfix): the early-frame buffer used to
+        // grow without limit, so a peer spraying far-future sequence
+        // numbers exhausted memory. The receive must fail structurally
+        // once MAX_EARLY_FRAMES are buffered.
+        let (eps, _) = Network::endpoints(2).unwrap();
+        // Never send seq 0, so every frame is an early arrival.
+        for seq in 1..=(MAX_EARLY_FRAMES as u64 + 1) {
+            eps[0]
+                .send_frame(
+                    1,
+                    Message {
+                        seq,
+                        tag: 7,
+                        payload: vec![],
+                    },
+                )
+                .unwrap();
+        }
+        let err = eps[1].recv_words(0, 7).unwrap_err();
+        assert_eq!(
+            err,
+            MpcError::ReorderOverflow {
+                peer: 0,
+                buffered: MAX_EARLY_FRAMES
+            }
+        );
+    }
+
+    #[test]
+    fn reorder_buffer_below_cap_still_reorders() {
+        // Just under the cap everything is buffered and delivered in
+        // order once the gap frame arrives.
+        let (eps, _) = Network::endpoints(2).unwrap();
+        for seq in 1..MAX_EARLY_FRAMES as u64 {
+            eps[0]
+                .send_frame(
+                    1,
+                    Message {
+                        seq,
+                        tag: 3,
+                        payload: words_to_bytes(&[seq]),
+                    },
+                )
+                .unwrap();
+        }
+        eps[0]
+            .send_frame(
+                1,
+                Message {
+                    seq: 0,
+                    tag: 3,
+                    payload: words_to_bytes(&[0]),
+                },
+            )
+            .unwrap();
+        for seq in 0..MAX_EARLY_FRAMES as u64 {
+            assert_eq!(eps[1].recv_words(0, 3).unwrap(), vec![seq]);
+        }
     }
 
     #[test]

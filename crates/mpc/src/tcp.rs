@@ -1,0 +1,899 @@
+//! Real-socket transport: the [`Transport`] contract over TCP.
+//!
+//! One OS process per party. Frames are length-prefixed with the same
+//! per-link sequence numbers the in-process [`crate::net::Endpoint`]
+//! uses, received by per-peer reader threads that feed the shared
+//! [`RecvState`] in-order delivery machinery — so dedup, reorder
+//! buffering (bounded by [`crate::net::MAX_EARLY_FRAMES`]) and the
+//! structured error surface ([`MpcError::Timeout`],
+//! [`MpcError::ChannelClosed`], [`MpcError::MalformedPayload`],
+//! [`MpcError::ReorderOverflow`]) are byte-for-byte the semantics of the
+//! mpsc path. Every outgoing frame is counted at the same single
+//! accounting point ([`NetworkStats`], which mirrors into the `dash-obs`
+//! trace), so stats and trace totals stay bit-identical to an in-process
+//! run of the same protocol.
+//!
+//! Connection setup is deterministic: party `i` dials every lower id
+//! `j < i` (bounded connect retry with backoff) and accepts from every
+//! higher id, and both directions exchange a fixed 32-byte hello (magic,
+//! wire version, run id, party id, party count) before any protocol
+//! byte moves. Any mismatch is a structured [`MpcError::Handshake`].
+//!
+//! Threat model: this transport moves **plaintext shares** over TCP. On
+//! an untrusted network an eavesdropper seeing all links can reconstruct
+//! secrets; TLS (or an authenticated channel per link) is future work —
+//! see DESIGN.md §"Wire transport".
+
+use crate::error::MpcError;
+use crate::net::{
+    words_to_bytes, Message, NetworkStats, RecvState, DEFAULT_DEADLINE, HEADER_BYTES,
+};
+use crate::transport::{FrameTransport, Transport};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Hello preamble: magic, wire version, run id, party id, party count.
+const HELLO_MAGIC: [u8; 4] = *b"DSH1";
+/// Bumped on any framing or handshake layout change.
+const WIRE_VERSION: u32 = 1;
+/// Size of the fixed hello exchanged in both directions at connect time.
+const HELLO_BYTES: usize = 32;
+
+/// Largest payload a frame may carry (64 MiB). A header announcing more
+/// is treated as a malformed frame — the link fails structurally with
+/// [`MpcError::MalformedPayload`] instead of attempting the allocation.
+pub const MAX_FRAME_BYTES: u64 = 1 << 26;
+
+/// How often a blocked reader thread wakes to check the shutdown flag.
+/// Read timeouts are armed from the start (not at teardown) because a
+/// timeout set on an already-blocked `read` does not wake it.
+const READ_POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Pause between accept polls while waiting for higher-numbered peers.
+const ACCEPT_POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Longest a shutting-down reader keeps draining its socket while
+/// waiting for the peer's FIN before giving up and closing anyway.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Connect-time policy for one party process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Shared run identifier; the hello exchange rejects peers from a
+    /// different run (stale processes, wrong rendezvous).
+    pub run_id: u64,
+    /// Per-attempt TCP connect timeout when dialing a lower-id peer,
+    /// and the read timeout for hello exchanges.
+    pub connect_timeout: Duration,
+    /// Dial attempts per lower-id peer before giving up. Peers start in
+    /// arbitrary order, so early attempts routinely hit
+    /// connection-refused; the retry loop absorbs that window.
+    pub connect_retries: u32,
+    /// Sleep between dial attempts.
+    pub connect_backoff: Duration,
+    /// Total time to wait for every higher-id peer to dial in.
+    pub accept_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            run_id: 0,
+            connect_timeout: Duration::from_secs(2),
+            connect_retries: 30,
+            connect_backoff: Duration::from_millis(50),
+            accept_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Little-endian u64 at `off`, bounds-checked.
+fn le_u64(buf: &[u8], off: usize) -> Option<u64> {
+    let bytes: [u8; 8] = buf.get(off..off.checked_add(8)?)?.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
+}
+
+/// Little-endian u32 at `off`, bounds-checked.
+fn le_u32(buf: &[u8], off: usize) -> Option<u32> {
+    let bytes: [u8; 4] = buf.get(off..off.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}
+
+fn encode_hello(run_id: u64, party: u64, n: u64) -> [u8; HELLO_BYTES] {
+    let mut buf = [0u8; HELLO_BYTES];
+    for (dst, src) in buf.iter_mut().zip(
+        HELLO_MAGIC
+            .iter()
+            .copied()
+            .chain(WIRE_VERSION.to_le_bytes())
+            .chain(run_id.to_le_bytes())
+            .chain(party.to_le_bytes())
+            .chain(n.to_le_bytes()),
+    ) {
+        *dst = src;
+    }
+    buf
+}
+
+/// Parses and validates a hello against this run's parameters, returning
+/// the peer's claimed party id. `peer` only attributes the error.
+fn decode_hello(
+    buf: &[u8; HELLO_BYTES],
+    peer: usize,
+    run_id: u64,
+    n: usize,
+) -> Result<usize, MpcError> {
+    let fail = |reason: String| MpcError::Handshake { peer, reason };
+    if buf.get(..4) != Some(&HELLO_MAGIC) {
+        return Err(fail("bad magic (not a dash party?)".to_string()));
+    }
+    let version = le_u32(buf, 4).unwrap_or(0);
+    if version != WIRE_VERSION {
+        return Err(fail(format!(
+            "wire version mismatch: ours {WIRE_VERSION}, theirs {version}"
+        )));
+    }
+    let their_run = le_u64(buf, 8).unwrap_or(0);
+    if their_run != run_id {
+        return Err(fail(format!(
+            "run id mismatch: ours {run_id}, theirs {their_run}"
+        )));
+    }
+    let claimed = le_u64(buf, 16).unwrap_or(u64::MAX);
+    let their_n = le_u64(buf, 24).unwrap_or(0);
+    if their_n != n as u64 {
+        return Err(fail(format!(
+            "party count mismatch: ours {n}, theirs {their_n}"
+        )));
+    }
+    if claimed >= n as u64 {
+        return Err(fail(format!(
+            "claimed party id {claimed} out of range for {n} parties"
+        )));
+    }
+    Ok(claimed as usize)
+}
+
+/// Maps a socket error during the hello exchange with `peer`.
+fn hs_io(peer: usize, what: &str, e: &std::io::Error) -> MpcError {
+    MpcError::Handshake {
+        peer,
+        reason: format!("{what}: {e}"),
+    }
+}
+
+/// Dials `addr` with bounded retry: peers start in arbitrary order, so
+/// connection-refused is expected until the peer's listener is up.
+fn dial_with_retry(addr: SocketAddr, peer: usize, cfg: &TcpConfig) -> Result<TcpStream, MpcError> {
+    let mut last: Option<std::io::Error> = None;
+    for _attempt in 0..=cfg.connect_retries {
+        match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(cfg.connect_backoff);
+            }
+        }
+    }
+    let detail = last.map_or_else(|| "no attempts made".to_string(), |e| e.to_string());
+    Err(MpcError::Handshake {
+        peer,
+        reason: format!(
+            "connect to {addr} failed after {} attempts: {detail}",
+            cfg.connect_retries.saturating_add(1)
+        ),
+    })
+}
+
+/// Why a reader loop's blocking read ended.
+enum ReadStatus {
+    /// The buffer was filled completely.
+    Done,
+    /// The peer closed the connection; `partial` is true when the close
+    /// landed mid-frame.
+    Eof { partial: bool },
+    /// Our own transport is shutting down.
+    Shutdown,
+    /// An unrecoverable socket error.
+    Failed,
+}
+
+/// Fills `buf` from `stream`, tolerating read-timeout wakeups: partial
+/// progress is kept across `WouldBlock`/`TimedOut` (so a slow frame never
+/// desyncs the stream) and the shutdown flag is polled between reads.
+/// `std::io::Read::read_exact` must not be used here — it discards its
+/// partial progress on timeout errors.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> ReadStatus {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::Relaxed) {
+            return ReadStatus::Shutdown;
+        }
+        let Some(dst) = buf.get_mut(filled..) else {
+            return ReadStatus::Failed;
+        };
+        match stream.read(dst) {
+            Ok(0) => {
+                return ReadStatus::Eof {
+                    partial: filled > 0,
+                }
+            }
+            Ok(k) => filled = filled.saturating_add(k),
+            Err(e) => match e.kind() {
+                std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::Interrupted => continue,
+                // A reset after the peer finished sending is routine
+                // teardown (it closed with unread duplicates in flight);
+                // at a frame boundary treat it like EOF.
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::ConnectionAborted => {
+                    return ReadStatus::Eof {
+                        partial: filled > 0,
+                    }
+                }
+                _ => return ReadStatus::Failed,
+            },
+        }
+    }
+    ReadStatus::Done
+}
+
+/// Discards everything left on the socket until the peer's EOF (or a
+/// bounded deadline). Closing a TCP socket with unread bytes in its
+/// receive queue — absorbed duplicates, a peer's trailing frames — makes
+/// the kernel answer with RST instead of FIN, and an RST destroys
+/// in-flight data the peer may still need. Draining first guarantees the
+/// eventual close is a clean FIN whenever the peer closes within the
+/// deadline.
+fn drain_until_eof(stream: &mut TcpStream) {
+    let start = Instant::now();
+    let mut scratch = [0u8; 4096];
+    while start.elapsed() < DRAIN_DEADLINE {
+        match stream.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) => match e.kind() {
+                std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::Interrupted => continue,
+                _ => return,
+            },
+        }
+    }
+}
+
+/// One peer's reader loop: parse length-prefixed frames off the socket
+/// and feed them to the in-order delivery state. Exits on peer close,
+/// malformed input (after storing the structured error in the failure
+/// slot) or local shutdown; dropping `tx` is what surfaces
+/// [`MpcError::ChannelClosed`] to the protocol thread.
+fn reader_loop(
+    stream: &mut TcpStream,
+    from: usize,
+    tx: &Sender<Message>,
+    fail: &Mutex<Option<MpcError>>,
+    shutdown: &AtomicBool,
+) {
+    let mut header = [0u8; HEADER_BYTES as usize];
+    loop {
+        match read_full(stream, &mut header, shutdown) {
+            ReadStatus::Done => {}
+            ReadStatus::Eof { partial: false } => return,
+            ReadStatus::Shutdown => {
+                drain_until_eof(stream);
+                return;
+            }
+            ReadStatus::Eof { partial: true } | ReadStatus::Failed => {
+                *fail.lock() = Some(MpcError::ChannelClosed { peer: from });
+                return;
+            }
+        }
+        let (Some(seq), Some(tag), Some(len)) =
+            (le_u64(&header, 0), le_u32(&header, 8), le_u64(&header, 12))
+        else {
+            return; // unreachable: the header buffer is header-sized
+        };
+        if len > MAX_FRAME_BYTES {
+            *fail.lock() = Some(MpcError::MalformedPayload {
+                from,
+                len: usize::try_from(len).unwrap_or(usize::MAX),
+            });
+            return;
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_full(stream, &mut payload, shutdown) {
+            ReadStatus::Done => {}
+            ReadStatus::Shutdown => {
+                drain_until_eof(stream);
+                return;
+            }
+            ReadStatus::Eof { .. } | ReadStatus::Failed => {
+                *fail.lock() = Some(MpcError::ChannelClosed { peer: from });
+                return;
+            }
+        }
+        if tx.send(Message { seq, tag, payload }).is_err() {
+            return; // protocol side is gone; nothing left to deliver to
+        }
+    }
+}
+
+/// A party's socket mesh: one TCP connection per peer, with the same
+/// sequence-numbered framing, deadline-aware receives, accounting and
+/// error surface as the in-process [`crate::net::Endpoint`].
+#[derive(Debug)]
+pub struct TcpTransport {
+    id: usize,
+    n: usize,
+    /// Writer half of each peer link (index = peer id; self is `None`).
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    send_seqs: Vec<AtomicU64>,
+    /// Receiver half: the shared in-order delivery state fed by this
+    /// peer's reader thread.
+    links: Vec<Option<Mutex<RecvState>>>,
+    /// Structured reason a reader shut its link down (malformed frame,
+    /// torn connection); consulted when a receive sees the channel close.
+    fail: Vec<Arc<Mutex<Option<MpcError>>>>,
+    shutdown: Arc<AtomicBool>,
+    readers: Vec<JoinHandle<()>>,
+    stats: Arc<NetworkStats>,
+}
+
+impl TcpTransport {
+    /// Establishes the full peer mesh for party `id` and returns a ready
+    /// transport.
+    ///
+    /// `peers` lists every party's address in id order (`peers.len()` is
+    /// the party count); `listener` must already be bound to
+    /// `peers[id]`'s port (binding is the caller's job so tests can bind
+    /// port 0 and read the assigned address back). `stats` is this
+    /// process's accounting sink and must be sized for the same party
+    /// count.
+    ///
+    /// Blocks until every link is connected and handshaken or a bound
+    /// fails: dial retries are exhausted ([`MpcError::Handshake`]), the
+    /// accept window closes, or a peer presents a mismatched hello.
+    pub fn connect(
+        id: usize,
+        listener: TcpListener,
+        peers: &[SocketAddr],
+        cfg: TcpConfig,
+        stats: Arc<NetworkStats>,
+    ) -> Result<Self, MpcError> {
+        let n = peers.len();
+        if id >= n {
+            return Err(MpcError::NoSuchParty { id, n_parties: n });
+        }
+        if n < 2 {
+            return Err(MpcError::BadPartyCount {
+                n_parties: n,
+                min: 2,
+            });
+        }
+        if stats.n_parties() != n {
+            return Err(MpcError::Protocol {
+                what: "NetworkStats sized for a different party count",
+            });
+        }
+        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+
+        // Dial every lower-numbered peer; send our hello, check theirs.
+        for (j, addr) in peers.iter().copied().enumerate().take(id) {
+            let mut stream = dial_with_retry(addr, j, &cfg)?;
+            stream
+                .set_read_timeout(Some(cfg.connect_timeout))
+                .map_err(|e| hs_io(j, "set handshake read timeout", &e))?;
+            stream
+                .write_all(&encode_hello(cfg.run_id, id as u64, n as u64))
+                .map_err(|e| hs_io(j, "send hello", &e))?;
+            let mut hello = [0u8; HELLO_BYTES];
+            stream
+                .read_exact(&mut hello)
+                .map_err(|e| hs_io(j, "read hello", &e))?;
+            let claimed = decode_hello(&hello, j, cfg.run_id, n)?;
+            if claimed != j {
+                return Err(MpcError::Handshake {
+                    peer: j,
+                    reason: format!("dialed party {j} but peer claims id {claimed}"),
+                });
+            }
+            if let Some(slot) = streams.get_mut(j) {
+                *slot = Some(stream);
+            }
+        }
+
+        // Accept every higher-numbered peer; they identify themselves in
+        // their hello, we answer with ours.
+        let missing = |streams: &[Option<TcpStream>]| -> Option<usize> {
+            streams
+                .iter()
+                .enumerate()
+                .skip(id + 1)
+                .find(|(_, s)| s.is_none())
+                .map(|(j, _)| j)
+        };
+        if missing(&streams).is_some() {
+            listener.set_nonblocking(true).map_err(|e| {
+                hs_io(
+                    missing(&streams).unwrap_or(id),
+                    "set listener nonblocking",
+                    &e,
+                )
+            })?;
+        }
+        let accept_start = Instant::now();
+        while let Some(next_missing) = missing(&streams) {
+            if accept_start.elapsed() >= cfg.accept_timeout {
+                return Err(MpcError::Handshake {
+                    peer: next_missing,
+                    reason: format!(
+                        "accept window ({:?}) expired before party {next_missing} connected",
+                        cfg.accept_timeout
+                    ),
+                });
+            }
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| hs_io(next_missing, "set accepted socket blocking", &e))?;
+                    stream
+                        .set_read_timeout(Some(cfg.connect_timeout))
+                        .map_err(|e| hs_io(next_missing, "set handshake read timeout", &e))?;
+                    let mut hello = [0u8; HELLO_BYTES];
+                    stream
+                        .read_exact(&mut hello)
+                        .map_err(|e| hs_io(next_missing, "read hello", &e))?;
+                    let claimed = decode_hello(&hello, next_missing, cfg.run_id, n)?;
+                    let slot = streams.get_mut(claimed).ok_or(MpcError::Handshake {
+                        peer: claimed,
+                        reason: format!("claimed party id {claimed} out of range"),
+                    })?;
+                    if claimed <= id || slot.is_some() {
+                        return Err(MpcError::Handshake {
+                            peer: claimed,
+                            reason: format!(
+                                "party {claimed} dialed us but should not (duplicate or wrong direction)"
+                            ),
+                        });
+                    }
+                    stream
+                        .write_all(&encode_hello(cfg.run_id, id as u64, n as u64))
+                        .map_err(|e| hs_io(claimed, "send hello", &e))?;
+                    *slot = Some(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL_INTERVAL);
+                }
+                Err(e) => return Err(hs_io(next_missing, "accept", &e)),
+            }
+        }
+
+        // Wire up per-peer reader threads and the writer mesh.
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..n).map(|_| None).collect();
+        let mut links: Vec<Option<Mutex<RecvState>>> = (0..n).map(|_| None).collect();
+        let fail: Vec<Arc<Mutex<Option<MpcError>>>> =
+            (0..n).map(|_| Arc::new(Mutex::new(None))).collect();
+        let mut readers = Vec::with_capacity(n.saturating_sub(1));
+        for (j, slot) in streams.into_iter().enumerate() {
+            let Some(stream) = slot else { continue };
+            stream
+                .set_nodelay(true)
+                .map_err(|e| hs_io(j, "set TCP_NODELAY", &e))?;
+            let mut read_half = stream
+                .try_clone()
+                .map_err(|e| hs_io(j, "clone socket for reader", &e))?;
+            // Arm the poll timeout now: a timeout installed later would
+            // not wake a reader already blocked in read().
+            read_half
+                .set_read_timeout(Some(READ_POLL_INTERVAL))
+                .map_err(|e| hs_io(j, "set read poll interval", &e))?;
+            let (tx, rx) = channel();
+            let slot_fail = fail.get(j).cloned().unwrap_or_default();
+            let flag = Arc::clone(&shutdown);
+            readers.push(std::thread::spawn(move || {
+                reader_loop(&mut read_half, j, &tx, &slot_fail, &flag);
+            }));
+            if let Some(w) = writers.get_mut(j) {
+                *w = Some(Mutex::new(stream));
+            }
+            if let Some(l) = links.get_mut(j) {
+                *l = Some(Mutex::new(RecvState::new(rx)));
+            }
+        }
+
+        Ok(TcpTransport {
+            id,
+            n,
+            writers,
+            send_seqs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            links,
+            fail,
+            shutdown,
+            readers,
+            stats,
+        })
+    }
+
+    /// Allocates the next wire sequence number for the link to `to`.
+    fn alloc_seq_inner(&self, to: usize) -> Result<u64, MpcError> {
+        if to == self.id {
+            return Err(MpcError::NoSuchParty {
+                id: to,
+                n_parties: self.n,
+            });
+        }
+        self.send_seqs
+            .get(to)
+            .map(|s| s.fetch_add(1, Ordering::Relaxed))
+            .ok_or(MpcError::NoSuchParty {
+                id: to,
+                n_parties: self.n,
+            })
+    }
+
+    /// Ships one frame: record at the single accounting point (the same
+    /// sender-side ordering as the in-process endpoint), then write
+    /// `seq | tag | len | payload` in one buffered syscall.
+    fn send_frame_inner(&self, to: usize, msg: Message) -> Result<(), MpcError> {
+        let writer =
+            self.writers
+                .get(to)
+                .and_then(|w| w.as_ref())
+                .ok_or(MpcError::NoSuchParty {
+                    id: to,
+                    n_parties: self.n,
+                })?;
+        self.stats.record(self.id, to, msg.tag, msg.payload.len());
+        let mut buf = Vec::with_capacity(HEADER_BYTES as usize + msg.payload.len());
+        buf.extend_from_slice(&msg.seq.to_le_bytes());
+        buf.extend_from_slice(&msg.tag.to_le_bytes());
+        buf.extend_from_slice(&(msg.payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&msg.payload);
+        writer
+            .lock()
+            .write_all(&buf)
+            .map_err(|_| MpcError::ChannelClosed { peer: to })
+    }
+
+    /// In-order deadline-aware receive, translating a closed channel
+    /// into the reader's stored structured reason when one exists.
+    fn recv_frame(&self, from: usize, tag: u32, deadline: Duration) -> Result<Message, MpcError> {
+        let link = self
+            .links
+            .get(from)
+            .and_then(|l| l.as_ref())
+            .ok_or(MpcError::NoSuchParty {
+                id: from,
+                n_parties: self.n,
+            })?;
+        let res = link.lock().recv_in_order(from, tag, deadline);
+        match res {
+            Err(MpcError::Timeout { peer, tag, waited }) => {
+                self.stats.record_timeout(self.id);
+                Err(MpcError::Timeout { peer, tag, waited })
+            }
+            Err(MpcError::ChannelClosed { peer }) => {
+                let stored = self.fail.get(from).and_then(|f| f.lock().clone());
+                Err(stored.unwrap_or(MpcError::ChannelClosed { peer }))
+            }
+            other => other,
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn n_parties(&self) -> usize {
+        self.n
+    }
+
+    fn stats(&self) -> &Arc<NetworkStats> {
+        &self.stats
+    }
+
+    fn send_words(&self, to: usize, tag: u32, words: &[u64]) -> Result<(), MpcError> {
+        let seq = self.alloc_seq_inner(to)?;
+        self.send_frame_inner(
+            to,
+            Message {
+                seq,
+                tag,
+                payload: words_to_bytes(words),
+            },
+        )
+    }
+
+    fn recv_words_timeout(
+        &self,
+        from: usize,
+        expected_tag: u32,
+        deadline: Duration,
+    ) -> Result<Vec<u64>, MpcError> {
+        let msg = self.recv_frame(from, expected_tag, deadline)?;
+        if msg.tag != expected_tag {
+            return Err(MpcError::UnexpectedMessage {
+                expected_tag,
+                got_tag: msg.tag,
+                from,
+            });
+        }
+        if msg.payload.len() % 8 != 0 {
+            return Err(MpcError::MalformedPayload {
+                from,
+                len: msg.payload.len(),
+            });
+        }
+        Ok(msg
+            .payload
+            .chunks_exact(8)
+            .map(|c| {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(c);
+                u64::from_le_bytes(w)
+            })
+            .collect())
+    }
+
+    fn recv_words(&self, from: usize, tag: u32) -> Result<Vec<u64>, MpcError> {
+        self.recv_words_timeout(from, tag, DEFAULT_DEADLINE)
+    }
+}
+
+impl FrameTransport for TcpTransport {
+    fn alloc_seq(&self, to: usize) -> Result<u64, MpcError> {
+        self.alloc_seq_inner(to)
+    }
+    fn send_frame(&self, to: usize, msg: Message) -> Result<(), MpcError> {
+        self.send_frame_inner(to, msg)
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for w in self.writers.iter().flatten() {
+            // Write-side shutdown only: it sends FIN but preserves
+            // in-flight data for the peer, where Shutdown::Both/Read on
+            // a socket with unread bytes (e.g. absorbed duplicates)
+            // would RST and destroy data the peer still needs.
+            let _ = w.lock().shutdown(Shutdown::Write);
+        }
+        for h in self.readers.drain(..) {
+            // Readers poll the shutdown flag at READ_POLL_INTERVAL, so
+            // each join resolves within one poll period.
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_obs::TraceHandle;
+
+    fn test_cfg(run_id: u64) -> TcpConfig {
+        TcpConfig {
+            run_id,
+            connect_timeout: Duration::from_secs(2),
+            connect_retries: 40,
+            connect_backoff: Duration::from_millis(10),
+            accept_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Binds `n` loopback listeners and connects a full mesh, one
+    /// transport per simulated "process" (each with its own stats).
+    fn connect_mesh(n: usize, run_id: u64) -> Vec<TcpTransport> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let mut out: Vec<Option<TcpTransport>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = listeners
+                .into_iter()
+                .enumerate()
+                .map(|(i, listener)| {
+                    let addrs = addrs.clone();
+                    scope.spawn(move || {
+                        let stats = Arc::new(NetworkStats::with_trace(n, TraceHandle::disabled()));
+                        TcpTransport::connect(i, listener, &addrs, test_cfg(run_id), stats)
+                    })
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                out[i] = Some(h.join().unwrap().unwrap());
+            }
+        });
+        out.into_iter().map(|t| t.unwrap()).collect()
+    }
+
+    #[test]
+    fn loopback_roundtrip_and_accounting() {
+        let mesh = connect_mesh(2, 7);
+        mesh[0].send_words(1, 5, &[1, 2, 3]).unwrap();
+        assert_eq!(mesh[1].recv_words(0, 5).unwrap(), vec![1, 2, 3]);
+        mesh[1].send_words(0, 6, &[9]).unwrap();
+        assert_eq!(mesh[0].recv_words(1, 6).unwrap(), vec![9]);
+        // Sender-side accounting matches the in-process endpoint's
+        // charge: header plus payload, on the sender's own stats.
+        assert_eq!(mesh[0].stats().bytes_between(0, 1), HEADER_BYTES + 24);
+        assert_eq!(mesh[0].stats().messages_between(0, 1), 1);
+        assert_eq!(mesh[1].stats().bytes_between(1, 0), HEADER_BYTES + 8);
+    }
+
+    #[test]
+    fn three_party_all_to_all() {
+        let mesh = connect_mesh(3, 21);
+        std::thread::scope(|scope| {
+            for t in &mesh {
+                scope.spawn(move || {
+                    let me = t.id() as u64;
+                    for j in 0..t.n_parties() {
+                        if j != t.id() {
+                            t.send_words(j, 40, &[me]).unwrap();
+                        }
+                    }
+                    let mut sum = me;
+                    for j in 0..t.n_parties() {
+                        if j != t.id() {
+                            sum += t.recv_words(j, 40).unwrap()[0];
+                        }
+                    }
+                    assert_eq!(sum, 3);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn reordered_and_duplicate_frames_recover() {
+        // The TCP receive path reuses the same in-order machinery as the
+        // mpsc endpoint: frames shipped out of wire order (distinct
+        // seqs) and duplicates are absorbed.
+        let mesh = connect_mesh(2, 3);
+        let frame = |seq: u64, tag: u32, word: u64| Message {
+            seq,
+            tag,
+            payload: words_to_bytes(&[word]),
+        };
+        // Allocate seqs 0..3 but ship 1, 0, 0-again, 2.
+        for _ in 0..3 {
+            mesh[0].alloc_seq(1).unwrap();
+        }
+        mesh[0].send_frame(1, frame(1, 11, 101)).unwrap();
+        mesh[0].send_frame(1, frame(0, 10, 100)).unwrap();
+        mesh[0].send_frame(1, frame(0, 10, 100)).unwrap();
+        mesh[0].send_frame(1, frame(2, 12, 102)).unwrap();
+        assert_eq!(mesh[1].recv_words(0, 10).unwrap(), vec![100]);
+        assert_eq!(mesh[1].recv_words(0, 11).unwrap(), vec![101]);
+        assert_eq!(mesh[1].recv_words(0, 12).unwrap(), vec![102]);
+    }
+
+    #[test]
+    fn recv_deadline_expires_with_structured_error() {
+        let mesh = connect_mesh(2, 9);
+        let start = Instant::now();
+        let err = mesh[1]
+            .recv_words_timeout(0, 4, Duration::from_millis(40))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MpcError::Timeout {
+                peer: 0,
+                tag: 4,
+                ..
+            }
+        ));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(mesh[1].stats().timeouts_by(1), 1);
+    }
+
+    #[test]
+    fn peer_teardown_surfaces_channel_closed() {
+        let mut mesh = connect_mesh(2, 11);
+        let b = mesh.pop().unwrap();
+        drop(mesh); // party 0 closes its sockets (FIN)
+        let err = b
+            .recv_words_timeout(0, 1, Duration::from_secs(5))
+            .unwrap_err();
+        assert_eq!(err, MpcError::ChannelClosed { peer: 0 });
+    }
+
+    #[test]
+    fn run_id_mismatch_fails_handshake() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        let mut cfg1 = test_cfg(1);
+        cfg1.connect_retries = 2;
+        let (r0, r1) = std::thread::scope(|scope| {
+            let a0 = addrs.clone();
+            let h0 = scope.spawn(move || {
+                let stats = Arc::new(NetworkStats::with_trace(2, TraceHandle::disabled()));
+                TcpTransport::connect(0, l0, &a0, test_cfg(7), stats)
+            });
+            let a1 = addrs.clone();
+            let h1 = scope.spawn(move || {
+                let stats = Arc::new(NetworkStats::with_trace(2, TraceHandle::disabled()));
+                TcpTransport::connect(1, l1, &a1, cfg1, stats)
+            });
+            (h0.join().unwrap(), h1.join().unwrap())
+        });
+        // The accepting side (party 0) sees the mismatched hello; the
+        // dialer either gets party 0's aborted socket or its retries run
+        // out. Both must fail with a structured handshake error.
+        match r0.unwrap_err() {
+            MpcError::Handshake { peer: 1, reason } => {
+                assert!(reason.contains("run id"), "reason = {reason:?}");
+            }
+            other => panic!("expected Handshake, got {other:?}"),
+        }
+        assert!(matches!(
+            r1.unwrap_err(),
+            MpcError::Handshake { peer: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_len_is_malformed_payload() {
+        // A raw socket impersonates party 0 (correct hello, then a frame
+        // announcing an absurd length): party 1 must fail structurally,
+        // not allocate or hang.
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        let fake = std::thread::spawn(move || {
+            let (mut s, _) = l0.accept().unwrap();
+            let mut hello = [0u8; HELLO_BYTES];
+            s.read_exact(&mut hello).unwrap();
+            s.write_all(&encode_hello(5, 0, 2)).unwrap();
+            // seq 0, tag 1, len = 2^40 — far over MAX_FRAME_BYTES.
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&0u64.to_le_bytes());
+            frame.extend_from_slice(&1u32.to_le_bytes());
+            frame.extend_from_slice(&(1u64 << 40).to_le_bytes());
+            s.write_all(&frame).unwrap();
+            // Hold the socket open so EOF cannot race the parse.
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let stats = Arc::new(NetworkStats::with_trace(2, TraceHandle::disabled()));
+        let t = TcpTransport::connect(1, l1, &addrs, test_cfg(5), stats).unwrap();
+        let err = t
+            .recv_words_timeout(0, 1, Duration::from_secs(5))
+            .unwrap_err();
+        assert!(
+            matches!(err, MpcError::MalformedPayload { from: 0, .. }),
+            "got {err:?}"
+        );
+        fake.join().unwrap();
+    }
+
+    #[test]
+    fn hello_encode_decode_roundtrip() {
+        let buf = encode_hello(42, 2, 3);
+        assert_eq!(decode_hello(&buf, 2, 42, 3).unwrap(), 2);
+        assert!(matches!(
+            decode_hello(&buf, 2, 43, 3),
+            Err(MpcError::Handshake { peer: 2, .. })
+        ));
+        assert!(matches!(
+            decode_hello(&buf, 2, 42, 4),
+            Err(MpcError::Handshake { .. })
+        ));
+        let mut bad = buf;
+        bad[0] = b'X';
+        assert!(decode_hello(&bad, 2, 42, 3).is_err());
+    }
+}

@@ -71,6 +71,31 @@ impl Transport for Endpoint {
     }
 }
 
+/// A [`Transport`] that also exposes its framing layer: wire
+/// sequence-number allocation and raw frame shipping. The fault injector
+/// sits on this interface so it can duplicate, reorder and hold back
+/// individual frames below the retry layer; both the in-process
+/// [`Endpoint`] and the socket-backed [`crate::tcp::TcpTransport`]
+/// implement it, which is what lets the same deterministic fault plans
+/// run over real TCP.
+pub trait FrameTransport: Transport {
+    /// Allocates the next sequence number for the link to `to`,
+    /// validating that the link exists.
+    fn alloc_seq(&self, to: usize) -> Result<u64, MpcError>;
+    /// Ships an already-framed message, recording its cost at the
+    /// transport's single accounting point.
+    fn send_frame(&self, to: usize, msg: Message) -> Result<(), MpcError>;
+}
+
+impl FrameTransport for Endpoint {
+    fn alloc_seq(&self, to: usize) -> Result<u64, MpcError> {
+        Endpoint::alloc_seq(self, to)
+    }
+    fn send_frame(&self, to: usize, msg: Message) -> Result<(), MpcError> {
+        Endpoint::send_frame(self, to, msg)
+    }
+}
+
 /// Bounded resend policy for transient send failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -205,15 +230,16 @@ struct HeldFrame {
     msg: Message,
 }
 
-/// Fault-injecting wrapper around an [`Endpoint`].
+/// Fault-injecting wrapper around any [`FrameTransport`] (the in-process
+/// [`Endpoint`] by default; the TCP transport for socket runs).
 ///
 /// All faults act on the send side: the wrapped party's outgoing traffic
 /// is delayed, dropped, duplicated, reordered or refused according to
 /// the [`FaultPlan`]; a [`CrashPoint`] makes every transport call fail
 /// once the party has completed its quota of sends.
 #[derive(Debug)]
-pub struct FaultyTransport {
-    inner: Endpoint,
+pub struct FaultyTransport<T: FrameTransport = Endpoint> {
+    inner: T,
     plan: FaultPlan,
     /// Completed sends (crash-point bookkeeping).
     sends: AtomicU64,
@@ -226,10 +252,10 @@ pub struct FaultyTransport {
     holdback: Mutex<Vec<Option<Message>>>,
 }
 
-impl FaultyTransport {
+impl<T: FrameTransport> FaultyTransport<T> {
     /// Wraps `inner`, injecting faults per `plan`.
-    pub fn new(inner: Endpoint, plan: FaultPlan) -> Self {
-        let n = Endpoint::n_parties(&inner);
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        let n = inner.n_parties();
         FaultyTransport {
             inner,
             plan,
@@ -243,7 +269,7 @@ impl FaultyTransport {
 
     fn crash_error(&self) -> MpcError {
         MpcError::PartyFailed {
-            party: Endpoint::id(&self.inner),
+            party: self.inner.id(),
             reason: "injected crash fault".to_string(),
         }
     }
@@ -257,13 +283,7 @@ impl FaultyTransport {
     }
 
     fn roll(&self, to: usize, idx: u64, salt: u64) -> f64 {
-        fate_roll(fate_hash(
-            self.plan.seed,
-            Endpoint::id(&self.inner),
-            to,
-            idx,
-            salt,
-        ))
+        fate_roll(fate_hash(self.plan.seed, self.inner.id(), to, idx, salt))
     }
 
     /// Releases a frame held back for `to`, if any.
@@ -274,19 +294,44 @@ impl FaultyTransport {
         }
         Ok(())
     }
+
+    /// Releases every held-back frame. Called before the party blocks on
+    /// a receive: a frame parked "behind the next send to the same peer"
+    /// would otherwise deadlock any request-response round in which that
+    /// next send is *caused by* the parked frame arriving (both sides
+    /// blocked, nobody sending, everyone burning their deadline). A peer
+    /// that already finished and closed its link just loses the frame —
+    /// indistinguishable from a drop, so a closed channel is tolerated
+    /// exactly like the duplicate-delivery path.
+    fn flush_all_holdbacks(&self) -> Result<(), MpcError> {
+        let held: Vec<HeldFrame> = self
+            .holdback
+            .lock()
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(to, slot)| slot.take().map(|msg| HeldFrame { to, msg }))
+            .collect();
+        for h in held {
+            match self.inner.send_frame(h.to, h.msg) {
+                Err(MpcError::ChannelClosed { .. }) => {}
+                other => other?,
+            }
+        }
+        Ok(())
+    }
 }
 
-impl Transport for FaultyTransport {
+impl<T: FrameTransport> Transport for FaultyTransport<T> {
     fn id(&self) -> usize {
-        Endpoint::id(&self.inner)
+        self.inner.id()
     }
 
     fn n_parties(&self) -> usize {
-        Endpoint::n_parties(&self.inner)
+        self.inner.n_parties()
     }
 
     fn stats(&self) -> &Arc<NetworkStats> {
-        Endpoint::stats(&self.inner)
+        self.inner.stats()
     }
 
     fn send_words(&self, to: usize, tag: u32, words: &[u64]) -> Result<(), MpcError> {
@@ -349,8 +394,10 @@ impl Transport for FaultyTransport {
 
         // Reorder: hold this frame back until the next frame to the same
         // peer, which then ships first — a genuine wire-order inversion
-        // the receiver's sequence buffer has to undo. A frame still held
-        // at the end of the run ships when the transport drops.
+        // the receiver's sequence buffer has to undo. A held frame also
+        // ships when this party blocks on a receive (see
+        // flush_all_holdbacks) or, failing that, when the transport
+        // drops.
         if self.roll(to, idx, SALT_REORDER) < self.plan.reorder_prob {
             let held = self.holdback.lock().get_mut(to).and_then(Option::take);
             match held {
@@ -394,11 +441,14 @@ impl Transport for FaultyTransport {
         deadline: Duration,
     ) -> Result<Vec<u64>, MpcError> {
         self.check_alive()?;
+        // About to block: anything still held back by a reorder fault
+        // must ship now, or a round-trip protocol can deadlock on it.
+        self.flush_all_holdbacks()?;
         self.inner.recv_words_timeout(from, tag, deadline)
     }
 }
 
-impl Drop for FaultyTransport {
+impl<T: FrameTransport> Drop for FaultyTransport<T> {
     fn drop(&mut self) {
         // Ship any frames still held back by reorder faults so peers
         // waiting on them unblock without burning their deadline.

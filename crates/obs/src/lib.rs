@@ -284,6 +284,12 @@ impl TraceHandle {
     /// received counters in one call (the transport's single accounting
     /// point calls this, so trace byte totals match `NetworkStats`
     /// exactly by construction).
+    ///
+    /// Crediting both ends locally also makes the sent/received
+    /// conservation invariant hold *per process*: a `dash party` process
+    /// only observes its own outbound sends, yet its emitted trace still
+    /// balances and passes `dash-analyze --validate-trace` without
+    /// merging the peers' traces.
     #[inline]
     pub fn on_message(&self, from: usize, to: usize, nbytes: u64) {
         if self.sink.is_some() {

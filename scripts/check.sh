@@ -64,8 +64,42 @@ trap 'rm -rf "$TRACE_TMP"' EXIT
 ./target/release/dash simulate --out "$TRACE_TMP" --samples 40,50 \
     --variants 12 --causal 3 --covariates 2 --seed 7
 ./target/release/dash secure-scan --dir "$TRACE_TMP" --block-size 4 \
-    --audit false --metrics true --trace-out "$TRACE_TMP/trace.json"
+    --audit false --metrics true --trace-out "$TRACE_TMP/trace.json" \
+    --out "$TRACE_TMP/ref.tsv"
 ./target/release/dash-analyze --validate-trace "$TRACE_TMP/trace.json"
+
+echo "== multi-process TCP smoke (3 real party processes over loopback)"
+# The same workload again, but as three OS processes talking real TCP:
+# results must be byte-identical to the in-process reference above, each
+# party must exit 0 within its watchdog, and party 0's emitted trace must
+# pass the same schema/conservation validation as the in-process one.
+# The reference workload above is 2-party (party0/ and party1/), so the
+# TCP run is two processes on a randomized loopback port pair.
+PORT_BASE=$((20000 + RANDOM % 20000))
+PEERS2="127.0.0.1:$PORT_BASE,127.0.0.1:$((PORT_BASE + 1))"
+TCP_PIDS=()
+for i in 0 1; do
+    timeout 120 ./target/release/dash party --id "$i" --peers "$PEERS2" \
+        --dir "$TRACE_TMP/party$i" --block-size 4 --audit false \
+        --out "$TRACE_TMP/tcp$i.tsv" \
+        $([ "$i" = 0 ] && echo "--trace-out $TRACE_TMP/tcp-trace.json") \
+        > "$TRACE_TMP/party$i.log" 2>&1 &
+    TCP_PIDS+=($!)
+done
+for pid in "${TCP_PIDS[@]}"; do
+    if ! wait "$pid"; then
+        echo "error: a dash party process failed; logs follow" >&2
+        cat "$TRACE_TMP"/party*.log >&2
+        exit 1
+    fi
+done
+for i in 0 1; do
+    cmp "$TRACE_TMP/ref.tsv" "$TRACE_TMP/tcp$i.tsv" || {
+        echo "error: party $i TCP results differ from in-process reference" >&2
+        exit 1
+    }
+done
+./target/release/dash-analyze --validate-trace "$TRACE_TMP/tcp-trace.json"
 
 echo "== timing-leak smoke (E14, bounded samples, enforced)"
 # The dudect harness must see no class split in the F61 arithmetic. The
