@@ -21,7 +21,7 @@ use crate::baseline::{parse_json, Json};
 
 /// Counter keys every per-party counters object must carry (mirrors
 /// `dash_obs::Counter::ALL` — update both together).
-pub const COUNTER_KEYS: [&str; 8] = [
+pub const COUNTER_KEYS: [&str; 11] = [
     "bytes_sent",
     "bytes_received",
     "messages_sent",
@@ -30,6 +30,9 @@ pub const COUNTER_KEYS: [&str; 8] = [
     "timeouts",
     "triples_consumed",
     "opened_scalars",
+    "heartbeats_sent",
+    "reconnects",
+    "resumes",
 ];
 
 /// Headline numbers of a valid trace, for the CLI's one-line report.
@@ -167,7 +170,8 @@ mod tests {
         format!(
             "{{\"party\": {p}, \"bytes_sent\": {sent}, \"bytes_received\": {received}, \
              \"messages_sent\": 1, \"messages_received\": 1, \"retries\": 0, \
-             \"timeouts\": 0, \"triples_consumed\": 0, \"opened_scalars\": 0}}"
+             \"timeouts\": 0, \"triples_consumed\": 0, \"opened_scalars\": 0, \
+             \"heartbeats_sent\": 0, \"reconnects\": 0, \"resumes\": 0}}"
         )
     }
 

@@ -320,6 +320,28 @@ fn baseline_is_empty_and_stays_empty() {
     );
 }
 
+/// The crash-recovery modules (supervised transport, chaos proxy,
+/// checkpoint codec, checkpointed protocol driver) must sit inside the
+/// deny-gated lint scope: a future scope refactor that silently drops
+/// them would let panicking constructs back into exactly the code that
+/// runs while links are down and state is half-restored.
+#[test]
+fn recovery_modules_stay_in_lint_scope() {
+    let root = workspace_root();
+    for rel in [
+        "crates/mpc/src/tcp.rs",
+        "crates/mpc/src/chaos.rs",
+        "crates/core/src/secure/checkpoint.rs",
+        "crates/core/src/secure/protocol.rs",
+    ] {
+        assert!(dash_analyze::in_scope(rel), "{rel} must stay deny-gated");
+        assert!(
+            root.join(rel).is_file(),
+            "{rel} moved or was renamed; update this scope pin"
+        );
+    }
+}
+
 /// Satellite invariant: the panic-free lint holds with zero baseline
 /// entries in the two hot-path files, and indeed everywhere.
 #[test]

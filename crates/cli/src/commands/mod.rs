@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod chaos;
 pub mod meta;
 pub mod party;
 pub mod pca;

@@ -18,11 +18,13 @@
 use crate::args::Flags;
 use crate::commands::{load_party_dir, mode_config, report_secure_output};
 use crate::error::CliError;
-use dash_core::secure::{secure_scan_party_with, TraceHandle};
+use dash_core::secure::checkpoint::{self, CheckpointPolicy};
+use dash_core::secure::{secure_scan_party_checkpointed, secure_scan_party_with, TraceHandle};
 use dash_core::CoreError;
 use dash_gwas::io::write_scan_tsv;
 use dash_mpc::net::NetworkStats;
-use dash_mpc::tcp::{TcpConfig, TcpTransport};
+use dash_mpc::tcp::{LinkSupervision, ResumeState, TcpConfig, TcpTransport};
+use dash_mpc::transport::Transport;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
@@ -62,7 +64,21 @@ TRANSPORT:
     --backoff-ms N          initial retry backoff in ms [default: 1]
     --connect-timeout-ms N  per-attempt dial/hello timeout in ms [default: 2000]
     --connect-retries N     dial attempts per lower-id peer [default: 30]
-    --accept-timeout-ms N   total wait for higher-id peers in ms [default: 30000]";
+    --accept-timeout-ms N   total wait for higher-id peers in ms [default: 30000]
+
+SUPERVISION & CRASH RECOVERY:
+    --supervise BOOL        idle-link heartbeats, slow-vs-dead liveness
+                            verdicts and bounded reconnect [default: true]
+    --heartbeat-ms N        idle-link heartbeat interval [default: 250]
+    --liveness-timeout-ms N silence before a peer is declared dead
+                            [default: 15000]
+    --reconnect-window-ms N total time a broken link may spend
+                            reconnecting [default: 15000]
+    --checkpoint-dir DIR    persist resumable protocol state to
+                            DIR/party-K.ckpt at every block boundary
+                            (needs --supervise true and the blocked path)
+    --resume BOOL           rejoin an interrupted run from the checkpoint
+                            in --checkpoint-dir [default: false]";
 
 /// Parses the full ordered `host:port,host:port,…` peer list.
 fn parse_peers(raw: &str) -> Result<Vec<SocketAddr>, CliError> {
@@ -124,7 +140,38 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         });
     }
     let listen = flags.optional("listen");
+    let supervise = flags.parse_or("supervise", true, "true or false")?;
+    let heartbeat_ms = flags.parse_or("heartbeat-ms", 250u64, "milliseconds")?;
+    let liveness_timeout_ms = flags.parse_or("liveness-timeout-ms", 15_000u64, "milliseconds")?;
+    let reconnect_window_ms = flags.parse_or("reconnect-window-ms", 15_000u64, "milliseconds")?;
+    let checkpoint_dir = flags.optional("checkpoint-dir").map(PathBuf::from);
+    let resume = flags.parse_or("resume", false, "true or false")?;
+    // Undocumented crash-injection hook for the recovery test matrix:
+    // abort the process right after block N's checkpoint is durable.
+    let crash_after_block = match flags.optional("crash-after-block") {
+        None => None,
+        Some(raw) => Some(raw.parse::<u32>().map_err(|_| CliError::BadValue {
+            flag: "--crash-after-block".into(),
+            value: raw,
+            expected: "a 0-based block index",
+        })?),
+    };
     flags.reject_unknown(USAGE)?;
+
+    if checkpoint_dir.is_some() && !supervise {
+        return Err(CliError::BadValue {
+            flag: "--checkpoint-dir".into(),
+            value: "with --supervise false".into(),
+            expected: "supervision enabled (checkpoints resume through the supervised link state)",
+        });
+    }
+    if resume && checkpoint_dir.is_none() {
+        return Err(CliError::BadValue {
+            flag: "--resume".into(),
+            value: "true".into(),
+            expected: "--checkpoint-dir pointing at the interrupted run's checkpoints",
+        });
+    }
 
     let n = peers.len();
     if id >= n {
@@ -179,14 +226,70 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         connect_timeout: Duration::from_millis(connect_timeout_ms),
         connect_retries,
         accept_timeout: Duration::from_millis(accept_timeout_ms),
+        supervision: supervise.then(|| LinkSupervision {
+            heartbeat_interval: Duration::from_millis(heartbeat_ms),
+            liveness_deadline: Duration::from_millis(liveness_timeout_ms),
+            reconnect_window: Duration::from_millis(reconnect_window_ms),
+            ..LinkSupervision::default()
+        }),
         ..TcpConfig::default()
     };
-    let transport = TcpTransport::connect(id, listener, &peers, tcp_cfg, stats)
-        .map_err(|e| CliError::Core(CoreError::Mpc(e)))?;
+
+    // When resuming, the checkpoint must be loaded *before* connecting:
+    // the hello handshake carries its per-link receive cursors so
+    // surviving peers replay exactly the frames this process lost.
+    let loaded = if resume {
+        let dir = checkpoint_dir
+            .as_deref()
+            .unwrap_or(std::path::Path::new("."));
+        Some(Box::new(checkpoint::load(&checkpoint::checkpoint_path(
+            dir, id,
+        ))?))
+    } else {
+        None
+    };
+    let resume_state = loaded
+        .as_ref()
+        .and_then(|c| c.links.clone())
+        .map(|l| ResumeState {
+            send_next: l.send_next,
+            recv_next: l.recv_next,
+            replay: l.replay,
+        });
+    if resume {
+        writeln!(
+            out,
+            "party {id}: resuming from block {}",
+            loaded.as_ref().map(|c| c.next_block).unwrap_or(0)
+        )?;
+        out.flush()?;
+    }
+    let transport =
+        TcpTransport::connect_resume(id, listener, &peers, tcp_cfg, stats, resume_state)
+            .map_err(|e| CliError::Core(CoreError::Mpc(e)))?;
     writeln!(out, "party {id}: all {n} parties connected")?;
     out.flush()?;
 
-    let output = secure_scan_party_with(&data, &cfg, transport)?;
+    let output = match checkpoint_dir {
+        Some(dir) => {
+            // Advertise the durable receive cursors immediately (zeros on
+            // a fresh run, the checkpoint's on resume) so peers never
+            // prune replay frames this process could still re-request
+            // after a crash.
+            let durable = loaded
+                .as_ref()
+                .and_then(|c| c.links.as_ref().map(|l| l.recv_next.clone()))
+                .unwrap_or_else(|| vec![0; n]);
+            transport.note_durable(&durable);
+            let policy = CheckpointPolicy {
+                dir,
+                resume_from: loaded,
+                crash_after_block,
+            };
+            secure_scan_party_checkpointed(&data, &cfg, transport, &policy)?
+        }
+        None => secure_scan_party_with(&data, &cfg, transport)?,
+    };
     report_secure_output(out, &output, &mode, block_size, threads, audit)?;
     if metrics {
         out.write_all(trace.summary().as_bytes())?;

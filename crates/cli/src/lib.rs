@@ -36,6 +36,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "scan" => commands::scan::run(rest, out),
         "secure-scan" => commands::secure_scan::run(rest, out),
         "party" => commands::party::run(rest, out),
+        "chaos" => commands::chaos::run(rest, out),
         "meta" => commands::meta::run(rest, out),
         "pca" => commands::pca::run(rest, out),
         "perm" => commands::perm::run(rest, out),
@@ -62,6 +63,7 @@ COMMANDS:
     scan         Plaintext association scan on one dataset
     secure-scan  Secure multi-party scan across party directories
     party        Run ONE party of the secure scan over TCP (one process each)
+    chaos        TCP fault-injection proxy for resilience testing
     meta         Inverse-variance meta-analysis of per-party scans
     pca          Secure distributed PCA (ancestry covariates)
     perm         Max-T permutation scan (empirical FWER control)

@@ -34,6 +34,9 @@ pub enum CoreError {
     /// A worker thread panicked; the payload is preserved instead of
     /// aborting the process with an opaque join failure.
     WorkerPanicked { reason: String },
+    /// Saving, loading, or validating a crash-recovery checkpoint failed
+    /// (corrupt file, fingerprint mismatch, unsupported configuration).
+    Checkpoint { what: String },
     /// An underlying linear-algebra kernel failed.
     Linalg(LinalgError),
     /// An underlying statistical routine failed.
@@ -72,6 +75,7 @@ impl fmt::Display for CoreError {
             CoreError::WorkerPanicked { reason } => {
                 write!(f, "worker thread panicked: {reason}")
             }
+            CoreError::Checkpoint { what } => write!(f, "checkpoint: {what}"),
             CoreError::Linalg(e) => write!(f, "linear algebra: {e}"),
             CoreError::Stats(e) => write!(f, "statistics: {e}"),
             CoreError::Mpc(e) => write!(f, "mpc: {e}"),

@@ -27,6 +27,7 @@
 //! prints the resulting leakage/cost ladder.
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod protocol;
 pub mod rfactor;
 pub(crate) mod wire;
@@ -551,6 +552,80 @@ where
     let mut ctx =
         PartyCtx::with_transport(boxed, cfg.net_options().transport, cfg.seed, audit.clone());
     let result = protocol::party_protocol_with(&mut ctx, data, cfg, triples.as_mut())?;
+    // Tear the socket mesh down before reporting so every reader thread
+    // has exited and the counters are final.
+    drop(ctx);
+
+    debug_assert_eq!(
+        stats.block_bytes_total() + stats.unscoped_bytes(),
+        stats.total_bytes(),
+        "per-block traffic counters must partition the process total"
+    );
+    let per_block_bytes = stats
+        .per_block_traffic()
+        .into_iter()
+        .map(|(_, bytes, _)| bytes)
+        .collect();
+    let network = NetworkReport::from_stats(&stats);
+    Ok(SecureScanOutput {
+        result,
+        network,
+        disclosures: audit.entries(),
+        n_parties: p,
+        per_block_bytes,
+    })
+}
+
+/// [`secure_scan_party_with`] with crash-recovery checkpoints: the run
+/// persists its deterministic protocol state to
+/// [`checkpoint::checkpoint_path`]`(policy.dir, id)` after the y round
+/// and after every variant block, and — when `policy.resume_from` holds
+/// a loaded [`checkpoint::Checkpoint`] — rejoins an interrupted run at
+/// its last durable block boundary. The caller connects the transport
+/// (with [`dash_mpc::tcp::TcpTransport::connect_resume`] and the
+/// checkpoint's link cursors when resuming) before handing it in.
+///
+/// Restrictions, each a structured [`CoreError::Checkpoint`]: the
+/// blocked pipeline must be on (`block_size`), the aggregation mode must
+/// not be Beaver (its y aggregate stays secret-shared across blocks, and
+/// share material must never touch disk), the transport must have
+/// durable link identity (TCP), and the deterministic fault injector
+/// cannot be combined with checkpointing (replayed faults would desync
+/// its per-message schedule).
+pub fn secure_scan_party_checkpointed<S, T>(
+    data: &S,
+    cfg: &SecureScanConfig,
+    transport: T,
+    policy: &checkpoint::CheckpointPolicy,
+) -> Result<SecureScanOutput, CoreError>
+where
+    S: SummandSource,
+    T: FrameTransport + 'static,
+{
+    let p = transport.n_parties();
+    let m = data.n_variants();
+    if data.covariates().rows() != data.n_samples() {
+        return Err(CoreError::ShapeMismatch {
+            what: "covariate rows vs samples",
+            expected: data.n_samples(),
+            got: data.covariates().rows(),
+        });
+    }
+    validate_config(cfg, m)?;
+    if cfg.faults.is_some() {
+        return Err(CoreError::Checkpoint {
+            what: "checkpointing cannot be combined with the deterministic fault \
+                   injector; use the socket-level chaos proxy instead"
+                .to_string(),
+        });
+    }
+
+    let stats = Arc::clone(transport.stats());
+    let audit = DisclosureLog::new();
+    let boxed: Box<dyn Transport> = Box::new(transport);
+    let mut ctx =
+        PartyCtx::with_transport(boxed, cfg.net_options().transport, cfg.seed, audit.clone());
+    let result = protocol::party_protocol_checkpointed(&mut ctx, data, cfg, policy)?;
     // Tear the socket mesh down before reporting so every reader thread
     // has exited and the counters are final.
     drop(ctx);

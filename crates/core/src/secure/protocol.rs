@@ -16,13 +16,18 @@
 use crate::error::CoreError;
 use crate::model::ScanResult;
 use crate::scan::parallel::join_workers;
-use crate::secure::{aggregate, rfactor, SecureScanConfig, SummandSource};
+use crate::secure::aggregate::YAggregate;
+use crate::secure::checkpoint::{self, Checkpoint, CheckpointPolicy, Fingerprint};
+use crate::secure::{
+    aggregate, rfactor, AggregationMode, RFactorMode, SecureScanConfig, SummandSource,
+};
 use crate::suffstats::{ScanStats, VariantSummands};
 
 use dash_linalg::{invert_upper, ops::gemm, Matrix};
 use dash_mpc::dealer::PartyTriples;
 use dash_mpc::protocol::masked::masked_sum_ring;
-use dash_mpc::{PartyCtx, R64};
+use dash_mpc::{CtxState, PartyCtx, R64};
+use std::path::PathBuf;
 use std::sync::mpsc;
 
 /// Executes the secure scan from one party's perspective (SPMD — every
@@ -37,26 +42,7 @@ pub(crate) fn party_protocol_with<S: SummandSource>(
     let _scan_span = ctx.trace_span("scan");
     let c = data.covariates();
     let k = c.cols();
-
-    // Step 0: pooled sample count (needed by everyone for the degrees of
-    // freedom). Summed securely so individual cohort sizes stay private
-    // under the secure modes.
-    let n_total = {
-        let _span = ctx.trace_span("phase:count");
-        let own = [R64(data.n_samples() as u64)];
-        let total = masked_sum_ring(ctx, &own, "total sample count N")?;
-        total
-            .first()
-            .map(|r| r.0 as usize)
-            .ok_or(CoreError::ShapeMismatch {
-                what: "aggregated sample count",
-                expected: 1,
-                got: 0,
-            })?
-    };
-    if n_total <= k + 1 {
-        return Err(CoreError::NotEnoughSamples { n: n_total, k });
-    }
+    let n_total = count_round(ctx, data, k)?;
 
     // Phase 1: combined R factor, then private Q rows.
     let rfactor_span = ctx.trace_span("phase:rfactor");
@@ -78,7 +64,291 @@ pub(crate) fn party_protocol_with<S: SummandSource>(
             let stats = aggregate::aggregate(ctx, &summands, cfg, triples)?;
             stats.finalize(n_total, k)
         }
-        Some(b) => blocked_protocol(ctx, data, &q_k, n_total, b, cfg, triples),
+        Some(b) => blocked_core(ctx, data, &q_k, n_total, b, cfg, triples, None, None),
+    }
+}
+
+/// Step 0 of the protocol: the pooled sample count (needed by everyone
+/// for the degrees of freedom), summed securely so individual cohort
+/// sizes stay private under the secure modes.
+fn count_round<S: SummandSource>(
+    ctx: &mut PartyCtx,
+    data: &S,
+    k: usize,
+) -> Result<usize, CoreError> {
+    let n_total = {
+        let _span = ctx.trace_span("phase:count");
+        let own = [R64(data.n_samples() as u64)];
+        let total = masked_sum_ring(ctx, &own, "total sample count N")?;
+        total
+            .first()
+            .map(|r| r.0 as usize)
+            .ok_or(CoreError::ShapeMismatch {
+                what: "aggregated sample count",
+                expected: 1,
+                got: 0,
+            })?
+    };
+    if n_total <= k + 1 {
+        return Err(CoreError::NotEnoughSamples { n: n_total, k });
+    }
+    Ok(n_total)
+}
+
+fn ckpt_err(what: impl Into<String>) -> CoreError {
+    CoreError::Checkpoint { what: what.into() }
+}
+
+/// Stable on-disk discriminants of the mode ladder (new modes append —
+/// renumbering would invalidate every existing checkpoint).
+fn mode_codes(cfg: &SecureScanConfig) -> (u8, u8) {
+    let rf = match cfg.rfactor {
+        RFactorMode::PublicStack => 0,
+        RFactorMode::PairwiseTree => 1,
+        RFactorMode::GramAggregate => 2,
+    };
+    let agg = match cfg.aggregation {
+        AggregationMode::Public => 0,
+        AggregationMode::SecureShares => 1,
+        AggregationMode::MaskedPrg => 2,
+        AggregationMode::MaskedStar => 3,
+        AggregationMode::BeaverDots => 4,
+    };
+    (rf, agg)
+}
+
+/// Block-boundary checkpoint writer for one party run.
+struct Saver {
+    path: PathBuf,
+    fingerprint: Fingerprint,
+    n_total: u64,
+    /// Combined R factor, column-major K×K.
+    r: Vec<f64>,
+    crash_after_block: Option<u32>,
+}
+
+impl Saver {
+    /// Persists the protocol state at a block boundary (`next_block` is
+    /// the first block the resumed run would still execute), then tells
+    /// the transport the just-fsynced receive cursors are durable so
+    /// peers may prune their replay buffers up to them.
+    #[allow(clippy::too_many_arguments)]
+    fn save_boundary(
+        &self,
+        ctx: &PartyCtx,
+        next_block: u32,
+        head: &YAggregate,
+        xy: &[f64],
+        xx: &[f64],
+        qtxqty: &[f64],
+        qtxqtx: &[f64],
+    ) -> Result<(), CoreError> {
+        let YAggregate::Opened { yy, qty } = head else {
+            return Err(ckpt_err(
+                "cannot checkpoint a secret-shared y aggregate (Beaver mode)",
+            ));
+        };
+        let state = ctx.protocol_state()?;
+        let links = ctx.endpoint().link_snapshot();
+        let snapshot = Checkpoint {
+            fingerprint: self.fingerprint,
+            n_total: self.n_total,
+            next_block,
+            rng: state.rng,
+            pair_prgs: state.pair_prgs,
+            tag_counter: state.tag_counter,
+            r: self.r.clone(),
+            yy: *yy,
+            qty: qty.clone(),
+            xy: xy.to_vec(),
+            xx: xx.to_vec(),
+            qtxqty: qtxqty.to_vec(),
+            qtxqtx: qtxqtx.to_vec(),
+            disclosures: ctx.audit().entries(),
+            stats: ctx.endpoint().stats().snapshot(),
+            links,
+        };
+        checkpoint::save(&self.path, &snapshot)?;
+        if let Some(l) = &snapshot.links {
+            ctx.endpoint().note_durable(&l.recv_next);
+        }
+        Ok(())
+    }
+}
+
+/// Accumulator state a resumed run starts from instead of executing the
+/// y round and blocks `< start_block`.
+struct ResumeSeed {
+    head: YAggregate,
+    xy: Vec<f64>,
+    xx: Vec<f64>,
+    qtxqty: Vec<f64>,
+    qtxqtx: Vec<f64>,
+    start_block: u32,
+}
+
+/// [`party_protocol_with`] with crash-recovery checkpoints: persists the
+/// protocol state after the y round and after every block, and — when
+/// `policy.resume_from` is set — rejoins an interrupted run at its last
+/// durable block boundary instead of starting over. Restricted to the
+/// blocked pipeline in a non-Beaver aggregation mode over a transport
+/// with durable link identity (TCP); anything else is a structured
+/// [`CoreError::Checkpoint`], never a silently unusable checkpoint.
+pub(crate) fn party_protocol_checkpointed<S: SummandSource>(
+    ctx: &mut PartyCtx,
+    data: &S,
+    cfg: &SecureScanConfig,
+    policy: &CheckpointPolicy,
+) -> Result<ScanResult, CoreError> {
+    let Some(block_size) = cfg.block_size else {
+        return Err(ckpt_err(
+            "checkpointing requires the blocked pipeline; set block_size",
+        ));
+    };
+    if cfg.aggregation == AggregationMode::BeaverDots {
+        return Err(ckpt_err(
+            "checkpointing is unsupported in Beaver mode: the y aggregate stays \
+             secret-shared across blocks and share material must not be persisted",
+        ));
+    }
+    if ctx.endpoint().link_snapshot().is_none() {
+        return Err(ckpt_err(
+            "transport has no durable link identity to checkpoint; run over TCP",
+        ));
+    }
+    std::fs::create_dir_all(&policy.dir)
+        .map_err(|e| ckpt_err(format!("create {}: {e}", policy.dir.display())))?;
+    let path = checkpoint::checkpoint_path(&policy.dir, ctx.id());
+
+    let _scan_span = ctx.trace_span("scan");
+    let c = data.covariates();
+    let k = c.cols();
+    let m = data.n_variants();
+    let (rf, agg) = mode_codes(cfg);
+    let fingerprint = Fingerprint {
+        seed: cfg.seed,
+        party: ctx.id() as u64,
+        n_parties: ctx.n_parties() as u64,
+        m: m as u64,
+        k: k as u64,
+        rfactor: rf,
+        aggregation: agg,
+        ring_frac_bits: cfg.ring_frac_bits,
+        field_frac_bits: cfg.field_frac_bits,
+        block_size: block_size as u64,
+    };
+
+    match policy.resume_from.as_deref() {
+        None => {
+            let n_total = count_round(ctx, data, k)?;
+            let rfactor_span = ctx.trace_span("phase:rfactor");
+            let r = rfactor::combine_r(ctx, c, cfg)?;
+            let q_k = if k == 0 {
+                Matrix::zeros(data.n_samples(), 0)
+            } else {
+                let rinv = invert_upper(&r)?;
+                gemm(c, &rinv)?
+            };
+            drop(rfactor_span);
+            let saver = Saver {
+                path,
+                fingerprint,
+                n_total: n_total as u64,
+                r: r.as_slice().to_vec(),
+                crash_after_block: policy.crash_after_block,
+            };
+            let _agg_span = ctx.trace_span("phase:aggregate");
+            blocked_core(
+                ctx,
+                data,
+                &q_k,
+                n_total,
+                block_size,
+                cfg,
+                None,
+                Some(&saver),
+                None,
+            )
+        }
+        Some(cp) => {
+            if cp.fingerprint != fingerprint {
+                return Err(ckpt_err(format!(
+                    "checkpoint belongs to a different run: saved {:?}, this run is {:?}",
+                    cp.fingerprint, fingerprint
+                )));
+            }
+            let n_total = usize::try_from(cp.n_total)
+                .map_err(|_| ckpt_err("checkpointed sample count overflows usize"))?;
+            if n_total <= k + 1 {
+                return Err(CoreError::NotEnoughSamples { n: n_total, k });
+            }
+            if cp.r.len() != k * k {
+                return Err(ckpt_err("checkpointed R factor has the wrong shape"));
+            }
+            for (name, v) in [
+                ("qty", &cp.qty),
+                ("xy", &cp.xy),
+                ("xx", &cp.xx),
+                ("qtxqty", &cp.qtxqty),
+                ("qtxqtx", &cp.qtxqtx),
+            ] {
+                let want = if name == "qty" { k } else { m };
+                if v.len() != want {
+                    return Err(ckpt_err(format!(
+                        "checkpointed {name} has length {}, expected {want}",
+                        v.len()
+                    )));
+                }
+            }
+            // Deterministic state back first: randomness, tags, the audit
+            // log, and the traffic counters — so everything recorded from
+            // here on continues the interrupted run exactly.
+            ctx.restore_protocol_state(&CtxState {
+                rng: cp.rng,
+                pair_prgs: cp.pair_prgs.clone(),
+                tag_counter: cp.tag_counter,
+            })?;
+            ctx.audit().restore(cp.disclosures.clone());
+            ctx.endpoint().stats().restore_snapshot(&cp.stats)?;
+            // Private Q rows are recomputed locally from the persisted
+            // combined R — phase 1 never re-runs, so nothing re-opens.
+            let q_k = if k == 0 {
+                Matrix::zeros(data.n_samples(), 0)
+            } else {
+                let r = Matrix::from_column_major(k, k, cp.r.clone())?;
+                gemm(c, &invert_upper(&r)?)?
+            };
+            let seed = ResumeSeed {
+                head: YAggregate::Opened {
+                    yy: cp.yy,
+                    qty: cp.qty.clone(),
+                },
+                xy: cp.xy.clone(),
+                xx: cp.xx.clone(),
+                qtxqty: cp.qtxqty.clone(),
+                qtxqtx: cp.qtxqtx.clone(),
+                start_block: cp.next_block,
+            };
+            let saver = Saver {
+                path,
+                fingerprint,
+                n_total: cp.n_total,
+                r: cp.r.clone(),
+                crash_after_block: policy.crash_after_block,
+            };
+            let _agg_span = ctx.trace_span("phase:aggregate");
+            blocked_core(
+                ctx,
+                data,
+                &q_k,
+                n_total,
+                block_size,
+                cfg,
+                None,
+                Some(&saver),
+                Some(seed),
+            )
+        }
     }
 }
 
@@ -128,7 +398,15 @@ fn compute_block<S: SummandSource>(
 /// A producer thread computes block b+1's summands while the protocol
 /// thread runs block b's secure round; a rendezvous channel of depth 1
 /// bounds in-flight summand memory to two blocks.
-fn blocked_protocol<S: SummandSource>(
+///
+/// With `saver`, the protocol state is persisted at every block boundary
+/// (after the y round and after each block); with `resume`, the y round
+/// and blocks `< start_block` are skipped and their results taken from
+/// the checkpoint instead — the remainder of the run is bit-identical to
+/// an uninterrupted one because all randomness, tags, and cursors were
+/// restored to the boundary state.
+#[allow(clippy::too_many_arguments)]
+fn blocked_core<S: SummandSource>(
     ctx: &mut PartyCtx,
     data: &S,
     q_k: &Matrix,
@@ -136,27 +414,45 @@ fn blocked_protocol<S: SummandSource>(
     block_size: usize,
     cfg: &SecureScanConfig,
     triples: Option<&mut PartyTriples>,
+    saver: Option<&Saver>,
+    resume: Option<ResumeSeed>,
 ) -> Result<ScanResult, CoreError> {
     let m = data.n_variants();
     let k = q_k.cols();
     let mut triples = triples;
-
-    // Round 0, under ordinary protocol tags: the y-side statistics.
-    let y_span = ctx.trace_span("round:y");
-    let (yy_local, qty_local) = data.y_summands(q_k)?;
-    let head = aggregate::aggregate_y(ctx, yy_local, &qty_local, m, cfg, triples.as_deref_mut())?;
-    drop(y_span);
-
     let n_blocks = m.div_ceil(block_size.max(1));
-    let mut xy = vec![0.0; m];
-    let mut xx = vec![0.0; m];
-    let mut qtxqty = vec![0.0; m];
-    let mut qtxqtx = vec![0.0; m];
+
+    let (head, mut xy, mut xx, mut qtxqty, mut qtxqtx, start_block) = match resume {
+        None => {
+            // Round 0, under ordinary protocol tags: the y-side
+            // statistics.
+            let y_span = ctx.trace_span("round:y");
+            let (yy_local, qty_local) = data.y_summands(q_k)?;
+            let head =
+                aggregate::aggregate_y(ctx, yy_local, &qty_local, m, cfg, triples.as_deref_mut())?;
+            drop(y_span);
+            let zero = vec![0.0; m];
+            if let Some(s) = saver {
+                s.save_boundary(ctx, 0, &head, &zero, &zero, &zero, &zero)?;
+            }
+            (head, zero.clone(), zero.clone(), zero.clone(), zero, 0)
+        }
+        Some(seed) => {
+            let start = seed.start_block as usize;
+            if start > n_blocks {
+                return Err(ckpt_err(format!(
+                    "checkpoint resumes at block {start} but this run has only {n_blocks} blocks"
+                )));
+            }
+            (seed.head, seed.xy, seed.xx, seed.qtxqty, seed.qtxqtx, start)
+        }
+    };
+
     std::thread::scope(|scope| -> Result<(), CoreError> {
         let (tx, rx) = mpsc::sync_channel::<Result<VariantSummands, CoreError>>(1);
         let threads = cfg.threads;
         let producer = scope.spawn(move || {
-            for b in 0..n_blocks {
+            for b in start_block..n_blocks {
                 let lo = b * block_size;
                 let hi = (lo + block_size).min(m);
                 let res = compute_block(data, q_k, lo, hi, threads);
@@ -167,7 +463,7 @@ fn blocked_protocol<S: SummandSource>(
             }
         });
         let mut consume = || -> Result<(), CoreError> {
-            for b in 0..n_blocks {
+            for b in start_block..n_blocks {
                 let summ = rx.recv().map_err(|_| CoreError::WorkerPanicked {
                     reason: "block producer exited without delivering a block".to_string(),
                 })??;
@@ -188,6 +484,15 @@ fn blocked_protocol<S: SummandSource>(
                 xx[lo..lo + len].copy_from_slice(&agg.xx);
                 qtxqty[lo..lo + len].copy_from_slice(&agg.qtxqty);
                 qtxqtx[lo..lo + len].copy_from_slice(&agg.qtxqtx);
+                if let Some(s) = saver {
+                    s.save_boundary(ctx, (b + 1) as u32, &head, &xy, &xx, &qtxqty, &qtxqtx)?;
+                    if s.crash_after_block == Some(b as u32) {
+                        // The crash-injection hook: die the way kill -9
+                        // does — no unwinding, no Drop, no flush — right
+                        // after the block's checkpoint became durable.
+                        std::process::abort();
+                    }
+                }
             }
             Ok(())
         };

@@ -99,6 +99,14 @@ impl DisclosureLog {
     pub fn clear(&self) {
         self.entries.lock().clear();
     }
+
+    /// Replaces the log's contents with a previously captured snapshot
+    /// (checkpoint resume). The restored entries are in their original
+    /// order, so a resumed run appends its remaining disclosures after
+    /// them and the final multiset matches an uninterrupted run.
+    pub fn restore(&self, entries: Vec<Disclosure>) {
+        *self.entries.lock() = entries;
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +140,29 @@ mod tests {
         log.clear();
         assert!(log.entries().is_empty());
         assert_eq!(log.total_scalars(), 0);
+    }
+
+    #[test]
+    fn restore_replaces_contents_in_order() {
+        let log = DisclosureLog::new();
+        log.record_aggregate("stale", 9);
+        let snapshot = vec![
+            Disclosure {
+                source_party: None,
+                label: "aggregate X·y".into(),
+                scalars: 4,
+            },
+            Disclosure {
+                source_party: Some(1),
+                label: "party 1 R factor".into(),
+                scalars: 6,
+            },
+        ];
+        log.restore(snapshot.clone());
+        assert_eq!(log.entries(), snapshot);
+        log.record_aggregate("post-resume", 1);
+        assert_eq!(log.entries().len(), 3);
+        assert_eq!(log.entries()[2].label, "post-resume");
     }
 
     #[test]

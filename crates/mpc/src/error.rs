@@ -75,6 +75,20 @@ pub enum MpcError {
     /// The number of parties is unsupported for the operation (e.g. fewer
     /// than two for a multi-party protocol).
     BadPartyCount { n_parties: usize, min: usize },
+    /// Link supervision declared the peer dead: its link is down or idle
+    /// past the liveness deadline, heartbeats included, and the bounded
+    /// reconnect loop could not bring it back. Distinct from
+    /// [`MpcError::Timeout`], which means the peer is alive but slow.
+    PeerCrashed {
+        peer: usize,
+        silent_for: std::time::Duration,
+    },
+    /// A resume handshake could not be reconciled with the live link
+    /// state: the peer expects sequence numbers outside what the replay
+    /// buffer still holds, or the resumed state contradicts the run
+    /// (different cursor than any the link ever issued). Unrecoverable —
+    /// restarting from this checkpoint cannot produce a consistent run.
+    ResumeMismatch { peer: usize, reason: String },
 }
 
 impl fmt::Display for MpcError {
@@ -146,6 +160,13 @@ impl fmt::Display for MpcError {
             MpcError::BadPartyCount { n_parties, min } => {
                 write!(f, "{n_parties} parties unsupported; need at least {min}")
             }
+            MpcError::PeerCrashed { peer, silent_for } => write!(
+                f,
+                "party {peer} is dead: silent for {silent_for:?}, past the liveness deadline"
+            ),
+            MpcError::ResumeMismatch { peer, reason } => {
+                write!(f, "resume with party {peer} cannot be reconciled: {reason}")
+            }
         }
     }
 }
@@ -182,6 +203,22 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("party 1") && s.contains("run id mismatch"));
+    }
+
+    #[test]
+    fn display_crash_and_resume_verdicts() {
+        let e = MpcError::PeerCrashed {
+            peer: 2,
+            silent_for: std::time::Duration::from_secs(12),
+        };
+        let s = e.to_string();
+        assert!(s.contains("party 2") && s.contains("dead"), "{s}");
+        let e = MpcError::ResumeMismatch {
+            peer: 0,
+            reason: "peer expects seq 5 but replay starts at 9".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("party 0") && s.contains("seq 5"), "{s}");
     }
 
     #[test]

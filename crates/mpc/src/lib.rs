@@ -72,6 +72,7 @@
 )]
 
 pub mod audit;
+pub mod chaos;
 pub mod ctime;
 pub mod dealer;
 pub mod error;
@@ -94,14 +95,15 @@ pub use error::MpcError;
 pub use field::F61;
 pub use fixed::FixedPointCodec;
 pub use net::{CostModel, NetOptions, Network, NetworkStats};
-pub use party::PartyCtx;
+pub use party::{CtxState, PartyCtx};
 // The observability layer (spans, typed counters, JSON trace export)
 // lives in its own dependency-free crate; re-export the handle types the
 // protocol and application layers need.
+pub use chaos::{ChaosMode, ChaosPolicy, ChaosProxy};
 pub use dash_obs::{Counter as TraceCounter, SpanRecord, TraceHandle};
 pub use ring::R64;
 pub use secret::{OpenMode, ScalarCount, Secret};
-pub use tcp::{TcpConfig, TcpTransport};
+pub use tcp::{LinkSupervision, ResumeState, TcpConfig, TcpTransport};
 pub use transport::{
     CrashPoint, FaultPlan, FaultyTransport, FrameTransport, RetryPolicy, Transport, TransportConfig,
 };

@@ -69,6 +69,15 @@ pub struct NetworkStats {
     msgs: Vec<AtomicU64>,
     retries: Vec<AtomicU64>,
     timeouts: Vec<AtomicU64>,
+    /// Link re-establishments after socket errors (crash recovery).
+    reconnects: Vec<AtomicU64>,
+    /// Heartbeat frames shipped. Deliberately *not* folded into
+    /// `bytes`/`msgs`: heartbeat counts depend on wall-clock timing, and
+    /// the protocol's traffic totals must stay bit-identical across runs
+    /// (interrupted or not).
+    heartbeats: Vec<AtomicU64>,
+    /// Resume handshakes completed (either side of a resume hello).
+    resumes: Vec<AtomicU64>,
     /// Per-block (bytes, messages), keyed by block id (tag-derived).
     block_traffic: Mutex<BTreeMap<u32, (u64, u64)>>,
     /// Bytes of every message whose tag is outside the block range.
@@ -97,6 +106,9 @@ impl NetworkStats {
             msgs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
             retries: (0..n).map(|_| AtomicU64::new(0)).collect(),
             timeouts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            reconnects: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            heartbeats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            resumes: (0..n).map(|_| AtomicU64::new(0)).collect(),
             block_traffic: Mutex::new(BTreeMap::new()),
             unscoped_bytes: AtomicU64::new(0),
             trace,
@@ -154,6 +166,31 @@ impl NetworkStats {
         self.trace.add(party, Counter::Timeouts, 1);
     }
 
+    /// Counts one successful link re-establishment performed by `party`.
+    pub(crate) fn record_reconnect(&self, party: usize) {
+        if let Some(r) = self.reconnects.get(party) {
+            r.fetch_add(1, Ordering::Relaxed);
+        }
+        self.trace.add(party, Counter::Reconnects, 1);
+    }
+
+    /// Counts one heartbeat frame shipped by `party` (bytes/messages are
+    /// intentionally untouched — see the field docs).
+    pub(crate) fn record_heartbeat(&self, party: usize) {
+        if let Some(h) = self.heartbeats.get(party) {
+            h.fetch_add(1, Ordering::Relaxed);
+        }
+        self.trace.add(party, Counter::HeartbeatsSent, 1);
+    }
+
+    /// Counts one completed resume handshake on `party`'s side.
+    pub(crate) fn record_resume(&self, party: usize) {
+        if let Some(r) = self.resumes.get(party) {
+            r.fetch_add(1, Ordering::Relaxed);
+        }
+        self.trace.add(party, Counter::Resumes, 1);
+    }
+
     /// Number of parties.
     pub fn n_parties(&self) -> usize {
         self.n
@@ -197,6 +234,27 @@ impl NetworkStats {
             .map_or(0, |t| t.load(Ordering::Relaxed))
     }
 
+    /// Link re-establishments performed by one party.
+    pub fn reconnects_by(&self, party: usize) -> u64 {
+        self.reconnects
+            .get(party)
+            .map_or(0, |r| r.load(Ordering::Relaxed))
+    }
+
+    /// Heartbeat frames shipped by one party.
+    pub fn heartbeats_by(&self, party: usize) -> u64 {
+        self.heartbeats
+            .get(party)
+            .map_or(0, |h| h.load(Ordering::Relaxed))
+    }
+
+    /// Resume handshakes completed on one party's side.
+    pub fn resumes_by(&self, party: usize) -> u64 {
+        self.resumes
+            .get(party)
+            .map_or(0, |r| r.load(Ordering::Relaxed))
+    }
+
     /// Total bytes over all links.
     pub fn total_bytes(&self) -> u64 {
         self.bytes.iter().map(|b| b.load(Ordering::Relaxed)).sum()
@@ -218,6 +276,27 @@ impl NetworkStats {
             .iter()
             .map(|t| t.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// Total link re-establishments over all parties.
+    pub fn total_reconnects(&self) -> u64 {
+        self.reconnects
+            .iter()
+            .map(|r| r.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total heartbeat frames over all parties.
+    pub fn total_heartbeats(&self) -> u64 {
+        self.heartbeats
+            .iter()
+            .map(|h| h.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total resume handshakes over all parties.
+    pub fn total_resumes(&self) -> u64 {
+        self.resumes.iter().map(|r| r.load(Ordering::Relaxed)).sum()
     }
 
     /// Largest per-party outbound byte count — the bottleneck link in a
@@ -263,9 +342,131 @@ impl NetworkStats {
         for t in &self.timeouts {
             t.store(0, Ordering::Relaxed);
         }
+        for r in &self.reconnects {
+            r.store(0, Ordering::Relaxed);
+        }
+        for h in &self.heartbeats {
+            h.store(0, Ordering::Relaxed);
+        }
+        for r in &self.resumes {
+            r.store(0, Ordering::Relaxed);
+        }
         self.block_traffic.lock().clear();
         self.unscoped_bytes.store(0, Ordering::Relaxed);
     }
+
+    /// Captures the *protocol-traffic* counters for a checkpoint: the
+    /// per-link byte/message matrices, retry/timeout counts, per-block
+    /// attribution and unscoped bytes. The recovery counters
+    /// (reconnects/heartbeats/resumes) are deliberately excluded — they
+    /// describe the crash, not the protocol, and must not be replayed
+    /// into a resumed run's report.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            n: self.n,
+            bytes: self
+                .bytes
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            msgs: self
+                .msgs
+                .iter()
+                .map(|m| m.load(Ordering::Relaxed))
+                .collect(),
+            retries: self
+                .retries
+                .iter()
+                .map(|r| r.load(Ordering::Relaxed))
+                .collect(),
+            timeouts: self
+                .timeouts
+                .iter()
+                .map(|t| t.load(Ordering::Relaxed))
+                .collect(),
+            block_traffic: self.per_block_traffic(),
+            unscoped_bytes: self.unscoped_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Restores a [`StatsSnapshot`] into these (fresh) counters by
+    /// *adding* the snapshot's deltas, mirroring them into the trace so
+    /// the per-process sent/received conservation invariant keeps
+    /// holding. Called once, before any new traffic is recorded, by a
+    /// resumed party; afterwards the counters evolve exactly as they
+    /// would have in the uninterrupted run.
+    pub fn restore_snapshot(&self, snap: &StatsSnapshot) -> Result<(), MpcError> {
+        if snap.n != self.n || snap.bytes.len() != self.n * self.n {
+            return Err(MpcError::LengthMismatch {
+                what: "stats snapshot party count",
+                expected: self.n,
+                got: snap.n,
+            });
+        }
+        for from in 0..self.n {
+            for to in 0..self.n {
+                let idx = from * self.n + to;
+                let b = snap.bytes.get(idx).copied().unwrap_or(0);
+                let m = snap.msgs.get(idx).copied().unwrap_or(0);
+                if let Some(slot) = self.bytes.get(idx) {
+                    slot.fetch_add(b, Ordering::Relaxed);
+                }
+                if let Some(slot) = self.msgs.get(idx) {
+                    slot.fetch_add(m, Ordering::Relaxed);
+                }
+                if b > 0 || m > 0 {
+                    self.trace.add(from, Counter::BytesSent, b);
+                    self.trace.add(from, Counter::MessagesSent, m);
+                    self.trace.add(to, Counter::BytesReceived, b);
+                    self.trace.add(to, Counter::MessagesReceived, m);
+                }
+            }
+        }
+        for (p, &r) in snap.retries.iter().enumerate().take(self.n) {
+            if let Some(slot) = self.retries.get(p) {
+                slot.fetch_add(r, Ordering::Relaxed);
+            }
+            self.trace.add(p, Counter::Retries, r);
+        }
+        for (p, &t) in snap.timeouts.iter().enumerate().take(self.n) {
+            if let Some(slot) = self.timeouts.get(p) {
+                slot.fetch_add(t, Ordering::Relaxed);
+            }
+            self.trace.add(p, Counter::Timeouts, t);
+        }
+        {
+            let mut map = self.block_traffic.lock();
+            for &(block, bytes, msgs) in &snap.block_traffic {
+                let e = map.entry(block).or_insert((0, 0));
+                e.0 += bytes;
+                e.1 += msgs;
+            }
+        }
+        self.unscoped_bytes
+            .fetch_add(snap.unscoped_bytes, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A plain-data copy of one [`NetworkStats`]'s protocol-traffic counters,
+/// taken at a deterministic protocol point (a block boundary) so a
+/// resumed party can report the same totals an uninterrupted run would.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Number of parties the matrices are sized for.
+    pub n: usize,
+    /// Row-major `from * n + to` byte matrix.
+    pub bytes: Vec<u64>,
+    /// Row-major `from * n + to` message matrix.
+    pub msgs: Vec<u64>,
+    /// Per-party send retries.
+    pub retries: Vec<u64>,
+    /// Per-party receive timeouts.
+    pub timeouts: Vec<u64>,
+    /// Per-block `(block id, bytes, messages)`.
+    pub block_traffic: Vec<(u32, u64, u64)>,
+    /// Bytes recorded under non-block tags.
+    pub unscoped_bytes: u64,
 }
 
 /// A latency/bandwidth model converting counters into simulated seconds.
@@ -345,11 +546,26 @@ pub(crate) struct RecvState {
 
 impl RecvState {
     pub(crate) fn new(rx: Receiver<Message>) -> Self {
+        Self::with_next_seq(rx, 0)
+    }
+
+    /// A link resumed from a checkpoint: in-order delivery starts at
+    /// `next_seq` instead of 0, so every replayed frame below the cursor
+    /// is discarded as a duplicate by the ordinary dedup path — the
+    /// mechanism that keeps resumed runs bit-identical.
+    pub(crate) fn with_next_seq(rx: Receiver<Message>, next_seq: u64) -> Self {
         RecvState {
             rx,
-            next_seq: 0,
+            next_seq,
             early: BTreeMap::new(),
         }
+    }
+
+    /// The next in-order sequence number this link will deliver (equal to
+    /// the count of frames delivered so far on a fresh link). Checkpoints
+    /// persist it as the link's receive cursor.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Delivers the next in-order frame from the link, waiting at most
@@ -846,6 +1062,82 @@ mod tests {
             trace.counter_total(Counter::BytesReceived),
             stats.total_bytes()
         );
+    }
+
+    #[test]
+    fn stats_snapshot_restore_roundtrip_preserves_trace_conservation() {
+        use dash_obs::Counter;
+        // Build a stats object with traffic in every category, snapshot
+        // it, restore into a fresh traced instance, and check both the
+        // counters and the mirrored trace match the original exactly.
+        let orig = NetworkStats::new_traced(3, TraceHandle::enabled(3));
+        orig.record(0, 1, 2000, 40); // block-tagged
+        orig.record(1, 2, 2000, 8);
+        orig.record(2, 0, 7, 16); // unscoped tag
+        orig.record_retry(1);
+        orig.record_timeout(2);
+        orig.record_reconnect(0);
+        orig.record_heartbeat(0);
+        orig.record_resume(0);
+        let snap = orig.snapshot();
+
+        let fresh = NetworkStats::new_traced(3, TraceHandle::enabled(3));
+        fresh.restore_snapshot(&snap).unwrap();
+        assert_eq!(fresh.total_bytes(), orig.total_bytes());
+        assert_eq!(fresh.total_messages(), orig.total_messages());
+        assert_eq!(fresh.bytes_between(0, 1), orig.bytes_between(0, 1));
+        assert_eq!(fresh.retries_by(1), 1);
+        assert_eq!(fresh.timeouts_by(2), 1);
+        assert_eq!(fresh.per_block_traffic(), orig.per_block_traffic());
+        assert_eq!(fresh.unscoped_bytes(), orig.unscoped_bytes());
+        // Recovery counters describe the crash, not the protocol: they
+        // are not part of the snapshot and stay zero after a restore.
+        assert_eq!(fresh.total_reconnects(), 0);
+        assert_eq!(fresh.total_heartbeats(), 0);
+        assert_eq!(fresh.total_resumes(), 0);
+        // The restored deltas were mirrored into the trace, so the
+        // per-process conservation invariant still holds.
+        let t = fresh.trace();
+        assert_eq!(
+            t.counter_total(Counter::BytesSent),
+            t.counter_total(Counter::BytesReceived)
+        );
+        assert_eq!(
+            t.counter_total(Counter::MessagesSent),
+            t.counter_total(Counter::MessagesReceived)
+        );
+        assert_eq!(t.counter_total(Counter::BytesSent), fresh.total_bytes());
+        assert_eq!(t.counter(1, Counter::Retries), 1);
+        assert_eq!(t.counter(2, Counter::Timeouts), 1);
+        // Snapshots from a differently-sized mesh are rejected.
+        let wrong = NetworkStats::new_traced(2, TraceHandle::disabled());
+        assert!(matches!(
+            wrong.restore_snapshot(&snap),
+            Err(MpcError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_counters_recorded_and_reset() {
+        use dash_obs::Counter;
+        let stats = NetworkStats::new_traced(2, TraceHandle::enabled(2));
+        stats.record_reconnect(1);
+        stats.record_reconnect(1);
+        stats.record_heartbeat(0);
+        stats.record_resume(1);
+        assert_eq!(stats.reconnects_by(1), 2);
+        assert_eq!(stats.heartbeats_by(0), 1);
+        assert_eq!(stats.resumes_by(1), 1);
+        assert_eq!(stats.total_reconnects(), 2);
+        assert_eq!(stats.total_heartbeats(), 1);
+        assert_eq!(stats.total_resumes(), 1);
+        assert_eq!(stats.trace().counter(1, Counter::Reconnects), 2);
+        assert_eq!(stats.trace().counter(0, Counter::HeartbeatsSent), 1);
+        assert_eq!(stats.trace().counter(1, Counter::Resumes), 1);
+        stats.reset();
+        assert_eq!(stats.total_reconnects(), 0);
+        assert_eq!(stats.total_heartbeats(), 0);
+        assert_eq!(stats.total_resumes(), 0);
     }
 
     #[test]

@@ -20,6 +20,20 @@ use crate::tags::{self, BLOCK_TAG_BASE, BLOCK_TAG_STRIDE, MAX_BLOCK_ID};
 use crate::transport::{Transport, TransportConfig};
 use dash_obs::{Counter, SpanGuard, TraceHandle};
 
+/// The deterministic protocol-layer state of a [`PartyCtx`], as captured
+/// at a block boundary for a checkpoint and restored on `--resume`. The
+/// slots are raw PRG words plus the tag counter; everything else in the
+/// context (transport, audit log, trace) is restored by other layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtxState {
+    /// Private randomness stream state.
+    pub rng: [u64; 4],
+    /// Pairwise PRG states in peer order; `None` at this party's own slot.
+    pub pair_prgs: Vec<Option<[u64; 4]>>,
+    /// Lockstep protocol tag counter (outside any block scope).
+    pub tag_counter: u32,
+}
+
 /// One party's execution context.
 #[derive(Debug)]
 pub struct PartyCtx {
@@ -428,6 +442,61 @@ impl PartyCtx {
         self.finish_open(value, disclosed_as)
     }
 
+    /// Captures the deterministic protocol-layer state a checkpoint must
+    /// persist: the private RNG, every pairwise PRG, and the lockstep tag
+    /// counter. Capturing inside a block tag scope is rejected — blocks
+    /// are the checkpoint boundary, and a mid-scope snapshot would bake
+    /// in a scope the resumed run cannot legally re-enter.
+    pub fn protocol_state(&self) -> Result<CtxState, MpcError> {
+        if self.saved_tag.is_some() {
+            return Err(MpcError::Protocol {
+                what: "protocol_state inside a block tag scope",
+            });
+        }
+        Ok(CtxState {
+            rng: self.rng.state(),
+            pair_prgs: self
+                .pair_prgs
+                .iter()
+                .map(|p| p.as_ref().map(Prg::state))
+                .collect(),
+            tag_counter: self.tag_counter,
+        })
+    }
+
+    /// Restores state captured by [`PartyCtx::protocol_state`] so a
+    /// resumed run draws the same randomness and issues the same tags as
+    /// the uninterrupted run would have from that point.
+    pub fn restore_protocol_state(&mut self, state: &CtxState) -> Result<(), MpcError> {
+        if self.saved_tag.is_some() {
+            return Err(MpcError::Protocol {
+                what: "restore_protocol_state inside a block tag scope",
+            });
+        }
+        if state.pair_prgs.len() != self.pair_prgs.len() {
+            return Err(MpcError::LengthMismatch {
+                what: "checkpointed pairwise PRG count",
+                expected: self.pair_prgs.len(),
+                got: state.pair_prgs.len(),
+            });
+        }
+        for (have, want) in self.pair_prgs.iter().zip(&state.pair_prgs) {
+            if have.is_some() != want.is_some() {
+                return Err(MpcError::Protocol {
+                    what: "checkpointed PRG layout does not match this party",
+                });
+            }
+        }
+        self.rng = Prg::from_state(state.rng);
+        self.pair_prgs = state
+            .pair_prgs
+            .iter()
+            .map(|s| s.map(Prg::from_state))
+            .collect();
+        self.tag_counter = state.tag_counter;
+        Ok(())
+    }
+
     /// The single audited exit for every opening in the protocol layer.
     /// The disclosure count is derived from the opened value itself inside
     /// [`Secret::open_via`], so the log cannot drift from what opened.
@@ -664,6 +733,52 @@ mod tests {
         for t in totals {
             assert_eq!(t[0].as_i64(), -2); // (-2) + (-1) + 0 + 1
         }
+    }
+
+    #[test]
+    fn protocol_state_roundtrip_replays_randomness_and_tags() {
+        Network::run_parties(3, 21, |ctx| {
+            // Advance everything, snapshot, advance again, restore: the
+            // post-restore draws must replay the post-snapshot draws.
+            let _ = ctx.rng_mut().next_u64();
+            let _ = ctx.fresh_tag();
+            let state = ctx.protocol_state().unwrap();
+            let peer = if ctx.id() == 0 { 1 } else { 0 };
+            let replayed = (
+                ctx.rng_mut().next_u64(),
+                ctx.pair_prg_mut(peer).unwrap().next_u64(),
+                ctx.fresh_tag(),
+            );
+            let _ = ctx.rng_mut().next_u64();
+            ctx.restore_protocol_state(&state).unwrap();
+            let again = (
+                ctx.rng_mut().next_u64(),
+                ctx.pair_prg_mut(peer).unwrap().next_u64(),
+                ctx.fresh_tag(),
+            );
+            assert_eq!(replayed, again);
+        });
+    }
+
+    #[test]
+    fn protocol_state_rejected_inside_block_scope_and_bad_shapes() {
+        Network::run_parties(2, 22, |ctx| {
+            let good = ctx.protocol_state().unwrap();
+            ctx.enter_block(1).unwrap();
+            assert!(ctx.protocol_state().is_err());
+            assert!(ctx.restore_protocol_state(&good).is_err());
+            ctx.exit_block().unwrap();
+            // Wrong party count.
+            let mut short = good.clone();
+            short.pair_prgs.pop();
+            assert!(ctx.restore_protocol_state(&short).is_err());
+            // None/Some layout mismatch (state captured for another id).
+            let mut swapped = good.clone();
+            swapped.pair_prgs.reverse();
+            assert!(ctx.restore_protocol_state(&swapped).is_err());
+            // The good state still restores.
+            ctx.restore_protocol_state(&good).unwrap();
+        });
     }
 
     #[test]

@@ -38,6 +38,23 @@ impl Prg {
         }
     }
 
+    /// Captures the raw generator state for a protocol checkpoint. The
+    /// snapshot determines every future mask, so it is exactly as
+    /// sensitive as the seed: checkpoint files embedding it must be
+    /// protected like the party's private inputs.
+    pub fn state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds a PRG from a [`Prg::state`] snapshot; the resumed stream
+    /// continues exactly where the snapshot was taken, which is what lets
+    /// a resumed party re-derive bit-identical shares and pads.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Prg {
+            rng: StdRng::from_state(s),
+        }
+    }
+
     /// Derives a sub-seed for a labelled purpose, so independent streams
     /// can be split off one master seed without correlation.
     pub fn derive_seed(master: u64, label: u64) -> u64 {
@@ -129,6 +146,16 @@ mod tests {
         assert_eq!(s1, s2);
         assert_ne!(Prg::derive_seed(7, 0), Prg::derive_seed(7, 1));
         assert_ne!(Prg::derive_seed(7, 0), Prg::derive_seed(8, 0));
+    }
+
+    #[test]
+    fn state_snapshot_resumes_identically() {
+        let mut a = Prg::from_seed(77);
+        a.ring_vec(9);
+        let snap = a.state();
+        let tail_a = a.field_vec(32);
+        let mut b = Prg::from_state(snap);
+        assert_eq!(tail_a, b.field_vec(32));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!
 //! | range | tags | who issues them |
 //! |-------|------|-----------------|
-//! | `reserved` | `0..=999` | hand-picked tags in tests and examples |
+//! | `reserved` | `0..=999` | hand-picked tags in tests and examples; tag [`HEARTBEAT_TAG`] (`999`) is the transport-internal liveness beacon |
 //! | `protocol` | `1000..=BLOCK_TAG_BASE-1` | the lockstep [`crate::party::PartyCtx::fresh_tag`] counter |
 //! | `blocks` | `BLOCK_TAG_BASE..=BLOCK_TAG_LAST` | per-block scopes ([`crate::party::PartyCtx::enter_block`]), 1024 tags per block |
 //! | `block-tail` | `BLOCK_TAG_LAST+1..=u32::MAX` | nobody — the partial stride above the last whole block, kept unissuable |
@@ -23,6 +23,14 @@ pub const RESERVED_TAG_FIRST: u32 = 0;
 
 /// Last tag of the reserved range.
 pub const RESERVED_TAG_LAST: u32 = 999;
+
+/// Transport-internal heartbeat frames (`crate::tcp` link supervision).
+/// Heartbeats ride the framed wire format with the sentinel sequence
+/// number `u64::MAX`, never enter the reorder buffer, and are excluded
+/// from traffic accounting, so the tag exists purely to make the frames
+/// self-describing on the wire. Hand-picked from the top of the reserved
+/// range so no test tag collides with it by accident.
+pub const HEARTBEAT_TAG: u32 = RESERVED_TAG_LAST;
 
 /// First value of the ordinary lockstep counter range. The counter starts
 /// *at* this value and pre-increments, so the first issued tag is
@@ -153,6 +161,12 @@ mod tests {
         for r in &REGISTRY {
             assert!(r.first <= r.last, "range {} is empty or inverted", r.name);
         }
+    }
+
+    #[test]
+    fn heartbeat_tag_is_reserved() {
+        assert_eq!(range_of_tag(HEARTBEAT_TAG).name, "reserved");
+        assert_eq!(block_of_tag(HEARTBEAT_TAG), None);
     }
 
     #[test]

@@ -27,23 +27,39 @@
 use crate::error::MpcError;
 use crate::net::{
     words_to_bytes, Message, NetworkStats, RecvState, DEFAULT_DEADLINE, HEADER_BYTES,
+    MAX_EARLY_FRAMES,
 };
-use crate::transport::{FrameTransport, Transport};
+use crate::tags::HEARTBEAT_TAG;
+use crate::transport::{FrameTransport, LinkSnapshot, ReplayFrame, Transport};
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Hello preamble: magic, wire version, run id, party id, party count.
+/// Hello preamble: magic, wire version, run id, party id, party count,
+/// next-expected receive sequence, flags.
 const HELLO_MAGIC: [u8; 4] = *b"DSH1";
-/// Bumped on any framing or handshake layout change.
-const WIRE_VERSION: u32 = 1;
+/// Bumped on any framing or handshake layout change. Version 2 extends
+/// the hello with a per-link resume cursor and a flags word so a
+/// reconnecting or checkpoint-resumed party can tell its peer exactly
+/// which frame it expects next.
+const WIRE_VERSION: u32 = 2;
 /// Size of the fixed hello exchanged in both directions at connect time.
-const HELLO_BYTES: usize = 32;
+const HELLO_BYTES: usize = 48;
+/// Hello flags bit: the sender is re-attaching to an existing run (link
+/// reconnect or checkpoint resume) rather than joining a fresh mesh.
+const HELLO_FLAG_RESUME: u64 = 1;
+
+/// Sentinel sequence number marking a heartbeat frame. Heartbeats never
+/// enter the reorder buffer (the reader consumes them) and never touch
+/// the byte/message accounting, so supervised and unsupervised runs of
+/// the same protocol report bit-identical traffic totals.
+const HEARTBEAT_SEQ: u64 = u64::MAX;
 
 /// Largest payload a frame may carry (64 MiB). A header announcing more
 /// is treated as a malformed frame — the link fails structurally with
@@ -58,9 +74,49 @@ const READ_POLL_INTERVAL: Duration = Duration::from_millis(50);
 /// Pause between accept polls while waiting for higher-numbered peers.
 const ACCEPT_POLL_INTERVAL: Duration = Duration::from_millis(5);
 
+/// Longest a supervised receive blocks before re-checking peer liveness
+/// against the heartbeat stream.
+const LIVENESS_POLL_INTERVAL: Duration = Duration::from_millis(500);
+
 /// Longest a shutting-down reader keeps draining its socket while
 /// waiting for the peer's FIN before giving up and closing anyway.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Link-supervision policy: heartbeats, liveness verdicts and bounded
+/// reconnection. `None` in [`TcpConfig`] keeps the unsupervised
+/// fail-fast semantics (any socket error is immediately fatal for the
+/// link), which is what in-process tests and the fault injector expect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSupervision {
+    /// How often each party emits a heartbeat frame on an idle link.
+    pub heartbeat_interval: Duration,
+    /// A peer silent for longer than this (no frames, no heartbeats) is
+    /// declared dead: receives fail with [`MpcError::PeerCrashed`]
+    /// instead of burning the full protocol deadline.
+    pub liveness_deadline: Duration,
+    /// Total time a broken link may spend reconnecting (dial retries or
+    /// waiting for the peer to dial back in) before the link is failed.
+    pub reconnect_window: Duration,
+    /// Base sleep between reconnect dial attempts; each attempt sleeps
+    /// a seeded-jitter multiple of this (see `jittered_backoff`).
+    pub reconnect_backoff: Duration,
+    /// Outbound frames buffered per link for replay after a peer
+    /// resumes; oldest frames are dropped past this, and a resume that
+    /// needs a dropped frame fails with [`MpcError::ResumeMismatch`].
+    pub replay_capacity: usize,
+}
+
+impl Default for LinkSupervision {
+    fn default() -> Self {
+        LinkSupervision {
+            heartbeat_interval: Duration::from_millis(250),
+            liveness_deadline: Duration::from_secs(15),
+            reconnect_window: Duration::from_secs(15),
+            reconnect_backoff: Duration::from_millis(100),
+            replay_capacity: 8192,
+        }
+    }
+}
 
 /// Connect-time policy for one party process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,10 +131,19 @@ pub struct TcpConfig {
     /// arbitrary order, so early attempts routinely hit
     /// connection-refused; the retry loop absorbs that window.
     pub connect_retries: u32,
-    /// Sleep between dial attempts.
+    /// Base sleep between dial attempts; the actual sleep is a
+    /// deterministic jittered multiple in [0.5, 1.5) of this, seeded by
+    /// `jitter_seed`, so simultaneous restarts don't thunder in
+    /// lockstep yet every run replays identically.
     pub connect_backoff: Duration,
     /// Total time to wait for every higher-id peer to dial in.
     pub accept_timeout: Duration,
+    /// Seed for the deterministic dial-backoff jitter (derive it from
+    /// the run seed so reruns are bit-identical).
+    pub jitter_seed: u64,
+    /// Crash-resilience policy; `None` disables heartbeats, reconnects
+    /// and replay buffering entirely.
+    pub supervision: Option<LinkSupervision>,
 }
 
 impl Default for TcpConfig {
@@ -89,8 +154,26 @@ impl Default for TcpConfig {
             connect_retries: 30,
             connect_backoff: Duration::from_millis(50),
             accept_timeout: Duration::from_secs(30),
+            jitter_seed: 0,
+            supervision: None,
         }
     }
+}
+
+/// Deterministic dial-backoff jitter: a SplitMix64-style hash of
+/// `(seed, peer, attempt)` mapped to a factor in [0.5, 1.5). Identical
+/// seeds replay identical schedules; distinct parties (and the same
+/// party on later attempts) spread out instead of dialing in lockstep.
+fn jittered_backoff(base: Duration, seed: u64, peer: usize, attempt: u32) -> Duration {
+    let mut z = seed
+        ^ (peer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ 0xD6E8_FEB8_6659_FD93;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let frac = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    base.mul_f64(0.5 + frac)
 }
 
 /// Little-endian u64 at `off`, bounds-checked.
@@ -105,7 +188,25 @@ fn le_u32(buf: &[u8], off: usize) -> Option<u32> {
     Some(u32::from_le_bytes(bytes))
 }
 
-fn encode_hello(run_id: u64, party: u64, n: u64) -> [u8; HELLO_BYTES] {
+/// Decoded contents of a (validated) v2 hello.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Hello {
+    /// The peer's claimed party id.
+    party: usize,
+    /// Next frame sequence number the peer expects on this link; frames
+    /// below it were already delivered in order on the peer's side.
+    next_expected: u64,
+    /// The peer is re-attaching (reconnect or checkpoint resume).
+    resume: bool,
+}
+
+fn encode_hello(
+    run_id: u64,
+    party: u64,
+    n: u64,
+    next_expected: u64,
+    flags: u64,
+) -> [u8; HELLO_BYTES] {
     let mut buf = [0u8; HELLO_BYTES];
     for (dst, src) in buf.iter_mut().zip(
         HELLO_MAGIC
@@ -114,21 +215,23 @@ fn encode_hello(run_id: u64, party: u64, n: u64) -> [u8; HELLO_BYTES] {
             .chain(WIRE_VERSION.to_le_bytes())
             .chain(run_id.to_le_bytes())
             .chain(party.to_le_bytes())
-            .chain(n.to_le_bytes()),
+            .chain(n.to_le_bytes())
+            .chain(next_expected.to_le_bytes())
+            .chain(flags.to_le_bytes()),
     ) {
         *dst = src;
     }
     buf
 }
 
-/// Parses and validates a hello against this run's parameters, returning
-/// the peer's claimed party id. `peer` only attributes the error.
+/// Parses and validates a hello against this run's parameters. `peer`
+/// only attributes the error.
 fn decode_hello(
     buf: &[u8; HELLO_BYTES],
     peer: usize,
     run_id: u64,
     n: usize,
-) -> Result<usize, MpcError> {
+) -> Result<Hello, MpcError> {
     let fail = |reason: String| MpcError::Handshake { peer, reason };
     if buf.get(..4) != Some(&HELLO_MAGIC) {
         return Err(fail("bad magic (not a dash party?)".to_string()));
@@ -157,7 +260,46 @@ fn decode_hello(
             "claimed party id {claimed} out of range for {n} parties"
         )));
     }
-    Ok(claimed as usize)
+    let next_expected = le_u64(buf, 32).unwrap_or(0);
+    let flags = le_u64(buf, 40).unwrap_or(0);
+    Ok(Hello {
+        party: claimed as usize,
+        next_expected,
+        resume: flags & HELLO_FLAG_RESUME != 0,
+    })
+}
+
+/// Reads a full hello under an overall deadline, tolerating a peer that
+/// trickles bytes: progress is kept across short read timeouts, but the
+/// *total* wait is bounded by `deadline`, so a dialer that connects and
+/// then stalls (or slow-lorises one byte at a time) cannot pin the
+/// accept loop past its window. Returns `None` on deadline expiry or
+/// any socket error — callers treat both as "this socket is not a
+/// usable peer".
+fn read_hello_deadline(stream: &mut TcpStream, deadline: Duration) -> Option<[u8; HELLO_BYTES]> {
+    let start = Instant::now();
+    let mut buf = [0u8; HELLO_BYTES];
+    let mut filled = 0usize;
+    while filled < HELLO_BYTES {
+        let remaining = deadline.checked_sub(start.elapsed())?;
+        let poll = remaining
+            .min(READ_POLL_INTERVAL)
+            .max(Duration::from_millis(1));
+        if stream.set_read_timeout(Some(poll)).is_err() {
+            return None;
+        }
+        match stream.read(buf.get_mut(filled..)?) {
+            Ok(0) => return None,
+            Ok(k) => filled = filled.saturating_add(k),
+            Err(e) => match e.kind() {
+                std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::Interrupted => {}
+                _ => return None,
+            },
+        }
+    }
+    Some(buf)
 }
 
 /// Maps a socket error during the hello exchange with `peer`.
@@ -169,15 +311,22 @@ fn hs_io(peer: usize, what: &str, e: &std::io::Error) -> MpcError {
 }
 
 /// Dials `addr` with bounded retry: peers start in arbitrary order, so
-/// connection-refused is expected until the peer's listener is up.
+/// connection-refused is expected until the peer's listener is up. The
+/// inter-attempt sleep carries deterministic seeded jitter so a fleet of
+/// parties (re)starting together doesn't dial in lockstep.
 fn dial_with_retry(addr: SocketAddr, peer: usize, cfg: &TcpConfig) -> Result<TcpStream, MpcError> {
     let mut last: Option<std::io::Error> = None;
-    for _attempt in 0..=cfg.connect_retries {
+    for attempt in 0..=cfg.connect_retries {
         match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
             Ok(s) => return Ok(s),
             Err(e) => {
                 last = Some(e);
-                std::thread::sleep(cfg.connect_backoff);
+                std::thread::sleep(jittered_backoff(
+                    cfg.connect_backoff,
+                    cfg.jitter_seed,
+                    peer,
+                    attempt,
+                ));
             }
         }
     }
@@ -189,6 +338,129 @@ fn dial_with_retry(addr: SocketAddr, peer: usize, cfg: &TcpConfig) -> Result<Tcp
             cfg.connect_retries.saturating_add(1)
         ),
     })
+}
+
+/// Per-link wire state a party persists in a checkpoint and feeds back
+/// through [`TcpTransport::connect_resume`] after a crash: where each
+/// link's cursors stood at the last durable block boundary, plus the
+/// outbound frames buffered for replay. Indexed by peer id; the party's
+/// own slots are zero/empty.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResumeState {
+    /// Next sequence number to assign on each outbound link.
+    pub send_next: Vec<u64>,
+    /// Next in-order sequence number expected from each peer.
+    pub recv_next: Vec<u64>,
+    /// Buffered outbound frames per peer, oldest first.
+    pub replay: Vec<Vec<ReplayFrame>>,
+}
+
+/// Writer half of one supervised link, shared by the protocol's send
+/// path, the heartbeat thread and the link's reader/supervisor thread.
+/// One mutex covers the stream *and* the replay buffer so a reconnect
+/// replays and re-installs atomically — no frame can slip between the
+/// replayed backlog and new sends.
+#[derive(Debug)]
+struct WriterHalf {
+    /// Current socket; `None` while the link is down (supervised mode
+    /// buffers sends for replay instead of failing them).
+    stream: Option<TcpStream>,
+    /// Outbound frames a resuming peer may re-request, oldest first.
+    replay: std::collections::VecDeque<ReplayFrame>,
+    /// Everything below this sequence is pruned (peer acknowledged it
+    /// durably, or the bounded buffer overflowed); a peer asking to
+    /// resume below it cannot be reconciled.
+    pruned_to: u64,
+}
+
+/// State one link shares between its threads (the writer side exists in
+/// both modes; the supervision fields are simply unused when `None`).
+#[derive(Debug)]
+struct LinkShared {
+    /// Next outbound sequence number on this link.
+    send_next: AtomicU64,
+    wr: Mutex<WriterHalf>,
+    /// When we last heard *anything* (frame or heartbeat) from the peer.
+    last_heard: Mutex<Instant>,
+    /// Highest in-order sequence the reader has forwarded (reader-side
+    /// mirror of the reorder buffer's cursor, advertised in handshakes).
+    recv_contig: AtomicU64,
+    /// Receive cursor made durable by a checkpoint; heartbeat acks
+    /// advertise this once set so peers never prune frames we could
+    /// still re-request after a crash.
+    durable: AtomicU64,
+    has_durable: AtomicBool,
+}
+
+impl LinkShared {
+    fn new(send_next: u64, recv_next: u64, replay: Vec<ReplayFrame>) -> Self {
+        let pruned_to = replay.first().map_or(send_next, |f| f.seq);
+        LinkShared {
+            send_next: AtomicU64::new(send_next),
+            wr: Mutex::new(WriterHalf {
+                stream: None,
+                replay: replay.into(),
+                pruned_to,
+            }),
+            last_heard: Mutex::new(Instant::now()),
+            recv_contig: AtomicU64::new(recv_next),
+            durable: AtomicU64::new(0),
+            has_durable: AtomicBool::new(false),
+        }
+    }
+
+    /// The receive cursor advertised to the peer in heartbeat acks: the
+    /// durable (checkpointed) cursor when checkpointing is active, else
+    /// the in-memory contiguous cursor.
+    fn ack_cursor(&self) -> u64 {
+        if self.has_durable.load(Ordering::Relaxed) {
+            self.durable.load(Ordering::Relaxed)
+        } else {
+            self.recv_contig.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Drops replay entries the peer has durably acknowledged.
+    fn prune_acked(&self, ack: u64) {
+        let mut w = self.wr.lock();
+        while w.replay.front().is_some_and(|f| f.seq < ack) {
+            w.replay.pop_front();
+        }
+        w.pruned_to = w.pruned_to.max(ack);
+    }
+
+    /// Buffers an outbound frame for replay, bounded by `capacity`:
+    /// overflow drops the oldest entry and records that it is gone.
+    fn push_replay(&self, w: &mut WriterHalf, frame: ReplayFrame, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        while w.replay.len() >= capacity {
+            if let Some(old) = w.replay.pop_front() {
+                w.pruned_to = w.pruned_to.max(old.seq.saturating_add(1));
+            }
+        }
+        w.replay.push_back(frame);
+    }
+}
+
+/// Encodes one frame header + payload into a single write buffer.
+fn frame_bytes(seq: u64, tag: u32, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_BYTES as usize + payload.len());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// A reconnected socket handed from the accept thread to the link's
+/// reader/supervisor, with the hello already exchanged.
+#[derive(Debug)]
+struct RoutedConn {
+    stream: TcpStream,
+    /// The peer's next-expected receive sequence from its hello.
+    next_expected: u64,
 }
 
 /// Why a reader loop's blocking read ended.
@@ -324,6 +596,431 @@ fn reader_loop(
     }
 }
 
+/// Why one pass of the supervised read loop ended.
+enum SupEnd {
+    /// Socket failed or closed: attempt to reestablish the link.
+    LinkDown,
+    /// Local shutdown, or the protocol side dropped its receiver.
+    Finished,
+    /// Unrecoverable protocol violation; stored for the receive path.
+    Fatal(MpcError),
+}
+
+/// Everything a supervised link's reader/supervisor thread needs.
+struct SupCtx {
+    id: usize,
+    peer: usize,
+    peer_addr: SocketAddr,
+    run_id: u64,
+    n: usize,
+    sup: LinkSupervision,
+    jitter_seed: u64,
+    connect_timeout: Duration,
+    link: Arc<LinkShared>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<NetworkStats>,
+    /// Reconnected sockets routed from the accept thread (peers that
+    /// dial us, i.e. `peer > id`).
+    routed: Receiver<RoutedConn>,
+}
+
+/// Reads frames off the current socket, consuming heartbeats (liveness +
+/// replay-ack) and forwarding protocol frames, while mirroring the
+/// in-order cursor the reorder buffer will reach so reconnect handshakes
+/// can advertise it without touching the protocol thread's lock.
+fn supervised_read_pass(
+    stream: &mut TcpStream,
+    ctx: &SupCtx,
+    early: &mut BTreeSet<u64>,
+    tx: &Sender<Message>,
+) -> SupEnd {
+    let mut header = [0u8; HEADER_BYTES as usize];
+    loop {
+        match read_full(stream, &mut header, &ctx.shutdown) {
+            ReadStatus::Done => {}
+            ReadStatus::Shutdown => {
+                drain_until_eof(stream);
+                return SupEnd::Finished;
+            }
+            // Under supervision even a clean FIN is "link down": a
+            // SIGKILL'd process closes its sockets exactly like a
+            // graceful peer, so the distinction between crash and
+            // teardown is made by whether the peer comes back within
+            // the reconnect window.
+            ReadStatus::Eof { .. } | ReadStatus::Failed => return SupEnd::LinkDown,
+        }
+        let (Some(seq), Some(tag), Some(len)) =
+            (le_u64(&header, 0), le_u32(&header, 8), le_u64(&header, 12))
+        else {
+            return SupEnd::LinkDown; // unreachable: header buffer is header-sized
+        };
+        if len > MAX_FRAME_BYTES {
+            return SupEnd::Fatal(MpcError::MalformedPayload {
+                from: ctx.peer,
+                len: usize::try_from(len).unwrap_or(usize::MAX),
+            });
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_full(stream, &mut payload, &ctx.shutdown) {
+            ReadStatus::Done => {}
+            ReadStatus::Shutdown => {
+                drain_until_eof(stream);
+                return SupEnd::Finished;
+            }
+            ReadStatus::Eof { .. } | ReadStatus::Failed => return SupEnd::LinkDown,
+        }
+        *ctx.link.last_heard.lock() = Instant::now();
+        if seq == HEARTBEAT_SEQ && tag == HEARTBEAT_TAG {
+            // Liveness + replay-ack sentinel; never enters the reorder
+            // buffer and never touches byte/message accounting.
+            if let Some(ack) = le_u64(&payload, 0) {
+                ctx.link.prune_acked(ack);
+            }
+            continue;
+        }
+        // Mirror the in-order cursor (duplicates below it are ignored,
+        // bounded early set absorbs reordering). Understating after an
+        // overflow is safe: it only makes a peer replay more, and the
+        // reorder buffer dedups the excess.
+        let contig = ctx.link.recv_contig.load(Ordering::Relaxed);
+        if seq == contig {
+            let mut next = seq.saturating_add(1);
+            while early.remove(&next) {
+                next = next.saturating_add(1);
+            }
+            ctx.link.recv_contig.store(next, Ordering::Relaxed);
+        } else if seq > contig && seq != HEARTBEAT_SEQ && early.len() < MAX_EARLY_FRAMES {
+            early.insert(seq);
+        }
+        if tx.send(Message { seq, tag, payload }).is_err() {
+            return SupEnd::Finished;
+        }
+    }
+}
+
+/// Outcome of trying to turn a fresh socket into a reestablished link.
+enum InstallError {
+    /// The socket died during the handshake/replay; try again within
+    /// the window.
+    Retry,
+    /// Structurally irreconcilable; fail the link with this error.
+    Fatal(MpcError),
+}
+
+/// Reconciles sequence cursors with a freshly handshaken peer socket,
+/// replays any outbound frames the peer still expects (bypassing the
+/// accounting point — they were counted when first sent), and installs
+/// the socket as the link's writer. Returns the reader half.
+fn reconcile_and_install(
+    link: &LinkShared,
+    peer: usize,
+    stream: TcpStream,
+    their_next: u64,
+    self_resuming: bool,
+) -> Result<TcpStream, InstallError> {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return Err(InstallError::Retry);
+    };
+    if read_half
+        .set_read_timeout(Some(READ_POLL_INTERVAL))
+        .is_err()
+    {
+        return Err(InstallError::Retry);
+    }
+    let mut w = link.wr.lock();
+    let cursor = link.send_next.load(Ordering::Relaxed);
+    if their_next > cursor && !self_resuming {
+        return Err(InstallError::Fatal(MpcError::ResumeMismatch {
+            peer,
+            reason: format!(
+                "peer expects frame {their_next} but only {cursor} frames were \
+                 ever sent on this link (peer restarted without --resume, or \
+                 states diverged)"
+            ),
+        }));
+    }
+    if their_next < w.pruned_to {
+        return Err(InstallError::Fatal(MpcError::ResumeMismatch {
+            peer,
+            reason: format!(
+                "peer needs replay from frame {their_next} but frames below \
+                 {} were already pruned from the replay buffer",
+                w.pruned_to
+            ),
+        }));
+    }
+    let mut stream = stream;
+    for f in w.replay.iter().filter(|f| f.seq >= their_next) {
+        if stream
+            .write_all(&frame_bytes(f.seq, f.tag, &f.payload))
+            .is_err()
+        {
+            return Err(InstallError::Retry);
+        }
+    }
+    w.stream = Some(stream);
+    drop(w);
+    *link.last_heard.lock() = Instant::now();
+    Ok(read_half)
+}
+
+/// Dial-side resume handshake: send our hello (resume flag, our receive
+/// cursor), read and validate the peer's reply, return its cursor.
+fn resume_handshake_dial(stream: &mut TcpStream, ctx: &SupCtx) -> Result<u64, InstallError> {
+    let ours = encode_hello(
+        ctx.run_id,
+        ctx.id as u64,
+        ctx.n as u64,
+        ctx.link.recv_contig.load(Ordering::Relaxed),
+        HELLO_FLAG_RESUME,
+    );
+    if stream.write_all(&ours).is_err() {
+        return Err(InstallError::Retry);
+    }
+    let Some(buf) = read_hello_deadline(stream, ctx.connect_timeout) else {
+        return Err(InstallError::Retry);
+    };
+    match decode_hello(&buf, ctx.peer, ctx.run_id, ctx.n) {
+        Err(e) => Err(InstallError::Fatal(e)),
+        Ok(h) if h.party != ctx.peer => Err(InstallError::Fatal(MpcError::Handshake {
+            peer: ctx.peer,
+            reason: format!(
+                "re-dialed party {} but peer claims id {}",
+                ctx.peer, h.party
+            ),
+        })),
+        Ok(h) => Ok(h.next_expected),
+    }
+}
+
+/// Tries to bring a downed link back up within the reconnect window.
+/// Lower-id peers are re-dialed (with seeded-jitter backoff); higher-id
+/// peers dial us, so their sockets arrive via the accept thread's route
+/// channel. `Ok` carries the new reader half; `Err(Some)` the structured
+/// verdict (dead peer, irreconcilable resume); `Err(None)` means local
+/// shutdown won the race.
+fn reestablish(ctx: &SupCtx) -> Result<TcpStream, Option<MpcError>> {
+    ctx.link.wr.lock().stream = None;
+    let start = Instant::now();
+    let mut attempt = 0u32;
+    loop {
+        if ctx.shutdown.load(Ordering::Relaxed) {
+            return Err(None);
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= ctx.sup.reconnect_window {
+            let silent_for = ctx.link.last_heard.lock().elapsed();
+            return Err(Some(MpcError::PeerCrashed {
+                peer: ctx.peer,
+                silent_for,
+            }));
+        }
+        let remaining = ctx.sup.reconnect_window.saturating_sub(elapsed);
+        if ctx.peer < ctx.id {
+            // We were the dialer for this link; dial again.
+            if let Ok(mut s) = TcpStream::connect_timeout(
+                &ctx.peer_addr,
+                ctx.connect_timeout
+                    .min(remaining.max(Duration::from_millis(10))),
+            ) {
+                match resume_handshake_dial(&mut s, ctx) {
+                    Ok(their_next) => {
+                        match reconcile_and_install(&ctx.link, ctx.peer, s, their_next, false) {
+                            Ok(rh) => return Ok(rh),
+                            Err(InstallError::Fatal(e)) => return Err(Some(e)),
+                            Err(InstallError::Retry) => {}
+                        }
+                    }
+                    Err(InstallError::Fatal(e)) => return Err(Some(e)),
+                    Err(InstallError::Retry) => {}
+                }
+            }
+            std::thread::sleep(
+                jittered_backoff(
+                    ctx.sup.reconnect_backoff,
+                    ctx.jitter_seed,
+                    ctx.peer,
+                    attempt,
+                )
+                .min(remaining),
+            );
+            attempt = attempt.saturating_add(1);
+        } else {
+            // The peer dials us; wait for the accept thread's routing.
+            match ctx
+                .routed
+                .recv_timeout(remaining.min(ACCEPT_POLL_INTERVAL.max(Duration::from_millis(100))))
+            {
+                Ok(mut conn) => {
+                    // If several dials raced in, keep only the newest.
+                    while let Ok(newer) = ctx.routed.try_recv() {
+                        conn = newer;
+                    }
+                    match reconcile_and_install(
+                        &ctx.link,
+                        ctx.peer,
+                        conn.stream,
+                        conn.next_expected,
+                        false,
+                    ) {
+                        Ok(rh) => return Ok(rh),
+                        Err(InstallError::Fatal(e)) => return Err(Some(e)),
+                        Err(InstallError::Retry) => {}
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Err(None),
+            }
+        }
+    }
+}
+
+/// One supervised link's reader/supervisor thread: read until the socket
+/// dies, then reconnect within the window and keep going; only a fatal
+/// verdict (dead peer, irreconcilable resume, malformed frame) or local
+/// shutdown ends the thread. Dropping `tx` is what surfaces the stored
+/// verdict to the protocol thread.
+fn supervised_reader(
+    mut read_half: TcpStream,
+    ctx: SupCtx,
+    tx: Sender<Message>,
+    fail: Arc<Mutex<Option<MpcError>>>,
+) {
+    let mut early: BTreeSet<u64> = BTreeSet::new();
+    loop {
+        match supervised_read_pass(&mut read_half, &ctx, &mut early, &tx) {
+            SupEnd::Finished => return,
+            SupEnd::Fatal(e) => {
+                let _ = read_half.shutdown(Shutdown::Both);
+                ctx.link.wr.lock().stream = None;
+                *fail.lock() = Some(e);
+                return;
+            }
+            SupEnd::LinkDown => {
+                // Fully close the dead socket before reconnecting: a peer
+                // tearing down gracefully drains its half until EOF, and
+                // holding our clones open would stall that drain for its
+                // whole deadline (delaying the peer's restart past our
+                // reconnect window).
+                let _ = read_half.shutdown(Shutdown::Both);
+                match reestablish(&ctx) {
+                    Ok(rh) => {
+                        read_half = rh;
+                        ctx.stats.record_reconnect(ctx.id);
+                    }
+                    Err(Some(e)) => {
+                        *fail.lock() = Some(e);
+                        return;
+                    }
+                    Err(None) => return,
+                }
+            }
+        }
+    }
+}
+
+/// The supervised accept thread: owns the listener after initial mesh
+/// setup, handshakes every later incoming connection under a hard hello
+/// deadline, and routes reconnect sockets to the owning link's
+/// supervisor. Malformed or stale dialers are dropped silently — a
+/// structured verdict for *this* run's links comes from the supervisors'
+/// windows, not from strangers on the port.
+#[allow(clippy::too_many_arguments)]
+fn accept_route_loop(
+    listener: TcpListener,
+    id: usize,
+    n: usize,
+    run_id: u64,
+    connect_timeout: Duration,
+    links: Vec<Option<Arc<LinkShared>>>,
+    routes: Vec<Option<Sender<RoutedConn>>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let Some(buf) = read_hello_deadline(&mut stream, connect_timeout) else {
+                    continue; // stalled or dead dialer: drop, keep accepting
+                };
+                let Ok(hello) = decode_hello(&buf, id, run_id, n) else {
+                    continue; // wrong run/version: not ours
+                };
+                // Only higher-id peers ever dial us, and only for links
+                // that exist.
+                if hello.party <= id {
+                    continue;
+                }
+                let Some(link) = links.get(hello.party).and_then(|l| l.as_ref()) else {
+                    continue;
+                };
+                let reply = encode_hello(
+                    run_id,
+                    id as u64,
+                    n as u64,
+                    link.recv_contig.load(Ordering::Relaxed),
+                    HELLO_FLAG_RESUME,
+                );
+                if stream.write_all(&reply).is_err() {
+                    continue;
+                }
+                if let Some(route) = routes.get(hello.party).and_then(|r| r.as_ref()) {
+                    let _ = route.send(RoutedConn {
+                        stream,
+                        next_expected: hello.next_expected,
+                    });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL_INTERVAL),
+        }
+    }
+}
+
+/// The heartbeat thread: periodically writes the liveness/ack sentinel
+/// on every up link. Write failures just mark the link down — the
+/// link's own reader notices the broken socket and runs the reconnect
+/// protocol; the heartbeat thread never supervises.
+fn heartbeat_loop(
+    id: usize,
+    links: Vec<Option<Arc<LinkShared>>>,
+    interval: Duration,
+    stats: Arc<NetworkStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let step = interval
+        .min(Duration::from_millis(50))
+        .max(Duration::from_millis(1));
+    let mut last_beat = Instant::now();
+    while !shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(step);
+        if last_beat.elapsed() < interval {
+            continue;
+        }
+        last_beat = Instant::now();
+        for link in links.iter().flatten() {
+            let ack = link.ack_cursor();
+            let frame = frame_bytes(HEARTBEAT_SEQ, HEARTBEAT_TAG, &ack.to_le_bytes());
+            let mut w = link.wr.lock();
+            let Some(s) = w.stream.as_mut() else { continue };
+            if s.write_all(&frame).is_err() {
+                w.stream = None;
+            } else {
+                drop(w);
+                stats.record_heartbeat(id);
+            }
+        }
+    }
+}
+
 /// A party's socket mesh: one TCP connection per peer, with the same
 /// sequence-numbered framing, deadline-aware receives, accounting and
 /// error surface as the in-process [`crate::net::Endpoint`].
@@ -331,17 +1028,21 @@ fn reader_loop(
 pub struct TcpTransport {
     id: usize,
     n: usize,
-    /// Writer half of each peer link (index = peer id; self is `None`).
-    writers: Vec<Option<Mutex<TcpStream>>>,
-    send_seqs: Vec<AtomicU64>,
+    /// Per-peer writer half, send cursor and supervision state (index =
+    /// peer id; self is `None`).
+    link_state: Vec<Option<Arc<LinkShared>>>,
     /// Receiver half: the shared in-order delivery state fed by this
     /// peer's reader thread.
     links: Vec<Option<Mutex<RecvState>>>,
     /// Structured reason a reader shut its link down (malformed frame,
-    /// torn connection); consulted when a receive sees the channel close.
+    /// torn connection, dead peer, irreconcilable resume); consulted
+    /// when a receive sees the channel close.
     fail: Vec<Arc<Mutex<Option<MpcError>>>>,
     shutdown: Arc<AtomicBool>,
     readers: Vec<JoinHandle<()>>,
+    /// Accept-router and heartbeat threads (supervised mode only).
+    aux: Vec<JoinHandle<()>>,
+    supervision: Option<LinkSupervision>,
     stats: Arc<NetworkStats>,
 }
 
@@ -366,6 +1067,26 @@ impl TcpTransport {
         cfg: TcpConfig,
         stats: Arc<NetworkStats>,
     ) -> Result<Self, MpcError> {
+        Self::connect_resume(id, listener, peers, cfg, stats, None)
+    }
+
+    /// [`TcpTransport::connect`], optionally rejoining an interrupted
+    /// run from checkpointed per-link cursors. With `resume`, every
+    /// hello carries the resume flag and this party's checkpointed
+    /// receive cursor; surviving peers replay the outbound frames this
+    /// party lost with its process, and this party's own re-executed
+    /// sends reuse their original sequence numbers so peers deduplicate
+    /// them — traffic totals and results stay bit-identical to an
+    /// uninterrupted run. A cursor no peer can reconcile fails fast
+    /// with [`MpcError::ResumeMismatch`].
+    pub fn connect_resume(
+        id: usize,
+        listener: TcpListener,
+        peers: &[SocketAddr],
+        cfg: TcpConfig,
+        stats: Arc<NetworkStats>,
+        resume: Option<ResumeState>,
+    ) -> Result<Self, MpcError> {
         let n = peers.len();
         if id >= n {
             return Err(MpcError::NoSuchParty { id, n_parties: n });
@@ -381,27 +1102,46 @@ impl TcpTransport {
                 what: "NetworkStats sized for a different party count",
             });
         }
+        let resuming = resume.is_some();
+        let mut resume = resume.unwrap_or_default();
+        resume.send_next.resize(n, 0);
+        resume.recv_next.resize(n, 0);
+        resume.replay.resize(n, Vec::new());
+        let flags = if resuming { HELLO_FLAG_RESUME } else { 0 };
         let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut their_next: Vec<u64> = vec![0; n];
 
         // Dial every lower-numbered peer; send our hello, check theirs.
         for (j, addr) in peers.iter().copied().enumerate().take(id) {
             let mut stream = dial_with_retry(addr, j, &cfg)?;
+            let ours = encode_hello(
+                cfg.run_id,
+                id as u64,
+                n as u64,
+                resume.recv_next.get(j).copied().unwrap_or(0),
+                flags,
+            );
             stream
-                .set_read_timeout(Some(cfg.connect_timeout))
-                .map_err(|e| hs_io(j, "set handshake read timeout", &e))?;
-            stream
-                .write_all(&encode_hello(cfg.run_id, id as u64, n as u64))
+                .write_all(&ours)
                 .map_err(|e| hs_io(j, "send hello", &e))?;
-            let mut hello = [0u8; HELLO_BYTES];
-            stream
-                .read_exact(&mut hello)
-                .map_err(|e| hs_io(j, "read hello", &e))?;
-            let claimed = decode_hello(&hello, j, cfg.run_id, n)?;
-            if claimed != j {
+            let Some(hello) = read_hello_deadline(&mut stream, cfg.connect_timeout) else {
                 return Err(MpcError::Handshake {
                     peer: j,
-                    reason: format!("dialed party {j} but peer claims id {claimed}"),
+                    reason: format!(
+                        "hello reply did not arrive within {:?}",
+                        cfg.connect_timeout
+                    ),
                 });
+            };
+            let h = decode_hello(&hello, j, cfg.run_id, n)?;
+            if h.party != j {
+                return Err(MpcError::Handshake {
+                    peer: j,
+                    reason: format!("dialed party {j} but peer claims id {}", h.party),
+                });
+            }
+            if let Some(t) = their_next.get_mut(j) {
+                *t = h.next_expected;
             }
             if let Some(slot) = streams.get_mut(j) {
                 *slot = Some(stream);
@@ -409,7 +1149,11 @@ impl TcpTransport {
         }
 
         // Accept every higher-numbered peer; they identify themselves in
-        // their hello, we answer with ours.
+        // their hello, we answer with ours. Each accepted socket gets a
+        // hard deadline for its hello: a dialer that connects and then
+        // stalls (or trickles bytes) is dropped and accepting continues,
+        // so it cannot pin the loop past the accept window while real
+        // peers wait behind it.
         let missing = |streams: &[Option<TcpStream>]| -> Option<usize> {
             streams
                 .iter()
@@ -440,32 +1184,42 @@ impl TcpTransport {
             }
             match listener.accept() {
                 Ok((mut stream, _)) => {
-                    stream
-                        .set_nonblocking(false)
-                        .map_err(|e| hs_io(next_missing, "set accepted socket blocking", &e))?;
-                    stream
-                        .set_read_timeout(Some(cfg.connect_timeout))
-                        .map_err(|e| hs_io(next_missing, "set handshake read timeout", &e))?;
-                    let mut hello = [0u8; HELLO_BYTES];
-                    stream
-                        .read_exact(&mut hello)
-                        .map_err(|e| hs_io(next_missing, "read hello", &e))?;
-                    let claimed = decode_hello(&hello, next_missing, cfg.run_id, n)?;
-                    let slot = streams.get_mut(claimed).ok_or(MpcError::Handshake {
-                        peer: claimed,
-                        reason: format!("claimed party id {claimed} out of range"),
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let window_left = cfg.accept_timeout.saturating_sub(accept_start.elapsed());
+                    let Some(hello) =
+                        read_hello_deadline(&mut stream, cfg.connect_timeout.min(window_left))
+                    else {
+                        continue; // stalled or dead dialer: drop it, keep accepting
+                    };
+                    let h = decode_hello(&hello, next_missing, cfg.run_id, n)?;
+                    let slot = streams.get_mut(h.party).ok_or(MpcError::Handshake {
+                        peer: h.party,
+                        reason: format!("claimed party id {} out of range", h.party),
                     })?;
-                    if claimed <= id || slot.is_some() {
+                    if h.party <= id || slot.is_some() {
                         return Err(MpcError::Handshake {
-                            peer: claimed,
+                            peer: h.party,
                             reason: format!(
-                                "party {claimed} dialed us but should not (duplicate or wrong direction)"
+                                "party {} dialed us but should not (duplicate or wrong direction)",
+                                h.party
                             ),
                         });
                     }
+                    let ours = encode_hello(
+                        cfg.run_id,
+                        id as u64,
+                        n as u64,
+                        resume.recv_next.get(h.party).copied().unwrap_or(0),
+                        flags,
+                    );
                     stream
-                        .write_all(&encode_hello(cfg.run_id, id as u64, n as u64))
-                        .map_err(|e| hs_io(claimed, "send hello", &e))?;
+                        .write_all(&ours)
+                        .map_err(|e| hs_io(h.party, "send hello", &e))?;
+                    if let Some(t) = their_next.get_mut(h.party) {
+                        *t = h.next_expected;
+                    }
                     *slot = Some(stream);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -475,49 +1229,125 @@ impl TcpTransport {
             }
         }
 
-        // Wire up per-peer reader threads and the writer mesh.
+        // Wire up per-peer link state, reconcile cursors (replaying
+        // whatever each peer still expects), and start the threads.
         let shutdown = Arc::new(AtomicBool::new(false));
-        let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..n).map(|_| None).collect();
+        let mut link_state: Vec<Option<Arc<LinkShared>>> = (0..n).map(|_| None).collect();
         let mut links: Vec<Option<Mutex<RecvState>>> = (0..n).map(|_| None).collect();
         let fail: Vec<Arc<Mutex<Option<MpcError>>>> =
             (0..n).map(|_| Arc::new(Mutex::new(None))).collect();
         let mut readers = Vec::with_capacity(n.saturating_sub(1));
+        let mut routes: Vec<Option<Sender<RoutedConn>>> = (0..n).map(|_| None).collect();
         for (j, slot) in streams.into_iter().enumerate() {
             let Some(stream) = slot else { continue };
-            stream
-                .set_nodelay(true)
-                .map_err(|e| hs_io(j, "set TCP_NODELAY", &e))?;
-            let mut read_half = stream
-                .try_clone()
-                .map_err(|e| hs_io(j, "clone socket for reader", &e))?;
-            // Arm the poll timeout now: a timeout installed later would
-            // not wake a reader already blocked in read().
-            read_half
-                .set_read_timeout(Some(READ_POLL_INTERVAL))
-                .map_err(|e| hs_io(j, "set read poll interval", &e))?;
+            let shared = Arc::new(LinkShared::new(
+                resume.send_next.get(j).copied().unwrap_or(0),
+                resume.recv_next.get(j).copied().unwrap_or(0),
+                resume
+                    .replay
+                    .get_mut(j)
+                    .map(std::mem::take)
+                    .unwrap_or_default(),
+            ));
+            let read_half = match reconcile_and_install(
+                &shared,
+                j,
+                stream,
+                their_next.get(j).copied().unwrap_or(0),
+                resuming,
+            ) {
+                Ok(rh) => rh,
+                Err(InstallError::Fatal(e)) => return Err(e),
+                Err(InstallError::Retry) => {
+                    return Err(MpcError::Handshake {
+                        peer: j,
+                        reason: "link failed while replaying the resume backlog".to_string(),
+                    })
+                }
+            };
             let (tx, rx) = channel();
             let slot_fail = fail.get(j).cloned().unwrap_or_default();
             let flag = Arc::clone(&shutdown);
-            readers.push(std::thread::spawn(move || {
-                reader_loop(&mut read_half, j, &tx, &slot_fail, &flag);
-            }));
-            if let Some(w) = writers.get_mut(j) {
-                *w = Some(Mutex::new(stream));
+            if let Some(sup) = cfg.supervision {
+                let (route_tx, route_rx) = channel();
+                if j > id {
+                    if let Some(r) = routes.get_mut(j) {
+                        *r = Some(route_tx);
+                    }
+                }
+                let Some(&peer_addr) = peers.get(j) else {
+                    continue;
+                };
+                let ctx = SupCtx {
+                    id,
+                    peer: j,
+                    peer_addr,
+                    run_id: cfg.run_id,
+                    n,
+                    sup,
+                    jitter_seed: cfg.jitter_seed,
+                    connect_timeout: cfg.connect_timeout,
+                    link: Arc::clone(&shared),
+                    shutdown: flag,
+                    stats: Arc::clone(&stats),
+                    routed: route_rx,
+                };
+                readers.push(std::thread::spawn(move || {
+                    supervised_reader(read_half, ctx, tx, slot_fail);
+                }));
+            } else {
+                let mut rh = read_half;
+                readers.push(std::thread::spawn(move || {
+                    reader_loop(&mut rh, j, &tx, &slot_fail, &flag);
+                }));
             }
             if let Some(l) = links.get_mut(j) {
-                *l = Some(Mutex::new(RecvState::new(rx)));
+                *l = Some(Mutex::new(RecvState::with_next_seq(
+                    rx,
+                    resume.recv_next.get(j).copied().unwrap_or(0),
+                )));
             }
+            if let Some(s) = link_state.get_mut(j) {
+                *s = Some(shared);
+            }
+        }
+        let mut aux = Vec::new();
+        if let Some(sup) = cfg.supervision {
+            let accept_links = link_state.clone();
+            let accept_shutdown = Arc::clone(&shutdown);
+            aux.push(std::thread::spawn(move || {
+                accept_route_loop(
+                    listener,
+                    id,
+                    n,
+                    cfg.run_id,
+                    cfg.connect_timeout,
+                    accept_links,
+                    routes,
+                    accept_shutdown,
+                );
+            }));
+            let hb_links = link_state.clone();
+            let hb_stats = Arc::clone(&stats);
+            let hb_shutdown = Arc::clone(&shutdown);
+            aux.push(std::thread::spawn(move || {
+                heartbeat_loop(id, hb_links, sup.heartbeat_interval, hb_stats, hb_shutdown);
+            }));
+        }
+        if resuming {
+            stats.record_resume(id);
         }
 
         Ok(TcpTransport {
             id,
             n,
-            writers,
-            send_seqs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            link_state,
             links,
             fail,
             shutdown,
             readers,
+            aux,
+            supervision: cfg.supervision,
             stats,
         })
     }
@@ -530,9 +1360,10 @@ impl TcpTransport {
                 n_parties: self.n,
             });
         }
-        self.send_seqs
+        self.link_state
             .get(to)
-            .map(|s| s.fetch_add(1, Ordering::Relaxed))
+            .and_then(|s| s.as_ref())
+            .map(|s| s.send_next.fetch_add(1, Ordering::Relaxed))
             .ok_or(MpcError::NoSuchParty {
                 id: to,
                 n_parties: self.n,
@@ -541,30 +1372,61 @@ impl TcpTransport {
 
     /// Ships one frame: record at the single accounting point (the same
     /// sender-side ordering as the in-process endpoint), then write
-    /// `seq | tag | len | payload` in one buffered syscall.
+    /// `seq | tag | len | payload` in one buffered syscall. Under
+    /// supervision the frame is also buffered for replay, and a write
+    /// failure is *not* an error — the frame rides the replay buffer to
+    /// the reconnected socket, and it was already counted, so totals
+    /// stay identical whether or not the link hiccupped.
     fn send_frame_inner(&self, to: usize, msg: Message) -> Result<(), MpcError> {
-        let writer =
-            self.writers
+        let link =
+            self.link_state
                 .get(to)
-                .and_then(|w| w.as_ref())
+                .and_then(|s| s.as_ref())
                 .ok_or(MpcError::NoSuchParty {
                     id: to,
                     n_parties: self.n,
                 })?;
         self.stats.record(self.id, to, msg.tag, msg.payload.len());
-        let mut buf = Vec::with_capacity(HEADER_BYTES as usize + msg.payload.len());
-        buf.extend_from_slice(&msg.seq.to_le_bytes());
-        buf.extend_from_slice(&msg.tag.to_le_bytes());
-        buf.extend_from_slice(&(msg.payload.len() as u64).to_le_bytes());
-        buf.extend_from_slice(&msg.payload);
-        writer
-            .lock()
-            .write_all(&buf)
-            .map_err(|_| MpcError::ChannelClosed { peer: to })
+        let buf = frame_bytes(msg.seq, msg.tag, &msg.payload);
+        let mut w = link.wr.lock();
+        if let Some(sup) = self.supervision {
+            link.push_replay(
+                &mut w,
+                ReplayFrame {
+                    seq: msg.seq,
+                    tag: msg.tag,
+                    payload: msg.payload,
+                },
+                sup.replay_capacity,
+            );
+            if let Some(s) = w.stream.as_mut() {
+                if s.write_all(&buf).is_err() {
+                    w.stream = None;
+                }
+            }
+            Ok(())
+        } else {
+            match w.stream.as_mut() {
+                Some(s) => s
+                    .write_all(&buf)
+                    .map_err(|_| MpcError::ChannelClosed { peer: to }),
+                None => Err(MpcError::ChannelClosed { peer: to }),
+            }
+        }
     }
 
-    /// In-order deadline-aware receive, translating a closed channel
-    /// into the reader's stored structured reason when one exists.
+    /// Translates a closed receive channel into the reader's stored
+    /// structured reason when one exists.
+    fn closed_reason(&self, from: usize, peer: usize) -> MpcError {
+        let stored = self.fail.get(from).and_then(|f| f.lock().clone());
+        stored.unwrap_or(MpcError::ChannelClosed { peer })
+    }
+
+    /// In-order deadline-aware receive. Under supervision the wait is
+    /// sliced so liveness is checked against the heartbeat stream: a
+    /// peer silent past the liveness deadline fails fast with
+    /// [`MpcError::PeerCrashed`] (a dead process, not a slow one),
+    /// while a live-but-slow peer still gets the full deadline.
     fn recv_frame(&self, from: usize, tag: u32, deadline: Duration) -> Result<Message, MpcError> {
         let link = self
             .links
@@ -574,17 +1436,46 @@ impl TcpTransport {
                 id: from,
                 n_parties: self.n,
             })?;
-        let res = link.lock().recv_in_order(from, tag, deadline);
-        match res {
-            Err(MpcError::Timeout { peer, tag, waited }) => {
-                self.stats.record_timeout(self.id);
-                Err(MpcError::Timeout { peer, tag, waited })
+        let Some(sup) = self.supervision else {
+            let res = link.lock().recv_in_order(from, tag, deadline);
+            return match res {
+                Err(MpcError::Timeout { peer, tag, waited }) => {
+                    self.stats.record_timeout(self.id);
+                    Err(MpcError::Timeout { peer, tag, waited })
+                }
+                Err(MpcError::ChannelClosed { peer }) => Err(self.closed_reason(from, peer)),
+                other => other,
+            };
+        };
+        let shared = self.link_state.get(from).and_then(|s| s.as_ref());
+        let start = Instant::now();
+        loop {
+            let remaining = deadline.saturating_sub(start.elapsed());
+            let slice = remaining.min(LIVENESS_POLL_INTERVAL);
+            let res = link.lock().recv_in_order(from, tag, slice);
+            match res {
+                Err(MpcError::Timeout { .. }) => {
+                    if let Some(shared) = shared {
+                        let silent_for = shared.last_heard.lock().elapsed();
+                        if silent_for > sup.liveness_deadline {
+                            return Err(MpcError::PeerCrashed {
+                                peer: from,
+                                silent_for,
+                            });
+                        }
+                    }
+                    if start.elapsed() >= deadline {
+                        self.stats.record_timeout(self.id);
+                        return Err(MpcError::Timeout {
+                            peer: from,
+                            tag,
+                            waited: start.elapsed(),
+                        });
+                    }
+                }
+                Err(MpcError::ChannelClosed { peer }) => return Err(self.closed_reason(from, peer)),
+                other => return other,
             }
-            Err(MpcError::ChannelClosed { peer }) => {
-                let stored = self.fail.get(from).and_then(|f| f.lock().clone());
-                Err(stored.unwrap_or(MpcError::ChannelClosed { peer }))
-            }
-            other => other,
         }
     }
 }
@@ -648,6 +1539,46 @@ impl Transport for TcpTransport {
     fn recv_words(&self, from: usize, tag: u32) -> Result<Vec<u64>, MpcError> {
         self.recv_words_timeout(from, tag, DEFAULT_DEADLINE)
     }
+
+    fn link_snapshot(&self) -> Option<LinkSnapshot> {
+        // Only a supervised transport keeps the replay buffers that make
+        // a checkpoint actually resumable.
+        self.supervision?;
+        let mut snap = LinkSnapshot {
+            send_next: vec![0; self.n],
+            recv_next: vec![0; self.n],
+            replay: (0..self.n).map(|_| Vec::new()).collect(),
+        };
+        for j in 0..self.n {
+            let Some(shared) = self.link_state.get(j).and_then(|s| s.as_ref()) else {
+                continue;
+            };
+            if let Some(slot) = snap.send_next.get_mut(j) {
+                *slot = shared.send_next.load(Ordering::Relaxed);
+            }
+            // The protocol-consumed cursor, not the reader's: frames
+            // sitting undelivered in the channel die with the process,
+            // and peers re-send everything from this cursor on resume.
+            if let Some(l) = self.links.get(j).and_then(|l| l.as_ref()) {
+                if let Some(slot) = snap.recv_next.get_mut(j) {
+                    *slot = l.lock().next_seq();
+                }
+            }
+            if let Some(slot) = snap.replay.get_mut(j) {
+                *slot = shared.wr.lock().replay.iter().cloned().collect();
+            }
+        }
+        Some(snap)
+    }
+
+    fn note_durable(&self, recv_next: &[u64]) {
+        for (j, &cursor) in recv_next.iter().enumerate().take(self.n) {
+            if let Some(shared) = self.link_state.get(j).and_then(|s| s.as_ref()) {
+                shared.durable.store(cursor, Ordering::Relaxed);
+                shared.has_durable.store(true, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 impl FrameTransport for TcpTransport {
@@ -662,16 +1593,18 @@ impl FrameTransport for TcpTransport {
 impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        for w in self.writers.iter().flatten() {
+        for s in self.link_state.iter().flatten() {
             // Write-side shutdown only: it sends FIN but preserves
             // in-flight data for the peer, where Shutdown::Both/Read on
             // a socket with unread bytes (e.g. absorbed duplicates)
             // would RST and destroy data the peer still needs.
-            let _ = w.lock().shutdown(Shutdown::Write);
+            if let Some(stream) = s.wr.lock().stream.as_ref() {
+                let _ = stream.shutdown(Shutdown::Write);
+            }
         }
-        for h in self.readers.drain(..) {
-            // Readers poll the shutdown flag at READ_POLL_INTERVAL, so
-            // each join resolves within one poll period.
+        for h in self.readers.drain(..).chain(self.aux.drain(..)) {
+            // All threads poll the shutdown flag at a bounded interval,
+            // so each join resolves within one poll period.
             let _ = h.join();
         }
     }
@@ -689,12 +1622,26 @@ mod tests {
             connect_retries: 40,
             connect_backoff: Duration::from_millis(10),
             accept_timeout: Duration::from_secs(10),
+            jitter_seed: run_id,
+            supervision: None,
         }
     }
 
-    /// Binds `n` loopback listeners and connects a full mesh, one
-    /// transport per simulated "process" (each with its own stats).
-    fn connect_mesh(n: usize, run_id: u64) -> Vec<TcpTransport> {
+    /// Supervision policy with test-sized windows.
+    fn test_sup() -> LinkSupervision {
+        LinkSupervision {
+            heartbeat_interval: Duration::from_millis(20),
+            liveness_deadline: Duration::from_secs(2),
+            reconnect_window: Duration::from_secs(5),
+            reconnect_backoff: Duration::from_millis(20),
+            replay_capacity: 1024,
+        }
+    }
+
+    /// Binds `n` loopback listeners and connects a full mesh under
+    /// `cfg`, one transport per simulated "process" (each with its own
+    /// stats). Returns the transports and the mesh addresses.
+    fn connect_mesh_cfg(n: usize, cfg: TcpConfig) -> (Vec<TcpTransport>, Vec<SocketAddr>) {
         let listeners: Vec<TcpListener> = (0..n)
             .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
             .collect();
@@ -708,7 +1655,7 @@ mod tests {
                     let addrs = addrs.clone();
                     scope.spawn(move || {
                         let stats = Arc::new(NetworkStats::with_trace(n, TraceHandle::disabled()));
-                        TcpTransport::connect(i, listener, &addrs, test_cfg(run_id), stats)
+                        TcpTransport::connect(i, listener, &addrs, cfg, stats)
                     })
                 })
                 .collect();
@@ -716,7 +1663,11 @@ mod tests {
                 out[i] = Some(h.join().unwrap().unwrap());
             }
         });
-        out.into_iter().map(|t| t.unwrap()).collect()
+        (out.into_iter().map(|t| t.unwrap()).collect(), addrs)
+    }
+
+    fn connect_mesh(n: usize, run_id: u64) -> Vec<TcpTransport> {
+        connect_mesh_cfg(n, test_cfg(run_id)).0
     }
 
     #[test]
@@ -858,7 +1809,7 @@ mod tests {
             let (mut s, _) = l0.accept().unwrap();
             let mut hello = [0u8; HELLO_BYTES];
             s.read_exact(&mut hello).unwrap();
-            s.write_all(&encode_hello(5, 0, 2)).unwrap();
+            s.write_all(&encode_hello(5, 0, 2, 0, 0)).unwrap();
             // seq 0, tag 1, len = 2^40 — far over MAX_FRAME_BYTES.
             let mut frame = Vec::new();
             frame.extend_from_slice(&0u64.to_le_bytes());
@@ -881,9 +1832,214 @@ mod tests {
     }
 
     #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(100);
+        for peer in 0..3 {
+            for attempt in 0..16 {
+                let a = jittered_backoff(base, 42, peer, attempt);
+                let b = jittered_backoff(base, 42, peer, attempt);
+                assert_eq!(a, b, "same inputs must replay the same sleep");
+                assert!(
+                    a >= base / 2 && a < base * 3 / 2,
+                    "out of [0.5, 1.5): {a:?}"
+                );
+            }
+        }
+        // Distinct seeds produce distinct schedules (overwhelmingly).
+        let s1: Vec<_> = (0..8).map(|a| jittered_backoff(base, 1, 0, a)).collect();
+        let s2: Vec<_> = (0..8).map(|a| jittered_backoff(base, 2, 0, a)).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn stalled_dialer_cannot_block_accept_window() {
+        // Satellite regression: a socket that connects but never sends
+        // its hello used to pin the accept loop in read_exact for the
+        // full per-read timeout and then fail the whole connect. Now it
+        // is dropped at its hello deadline and accepting continues.
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        // The rogue connects first and stays silent; keep it alive for
+        // the whole test so its socket never EOFs.
+        let rogue = TcpStream::connect(addrs[0]).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let mut cfg = test_cfg(3);
+        cfg.connect_timeout = Duration::from_millis(300);
+        let (r0, r1) = std::thread::scope(|scope| {
+            let a0 = addrs.clone();
+            let h0 = scope.spawn(move || {
+                let stats = Arc::new(NetworkStats::with_trace(2, TraceHandle::disabled()));
+                TcpTransport::connect(0, l0, &a0, cfg, stats)
+            });
+            let a1 = addrs.clone();
+            let h1 = scope.spawn(move || {
+                let stats = Arc::new(NetworkStats::with_trace(2, TraceHandle::disabled()));
+                TcpTransport::connect(1, l1, &a1, cfg, stats)
+            });
+            (h0.join().unwrap(), h1.join().unwrap())
+        });
+        let t0 = r0.unwrap();
+        let t1 = r1.unwrap();
+        t0.send_words(1, 9, &[1]).unwrap();
+        assert_eq!(t1.recv_words(0, 9).unwrap(), vec![1]);
+        drop(rogue);
+    }
+
+    #[test]
+    fn heartbeats_do_not_touch_traffic_accounting() {
+        let mut cfg = test_cfg(51);
+        cfg.supervision = Some(test_sup());
+        let (mesh, _) = connect_mesh_cfg(2, cfg);
+        std::thread::sleep(Duration::from_millis(300));
+        for t in &mesh {
+            assert!(
+                t.stats().heartbeats_by(t.id()) > 0,
+                "party {} sent no heartbeats",
+                t.id()
+            );
+            assert_eq!(t.stats().total_bytes(), 0);
+            assert_eq!(t.stats().total_messages(), 0);
+        }
+        // Protocol traffic still flows and is counted normally.
+        mesh[0].send_words(1, 7, &[5, 6]).unwrap();
+        assert_eq!(mesh[1].recv_words(0, 7).unwrap(), vec![5, 6]);
+        assert_eq!(mesh[0].stats().total_bytes(), HEADER_BYTES + 16);
+    }
+
+    #[test]
+    fn dead_peer_fails_fast_with_peer_crashed() {
+        let mut cfg = test_cfg(52);
+        cfg.supervision = Some(LinkSupervision {
+            heartbeat_interval: Duration::from_millis(20),
+            liveness_deadline: Duration::from_millis(600),
+            reconnect_window: Duration::from_secs(30),
+            reconnect_backoff: Duration::from_millis(20),
+            replay_capacity: 64,
+        });
+        let (mut mesh, _) = connect_mesh_cfg(2, cfg);
+        let a = mesh.remove(0);
+        drop(mesh); // party 1 dies
+        let start = Instant::now();
+        let err = a
+            .recv_words_timeout(1, 3, Duration::from_secs(30))
+            .unwrap_err();
+        match err {
+            MpcError::PeerCrashed {
+                peer: 1,
+                silent_for,
+            } => {
+                assert!(silent_for >= Duration::from_millis(600));
+            }
+            other => panic!("expected PeerCrashed, got {other:?}"),
+        }
+        // The liveness verdict must beat both the receive deadline and
+        // the reconnect window: dead ≠ slow.
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn supervised_party_resumes_after_restart_with_dedup() {
+        let mut cfg = test_cfg(53);
+        cfg.supervision = Some(test_sup());
+        let (mut mesh, addrs) = connect_mesh_cfg(2, cfg);
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        // Traffic in both directions before the crash.
+        a.send_words(1, 100, &[10]).unwrap();
+        a.send_words(1, 101, &[11]).unwrap();
+        assert_eq!(b.recv_words(0, 100).unwrap(), vec![10]);
+        assert_eq!(b.recv_words(0, 101).unwrap(), vec![11]);
+        b.send_words(0, 200, &[20]).unwrap();
+        assert_eq!(a.recv_words(1, 200).unwrap(), vec![20]);
+        // Checkpoint B's wire state, then crash it.
+        let snap = b.link_snapshot().expect("supervised transport snapshots");
+        assert_eq!(snap.send_next, vec![1, 0]);
+        assert_eq!(snap.recv_next, vec![2, 0]);
+        assert_eq!(snap.replay[0].len(), 1); // B's frame to A, unpruned
+        let b_addr = addrs[1];
+        drop(b);
+        std::thread::sleep(Duration::from_millis(100));
+        // Restart B on its original port, resuming from the snapshot.
+        let listener = TcpListener::bind(b_addr).unwrap();
+        let stats = Arc::new(NetworkStats::with_trace(2, TraceHandle::disabled()));
+        let b2 = TcpTransport::connect_resume(
+            1,
+            listener,
+            &addrs,
+            cfg,
+            stats,
+            Some(ResumeState {
+                send_next: snap.send_next.clone(),
+                recv_next: snap.recv_next.clone(),
+                replay: snap.replay.clone(),
+            }),
+        )
+        .unwrap();
+        // B's replayed frame (seq 0, already delivered) must be
+        // deduplicated by A, and fresh traffic must flow both ways with
+        // the original sequence numbering.
+        a.send_words(1, 102, &[12]).unwrap();
+        assert_eq!(b2.recv_words(0, 102).unwrap(), vec![12]);
+        b2.send_words(0, 201, &[21]).unwrap();
+        assert_eq!(a.recv_words(1, 201).unwrap(), vec![21]);
+        assert_eq!(a.stats().reconnects_by(0), 1);
+        assert_eq!(b2.stats().resumes_by(1), 1);
+        // The replayed duplicate was not re-counted anywhere: B2's
+        // counters carry only its post-resume frame.
+        assert_eq!(b2.stats().total_bytes(), HEADER_BYTES + 8);
+    }
+
+    #[test]
+    fn restart_without_resume_fails_with_resume_mismatch() {
+        let mut cfg = test_cfg(54);
+        cfg.supervision = Some(test_sup());
+        let (mut mesh, addrs) = connect_mesh_cfg(2, cfg);
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        // B has sent frames A already consumed, so A expects seq 3 next.
+        for (i, tag) in [300u32, 301, 302].iter().enumerate() {
+            b.send_words(0, *tag, &[i as u64]).unwrap();
+            assert_eq!(a.recv_words(1, *tag).unwrap(), vec![i as u64]);
+        }
+        let b_addr = addrs[1];
+        drop(b);
+        std::thread::sleep(Duration::from_millis(100));
+        // Restarting from scratch (no --resume): the fresh party's send
+        // cursor is 0, but A's hello says it expects frame 3 — that can
+        // never reconcile and must fail structurally, not hang.
+        let listener = TcpListener::bind(b_addr).unwrap();
+        let stats = Arc::new(NetworkStats::with_trace(2, TraceHandle::disabled()));
+        let err = TcpTransport::connect(1, listener, &addrs, cfg, stats).unwrap_err();
+        match err {
+            MpcError::ResumeMismatch { peer: 0, reason } => {
+                assert!(reason.contains("expects frame 3"), "reason = {reason:?}");
+            }
+            other => panic!("expected ResumeMismatch, got {other:?}"),
+        }
+        drop(a);
+    }
+
+    #[test]
     fn hello_encode_decode_roundtrip() {
-        let buf = encode_hello(42, 2, 3);
-        assert_eq!(decode_hello(&buf, 2, 42, 3).unwrap(), 2);
+        let buf = encode_hello(42, 2, 3, 77, HELLO_FLAG_RESUME);
+        assert_eq!(
+            decode_hello(&buf, 2, 42, 3).unwrap(),
+            Hello {
+                party: 2,
+                next_expected: 77,
+                resume: true
+            }
+        );
+        let fresh = encode_hello(42, 1, 3, 0, 0);
+        assert_eq!(
+            decode_hello(&fresh, 1, 42, 3).unwrap(),
+            Hello {
+                party: 1,
+                next_expected: 0,
+                resume: false
+            }
+        );
         assert!(matches!(
             decode_hello(&buf, 2, 43, 3),
             Err(MpcError::Handshake { peer: 2, .. })

@@ -24,6 +24,33 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// One outbound frame buffered for possible replay after a peer resumes
+/// from a checkpoint older than what it had acknowledged in-memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayFrame {
+    /// Wire sequence number on the link.
+    pub seq: u64,
+    /// Protocol tag the frame carries.
+    pub tag: u32,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Per-link wire state captured at a deterministic protocol point (a
+/// block boundary) for a crash checkpoint: where each link's send and
+/// receive cursors stand, plus the outbound frames still buffered for
+/// replay. All three vectors are indexed by peer id; a party's own slot
+/// is zero/empty.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinkSnapshot {
+    /// Next sequence number this party would assign on each link.
+    pub send_next: Vec<u64>,
+    /// Next in-order sequence number expected from each peer.
+    pub recv_next: Vec<u64>,
+    /// Buffered outbound frames per peer, oldest first.
+    pub replay: Vec<Vec<ReplayFrame>>,
+}
+
 /// The message layer a [`crate::party::PartyCtx`] drives. Object-safe so
 /// the runner can swap the faulty wrapper in without protocols noticing.
 pub trait Transport: Send + std::fmt::Debug {
@@ -45,6 +72,23 @@ pub trait Transport: Send + std::fmt::Debug {
     /// Receives with the [`DEFAULT_DEADLINE`].
     fn recv_words(&self, from: usize, tag: u32) -> Result<Vec<u64>, MpcError> {
         self.recv_words_timeout(from, tag, DEFAULT_DEADLINE)
+    }
+    /// Captures the per-link wire cursors and replay buffers for a crash
+    /// checkpoint. `None` means this transport has no durable identity
+    /// across a process restart (the in-process [`Endpoint`] cannot be
+    /// resumed), which callers surface as a configuration error rather
+    /// than writing an unusable checkpoint.
+    fn link_snapshot(&self) -> Option<LinkSnapshot> {
+        None
+    }
+    /// Tells the transport which receive cursors have been made durable
+    /// (fsynced into a checkpoint), per peer. A supervised transport
+    /// advertises these as its heartbeat acknowledgement cursors so peers
+    /// prune their replay buffers no further than what this party could
+    /// re-request after a crash. Default: no-op for transports without
+    /// replay buffers.
+    fn note_durable(&self, recv_next: &[u64]) {
+        let _ = recv_next;
     }
 }
 
@@ -445,6 +489,14 @@ impl<T: FrameTransport> Transport for FaultyTransport<T> {
         // must ship now, or a round-trip protocol can deadlock on it.
         self.flush_all_holdbacks()?;
         self.inner.recv_words_timeout(from, tag, deadline)
+    }
+
+    fn link_snapshot(&self) -> Option<LinkSnapshot> {
+        self.inner.link_snapshot()
+    }
+
+    fn note_durable(&self, recv_next: &[u64]) {
+        self.inner.note_durable(recv_next);
     }
 }
 

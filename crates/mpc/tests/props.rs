@@ -13,9 +13,12 @@ use dash_mpc::protocol::masked::masked_sum_ring;
 use dash_mpc::protocol::sum::secure_sum_ring;
 use dash_mpc::ring::R64;
 use dash_mpc::share::{reconstruct_field, reconstruct_ring, share_field, share_ring};
-use dash_mpc::transport::FaultPlan;
-use dash_mpc::{Secret, TraceCounter, TraceHandle};
+use dash_mpc::tcp::{LinkSupervision, ResumeState, TcpConfig, TcpTransport};
+use dash_mpc::transport::{FaultPlan, Transport};
+use dash_mpc::{MpcError, Secret, TraceCounter, TraceHandle};
 use proptest::prelude::*;
+use std::net::TcpListener;
+use std::sync::Arc;
 use std::time::Duration;
 
 const REDACTED: &str = "Secret { <redacted> }";
@@ -220,6 +223,151 @@ proptest! {
         if v != 0 {
             prop_assert_ne!(reconstruct_ring(&s_val), reconstruct_ring(&s_zero));
         }
+    }
+}
+
+/// One endpoint of a supervised loopback pair plus its stats handle.
+type SupervisedEnd = (TcpTransport, Arc<dash_mpc::net::NetworkStats>);
+
+/// Builds one supervised loopback pair: party 0 (the survivor) and
+/// party 1 (the crasher), each with its own stats handle.
+fn supervised_pair(run_id: u64) -> (SupervisedEnd, SupervisedEnd, Vec<std::net::SocketAddr>) {
+    let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+    let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+    let cfg = TcpConfig {
+        run_id,
+        supervision: Some(LinkSupervision::default()),
+        ..TcpConfig::default()
+    };
+    let (a, b) = std::thread::scope(|scope| {
+        let (a0, c0) = (addrs.clone(), cfg);
+        let h0 = scope.spawn(move || {
+            let stats = Arc::new(dash_mpc::net::NetworkStats::with_trace(
+                2,
+                TraceHandle::disabled(),
+            ));
+            let t = TcpTransport::connect(0, l0, &a0, c0, Arc::clone(&stats)).unwrap();
+            (t, stats)
+        });
+        let (a1, c1) = (addrs.clone(), cfg);
+        let h1 = scope.spawn(move || {
+            let stats = Arc::new(dash_mpc::net::NetworkStats::with_trace(
+                2,
+                TraceHandle::disabled(),
+            ));
+            let t = TcpTransport::connect(1, l1, &a1, c1, Arc::clone(&stats)).unwrap();
+            (t, stats)
+        });
+        (h0.join().unwrap(), h1.join().unwrap())
+    });
+    (a, b, addrs)
+}
+
+proptest! {
+    // Real sockets plus a crash/resume cycle per case: keep it modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Reconnect-dedup property (satellite of the crash-resilience
+    /// work): a party that crashes and resumes from a checkpointed send
+    /// cursor `s` re-sends the frame range `[s, n_sent)` the survivor
+    /// already delivered. For **every** overlap shape — none
+    /// (`s == n_sent`), partial (`0 < s < n_sent`), full (`s == 0`) —
+    /// the survivor's reorder buffer must drop the replayed duplicates
+    /// (the originally delivered payloads win), deliver the genuinely
+    /// new frames exactly once, and keep per-process byte accounting
+    /// conserved: every distinct frame is counted once at its sender,
+    /// while duplicates, replay installs and heartbeats count nowhere.
+    #[test]
+    fn resumed_replay_ranges_dedup_for_every_overlap_shape(
+        n_sent in 1u64..6,
+        resend_sel in any::<u64>(),
+        n_fresh in 0u64..4,
+        consume_late in any::<bool>(),
+        run_id in any::<u64>(),
+    ) {
+        const ORIG: u64 = 0xA5A5_0001;
+        const RESENT: u64 = 0x5A5A_0002;
+        let s = resend_sel % (n_sent + 1); // checkpointed send cursor
+        let n_total = n_sent + n_fresh;
+        let tag = |j: u64| 1000 + j as u32;
+
+        let ((a, a_stats), (b, b_stats), addrs) = supervised_pair(run_id);
+        for j in 0..n_sent {
+            b.send_words(0, tag(j), &[j, ORIG]).unwrap();
+        }
+        if !consume_late {
+            for j in 0..n_sent {
+                prop_assert_eq!(a.recv_words(1, tag(j)).unwrap(), vec![j, ORIG]);
+            }
+        }
+
+        // Crash B; restart it from a checkpoint whose send cursor is s
+        // frames in, so it re-sends [s, n_sent) before any new traffic
+        // — exactly what a block-boundary resume does.
+        drop(b);
+        std::thread::sleep(Duration::from_millis(50));
+        let listener = TcpListener::bind(addrs[1]).unwrap();
+        let b2_stats = Arc::new(dash_mpc::net::NetworkStats::with_trace(
+            2,
+            TraceHandle::disabled(),
+        ));
+        let b2 = TcpTransport::connect_resume(
+            1,
+            listener,
+            &addrs,
+            TcpConfig {
+                run_id,
+                supervision: Some(LinkSupervision::default()),
+                ..TcpConfig::default()
+            },
+            Arc::clone(&b2_stats),
+            Some(ResumeState {
+                send_next: vec![s, 0],
+                recv_next: vec![0, 0],
+                replay: vec![Vec::new(), Vec::new()],
+            }),
+        )
+        .unwrap();
+        for j in s..n_total {
+            b2.send_words(0, tag(j), &[j, RESENT]).unwrap();
+        }
+        // A sentinel after the batch proves the link survived the whole
+        // replay range in order.
+        b2.send_words(0, 9999, &[7, 7]).unwrap();
+
+        if consume_late {
+            for j in 0..n_sent {
+                prop_assert_eq!(a.recv_words(1, tag(j)).unwrap(), vec![j, ORIG]);
+            }
+        }
+        for j in n_sent..n_total {
+            prop_assert_eq!(a.recv_words(1, tag(j)).unwrap(), vec![j, RESENT]);
+        }
+        prop_assert_eq!(a.recv_words(1, 9999).unwrap(), vec![7, 7]);
+        // The replayed overlap must have been *dropped*, not queued: a
+        // second receive on a replayed tag finds nothing.
+        if s < n_sent {
+            let err = a
+                .recv_words_timeout(1, tag(s), Duration::from_millis(60))
+                .unwrap_err();
+            prop_assert!(
+                matches!(err, MpcError::Timeout { .. }),
+                "replayed duplicate was delivered twice: {err:?}"
+            );
+        }
+
+        // Byte accounting conserved per process: each process counts
+        // exactly the frames it put on the wire itself, once. All
+        // payloads are two words, so per-frame cost divides evenly.
+        prop_assert_eq!(a_stats.total_bytes(), 0);
+        prop_assert_eq!(b_stats.total_messages(), n_sent);
+        prop_assert_eq!(b2_stats.total_messages(), n_total - s + 1);
+        let unit = b_stats.total_bytes() / n_sent;
+        prop_assert_eq!(b_stats.total_bytes(), unit * n_sent);
+        prop_assert_eq!(b2_stats.total_bytes(), unit * (n_total - s + 1));
+        prop_assert_eq!(b2_stats.resumes_by(1), 1);
+        drop(a);
     }
 }
 

@@ -65,11 +65,22 @@ pub enum Counter {
     /// with the *observed* opened length (cross-checked against the
     /// `DisclosureLog`'s claimed sizes by the disclosure-size tests).
     OpenedScalars,
+    /// Heartbeat frames this party shipped for link liveness. Heartbeats
+    /// are deliberately excluded from the byte/message counters (their
+    /// count depends on wall-clock timing, and the protocol's traffic
+    /// totals must stay bit-identical across runs), so they get their own
+    /// slot.
+    HeartbeatsSent,
+    /// Successful link re-establishments after a socket error.
+    Reconnects,
+    /// Resume handshakes this party completed (either side: re-dialing
+    /// with a resume hello, or accepting one from a restarted peer).
+    Resumes,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 11] = [
         Counter::BytesSent,
         Counter::BytesReceived,
         Counter::MessagesSent,
@@ -78,6 +89,9 @@ impl Counter {
         Counter::Timeouts,
         Counter::TriplesConsumed,
         Counter::OpenedScalars,
+        Counter::HeartbeatsSent,
+        Counter::Reconnects,
+        Counter::Resumes,
     ];
 
     /// Stable snake_case name used in the JSON trace and text summary.
@@ -91,6 +105,9 @@ impl Counter {
             Counter::Timeouts => "timeouts",
             Counter::TriplesConsumed => "triples_consumed",
             Counter::OpenedScalars => "opened_scalars",
+            Counter::HeartbeatsSent => "heartbeats_sent",
+            Counter::Reconnects => "reconnects",
+            Counter::Resumes => "resumes",
         }
     }
 
@@ -104,6 +121,9 @@ impl Counter {
             Counter::Timeouts => 5,
             Counter::TriplesConsumed => 6,
             Counter::OpenedScalars => 7,
+            Counter::HeartbeatsSent => 8,
+            Counter::Reconnects => 9,
+            Counter::Resumes => 10,
         }
     }
 }
@@ -657,6 +677,20 @@ mod tests {
         }
         assert_eq!(t.spans().len(), 4 * 51);
         assert_eq!(t.dropped_spans(), 0);
+    }
+
+    #[test]
+    fn counter_slots_and_names_are_bijective() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.slot(), i, "{} out of order in ALL", c.name());
+        }
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::ALL.len());
+        assert!(Counter::ALL.contains(&Counter::HeartbeatsSent));
+        assert!(Counter::ALL.contains(&Counter::Reconnects));
+        assert!(Counter::ALL.contains(&Counter::Resumes));
     }
 
     #[test]

@@ -101,6 +101,71 @@ for i in 0 1; do
 done
 ./target/release/dash-analyze --validate-trace "$TRACE_TMP/tcp-trace.json"
 
+echo "== crash/resume chaos smoke (mid-stream RST, kill a party, resume, byte-compare)"
+# Three real party processes, checkpointing at every block boundary. Party
+# 2 dials party 0 through the `dash chaos` proxy, which resets the first
+# connection mid-stream (past the 96-byte hello exchange) so supervision
+# has to reconnect and replay. Party 2 also kills itself right after block
+# 0's checkpoint is durable (the --crash-after-block hook stands in for a
+# well-timed kill -9) and is restarted with --resume inside the reconnect
+# window. All three result files must still be byte-identical to the
+# in-process reference — recovery must be invisible in the results.
+CHAOS_TMP="$TRACE_TMP/chaos"
+./target/release/dash simulate --out "$CHAOS_TMP" --samples 20,25,15 \
+    --variants 12 --causal 3 --covariates 2 --seed 5
+./target/release/dash secure-scan --dir "$CHAOS_TMP" --block-size 4 \
+    --audit false --out "$CHAOS_TMP/ref.tsv"
+CHAOS_BASE=$((20000 + RANDOM % 20000))
+PEERS3="127.0.0.1:$CHAOS_BASE,127.0.0.1:$((CHAOS_BASE + 1)),127.0.0.1:$((CHAOS_BASE + 2))"
+PROXY_ADDR="127.0.0.1:$((CHAOS_BASE + 3))"
+# Party 2's view of the mesh routes its party-0 link through the proxy.
+PEERS3_PROXIED="$PROXY_ADDR,127.0.0.1:$((CHAOS_BASE + 1)),127.0.0.1:$((CHAOS_BASE + 2))"
+./target/release/dash chaos --listen "$PROXY_ADDR" \
+    --upstream "127.0.0.1:$CHAOS_BASE" --fault rst-after=200 \
+    --policy first-connection > "$CHAOS_TMP/chaos.log" 2>&1 &
+CHAOS_PROXY_PID=$!
+CHAOS_PIDS=()
+for i in 0 1; do
+    timeout 180 ./target/release/dash party --id "$i" --peers "$PEERS3" \
+        --dir "$CHAOS_TMP/party$i" --block-size 4 --audit false \
+        --checkpoint-dir "$CHAOS_TMP/ckpt" --out "$CHAOS_TMP/res$i.tsv" \
+        > "$CHAOS_TMP/party$i.log" 2>&1 &
+    CHAOS_PIDS+=($!)
+done
+timeout 180 ./target/release/dash party --id 2 --peers "$PEERS3_PROXIED" \
+    --dir "$CHAOS_TMP/party2" --block-size 4 --audit false \
+    --checkpoint-dir "$CHAOS_TMP/ckpt" --crash-after-block 0 \
+    --out "$CHAOS_TMP/res2.tsv" > "$CHAOS_TMP/party2-crash.log" 2>&1 &
+if wait $!; then
+    echo "error: party 2 should have died after block 0's checkpoint" >&2
+    cat "$CHAOS_TMP/party2-crash.log" >&2
+    exit 1
+fi
+timeout 180 ./target/release/dash party --id 2 --peers "$PEERS3_PROXIED" \
+    --dir "$CHAOS_TMP/party2" --block-size 4 --audit false \
+    --checkpoint-dir "$CHAOS_TMP/ckpt" --resume true \
+    --out "$CHAOS_TMP/res2.tsv" > "$CHAOS_TMP/party2-resume.log" 2>&1 &
+CHAOS_PIDS+=($!)
+for pid in "${CHAOS_PIDS[@]}"; do
+    if ! wait "$pid"; then
+        echo "error: a party in the chaos smoke failed; logs follow" >&2
+        cat "$CHAOS_TMP"/party*.log >&2
+        exit 1
+    fi
+done
+kill "$CHAOS_PROXY_PID" 2>/dev/null || true
+grep -q "resuming from block 1" "$CHAOS_TMP/party2-resume.log" || {
+    echo "error: party 2 did not resume from its checkpoint; log follows" >&2
+    cat "$CHAOS_TMP/party2-resume.log" >&2
+    exit 1
+}
+for i in 0 1 2; do
+    cmp "$CHAOS_TMP/ref.tsv" "$CHAOS_TMP/res$i.tsv" || {
+        echo "error: party $i chaos-smoke results differ from reference" >&2
+        exit 1
+    }
+done
+
 echo "== timing-leak smoke (E14, bounded samples, enforced)"
 # The dudect harness must see no class split in the F61 arithmetic. The
 # bounded sample count keeps CI fast (raise DASH_TIMING_SAMPLES locally
